@@ -1,0 +1,382 @@
+package rubine
+
+// The benchmark harness regenerates every figure and measurement in the
+// paper's evaluation (section 5), one benchmark per artifact, plus the
+// ablations indexed in DESIGN.md. Accuracy and eagerness are attached to
+// the benchmark output via ReportMetric, so `go test -bench=. -benchmem`
+// reproduces the numbers recorded in EXPERIMENTS.md alongside the runtime
+// costs.
+
+import (
+	"testing"
+
+	"repro/internal/eager"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/gdp"
+	"repro/internal/grandma"
+	"repro/internal/linalg"
+	"repro/internal/synth"
+)
+
+// reportEval attaches an experiment's headline numbers to the benchmark.
+func reportEval(b *testing.B, r *experiments.EagerEval) {
+	b.ReportMetric(100*r.FullAccuracy, "full-acc-%")
+	b.ReportMetric(100*r.EagerAccuracy, "eager-acc-%")
+	b.ReportMetric(100*r.Eagerness, "pts-seen-%")
+	if r.OracleEagerness > 0 {
+		b.ReportMetric(100*r.OracleEagerness, "oracle-min-%")
+	}
+}
+
+// BenchmarkFig9EightDirections regenerates figure 9: the eight-direction
+// set. Paper: full 99.2%, eager 97.0%, 67.9% of points seen, 59.4% minimum.
+func BenchmarkFig9EightDirections(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.EagerEval
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportEval(b, last)
+}
+
+// BenchmarkFig10GDP regenerates figure 10: the GDP gesture set. Paper:
+// full 99.7%, eager 93.5%, 60.5% of points seen.
+func BenchmarkFig10GDP(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.EagerEval
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportEval(b, last)
+}
+
+// BenchmarkFig8NoteGestures regenerates figure 8: Buxton's note gestures,
+// which "would never be eagerly recognized" — points-seen approaches 100%.
+func BenchmarkFig8NoteGestures(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.EagerEval
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportEval(b, last)
+}
+
+// BenchmarkFig5to7UD regenerates the figures 5-7 pipeline on the U/D set,
+// reporting the accidental-completeness move count alongside accuracy.
+func BenchmarkFig5to7UD(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.EagerEval
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.UD(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportEval(b, last)
+	b.ReportMetric(float64(last.Report.MovedAccidental), "moved")
+	b.ReportMetric(float64(last.Report.TweakAdjusts), "tweaks")
+}
+
+// gdpTestData builds the shared fixtures for the per-point timing
+// benchmarks (the paper's "0.5 msec feature update, 0.27 msec per class
+// AUC classification" measurements, E5).
+func gdpTestData(b *testing.B) (*eager.Recognizer, []linalg.Vec, int) {
+	b.Helper()
+	classes := synth.GDPClasses()
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(42)).Set("train", classes, 10)
+	rec, _, err := eager.Train(trainSet, eager.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	testSet, _ := synth.NewGenerator(synth.DefaultParams(1042)).Set("test", classes, 5)
+	var vecs []linalg.Vec
+	points := 0
+	for _, e := range testSet.Examples {
+		ext := features.NewExtractor(rec.Full.Opts)
+		for _, p := range e.Gesture.Points {
+			ext.Add(p)
+			vecs = append(vecs, ext.Vector())
+		}
+		points += e.Gesture.Len()
+	}
+	return rec, vecs, points
+}
+
+// BenchmarkFeatureUpdatePerPoint measures the per-mouse-point feature
+// update (paper: 0.5 ms on a DEC MicroVAX II). One op = one point.
+func BenchmarkFeatureUpdatePerPoint(b *testing.B) {
+	rec, _, _ := gdpTestData(b)
+	testSet, _ := synth.NewGenerator(synth.DefaultParams(7)).Set("t", synth.GDPClasses(), 5)
+	ext := features.NewExtractor(rec.Full.Opts)
+	pts := testSet.Examples[0].Gesture.Points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(pts) == 0 {
+			ext.Reset()
+		}
+		ext.Add(pts[i%len(pts)])
+	}
+}
+
+// BenchmarkAUCClassifyPerPoint measures one AUC classification of a
+// running feature vector (paper: 0.27 ms per class, ~6 ms for GDP's AUC).
+func BenchmarkAUCClassifyPerPoint(b *testing.B) {
+	rec, vecs, _ := gdpTestData(b)
+	scores := make([]float64, rec.AUC.NumClasses())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.AUC.ClassifyInto(vecs[i%len(vecs)], scores)
+	}
+	b.ReportMetric(float64(rec.AUC.NumClasses()), "auc-classes")
+}
+
+// BenchmarkFullClassifyGesture measures classifying one whole gesture with
+// the full classifier (features + discriminants).
+func BenchmarkFullClassifyGesture(b *testing.B) {
+	rec, _, _ := gdpTestData(b)
+	testSet, _ := synth.NewGenerator(synth.DefaultParams(9)).Set("t", synth.GDPClasses(), 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := testSet.Examples[i%testSet.Len()]
+		rec.Full.Classify(e.Gesture)
+	}
+}
+
+// BenchmarkEagerSessionGesture measures streaming one whole gesture
+// through an eager session (the interactive hot path).
+func BenchmarkEagerSessionGesture(b *testing.B) {
+	rec, _, _ := gdpTestData(b)
+	testSet, _ := synth.NewGenerator(synth.DefaultParams(10)).Set("t", synth.GDPClasses(), 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := testSet.Examples[i%testSet.Len()]
+		rec.Run(e.Gesture)
+	}
+}
+
+// BenchmarkTrainFullGDP measures full-classifier training on the paper's
+// standard GDP protocol (15 examples x 11 classes).
+func BenchmarkTrainFullGDP(b *testing.B) {
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(42)).Set("train", synth.GDPClasses(), 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainFull(trainSet, DefaultTrainOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainEagerGDP measures the complete eager-training pipeline
+// (label, partition, move, AUC, bias, tweak) on the GDP protocol.
+func BenchmarkTrainEagerGDP(b *testing.B) {
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(42)).Set("train", synth.GDPClasses(), 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eager.Train(trainSet, eager.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGDPInteraction measures a complete two-phase interaction
+// through GRANDMA and GDP: synthesize a stroke, dispatch its events,
+// recognize, run semantics, redraw (E6, figure 3).
+func BenchmarkGDPInteraction(b *testing.B) {
+	set, _ := synth.NewGenerator(synth.DefaultParams(1)).Set("train", synth.GDPClasses(), 10)
+	rec, _, err := eager.Train(set, eager.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := gdp.New(gdp.Config{Recognizer: rec, Mode: grandma.ModeEager})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := synth.DefaultParams(2)
+	params.CornerLoopProb = 0
+	gen := synth.NewGenerator(params)
+	var rectClass synth.Class
+	for _, c := range synth.GDPClasses() {
+		if c.Name == "rect" {
+			rectClass = c
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := gen.SampleAt(rectClass, Pt(100, 100)).G.Points
+		app.PlayGesture(p)
+		if app.Scene.Len() > 64 {
+			app.Scene.Clear()
+		}
+	}
+}
+
+// BenchmarkAblationTwoClassAUC regenerates the A1 ablation: two-class vs
+// 2C-class AUC (section 4.4's claim).
+func BenchmarkAblationTwoClassAUC(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.Ablation
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationTwoClassAUC(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Rows[0].EagerAccuracy, "2C-acc-%")
+	b.ReportMetric(100*last.Rows[1].EagerAccuracy, "2class-acc-%")
+}
+
+// BenchmarkAblationBiasSweep regenerates the A2 ablation: the ambiguity
+// bias accuracy/eagerness trade-off around the paper's 5x.
+func BenchmarkAblationBiasSweep(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.Ablation
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationBiasSweep(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Rows[2].EagerAccuracy, "bias5-acc-%")
+	b.ReportMetric(100*last.Rows[2].Eagerness, "bias5-seen-%")
+}
+
+// BenchmarkAblationThresholdSweep regenerates the A3 ablation: the
+// accidental-completeness threshold around the paper's 50%.
+func BenchmarkAblationThresholdSweep(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.Ablation
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationThresholdSweep(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Rows[2].EagerAccuracy, "thr50-acc-%")
+}
+
+// BenchmarkTrainingSizeSweep regenerates the A4 sweep: recognition rate
+// versus training examples per class.
+func BenchmarkTrainingSizeSweep(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.Ablation
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TrainSizeSweep(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Rows[2].FullAccuracy, "n15-full-acc-%")
+}
+
+// BenchmarkAblationAgreement regenerates the A5 ablation: the paper's fire
+// rule versus agreement gating, on both evaluation workloads.
+func BenchmarkAblationAgreement(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.Ablation
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationAgreement(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Rows[0].EagerAccuracy, "fig9-paper-acc-%")
+	b.ReportMetric(100*last.Rows[1].EagerAccuracy, "fig9-gated-acc-%")
+}
+
+// BenchmarkAblationFeatureDrop regenerates the A6 sweep: leave-one-out
+// over the thirteen Rubine features.
+func BenchmarkAblationFeatureDrop(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.Ablation
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.FeatureDropSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Rows[0].FullAccuracy, "all13-full-acc-%")
+}
+
+// BenchmarkTailEffect regenerates E7: the paper-conclusion claim that the
+// trainable recognizer is much more successful on the tail-free prefix.
+func BenchmarkTailEffect(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.TailEffect
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTailEffect(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.OnePhaseAccuracy, "one-phase-acc-%")
+	b.ReportMetric(100*last.TwoPhaseAccuracy, "two-phase-acc-%")
+}
+
+// BenchmarkRejectionSweep regenerates E8: the probability/Mahalanobis
+// rejection trade-off of section 4.2 on the GDP workload plus garbage.
+func BenchmarkRejectionSweep(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.RejectionSweep
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunRejection(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Rows[3].FalseAccept, "maha12-false-acc-%")
+	b.ReportMetric(100*last.Rows[3].FalseReject, "maha12-false-rej-%")
+}
+
+// BenchmarkBaselineComparison regenerates A7: Rubine's statistical
+// recognizer versus the template-matching baseline.
+func BenchmarkBaselineComparison(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.BaselineComparison
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBaseline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Rows[2].Accuracy, "gdp-rubine-acc-%")
+	b.ReportMetric(100*last.Rows[3].Accuracy, "gdp-template-acc-%")
+}
+
+// BenchmarkCornerLoopSweep regenerates A8: the corner-loop error
+// attribution from section 5.
+func BenchmarkCornerLoopSweep(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var last *experiments.Ablation
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CornerLoopSweep(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.Rows[0].EagerAccuracy, "clean-eager-acc-%")
+	b.ReportMetric(100*last.Rows[len(last.Rows)-1].EagerAccuracy, "loopy-eager-acc-%")
+}

@@ -1,0 +1,78 @@
+// Command ganalyze evaluates the design of a gesture set — the concern the
+// paper's evaluation opens with ("It is very easy to design a gesture set
+// that does not lend itself well to eager recognition"). It reports
+// pairwise class separation, per-class eagerness, prefix-confusion
+// structure, and design warnings (e.g. figure 8's note gestures, whose
+// prefix structure it detects automatically).
+//
+// Usage:
+//
+//	ganalyze -set notes            # analyze a built-in synthetic set
+//	ganalyze -in examples.json     # analyze recorded examples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/gesture"
+	"repro/internal/synth"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ganalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	setName := fs.String("set", "", "built-in set: ud|eight|gdp|notes")
+	in := fs.String("in", "", "gesture set JSON to analyze")
+	n := fs.Int("n", 15, "examples per class for built-in sets")
+	seed := fs.Int64("seed", 42, "generator seed for built-in sets")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var set *gesture.Set
+	switch {
+	case *in != "":
+		var err error
+		set, err = gesture.LoadFile(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "ganalyze: %v\n", err)
+			return 1
+		}
+	case *setName != "":
+		var classes []synth.Class
+		switch *setName {
+		case "ud":
+			classes = synth.UDClasses()
+		case "eight":
+			classes = synth.EightDirectionClasses()
+		case "gdp":
+			classes = synth.GDPClasses()
+		case "notes":
+			classes = synth.NoteClasses()
+		default:
+			fmt.Fprintf(stderr, "ganalyze: unknown set %q\n", *setName)
+			return 2
+		}
+		set, _ = synth.NewGenerator(synth.DefaultParams(*seed)).Set(*setName, classes, *n)
+	default:
+		fmt.Fprintln(stderr, "ganalyze: need -set or -in")
+		fs.Usage()
+		return 2
+	}
+
+	rep, err := analysis.Analyze(set, analysis.DefaultOptions())
+	if err != nil {
+		fmt.Fprintf(stderr, "ganalyze: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, rep.Format())
+	return 0
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeBuiltinSet(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-set", "notes", "-n", "12"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "warnings:") || !strings.Contains(out, "never eagerly") {
+		t.Errorf("note-set analysis missing warnings:\n%s", out)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no input: exit %d", code)
+	}
+	if code := run([]string{"-set", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown set: exit %d", code)
+	}
+	if code := run([]string{"-in", "/no/such.json"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+}

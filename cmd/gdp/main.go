@@ -1,0 +1,112 @@
+// Command gdp runs the headless GDP drawing program, driven by a small
+// script of gestures and direct manipulations, and renders the scene as
+// ASCII. It demonstrates the full two-phase interaction pipeline: gestures
+// are synthesized as mouse traces, recognized (optionally eagerly), and
+// their semantics create and manipulate shapes.
+//
+// Usage:
+//
+//	gdp [-mode eager|timeout|mouseup] [-w 600] [-h 400] [-shrink 5]
+//	    [-script file] [-seed N]
+//
+// See gdp.Driver for the script command reference. Without -script, a
+// built-in demo runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/display"
+	"repro/internal/gdp"
+	"repro/internal/grandma"
+	"repro/internal/synth"
+)
+
+const demoScript = `
+# GDP demo: create shapes by gesture (with two-phase manipulation), then
+# render the scene.
+twophase rect 90 60 210 150
+gesture line 300 170
+twophase ellipse 460 120 510 150
+gesture dot 60 300
+settext hello
+twophase text 180 320 240 330
+render
+log
+`
+
+func main() {
+	mode := flag.String("mode", "timeout", "phase transition: eager|timeout|mouseup")
+	width := flag.Int("w", 600, "canvas width (scene coordinates)")
+	height := flag.Int("h", 400, "canvas height (scene coordinates)")
+	shrink := flag.Int("shrink", 5, "downsample factor for terminal output (0 = raw)")
+	scriptPath := flag.String("script", "", "script file, or '-' for stdin (default: built-in demo)")
+	record := flag.String("record", "", "save every input event to this trace JSON file")
+	seed := flag.Int64("seed", 7, "gesture synthesis seed")
+	flag.Parse()
+
+	var m grandma.TransitionMode
+	switch *mode {
+	case "eager":
+		m = grandma.ModeEager
+	case "timeout":
+		m = grandma.ModeTimeout
+	case "mouseup":
+		m = grandma.ModeMouseUp
+	default:
+		fmt.Fprintf(os.Stderr, "gdp: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	app, err := gdp.New(gdp.Config{Width: *width, Height: *height, Mode: m})
+	if err != nil {
+		fatal(err)
+	}
+
+	src := demoScript
+	switch {
+	case *scriptPath == "-":
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	case *scriptPath != "":
+		b, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	}
+
+	var trace *display.Trace
+	if *record != "" {
+		trace = &display.Trace{Name: "gdp-session"}
+		app.Session.Tap = func(ev display.Event) { trace.Append(ev) }
+	}
+
+	params := synth.DefaultParams(*seed)
+	params.Jitter = 0.4
+	params.RotJitter = 0.01
+	params.ScaleJitter = 0.02
+	params.CornerLoopProb = 0
+	driver := gdp.NewDriver(app, synth.NewGenerator(params), os.Stdout)
+	driver.Shrink = *shrink
+	if err := driver.Run(src); err != nil {
+		fatal(err)
+	}
+	if trace != nil {
+		if err := trace.SaveFile(*record); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gdp: recorded %d events to %s\n", trace.Len(), *record)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gdp: %v\n", err)
+	os.Exit(1)
+}

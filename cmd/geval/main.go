@@ -1,0 +1,190 @@
+// Command geval regenerates the paper's evaluation: every figure of
+// section 5 plus the ablations indexed in DESIGN.md. Running it with no
+// flags reproduces everything and prints the tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	geval [-exp all|fig9|fig10|fig8|ud|timing|ablation-twoclass|ablation-bias|ablation-threshold|trainsize]
+//	      [-train N] [-test N] [-train-seed S] [-test-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes geval with the given arguments. Extracted from main for
+// tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	flag := flag.NewFlagSet("geval", flag.ContinueOnError)
+	flag.SetOutput(stderr)
+	exp := flag.String("exp", "all", "experiment to run")
+	annotate := flag.Bool("annotate", false, "with -exp fig9|fig10: print per-example annotations in the figure's min,fired/total notation")
+	confusion := flag.Bool("confusion", false, "with -exp fig9|fig10|fig8: print full and eager confusion matrices")
+	trainN := flag.Int("train", 10, "training examples per class")
+	testN := flag.Int("test", 30, "test examples per class")
+	trainSeed := flag.Int64("train-seed", 42, "training set seed")
+	testSeed := flag.Int64("test-seed", 1042, "test set seed")
+	if err := flag.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.TrainPerClass = *trainN
+	cfg.TestPerClass = *testN
+	cfg.TrainSeed = *trainSeed
+	cfg.TestSeed = *testSeed
+
+	workload := func() []synth.Class {
+		switch *exp {
+		case "fig9":
+			return synth.EightDirectionClasses()
+		case "fig10":
+			return synth.GDPClasses()
+		case "fig8":
+			return synth.NoteClasses()
+		default:
+			return nil
+		}
+	}
+
+	if *annotate {
+		classes := workload()
+		if classes == nil {
+			fmt.Fprintln(stderr, "geval: -annotate requires -exp fig9|fig10|fig8")
+			return 2
+		}
+		anns, err := experiments.Annotate(*exp, classes, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "geval: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, experiments.FormatAnnotations(anns))
+		return 0
+	}
+
+	if *confusion {
+		classes := workload()
+		if classes == nil {
+			fmt.Fprintln(stderr, "geval: -confusion requires -exp fig9|fig10|fig8")
+			return 2
+		}
+		full, eagerC, err := experiments.Confusions(*exp, classes, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "geval: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "full classifier confusion (accuracy %.1f%%):\n%s\n", 100*full.Accuracy(), full.Format())
+		fmt.Fprintf(stdout, "eager recognizer confusion (accuracy %.1f%%):\n%s\n", 100*eagerC.Accuracy(), eagerC.Format())
+		if errs := eagerC.Errors(); len(errs) > 0 {
+			fmt.Fprintln(stdout, "eager errors:", errs)
+		}
+		return 0
+	}
+
+	type runner struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	wrap := func(f func(experiments.Config) (*experiments.EagerEval, error)) func() (fmt.Stringer, error) {
+		return func() (fmt.Stringer, error) {
+			r, err := f(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return stringer{r.Format()}, nil
+		}
+	}
+	wrapAb := func(f func(experiments.Config) (*experiments.Ablation, error)) func() (fmt.Stringer, error) {
+		return func() (fmt.Stringer, error) {
+			r, err := f(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return stringer{r.Format()}, nil
+		}
+	}
+
+	all := []runner{
+		{"fig9", wrap(experiments.Fig9)},
+		{"fig10", wrap(experiments.Fig10)},
+		{"fig8", wrap(experiments.Fig8)},
+		{"ud", wrap(experiments.UD)},
+		{"baseline", func() (fmt.Stringer, error) {
+			r, err := experiments.RunBaseline(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return stringer{r.Format()}, nil
+		}},
+		{"rejection", func() (fmt.Stringer, error) {
+			r, err := experiments.RunRejection(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return stringer{r.Format()}, nil
+		}},
+		{"tail", func() (fmt.Stringer, error) {
+			r, err := experiments.RunTailEffect(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return stringer{r.Format()}, nil
+		}},
+		{"timing", func() (fmt.Stringer, error) {
+			r, err := experiments.RunTiming(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return stringer{r.Format()}, nil
+		}},
+		{"ablation-twoclass", wrapAb(experiments.AblationTwoClassAUC)},
+		{"ablation-bias", wrapAb(func(c experiments.Config) (*experiments.Ablation, error) {
+			return experiments.AblationBiasSweep(c, nil)
+		})},
+		{"ablation-threshold", wrapAb(func(c experiments.Config) (*experiments.Ablation, error) {
+			return experiments.AblationThresholdSweep(c, nil)
+		})},
+		{"ablation-agreement", wrapAb(experiments.AblationAgreement)},
+		{"ablation-features", wrapAb(experiments.FeatureDropSweep)},
+		{"ablation-cornerloop", wrapAb(func(c experiments.Config) (*experiments.Ablation, error) {
+			return experiments.CornerLoopSweep(c, nil)
+		})},
+		{"trainsize", wrapAb(func(c experiments.Config) (*experiments.Ablation, error) {
+			return experiments.TrainSizeSweep(c, nil)
+		})},
+	}
+
+	ran := false
+	for _, r := range all {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(stderr, "geval %s: %v\n", r.name, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, out)
+	}
+	if !ran {
+		fmt.Fprintf(stderr, "geval: unknown experiment %q\n", *exp)
+		return 2
+	}
+	return 0
+}
+
+type stringer struct{ s string }
+
+func (s stringer) String() string { return s.s }

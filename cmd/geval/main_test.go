@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// small returns fast protocol flags.
+func small(extra ...string) []string {
+	return append([]string{"-train", "6", "-test", "4"}, extra...)
+}
+
+func TestEvalSingleExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(small("-exp", "ud"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"fig5-7-ud", "full classifier accuracy", "points examined"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEvalAnnotate(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(small("-exp", "fig9", "-annotate"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "/") || !strings.Contains(stdout.String(), "ur1") {
+		t.Errorf("annotation output:\n%s", stdout.String())
+	}
+}
+
+func TestEvalConfusion(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(small("-exp", "fig9", "-confusion"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "actual\\pred") {
+		t.Errorf("confusion output:\n%s", stdout.String())
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown experiment: exit %d", code)
+	}
+	if code := run([]string{"-annotate", "-exp", "timing"}, &stdout, &stderr); code != 2 {
+		t.Errorf("annotate wrong exp: exit %d", code)
+	}
+	if code := run([]string{"-confusion", "-exp", "timing"}, &stdout, &stderr); code != 2 {
+		t.Errorf("confusion wrong exp: exit %d", code)
+	}
+	if code := run([]string{"-badflag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gesture"
+)
+
+func TestGenToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-set", "eight", "-n", "3", "-seed", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	set, err := gesture.ReadJSON(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 24 || len(set.Classes()) != 8 {
+		t.Errorf("set: %d examples, %d classes", set.Len(), len(set.Classes()))
+	}
+}
+
+func TestGenToFile(t *testing.T) {
+	out := t.TempDir() + "/set.json"
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-set", "notes", "-n", "2", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	set, err := gesture.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 10 {
+		t.Errorf("set size %d", set.Len())
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	var a, b, stderr bytes.Buffer
+	run([]string{"-set", "ud", "-n", "2", "-seed", "9"}, &a, &stderr)
+	run([]string{"-set", "ud", "-n", "2", "-seed", "9"}, &b, &stderr)
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestGenLoopProbFlag(t *testing.T) {
+	var a, b, stderr bytes.Buffer
+	run([]string{"-set", "eight", "-n", "2", "-seed", "3", "-loop-prob", "0"}, &a, &stderr)
+	run([]string{"-set", "eight", "-n", "2", "-seed", "3", "-loop-prob", "1"}, &b, &stderr)
+	if a.String() == b.String() {
+		t.Error("loop-prob flag had no effect")
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-set", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown set: exit %d", code)
+	}
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+	if code := run([]string{"-o", "/no/such/dir/x.json"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad output path: exit %d", code)
+	}
+}

@@ -1,0 +1,15 @@
+// Command grecog classifies a JSON gesture set with a trained recognizer
+// and reports per-gesture results plus an accuracy summary. With an eager
+// recognizer it also reports when, within each gesture, recognition fired —
+// the per-example annotation of the paper's figures 9 and 10.
+//
+// Usage:
+//
+//	grecog -rec recognizer.json -in test.json [-eager] [-v]
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

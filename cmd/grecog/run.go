@@ -1,0 +1,75 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/eager"
+	"repro/internal/gesture"
+	"repro/internal/recognizer"
+)
+
+// run executes grecog with the given arguments. Extracted from main for
+// tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("grecog", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	recPath := fs.String("rec", "", "trained recognizer JSON (required)")
+	in := fs.String("in", "", "gesture set JSON to classify (required)")
+	eagerFlag := fs.Bool("eager", false, "recognizer is an eager recognizer")
+	verbose := fs.Bool("v", false, "print one line per gesture")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *recPath == "" || *in == "" {
+		fmt.Fprintln(stderr, "grecog: -rec and -in are required")
+		fs.Usage()
+		return 2
+	}
+	set, err := gesture.LoadFile(*in)
+	if err != nil {
+		fmt.Fprintf(stderr, "grecog: %v\n", err)
+		return 1
+	}
+
+	var classify func(g gesture.Gesture) (string, int)
+	if *eagerFlag {
+		rec, err := eager.LoadFile(*recPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "grecog: %v\n", err)
+			return 1
+		}
+		classify = rec.Run
+	} else {
+		rec, err := recognizer.LoadFile(*recPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "grecog: %v\n", err)
+			return 1
+		}
+		classify = func(g gesture.Gesture) (string, int) { return rec.Classify(g), g.Len() }
+	}
+
+	correct, seen, total := 0, 0, 0
+	for i, e := range set.Examples {
+		class, firedAt := classify(e.Gesture)
+		ok := class == e.Class
+		if ok {
+			correct++
+		}
+		seen += firedAt
+		total += e.Gesture.Len()
+		if *verbose {
+			mark := " "
+			if !ok {
+				mark = "E"
+			}
+			fmt.Fprintf(stdout, "%4d %-14s -> %-14s %s %d/%d points\n", i, e.Class, class, mark, firedAt, e.Gesture.Len())
+		}
+	}
+	fmt.Fprintf(stdout, "accuracy: %d/%d = %.1f%%\n", correct, set.Len(), 100*float64(correct)/float64(set.Len()))
+	if *eagerFlag {
+		fmt.Fprintf(stdout, "points examined: %.1f%%\n", 100*float64(seen)/float64(total))
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/eager"
+	"repro/internal/recognizer"
+	"repro/internal/synth"
+)
+
+func fixtures(t *testing.T) (testSet, fullPath, eagerPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	train, _ := synth.NewGenerator(synth.DefaultParams(5)).Set("train", synth.UDClasses(), 10)
+	test, _ := synth.NewGenerator(synth.DefaultParams(6)).Set("test", synth.UDClasses(), 5)
+	testSet = dir + "/test.json"
+	if err := test.SaveFile(testSet); err != nil {
+		t.Fatal(err)
+	}
+	full, err := recognizer.Train(train, recognizer.DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullPath = dir + "/full.json"
+	if err := full.SaveFile(fullPath); err != nil {
+		t.Fatal(err)
+	}
+	eag, _, err := eager.Train(train, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerPath = dir + "/eager.json"
+	if err := eag.SaveFile(eagerPath); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestRecogFull(t *testing.T) {
+	testSet, fullPath, _ := fixtures(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rec", fullPath, "-in", testSet, "-v"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "accuracy:") {
+		t.Errorf("output: %s", out)
+	}
+	// Verbose: one line per example plus the summary.
+	if strings.Count(out, "points") < 10 {
+		t.Errorf("verbose output too short:\n%s", out)
+	}
+}
+
+func TestRecogEager(t *testing.T) {
+	testSet, _, eagerPath := fixtures(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rec", eagerPath, "-in", testSet, "-eager"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "points examined:") {
+		t.Errorf("output: %s", stdout.String())
+	}
+}
+
+func TestRecogErrors(t *testing.T) {
+	testSet, fullPath, _ := fixtures(t)
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("missing flags: exit %d", code)
+	}
+	if code := run([]string{"-rec", fullPath, "-in", "/no/such.json"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing set: exit %d", code)
+	}
+	if code := run([]string{"-rec", "/no/such.json", "-in", testSet}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing recognizer: exit %d", code)
+	}
+	// Wrong recognizer kind: eager loader rejects the full-classifier file.
+	if code := run([]string{"-rec", fullPath, "-in", testSet, "-eager"}, &stdout, &stderr); code != 1 {
+		t.Errorf("kind mismatch: exit %d", code)
+	}
+}

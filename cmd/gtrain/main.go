@@ -1,0 +1,15 @@
+// Command gtrain trains a gesture recognizer — full (non-eager) or eager —
+// from a JSON example set produced by ggen (or recorded by an application)
+// and writes the trained recognizer as JSON.
+//
+// Usage:
+//
+//	gtrain -in train.json -o recognizer.json [-eager] [-bias 5]
+//	       [-threshold 0.5] [-agreement]
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/eager"
+	"repro/internal/gesture"
+	"repro/internal/recognizer"
+)
+
+// run executes gtrain with the given arguments, writing diagnostics to
+// stderr. It returns a process exit code. Extracted from main for tests.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gtrain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "training set JSON (required)")
+	out := fs.String("o", "", "output recognizer JSON (required)")
+	eagerFlag := fs.Bool("eager", false, "train an eager recognizer (default: full classifier)")
+	bias := fs.Float64("bias", 5, "eager: ambiguity bias factor (paper: 5)")
+	threshold := fs.Float64("threshold", 0.5, "eager: accidental-completeness threshold fraction (paper: 0.5)")
+	agreement := fs.Bool("agreement", false, "eager: fire only when AUC and full classifier agree (extension A5)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" || *out == "" {
+		fmt.Fprintln(stderr, "gtrain: -in and -o are required")
+		fs.Usage()
+		return 2
+	}
+	set, err := gesture.LoadFile(*in)
+	if err != nil {
+		fmt.Fprintf(stderr, "gtrain: %v\n", err)
+		return 1
+	}
+	counts := set.CountByClass()
+	fmt.Fprintf(stderr, "gtrain: %d examples, %d classes\n", set.Len(), len(counts))
+
+	if *eagerFlag {
+		opts := eager.DefaultOptions()
+		opts.AmbiguityBias = *bias
+		opts.MoveThresholdFrac = *threshold
+		opts.RequireAgreement = *agreement
+		rec, report, err := eager.Train(set, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "gtrain: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr,
+			"gtrain: eager recognizer: %d subgestures labelled (%d complete / %d incomplete), %d moved, %d tweaks, AUC %d classes\n",
+			report.Subgestures, report.Complete, report.Incomplete,
+			report.MovedAccidental, report.TweakAdjusts, report.AUCClasses)
+		if err := rec.SaveFile(*out); err != nil {
+			fmt.Fprintf(stderr, "gtrain: %v\n", err)
+			return 1
+		}
+	} else {
+		rec, err := recognizer.Train(set, recognizer.DefaultTrainOptions())
+		if err != nil {
+			fmt.Fprintf(stderr, "gtrain: %v\n", err)
+			return 1
+		}
+		acc, _ := rec.Accuracy(set)
+		fmt.Fprintf(stderr, "gtrain: full classifier, %.1f%% on its own training data\n", 100*acc)
+		if err := rec.SaveFile(*out); err != nil {
+			fmt.Fprintf(stderr, "gtrain: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "gtrain: wrote %s\n", *out)
+	return 0
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func writeSet(t *testing.T, dir string) string {
+	t.Helper()
+	set, _ := synth.NewGenerator(synth.DefaultParams(5)).Set("t", synth.UDClasses(), 10)
+	path := dir + "/set.json"
+	if err := set.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrainFullRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSet(t, dir)
+	out := dir + "/full.json"
+	var stderr bytes.Buffer
+	if code := run([]string{"-in", in, "-o", out}, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "full classifier") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainEagerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSet(t, dir)
+	out := dir + "/eager.json"
+	var stderr bytes.Buffer
+	if code := run([]string{"-in", in, "-o", out, "-eager", "-agreement"}, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "eager recognizer") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+func TestTrainUsageErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(nil, &stderr); code != 2 {
+		t.Errorf("missing flags: exit %d", code)
+	}
+	if code := run([]string{"-in", "/no/such.json", "-o", t.TempDir() + "/x.json"}, &stderr); code != 1 {
+		t.Errorf("missing input: exit %d", code)
+	}
+	if code := run([]string{"-bogus"}, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}

@@ -1,0 +1,60 @@
+package rubine_test
+
+import (
+	"fmt"
+
+	rubine "repro"
+)
+
+// The complete train-then-stream workflow: synthesize labelled examples,
+// train an eager recognizer, and classify a gesture mid-stroke.
+func Example() {
+	train := rubine.Generate(rubine.UD, 12, 7)
+	rec, _, err := rubine.TrainEager(train, rubine.DefaultEagerOptions())
+	if err != nil {
+		panic(err)
+	}
+
+	// Stream a fresh "U" gesture point by point.
+	test := rubine.Generate(rubine.UD, 1, 99)
+	stroke := test.Examples[0]
+	session := rec.NewSession()
+	for _, p := range stroke.Gesture.Points {
+		if fired, class := session.Add(p); fired {
+			fmt.Printf("recognized %q before the stroke ended\n", class)
+			break
+		}
+	}
+	fmt.Printf("drew %q, final class %q\n", stroke.Class, session.End())
+	// Output:
+	// recognized "U" before the stroke ended
+	// drew "U", final class "U"
+}
+
+// Training a full (non-eager) classifier and inspecting a classification's
+// rejection diagnostics.
+func ExampleTrainFull() {
+	train := rubine.Generate(rubine.EightDirections, 15, 1)
+	rec, err := rubine.TrainFull(train, rubine.DefaultTrainOptions())
+	if err != nil {
+		panic(err)
+	}
+	test := rubine.Generate(rubine.EightDirections, 1, 42)
+	res := rec.Evaluate(test.Examples[0].Gesture)
+	fmt.Printf("class=%s probability>0.9: %v\n", res.Class, res.Probability > 0.9)
+	// Output:
+	// class=ur probability>0.9: true
+}
+
+// Solving the two-finger translate-rotate-scale transform of the paper's
+// section 6.
+func ExampleSolveTransform() {
+	// The fingers spread to twice their separation about a fixed midpoint.
+	tr := rubine.SolveTransform(
+		rubine.Pt(-10, 0), rubine.Pt(10, 0),
+		rubine.Pt(-20, 0), rubine.Pt(20, 0),
+	)
+	fmt.Printf("scale %.1f rotate %.1f\n", tr.Scale, tr.Rotate)
+	// Output:
+	// scale 2.0 rotate 0.0
+}

@@ -1,0 +1,64 @@
+// Eagerdemo: watch eager recognition happen point by point.
+//
+// An eager recognizer answers, while the gesture is still being drawn,
+// "has enough been seen to classify unambiguously?" This demo streams a
+// gesture into an EagerSession and prints the moment recognition fires —
+// the thin-to-thick transition in the paper's figures 9 and 10 — then
+// shows the same stroke under the not-amenable note-gesture set of
+// figure 8, where firing must wait until the very end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	rubine "repro"
+)
+
+func streamOne(rec *rubine.EagerRecognizer, class string, g rubine.Gesture) {
+	session := rec.NewSession()
+	firedAt := -1
+	var got string
+	for i, p := range g.Points {
+		if fired, c := session.Add(p); fired {
+			firedAt, got = i+1, c
+		}
+	}
+	if firedAt < 0 {
+		got = session.End()
+		firedAt = g.Len()
+	}
+	// Draw the timeline: '-' for ambiguous points, '#' once recognized.
+	timeline := strings.Repeat("-", firedAt) + strings.Repeat("#", g.Len()-firedAt)
+	mark := " "
+	if got != class {
+		mark = "E"
+	}
+	fmt.Printf("  %-13s %s %s  fired at %2d/%2d -> %s\n", class, mark, timeline, firedAt, g.Len(), got)
+}
+
+func run(name string, trainSeed, testSeed int64) {
+	fmt.Printf("\n=== %s ===\n", name)
+	train := rubine.Generate(name, 10, trainSeed)
+	rec, report, err := rubine.TrainEager(train, rubine.DefaultEagerOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: %d subgestures, %d moved as accidentally complete, AUC %d classes\n",
+		report.Subgestures, report.MovedAccidental, report.AUCClasses)
+	test := rubine.Generate(name, 2, testSeed)
+	for _, e := range test.Examples {
+		streamOne(rec, e.Class, e.Gesture)
+	}
+}
+
+func main() {
+	fmt.Println("eager recognition: '-' = still ambiguous, '#' = after recognition")
+	// Figure 9's set: every class turns unambiguous at its corner, so
+	// recognition fires mid-stroke.
+	run(rubine.EightDirections, 7, 1007)
+	// Figure 8's set: each note gesture is a prefix of the next, so eager
+	// recognition cannot fire early.
+	run(rubine.Notes, 8, 1008)
+}

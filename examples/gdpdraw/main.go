@@ -1,0 +1,56 @@
+// Gdpdraw: drive the GDP drawing program through its public API —
+// creating, moving, grouping, and deleting shapes entirely with gestures,
+// with manipulation phases positioning things interactively (the paper's
+// figure 3 walked through in code).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rubine "repro"
+)
+
+func main() {
+	app, err := rubine.NewGDP(rubine.GDPConfig{Mode: rubine.ModeTimeout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A low-noise stroke synthesizer stands in for the user's hand.
+	params := rubine.DefaultGenParams(11)
+	params.Jitter = 0.4
+	params.RotJitter = 0.01
+	params.ScaleJitter = 0.02
+	params.CornerLoopProb = 0
+	gen := rubine.NewGenerator(params)
+	classes := map[string]rubine.GestureClass{}
+	for _, c := range rubine.Classes(rubine.GDPSet) {
+		classes[c.Name] = c
+	}
+
+	// Draw a rectangle: gesture, hold, rubberband the far corner.
+	rectStroke := gen.SampleAt(classes["rect"], rubine.Pt(95, 70)).G.Points
+	app.PlayTwoPhase(rectStroke, 0.3, []rubine.Point{{X: 160, Y: 125}})
+
+	// Draw a line.
+	lineStroke := gen.SampleAt(classes["line"], rubine.Pt(260, 80)).G.Points
+	app.PlayGesture(lineStroke)
+
+	// Copy the rectangle: start the copy gesture on its edge, then drag
+	// the copy to a new spot during manipulation.
+	copyStroke := gen.SampleAt(classes["copy"], rubine.Pt(130, 97)).G.Points
+	app.PlayTwoPhase(copyStroke, 0.3, []rubine.Point{{X: 420, Y: 260}})
+
+	// Group the original rectangle with a lasso around it.
+	groupStroke := gen.SampleAt(classes["group"], rubine.Pt(127, 97)).G.Points
+	app.PlayTwoPhase(groupStroke, 0.3, nil)
+
+	fmt.Println("interaction log:")
+	for _, l := range app.Log {
+		fmt.Println(" ", l)
+	}
+	fmt.Printf("\nscene: %v\n\n", app.Scene.Kinds())
+	app.Render()
+	fmt.Print(app.Canvas.Downsample(5, 10).String())
+}

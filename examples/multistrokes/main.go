@@ -1,0 +1,85 @@
+// Multistrokes: the paper's other section-6 extension. GRANDMA's
+// recognizer is single-stroke only — "many common marks (e.g. 'X' and
+// '=>') cannot be used as gestures" — so multi-stroke marks are built on
+// top: strokes drawn close together in time and space are grouped, each is
+// classified with the single-stroke machinery, and the class sequence is
+// matched against mark definitions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rubine "repro"
+)
+
+func main() {
+	// A tiny single-stroke alphabet: the four stroke directions marks are
+	// made of.
+	alphabet := []rubine.GestureClass{
+		{Name: "slash", Skeleton: []rubine.Point{{X: 0, Y: 60}, {X: 55, Y: 0}}, DecisionVertex: -1},
+		{Name: "backslash", Skeleton: []rubine.Point{{X: 0, Y: 0}, {X: 55, Y: 60}}, DecisionVertex: -1},
+		{Name: "hbar", Skeleton: []rubine.Point{{X: 0, Y: 0}, {X: 60, Y: 0}}, DecisionVertex: -1},
+		{Name: "chevron", Skeleton: []rubine.Point{{X: 0, Y: -25}, {X: 30, Y: 0}, {X: 0, Y: 25}}, DecisionVertex: 1},
+	}
+	params := rubine.DefaultGenParams(4)
+	params.CornerLoopProb = 0
+	gen := rubine.NewGenerator(params)
+	train := &rubine.Set{Name: "strokes"}
+	for _, c := range alphabet {
+		for i := 0; i < 12; i++ {
+			s := gen.Sample(c)
+			train.Add(c.Name, s.G)
+		}
+	}
+	single, err := rubine.TrainFull(train, rubine.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Multi-stroke marks over that alphabet.
+	marks := rubine.NewMultiStroke(single, rubine.DefaultMultiStrokeConfig())
+	for _, d := range []rubine.MultiStrokeDefinition{
+		{Name: "X", Strokes: []string{"slash", "backslash"}, RequireOverlap: true},
+		{Name: "=>", Strokes: []string{"hbar", "chevron"}},
+		{Name: "equals", Strokes: []string{"hbar", "hbar"}},
+	} {
+		if err := marks.Define(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Draw: an X, then (after a pause) an arrow, then an equals sign.
+	at := func(name string, origin rubine.Point, t0 float64) rubine.Gesture {
+		for _, c := range alphabet {
+			if c.Name == name {
+				s := gen.SampleAt(c, origin)
+				return rubine.NewGesture(s.G.Points.TimeShift(t0 - s.G.Points[0].T))
+			}
+		}
+		panic("unknown stroke " + name)
+	}
+	var strokes []rubine.Gesture
+	add := func(g rubine.Gesture) { strokes = append(strokes, g) }
+
+	x1 := at("slash", rubine.Pt(100, 100), 0)
+	add(x1)
+	add(at("backslash", rubine.Pt(100, 70), x1.End().T+0.25))
+
+	a1 := at("hbar", rubine.Pt(300, 100), x1.End().T+2)
+	add(a1)
+	add(at("chevron", rubine.Pt(360, 100), a1.End().T+0.25))
+
+	e1 := at("hbar", rubine.Pt(100, 300), a1.End().T+3)
+	add(e1)
+	add(at("hbar", rubine.Pt(100, 318), e1.End().T+0.25))
+
+	for _, m := range marks.Recognize(strokes) {
+		name := m.Name
+		if name == "" {
+			name = "(unmatched)"
+		}
+		fmt.Printf("mark %-8s strokes=%v at [%.0f,%.0f..%.0f,%.0f]\n",
+			name, m.Classes, m.Bounds.MinX, m.Bounds.MinY, m.Bounds.MaxX, m.Bounds.MaxY)
+	}
+}

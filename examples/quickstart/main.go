@@ -1,0 +1,40 @@
+// Quickstart: train a full gesture classifier from examples and classify
+// fresh gestures — the paper's section 4.2 in a dozen lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rubine "repro"
+)
+
+func main() {
+	// 1. Get labelled example gestures. Here we synthesize the paper's
+	//    figure-9 set (eight two-segment gestures: "ur" = up then right);
+	//    a real application would record its users' strokes instead.
+	train := rubine.Generate(rubine.EightDirections, 15, 1)
+	fmt.Printf("training on %d examples of %d classes\n", train.Len(), len(train.Classes()))
+
+	// 2. Train the statistical single-stroke classifier.
+	rec, err := rubine.TrainFull(train, rubine.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Classify new gestures.
+	test := rubine.Generate(rubine.EightDirections, 5, 99)
+	correct := 0
+	for _, e := range test.Examples {
+		res := rec.Evaluate(e.Gesture)
+		ok := ""
+		if res.Class == e.Class {
+			correct++
+		} else {
+			ok = "   <- wrong"
+		}
+		fmt.Printf("  drew %-3s -> recognized %-3s (P=%.3f, Mahalanobis=%.1f)%s\n",
+			e.Class, res.Class, res.Probability, res.Mahalanobis, ok)
+	}
+	fmt.Printf("accuracy: %d/%d\n", correct, test.Len())
+}

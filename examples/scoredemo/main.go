@@ -1,0 +1,69 @@
+// Scoredemo: a gesture-based musical score editor in the mold of GSCORE
+// (the second GRANDMA application in Rubine's thesis), built from this
+// library's public pieces.
+//
+// It demonstrates two points from the paper that GDP cannot:
+//
+//   - figure 8's note gestures are used as a LIVE gesture set — and since
+//     each note gesture is a prefix of the next, the editor uses the
+//     200 ms timeout phase transition instead of eager recognition;
+//   - manipulation-phase feedback SNAPS to legal destinations (the
+//     introduction's "dragged by the mouse but snapping" argument): the
+//     freshly inserted note snaps to staff lines and spaces as it drags.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/geom"
+	"repro/internal/gscore"
+	"repro/internal/synth"
+)
+
+func main() {
+	app, err := gscore.New(gscore.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := synth.DefaultParams(9)
+	params.Jitter = 0.4
+	params.RotJitter = 0.01
+	params.CornerLoopProb = 0
+	gen := synth.NewGenerator(params)
+	classes := map[string]synth.Class{}
+	for _, c := range gscore.EditorClasses() {
+		classes[c.Name] = c
+	}
+	staff := app.Score.Staff
+	at := func(name string, x float64, step int) {
+		s := gen.SampleAt(classes[name], geom.Pt(x, staff.StepY(step)))
+		app.PlayGesture(s.G.Points)
+	}
+
+	// A little melody: insert notes of various durations left to right.
+	at("quarter", 80, 2)
+	at("quarter", 150, 4)
+	at("eighth", 220, 5)
+	at("eighth", 280, 4)
+	at("sixteenth", 340, 6)
+	at("quarter", 410, 8)
+
+	// Insert one more, then drag it during the manipulation phase — it
+	// snaps to lines and spaces on the way.
+	s := gen.SampleAt(classes["eighth"], geom.Pt(470, staff.StepY(3)))
+	app.PlayTwoPhase(s.G.Points, 0.3, []geom.Point{{X: 500, Y: staff.StepY(6) + 2}})
+
+	// Scratch out the second note.
+	del := gen.SampleAt(classes["scratch"], geom.Pt(150, staff.StepY(4)))
+	app.PlayGesture(del.G.Points)
+
+	fmt.Println("interaction log:")
+	for _, l := range app.Log {
+		fmt.Println(" ", l)
+	}
+	fmt.Printf("\nscore: %d notes\n\n", app.Score.Len())
+	app.Render()
+	fmt.Print(app.Canvas.Downsample(4, 4).String())
+}

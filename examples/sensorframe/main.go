@@ -1,0 +1,104 @@
+// Sensorframe: the paper's section-6 multi-finger extension. A simulated
+// Sensor Frame delivers finger events; the first finger draws a gesture
+// (recognized with the usual single-stroke machinery), a second finger
+// then joins to drive simultaneous translate-rotate-scale of an object,
+// and extra fingers surface as additional interactive parameters.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	rubine "repro"
+	"repro/internal/multipath"
+)
+
+func main() {
+	train := rubine.Generate(rubine.UD, 12, 7)
+	opts := rubine.DefaultEagerOptions()
+	// Fire only when the AUC and the full classifier agree (the A5
+	// extension): at a sharp corner the AUC can be a point ahead.
+	opts.RequireAgreement = true
+	rec, _, err := rubine.TrainEager(train, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The object being manipulated: a square, as four corner points.
+	square := &polygon{pts: []rubine.Point{
+		{X: 200, Y: 200}, {X: 260, Y: 200}, {X: 260, Y: 260}, {X: 200, Y: 260},
+	}}
+
+	session := multipath.NewSession(rec)
+	session.OnRecognized = func(class string) {
+		fmt.Printf("gesture recognized: %q -> entering manipulation\n", class)
+	}
+	session.OnTransform = func(tr multipath.Transform) { tr.ApplyTo(square) }
+	session.OnExtraFingers = func(n int) {
+		fmt.Printf("extra fingers in view: %d (could map to color/thickness)\n", n)
+	}
+
+	// Finger 0 draws a "U" gesture (right, then up).
+	params := rubine.DefaultGenParams(3)
+	params.CornerLoopProb = 0 // a clean stroke for the demo
+	gen := rubine.NewGenerator(params)
+	stroke := gen.Sample(rubine.Classes(rubine.UD)[0]).G.Points
+	for i, p := range stroke {
+		kind := multipath.FingerMove
+		if i == 0 {
+			kind = multipath.FingerDown
+		}
+		session.Handle(multipath.Event{Finger: 0, Kind: kind, X: p.X, Y: p.Y, T: p.T})
+	}
+	last := stroke[len(stroke)-1]
+
+	fmt.Printf("square before manipulation: %v (side %.1f)\n", square.pts[0], square.side())
+
+	// Finger 1 joins; the pair then spreads apart and twists, scaling and
+	// rotating the square while dragging it.
+	t := last.T
+	a := rubine.Pt(last.X, last.Y)
+	b := a.Add(rubine.Pt(40, 0))
+	session.Handle(multipath.Event{Finger: 1, Kind: multipath.FingerDown, X: b.X, Y: b.Y, T: t})
+	for i := 1; i <= 10; i++ {
+		t += 0.02
+		f := float64(i) / 10
+		// Spread to 1.8x and rotate 45 degrees while drifting right-down.
+		ang := f * math.Pi / 4
+		spread := 40 * (1 + 0.8*f)
+		mid := a.Lerp(b, 0.5).Add(rubine.Pt(60*f, 40*f))
+		half := rubine.Pt(math.Cos(ang), math.Sin(ang)).Scale(spread / 2)
+		na := mid.Sub(half)
+		nb := mid.Add(half)
+		session.Handle(multipath.Event{Finger: 0, Kind: multipath.FingerMove, X: na.X, Y: na.Y, T: t})
+		session.Handle(multipath.Event{Finger: 1, Kind: multipath.FingerMove, X: nb.X, Y: nb.Y, T: t})
+	}
+	session.Handle(multipath.Event{Finger: 2, Kind: multipath.FingerDown, X: 50, Y: 50, T: t + 0.02})
+	session.Handle(multipath.Event{Finger: 2, Kind: multipath.FingerUp, X: 50, Y: 50, T: t + 0.04})
+
+	fmt.Printf("square after manipulation:  %v (side %.1f, tilted %.0f deg)\n",
+		square.pts[0], square.side(), square.tilt()*180/math.Pi)
+}
+
+// polygon is a minimal Transformable.
+type polygon struct{ pts []rubine.Point }
+
+func (p *polygon) Translate(dx, dy float64) {
+	for i := range p.pts {
+		p.pts[i] = p.pts[i].Add(rubine.Pt(dx, dy))
+	}
+}
+
+func (p *polygon) RotateScale(center rubine.Point, angle, scale float64) {
+	for i := range p.pts {
+		p.pts[i] = p.pts[i].Sub(center).Rotate(angle).Scale(scale).Add(center)
+	}
+}
+
+func (p *polygon) side() float64 { return p.pts[0].Dist(p.pts[1]) }
+
+func (p *polygon) tilt() float64 {
+	d := p.pts[1].Sub(p.pts[0])
+	return math.Atan2(d.Y, d.X)
+}

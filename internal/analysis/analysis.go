@@ -1,0 +1,238 @@
+// Package analysis evaluates the *design* of a gesture set — the concern
+// section 5 opens with: "How well the eager recognition algorithm works
+// depends on a number of factors, the most critical being the gesture set
+// itself. It is very easy to design a gesture set that does not lend
+// itself well to eager recognition."
+//
+// Given training examples, the analyzer reports:
+//
+//   - pairwise class separation under the trained classifier's Mahalanobis
+//     metric (confusable pairs);
+//   - prefix ambiguity: for each class, how far into its gestures the
+//     recognizer stays ambiguous, and with which classes (figure 8's
+//     note-gesture pathology, detected automatically);
+//   - per-class expected eagerness, with warnings for classes that can
+//     essentially never be eagerly recognized.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/eager"
+	"repro/internal/gesture"
+)
+
+// PairSeparation is the Mahalanobis distance between two class means.
+type PairSeparation struct {
+	A, B     string
+	Distance float64
+}
+
+// ClassEagerness summarizes one class's amenability to eager recognition.
+type ClassEagerness struct {
+	Class string
+	// MeanFiredFrac is the mean fraction of points seen before firing on
+	// held-out examples (1.0 = never early).
+	MeanFiredFrac float64
+	// ConfusedWith lists the classes this class's prefixes are mistaken
+	// for, most frequent first.
+	ConfusedWith []string
+}
+
+// Report is the analyzer's output.
+type Report struct {
+	Classes []string
+	// Separations, closest pair first.
+	Separations []PairSeparation
+	// Eagerness per class, least eager first.
+	Eagerness []ClassEagerness
+	// Warnings are human-readable design findings.
+	Warnings []string
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// Eager configures recognizer training.
+	Eager eager.Options
+	// CloseThreshold flags class pairs whose mean separation falls below
+	// it (default 5 — well-separated sets sit far above).
+	CloseThreshold float64
+	// NeverEagerFrac flags classes whose mean fired fraction exceeds it
+	// (default 0.9).
+	NeverEagerFrac float64
+	// HoldoutFrac is the fraction of examples per class held out for the
+	// eagerness measurement (default 0.3).
+	HoldoutFrac float64
+}
+
+// DefaultOptions returns the standard thresholds.
+func DefaultOptions() Options {
+	return Options{
+		Eager:          eager.DefaultOptions(),
+		CloseThreshold: 5,
+		NeverEagerFrac: 0.9,
+		HoldoutFrac:    0.3,
+	}
+}
+
+// Analyze trains on part of the set, measures on the rest, and reports.
+func Analyze(set *gesture.Set, opts Options) (*Report, error) {
+	if opts.CloseThreshold <= 0 {
+		opts.CloseThreshold = 5
+	}
+	if opts.NeverEagerFrac <= 0 {
+		opts.NeverEagerFrac = 0.9
+	}
+	if opts.HoldoutFrac <= 0 || opts.HoldoutFrac >= 1 {
+		opts.HoldoutFrac = 0.3
+	}
+
+	train, holdout := split(set, opts.HoldoutFrac)
+	rec, _, err := eager.Train(train, opts.Eager)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+
+	rep := &Report{Classes: rec.Full.Classes()}
+
+	// Pairwise separations.
+	nc := rec.Full.C.NumClasses()
+	for i := 0; i < nc; i++ {
+		for j := i + 1; j < nc; j++ {
+			rep.Separations = append(rep.Separations, PairSeparation{
+				A: rec.Full.C.Classes[i], B: rec.Full.C.Classes[j],
+				Distance: rec.Full.C.MeanDistance(i, j),
+			})
+		}
+	}
+	sort.Slice(rep.Separations, func(a, b int) bool {
+		return rep.Separations[a].Distance < rep.Separations[b].Distance
+	})
+
+	// Eagerness and prefix confusion on held-out examples.
+	type agg struct {
+		fracSum float64
+		n       int
+		conf    map[string]int
+	}
+	byClass := map[string]*agg{}
+	for _, e := range holdout.Examples {
+		a := byClass[e.Class]
+		if a == nil {
+			a = &agg{conf: map[string]int{}}
+			byClass[e.Class] = a
+		}
+		_, firedAt := rec.Run(e.Gesture)
+		a.fracSum += float64(firedAt) / float64(e.Gesture.Len())
+		a.n++
+		// Which classes do this gesture's early prefixes look like?
+		for i := opts.Eager.MinSubgesture; i <= e.Gesture.Len(); i += 3 {
+			pred := rec.Full.Classify(e.Gesture.Sub(i))
+			if pred != e.Class {
+				a.conf[pred]++
+			}
+		}
+	}
+	for class, a := range byClass {
+		ce := ClassEagerness{Class: class, MeanFiredFrac: a.fracSum / float64(a.n)}
+		type kv struct {
+			k string
+			v int
+		}
+		var kvs []kv
+		for k, v := range a.conf {
+			kvs = append(kvs, kv{k, v})
+		}
+		sort.Slice(kvs, func(i, j int) bool {
+			if kvs[i].v != kvs[j].v {
+				return kvs[i].v > kvs[j].v
+			}
+			return kvs[i].k < kvs[j].k
+		})
+		for _, x := range kvs {
+			ce.ConfusedWith = append(ce.ConfusedWith, x.k)
+		}
+		rep.Eagerness = append(rep.Eagerness, ce)
+	}
+	sort.Slice(rep.Eagerness, func(i, j int) bool {
+		if rep.Eagerness[i].MeanFiredFrac != rep.Eagerness[j].MeanFiredFrac {
+			return rep.Eagerness[i].MeanFiredFrac > rep.Eagerness[j].MeanFiredFrac
+		}
+		return rep.Eagerness[i].Class < rep.Eagerness[j].Class
+	})
+
+	// Warnings.
+	for _, s := range rep.Separations {
+		if s.Distance < opts.CloseThreshold {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("classes %q and %q are close (Mahalanobis %.1f): expect confusion", s.A, s.B, s.Distance))
+		}
+	}
+	for _, ce := range rep.Eagerness {
+		if ce.MeanFiredFrac >= opts.NeverEagerFrac {
+			w := fmt.Sprintf("class %q is essentially never eagerly recognized (%.0f%% of points needed)",
+				ce.Class, 100*ce.MeanFiredFrac)
+			if len(ce.ConfusedWith) > 0 {
+				w += fmt.Sprintf("; its prefixes look like %s", strings.Join(ce.ConfusedWith, ", "))
+			}
+			rep.Warnings = append(rep.Warnings, w)
+		}
+	}
+	return rep, nil
+}
+
+// split deals every k-th example per class into the holdout.
+func split(set *gesture.Set, holdoutFrac float64) (train, holdout *gesture.Set) {
+	train = &gesture.Set{Name: set.Name + "-train"}
+	holdout = &gesture.Set{Name: set.Name + "-holdout"}
+	every := int(1 / holdoutFrac)
+	if every < 2 {
+		every = 2
+	}
+	counters := map[string]int{}
+	for _, e := range set.Examples {
+		counters[e.Class]++
+		if counters[e.Class]%every == 0 {
+			holdout.Add(e.Class, e.Gesture)
+		} else {
+			train.Add(e.Class, e.Gesture)
+		}
+	}
+	return train, holdout
+}
+
+// Format renders the report.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== gesture set analysis: %d classes ==\n", len(r.Classes))
+	fmt.Fprintf(&b, "closest class pairs (Mahalanobis between means):\n")
+	for i, s := range r.Separations {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-14s %-14s %8.1f\n", s.A, s.B, s.Distance)
+	}
+	fmt.Fprintf(&b, "eagerness (fraction of points needed before firing):\n")
+	for _, ce := range r.Eagerness {
+		conf := ""
+		if len(ce.ConfusedWith) > 0 {
+			max := len(ce.ConfusedWith)
+			if max > 3 {
+				max = 3
+			}
+			conf = " (prefixes look like " + strings.Join(ce.ConfusedWith[:max], ", ") + ")"
+		}
+		fmt.Fprintf(&b, "  %-14s %5.1f%%%s\n", ce.Class, 100*ce.MeanFiredFrac, conf)
+	}
+	if len(r.Warnings) == 0 {
+		fmt.Fprintf(&b, "no design warnings\n")
+	} else {
+		fmt.Fprintf(&b, "warnings:\n")
+		for _, w := range r.Warnings {
+			fmt.Fprintf(&b, "  ! %s\n", w)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestNotesSetFlagged(t *testing.T) {
+	// The analyzer must detect figure 8's pathology automatically: the
+	// prefix classes are never eagerly recognized.
+	set, _ := synth.NewGenerator(synth.DefaultParams(5)).Set("notes", synth.NoteClasses(), 15)
+	rep, err := Analyze(set, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Fatalf("note set produced no warnings:\n%s", rep.Format())
+	}
+	// quarter (a prefix of everything) must be among the flagged classes.
+	found := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, `"quarter"`) && strings.Contains(w, "never eagerly") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("quarter not flagged:\n%s", strings.Join(rep.Warnings, "\n"))
+	}
+}
+
+func TestEightDirectionsClean(t *testing.T) {
+	set, _ := synth.NewGenerator(synth.DefaultParams(6)).Set("eight", synth.EightDirectionClasses(), 15)
+	rep, err := Analyze(set, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A well-designed set: no class should be flagged never-eager.
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "never eagerly") {
+			t.Errorf("well-designed set flagged: %s", w)
+		}
+	}
+	if len(rep.Eagerness) != 8 {
+		t.Errorf("eagerness rows = %d", len(rep.Eagerness))
+	}
+	// All pairwise separations present: C(8,2) = 28.
+	if len(rep.Separations) != 28 {
+		t.Errorf("separations = %d", len(rep.Separations))
+	}
+	// Sorted ascending.
+	for i := 1; i < len(rep.Separations); i++ {
+		if rep.Separations[i].Distance < rep.Separations[i-1].Distance {
+			t.Fatal("separations not sorted")
+		}
+	}
+	out := rep.Format()
+	for _, want := range []string{"closest class pairs", "eagerness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q", want)
+		}
+	}
+}
+
+func TestPrefixConfusionNamesExtendingClasses(t *testing.T) {
+	set, _ := synth.NewGenerator(synth.DefaultParams(7)).Set("notes", synth.NoteClasses(), 15)
+	rep, err := Analyze(set, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sixtyfourth's early prefixes look like the shorter notes.
+	for _, ce := range rep.Eagerness {
+		if ce.Class == "sixtyfourth" {
+			if len(ce.ConfusedWith) == 0 {
+				t.Error("sixtyfourth has no prefix confusions")
+			}
+			return
+		}
+	}
+	t.Error("sixtyfourth missing from eagerness rows")
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	set, _ := synth.NewGenerator(synth.DefaultParams(8)).Set("tiny", synth.UDClasses(), 1)
+	// One example per class: the holdout split leaves training data but
+	// training may still fail downstream; either way no panic and a clean
+	// error or report.
+	if _, err := Analyze(set, DefaultOptions()); err == nil {
+		t.Skip("tiny set trained successfully; acceptable")
+	}
+}

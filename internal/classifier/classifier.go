@@ -1,0 +1,400 @@
+// Package classifier implements the paper's statistical single-stroke
+// gesture classifier (section 4.2): linear discrimination over feature
+// vectors, with closed-form training that is optimal under per-class
+// multivariate-Gaussian assumptions with a common covariance matrix.
+//
+// Each class c gets a linear evaluation function
+//
+//	v_c(f) = w_c0 + sum_j w_cj * f_j
+//
+// and classification picks the class with maximum v_c. Training estimates
+// per-class means and a pooled covariance matrix; the weights are
+//
+//	w_cj = sum_i (Sigma^-1)_ij * mean_ci
+//	w_c0 = -1/2 * sum_j w_cj * mean_cj
+//
+// The package also exposes the two classifier properties the eager
+// recognition trainer exploits: unequal misclassification costs via
+// constant-term biasing (BiasClass), and the Mahalanobis distance metric
+// induced by the pooled covariance (Mahalanobis, MeanDistance).
+package classifier
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// Example is one labelled feature vector.
+type Example struct {
+	Class    string
+	Features linalg.Vec
+}
+
+// Options configures training. The zero value is valid and means: order
+// classes by first appearance, no ridge forced.
+type Options struct {
+	// SortClasses orders the classifier's class list lexicographically
+	// instead of by first appearance in the training data.
+	SortClasses bool
+}
+
+// Classifier is a trained linear classifier. Fields are exported for JSON
+// serialization; treat them as read-only outside this package except via
+// BiasClass.
+type Classifier struct {
+	Classes []string     `json:"classes"`
+	Dim     int          `json:"dim"`
+	Weights []linalg.Vec `json:"weights"` // per class, length Dim
+	Consts  []float64    `json:"consts"`  // per class constant terms w_c0
+	Means   []linalg.Vec `json:"means"`   // per class feature means
+	InvCov  *linalg.Mat  `json:"invCov"`  // inverse of the pooled covariance
+	Ridge   float64      `json:"ridge"`   // regularization applied, 0 if none
+	Counts  []int        `json:"counts"`  // training examples per class
+}
+
+// Errors returned by Train.
+var (
+	ErrNoExamples = errors.New("classifier: no training examples")
+	ErrNoClasses  = errors.New("classifier: training data names no classes")
+)
+
+// Train computes a classifier from labelled feature vectors. All vectors
+// must share one dimensionality. Classes with a single example contribute
+// nothing to the covariance estimate but still get a mean and a
+// discriminant. If the pooled covariance is singular (zero-variance
+// features, degenerate data, or fewer examples than dimensions), a minimal
+// ridge term is applied and recorded in the Ridge field.
+func Train(examples []Example, opts Options) (*Classifier, error) {
+	if len(examples) == 0 {
+		return nil, ErrNoExamples
+	}
+	dim := len(examples[0].Features)
+	if dim == 0 {
+		return nil, errors.New("classifier: zero-dimensional features")
+	}
+
+	// Group examples by class, preserving first-appearance order.
+	classIdx := make(map[string]int)
+	var classes []string
+	for _, e := range examples {
+		if len(e.Features) != dim {
+			return nil, fmt.Errorf("classifier: inconsistent feature dimension: %d vs %d", len(e.Features), dim)
+		}
+		if _, ok := classIdx[e.Class]; !ok {
+			classIdx[e.Class] = len(classes)
+			classes = append(classes, e.Class)
+		}
+	}
+	if len(classes) == 0 {
+		return nil, ErrNoClasses
+	}
+	if opts.SortClasses {
+		sort.Strings(classes)
+		for i, c := range classes {
+			classIdx[c] = i
+		}
+	}
+	nc := len(classes)
+
+	// Per-class means.
+	means := make([]linalg.Vec, nc)
+	counts := make([]int, nc)
+	for i := range means {
+		means[i] = linalg.NewVec(dim)
+	}
+	for _, e := range examples {
+		i := classIdx[e.Class]
+		means[i].AddScaled(1, e.Features)
+		counts[i]++
+	}
+	for i := range means {
+		means[i].Scale(1 / float64(counts[i]))
+	}
+
+	// Pooled covariance: sum over classes of scatter matrices, divided by
+	// (total examples - number of classes). This matches the paper's
+	// "common covariance" estimate.
+	cov := linalg.NewMat(dim, dim)
+	for _, e := range examples {
+		i := classIdx[e.Class]
+		d := e.Features.Sub(means[i])
+		for r := 0; r < dim; r++ {
+			if d[r] == 0 {
+				continue
+			}
+			row := cov.A[r*dim : (r+1)*dim]
+			for c := 0; c < dim; c++ {
+				row[c] += d[r] * d[c]
+			}
+		}
+	}
+	denom := float64(len(examples) - nc)
+	if denom > 0 {
+		for i := range cov.A {
+			cov.A[i] /= denom
+		}
+	} else {
+		// Degenerate: one example per class. Fall back to the identity
+		// metric; the discriminant reduces to nearest-mean in Euclidean
+		// distance, which is the only sensible behaviour with no
+		// within-class scatter information.
+		cov = linalg.Identity(dim)
+	}
+
+	inv, ridge, err := invertCovariance(cov)
+	if err != nil {
+		return nil, fmt.Errorf("classifier: covariance inversion: %w", err)
+	}
+
+	weights := make([]linalg.Vec, nc)
+	consts := make([]float64, nc)
+	for i := range classes {
+		weights[i] = inv.MulVec(means[i])
+		consts[i] = -0.5 * weights[i].Dot(means[i])
+	}
+
+	return &Classifier{
+		Classes: classes,
+		Dim:     dim,
+		Weights: weights,
+		Consts:  consts,
+		Means:   means,
+		InvCov:  inv,
+		Ridge:   ridge,
+		Counts:  counts,
+	}, nil
+}
+
+// invertCovariance inverts a covariance matrix robustly. Gesture features
+// have wildly different scales (squared pixel speeds versus cosines), so a
+// direct inversion is ill-conditioned; we instead precondition by the
+// diagonal — invert the correlation matrix D^-1/2 Sigma D^-1/2 and rescale.
+// Zero-variance features (e.g. every feature of the GDP "dot" class when a
+// set is degenerate) and rank deficiency are absorbed by an escalating
+// dimensionless ridge on the correlation matrix; the ridge used is
+// returned, 0 when none was needed. This is the documented substitute for
+// the paper's unspecified handling of singular covariance estimates.
+func invertCovariance(cov *linalg.Mat) (*linalg.Mat, float64, error) {
+	n := cov.Rows
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := cov.At(i, i)
+		if v > 0 {
+			d[i] = math.Sqrt(v)
+		} else {
+			d[i] = 1 // zero-variance feature; leave unscaled
+		}
+	}
+	corr := linalg.NewMat(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			corr.Set(r, c, cov.At(r, c)/(d[r]*d[c]))
+		}
+	}
+	invCorr, ridge, err := linalg.InvertRegularized(corr)
+	if err != nil {
+		return nil, 0, err
+	}
+	inv := linalg.NewMat(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			inv.Set(r, c, invCorr.At(r, c)/(d[r]*d[c]))
+		}
+	}
+	return inv, ridge, nil
+}
+
+// NumClasses returns the number of classes the classifier discriminates.
+func (c *Classifier) NumClasses() int { return len(c.Classes) }
+
+// ClassIndex returns the index of the named class, or -1 when absent.
+func (c *Classifier) ClassIndex(name string) int {
+	for i, cl := range c.Classes {
+		if cl == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Score returns the per-class discriminant values v_c(f). The slice is
+// indexed like Classes.
+func (c *Classifier) Score(f linalg.Vec) []float64 {
+	return c.ScoreInto(f, make([]float64, len(c.Classes)))
+}
+
+// ScoreInto computes the discriminant values into out (which must have one
+// element per class) and returns it. It performs no allocation — the form
+// used on the per-mouse-point hot path.
+func (c *Classifier) ScoreInto(f linalg.Vec, out []float64) []float64 {
+	if len(f) != c.Dim {
+		panic(fmt.Sprintf("classifier: feature dimension %d, classifier expects %d", len(f), c.Dim))
+	}
+	if len(out) != len(c.Classes) {
+		panic(fmt.Sprintf("classifier: score buffer length %d, want %d", len(out), len(c.Classes)))
+	}
+	for i := range c.Classes {
+		out[i] = c.Consts[i] + c.Weights[i].Dot(f)
+	}
+	return out
+}
+
+// Classify returns the best class for f together with its index.
+func (c *Classifier) Classify(f linalg.Vec) (string, int) {
+	scores := c.Score(f)
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	return c.Classes[best], best
+}
+
+// ClassifyInto is the allocation-free Classify: scores must have one
+// element per class and is clobbered.
+func (c *Classifier) ClassifyInto(f linalg.Vec, scores []float64) (string, int) {
+	c.ScoreInto(f, scores)
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	return c.Classes[best], best
+}
+
+// Result carries a classification together with its rejection diagnostics.
+type Result struct {
+	Class       string  // winning class
+	Index       int     // index of the winning class
+	Score       float64 // discriminant value of the winner
+	Probability float64 // estimated P(winner | f) per the paper's formula
+	Mahalanobis float64 // distance from f to the winner's mean
+}
+
+// Evaluate classifies f and computes the rejection diagnostics: the
+// ambiguity probability estimate 1 / sum_j exp(v_j - v_winner) and the
+// Mahalanobis distance to the winning class mean.
+func (c *Classifier) Evaluate(f linalg.Vec) Result {
+	scores := c.Score(f)
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	denom := 0.0
+	for _, s := range scores {
+		d := s - scores[best]
+		// Guard exp underflow explicitly; very negative deltas contribute 0.
+		if d > -700 {
+			denom += math.Exp(d)
+		}
+	}
+	return Result{
+		Class:       c.Classes[best],
+		Index:       best,
+		Score:       scores[best],
+		Probability: 1 / denom,
+		Mahalanobis: c.Mahalanobis(f, best),
+	}
+}
+
+// Mahalanobis returns the Mahalanobis distance from f to the mean of the
+// class with the given index, under the pooled covariance metric.
+func (c *Classifier) Mahalanobis(f linalg.Vec, classIndex int) float64 {
+	return linalg.Mahalanobis(c.InvCov, f, c.Means[classIndex])
+}
+
+// MahalanobisTo returns the Mahalanobis distance between f and an arbitrary
+// point under this classifier's metric. The eager trainer uses it to
+// measure subgesture distances to incomplete-set means.
+func (c *Classifier) MahalanobisTo(f, point linalg.Vec) float64 {
+	return linalg.Mahalanobis(c.InvCov, f, point)
+}
+
+// MeanDistance returns the Mahalanobis distance between the means of two
+// classes.
+func (c *Classifier) MeanDistance(i, j int) float64 {
+	return linalg.Mahalanobis(c.InvCov, c.Means[i], c.Means[j])
+}
+
+// BiasClass adds delta to the constant term of the class with the given
+// index. Positive delta makes the class more likely; this implements the
+// paper's "differing costs of misclassification ... simply by adjusting
+// the constant terms of the evaluation functions".
+func (c *Classifier) BiasClass(classIndex int, delta float64) {
+	c.Consts[classIndex] += delta
+}
+
+// WriteJSON serializes the classifier to w.
+func (c *Classifier) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("classifier: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a classifier from r and validates its shape.
+func ReadJSON(r io.Reader) (*Classifier, error) {
+	var c Classifier
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("classifier: decode: %w", err)
+	}
+	if err := c.validateShape(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// SaveFile writes the classifier to the named file.
+func (c *Classifier) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("classifier: %w", err)
+	}
+	defer f.Close()
+	if err := c.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a classifier from the named file.
+func LoadFile(path string) (*Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("classifier: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+func (c *Classifier) validateShape() error {
+	n := len(c.Classes)
+	if n == 0 {
+		return errors.New("classifier: no classes")
+	}
+	if len(c.Weights) != n || len(c.Consts) != n || len(c.Means) != n {
+		return errors.New("classifier: inconsistent per-class array lengths")
+	}
+	for i := range c.Weights {
+		if len(c.Weights[i]) != c.Dim || len(c.Means[i]) != c.Dim {
+			return fmt.Errorf("classifier: class %d vectors have wrong dimension", i)
+		}
+	}
+	if c.InvCov == nil || c.InvCov.Rows != c.Dim || c.InvCov.Cols != c.Dim {
+		return errors.New("classifier: missing or misshapen inverse covariance")
+	}
+	return nil
+}

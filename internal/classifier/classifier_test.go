@@ -1,0 +1,374 @@
+package classifier
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/mathx"
+)
+
+// gauss2 builds examples of two well-separated 2-D Gaussian classes.
+func gauss2(rng *rand.Rand, n int) []Example {
+	var out []Example
+	for i := 0; i < n; i++ {
+		out = append(out, Example{
+			Class:    "a",
+			Features: linalg.Vec{rng.NormFloat64(), rng.NormFloat64()},
+		})
+		out = append(out, Example{
+			Class:    "b",
+			Features: linalg.Vec{10 + rng.NormFloat64(), 10 + rng.NormFloat64()},
+		})
+	}
+	return out
+}
+
+func TestTrainAndClassifySeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := Train(gauss2(rng, 20), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClasses() != 2 || c.Dim != 2 {
+		t.Fatalf("shape: %d classes, dim %d", c.NumClasses(), c.Dim)
+	}
+	// Fresh draws from each distribution must classify correctly.
+	for i := 0; i < 100; i++ {
+		fa := linalg.Vec{rng.NormFloat64(), rng.NormFloat64()}
+		if got, _ := c.Classify(fa); got != "a" {
+			t.Fatalf("misclassified class-a point %v as %s", fa, got)
+		}
+		fb := linalg.Vec{10 + rng.NormFloat64(), 10 + rng.NormFloat64()}
+		if got, _ := c.Classify(fb); got != "b" {
+			t.Fatalf("misclassified class-b point %v as %s", fb, got)
+		}
+	}
+}
+
+func TestClassOrder(t *testing.T) {
+	ex := []Example{
+		{Class: "z", Features: linalg.Vec{0}},
+		{Class: "a", Features: linalg.Vec{1}},
+		{Class: "z", Features: linalg.Vec{0.1}},
+	}
+	c, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Classes[0] != "z" || c.Classes[1] != "a" {
+		t.Errorf("first-appearance order violated: %v", c.Classes)
+	}
+	c, err = Train(ex, Options{SortClasses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Classes[0] != "a" || c.Classes[1] != "z" {
+		t.Errorf("sorted order violated: %v", c.Classes)
+	}
+	if c.ClassIndex("z") != 1 || c.ClassIndex("missing") != -1 {
+		t.Error("ClassIndex wrong")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Options{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train([]Example{{Class: "a", Features: linalg.Vec{}}}, Options{}); err == nil {
+		t.Error("zero-dim features accepted")
+	}
+	bad := []Example{
+		{Class: "a", Features: linalg.Vec{1, 2}},
+		{Class: "b", Features: linalg.Vec{1}},
+	}
+	if _, err := Train(bad, Options{}); err == nil {
+		t.Error("inconsistent dimensions accepted")
+	}
+}
+
+func TestSingularCovarianceRegularized(t *testing.T) {
+	// All examples identical within each class: zero scatter, singular
+	// covariance. Training must still succeed via the ridge.
+	ex := []Example{
+		{Class: "a", Features: linalg.Vec{0, 0}},
+		{Class: "a", Features: linalg.Vec{0, 0}},
+		{Class: "b", Features: linalg.Vec{5, 5}},
+		{Class: "b", Features: linalg.Vec{5, 5}},
+	}
+	c, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ridge <= 0 {
+		t.Errorf("expected a ridge, got %v", c.Ridge)
+	}
+	if got, _ := c.Classify(linalg.Vec{0.1, -0.1}); got != "a" {
+		t.Errorf("near-a point classified as %s", got)
+	}
+	if got, _ := c.Classify(linalg.Vec{4.9, 5.1}); got != "b" {
+		t.Errorf("near-b point classified as %s", got)
+	}
+}
+
+func TestOneExamplePerClass(t *testing.T) {
+	// Degenerate denominator: falls back to the identity metric
+	// (nearest mean).
+	ex := []Example{
+		{Class: "a", Features: linalg.Vec{0, 0}},
+		{Class: "b", Features: linalg.Vec{10, 0}},
+	}
+	c, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Classify(linalg.Vec{2, 0}); got != "a" {
+		t.Errorf("got %s", got)
+	}
+	if got, _ := c.Classify(linalg.Vec{8, 0}); got != "b" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestSingleClass(t *testing.T) {
+	ex := []Example{
+		{Class: "only", Features: linalg.Vec{1, 2}},
+		{Class: "only", Features: linalg.Vec{2, 1}},
+	}
+	c, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Classify(linalg.Vec{100, 100}); got != "only" {
+		t.Errorf("single-class classifier returned %s", got)
+	}
+	r := c.Evaluate(linalg.Vec{1.5, 1.5})
+	if r.Probability != 1 {
+		t.Errorf("single-class probability = %v", r.Probability)
+	}
+}
+
+func TestScoreDimensionPanic(t *testing.T) {
+	c, _ := Train(gauss2(rand.New(rand.NewSource(2)), 5), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Score with wrong dimension did not panic")
+		}
+	}()
+	c.Score(linalg.Vec{1, 2, 3})
+}
+
+func TestEvaluateDiagnostics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, _ := Train(gauss2(rng, 30), Options{})
+	// A point at a class mean: high probability, small Mahalanobis.
+	r := c.Evaluate(linalg.Vec{0, 0})
+	if r.Class != "a" {
+		t.Fatalf("mean point misclassified: %+v", r)
+	}
+	if r.Probability < 0.99 {
+		t.Errorf("probability at mean = %v", r.Probability)
+	}
+	if r.Mahalanobis > 1 {
+		t.Errorf("Mahalanobis at mean = %v", r.Mahalanobis)
+	}
+	// The midpoint of the two sample means lies on the decision boundary,
+	// where the two classes are equally likely.
+	mid := c.Means[0].Add(c.Means[1])
+	mid.Scale(0.5)
+	r = c.Evaluate(mid)
+	if !mathx.ApproxEqual(r.Probability, 0.5, 1e-6) {
+		t.Errorf("boundary probability = %v, want 0.5", r.Probability)
+	}
+	// A far outlier: huge Mahalanobis.
+	r = c.Evaluate(linalg.Vec{500, -500})
+	if r.Mahalanobis < 10 {
+		t.Errorf("outlier Mahalanobis = %v", r.Mahalanobis)
+	}
+}
+
+func TestProbabilitiesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c, _ := Train(gauss2(rng, 10), Options{})
+	f := func(x, y float64) bool {
+		if !mathx.Finite(x) || !mathx.Finite(y) {
+			return true
+		}
+		x, y = math.Mod(x, 1e3), math.Mod(y, 1e3)
+		r := c.Evaluate(linalg.Vec{x, y})
+		return r.Probability > 0 && r.Probability <= 1+1e-12 && mathx.Finite(r.Mahalanobis)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgmaxInvariantUnderSharedShift(t *testing.T) {
+	// Adding the same constant to every class's constant term must not
+	// change any classification.
+	rng := rand.New(rand.NewSource(5))
+	c, _ := Train(gauss2(rng, 10), Options{})
+	shifted, _ := Train(gauss2(rand.New(rand.NewSource(5)), 10), Options{})
+	for i := range shifted.Consts {
+		shifted.BiasClass(i, 42.5)
+	}
+	for i := 0; i < 50; i++ {
+		f := linalg.Vec{rng.Float64() * 10, rng.Float64() * 10}
+		a, _ := c.Classify(f)
+		b, _ := shifted.Classify(f)
+		if a != b {
+			t.Fatalf("shared shift changed classification of %v: %s vs %s", f, a, b)
+		}
+	}
+}
+
+func TestBiasClassChangesBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c, _ := Train(gauss2(rng, 20), Options{})
+	mid := linalg.Vec{5, 5}
+	// Strongly bias class b: the midpoint must now classify as b.
+	c.BiasClass(c.ClassIndex("b"), 1e6)
+	if got, _ := c.Classify(mid); got != "b" {
+		t.Errorf("bias toward b ignored, got %s", got)
+	}
+	// And the reverse.
+	c.BiasClass(c.ClassIndex("a"), 2e6)
+	if got, _ := c.Classify(mid); got != "a" {
+		t.Errorf("bias toward a ignored, got %s", got)
+	}
+}
+
+func TestMeanDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, _ := Train(gauss2(rng, 15), Options{})
+	d01 := c.MeanDistance(0, 1)
+	d10 := c.MeanDistance(1, 0)
+	if !mathx.ApproxEqual(d01, d10, 1e-9) {
+		t.Errorf("MeanDistance asymmetric: %v vs %v", d01, d10)
+	}
+	if c.MeanDistance(0, 0) != 0 {
+		t.Error("self mean distance nonzero")
+	}
+	if d01 < 1 {
+		t.Errorf("separated classes too close: %v", d01)
+	}
+}
+
+func TestMahalanobisMatchesClassification(t *testing.T) {
+	// The paper: "the chosen class of a feature vector is simply the class
+	// whose mean is closest ... under this metric." With equal-size
+	// unbiased classes the discriminant argmax and the Mahalanobis argmin
+	// agree.
+	rng := rand.New(rand.NewSource(8))
+	c, _ := Train(gauss2(rng, 25), Options{})
+	for i := 0; i < 100; i++ {
+		f := linalg.Vec{rng.Float64()*14 - 2, rng.Float64()*14 - 2}
+		_, best := c.Classify(f)
+		minIdx := 0
+		for j := range c.Classes {
+			if c.Mahalanobis(f, j) < c.Mahalanobis(f, minIdx) {
+				minIdx = j
+			}
+		}
+		if best != minIdx {
+			t.Fatalf("argmax score %d != argmin Mahalanobis %d for %v", best, minIdx, f)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c, _ := Train(gauss2(rng, 10), Options{})
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		f := linalg.Vec{rng.Float64() * 10, rng.Float64() * 10}
+		a, _ := c.Classify(f)
+		b, _ := c2.Classify(f)
+		if a != b {
+			t.Fatalf("round-tripped classifier disagrees on %v", f)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{\"classes\":[\"a\"]}")); err == nil {
+		t.Error("misshapen classifier accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString("not json")); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c, _ := Train(gauss2(rng, 10), Options{})
+	path := t.TempDir() + "/clf.json"
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumClasses() != 2 {
+		t.Error("loaded classifier malformed")
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("missing file load succeeded")
+	}
+}
+
+func TestScoreIntoMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c, _ := Train(gauss2(rng, 10), Options{})
+	buf := make([]float64, c.NumClasses())
+	for i := 0; i < 50; i++ {
+		f := linalg.Vec{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+		want := c.Score(f)
+		got := c.ScoreInto(f, buf)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("ScoreInto[%d] = %v, want %v", j, got[j], want[j])
+			}
+		}
+		w1, i1 := c.Classify(f)
+		w2, i2 := c.ClassifyInto(f, buf)
+		if w1 != w2 || i1 != i2 {
+			t.Fatalf("ClassifyInto disagrees: %s/%d vs %s/%d", w1, i1, w2, i2)
+		}
+	}
+}
+
+func TestScoreIntoAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c, _ := Train(gauss2(rng, 10), Options{})
+	buf := make([]float64, c.NumClasses())
+	f := linalg.Vec{1, 2}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.ClassifyInto(f, buf)
+	})
+	if allocs != 0 {
+		t.Errorf("ClassifyInto allocates %v per run", allocs)
+	}
+}
+
+func TestScoreIntoBadBufferPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c, _ := Train(gauss2(rng, 5), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer did not panic")
+		}
+	}()
+	c.ScoreInto(linalg.Vec{1, 2}, make([]float64, 1))
+}

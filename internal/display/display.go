@@ -1,0 +1,174 @@
+// Package display provides the headless windowing substrate GRANDMA runs
+// on in this reproduction: typed input events, a virtual clock, and timer
+// scheduling. The paper's system ran on X10 under MACH; the two-phase
+// interaction technique depends only on event ordering and on a 200 ms
+// motionless timeout, both of which are exact under a virtual clock —
+// which also makes every interaction test deterministic.
+package display
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind enumerates input event types.
+type EventKind int
+
+// Event kinds. Tick events carry only a timestamp; replayers emit them so
+// timeout-based phase transitions can fire between movements.
+const (
+	MouseDown EventKind = iota
+	MouseMove
+	MouseUp
+	Tick
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case MouseDown:
+		return "down"
+	case MouseMove:
+		return "move"
+	case MouseUp:
+		return "up"
+	case Tick:
+		return "tick"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Button identifies a mouse button.
+type Button int
+
+// Mouse buttons.
+const (
+	LeftButton Button = iota
+	MiddleButton
+	RightButton
+)
+
+// Event is one input event. Time is in seconds on the virtual clock.
+type Event struct {
+	Kind   EventKind
+	X, Y   float64
+	Time   float64
+	Button Button
+}
+
+// Timer is a scheduled callback handle.
+type Timer struct {
+	id       int
+	deadline float64
+	fn       func()
+	canceled bool
+}
+
+// Clock is a virtual clock with timer scheduling. Advancing the clock runs
+// due timers in deadline order. The zero value is a clock at time 0.
+type Clock struct {
+	now    float64
+	nextID int
+	timers []*Timer
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Schedule registers fn to run when the clock reaches now+delay. It
+// returns a handle usable with Cancel. A non-positive delay fires on the
+// next Advance (or immediately on AdvanceTo of the current time).
+func (c *Clock) Schedule(delay float64, fn func()) *Timer {
+	t := &Timer{id: c.nextID, deadline: c.now + delay, fn: fn}
+	c.nextID++
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Cancel revokes a scheduled timer. Canceling an already-fired or
+// already-canceled timer is a no-op.
+func (c *Clock) Cancel(t *Timer) {
+	if t != nil {
+		t.canceled = true
+	}
+}
+
+// AdvanceTo moves the clock to time t (monotonically; earlier times are
+// ignored), firing due timers in deadline order. Timers scheduled by
+// running timers are honored within the same advance when due.
+func (c *Clock) AdvanceTo(t float64) {
+	if t < c.now {
+		return
+	}
+	for {
+		// Find the earliest due, non-canceled timer.
+		idx := -1
+		for i, tm := range c.timers {
+			if tm.canceled || tm.deadline > t {
+				continue
+			}
+			if idx == -1 || tm.deadline < c.timers[idx].deadline ||
+				(tm.deadline == c.timers[idx].deadline && tm.id < c.timers[idx].id) {
+				idx = i
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		tm := c.timers[idx]
+		c.timers = append(c.timers[:idx], c.timers[idx+1:]...)
+		if tm.deadline > c.now {
+			c.now = tm.deadline
+		}
+		tm.fn()
+	}
+	c.now = t
+}
+
+// Advance moves the clock forward by d seconds.
+func (c *Clock) Advance(d float64) { c.AdvanceTo(c.now + d) }
+
+// PendingTimers returns the number of live scheduled timers (for tests).
+func (c *Clock) PendingTimers() int {
+	n := 0
+	for _, t := range c.timers {
+		if !t.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Display couples the clock with an event sink: a function that receives
+// each input event after the clock has advanced to the event's time. This
+// mirrors an X-style event loop with timeouts.
+type Display struct {
+	Clock
+	sink func(Event)
+}
+
+// New returns a display delivering events to sink.
+func New(sink func(Event)) *Display {
+	return &Display{sink: sink}
+}
+
+// Post advances the virtual clock to the event's time (firing any due
+// timers first, exactly as a real event loop would) and then delivers the
+// event to the sink.
+func (d *Display) Post(ev Event) {
+	d.AdvanceTo(ev.Time)
+	if d.sink != nil && ev.Kind != Tick {
+		d.sink(ev)
+	}
+}
+
+// Replay posts a sequence of events in time order. Events are sorted by
+// time first (stably), so generated traces need not be pre-sorted.
+func (d *Display) Replay(events []Event) {
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	for _, ev := range evs {
+		d.Post(ev)
+	}
+}

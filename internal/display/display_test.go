@@ -1,0 +1,234 @@
+package display
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at 0")
+	}
+	c.Advance(1.5)
+	if c.Now() != 1.5 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.AdvanceTo(1.0) // backwards: ignored
+	if c.Now() != 1.5 {
+		t.Fatalf("clock went backwards: %v", c.Now())
+	}
+}
+
+func TestTimersFireInOrder(t *testing.T) {
+	var c Clock
+	var fired []int
+	c.Schedule(0.3, func() { fired = append(fired, 3) })
+	c.Schedule(0.1, func() { fired = append(fired, 1) })
+	c.Schedule(0.2, func() { fired = append(fired, 2) })
+	c.Advance(0.25)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	c.Advance(0.1)
+	if len(fired) != 3 || fired[2] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	var c Clock
+	fired := false
+	tm := c.Schedule(0.1, func() { fired = true })
+	if c.PendingTimers() != 1 {
+		t.Fatal("timer not pending")
+	}
+	c.Cancel(tm)
+	c.Advance(1)
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+	if c.PendingTimers() != 0 {
+		t.Fatal("canceled timer still counted")
+	}
+	c.Cancel(nil) // must not panic
+}
+
+func TestTimerScheduledByTimer(t *testing.T) {
+	var c Clock
+	var fired []string
+	c.Schedule(0.1, func() {
+		fired = append(fired, "a")
+		c.Schedule(0.1, func() { fired = append(fired, "b") })
+	})
+	c.Advance(0.5)
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestClockTimeDuringTimer(t *testing.T) {
+	var c Clock
+	var at float64 = -1
+	c.Schedule(0.2, func() { at = c.Now() })
+	c.Advance(1)
+	if at != 0.2 {
+		t.Fatalf("timer observed clock %v, want 0.2", at)
+	}
+}
+
+func TestDisplayPostDelivers(t *testing.T) {
+	var got []Event
+	d := New(func(ev Event) { got = append(got, ev) })
+	d.Post(Event{Kind: MouseDown, X: 1, Y: 2, Time: 0.5})
+	if len(got) != 1 || got[0].Kind != MouseDown {
+		t.Fatalf("got %v", got)
+	}
+	if d.Now() != 0.5 {
+		t.Fatalf("clock = %v", d.Now())
+	}
+	// Tick events advance the clock but are not delivered.
+	d.Post(Event{Kind: Tick, Time: 1.0})
+	if len(got) != 1 || d.Now() != 1.0 {
+		t.Fatal("tick misbehaved")
+	}
+}
+
+func TestTimersFireBeforeLaterEvents(t *testing.T) {
+	var order []string
+	d := New(func(ev Event) { order = append(order, "event") })
+	d.Schedule(0.1, func() { order = append(order, "timer") })
+	d.Post(Event{Kind: MouseMove, Time: 0.2})
+	if len(order) != 2 || order[0] != "timer" || order[1] != "event" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestReplaySortsByTime(t *testing.T) {
+	var times []float64
+	d := New(func(ev Event) { times = append(times, ev.Time) })
+	d.Replay([]Event{
+		{Kind: MouseMove, Time: 0.3},
+		{Kind: MouseMove, Time: 0.1},
+		{Kind: MouseMove, Time: 0.2},
+	})
+	if len(times) != 3 || times[0] != 0.1 || times[2] != 0.3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestStrokeTrace(t *testing.T) {
+	p := geom.Path{{X: 0, Y: 0, T: 0}, {X: 5, Y: 5, T: 0.02}, {X: 10, Y: 10, T: 0.04}}
+	evs := StrokeTrace(p, LeftButton, 0.05)
+	if len(evs) != 4 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Kind != MouseDown || evs[1].Kind != MouseMove || evs[3].Kind != MouseUp {
+		t.Fatalf("kinds wrong: %v", evs)
+	}
+	if evs[3].Time != 0.09 || evs[3].X != 10 {
+		t.Fatalf("mouse-up = %+v", evs[3])
+	}
+	if StrokeTrace(nil, LeftButton, 0) != nil {
+		t.Error("empty path should produce nil trace")
+	}
+}
+
+func TestDragTrace(t *testing.T) {
+	evs := DragTrace(geom.Pt(0, 0), geom.Pt(10, 0), 5, 1.0, 0.5, LeftButton)
+	if evs[0].Kind != MouseDown || evs[len(evs)-1].Kind != MouseUp {
+		t.Fatal("endpoints wrong")
+	}
+	if len(evs) != 7 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[len(evs)-1].X != 10 {
+		t.Fatal("drag does not end at target")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time <= evs[i-1].Time {
+			t.Fatal("times not increasing")
+		}
+	}
+	// n<1 clamps.
+	if evs := DragTrace(geom.Pt(0, 0), geom.Pt(1, 1), 0, 0, 0.1, LeftButton); len(evs) != 3 {
+		t.Fatalf("clamped drag len = %d", len(evs))
+	}
+}
+
+func TestHoldAfter(t *testing.T) {
+	p := geom.Path{{X: 0, Y: 0, T: 0}, {X: 5, Y: 5, T: 0.02}}
+	evs := StrokeTrace(p, LeftButton, 0.01)
+	held := HoldAfter(evs, 0.3)
+	if held[len(held)-1].Time != evs[len(evs)-1].Time+0.3 {
+		t.Fatal("hold not applied to mouse-up")
+	}
+	if held[0].Time != evs[0].Time {
+		t.Fatal("hold shifted earlier events")
+	}
+	if HoldAfter(nil, 1) != nil {
+		t.Error("empty trace should stay nil")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "demo"}
+	tr.Append(
+		Event{Kind: MouseDown, X: 1, Y: 2, Time: 0.5, Button: RightButton},
+		Event{Kind: MouseMove, X: 3, Y: 4, Time: 0.52},
+		Event{Kind: Tick, Time: 0.7},
+		Event{Kind: MouseUp, X: 3, Y: 4, Time: 0.9},
+	)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip:\n%+v\n%+v", tr, got)
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestTraceFileAndReplay(t *testing.T) {
+	tr := &Trace{Name: "file"}
+	tr.Append(
+		Event{Kind: MouseDown, X: 1, Y: 1, Time: 0},
+		Event{Kind: MouseUp, X: 1, Y: 1, Time: 0.1},
+	)
+	path := t.TempDir() + "/trace.json"
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []EventKind
+	d := New(func(ev Event) { kinds = append(kinds, ev.Kind) })
+	d.Replay(loaded.Events)
+	if len(kinds) != 2 || kinds[0] != MouseDown || kinds[1] != MouseUp {
+		t.Fatalf("replayed kinds = %v", kinds)
+	}
+	if _, err := LoadTrace(path + ".missing"); err == nil {
+		t.Error("missing trace accepted")
+	}
+}
+
+func TestTraceRejectsUnknownKind(t *testing.T) {
+	bad := `{"name":"x","events":[{"kind":"warp","x":0,"y":0,"t":0}]}`
+	if _, err := ReadTrace(bytes.NewBufferString(bad)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadTrace(bytes.NewBufferString("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package display
+
+import (
+	"repro/internal/geom"
+)
+
+// StrokeTrace converts a timed path into a mouse interaction: a MouseDown
+// at the first sample, MouseMoves for the rest, and a MouseUp at upDelay
+// seconds after the final sample. This is how gesture recordings (real or
+// synthetic) are replayed through GRANDMA.
+func StrokeTrace(p geom.Path, button Button, upDelay float64) []Event {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(p)+1)
+	for i, tp := range p {
+		kind := MouseMove
+		if i == 0 {
+			kind = MouseDown
+		}
+		out = append(out, Event{Kind: kind, X: tp.X, Y: tp.Y, Time: tp.T, Button: button})
+	}
+	last := p[len(p)-1]
+	out = append(out, Event{Kind: MouseUp, X: last.X, Y: last.Y, Time: last.T + upDelay, Button: button})
+	return out
+}
+
+// DragTrace builds a press-drag-release interaction from a start point to
+// an end point with n intermediate moves, spread over duration seconds.
+func DragTrace(from, to geom.Point, n int, start, duration float64, button Button) []Event {
+	if n < 1 {
+		n = 1
+	}
+	out := []Event{{Kind: MouseDown, X: from.X, Y: from.Y, Time: start, Button: button}}
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n)
+		p := from.Lerp(to, f)
+		out = append(out, Event{
+			Kind: MouseMove, X: p.X, Y: p.Y,
+			Time:   start + duration*f,
+			Button: button,
+		})
+	}
+	out = append(out, Event{Kind: MouseUp, X: to.X, Y: to.Y, Time: start + duration + 0.01, Button: button})
+	return out
+}
+
+// HoldAfter appends a motionless pause to a trace by shifting the final
+// MouseUp later by hold seconds. It is used to trigger timeout-based phase
+// transitions: press, draw, hold still, then keep interacting. Events after
+// the last move keep their relative order.
+func HoldAfter(events []Event, hold float64) []Event {
+	if len(events) == 0 {
+		return nil
+	}
+	out := append([]Event(nil), events...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i].Kind == MouseUp {
+			out[i].Time += hold
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package display
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace is a recorded interaction: a named sequence of input events that
+// can be saved, loaded, and replayed. Traces make whole GRANDMA sessions
+// reproducible artifacts — record a user (or a synthesizer) once, replay
+// into tests and demos forever.
+type Trace struct {
+	Name   string  `json:"name"`
+	Events []Event `json:"events"`
+}
+
+// Append adds events to the trace.
+func (t *Trace) Append(evs ...Event) { t.Events = append(t.Events, evs...) }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// WriteJSON serializes the trace to w.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("display: encoding trace %q: %w", t.Name, err)
+	}
+	return nil
+}
+
+// ReadTrace parses a trace from r.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("display: decoding trace: %w", err)
+	}
+	return &t, nil
+}
+
+// SaveFile writes the trace to the named file.
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("display: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a trace from the named file.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("display: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// MarshalJSON encodes the event kind as a readable string.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Kind: e.Kind.String(), X: e.X, Y: e.Y, Time: e.Time, Button: int(e.Button),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	switch j.Kind {
+	case "down":
+		e.Kind = MouseDown
+	case "move":
+		e.Kind = MouseMove
+	case "up":
+		e.Kind = MouseUp
+	case "tick":
+		e.Kind = Tick
+	default:
+		return fmt.Errorf("display: unknown event kind %q", j.Kind)
+	}
+	e.X, e.Y, e.Time, e.Button = j.X, j.Y, j.Time, Button(j.Button)
+	return nil
+}
+
+type eventJSON struct {
+	Kind   string  `json:"kind"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Time   float64 `json:"t"`
+	Button int     `json:"button,omitempty"`
+}

@@ -1,0 +1,426 @@
+// Package eager implements the paper's primary algorithmic contribution:
+// constructing eager recognizers from example gestures (sections 4.3–4.7).
+//
+// An eager recognizer answers, point by point while a gesture is being
+// drawn, the question "has enough of the gesture been seen so that it may
+// be unambiguously classified?" — the function the paper calls D ("done").
+// Once D says yes, the gesture collected so far is classified by the full
+// classifier and the interaction moves to its manipulation phase.
+//
+// The training pipeline follows the paper exactly:
+//
+//  1. Train a full classifier C on the full example gestures (§4.2).
+//  2. Run C on every subgesture of every example; a subgesture g[i] is
+//     "complete" when C classifies it and every larger prefix of the same
+//     gesture as C(g) (§4.4).
+//  3. Partition the subgestures into 2C classes — C-c for complete
+//     subgestures (c = the gesture's class) and I-c for incomplete ones
+//     (c = what C mistakes the prefix for) — because a single two-class
+//     ambiguous/unambiguous split is "wildly non-Gaussian" and a linear
+//     discriminator cannot separate it (§4.4).
+//  4. Move "accidentally complete" subgestures (complete but similar to
+//     known-ambiguous prefixes) into the incomplete classes, using a
+//     threshold of 50% of the minimum Mahalanobis distance between full
+//     class means and incomplete set means, excluding distances below a
+//     floor (§4.5).
+//  5. Train the ambiguous/unambiguous classifier (AUC) on the 2C classes,
+//     bias its incomplete classes so ambiguity is five times more likely,
+//     and tweak complete-class constants until no training subgesture that
+//     is incomplete is ever judged unambiguous (§4.6).
+package eager
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/classifier"
+	"repro/internal/gesture"
+	"repro/internal/linalg"
+	"repro/internal/recognizer"
+)
+
+// Set-name prefixes for the 2C-class partition. The class in each set's
+// name refers to the full classifier's classification of the set's
+// elements.
+const (
+	CompletePrefix   = "C-"
+	IncompletePrefix = "I-"
+)
+
+// IsCompleteSet reports whether an AUC class name denotes a complete
+// (unambiguous) set.
+func IsCompleteSet(name string) bool { return strings.HasPrefix(name, CompletePrefix) }
+
+// Options configures eager-recognizer training. Zero value is not useful;
+// start from DefaultOptions.
+type Options struct {
+	// Train configures the underlying full classifier (features etc.).
+	Train recognizer.TrainOptions
+	// MinSubgesture is the smallest subgesture length (in points) that is
+	// labelled and that the streaming recognizer will attempt to judge.
+	// Below this the feature vector is too degenerate to be meaningful.
+	MinSubgesture int
+	// AmbiguityBias is the prior-odds factor by which the AUC is biased
+	// toward ambiguous answers. The paper chooses 5 ("ambiguous gestures
+	// are five times more likely than unambiguous gestures").
+	AmbiguityBias float64
+	// MoveThresholdFrac is the fraction of the minimum full-mean-to-
+	// incomplete-mean distance used as the accidental-completeness
+	// threshold. The paper uses 0.5.
+	MoveThresholdFrac float64
+	// TwoClassAUC, when set, trains the ablation baseline the paper argues
+	// against: a single ambiguous/unambiguous pair of classes instead of
+	// the 2C-class partition. Exposed for the A1 experiment.
+	TwoClassAUC bool
+	// SkipMoveAccidental disables step 4 (ablation hook).
+	SkipMoveAccidental bool
+	// SkipTweak disables the final constant-tweaking pass (ablation hook).
+	SkipTweak bool
+	// RequireAgreement is an extension beyond the paper: fire only when
+	// the full classifier's prediction for the prefix agrees with the
+	// AUC's chosen complete class. The paper passes the prefix straight to
+	// the full classifier once D fires; at a sharp corner the AUC can
+	// correctly judge the prefix unambiguous one point before the full
+	// classifier catches up, which is one source of the paper's eager
+	// errors. Agreement gating trades a sliver of eagerness for accuracy
+	// (ablation A5 in DESIGN.md).
+	RequireAgreement bool
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{
+		Train:             recognizer.DefaultTrainOptions(),
+		MinSubgesture:     4,
+		AmbiguityBias:     5,
+		MoveThresholdFrac: 0.5,
+	}
+}
+
+// Subgesture is one labelled training prefix.
+type Subgesture struct {
+	Example  int        // index of the parent example in the training set
+	Len      int        // prefix length in points
+	Class    string     // class of the parent (full) gesture
+	Pred     string     // full classifier's classification of this prefix
+	Complete bool       // per the paper's definition (step 2)
+	Moved    bool       // true if moved to an incomplete set in step 4
+	Features linalg.Vec // feature vector of the prefix
+}
+
+// SetName returns the 2C-partition class this subgesture trains.
+func (s *Subgesture) SetName() string {
+	if s.Complete && !s.Moved {
+		return CompletePrefix + s.Class
+	}
+	return IncompletePrefix + s.Pred
+}
+
+// Report captures per-stage statistics from training, for tests, the
+// experiment harness, and documentation.
+type Report struct {
+	Subgestures     int     // total labelled subgestures
+	Complete        int     // complete before the accidental move
+	Incomplete      int     // incomplete before the accidental move
+	MovedAccidental int     // complete subgestures reclassified in step 4
+	MoveThreshold   float64 // the Mahalanobis threshold used in step 4
+	TweakAdjusts    int     // constant-term adjustments in the tweak pass
+	AUCClasses      int     // classes in the trained AUC
+	AUCRidge        float64 // regularization used by the AUC training
+}
+
+// Recognizer is a trained eager recognizer: the full classifier plus the
+// ambiguous/unambiguous classifier implementing D.
+type Recognizer struct {
+	Full *recognizer.Full       `json:"full"`
+	AUC  *classifier.Classifier `json:"auc"`
+	Opts Options                `json:"opts"`
+}
+
+// Train builds an eager recognizer from a labelled gesture set.
+func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
+	if opts.MinSubgesture < 2 {
+		return nil, nil, errors.New("eager: MinSubgesture must be at least 2")
+	}
+	if opts.AmbiguityBias < 1 {
+		return nil, nil, errors.New("eager: AmbiguityBias must be >= 1")
+	}
+	if opts.MoveThresholdFrac < 0 || opts.MoveThresholdFrac > 1 {
+		return nil, nil, errors.New("eager: MoveThresholdFrac must be in [0,1]")
+	}
+
+	full, err := recognizer.Train(set, opts.Train)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &Report{}
+
+	subs := LabelSubgestures(set, full, opts.MinSubgesture)
+	report.Subgestures = len(subs)
+	for i := range subs {
+		if subs[i].Complete {
+			report.Complete++
+		} else {
+			report.Incomplete++
+		}
+	}
+	if report.Subgestures == 0 {
+		return nil, nil, errors.New("eager: no subgestures long enough to label; gestures too short for MinSubgesture")
+	}
+
+	if !opts.SkipMoveAccidental {
+		threshold := MoveThreshold(subs, full, opts.MoveThresholdFrac)
+		report.MoveThreshold = threshold
+		report.MovedAccidental = MoveAccidentals(subs, full, threshold)
+	}
+
+	auc, err := trainAUC(subs, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eager: training AUC: %w", err)
+	}
+	report.AUCClasses = auc.NumClasses()
+	report.AUCRidge = auc.Ridge
+
+	// Bias toward ambiguity: add ln(bias) to every incomplete class's
+	// constant term, making the classifier believe ambiguous prefixes are
+	// `bias` times more likely a priori.
+	if opts.AmbiguityBias > 1 {
+		delta := math.Log(opts.AmbiguityBias)
+		for i, name := range auc.Classes {
+			if !IsCompleteSet(name) {
+				auc.BiasClass(i, delta)
+			}
+		}
+	}
+
+	if !opts.SkipTweak {
+		report.TweakAdjusts = Tweak(auc, subs)
+	}
+
+	return &Recognizer{Full: full, AUC: auc, Opts: opts}, report, nil
+}
+
+// LabelSubgestures runs the full classifier over every prefix (of length at
+// least minLen) of every training example and labels each as complete or
+// incomplete. A prefix g[i] is complete iff C(g[j]) == C(g) for all
+// j in [i, |g|] — computed with a single backward scan per gesture.
+func LabelSubgestures(set *gesture.Set, full *recognizer.Full, minLen int) []Subgesture {
+	var out []Subgesture
+	for ei, e := range set.Examples {
+		n := e.Gesture.Len()
+		if n < minLen {
+			continue
+		}
+		preds := make([]string, 0, n-minLen+1)
+		for i := minLen; i <= n; i++ {
+			sub := e.Gesture.Sub(i)
+			preds = append(preds, full.Classify(sub))
+		}
+		// Backward scan: complete iff this and all longer prefixes match.
+		complete := make([]bool, len(preds))
+		ok := true
+		for k := len(preds) - 1; k >= 0; k-- {
+			ok = ok && preds[k] == e.Class
+			complete[k] = ok
+		}
+		for k, pred := range preds {
+			i := minLen + k
+			out = append(out, Subgesture{
+				Example:  ei,
+				Len:      i,
+				Class:    e.Class,
+				Pred:     pred,
+				Complete: complete[k],
+				Features: full.Features(e.Gesture.Sub(i)),
+			})
+		}
+	}
+	return out
+}
+
+// incompleteMeans returns the mean feature vector of each incomplete set
+// (keyed by set name I-c) over the current labelling.
+func incompleteMeans(subs []Subgesture) map[string]linalg.Vec {
+	sums := make(map[string]linalg.Vec)
+	counts := make(map[string]int)
+	for i := range subs {
+		s := &subs[i]
+		if s.Complete && !s.Moved {
+			continue
+		}
+		name := s.SetName()
+		if sums[name] == nil {
+			sums[name] = linalg.NewVec(len(s.Features))
+		}
+		sums[name].AddScaled(1, s.Features)
+		counts[name]++
+	}
+	for name, v := range sums {
+		v.Scale(1 / float64(counts[name]))
+	}
+	return sums
+}
+
+// MoveThreshold computes the accidental-completeness threshold of §4.5:
+// frac (the paper: 50%) of the minimum Mahalanobis distance from any full
+// gesture class mean to any incomplete set mean — excluding distances below
+// a floor, "to avoid trouble when an incomplete subgesture looks like a
+// full gesture of a different class". The floor is half the minimum
+// distance between full class means, a scale the paper leaves unspecified.
+func MoveThreshold(subs []Subgesture, full *recognizer.Full, frac float64) float64 {
+	means := incompleteMeans(subs)
+	if len(means) == 0 {
+		return 0
+	}
+	// Exclusion floor: half the smallest inter-class mean distance.
+	floor := math.Inf(1)
+	nc := full.C.NumClasses()
+	for i := 0; i < nc; i++ {
+		for j := i + 1; j < nc; j++ {
+			if d := full.C.MeanDistance(i, j); d < floor {
+				floor = d
+			}
+		}
+	}
+	if math.IsInf(floor, 1) {
+		floor = 0
+	}
+	floor *= 0.5
+
+	min := math.Inf(1)
+	for i := 0; i < nc; i++ {
+		for _, m := range means {
+			d := full.C.MahalanobisTo(full.C.Means[i], m)
+			if d < floor {
+				continue
+			}
+			if d < min {
+				min = d
+			}
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return frac * min
+}
+
+// MoveAccidentals implements §4.5: for each training gesture, scan its
+// complete subgestures from largest to smallest; once one lies within
+// threshold (Mahalanobis, under the full classifier's metric) of an
+// incomplete set mean, it and every smaller complete subgesture of the
+// same gesture are moved to their closest incomplete sets. Returns the
+// number of subgestures moved.
+func MoveAccidentals(subs []Subgesture, full *recognizer.Full, threshold float64) int {
+	if threshold <= 0 {
+		return 0
+	}
+	means := incompleteMeans(subs)
+	if len(means) == 0 {
+		return 0
+	}
+	// Group subgesture indices by example, in increasing prefix length
+	// (LabelSubgestures emits them in that order).
+	byExample := make(map[int][]int)
+	for i := range subs {
+		byExample[subs[i].Example] = append(byExample[subs[i].Example], i)
+	}
+
+	closestIncomplete := func(f linalg.Vec) (string, float64) {
+		bestName, bestD := "", math.Inf(1)
+		for name, m := range means {
+			if d := full.C.MahalanobisTo(f, m); d < bestD {
+				bestName, bestD = name, d
+			}
+		}
+		return bestName, bestD
+	}
+
+	moved := 0
+	for _, idxs := range byExample {
+		// Largest to smallest.
+		tripped := false
+		for k := len(idxs) - 1; k >= 0; k-- {
+			s := &subs[idxs[k]]
+			if !s.Complete || s.Moved {
+				continue
+			}
+			name, d := closestIncomplete(s.Features)
+			if !tripped {
+				if d >= threshold {
+					continue
+				}
+				tripped = true
+			} else if name == "" {
+				continue
+			}
+			// Move to the closest incomplete set: record by rewriting the
+			// prediction to that set's class and flagging.
+			s.Moved = true
+			s.Pred = strings.TrimPrefix(name, IncompletePrefix)
+			moved++
+		}
+	}
+	return moved
+}
+
+// trainAUC trains the ambiguous/unambiguous classifier over the partition.
+func trainAUC(subs []Subgesture, opts Options) (*classifier.Classifier, error) {
+	ex := make([]classifier.Example, 0, len(subs))
+	for i := range subs {
+		s := &subs[i]
+		name := s.SetName()
+		if opts.TwoClassAUC {
+			// Ablation baseline: collapse to two classes.
+			if IsCompleteSet(name) {
+				name = CompletePrefix + "all"
+			} else {
+				name = IncompletePrefix + "all"
+			}
+		}
+		ex = append(ex, classifier.Example{Class: name, Features: s.Features})
+	}
+	return classifier.Train(ex, classifier.Options{SortClasses: true})
+}
+
+// Tweak implements the final safety pass of §4.6: every incomplete training
+// subgesture is run through the AUC; whenever one is classified into a
+// complete set (a serious mistake — it would fire eager recognition on an
+// ambiguous prefix), the offending complete class's constant term is
+// lowered "by just enough plus a little more". Because adjustments only
+// ever lower complete-class scores, a single ordered pass with an inner
+// fixpoint per subgesture leaves no violations on the training data.
+// Returns the number of adjustments made.
+func Tweak(auc *classifier.Classifier, subs []Subgesture) int {
+	adjusts := 0
+	for i := range subs {
+		s := &subs[i]
+		if s.Complete && !s.Moved {
+			continue // only incomplete subgestures matter here
+		}
+		for {
+			scores := auc.Score(s.Features)
+			bestC, bestI := -1, -1
+			for j, name := range auc.Classes {
+				if IsCompleteSet(name) {
+					if bestC < 0 || scores[j] > scores[bestC] {
+						bestC = j
+					}
+				} else {
+					if bestI < 0 || scores[j] > scores[bestI] {
+						bestI = j
+					}
+				}
+			}
+			if bestC < 0 || bestI < 0 || scores[bestC] <= scores[bestI] {
+				break
+			}
+			gap := scores[bestC] - scores[bestI]
+			auc.BiasClass(bestC, -(gap + 1e-4 + 0.01*gap))
+			adjusts++
+		}
+	}
+	return adjusts
+}

@@ -1,0 +1,488 @@
+package eager
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gesture"
+	"repro/internal/synth"
+)
+
+func genSets(classes []synth.Class, trainN, testN int, seed int64) (*gesture.Set, *gesture.Set, []synth.Sample) {
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(seed)).Set("train", classes, trainN)
+	testSet, meta := synth.NewGenerator(synth.DefaultParams(seed+1000)).Set("test", classes, testN)
+	return trainSet, testSet, meta
+}
+
+func mustTrain(t *testing.T, set *gesture.Set, opts Options) (*Recognizer, *Report) {
+	t.Helper()
+	r, rep, err := Train(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, rep
+}
+
+func TestUDPipelineStages(t *testing.T) {
+	// The paper's pedagogical example (figures 5-7).
+	trainSet, _, _ := genSets(synth.UDClasses(), 15, 1, 11)
+	r, rep := mustTrain(t, trainSet, DefaultOptions())
+
+	if rep.Subgestures == 0 || rep.Complete == 0 || rep.Incomplete == 0 {
+		t.Fatalf("degenerate labelling: %+v", rep)
+	}
+	// Both classes share the horizontal prefix, so incomplete subgestures
+	// must exist for both; the 2C partition should have up to 4 classes.
+	if rep.AUCClasses < 3 || rep.AUCClasses > 4 {
+		t.Errorf("AUC classes = %d, want 3..4 for U/D", rep.AUCClasses)
+	}
+	if rep.MoveThreshold <= 0 {
+		t.Errorf("move threshold = %v, want > 0", rep.MoveThreshold)
+	}
+	// Figure 5 shows accidentally complete subgestures along the horizontal
+	// segment of D examples; the move step must find some.
+	if rep.MovedAccidental == 0 {
+		t.Error("no accidentally complete subgestures moved; fig. 6 behaviour not reproduced")
+	}
+	// And the recognizer must still classify U/D correctly and eagerly.
+	_, testSet, _ := genSets(synth.UDClasses(), 1, 20, 12)
+	correct, sumFired, sumLen := 0, 0, 0
+	for _, e := range testSet.Examples {
+		class, firedAt := r.Run(e.Gesture)
+		if class == e.Class {
+			correct++
+		}
+		sumFired += firedAt
+		sumLen += e.Gesture.Len()
+	}
+	if acc := float64(correct) / float64(testSet.Len()); acc < 0.9 {
+		t.Errorf("U/D eager accuracy = %.2f", acc)
+	}
+	if eagerness := float64(sumFired) / float64(sumLen); eagerness > 0.95 {
+		t.Errorf("U/D eagerness = %.2f of points; not eager at all", eagerness)
+	}
+}
+
+func TestConservatismOnTrainingData(t *testing.T) {
+	// Figure 7's property: after the tweak pass the AUC never labels an
+	// ambiguous (incomplete) training subgesture as unambiguous.
+	for _, tc := range []struct {
+		name    string
+		classes []synth.Class
+	}{
+		{"ud", synth.UDClasses()},
+		{"eight", synth.EightDirectionClasses()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			trainSet, _, _ := genSets(tc.classes, 10, 1, 21)
+			r, _ := mustTrain(t, trainSet, DefaultOptions())
+			subs := LabelSubgestures(trainSet, r.Full, r.Opts.MinSubgesture)
+			thr := MoveThreshold(subs, r.Full, r.Opts.MoveThresholdFrac)
+			MoveAccidentals(subs, r.Full, thr)
+			violations := 0
+			for i := range subs {
+				s := &subs[i]
+				if s.Complete && !s.Moved {
+					continue
+				}
+				name, _ := r.AUC.Classify(s.Features)
+				if IsCompleteSet(name) {
+					violations++
+				}
+			}
+			if violations != 0 {
+				t.Errorf("%d ambiguous training subgestures judged unambiguous", violations)
+			}
+		})
+	}
+}
+
+func TestEagerEightDirections(t *testing.T) {
+	// Paper fig. 9: eager 97.0% vs full 99.2%; 67.9% of points examined.
+	// Shape targets: eager within 8 points of full, both high; eagerness
+	// meaningfully below 100%.
+	classes := synth.EightDirectionClasses()
+	trainSet, testSet, _ := genSets(classes, 10, 30, 31)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+
+	fullAcc, _ := r.Full.Accuracy(testSet)
+	correct, sumFired, sumLen := 0, 0, 0
+	for _, e := range testSet.Examples {
+		class, firedAt := r.Run(e.Gesture)
+		if class == e.Class {
+			correct++
+		}
+		sumFired += firedAt
+		sumLen += e.Gesture.Len()
+	}
+	eagerAcc := float64(correct) / float64(testSet.Len())
+	eagerness := float64(sumFired) / float64(sumLen)
+
+	if fullAcc < 0.95 {
+		t.Errorf("full accuracy = %.3f", fullAcc)
+	}
+	if eagerAcc < 0.85 {
+		t.Errorf("eager accuracy = %.3f", eagerAcc)
+	}
+	if eagerAcc > fullAcc+0.02 {
+		t.Errorf("eager (%.3f) should not beat full (%.3f)", eagerAcc, fullAcc)
+	}
+	if eagerness > 0.92 {
+		t.Errorf("eagerness = %.3f of points seen; want meaningfully below 1", eagerness)
+	}
+	if eagerness < 0.3 {
+		t.Errorf("eagerness = %.3f implausibly eager; conservatism suspect", eagerness)
+	}
+}
+
+func TestNotesNeverEager(t *testing.T) {
+	// Paper fig. 8: every note gesture is a prefix of the next, so the
+	// recognizer must stay ambiguous essentially to the end for all classes
+	// that have an extension.
+	classes := synth.NoteClasses()
+	trainSet, testSet, _ := genSets(classes, 10, 20, 41)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+
+	sumFired, sumLen := 0, 0
+	prefixFired := 0 // early fires on classes that are strict prefixes
+	for _, e := range testSet.Examples {
+		_, firedAt := r.Run(e.Gesture)
+		sumFired += firedAt
+		sumLen += e.Gesture.Len()
+		if e.Class != "sixtyfourth" && firedAt < e.Gesture.Len()*3/4 {
+			prefixFired++
+		}
+	}
+	eagerness := float64(sumFired) / float64(sumLen)
+	if eagerness < 0.85 {
+		t.Errorf("note-gesture eagerness = %.3f; should be near 1 (not amenable)", eagerness)
+	}
+	// Allow a little slack for jitter, but early fires on prefix classes
+	// should be rare.
+	if frac := float64(prefixFired) / float64(testSet.Len()); frac > 0.1 {
+		t.Errorf("%.0f%% of prefix-class notes fired early", frac*100)
+	}
+}
+
+func TestEagerGDP(t *testing.T) {
+	// Paper fig. 10: full 99.7% vs eager 93.5%; 60.5% of points examined.
+	classes := synth.GDPClasses()
+	trainSet, testSet, _ := genSets(classes, 10, 30, 51)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+
+	fullAcc, _ := r.Full.Accuracy(testSet)
+	correct, sumFired, sumLen := 0, 0, 0
+	for _, e := range testSet.Examples {
+		class, firedAt := r.Run(e.Gesture)
+		if class == e.Class {
+			correct++
+		}
+		sumFired += firedAt
+		sumLen += e.Gesture.Len()
+	}
+	eagerAcc := float64(correct) / float64(testSet.Len())
+	eagerness := float64(sumFired) / float64(sumLen)
+	if fullAcc < 0.95 {
+		t.Errorf("GDP full accuracy = %.3f", fullAcc)
+	}
+	if eagerAcc < 0.80 {
+		t.Errorf("GDP eager accuracy = %.3f", eagerAcc)
+	}
+	if eagerness > 0.97 {
+		t.Errorf("GDP eagerness = %.3f; want below 1", eagerness)
+	}
+}
+
+func TestDoneRespectsMinSubgesture(t *testing.T) {
+	trainSet, _, _ := genSets(synth.UDClasses(), 10, 1, 61)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	g := trainSet.Examples[0].Gesture
+	if r.Done(g.Sub(2)) {
+		t.Error("Done fired below MinSubgesture")
+	}
+}
+
+func TestSessionSingleFire(t *testing.T) {
+	trainSet, testSet, _ := genSets(synth.EightDirectionClasses(), 10, 2, 71)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	for _, e := range testSet.Examples {
+		s := r.NewSession()
+		fires := 0
+		for _, p := range e.Gesture.Points {
+			if fired, class := s.Add(p); fired {
+				fires++
+				if class == "" {
+					t.Fatal("fired with empty class")
+				}
+			}
+		}
+		if fires > 1 {
+			t.Fatalf("session fired %d times", fires)
+		}
+		final := s.End()
+		if final == "" {
+			t.Fatal("End returned empty class")
+		}
+		if !s.Decided() || s.Class() != final {
+			t.Fatal("session state inconsistent after End")
+		}
+		if s.PointCount() != e.Gesture.Len() {
+			t.Fatalf("PointCount = %d, want %d", s.PointCount(), e.Gesture.Len())
+		}
+	}
+}
+
+func TestRunMatchesSession(t *testing.T) {
+	trainSet, testSet, _ := genSets(synth.EightDirectionClasses(), 10, 3, 81)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	for _, e := range testSet.Examples {
+		class, firedAt := r.Run(e.Gesture)
+		if firedAt < 1 || firedAt > e.Gesture.Len() {
+			t.Fatalf("firedAt = %d out of range", firedAt)
+		}
+		if class == "" {
+			t.Fatal("empty class")
+		}
+		// Determinism.
+		c2, f2 := r.Run(e.Gesture)
+		if c2 != class || f2 != firedAt {
+			t.Fatal("Run not deterministic")
+		}
+	}
+}
+
+func TestTrainOptionValidation(t *testing.T) {
+	set, _, _ := genSets(synth.UDClasses(), 5, 1, 91)
+	bad := DefaultOptions()
+	bad.MinSubgesture = 1
+	if _, _, err := Train(set, bad); err == nil {
+		t.Error("MinSubgesture=1 accepted")
+	}
+	bad = DefaultOptions()
+	bad.AmbiguityBias = 0.5
+	if _, _, err := Train(set, bad); err == nil {
+		t.Error("AmbiguityBias<1 accepted")
+	}
+	bad = DefaultOptions()
+	bad.MoveThresholdFrac = 1.5
+	if _, _, err := Train(set, bad); err == nil {
+		t.Error("MoveThresholdFrac>1 accepted")
+	}
+	if _, _, err := Train(&gesture.Set{}, DefaultOptions()); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestTooShortGestures(t *testing.T) {
+	set := &gesture.Set{}
+	g := synth.NewGenerator(synth.DefaultParams(1))
+	var dot synth.Class
+	for _, c := range synth.GDPClasses() {
+		if c.Name == "dot" {
+			dot = c
+		}
+	}
+	for i := 0; i < 5; i++ {
+		s := g.Sample(dot)
+		set.Add("dot", s.G)
+		s2 := g.Sample(dot)
+		set.Add("dot2", s2.G)
+	}
+	// All gestures shorter than MinSubgesture: no subgestures to label.
+	if _, _, err := Train(set, DefaultOptions()); err == nil {
+		t.Error("expected error when no subgestures can be labelled")
+	}
+}
+
+func TestSetNames(t *testing.T) {
+	s := Subgesture{Class: "U", Pred: "D", Complete: true}
+	if s.SetName() != "C-U" {
+		t.Errorf("complete set name = %s", s.SetName())
+	}
+	s.Moved = true
+	if s.SetName() != "I-D" {
+		t.Errorf("moved set name = %s", s.SetName())
+	}
+	s = Subgesture{Class: "U", Pred: "D", Complete: false}
+	if s.SetName() != "I-D" {
+		t.Errorf("incomplete set name = %s", s.SetName())
+	}
+	if !IsCompleteSet("C-x") || IsCompleteSet("I-x") || IsCompleteSet("x") {
+		t.Error("IsCompleteSet wrong")
+	}
+}
+
+func TestLabelSubgestureInvariants(t *testing.T) {
+	trainSet, _, _ := genSets(synth.UDClasses(), 8, 1, 101)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	subs := LabelSubgestures(trainSet, r.Full, 4)
+	byExample := map[int][]Subgesture{}
+	for _, s := range subs {
+		byExample[s.Example] = append(byExample[s.Example], s)
+	}
+	for ei, list := range byExample {
+		// The final (full-length) subgesture must be predicted correctly by
+		// construction of a well-trained classifier on its own training
+		// data — and completeness must be a suffix-closed property.
+		last := list[len(list)-1]
+		if last.Len != trainSet.Examples[ei].Gesture.Len() {
+			t.Fatalf("example %d: last labelled prefix is not the full gesture", ei)
+		}
+		seenComplete := false
+		for _, s := range list {
+			if seenComplete && !s.Complete {
+				t.Fatalf("example %d: completeness not suffix-closed", ei)
+			}
+			if s.Complete {
+				seenComplete = true
+				if s.Pred != s.Class {
+					t.Fatalf("example %d: complete subgesture predicted %s != class %s", ei, s.Pred, s.Class)
+				}
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	trainSet, testSet, _ := genSets(synth.UDClasses(), 8, 5, 111)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range testSet.Examples {
+		c1, f1 := r.Run(e.Gesture)
+		c2, f2 := r2.Run(e.Gesture)
+		if c1 != c2 || f1 != f2 {
+			t.Fatal("round-tripped recognizer disagrees")
+		}
+	}
+	if _, err := ReadJSON(strings.NewReader("{}")); err == nil {
+		t.Error("incomplete JSON accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	trainSet, _, _ := genSets(synth.UDClasses(), 5, 1, 121)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	path := t.TempDir() + "/eager.json"
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path + ".nope"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAblationTwoClassUnderperforms(t *testing.T) {
+	// Section 4.4's claim: a two-class ambiguous/unambiguous discriminator
+	// "does not work very well" because the unambiguous set is multimodal.
+	// We verify the reproduction preserves the ordering: the 2C-class AUC
+	// yields at least as accurate an eager recognizer as the 2-class one.
+	classes := synth.EightDirectionClasses()
+	trainSet, testSet, _ := genSets(classes, 10, 30, 131)
+
+	run := func(opts Options) (acc float64) {
+		r, _, err := Train(trainSet, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for _, e := range testSet.Examples {
+			if class, _ := r.Run(e.Gesture); class == e.Class {
+				correct++
+			}
+		}
+		return float64(correct) / float64(testSet.Len())
+	}
+	multi := run(DefaultOptions())
+	two := DefaultOptions()
+	two.TwoClassAUC = true
+	twoAcc := run(two)
+	if twoAcc > multi+0.02 {
+		t.Errorf("two-class AUC (%.3f) outperformed 2C-class AUC (%.3f); paper ordering violated", twoAcc, multi)
+	}
+}
+
+func TestBiasIncreasesCaution(t *testing.T) {
+	// Raising the ambiguity bias can only delay firing (or leave it
+	// unchanged) on any given gesture.
+	classes := synth.EightDirectionClasses()
+	trainSet, testSet, _ := genSets(classes, 10, 10, 141)
+	low := DefaultOptions()
+	low.AmbiguityBias = 1
+	high := DefaultOptions()
+	high.AmbiguityBias = 25
+	rLow, _ := mustTrain(t, trainSet, low)
+	rHigh, _ := mustTrain(t, trainSet, high)
+	sumLow, sumHigh := 0, 0
+	for _, e := range testSet.Examples {
+		_, f1 := rLow.Run(e.Gesture)
+		_, f2 := rHigh.Run(e.Gesture)
+		sumLow += f1
+		sumHigh += f2
+	}
+	if sumHigh < sumLow {
+		t.Errorf("higher bias fired earlier on aggregate: %d vs %d points", sumHigh, sumLow)
+	}
+}
+
+func TestRequireAgreementNeverLessAccurate(t *testing.T) {
+	classes := synth.EightDirectionClasses()
+	trainSet, testSet, _ := genSets(classes, 10, 20, 151)
+	rPaper, _ := mustTrain(t, trainSet, DefaultOptions())
+	gated := DefaultOptions()
+	gated.RequireAgreement = true
+	rGated, _ := mustTrain(t, trainSet, gated)
+
+	var accPaper, accGated, seenPaper, seenGated int
+	for _, e := range testSet.Examples {
+		c1, f1 := rPaper.Run(e.Gesture)
+		c2, f2 := rGated.Run(e.Gesture)
+		if c1 == e.Class {
+			accPaper++
+		}
+		if c2 == e.Class {
+			accGated++
+		}
+		seenPaper += f1
+		seenGated += f2
+		// Gating can only delay firing on any individual gesture.
+		if f2 < f1 {
+			t.Fatalf("agreement gating fired earlier (%d < %d) on a %s gesture", f2, f1, e.Class)
+		}
+	}
+	if accGated < accPaper {
+		t.Errorf("gated accuracy %d below paper rule %d", accGated, accPaper)
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	trainSet, testSet, _ := genSets(synth.EightDirectionClasses(), 8, 5, 161)
+	r1, rep1 := mustTrain(t, trainSet, DefaultOptions())
+	r2, rep2 := mustTrain(t, trainSet, DefaultOptions())
+	if *rep1 != *rep2 {
+		t.Fatalf("training reports differ:\n%+v\n%+v", rep1, rep2)
+	}
+	if !reflect.DeepEqual(r1.AUC.Consts, r2.AUC.Consts) ||
+		!reflect.DeepEqual(r1.AUC.Weights, r2.AUC.Weights) ||
+		!reflect.DeepEqual(r1.Full.C.Weights, r2.Full.C.Weights) {
+		t.Fatal("trained parameters differ between identical runs")
+	}
+	for _, e := range testSet.Examples {
+		c1, f1 := r1.Run(e.Gesture)
+		c2, f2 := r2.Run(e.Gesture)
+		if c1 != c2 || f1 != f2 {
+			t.Fatalf("recognizers disagree on identical training")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package eager
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/features"
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/linalg"
+)
+
+// Done implements the paper's D function on a complete gesture prefix:
+// true iff the AUC classifies the prefix's feature vector into one of the
+// complete sets, i.e. the prefix is judged unambiguous.
+func (r *Recognizer) Done(g gesture.Gesture) bool {
+	if g.Len() < r.Opts.MinSubgesture {
+		return false
+	}
+	f := r.Full.Features(g)
+	name, _ := r.AUC.Classify(f)
+	return IsCompleteSet(name)
+}
+
+// Classify runs the full classifier on a gesture (used at the moment D
+// fires, and as the fallback when the gesture ends without ever being
+// judged unambiguous).
+func (r *Recognizer) Classify(g gesture.Gesture) string {
+	return r.Full.Classify(g)
+}
+
+// Session consumes one gesture's points as they arrive, implementing the
+// paper's eager-recognition loop: "Each time a new mouse point arrives it
+// is appended to the gesture being collected, and D is applied ... Once D
+// returns true the collected gesture is passed to C-hat" — all with O(1)
+// work per point (incremental features plus one AUC evaluation).
+type Session struct {
+	r       *Recognizer
+	ext     *features.Extractor
+	points  geom.Path
+	decided bool
+	class   string
+	// Scratch buffers keep the per-point path allocation-free.
+	featBuf linalg.Vec
+	aucBuf  []float64
+	fullBuf []float64
+}
+
+// NewSession starts a streaming recognition session.
+func (r *Recognizer) NewSession() *Session {
+	return &Session{
+		r:       r,
+		ext:     features.NewExtractor(r.Full.Opts),
+		featBuf: make(linalg.Vec, r.Full.Opts.Dim()),
+		aucBuf:  make([]float64, r.AUC.NumClasses()),
+		fullBuf: make([]float64, r.Full.C.NumClasses()),
+	}
+}
+
+// Add feeds one mouse point. It returns true the first time the gesture
+// becomes unambiguous, along with the recognized class. After the session
+// has decided, further Adds still accumulate points (harmless) but report
+// decided=false so callers act on the transition exactly once.
+func (s *Session) Add(p geom.TimedPoint) (fired bool, class string) {
+	s.points = append(s.points, p)
+	s.ext.Add(p)
+	if s.decided || len(s.points) < s.r.Opts.MinSubgesture {
+		return false, ""
+	}
+	f := s.ext.VectorInto(s.featBuf)
+	name, _ := s.r.AUC.ClassifyInto(f, s.aucBuf)
+	if !IsCompleteSet(name) {
+		return false, ""
+	}
+	class, _ = s.r.Full.C.ClassifyInto(f, s.fullBuf)
+	if s.r.Opts.RequireAgreement && class != strings.TrimPrefix(name, CompletePrefix) {
+		// The AUC believes the prefix is unambiguous but the full
+		// classifier has not caught up yet (typical right at a corner):
+		// wait for them to agree.
+		return false, ""
+	}
+	s.decided = true
+	s.class = class
+	return true, s.class
+}
+
+// Decided reports whether the session has already fired.
+func (s *Session) Decided() bool { return s.decided }
+
+// Class returns the recognized class, or "" before any decision.
+func (s *Session) Class() string { return s.class }
+
+// PointCount returns the number of points fed so far.
+func (s *Session) PointCount() int { return len(s.points) }
+
+// Gesture returns the points collected so far as a gesture.
+func (s *Session) Gesture() gesture.Gesture { return gesture.New(s.points) }
+
+// End finishes the session at mouse-up: if the gesture was never judged
+// unambiguous, it is classified in full now. Returns the final class.
+func (s *Session) End() string {
+	if !s.decided {
+		s.class = s.r.Classify(s.Gesture())
+		s.decided = true
+	}
+	return s.class
+}
+
+// Run replays an entire gesture through a fresh session and reports the
+// outcome: the recognized class and the number of points that had been
+// seen when recognition fired (|g| when it only fired at the end). This is
+// the measurement behind the paper's "percentage of mouse points examined"
+// statistics in section 5.
+func (r *Recognizer) Run(g gesture.Gesture) (class string, firedAt int) {
+	s := r.NewSession()
+	for i, p := range g.Points {
+		if fired, c := s.Add(p); fired {
+			return c, i + 1
+		}
+	}
+	return s.End(), g.Len()
+}
+
+// WriteJSON serializes the recognizer.
+func (r *Recognizer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("eager: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a recognizer.
+func ReadJSON(rd io.Reader) (*Recognizer, error) {
+	var r Recognizer
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("eager: decode: %w", err)
+	}
+	if r.Full == nil || r.AUC == nil {
+		return nil, fmt.Errorf("eager: incomplete recognizer JSON")
+	}
+	if r.Opts.MinSubgesture < 2 {
+		r.Opts.MinSubgesture = DefaultOptions().MinSubgesture
+	}
+	return &r, nil
+}
+
+// SaveFile writes the recognizer to the named file.
+func (r *Recognizer) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("eager: %w", err)
+	}
+	defer f.Close()
+	if err := r.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a recognizer from the named file.
+func LoadFile(path string) (*Recognizer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("eager: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eager"
+	"repro/internal/features"
+	"repro/internal/synth"
+)
+
+// AblationRow is one configuration's outcome in a sweep.
+type AblationRow struct {
+	Label         string
+	EagerAccuracy float64
+	Eagerness     float64
+	FullAccuracy  float64
+}
+
+// Ablation is a family of configurations evaluated on one workload.
+type Ablation struct {
+	Name string
+	Rows []AblationRow
+}
+
+// Format renders the sweep as a table.
+func (a *Ablation) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== ablation: %s ==\n", a.Name)
+	fmt.Fprintf(&b, "%-24s %8s %9s %8s\n", "config", "eager%", "seen%", "full%")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-24s %7.1f%% %8.1f%% %7.1f%%\n",
+			r.Label, 100*r.EagerAccuracy, 100*r.Eagerness, 100*r.FullAccuracy)
+	}
+	return b.String()
+}
+
+func runRow(label string, classes []synth.Class, cfg Config) (AblationRow, error) {
+	res, err := RunEagerEval(label, classes, cfg)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Label:         label,
+		EagerAccuracy: res.EagerAccuracy,
+		Eagerness:     res.Eagerness,
+		FullAccuracy:  res.FullAccuracy,
+	}, nil
+}
+
+// AblationTwoClassAUC compares the paper's 2C-class AUC against the naive
+// two-class (ambiguous/unambiguous) discriminator that section 4.4 argues
+// cannot work well, on the figure-9 workload.
+func AblationTwoClassAUC(cfg Config) (*Ablation, error) {
+	classes := synth.EightDirectionClasses()
+	out := &Ablation{Name: "two-class vs 2C-class AUC (fig9 workload, §4.4)"}
+
+	row, err := runRow("2C-class (paper)", classes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+
+	c2 := cfg
+	c2.Eager.TwoClassAUC = true
+	row, err = runRow("two-class (baseline)", classes, c2)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+	return out, nil
+}
+
+// AblationBiasSweep sweeps the ambiguity-bias factor around the paper's
+// choice of 5 (section 4.6), exposing the accuracy/eagerness trade-off.
+func AblationBiasSweep(cfg Config, factors []float64) (*Ablation, error) {
+	if len(factors) == 0 {
+		factors = []float64{1, 2, 5, 10, 25}
+	}
+	classes := synth.EightDirectionClasses()
+	out := &Ablation{Name: "ambiguity bias sweep (fig9 workload, §4.6; paper uses 5)"}
+	for _, f := range factors {
+		c := cfg
+		c.Eager.AmbiguityBias = f
+		row, err := runRow(fmt.Sprintf("bias %gx", f), classes, c)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationThresholdSweep sweeps the accidental-completeness threshold
+// fraction around the paper's 50% (section 4.5). 0 disables the move step
+// entirely.
+func AblationThresholdSweep(cfg Config, fracs []float64) (*Ablation, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.25, 0.5, 0.75, 1}
+	}
+	classes := synth.EightDirectionClasses()
+	out := &Ablation{Name: "accidental-completeness threshold sweep (fig9 workload, §4.5; paper uses 50%)"}
+	for _, f := range fracs {
+		c := cfg
+		c.Eager.MoveThresholdFrac = f
+		c.Eager.SkipMoveAccidental = f == 0
+		row, err := runRow(fmt.Sprintf("threshold %.0f%%", 100*f), classes, c)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationAgreement compares the paper's fire rule (pass the prefix to the
+// full classifier the moment the AUC says unambiguous) against agreement
+// gating (fire only when the full classifier's prediction matches the
+// AUC's complete class). Right at a corner the AUC can be a point ahead of
+// the full classifier, producing exactly the kind of eager errors the
+// paper reports; agreement gating trades a sliver of eagerness for
+// accuracy.
+func AblationAgreement(cfg Config) (*Ablation, error) {
+	out := &Ablation{Name: "fire rule: paper vs agreement-gated (extension A5)"}
+	for _, workload := range []struct {
+		name    string
+		classes []synth.Class
+	}{
+		{"fig9", synth.EightDirectionClasses()},
+		{"fig10", synth.GDPClasses()},
+	} {
+		row, err := runRow(workload.name+" paper rule", workload.classes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+		c := cfg
+		c.Eager.RequireAgreement = true
+		row, err = runRow(workload.name+" agreement", workload.classes, c)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// CornerLoopSweep tests the paper's error attribution: "Most of the eager
+// recognizer's errors were due to a corner looping 270 degrees rather than
+// being a sharp 90 degrees, so it appeared to the eager recognizer the
+// second stroke was going in the opposite direction than intended."
+// Training data is fixed (the standard 5% defect rate); the test set's
+// corner-loop probability sweeps from clean to heavily defective. If the
+// attribution is right, eager accuracy must degrade with the defect rate
+// much faster than full accuracy (the full classifier sees the whole
+// corner resolve; the eager one fires inside the loop).
+func CornerLoopSweep(cfg Config, probs []float64) (*Ablation, error) {
+	if len(probs) == 0 {
+		probs = []float64{0, 0.05, 0.1, 0.2, 0.4}
+	}
+	classes := synth.EightDirectionClasses()
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(cfg.TrainSeed)).Set("loop-train", classes, cfg.TrainPerClass)
+	rec, _, err := eager.Train(trainSet, cfg.Eager)
+	if err != nil {
+		return nil, err
+	}
+	out := &Ablation{Name: "corner-loop defect sweep (fig9 workload; §5's error attribution)"}
+	for _, prob := range probs {
+		params := synth.DefaultParams(cfg.TestSeed)
+		params.CornerLoopProb = prob
+		testSet, _ := synth.NewGenerator(params).Set("loop-test", classes, cfg.TestPerClass)
+		fullAcc, _ := rec.Full.Accuracy(testSet)
+		correct, seen, total := 0, 0, 0
+		for _, e := range testSet.Examples {
+			class, firedAt := rec.Run(e.Gesture)
+			if class == e.Class {
+				correct++
+			}
+			seen += firedAt
+			total += e.Gesture.Len()
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:         fmt.Sprintf("loop prob %.0f%%", 100*prob),
+			EagerAccuracy: float64(correct) / float64(testSet.Len()),
+			Eagerness:     float64(seen) / float64(total),
+			FullAccuracy:  fullAcc,
+		})
+	}
+	return out, nil
+}
+
+// FeatureDropSweep measures the full classifier's accuracy on the GDP set
+// when each of the thirteen Rubine features is removed in turn (A6),
+// quantifying each feature's marginal contribution.
+func FeatureDropSweep(cfg Config) (*Ablation, error) {
+	classes := synth.GDPClasses()
+	out := &Ablation{Name: "leave-one-feature-out (GDP workload, 13 Rubine features)"}
+	row, err := runRow("all 13 features", classes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+	for drop := 0; drop < features.NumFeatures; drop++ {
+		use := make([]int, 0, features.NumFeatures-1)
+		for i := 0; i < features.NumFeatures; i++ {
+			if i != drop {
+				use = append(use, i)
+			}
+		}
+		c := cfg
+		c.Eager.Train.Features.Use = use
+		row, err := runRow("without "+features.Names[drop], classes, c)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// TrainSizeSweep measures recognition rate versus training-set size on the
+// GDP set, contextualizing the paper's "typically we train with 15
+// examples of each class".
+func TrainSizeSweep(cfg Config, sizes []int) (*Ablation, error) {
+	if len(sizes) == 0 {
+		sizes = []int{5, 10, 15, 20, 30}
+	}
+	classes := synth.GDPClasses()
+	out := &Ablation{Name: "training-set size sweep (GDP workload, §4.2; paper trains with 15)"}
+	for _, n := range sizes {
+		c := cfg
+		c.TrainPerClass = n
+		row, err := runRow(fmt.Sprintf("%d examples/class", n), classes, c)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

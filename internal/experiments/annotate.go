@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/eager"
+	"repro/internal/synth"
+)
+
+// Annotation is one test example's result in the notation of the paper's
+// figure 9: "7,8/11" means the gesture could have been unambiguously
+// classified after 7 points (hand/oracle), the eager recognizer classified
+// it after 8, and the gesture has 11 points in total. An "E" marks an
+// eager misclassification, an "F" a full-classifier misclassification —
+// exactly the figure's flags.
+type Annotation struct {
+	Class      string
+	Index      int // example number within its class (1-based)
+	MinPoints  int // oracle minimum (0 when unavailable)
+	FiredAt    int // points seen when the eager recognizer classified
+	Total      int // points in the gesture
+	EagerWrong bool
+	FullWrong  bool
+}
+
+// String renders the annotation in the figure's format, e.g. "7,8/11 ru4 E".
+func (a Annotation) String() string {
+	var b strings.Builder
+	if a.MinPoints > 0 {
+		fmt.Fprintf(&b, "%d,%d/%d", a.MinPoints, a.FiredAt, a.Total)
+	} else {
+		fmt.Fprintf(&b, "%d/%d", a.FiredAt, a.Total)
+	}
+	fmt.Fprintf(&b, " %s%d", a.Class, a.Index)
+	if a.EagerWrong {
+		b.WriteString(" E")
+	}
+	if a.FullWrong {
+		b.WriteString(" F")
+	}
+	return b.String()
+}
+
+// Annotate runs the figure-9/figure-10 protocol and returns one annotation
+// per test example, grouped and ordered by class — the machine-readable
+// version of the figures' per-example labels.
+func Annotate(name string, classes []synth.Class, cfg Config) ([]Annotation, error) {
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(cfg.TrainSeed)).Set(name+"-train", classes, cfg.TrainPerClass)
+	testSet, meta := synth.NewGenerator(synth.DefaultParams(cfg.TestSeed)).Set(name+"-test", classes, cfg.TestPerClass)
+	rec, _, err := eager.Train(trainSet, cfg.Eager)
+	if err != nil {
+		return nil, err
+	}
+	counters := make(map[string]int)
+	out := make([]Annotation, 0, testSet.Len())
+	for i, e := range testSet.Examples {
+		counters[e.Class]++
+		class, firedAt := rec.Run(e.Gesture)
+		out = append(out, Annotation{
+			Class:      e.Class,
+			Index:      counters[e.Class],
+			MinPoints:  meta[i].MinPoints,
+			FiredAt:    firedAt,
+			Total:      e.Gesture.Len(),
+			EagerWrong: class != e.Class,
+			FullWrong:  rec.Full.Classify(e.Gesture) != e.Class,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out, nil
+}
+
+// FormatAnnotations renders annotations like the body of figure 9: one
+// line per class, examples space-separated.
+func FormatAnnotations(anns []Annotation) string {
+	var b strings.Builder
+	cur := ""
+	for _, a := range anns {
+		if a.Class != cur {
+			if cur != "" {
+				b.WriteByte('\n')
+			}
+			cur = a.Class
+			fmt.Fprintf(&b, "%-14s", cur)
+		}
+		fmt.Fprintf(&b, "  %s", a.String())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/recognizer"
+	"repro/internal/synth"
+	"repro/internal/template"
+)
+
+// BaselineRow is one recognizer's outcome on one workload.
+type BaselineRow struct {
+	Workload   string
+	Recognizer string
+	Accuracy   float64
+	TrainTime  time.Duration
+	Classify   time.Duration // mean per gesture
+	EagerReady bool          // whether the method supports eager recognition
+}
+
+// BaselineComparison pits Rubine's statistical recognizer against the
+// template-matching (nearest-neighbor) baseline — the family the paper
+// cites as the trainable alternative and the ancestor of the later "$1"
+// recognizers. The point the comparison makes is the paper's: template
+// matching can match accuracy, but its per-classification cost scales with
+// the number of stored templates (and their resampled points) rather than
+// with classes x features, and it offers no subgesture machinery for eager
+// recognition.
+type BaselineComparison struct {
+	Rows []BaselineRow
+}
+
+// Format renders the comparison.
+func (b *BaselineComparison) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== baseline: Rubine statistical vs template matching (A7) ==\n")
+	fmt.Fprintf(&sb, "%-8s %-12s %8s %12s %14s %7s\n", "workload", "recognizer", "acc%", "train", "classify/gest", "eager")
+	for _, r := range b.Rows {
+		eager := "no"
+		if r.EagerReady {
+			eager = "yes"
+		}
+		fmt.Fprintf(&sb, "%-8s %-12s %7.1f%% %12v %14v %7s\n",
+			r.Workload, r.Recognizer, 100*r.Accuracy, r.TrainTime.Round(time.Microsecond),
+			r.Classify.Round(time.Nanosecond), eager)
+	}
+	return sb.String()
+}
+
+// RunBaseline evaluates both recognizers on the fig. 9 and GDP workloads.
+func RunBaseline(cfg Config) (*BaselineComparison, error) {
+	out := &BaselineComparison{}
+	for _, workload := range []struct {
+		name    string
+		classes []synth.Class
+	}{
+		{"fig9", synth.EightDirectionClasses()},
+		{"gdp", synth.GDPClasses()},
+	} {
+		trainSet, _ := synth.NewGenerator(synth.DefaultParams(cfg.TrainSeed)).Set(workload.name+"-train", workload.classes, cfg.TrainPerClass)
+		testSet, _ := synth.NewGenerator(synth.DefaultParams(cfg.TestSeed)).Set(workload.name+"-test", workload.classes, cfg.TestPerClass)
+
+		// Rubine's statistical recognizer.
+		start := time.Now()
+		rub, err := recognizer.Train(trainSet, cfg.Eager.Train)
+		if err != nil {
+			return nil, err
+		}
+		rubTrain := time.Since(start)
+		start = time.Now()
+		const reps = 5
+		var rubAcc float64
+		for i := 0; i < reps; i++ {
+			rubAcc, _ = rub.Accuracy(testSet)
+		}
+		rubClassify := time.Since(start) / time.Duration(reps*testSet.Len())
+		out.Rows = append(out.Rows, BaselineRow{
+			Workload: workload.name, Recognizer: "rubine",
+			Accuracy: rubAcc, TrainTime: rubTrain, Classify: rubClassify,
+			EagerReady: true,
+		})
+
+		// Template baseline.
+		start = time.Now()
+		tmpl, err := template.Train(trainSet, template.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		tmplTrain := time.Since(start)
+		start = time.Now()
+		var tmplAcc float64
+		for i := 0; i < reps; i++ {
+			tmplAcc = tmpl.Accuracy(testSet)
+		}
+		tmplClassify := time.Since(start) / time.Duration(reps*testSet.Len())
+		out.Rows = append(out.Rows, BaselineRow{
+			Workload: workload.name, Recognizer: "template",
+			Accuracy: tmplAcc, TrainTime: tmplTrain, Classify: tmplClassify,
+			EagerReady: false,
+		})
+	}
+	return out, nil
+}

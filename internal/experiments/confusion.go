@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/eager"
+	"repro/internal/synth"
+)
+
+// Confusion is a square confusion matrix over a class list: Counts[i][j]
+// is how many test gestures of Classes[i] were recognized as Classes[j].
+type Confusion struct {
+	Classes []string
+	Counts  [][]int
+}
+
+// newConfusion returns a zeroed matrix over sorted class names.
+func newConfusion(classes []string) *Confusion {
+	sorted := append([]string(nil), classes...)
+	sort.Strings(sorted)
+	counts := make([][]int, len(sorted))
+	for i := range counts {
+		counts[i] = make([]int, len(sorted))
+	}
+	return &Confusion{Classes: sorted, Counts: counts}
+}
+
+func (c *Confusion) index(class string) int {
+	for i, name := range c.Classes {
+		if name == class {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add records one (actual, predicted) outcome. Unknown names are ignored
+// (they cannot occur for well-formed evaluations).
+func (c *Confusion) Add(actual, predicted string) {
+	i, j := c.index(actual), c.index(predicted)
+	if i >= 0 && j >= 0 {
+		c.Counts[i][j]++
+	}
+}
+
+// Accuracy returns the fraction on the diagonal.
+func (c *Confusion) Accuracy() float64 {
+	diag, total := 0, 0
+	for i := range c.Counts {
+		for j, n := range c.Counts[i] {
+			total += n
+			if i == j {
+				diag += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// Errors returns the off-diagonal pairs with nonzero counts, most frequent
+// first.
+func (c *Confusion) Errors() []string {
+	type e struct {
+		s string
+		n int
+	}
+	var errs []e
+	for i := range c.Counts {
+		for j, n := range c.Counts[i] {
+			if i != j && n > 0 {
+				errs = append(errs, e{fmt.Sprintf("%s->%s x%d", c.Classes[i], c.Classes[j], n), n})
+			}
+		}
+	}
+	sort.Slice(errs, func(a, b int) bool {
+		if errs[a].n != errs[b].n {
+			return errs[a].n > errs[b].n
+		}
+		return errs[a].s < errs[b].s
+	})
+	out := make([]string, len(errs))
+	for i, x := range errs {
+		out[i] = x.s
+	}
+	return out
+}
+
+// Format renders the matrix with abbreviated column headers.
+func (c *Confusion) Format() string {
+	var b strings.Builder
+	abbrev := func(s string) string {
+		if len(s) > 4 {
+			return s[:4]
+		}
+		return s
+	}
+	fmt.Fprintf(&b, "%-14s", "actual\\pred")
+	for _, name := range c.Classes {
+		fmt.Fprintf(&b, " %4s", abbrev(name))
+	}
+	b.WriteByte('\n')
+	for i, name := range c.Classes {
+		fmt.Fprintf(&b, "%-14s", name)
+		for j := range c.Classes {
+			if c.Counts[i][j] == 0 && i != j {
+				fmt.Fprintf(&b, " %4s", ".")
+			} else {
+				fmt.Fprintf(&b, " %4d", c.Counts[i][j])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Confusions runs the standard protocol on a workload and returns the
+// confusion matrices of the full classifier and the eager recognizer.
+func Confusions(name string, classes []synth.Class, cfg Config) (full, eagerC *Confusion, err error) {
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(cfg.TrainSeed)).Set(name+"-train", classes, cfg.TrainPerClass)
+	testSet, _ := synth.NewGenerator(synth.DefaultParams(cfg.TestSeed)).Set(name+"-test", classes, cfg.TestPerClass)
+	rec, _, err := eager.Train(trainSet, cfg.Eager)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := synth.ClassNames(classes)
+	full = newConfusion(names)
+	eagerC = newConfusion(names)
+	for _, e := range testSet.Examples {
+		full.Add(e.Class, rec.Full.Classify(e.Gesture))
+		got, _ := rec.Run(e.Gesture)
+		eagerC.Add(e.Class, got)
+	}
+	return full, eagerC, nil
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/recognizer"
+	"repro/internal/synth"
+)
+
+// RejectionRow is one rejection-threshold configuration's outcome.
+type RejectionRow struct {
+	Label string
+	// FalseReject is the fraction of valid test gestures rejected.
+	FalseReject float64
+	// FalseAccept is the fraction of garbage strokes accepted as gestures.
+	FalseAccept float64
+	// AcceptedAccuracy is the accuracy among accepted valid gestures.
+	AcceptedAccuracy float64
+}
+
+// RejectionSweep quantifies §4.2's rejection machinery: "it is possible to
+// bias the classifier away from certain classes ... the computed classifier
+// works by creating a distance metric (the Mahalanobis distance)". The
+// paper's companion work rejects gestures with low estimated probability or
+// large Mahalanobis distance; this sweep measures the false-reject /
+// false-accept trade-off of both thresholds on the GDP workload, using
+// random scribbles as the garbage class.
+type RejectionSweep struct {
+	Rows []RejectionRow
+}
+
+// Format renders the sweep.
+func (r *RejectionSweep) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== rejection sweep: GDP workload + garbage scribbles (§4.2) ==\n")
+	fmt.Fprintf(&b, "%-28s %12s %12s %10s\n", "config", "false-rej%", "false-acc%", "acc-acc%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s %11.1f%% %11.1f%% %9.1f%%\n",
+			row.Label, 100*row.FalseReject, 100*row.FalseAccept, 100*row.AcceptedAccuracy)
+	}
+	return b.String()
+}
+
+// garbageStrokes synthesizes strokes that belong to no gesture class:
+// random walks and dense spirals with gesture-like sampling.
+func garbageStrokes(n int, seed int64) []gesture.Gesture {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]gesture.Gesture, 0, n)
+	for i := 0; i < n; i++ {
+		var p geom.Path
+		x := 100 + rng.Float64()*300
+		y := 100 + rng.Float64()*200
+		t := 0.0
+		if i%2 == 0 {
+			// Random walk.
+			steps := 15 + rng.Intn(30)
+			for s := 0; s < steps; s++ {
+				x += rng.NormFloat64() * 14
+				y += rng.NormFloat64() * 14
+				t += 0.02
+				p = append(p, geom.TimedPoint{X: x, Y: y, T: t})
+			}
+		} else {
+			// Expanding spiral.
+			steps := 25 + rng.Intn(25)
+			for s := 0; s < steps; s++ {
+				ang := float64(s) * (0.5 + rng.Float64()*0.4)
+				r := 3 + float64(s)*2.2
+				t += 0.02
+				p = append(p, geom.TimedPoint{
+					X: x + r*math.Cos(ang), Y: y + r*math.Sin(ang), T: t,
+				})
+			}
+		}
+		out = append(out, gesture.New(p))
+	}
+	return out
+}
+
+// RunRejection trains a GDP classifier and sweeps rejection thresholds.
+func RunRejection(cfg Config) (*RejectionSweep, error) {
+	classes := synth.GDPClasses()
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(cfg.TrainSeed)).Set("rej-train", classes, cfg.TrainPerClass)
+	testSet, _ := synth.NewGenerator(synth.DefaultParams(cfg.TestSeed)).Set("rej-test", classes, cfg.TestPerClass)
+	rec, err := recognizer.Train(trainSet, cfg.Eager.Train)
+	if err != nil {
+		return nil, err
+	}
+	garbage := garbageStrokes(testSet.Len(), cfg.TestSeed+13)
+
+	type gate struct {
+		label   string
+		minProb float64
+		maxDist float64
+	}
+	gates := []gate{
+		{"no rejection", 0, math.Inf(1)},
+		{"P >= 0.90", 0.90, math.Inf(1)},
+		{"P >= 0.99", 0.99, math.Inf(1)},
+		{"Mahalanobis <= 12", 0, 12},
+		{"Mahalanobis <= 8", 0, 8},
+		{"P >= 0.95 & dist <= 10", 0.95, 10},
+	}
+
+	sweep := &RejectionSweep{}
+	for _, g := range gates {
+		accepts := func(res recognizerResult) bool {
+			return res.prob >= g.minProb && res.dist <= g.maxDist
+		}
+		var falseRej, accepted, acceptedCorrect int
+		for _, e := range testSet.Examples {
+			res := evalOne(rec, e.Gesture)
+			if !accepts(res) {
+				falseRej++
+				continue
+			}
+			accepted++
+			if res.class == e.Class {
+				acceptedCorrect++
+			}
+		}
+		var falseAcc int
+		for _, s := range garbage {
+			if accepts(evalOne(rec, s)) {
+				falseAcc++
+			}
+		}
+		row := RejectionRow{
+			Label:       g.label,
+			FalseReject: float64(falseRej) / float64(testSet.Len()),
+			FalseAccept: float64(falseAcc) / float64(len(garbage)),
+		}
+		if accepted > 0 {
+			row.AcceptedAccuracy = float64(acceptedCorrect) / float64(accepted)
+		}
+		sweep.Rows = append(sweep.Rows, row)
+	}
+	return sweep, nil
+}
+
+type recognizerResult struct {
+	class string
+	prob  float64
+	dist  float64
+}
+
+func evalOne(rec *recognizer.Full, g gesture.Gesture) recognizerResult {
+	res := rec.Evaluate(g)
+	return recognizerResult{class: res.Class, prob: res.Probability, dist: res.Mahalanobis}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/gesture"
+	"repro/internal/recognizer"
+	"repro/internal/synth"
+)
+
+// TailEffect reproduces the claim in the paper's conclusion: "Consider the
+// 'move text' gesture ... after the text is selected the gesture continues
+// and the destination of the text is indicated by the 'tail' of the
+// gesture. The size and shape of this tail will vary greatly with each
+// instance ... This variation makes the gesture difficult to recognize in
+// general, especially when using a trainable recognizer. ... in a
+// two-phase interaction the tail is no longer part of the gesture, but
+// instead part of the manipulation. Trainable recognition techniques will
+// be much more successful on the remaining prefix."
+//
+// One-phase condition: every gesture (training and test) carries a random
+// destination tail, and the trainable recognizer must classify the whole
+// stroke. Two-phase condition: the same marks without tails — what the
+// classifier sees when the tail has become manipulation.
+type TailEffect struct {
+	OnePhaseAccuracy float64 // mean over replicates
+	TwoPhaseAccuracy float64 // mean over replicates
+	Replicates       int
+	OnePhaseWins     int // replicates where one-phase was strictly better
+	TwoPhaseWins     int // replicates where two-phase was strictly better
+	TrainPerClass    int
+	TestPerClass     int
+}
+
+// Format renders the comparison.
+func (r *TailEffect) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== tail effect: proofreader marks, one-phase vs two-phase (paper conclusion; %d replicates) ==\n", r.Replicates)
+	fmt.Fprintf(&b, "one-phase (tail in gesture) : %6.1f%%  (better in %d/%d runs)\n",
+		100*r.OnePhaseAccuracy, r.OnePhaseWins, r.Replicates)
+	fmt.Fprintf(&b, "two-phase (tail = manip)    : %6.1f%%  (better in %d/%d runs)\n",
+		100*r.TwoPhaseAccuracy, r.TwoPhaseWins, r.Replicates)
+	return b.String()
+}
+
+// tailed builds the one-phase class variants, each sample with a random
+// tail direction and length — the "vary greatly with each instance" part.
+// Each call re-derives tail geometry from rng, so training and test draws
+// differ in exactly the way real destinations would.
+func tailedSamples(classes []synth.Class, n int, seed int64) *gesture.Set {
+	rng := rand.New(rand.NewSource(seed))
+	gen := synth.NewGenerator(synth.DefaultParams(seed + 500))
+	set := &gesture.Set{Name: "tailed"}
+	for _, c := range classes {
+		for i := 0; i < n; i++ {
+			dx := 60 + rng.Float64()*240
+			if rng.Intn(2) == 0 {
+				dx = -dx
+			}
+			dy := rng.Float64()*260 - 130
+			tc := synth.WithTail(c, dx, dy)
+			s := gen.Sample(tc)
+			set.Add(c.Name, s.G)
+		}
+	}
+	return set
+}
+
+// RunTailEffect trains and tests the two conditions, averaging over
+// several replicates (different seeds) to separate the effect from
+// sampling noise.
+func RunTailEffect(cfg Config) (*TailEffect, error) {
+	classes := synth.ProofreaderClasses()
+	const replicates = 8
+	res := &TailEffect{
+		Replicates:    replicates,
+		TrainPerClass: cfg.TrainPerClass,
+		TestPerClass:  cfg.TestPerClass,
+	}
+	for r := 0; r < replicates; r++ {
+		trainSeed := cfg.TrainSeed + int64(r)*77
+		testSeed := cfg.TestSeed + int64(r)*77
+
+		// One-phase: tails everywhere.
+		train1 := tailedSamples(classes, cfg.TrainPerClass, trainSeed)
+		test1 := tailedSamples(classes, cfg.TestPerClass, testSeed)
+		rec1, err := recognizer.Train(train1, cfg.Eager.Train)
+		if err != nil {
+			return nil, fmt.Errorf("experiments tail one-phase: %w", err)
+		}
+		acc1, _ := rec1.Accuracy(test1)
+
+		// Two-phase: the classifier sees only the mark proper.
+		gen := synth.NewGenerator(synth.DefaultParams(trainSeed))
+		train2, _ := gen.Set("twophase-train", classes, cfg.TrainPerClass)
+		gen2 := synth.NewGenerator(synth.DefaultParams(testSeed))
+		test2, _ := gen2.Set("twophase-test", classes, cfg.TestPerClass)
+		rec2, err := recognizer.Train(train2, cfg.Eager.Train)
+		if err != nil {
+			return nil, fmt.Errorf("experiments tail two-phase: %w", err)
+		}
+		acc2, _ := rec2.Accuracy(test2)
+
+		res.OnePhaseAccuracy += acc1
+		res.TwoPhaseAccuracy += acc2
+		switch {
+		case acc1 > acc2:
+			res.OnePhaseWins++
+		case acc2 > acc1:
+			res.TwoPhaseWins++
+		}
+	}
+	res.OnePhaseAccuracy /= replicates
+	res.TwoPhaseAccuracy /= replicates
+	return res, nil
+}

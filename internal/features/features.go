@@ -1,0 +1,284 @@
+// Package features computes the paper's per-gesture feature vector. The
+// statistical recognizer (section 4.2) represents a gesture by a vector of
+// geometric and dynamic features, "each [of which] has the property that it
+// can be updated in constant time per mouse point, thus arbitrarily large
+// gestures can be handled."
+//
+// The USENIX paper says "currently twelve" features; the companion
+// SIGGRAPH '91 paper ("Specifying gestures by example") fixes the canonical
+// set at thirteen. This package implements all thirteen, in the SIGGRAPH
+// numbering, with an optional subset mask for ablations:
+//
+//	f1  cosine of the initial angle (from the 1st to the 3rd point)
+//	f2  sine of the initial angle
+//	f3  length of the bounding-box diagonal
+//	f4  angle of the bounding-box diagonal
+//	f5  distance between the first and last points
+//	f6  cosine of the angle from the first to the last point
+//	f7  sine of the angle from the first to the last point
+//	f8  total path length
+//	f9  total angle traversed (signed sum of inter-segment turns)
+//	f10 sum of the absolute values of the turn angles
+//	f11 sum of the squared turn angles ("sharpness")
+//	f12 maximum squared speed
+//	f13 path duration
+//
+// Following Rubine's reference implementation, input points that move less
+// than MinMove pixels from the previous accepted point are discarded; this
+// stabilizes the angular features against sensor jitter.
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/linalg"
+)
+
+// NumFeatures is the size of the full feature vector.
+const NumFeatures = 13
+
+// Feature indices into the full vector (f1 is index 0, and so on).
+const (
+	FInitCos = iota
+	FInitSin
+	FBBoxLen
+	FBBoxAngle
+	FEndDist
+	FEndCos
+	FEndSin
+	FPathLen
+	FTotalAngle
+	FAbsAngle
+	FSqrAngle
+	FMaxSpeedSq
+	FDuration
+)
+
+// Names maps feature indices to short human-readable names, in order.
+var Names = [NumFeatures]string{
+	"initCos", "initSin", "bboxLen", "bboxAngle", "endDist",
+	"endCos", "endSin", "pathLen", "totalAngle", "absAngle",
+	"sqrAngle", "maxSpeedSq", "duration",
+}
+
+// Options configures feature extraction. The zero value is NOT the default;
+// call DefaultOptions.
+type Options struct {
+	// MinMove is the minimum distance, in pixels, a point must travel from
+	// the previously accepted point to be accepted. Rubine's implementation
+	// used 3 pixels.
+	MinMove float64
+	// Use selects a subset of features by index. Nil or empty means all
+	// thirteen. The produced vector has len(Use) entries in Use order.
+	Use []int
+}
+
+// DefaultOptions returns the paper-faithful configuration: 3-pixel movement
+// threshold and all thirteen features.
+func DefaultOptions() Options { return Options{MinMove: 3} }
+
+// Dim returns the dimensionality of vectors produced under these options.
+func (o Options) Dim() int {
+	if len(o.Use) == 0 {
+		return NumFeatures
+	}
+	return len(o.Use)
+}
+
+// Validate checks that the options are usable.
+func (o Options) Validate() error {
+	if o.MinMove < 0 {
+		return fmt.Errorf("features: MinMove must be >= 0, got %v", o.MinMove)
+	}
+	for _, i := range o.Use {
+		if i < 0 || i >= NumFeatures {
+			return fmt.Errorf("features: feature index %d out of range [0,%d)", i, NumFeatures)
+		}
+	}
+	return nil
+}
+
+// project maps a full 13-feature vector to the configured subset.
+func (o Options) project(full []float64) linalg.Vec {
+	if len(o.Use) == 0 {
+		return linalg.Vec(append([]float64(nil), full...))
+	}
+	out := make(linalg.Vec, len(o.Use))
+	for i, idx := range o.Use {
+		out[i] = full[idx]
+	}
+	return out
+}
+
+// Extractor accumulates feature state one mouse point at a time. Each Add
+// is O(1); Vector is O(1) in the number of points. The zero value is not
+// usable; construct with NewExtractor.
+type Extractor struct {
+	opts Options
+
+	raw      int // points fed, including filtered ones
+	accepted int // points accepted past the MinMove filter
+
+	startX, startY, startT float64
+	endX, endY, endT       float64
+	minX, minY, maxX, maxY float64
+
+	initialCos, initialSin float64
+	initialSet             bool
+
+	dx2, dy2 float64 // previous accepted segment delta
+
+	pathLen    float64
+	totalAngle float64
+	absAngle   float64
+	sqrAngle   float64
+	maxSpeedSq float64
+}
+
+// NewExtractor returns an extractor with the given options. Invalid options
+// panic; validate beforehand when options come from external input.
+func NewExtractor(opts Options) *Extractor {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	return &Extractor{opts: opts}
+}
+
+// Reset returns the extractor to its initial state, keeping its options.
+func (e *Extractor) Reset() {
+	opts := e.opts
+	*e = Extractor{opts: opts}
+}
+
+// RawCount returns the number of points fed to the extractor, including
+// points discarded by the MinMove filter.
+func (e *Extractor) RawCount() int { return e.raw }
+
+// AcceptedCount returns the number of points that survived the filter.
+func (e *Extractor) AcceptedCount() int { return e.accepted }
+
+// Add feeds one mouse sample to the extractor.
+func (e *Extractor) Add(p geom.TimedPoint) {
+	e.raw++
+	if e.accepted == 0 {
+		e.accepted = 1
+		e.startX, e.startY, e.startT = p.X, p.Y, p.T
+		e.endX, e.endY, e.endT = p.X, p.Y, p.T
+		e.minX, e.maxX = p.X, p.X
+		e.minY, e.maxY = p.Y, p.Y
+		return
+	}
+	dx := p.X - e.endX
+	dy := p.Y - e.endY
+	magSq := dx*dx + dy*dy
+	if magSq <= e.opts.MinMove*e.opts.MinMove {
+		return // jitter; ignore (Rubine's dist_sq_threshold)
+	}
+	e.accepted++
+
+	e.minX = math.Min(e.minX, p.X)
+	e.maxX = math.Max(e.maxX, p.X)
+	e.minY = math.Min(e.minY, p.Y)
+	e.maxY = math.Max(e.maxY, p.Y)
+
+	e.pathLen += math.Sqrt(magSq)
+
+	if e.accepted == 3 && !e.initialSet {
+		// Initial angle from the start to the third accepted point.
+		idx := p.X - e.startX
+		idy := p.Y - e.startY
+		if m := idx*idx + idy*idy; m > e.opts.MinMove*e.opts.MinMove {
+			r := 1 / math.Sqrt(m)
+			e.initialCos = idx * r
+			e.initialSin = idy * r
+			e.initialSet = true
+		}
+	}
+	if e.accepted >= 3 {
+		th := math.Atan2(dx*e.dy2-e.dx2*dy, dx*e.dx2+dy*e.dy2)
+		e.totalAngle += th
+		e.absAngle += math.Abs(th)
+		e.sqrAngle += th * th
+	}
+	if dt := p.T - e.endT; dt > 0 {
+		if v := magSq / (dt * dt); v > e.maxSpeedSq {
+			e.maxSpeedSq = v
+		}
+	}
+
+	e.endX, e.endY, e.endT = p.X, p.Y, p.T
+	e.dx2, e.dy2 = dx, dy
+}
+
+// full returns the complete 13-feature vector for the current state.
+// Undefined quantities (e.g. the initial angle of a 1-point gesture) are
+// zero, which matches the behaviour of Rubine's implementation for
+// degenerate input such as GDP's "dot" gesture.
+func (e *Extractor) full() [NumFeatures]float64 {
+	var f [NumFeatures]float64
+	if e.accepted == 0 {
+		return f
+	}
+	f[FInitCos] = e.initialCos
+	f[FInitSin] = e.initialSin
+	bw := e.maxX - e.minX
+	bh := e.maxY - e.minY
+	f[FBBoxLen] = math.Hypot(bw, bh)
+	if bw != 0 || bh != 0 {
+		f[FBBoxAngle] = math.Atan2(bh, bw)
+	}
+	ex := e.endX - e.startX
+	ey := e.endY - e.startY
+	d := math.Hypot(ex, ey)
+	f[FEndDist] = d
+	if d > 0 {
+		f[FEndCos] = ex / d
+		f[FEndSin] = ey / d
+	}
+	f[FPathLen] = e.pathLen
+	f[FTotalAngle] = e.totalAngle
+	f[FAbsAngle] = e.absAngle
+	f[FSqrAngle] = e.sqrAngle
+	f[FMaxSpeedSq] = e.maxSpeedSq
+	f[FDuration] = e.endT - e.startT
+	return f
+}
+
+// Vector returns the feature vector for the points added so far, projected
+// through the configured feature subset. The returned vector is a fresh
+// copy; the extractor may continue to accumulate points afterwards.
+func (e *Extractor) Vector() linalg.Vec {
+	f := e.full()
+	return e.opts.project(f[:])
+}
+
+// VectorInto writes the current feature vector into out (which must have
+// length Options.Dim()) and returns it, performing no allocation — the
+// per-mouse-point hot-path form.
+func (e *Extractor) VectorInto(out linalg.Vec) linalg.Vec {
+	if len(out) != e.opts.Dim() {
+		panic(fmt.Sprintf("features: buffer length %d, want %d", len(out), e.opts.Dim()))
+	}
+	f := e.full()
+	if len(e.opts.Use) == 0 {
+		copy(out, f[:])
+		return out
+	}
+	for i, idx := range e.opts.Use {
+		out[i] = f[idx]
+	}
+	return out
+}
+
+// Compute returns the feature vector of an entire path in one call. It is
+// exactly equivalent to feeding the path point-by-point to a fresh
+// Extractor; the incremental path is the single source of truth.
+func Compute(p geom.Path, opts Options) linalg.Vec {
+	e := NewExtractor(opts)
+	for _, tp := range p {
+		e.Add(tp)
+	}
+	return e.Vector()
+}

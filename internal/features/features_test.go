@@ -1,0 +1,437 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/linalg"
+	"repro/internal/mathx"
+)
+
+// naive is an independent, straightforward implementation of the thirteen
+// features, written directly from the definitions (with the same MinMove
+// pre-filter applied up front). It exists only to cross-check the
+// incremental extractor.
+func naive(p geom.Path, minMove float64) linalg.Vec {
+	// Apply the movement filter first.
+	var pts geom.Path
+	for _, tp := range p {
+		if len(pts) == 0 {
+			pts = append(pts, tp)
+			continue
+		}
+		last := pts[len(pts)-1]
+		if tp.Point().DistSq(last.Point()) > minMove*minMove {
+			pts = append(pts, tp)
+		}
+	}
+	f := make(linalg.Vec, NumFeatures)
+	if len(pts) == 0 {
+		return f
+	}
+	if len(pts) >= 3 {
+		dx := pts[2].X - pts[0].X
+		dy := pts[2].Y - pts[0].Y
+		if d := math.Hypot(dx, dy); d > minMove {
+			f[FInitCos] = dx / d
+			f[FInitSin] = dy / d
+		}
+	}
+	b := pts.Bounds()
+	f[FBBoxLen] = b.Diagonal()
+	if b.Width() != 0 || b.Height() != 0 {
+		f[FBBoxAngle] = math.Atan2(b.Height(), b.Width())
+	}
+	last := pts[len(pts)-1]
+	ex, ey := last.X-pts[0].X, last.Y-pts[0].Y
+	d := math.Hypot(ex, ey)
+	f[FEndDist] = d
+	if d > 0 {
+		f[FEndCos] = ex / d
+		f[FEndSin] = ey / d
+	}
+	f[FPathLen] = pts.Length()
+	for i := 2; i < len(pts); i++ {
+		dx1 := pts[i].X - pts[i-1].X
+		dy1 := pts[i].Y - pts[i-1].Y
+		dx2 := pts[i-1].X - pts[i-2].X
+		dy2 := pts[i-1].Y - pts[i-2].Y
+		th := math.Atan2(dx1*dy2-dx2*dy1, dx1*dx2+dy1*dy2)
+		f[FTotalAngle] += th
+		f[FAbsAngle] += math.Abs(th)
+		f[FSqrAngle] += th * th
+	}
+	for i := 1; i < len(pts); i++ {
+		dt := pts[i].T - pts[i-1].T
+		if dt <= 0 {
+			continue
+		}
+		v := pts[i].Point().DistSq(pts[i-1].Point()) / (dt * dt)
+		if v > f[FMaxSpeedSq] {
+			f[FMaxSpeedSq] = v
+		}
+	}
+	f[FDuration] = last.T - pts[0].T
+	return f
+}
+
+func vecApproxEqual(a, b linalg.Vec, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !mathx.ApproxEqual(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// randomPath builds a jittery multi-segment path from a seed.
+func randomPath(seed int64, n int) geom.Path {
+	rng := rand.New(rand.NewSource(seed))
+	p := make(geom.Path, 0, n)
+	x, y, t := 100.0, 100.0, 0.0
+	for i := 0; i < n; i++ {
+		x += rng.NormFloat64() * 8
+		y += rng.NormFloat64() * 8
+		t += 0.01 + rng.Float64()*0.02
+		p = append(p, geom.TimedPoint{X: x, Y: y, T: t})
+	}
+	return p
+}
+
+func TestIncrementalMatchesNaive(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		p := randomPath(seed, int(n%64)+1)
+		inc := Compute(p, DefaultOptions())
+		ref := naive(p, 3)
+		return vecApproxEqual(inc, ref, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncrementalMatchesNaiveAtEveryPrefix(t *testing.T) {
+	p := randomPath(99, 40)
+	e := NewExtractor(DefaultOptions())
+	for i, tp := range p {
+		e.Add(tp)
+		got := e.Vector()
+		want := naive(p[:i+1], 3)
+		if !vecApproxEqual(got, want, 1e-9) {
+			t.Fatalf("prefix %d: incremental %v != naive %v", i+1, got, want)
+		}
+	}
+}
+
+func TestStraightLineFeatures(t *testing.T) {
+	// Horizontal line left-to-right: 11 points, 10px apart, 10ms apart.
+	p := make(geom.Path, 11)
+	for i := range p {
+		p[i] = geom.TimedPoint{X: float64(i * 10), Y: 0, T: float64(i) * 0.01}
+	}
+	f := Compute(p, DefaultOptions())
+	if !mathx.ApproxEqual(f[FInitCos], 1, 1e-9) || !mathx.ApproxEqual(f[FInitSin], 0, 1e-9) {
+		t.Errorf("initial angle = (%v, %v)", f[FInitCos], f[FInitSin])
+	}
+	if !mathx.ApproxEqual(f[FBBoxLen], 100, 1e-9) {
+		t.Errorf("bbox len = %v", f[FBBoxLen])
+	}
+	if !mathx.ApproxEqual(f[FBBoxAngle], 0, 1e-9) {
+		t.Errorf("bbox angle = %v", f[FBBoxAngle])
+	}
+	if !mathx.ApproxEqual(f[FEndDist], 100, 1e-9) {
+		t.Errorf("end dist = %v", f[FEndDist])
+	}
+	if !mathx.ApproxEqual(f[FEndCos], 1, 1e-9) || !mathx.ApproxEqual(f[FEndSin], 0, 1e-9) {
+		t.Errorf("end angle = (%v, %v)", f[FEndCos], f[FEndSin])
+	}
+	if !mathx.ApproxEqual(f[FPathLen], 100, 1e-9) {
+		t.Errorf("path len = %v", f[FPathLen])
+	}
+	for _, idx := range []int{FTotalAngle, FAbsAngle, FSqrAngle} {
+		if !mathx.ApproxEqual(f[idx], 0, 1e-9) {
+			t.Errorf("straight line angle feature %s = %v", Names[idx], f[idx])
+		}
+	}
+	// Speed: 10px / 10ms = 1000 px/s -> squared 1e6.
+	if !mathx.ApproxEqual(f[FMaxSpeedSq], 1e6, 1e-9) {
+		t.Errorf("max speed sq = %v", f[FMaxSpeedSq])
+	}
+	if !mathx.ApproxEqual(f[FDuration], 0.1, 1e-9) {
+		t.Errorf("duration = %v", f[FDuration])
+	}
+}
+
+func TestRightAngleTurn(t *testing.T) {
+	// Right then down (screen coords): the single turn is +pi/2 in atan2
+	// terms with y growing downward.
+	p := geom.Path{
+		{X: 0, Y: 0, T: 0},
+		{X: 20, Y: 0, T: 0.02},
+		{X: 40, Y: 0, T: 0.04},
+		{X: 40, Y: 20, T: 0.06},
+		{X: 40, Y: 40, T: 0.08},
+	}
+	f := Compute(p, DefaultOptions())
+	if !mathx.ApproxEqual(math.Abs(f[FTotalAngle]), math.Pi/2, 1e-9) {
+		t.Errorf("total angle = %v, want +-pi/2", f[FTotalAngle])
+	}
+	if !mathx.ApproxEqual(f[FAbsAngle], math.Pi/2, 1e-9) {
+		t.Errorf("abs angle = %v", f[FAbsAngle])
+	}
+	if !mathx.ApproxEqual(f[FSqrAngle], math.Pi*math.Pi/4, 1e-9) {
+		t.Errorf("sqr angle = %v", f[FSqrAngle])
+	}
+}
+
+func TestTotalAngleSign(t *testing.T) {
+	// A clockwise loop and its mirror must have opposite total angle.
+	cw := geom.Path{
+		geom.TPt(0, 0, 0), geom.TPt(20, 0, 0.02), geom.TPt(20, 20, 0.04), geom.TPt(0, 20, 0.06), geom.TPt(0, 0, 0.08),
+	}
+	ccw := geom.Path{
+		geom.TPt(0, 0, 0), geom.TPt(0, 20, 0.02), geom.TPt(20, 20, 0.04), geom.TPt(20, 0, 0.06), geom.TPt(0, 0, 0.08),
+	}
+	f1 := Compute(cw, DefaultOptions())
+	f2 := Compute(ccw, DefaultOptions())
+	if f1[FTotalAngle]*f2[FTotalAngle] >= 0 {
+		t.Errorf("loop orientations not distinguished: %v vs %v", f1[FTotalAngle], f2[FTotalAngle])
+	}
+	if !mathx.ApproxEqual(f1[FAbsAngle], f2[FAbsAngle], 1e-9) {
+		t.Errorf("mirrored abs angle differ: %v vs %v", f1[FAbsAngle], f2[FAbsAngle])
+	}
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	f := func(seed int64, dx, dy int16) bool {
+		p := randomPath(seed, 30)
+		q := p.Translate(float64(dx), float64(dy))
+		return vecApproxEqual(Compute(p, DefaultOptions()), Compute(q, DefaultOptions()), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeShiftInvariance(t *testing.T) {
+	f := func(seed int64, dt uint16) bool {
+		p := randomPath(seed, 25)
+		q := p.TimeShift(float64(dt))
+		// Large shifts lose low-order timestamp bits, which squares into the
+		// max-speed feature; allow for that cancellation.
+		return vecApproxEqual(Compute(p, DefaultOptions()), Compute(q, DefaultOptions()), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneFeaturesNonDecreasingOverPrefixes(t *testing.T) {
+	// Path length, absolute angle, squared angle, duration, bbox diagonal
+	// and max speed can only grow as points are added.
+	p := randomPath(5, 50)
+	e := NewExtractor(DefaultOptions())
+	prev := make(linalg.Vec, NumFeatures)
+	for _, tp := range p {
+		e.Add(tp)
+		cur := e.Vector()
+		for _, idx := range []int{FBBoxLen, FPathLen, FAbsAngle, FSqrAngle, FMaxSpeedSq, FDuration} {
+			if cur[idx] < prev[idx]-1e-9 {
+				t.Fatalf("feature %s decreased: %v -> %v", Names[idx], prev[idx], cur[idx])
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestDegenerateGestures(t *testing.T) {
+	// Empty.
+	f := Compute(nil, DefaultOptions())
+	for i, v := range f {
+		if v != 0 {
+			t.Errorf("empty gesture feature %s = %v", Names[i], v)
+		}
+	}
+	// Single point.
+	f = Compute(geom.Path{{X: 5, Y: 5, T: 1}}, DefaultOptions())
+	for i, v := range f {
+		if v != 0 {
+			t.Errorf("single point feature %s = %v", Names[i], v)
+		}
+	}
+	// Two coincident points ("dot"): the second is filtered out.
+	f = Compute(geom.Path{geom.TPt(5, 5, 0), geom.TPt(5.5, 5.2, 0.05)}, DefaultOptions())
+	for i, v := range f {
+		if v != 0 {
+			t.Errorf("dot feature %s = %v", Names[i], v)
+		}
+	}
+	// Duplicate timestamps must not produce Inf/NaN speeds.
+	f = Compute(geom.Path{geom.TPt(0, 0, 0), geom.TPt(10, 0, 0), geom.TPt(20, 0, 0)}, DefaultOptions())
+	for i, v := range f {
+		if !mathx.Finite(v) {
+			t.Errorf("duplicate-timestamp feature %s = %v", Names[i], v)
+		}
+	}
+	if f[FMaxSpeedSq] != 0 {
+		t.Errorf("speed with zero dt = %v, want 0", f[FMaxSpeedSq])
+	}
+}
+
+func TestMinMoveFilter(t *testing.T) {
+	// Points 1px apart are all filtered with the default 3px threshold.
+	p := geom.Path{geom.TPt(0, 0, 0), geom.TPt(1, 0, 0.01), geom.TPt(2, 0, 0.02), geom.TPt(3.5, 0, 0.03)}
+	e := NewExtractor(DefaultOptions())
+	for _, tp := range p {
+		e.Add(tp)
+	}
+	if e.RawCount() != 4 {
+		t.Errorf("RawCount = %d", e.RawCount())
+	}
+	if e.AcceptedCount() != 2 { // start + the 3.5px point
+		t.Errorf("AcceptedCount = %d", e.AcceptedCount())
+	}
+	// MinMove=0 accepts every strictly moving point.
+	e2 := NewExtractor(Options{MinMove: 0})
+	for _, tp := range p {
+		e2.Add(tp)
+	}
+	if e2.AcceptedCount() != 4 {
+		t.Errorf("MinMove=0 AcceptedCount = %d", e2.AcceptedCount())
+	}
+}
+
+func TestFeatureSubset(t *testing.T) {
+	opts := Options{MinMove: 3, Use: []int{FPathLen, FDuration}}
+	p := randomPath(1, 20)
+	f := Compute(p, opts)
+	if len(f) != 2 {
+		t.Fatalf("subset vector len = %d", len(f))
+	}
+	full := Compute(p, DefaultOptions())
+	if f[0] != full[FPathLen] || f[1] != full[FDuration] {
+		t.Errorf("subset values %v mismatch full %v/%v", f, full[FPathLen], full[FDuration])
+	}
+	if opts.Dim() != 2 || DefaultOptions().Dim() != NumFeatures {
+		t.Error("Dim wrong")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{MinMove: -1}).Validate(); err == nil {
+		t.Error("negative MinMove accepted")
+	}
+	if err := (Options{Use: []int{13}}).Validate(); err == nil {
+		t.Error("out-of-range feature index accepted")
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+}
+
+func TestNewExtractorPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewExtractor with invalid options did not panic")
+		}
+	}()
+	NewExtractor(Options{MinMove: -5})
+}
+
+func TestReset(t *testing.T) {
+	e := NewExtractor(DefaultOptions())
+	for _, tp := range randomPath(3, 10) {
+		e.Add(tp)
+	}
+	e.Reset()
+	if e.RawCount() != 0 || e.AcceptedCount() != 0 {
+		t.Error("Reset did not clear counts")
+	}
+	v := e.Vector()
+	for _, x := range v {
+		if x != 0 {
+			t.Error("Reset did not clear features")
+		}
+	}
+}
+
+func TestVectorIsACopy(t *testing.T) {
+	e := NewExtractor(DefaultOptions())
+	for _, tp := range randomPath(3, 10) {
+		e.Add(tp)
+	}
+	v1 := e.Vector()
+	v1[0] = 999
+	v2 := e.Vector()
+	if v2[0] == 999 {
+		t.Error("Vector aliases internal state")
+	}
+}
+
+func TestInitialAngleUsesThirdAcceptedPoint(t *testing.T) {
+	// First three accepted points turn a corner; the initial angle must be
+	// start->third, not the overall direction.
+	p := geom.Path{geom.TPt(0, 0, 0), geom.TPt(10, 0, 0.01), geom.TPt(10, 10, 0.02), geom.TPt(10, 50, 0.03)}
+	f := Compute(p, DefaultOptions())
+	want := math.Atan2(10, 10) // direction of (10,10) from origin
+	got := math.Atan2(f[FInitSin], f[FInitCos])
+	if !mathx.ApproxEqual(got, want, 1e-9) {
+		t.Errorf("initial angle = %v, want %v", got, want)
+	}
+}
+
+func TestVectorIntoMatchesVector(t *testing.T) {
+	e := NewExtractor(DefaultOptions())
+	buf := make(linalg.Vec, NumFeatures)
+	for _, tp := range randomPath(21, 30) {
+		e.Add(tp)
+		want := e.Vector()
+		got := e.VectorInto(buf)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("VectorInto[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	// Subset options too.
+	sub := NewExtractor(Options{MinMove: 3, Use: []int{FPathLen, FDuration}})
+	sbuf := make(linalg.Vec, 2)
+	for _, tp := range randomPath(22, 20) {
+		sub.Add(tp)
+	}
+	want := sub.Vector()
+	got := sub.VectorInto(sbuf)
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatal("subset VectorInto mismatch")
+	}
+}
+
+func TestVectorIntoAllocationFree(t *testing.T) {
+	e := NewExtractor(DefaultOptions())
+	for _, tp := range randomPath(23, 20) {
+		e.Add(tp)
+	}
+	buf := make(linalg.Vec, NumFeatures)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.VectorInto(buf)
+	})
+	if allocs != 0 {
+		t.Errorf("VectorInto allocates %v per run", allocs)
+	}
+}
+
+func TestVectorIntoBadBufferPanics(t *testing.T) {
+	e := NewExtractor(DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer did not panic")
+		}
+	}()
+	e.VectorInto(make(linalg.Vec, 3))
+}

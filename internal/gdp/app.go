@@ -1,0 +1,505 @@
+package gdp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/display"
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/grandma"
+	"repro/internal/mathx"
+	"repro/internal/raster"
+	"repro/internal/synth"
+)
+
+// Config configures a GDP instance.
+type Config struct {
+	// Width and Height size the canvas (and the window view). Defaults:
+	// 600 x 400.
+	Width, Height int
+	// Mode selects the phase-transition technique. The default (zero
+	// value) is ModeMouseUp; use ModeEager for the paper's flagship
+	// interaction.
+	Mode grandma.TransitionMode
+	// Timeout overrides the 200 ms motionless timeout for ModeTimeout.
+	Timeout float64
+	// Recognizer supplies a pre-trained eager recognizer. When nil, one is
+	// trained on the synthetic GDP set using TrainSeed/TrainPerClass.
+	Recognizer *eager.Recognizer
+	// TrainSeed seeds the training-set generator (default 1).
+	TrainSeed int64
+	// TrainPerClass is the number of training examples per class
+	// (default 15, the paper's "typically we train with 15 examples").
+	TrainPerClass int
+	// Modified enables the paper's "modified version of GDP": the initial
+	// angle of the rectangle gesture determines the rectangle's
+	// orientation with respect to the horizontal, and the length of the
+	// line gesture determines the line's thickness. For orientation to
+	// work, the rectangle gesture must be trained in multiple orientations
+	// (see synth.RotatedClass).
+	Modified bool
+}
+
+// App is a running GDP: a scene, a GRANDMA session over it, and the eleven
+// gesture semantics of figure 3.
+type App struct {
+	Scene   *Scene
+	Canvas  *raster.Canvas
+	Session *grandma.Session
+	Handler *grandma.GestureHandler
+	Root    *grandma.View
+	// Log records recognitions and semantic actions, newest last.
+	Log []string
+	// PickTol is the touch tolerance, in pixels, for object picking.
+	PickTol float64
+	// NextText is the string the next text gesture inserts.
+	NextText string
+
+	controlPoints []*grandma.View
+	editTarget    Shape
+	modified      bool
+}
+
+// New builds a GDP instance, training a recognizer if none is supplied.
+func New(cfg Config) (*App, error) {
+	if cfg.Width <= 0 {
+		cfg.Width = 600
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 400
+	}
+	rec := cfg.Recognizer
+	if rec == nil {
+		seed := cfg.TrainSeed
+		if seed == 0 {
+			seed = 1
+		}
+		per := cfg.TrainPerClass
+		if per == 0 {
+			per = 15
+		}
+		trainSet, _ := synth.NewGenerator(synth.DefaultParams(seed)).Set("gdp-train", synth.GDPClasses(), per)
+		var err error
+		rec, _, err = eager.Train(trainSet, eager.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("gdp: training recognizer: %w", err)
+		}
+	}
+
+	app := &App{
+		Scene:    NewScene(),
+		Canvas:   raster.NewCanvas(cfg.Width, cfg.Height),
+		PickTol:  6,
+		NextText: "text",
+		modified: cfg.Modified,
+	}
+
+	var h *grandma.GestureHandler
+	if cfg.Mode == grandma.ModeEager {
+		h = grandma.NewEagerGestureHandler(rec)
+	} else {
+		h = grandma.NewGestureHandler(rec.Full, cfg.Mode)
+	}
+	h.Timeout = cfg.Timeout
+	h.OnRecognized = func(class string, a *grandma.Attrs) {
+		app.logf("recognized %s at (%.0f,%.0f) after %d points", class, a.CurrentX, a.CurrentY, len(a.GesturePoints))
+	}
+	app.Handler = h
+
+	windowClass := grandma.NewViewClass("GdpWindow", nil)
+	windowClass.AddHandler(h)
+	root := grandma.NewView("gdp", windowClass)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: float64(cfg.Width), MaxY: float64(cfg.Height)}
+	root.DrawFunc = func(c *raster.Canvas, v *grandma.View) { app.Scene.Draw(c) }
+	app.Root = root
+	app.Session = grandma.NewSession(root, app.Canvas)
+
+	app.registerSemantics()
+	return app, nil
+}
+
+func (a *App) logf(format string, args ...any) {
+	a.Log = append(a.Log, fmt.Sprintf(format, args...))
+}
+
+// pick returns the topmost shape at (x, y).
+func (a *App) pick(x, y float64) Shape {
+	return a.Scene.TopAt(geom.Pt(x, y), a.PickTol)
+}
+
+// dragState carries a shape being positioned during manipulation (move and
+// copy gestures).
+type dragState struct {
+	target       Shape
+	lastX, lastY float64
+}
+
+func (st *dragState) track(x, y float64) {
+	if st.target != nil {
+		st.target.Translate(x-st.lastX, y-st.lastY)
+	}
+	st.lastX, st.lastY = x, y
+}
+
+// rsState carries the rotate-scale manipulation: the paper's "initial point
+// ... determines the center of rotation; the final point ... a point (not
+// necessarily on the object) that will be dragged around to interactively
+// manipulate the object's size and orientation".
+type rsState struct {
+	target   Shape
+	center   geom.Point
+	refAngle float64
+	refLen   float64
+	refValid bool
+}
+
+func (st *rsState) track(x, y float64) {
+	if st.target == nil {
+		return
+	}
+	v := geom.Pt(x, y).Sub(st.center)
+	l := v.Norm()
+	if l < 3 {
+		return // too close to the center to define an angle
+	}
+	if !st.refValid {
+		st.refAngle, st.refLen, st.refValid = v.Angle(), l, true
+		return
+	}
+	dA := mathx.NormalizeAngle(v.Angle() - st.refAngle)
+	s := mathx.Clamp(l/st.refLen, 0.2, 5)
+	st.target.RotateScale(st.center, dA, s)
+	st.refAngle, st.refLen = v.Angle(), l
+}
+
+// registerSemantics wires the eleven gesture classes of figure 3.
+func (a *App) registerSemantics() {
+	reg := a.Handler.Register
+
+	// rect: corner 1 at recognition; corner 2 by manipulation
+	// ("rubberbanding"). In the modified GDP, the gesture's initial angle
+	// sets the rectangle's orientation: the canonical rect gesture starts
+	// straight down (angle pi/2), so the deviation from pi/2 becomes the
+	// rectangle's tilt from the horizontal.
+	reg("rect", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			r := NewRect(at.StartX, at.StartY, at.CurrentX, at.CurrentY)
+			if a.modified {
+				r.Angle = mathx.NormalizeAngle(at.InitialAngle() - math.Pi/2)
+			}
+			a.Scene.Add(r)
+			a.logf("create %s", String(r))
+			return r
+		},
+		Manip: func(at *grandma.Attrs) {
+			if r, ok := at.Recog.(*Rect); ok {
+				r.X2, r.Y2 = at.CurrentX, at.CurrentY
+			}
+		},
+	})
+
+	// line: endpoint 1 at recognition; endpoint 2 by manipulation. In the
+	// modified GDP, the gesture's length sets the line's thickness.
+	reg("line", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			l := NewLine(at.StartX, at.StartY, at.CurrentX, at.CurrentY)
+			if a.modified {
+				l.Thickness = math.Max(1, math.Round(at.GestureLength()/40))
+			}
+			a.Scene.Add(l)
+			a.logf("create %s", String(l))
+			return l
+		},
+		Manip: func(at *grandma.Attrs) {
+			if l, ok := at.Recog.(*Line); ok {
+				l.X2, l.Y2 = at.CurrentX, at.CurrentY
+			}
+		},
+	})
+
+	// ellipse: center at recognition; size and eccentricity by
+	// manipulation.
+	reg("ellipse", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			e := NewEllipse(at.StartX, at.StartY, math.Abs(at.CurrentX-at.StartX), math.Abs(at.CurrentY-at.StartY))
+			a.Scene.Add(e)
+			a.logf("create %s", String(e))
+			return e
+		},
+		Manip: func(at *grandma.Attrs) {
+			if e, ok := at.Recog.(*Ellipse); ok {
+				e.RX = math.Abs(at.CurrentX - e.CX)
+				e.RY = math.Abs(at.CurrentY - e.CY)
+			}
+		},
+	})
+
+	// text: created at the gesture start; location adjustable during
+	// manipulation.
+	reg("text", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			tx := NewText(at.StartX, at.StartY, a.NextText)
+			a.Scene.Add(tx)
+			a.logf("create %s", String(tx))
+			return tx
+		},
+		Manip: func(at *grandma.Attrs) {
+			if tx, ok := at.Recog.(*Text); ok {
+				tx.X, tx.Y = at.CurrentX, at.CurrentY
+			}
+		},
+	})
+
+	// dot: a point at the gesture start.
+	reg("dot", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			d := NewDot(at.StartX, at.StartY)
+			a.Scene.Add(d)
+			a.logf("create %s", String(d))
+			return d
+		},
+	})
+
+	// move: object at the gesture start; position by manipulation.
+	reg("move", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			sh := a.pick(at.StartX, at.StartY)
+			if sh == nil {
+				a.logf("move: nothing at (%.0f,%.0f)", at.StartX, at.StartY)
+			} else {
+				a.logf("move %s", String(sh))
+			}
+			return &dragState{target: sh, lastX: at.CurrentX, lastY: at.CurrentY}
+		},
+		Manip: func(at *grandma.Attrs) {
+			if st, ok := at.Recog.(*dragState); ok {
+				st.track(at.CurrentX, at.CurrentY)
+			}
+		},
+	})
+
+	// copy: replicate the object at the gesture start; position the copy
+	// by manipulation.
+	reg("copy", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			src := a.pick(at.StartX, at.StartY)
+			st := &dragState{lastX: at.CurrentX, lastY: at.CurrentY}
+			if src == nil {
+				a.logf("copy: nothing at (%.0f,%.0f)", at.StartX, at.StartY)
+				return st
+			}
+			cp := src.Clone()
+			a.Scene.Add(cp)
+			st.target = cp
+			a.logf("copy %s -> %s", String(src), String(cp))
+			return st
+		},
+		Manip: func(at *grandma.Attrs) {
+			if st, ok := at.Recog.(*dragState); ok {
+				st.track(at.CurrentX, at.CurrentY)
+			}
+		},
+	})
+
+	// delete: the object at the gesture start; any additional objects
+	// touched during manipulation are also deleted.
+	reg("delete", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			if sh := a.pick(at.StartX, at.StartY); sh != nil {
+				a.Scene.Remove(sh)
+				a.logf("delete %s", String(sh))
+			} else {
+				a.logf("delete: nothing at (%.0f,%.0f)", at.StartX, at.StartY)
+			}
+			return nil
+		},
+		Manip: func(at *grandma.Attrs) {
+			if sh := a.pick(at.CurrentX, at.CurrentY); sh != nil {
+				a.Scene.Remove(sh)
+				a.logf("delete (touch) %s", String(sh))
+			}
+		},
+	})
+
+	// group: composite of the enclosed objects; touching other objects
+	// during manipulation adds them.
+	reg("group", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			// Lasso enclosure: a shape is grouped when it lies inside the
+			// polygon traced by the gesture (not merely its bounding box).
+			members := a.Scene.EnclosedByPolygon(at.GesturePoints.Polygon())
+			grp := NewGroup(nil)
+			for _, m := range members {
+				a.Scene.Remove(m)
+				grp.Add(m)
+			}
+			a.Scene.Add(grp)
+			a.logf("group %d objects", len(members))
+			return grp
+		},
+		Manip: func(at *grandma.Attrs) {
+			grp, ok := at.Recog.(*Group)
+			if !ok {
+				return
+			}
+			if sh := a.pick(at.CurrentX, at.CurrentY); sh != nil && sh != Shape(grp) {
+				a.Scene.Remove(sh)
+				grp.Add(sh)
+				a.logf("group add %s", String(sh))
+			}
+		},
+	})
+
+	// rotate-scale: center of rotation at the gesture start; the current
+	// point is dragged to rotate and scale the object.
+	reg("rotate-scale", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			center := geom.Pt(at.StartX, at.StartY)
+			sh := a.pick(at.StartX, at.StartY)
+			if sh == nil {
+				a.logf("rotate-scale: nothing at (%.0f,%.0f)", at.StartX, at.StartY)
+			} else {
+				a.logf("rotate-scale %s", String(sh))
+			}
+			st := &rsState{target: sh, center: center}
+			st.track(at.CurrentX, at.CurrentY)
+			return st
+		},
+		Manip: func(at *grandma.Attrs) {
+			if st, ok := at.Recog.(*rsState); ok {
+				st.track(at.CurrentX, at.CurrentY)
+			}
+		},
+	})
+
+	// edit: bring up control points on the object; the control points are
+	// plain direct-manipulation views (gesture and direct manipulation in
+	// the same interface).
+	reg("edit", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			sh := a.pick(at.StartX, at.StartY)
+			a.ShowControlPoints(sh)
+			if sh == nil {
+				a.logf("edit: nothing at (%.0f,%.0f)", at.StartX, at.StartY)
+			} else {
+				a.logf("edit %s: %d control points", String(sh), len(a.controlPoints))
+			}
+			return sh
+		},
+	})
+}
+
+// ShowControlPoints replaces the current control points with ones for the
+// given shape (nil clears them). Each control point is a small draggable
+// view; dragging a corner scales the shape about the opposite corner.
+func (a *App) ShowControlPoints(sh Shape) {
+	a.ClearControlPoints()
+	a.editTarget = sh
+	if sh == nil {
+		return
+	}
+	b := sh.Bounds()
+	corners := [4]geom.Point{
+		{X: b.MinX, Y: b.MinY}, {X: b.MaxX, Y: b.MinY},
+		{X: b.MaxX, Y: b.MaxY}, {X: b.MinX, Y: b.MaxY},
+	}
+	for i := range corners {
+		corner := corners[i]
+		anchor := corners[(i+2)%4] // opposite corner
+		cp := grandma.NewView(fmt.Sprintf("cp%d", i), nil)
+		const r = 3
+		cp.Frame = geom.Rect{MinX: corner.X - r, MinY: corner.Y - r, MaxX: corner.X + r, MaxY: corner.Y + r}
+		cp.Z = 100
+		cp.DrawFunc = func(c *raster.Canvas, v *grandma.View) {
+			ctr := v.Frame.Center()
+			c.SetF(ctr.X, ctr.Y, 'x')
+		}
+		prev := corner
+		cp.AddHandler(&grandma.DragHandler{
+			OnMove: func(v *grandma.View, dx, dy float64) {
+				cur := v.Frame.Center()
+				oldD := prev.Dist(anchor)
+				newD := cur.Dist(anchor)
+				if oldD > 1e-6 && newD > 1e-6 {
+					sh.RotateScale(anchor, 0, newD/oldD)
+				}
+				prev = cur
+			},
+			OnDone: func(v *grandma.View) {
+				a.logf("edit: scaled %s", String(sh))
+			},
+		})
+		a.Root.AddChild(cp)
+		a.controlPoints = append(a.controlPoints, cp)
+	}
+	a.Session.Redraw()
+}
+
+// ClearControlPoints removes any control-point views.
+func (a *App) ClearControlPoints() {
+	for _, cp := range a.controlPoints {
+		a.Root.RemoveChild(cp)
+	}
+	a.controlPoints = nil
+	a.editTarget = nil
+}
+
+// ControlPointViews returns the live control-point views (for tests and
+// demos).
+func (a *App) ControlPointViews() []*grandma.View { return a.controlPoints }
+
+// shiftToNow rebases a path's timestamps so it starts just after the
+// session's current virtual time (interactions must move forward in time).
+func (a *App) shiftToNow(p geom.Path) geom.Path {
+	if len(p) == 0 {
+		return p
+	}
+	return p.TimeShift(a.Session.Display.Now() + 0.05 - p[0].T)
+}
+
+// PlayGesture replays a gesture path as a press-draw-release interaction.
+func (a *App) PlayGesture(p geom.Path) {
+	p = a.shiftToNow(p)
+	a.Session.Replay(display.StrokeTrace(p, display.LeftButton, 0.01))
+}
+
+// PlayTwoPhase replays a gesture followed by an explicit manipulation
+// phase: draw the gesture, hold motionless for hold seconds (long enough
+// to trip a timeout transition when one is configured), then visit each
+// manipulation point, then release.
+func (a *App) PlayTwoPhase(gesturePath geom.Path, hold float64, manip []geom.Point) {
+	p := a.shiftToNow(gesturePath)
+	evs := display.StrokeTrace(p, display.LeftButton, 0)
+	evs = evs[:len(evs)-1] // drop the auto mouse-up
+	last := p[len(p)-1]
+	t := last.T + hold
+	x, y := last.X, last.Y
+	for _, m := range manip {
+		t += 0.02
+		x, y = m.X, m.Y
+		evs = append(evs, display.Event{Kind: display.MouseMove, X: x, Y: y, Time: t})
+	}
+	evs = append(evs, display.Event{Kind: display.MouseUp, X: x, Y: y, Time: t + 0.02})
+	a.Session.Replay(evs)
+}
+
+// Drag replays a direct-manipulation drag from one point to another (used
+// to exercise control points).
+func (a *App) Drag(from, to geom.Point, steps int) {
+	a.Session.Replay(display.DragTrace(from, to, steps, a.Session.Display.Now()+0.05, 0.2, display.LeftButton))
+}
+
+// Render repaints and returns the canvas as ASCII.
+func (a *App) Render() string {
+	a.Session.Redraw()
+	return a.Canvas.String()
+}
+
+// LastLog returns the most recent log line, or "".
+func (a *App) LastLog() string {
+	if len(a.Log) == 0 {
+		return ""
+	}
+	return a.Log[len(a.Log)-1]
+}

@@ -1,0 +1,328 @@
+package gdp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/grandma"
+	"repro/internal/synth"
+)
+
+var (
+	recOnce   sync.Once
+	sharedRec *eager.Recognizer
+	recErr    error
+)
+
+// testRecognizer trains the GDP recognizer once for the whole test binary.
+func testRecognizer(t *testing.T) *eager.Recognizer {
+	t.Helper()
+	recOnce.Do(func() {
+		set, _ := synth.NewGenerator(synth.DefaultParams(1)).Set("gdp-train", synth.GDPClasses(), 15)
+		sharedRec, _, recErr = eager.Train(set, eager.DefaultOptions())
+	})
+	if recErr != nil {
+		t.Fatal(recErr)
+	}
+	return sharedRec
+}
+
+func newApp(t *testing.T, mode grandma.TransitionMode) *App {
+	t.Helper()
+	app, err := New(Config{Recognizer: testRecognizer(t), Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// driver returns a low-noise generator for steering gestures at exact scene
+// locations (the recognizer was trained on noisier data, so these classify
+// reliably).
+func driver(seed int64) *synth.Generator {
+	p := synth.DefaultParams(seed)
+	p.Jitter = 0.5
+	p.RotJitter = 0.01
+	p.ScaleJitter = 0.03
+	p.CornerLoopProb = 0
+	return synth.NewGenerator(p)
+}
+
+func classByName(t *testing.T, name string) synth.Class {
+	t.Helper()
+	for _, c := range synth.GDPClasses() {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no class %q", name)
+	return synth.Class{}
+}
+
+func gestureAt(t *testing.T, g *synth.Generator, class string, origin geom.Point) geom.Path {
+	t.Helper()
+	return g.SampleAt(classByName(t, class), origin).G.Points
+}
+
+func TestCreateRectMouseUp(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	g := driver(10)
+	p := gestureAt(t, g, "rect", geom.Pt(100, 100))
+	app.PlayGesture(p)
+	if app.Scene.Len() != 1 {
+		t.Fatalf("scene = %v (log: %v)", app.Scene.Kinds(), app.Log)
+	}
+	r, ok := app.Scene.Shapes()[0].(*Rect)
+	if !ok {
+		t.Fatalf("shape is %T", app.Scene.Shapes()[0])
+	}
+	// Corner 1 at the gesture start, corner 2 at the final mouse position.
+	start, end := p[0], p[len(p)-1]
+	if math.Abs(r.X1-start.X) > 1 || math.Abs(r.Y1-start.Y) > 1 {
+		t.Errorf("corner1 (%v,%v) vs start (%v,%v)", r.X1, r.Y1, start.X, start.Y)
+	}
+	if math.Abs(r.X2-end.X) > 1 || math.Abs(r.Y2-end.Y) > 1 {
+		t.Errorf("corner2 (%v,%v) vs end (%v,%v)", r.X2, r.Y2, end.X, end.Y)
+	}
+}
+
+func TestRubberbandRectTimeout(t *testing.T) {
+	app := newApp(t, grandma.ModeTimeout)
+	g := driver(11)
+	p := gestureAt(t, g, "rect", geom.Pt(100, 100))
+	target := geom.Pt(300, 250)
+	app.PlayTwoPhase(p, 0.3, []geom.Point{{X: 200, Y: 180}, target})
+	if app.Scene.Len() != 1 {
+		t.Fatalf("scene = %v (log: %v)", app.Scene.Kinds(), app.Log)
+	}
+	r := app.Scene.Shapes()[0].(*Rect)
+	// The manipulation phase rubberbanded corner 2 to the target.
+	if r.X2 != target.X || r.Y2 != target.Y {
+		t.Errorf("corner2 (%v,%v), want %v", r.X2, r.Y2, target)
+	}
+}
+
+func TestCreateLineAndEllipse(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	g := driver(12)
+	app.PlayGesture(gestureAt(t, g, "line", geom.Pt(80, 60)))
+	app.PlayGesture(gestureAt(t, g, "ellipse", geom.Pt(350, 220)))
+	kinds := strings.Join(app.Scene.Kinds(), ",")
+	if kinds != "line,ellipse" {
+		t.Fatalf("scene = %s (log: %v)", kinds, app.Log)
+	}
+	e := app.Scene.Shapes()[1].(*Ellipse)
+	// Ellipse center fixed at the gesture start. (The ellipse skeleton's
+	// first vertex sits at the top of the oval, so the start is offset
+	// from the anchoring origin.)
+	if math.Abs(e.CX-350) > 3 || math.Abs(e.CY-189) > 6 {
+		t.Errorf("ellipse center (%v,%v), want near gesture start (350,189)", e.CX, e.CY)
+	}
+}
+
+func TestCreateTextAndDot(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	app.NextText = "hello"
+	g := driver(13)
+	app.PlayGesture(gestureAt(t, g, "text", geom.Pt(120, 300)))
+	app.PlayGesture(gestureAt(t, g, "dot", geom.Pt(40, 40)))
+	kinds := strings.Join(app.Scene.Kinds(), ",")
+	if kinds != "text,dot" {
+		t.Fatalf("scene = %s (log: %v)", kinds, app.Log)
+	}
+	if app.Scene.Shapes()[0].(*Text).S != "hello" {
+		t.Error("NextText not used")
+	}
+}
+
+func TestMoveGesture(t *testing.T) {
+	app := newApp(t, grandma.ModeTimeout)
+	app.Scene.Add(NewRect(200, 200, 240, 230))
+	g := driver(14)
+	// Start the move gesture on the rect's edge.
+	p := gestureAt(t, g, "move", geom.Pt(220, 200))
+	end := p[len(p)-1]
+	target := geom.Pt(end.X+90, end.Y+50)
+	app.PlayTwoPhase(p, 0.3, []geom.Point{target})
+	r := app.Scene.Shapes()[0].(*Rect)
+	// The rect translated by the manipulation delta (target - transition
+	// point).
+	if math.Abs(r.X1-290) > 1 || math.Abs(r.Y1-250) > 1 {
+		t.Errorf("rect at (%v,%v), want near (290,250); log: %v", r.X1, r.Y1, app.Log)
+	}
+}
+
+func TestCopyGesture(t *testing.T) {
+	app := newApp(t, grandma.ModeTimeout)
+	app.Scene.Add(NewEllipse(150, 150, 30, 20))
+	g := driver(15)
+	// The copy skeleton's first vertex is (0,-27), so anchoring at
+	// (150,157) puts the gesture start at (150,130) — the top of the
+	// ellipse outline.
+	p := gestureAt(t, g, "copy", geom.Pt(150, 157))
+	start := p[0]
+	if !app.Scene.Shapes()[0].Touches(geom.Pt(start.X, start.Y), app.PickTol) {
+		t.Fatalf("test setup: copy start (%v,%v) misses the ellipse", start.X, start.Y)
+	}
+	app.PlayTwoPhase(p, 0.3, []geom.Point{{X: 400, Y: 300}})
+	if app.Scene.Len() != 2 {
+		t.Fatalf("scene = %v (log: %v)", app.Scene.Kinds(), app.Log)
+	}
+	orig := app.Scene.Shapes()[0].(*Ellipse)
+	cp := app.Scene.Shapes()[1].(*Ellipse)
+	if orig.CX != 150 {
+		t.Error("original moved")
+	}
+	if cp.CX == orig.CX && cp.CY == orig.CY {
+		t.Error("copy not repositioned")
+	}
+}
+
+func TestDeleteGesture(t *testing.T) {
+	app := newApp(t, grandma.ModeTimeout)
+	app.Scene.Add(NewRect(100, 100, 140, 130))
+	app.Scene.Add(NewDot(300, 250))
+	g := driver(16)
+	// Delete starting on the rect edge; then touch the dot during
+	// manipulation.
+	p := gestureAt(t, g, "delete", geom.Pt(120, 100))
+	app.PlayTwoPhase(p, 0.3, []geom.Point{{X: 300, Y: 250}})
+	if app.Scene.Len() != 0 {
+		t.Fatalf("scene = %v (log: %v)", app.Scene.Kinds(), app.Log)
+	}
+}
+
+func TestGroupGesture(t *testing.T) {
+	app := newApp(t, grandma.ModeTimeout)
+	app.Scene.Add(NewDot(195, 205))
+	app.Scene.Add(NewDot(210, 195))
+	outside := NewDot(400, 100)
+	app.Scene.Add(outside)
+	g := driver(17)
+	// The group lasso circles around origin (200,200) with radius ~55; its
+	// skeleton starts at the top of the circle.
+	p := gestureAt(t, g, "group", geom.Pt(200, 200))
+	// During manipulation, touch the outside dot to add it.
+	app.PlayTwoPhase(p, 0.3, []geom.Point{{X: 400, Y: 100}})
+	grp, ok := app.Scene.Shapes()[len(app.Scene.Shapes())-1].(*Group)
+	if !ok {
+		t.Fatalf("no group on top: %v (log: %v)", app.Scene.Kinds(), app.Log)
+	}
+	if len(grp.Members) != 3 {
+		t.Fatalf("group has %d members, want 3 (log: %v)", len(grp.Members), app.Log)
+	}
+	if app.Scene.Len() != 1 {
+		t.Errorf("scene = %v", app.Scene.Kinds())
+	}
+}
+
+func TestRotateScaleGesture(t *testing.T) {
+	app := newApp(t, grandma.ModeTimeout)
+	l := NewLine(200, 200, 260, 200)
+	app.Scene.Add(l)
+	g := driver(18)
+	// rotate-scale's skeleton starts at (36, 0) from its circle center; we
+	// want the START on the line, e.g. at (230, 200) -> origin (194, 200).
+	p := gestureAt(t, g, "rotate-scale", geom.Pt(194, 200))
+	start := p[0]
+	if !l.Touches(geom.Pt(start.X, start.Y), app.PickTol) {
+		t.Fatalf("test setup: gesture start (%v,%v) misses the line", start.X, start.Y)
+	}
+	before := geom.Pt(l.X2-l.X1, l.Y2-l.Y1).Norm()
+	end := p[len(p)-1]
+	// Drag the reference point further from the center: pure scale-up.
+	v := geom.Pt(end.X, end.Y).Sub(geom.Pt(start.X, start.Y))
+	far := geom.Pt(start.X, start.Y).Add(v.Scale(1.8))
+	app.PlayTwoPhase(p, 0.3, []geom.Point{far})
+	after := geom.Pt(l.X2-l.X1, l.Y2-l.Y1).Norm()
+	if after <= before*1.2 {
+		t.Errorf("line length %v -> %v; rotate-scale had no effect (log: %v)", before, after, app.Log)
+	}
+}
+
+func TestEditGestureControlPoints(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	r := NewRect(150, 150, 250, 220)
+	app.Scene.Add(r)
+	g := driver(19)
+	p := gestureAt(t, g, "edit", geom.Pt(150, 150)) // start on the corner
+	app.PlayGesture(p)
+	cps := app.ControlPointViews()
+	if len(cps) != 4 {
+		t.Fatalf("%d control points (log: %v)", len(cps), app.Log)
+	}
+	// Drag the bottom-right control point outward: the rect scales up
+	// about the opposite corner.
+	before := r.Bounds().Diagonal()
+	bc := cps[2].Frame.Center()
+	app.Drag(bc, bc.Add(geom.Pt(60, 40)), 6)
+	after := r.Bounds().Diagonal()
+	if after <= before {
+		t.Errorf("diagonal %v -> %v after control-point drag", before, after)
+	}
+	app.ClearControlPoints()
+	if len(app.ControlPointViews()) != 0 {
+		t.Error("control points not cleared")
+	}
+}
+
+func TestEagerModeEndToEnd(t *testing.T) {
+	app := newApp(t, grandma.ModeEager)
+	g := driver(20)
+	anyEarly := false
+	for i := 0; i < 5; i++ {
+		p := gestureAt(t, g, "rect", geom.Pt(120+float64(i)*80, 90))
+		app.PlayGesture(p)
+		if app.Scene.Len() != i+1 || app.Scene.Shapes()[i].Kind() != "rect" {
+			t.Fatalf("scene = %v (log: %v)", app.Scene.Kinds(), app.Log)
+		}
+		r := app.Scene.Shapes()[i].(*Rect)
+		end := p[len(p)-1]
+		// In eager mode the remaining stroke IS the manipulation: corner 2
+		// lands exactly on the final mouse position.
+		if math.Abs(r.X2-end.X) > 0.01 || math.Abs(r.Y2-end.Y) > 0.01 {
+			t.Errorf("corner2 (%v,%v) vs end (%v,%v)", r.X2, r.Y2, end.X, end.Y)
+		}
+		last := app.LastLog()
+		if !strings.Contains(last, "recognized rect") {
+			t.Fatalf("no recognition logged: %v", app.Log)
+		}
+		if !strings.Contains(last, fmt.Sprintf("after %d points", len(p))) {
+			anyEarly = true
+		}
+	}
+	// Across several samples, eager recognition should fire before the
+	// stroke ends at least once.
+	if !anyEarly {
+		t.Errorf("eager recognition never fired before the end of a stroke: %v", app.Log)
+	}
+}
+
+func TestRenderShowsShapes(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	app.Scene.Add(NewRect(10, 10, 60, 40))
+	app.Scene.Add(NewDot(100, 50))
+	out := app.Render()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "@") {
+		t.Error("render missing shape glyphs")
+	}
+}
+
+func TestNewWithDefaults(t *testing.T) {
+	// Trains its own recognizer with a small per-class count to stay fast.
+	app, err := New(Config{TrainPerClass: 5, TrainSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Canvas.W != 600 || app.Canvas.H != 400 {
+		t.Errorf("default canvas %dx%d", app.Canvas.W, app.Canvas.H)
+	}
+	if len(app.Handler.Classes()) != 11 {
+		t.Errorf("classes = %v", app.Handler.Classes())
+	}
+}

@@ -1,0 +1,206 @@
+package gdp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/synth"
+)
+
+// Driver executes a small text script against a GDP instance, synthesizing
+// gestures on demand — the engine behind cmd/gdp and a convenient way to
+// script reproducible interaction sequences in tests.
+//
+// Script commands (one per line, # comments):
+//
+//	gesture <class> <x> <y>                 play a gesture anchored at (x,y)
+//	twophase <class> <x> <y> <mx> <my>      gesture, hold, manipulate to (mx,my)
+//	rect <x1> <y1> <x2> <y2>                add a rectangle directly
+//	line <x1> <y1> <x2> <y2>                add a line directly
+//	ellipse <cx> <cy> <rx> <ry>             add an ellipse directly
+//	dot <x> <y>                             add a dot directly
+//	text <x> <y> <string>                   add text directly
+//	settext <string>                        set the next text gesture's string
+//	save <path>                             write the scene as JSON
+//	load <path>                             replace the scene from JSON
+//	render                                  print the canvas
+//	log                                     print the interaction log
+//	clear                                   clear the scene
+type Driver struct {
+	App *App
+	Gen *synth.Generator
+	// Out receives render and log output.
+	Out io.Writer
+	// Shrink downsamples rendered output by (Shrink, 2*Shrink); 0 prints
+	// the raw canvas.
+	Shrink  int
+	classes map[string]synth.Class
+}
+
+// NewDriver builds a driver over an app and a stroke generator.
+func NewDriver(app *App, gen *synth.Generator, out io.Writer) *Driver {
+	classes := make(map[string]synth.Class)
+	for _, c := range synth.GDPClasses() {
+		classes[c.Name] = c
+	}
+	return &Driver{App: app, Gen: gen, Out: out, classes: classes}
+}
+
+// Run executes a whole script; it stops at the first erroring line,
+// reporting its 1-based line number.
+func (d *Driver) Run(src string) error {
+	scanner := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := d.Exec(line); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return scanner.Err()
+}
+
+// Exec executes a single script command.
+func (d *Driver) Exec(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	cmd, args := fields[0], fields[1:]
+	num := func(i int) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing argument %d", cmd, i+1)
+		}
+		v, err := strconv.ParseFloat(args[i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: argument %d: %w", cmd, i+1, err)
+		}
+		return v, nil
+	}
+	nums := func(n int) ([]float64, error) {
+		out := make([]float64, n)
+		for i := range out {
+			v, err := num(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	switch cmd {
+	case "gesture", "twophase":
+		if len(args) < 1 {
+			return fmt.Errorf("%s: missing class", cmd)
+		}
+		class, ok := d.classes[args[0]]
+		if !ok {
+			return fmt.Errorf("unknown gesture class %q", args[0])
+		}
+		x, err := num(1)
+		if err != nil {
+			return err
+		}
+		y, err := num(2)
+		if err != nil {
+			return err
+		}
+		p := d.Gen.SampleAt(class, geom.Pt(x, y)).G.Points
+		if cmd == "gesture" {
+			d.App.PlayGesture(p)
+			return nil
+		}
+		mx, err := num(3)
+		if err != nil {
+			return err
+		}
+		my, err := num(4)
+		if err != nil {
+			return err
+		}
+		d.App.PlayTwoPhase(p, 0.3, []geom.Point{{X: mx, Y: my}})
+		return nil
+	case "rect":
+		v, err := nums(4)
+		if err != nil {
+			return err
+		}
+		d.App.Scene.Add(NewRect(v[0], v[1], v[2], v[3]))
+	case "line":
+		v, err := nums(4)
+		if err != nil {
+			return err
+		}
+		d.App.Scene.Add(NewLine(v[0], v[1], v[2], v[3]))
+	case "ellipse":
+		v, err := nums(4)
+		if err != nil {
+			return err
+		}
+		d.App.Scene.Add(NewEllipse(v[0], v[1], v[2], v[3]))
+	case "dot":
+		v, err := nums(2)
+		if err != nil {
+			return err
+		}
+		d.App.Scene.Add(NewDot(v[0], v[1]))
+	case "text":
+		v, err := nums(2)
+		if err != nil {
+			return err
+		}
+		if len(args) < 3 {
+			return fmt.Errorf("text: missing string")
+		}
+		d.App.Scene.Add(NewText(v[0], v[1], strings.Join(args[2:], " ")))
+	case "settext":
+		if len(args) < 1 {
+			return fmt.Errorf("settext: missing string")
+		}
+		d.App.NextText = strings.Join(args, " ")
+	case "save":
+		if len(args) < 1 {
+			return fmt.Errorf("save: missing path")
+		}
+		if err := d.App.Scene.SaveFile(args[0]); err != nil {
+			return err
+		}
+	case "load":
+		if len(args) < 1 {
+			return fmt.Errorf("load: missing path")
+		}
+		scene, err := LoadScene(args[0])
+		if err != nil {
+			return err
+		}
+		d.App.Scene.Clear()
+		for _, sh := range scene.Shapes() {
+			d.App.Scene.Add(sh)
+		}
+	case "render":
+		d.App.Render()
+		canvas := d.App.Canvas
+		if d.Shrink > 0 {
+			canvas = canvas.Downsample(d.Shrink, 2*d.Shrink)
+		}
+		fmt.Fprint(d.Out, canvas.String())
+	case "log":
+		for _, l := range d.App.Log {
+			fmt.Fprintln(d.Out, "log:", l)
+		}
+	case "clear":
+		d.App.Scene.Clear()
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

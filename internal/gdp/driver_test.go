@@ -1,0 +1,143 @@
+package gdp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grandma"
+	"repro/internal/synth"
+)
+
+func newDriver(t *testing.T) (*Driver, *strings.Builder) {
+	t.Helper()
+	app, err := New(Config{Recognizer: testRecognizer(t), Mode: grandma.ModeTimeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := synth.DefaultParams(23)
+	params.Jitter = 0.4
+	params.RotJitter = 0.01
+	params.ScaleJitter = 0.02
+	params.CornerLoopProb = 0
+	var out strings.Builder
+	d := NewDriver(app, synth.NewGenerator(params), &out)
+	d.Shrink = 10
+	return d, &out
+}
+
+func TestDriverDirectShapes(t *testing.T) {
+	d, out := newDriver(t)
+	script := `
+# direct shape creation
+rect 10 10 60 40
+line 100 100 150 140
+ellipse 200 60 30 20
+dot 5 5
+text 300 300 hello world
+render
+`
+	if err := d.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(d.App.Scene.Kinds(), ","); got != "rect,line,ellipse,dot,text" {
+		t.Fatalf("scene = %s", got)
+	}
+	if d.App.Scene.Shapes()[4].(*Text).S != "hello world" {
+		t.Error("multi-word text wrong")
+	}
+	if out.Len() == 0 {
+		t.Error("render produced no output")
+	}
+}
+
+func TestDriverGestureCommands(t *testing.T) {
+	d, out := newDriver(t)
+	script := `
+twophase rect 90 60 210 150
+gesture line 300 170
+settext hi
+log
+clear
+`
+	if err := d.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if d.App.Scene.Len() != 0 {
+		t.Error("clear did not empty the scene")
+	}
+	logged := out.String()
+	if !strings.Contains(logged, "recognized rect") || !strings.Contains(logged, "recognized line") {
+		t.Errorf("log output missing recognitions:\n%s", logged)
+	}
+	if d.App.NextText != "hi" {
+		t.Error("settext ignored")
+	}
+}
+
+func TestDriverErrors(t *testing.T) {
+	d, _ := newDriver(t)
+	cases := []string{
+		"gesture",               // missing class
+		"gesture nosuch 10 10",  // unknown class
+		"gesture rect ten 10",   // bad number
+		"gesture rect 10",       // missing y
+		"twophase rect 10 10 5", // missing my
+		"rect 1 2 3",            // missing arg
+		"text 1 2",              // missing string
+		"settext",               // missing string
+		"frobnicate",            // unknown command
+	}
+	for _, line := range cases {
+		if err := d.Exec(line); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", line)
+		}
+	}
+	// Errors from Run carry the line number.
+	err := d.Run("rect 1 2 3 4\nbogus\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("Run error = %v", err)
+	}
+}
+
+func TestDriverEmptyAndComments(t *testing.T) {
+	d, _ := newDriver(t)
+	if err := d.Run("\n\n# nothing\n   \n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Exec(""); err != nil {
+		t.Fatal(err)
+	}
+	if d.App.Scene.Len() != 0 {
+		t.Error("comments created shapes")
+	}
+}
+
+func TestDriverRawRender(t *testing.T) {
+	d, out := newDriver(t)
+	d.Shrink = 0
+	if err := d.Run("dot 5 5\nrender\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Raw canvas: one line per canvas row.
+	lines := strings.Count(out.String(), "\n")
+	if lines != d.App.Canvas.H {
+		t.Errorf("raw render produced %d lines, canvas height %d", lines, d.App.Canvas.H)
+	}
+}
+
+func TestDriverSaveLoad(t *testing.T) {
+	d, _ := newDriver(t)
+	path := t.TempDir() + "/scene.json"
+	if err := d.Run("rect 1 1 20 10\ndot 5 5\nsave " + path + "\nclear\nload " + path + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(d.App.Scene.Kinds(), ","); got != "rect,dot" {
+		t.Fatalf("after load: %s", got)
+	}
+	if err := d.Exec("save"); err == nil {
+		t.Error("save without path accepted")
+	}
+	if err := d.Exec("load /no/such/file.json"); err == nil {
+		t.Error("bad load accepted")
+	}
+}

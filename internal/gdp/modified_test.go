@@ -1,0 +1,205 @@
+package gdp
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/grandma"
+	"repro/internal/mathx"
+	"repro/internal/synth"
+)
+
+var (
+	modOnce sync.Once
+	modRec  *eager.Recognizer
+	modErr  error
+)
+
+// modifiedRecognizer trains a recognizer whose rect class includes
+// multiple orientations — the paper: "For this to work, the rectangle
+// gesture was trained in multiple orientations."
+func modifiedRecognizer(t *testing.T) *eager.Recognizer {
+	t.Helper()
+	modOnce.Do(func() {
+		classes := synth.GDPClasses()
+		var rect synth.Class
+		rest := make([]synth.Class, 0, len(classes))
+		for _, c := range classes {
+			if c.Name == "rect" {
+				rect = c
+				continue
+			}
+			rest = append(rest, c)
+		}
+		gen := synth.NewGenerator(synth.DefaultParams(17))
+		set, _ := gen.Set("mod-train", rest, 12)
+		// Rect in four orientations, sharing one class label.
+		for _, angle := range []float64{0, math.Pi / 6, math.Pi / 3, -math.Pi / 6} {
+			rc := synth.RotatedClass(rect, angle)
+			for i := 0; i < 6; i++ {
+				s := gen.Sample(rc)
+				set.Add("rect", s.G)
+			}
+		}
+		modRec, _, modErr = eager.Train(set, eager.DefaultOptions())
+	})
+	if modErr != nil {
+		t.Fatal(modErr)
+	}
+	return modRec
+}
+
+func TestModifiedRectOrientation(t *testing.T) {
+	app, err := New(Config{Recognizer: modifiedRecognizer(t), Mode: grandma.ModeMouseUp, Modified: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := driver(40)
+	var rect synth.Class
+	for _, c := range synth.GDPClasses() {
+		if c.Name == "rect" {
+			rect = c
+		}
+	}
+	// Draw the rect gesture tilted 30 degrees; the created rectangle's
+	// orientation must follow.
+	tilt := math.Pi / 6
+	rc := synth.RotatedClass(rect, tilt)
+	p := gen.SampleAt(rc, geom.Pt(200, 120)).G.Points
+	app.PlayGesture(p)
+	if app.Scene.Len() != 1 || app.Scene.Shapes()[0].Kind() != "rect" {
+		t.Fatalf("scene = %v (log: %v)", app.Scene.Kinds(), app.Log)
+	}
+	r := app.Scene.Shapes()[0].(*Rect)
+	if !mathx.ApproxEqual(r.Angle, tilt, 0.25) { // generous: jitter + 3rd-point estimate
+		t.Errorf("rect angle = %.2f rad, want about %.2f", r.Angle, tilt)
+	}
+	// An untilted gesture yields a near-axis-aligned rectangle.
+	p0 := gen.SampleAt(rect, geom.Pt(400, 120)).G.Points
+	app.PlayGesture(p0)
+	r2, ok := app.Scene.Shapes()[1].(*Rect)
+	if !ok {
+		t.Fatalf("second shape: %v (log: %v)", app.Scene.Kinds(), app.Log)
+	}
+	if math.Abs(r2.Angle) > 0.2 {
+		t.Errorf("untilted rect angle = %.2f", r2.Angle)
+	}
+}
+
+func TestModifiedLineThickness(t *testing.T) {
+	app, err := New(Config{Recognizer: testRecognizer(t), Mode: grandma.ModeMouseUp, Modified: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := driver(41)
+	var lineClass synth.Class
+	for _, c := range synth.GDPClasses() {
+		if c.Name == "line" {
+			lineClass = c
+		}
+	}
+	p := gen.SampleAt(lineClass, geom.Pt(100, 100)).G.Points
+	app.PlayGesture(p)
+	if app.Scene.Len() != 1 || app.Scene.Shapes()[0].Kind() != "line" {
+		t.Fatalf("scene = %v (log: %v)", app.Scene.Kinds(), app.Log)
+	}
+	l := app.Scene.Shapes()[0].(*Line)
+	wantT := math.Max(1, math.Round(geom.Path(p).Length()/40))
+	if l.Thickness != wantT {
+		t.Errorf("thickness = %v, want %v", l.Thickness, wantT)
+	}
+	if l.Thickness < 2 {
+		t.Errorf("line gesture of length %.0f should map to thickness >= 2", geom.Path(p).Length())
+	}
+}
+
+func TestUnmodifiedDefaultsPreserved(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	gen := driver(42)
+	var lineClass synth.Class
+	for _, c := range synth.GDPClasses() {
+		if c.Name == "line" {
+			lineClass = c
+		}
+	}
+	app.PlayGesture(gen.SampleAt(lineClass, geom.Pt(100, 100)).G.Points)
+	l := app.Scene.Shapes()[0].(*Line)
+	if l.Thickness != 1 {
+		t.Errorf("unmodified thickness = %v", l.Thickness)
+	}
+}
+
+func TestThickLineDraw(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	thin := NewLine(10, 10, 60, 10)
+	app.Scene.Add(thin)
+	app.Render()
+	thinCount := app.Canvas.Count('+')
+	app.Scene.Clear()
+	thick := NewLine(10, 10, 60, 10)
+	thick.Thickness = 3
+	app.Scene.Add(thick)
+	app.Render()
+	if got := app.Canvas.Count('+'); got < thinCount*2 {
+		t.Errorf("thick line painted %d cells vs thin %d", got, thinCount)
+	}
+	// Degenerate thick line does not panic and paints its point.
+	deg := NewLine(5, 5, 5, 5)
+	deg.Thickness = 4
+	app.Scene.Clear()
+	app.Scene.Add(deg)
+	app.Render()
+	if app.Canvas.At(5, 5) != '+' {
+		t.Error("degenerate thick line unpainted")
+	}
+}
+
+func TestRejectionThresholds(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	var rejections int
+	app.Handler.OnRejected = func(a *grandma.Attrs, prob, dist float64) { rejections++ }
+	app.Handler.MaxMahalanobis = 12
+
+	gen := driver(43)
+	// A clean rect gesture passes.
+	p := gestureAt(t, gen, "rect", geom.Pt(100, 100))
+	app.PlayGesture(p)
+	if app.Scene.Len() != 1 || rejections != 0 {
+		t.Fatalf("clean gesture rejected? scene=%v rejections=%d (log: %v)", app.Scene.Kinds(), rejections, app.Log)
+	}
+	// Garbage — a dense spiral scribble unlike any trained class — is
+	// rejected by the Mahalanobis gate and creates nothing.
+	var scribble geom.Path
+	for i := 0; i < 60; i++ {
+		ang := float64(i) * 0.9
+		r := 4 + float64(i)*2.5
+		scribble = append(scribble, geom.TimedPoint{
+			X: 300 + r*math.Cos(ang),
+			Y: 200 + r*math.Sin(ang),
+			T: float64(i) * 0.02,
+		})
+	}
+	app.PlayGesture(scribble)
+	if rejections != 1 {
+		t.Fatalf("scribble not rejected (scene=%v, log=%v)", app.Scene.Kinds(), app.Log)
+	}
+	if app.Scene.Len() != 1 {
+		t.Fatalf("rejected gesture still created a shape: %v", app.Scene.Kinds())
+	}
+}
+
+func TestRejectionProbabilityGate(t *testing.T) {
+	// An impossible probability bar rejects everything.
+	app := newApp(t, grandma.ModeMouseUp)
+	rejected := 0
+	app.Handler.OnRejected = func(a *grandma.Attrs, prob, dist float64) { rejected++ }
+	app.Handler.MinProbability = 1.1
+	gen := driver(44)
+	app.PlayGesture(gestureAt(t, gen, "line", geom.Pt(100, 100)))
+	if rejected != 1 || app.Scene.Len() != 0 {
+		t.Fatalf("rejected=%d scene=%v", rejected, app.Scene.Kinds())
+	}
+}

@@ -1,0 +1,143 @@
+package gdp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Scene persistence: shapes serialize as kind-tagged JSON objects so a
+// drawing survives across sessions — the counterpart of DP's file format
+// in the original (GDP was "based on (the non-gesture-based program) DP").
+
+// shapeJSON is the kind-tagged wire form of one shape.
+type shapeJSON struct {
+	Kind      string       `json:"kind"`
+	X1        float64      `json:"x1,omitempty"`
+	Y1        float64      `json:"y1,omitempty"`
+	X2        float64      `json:"x2,omitempty"`
+	Y2        float64      `json:"y2,omitempty"`
+	Angle     float64      `json:"angle,omitempty"`
+	Thickness float64      `json:"thickness,omitempty"`
+	CX        float64      `json:"cx,omitempty"`
+	CY        float64      `json:"cy,omitempty"`
+	RX        float64      `json:"rx,omitempty"`
+	RY        float64      `json:"ry,omitempty"`
+	X         float64      `json:"x,omitempty"`
+	Y         float64      `json:"y,omitempty"`
+	S         string       `json:"s,omitempty"`
+	Members   []*shapeJSON `json:"members,omitempty"`
+}
+
+func toJSON(sh Shape) *shapeJSON {
+	switch s := sh.(type) {
+	case *Line:
+		return &shapeJSON{Kind: "line", X1: s.X1, Y1: s.Y1, X2: s.X2, Y2: s.Y2, Thickness: s.Thickness}
+	case *Rect:
+		return &shapeJSON{Kind: "rect", X1: s.X1, Y1: s.Y1, X2: s.X2, Y2: s.Y2, Angle: s.Angle}
+	case *Ellipse:
+		return &shapeJSON{Kind: "ellipse", CX: s.CX, CY: s.CY, RX: s.RX, RY: s.RY}
+	case *Text:
+		return &shapeJSON{Kind: "text", X: s.X, Y: s.Y, S: s.S}
+	case *Dot:
+		return &shapeJSON{Kind: "dot", X: s.X, Y: s.Y}
+	case *Group:
+		out := &shapeJSON{Kind: "group"}
+		for _, m := range s.Members {
+			out.Members = append(out.Members, toJSON(m))
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func fromJSON(j *shapeJSON) (Shape, error) {
+	switch j.Kind {
+	case "line":
+		l := NewLine(j.X1, j.Y1, j.X2, j.Y2)
+		if j.Thickness > 0 {
+			l.Thickness = j.Thickness
+		}
+		return l, nil
+	case "rect":
+		r := NewRect(j.X1, j.Y1, j.X2, j.Y2)
+		r.Angle = j.Angle
+		return r, nil
+	case "ellipse":
+		return NewEllipse(j.CX, j.CY, j.RX, j.RY), nil
+	case "text":
+		return NewText(j.X, j.Y, j.S), nil
+	case "dot":
+		return NewDot(j.X, j.Y), nil
+	case "group":
+		g := NewGroup(nil)
+		for _, mj := range j.Members {
+			m, err := fromJSON(mj)
+			if err != nil {
+				return nil, err
+			}
+			g.Add(m)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("gdp: unknown shape kind %q", j.Kind)
+	}
+}
+
+// WriteJSON serializes the scene to w.
+func (s *Scene) WriteJSON(w io.Writer) error {
+	shapes := make([]*shapeJSON, 0, len(s.shapes))
+	for _, sh := range s.shapes {
+		if j := toJSON(sh); j != nil {
+			shapes = append(shapes, j)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(shapes); err != nil {
+		return fmt.Errorf("gdp: encoding scene: %w", err)
+	}
+	return nil
+}
+
+// ReadScene parses a scene from r; shapes get fresh IDs.
+func ReadScene(r io.Reader) (*Scene, error) {
+	var shapes []*shapeJSON
+	if err := json.NewDecoder(r).Decode(&shapes); err != nil {
+		return nil, fmt.Errorf("gdp: decoding scene: %w", err)
+	}
+	scene := NewScene()
+	for _, j := range shapes {
+		sh, err := fromJSON(j)
+		if err != nil {
+			return nil, err
+		}
+		scene.Add(sh)
+	}
+	return scene, nil
+}
+
+// SaveFile writes the scene to the named file.
+func (s *Scene) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("gdp: %w", err)
+	}
+	defer f.Close()
+	if err := s.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadScene reads a scene from the named file.
+func LoadScene(path string) (*Scene, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gdp: %w", err)
+	}
+	defer f.Close()
+	return ReadScene(f)
+}

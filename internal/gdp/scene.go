@@ -1,0 +1,121 @@
+package gdp
+
+import (
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// Scene is GDP's drawing: an ordered list of shapes (later shapes draw on
+// top). It assigns shape IDs and supports the spatial queries the gesture
+// semantics need — picking the object at a point and collecting the
+// objects enclosed by a gesture.
+type Scene struct {
+	shapes []Shape
+	nextID int
+}
+
+// NewScene returns an empty scene.
+func NewScene() *Scene { return &Scene{nextID: 1} }
+
+// Add inserts a shape on top of the scene and assigns it an ID.
+func (s *Scene) Add(sh Shape) {
+	sh.setID(s.nextID)
+	s.nextID++
+	s.shapes = append(s.shapes, sh)
+}
+
+// Remove deletes a shape (by identity); unknown shapes are ignored.
+func (s *Scene) Remove(sh Shape) {
+	for i, x := range s.shapes {
+		if x == sh {
+			s.shapes = append(s.shapes[:i], s.shapes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Shapes returns the shapes bottom-to-top (do not mutate the slice).
+func (s *Scene) Shapes() []Shape { return s.shapes }
+
+// Len returns the number of top-level shapes.
+func (s *Scene) Len() int { return len(s.shapes) }
+
+// Clear removes every shape.
+func (s *Scene) Clear() { s.shapes = nil }
+
+// TopAt returns the topmost shape touched at p (within tol), or nil.
+func (s *Scene) TopAt(p geom.Point, tol float64) Shape {
+	for i := len(s.shapes) - 1; i >= 0; i-- {
+		if s.shapes[i].Touches(p, tol) {
+			return s.shapes[i]
+		}
+	}
+	return nil
+}
+
+// EnclosedBy returns the shapes whose bounds lie entirely inside r —
+// the group gesture's "enclosed objects".
+func (s *Scene) EnclosedBy(r geom.Rect) []Shape {
+	var out []Shape
+	for _, sh := range s.shapes {
+		if r.ContainsRect(sh.Bounds()) {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// EnclosedByPolygon returns the shapes entirely inside the (implicitly
+// closed) polygon — the faithful lasso semantics for the group gesture: a
+// shape is enclosed when all four corners of its bounding box fall inside
+// the stroke's polygon. Degenerate polygons enclose nothing.
+func (s *Scene) EnclosedByPolygon(poly []geom.Point) []Shape {
+	if len(poly) < 3 {
+		return nil
+	}
+	var out []Shape
+	for _, sh := range s.shapes {
+		b := sh.Bounds()
+		corners := [4]geom.Point{
+			{X: b.MinX, Y: b.MinY}, {X: b.MaxX, Y: b.MinY},
+			{X: b.MaxX, Y: b.MaxY}, {X: b.MinX, Y: b.MaxY},
+		}
+		inside := true
+		for _, c := range corners {
+			if !geom.PolygonContains(poly, c) {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// ByID returns the shape with the given ID, or nil.
+func (s *Scene) ByID(id int) Shape {
+	for _, sh := range s.shapes {
+		if sh.ID() == id {
+			return sh
+		}
+	}
+	return nil
+}
+
+// Draw paints every shape bottom-to-top.
+func (s *Scene) Draw(c *raster.Canvas) {
+	for _, sh := range s.shapes {
+		sh.Draw(c)
+	}
+}
+
+// Kinds returns the shape kinds bottom-to-top (handy in tests).
+func (s *Scene) Kinds() []string {
+	out := make([]string, len(s.shapes))
+	for i, sh := range s.shapes {
+		out[i] = sh.Kind()
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package gdp
+
+import (
+	"fmt"
+
+	"repro/internal/script"
+)
+
+// ScriptView returns the GDP window as a script object, so gesture
+// semantics can be written in GRANDMA's message language exactly as in the
+// paper:
+//
+//	recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>];
+//	manip = [recog setEndpoint:1 x:<currentX> y:<currentY>];
+//
+// The object responds to createRect, createLine, createEllipse, createDot
+// and createText:, each returning a shape object (see ShapeObject).
+func (a *App) ScriptView() *script.Dispatch {
+	v := script.NewDispatch("gdpView")
+	v.Bind("createRect", func(args []script.Value) (script.Value, error) {
+		r := NewRect(0, 0, 0, 0)
+		a.Scene.Add(r)
+		a.logf("script: create %s", String(r))
+		return a.ShapeObject(r), nil
+	})
+	v.Bind("createLine", func(args []script.Value) (script.Value, error) {
+		l := NewLine(0, 0, 0, 0)
+		a.Scene.Add(l)
+		a.logf("script: create %s", String(l))
+		return a.ShapeObject(l), nil
+	})
+	v.Bind("createEllipse", func(args []script.Value) (script.Value, error) {
+		e := NewEllipse(0, 0, 0, 0)
+		a.Scene.Add(e)
+		a.logf("script: create %s", String(e))
+		return a.ShapeObject(e), nil
+	})
+	v.Bind("createDot", func(args []script.Value) (script.Value, error) {
+		d := NewDot(0, 0)
+		a.Scene.Add(d)
+		a.logf("script: create %s", String(d))
+		return a.ShapeObject(d), nil
+	})
+	v.Bind("createText:", func(args []script.Value) (script.Value, error) {
+		if err := script.Arity("createText:", args, 1); err != nil {
+			return nil, err
+		}
+		s, err := script.Str(args[0])
+		if err != nil {
+			return nil, err
+		}
+		tx := NewText(0, 0, s)
+		a.Scene.Add(tx)
+		a.logf("script: create %s", String(tx))
+		return a.ShapeObject(tx), nil
+	})
+	return v
+}
+
+// ShapeObject wraps a shape as a script object with the selectors the
+// paper's semantics use:
+//
+//	setEndpoint:x:y:  — endpoint 0/1 of a line, corner 0/1 of a rect
+//	setCenterX:y:     — center of an ellipse (or position of text/dot)
+//	setRadiiX:y:      — radii of an ellipse
+//	moveToX:y:        — translate so the bounds' min corner lands at (x,y)
+//
+// Every selector returns the receiver, enabling chained sends.
+func (a *App) ShapeObject(sh Shape) *script.Dispatch {
+	d := script.NewDispatch(sh.Kind())
+	num2 := func(args []script.Value) (float64, float64, error) {
+		x, err := script.Num(args[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		y, err := script.Num(args[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		return x, y, nil
+	}
+	d.Bind("setEndpoint:x:y:", func(args []script.Value) (script.Value, error) {
+		if err := script.Arity("setEndpoint:x:y:", args, 3); err != nil {
+			return nil, err
+		}
+		idx, err := script.Num(args[0])
+		if err != nil {
+			return nil, err
+		}
+		x, y, err := num2(args[1:])
+		if err != nil {
+			return nil, err
+		}
+		switch s := sh.(type) {
+		case *Line:
+			if int(idx) == 0 {
+				s.X1, s.Y1 = x, y
+			} else {
+				s.X2, s.Y2 = x, y
+			}
+		case *Rect:
+			if int(idx) == 0 {
+				s.X1, s.Y1 = x, y
+			} else {
+				s.X2, s.Y2 = x, y
+			}
+		default:
+			return nil, fmt.Errorf("gdp: %s has no endpoints", sh.Kind())
+		}
+		a.Session.Redraw()
+		return d, nil
+	})
+	d.Bind("setCenterX:y:", func(args []script.Value) (script.Value, error) {
+		if err := script.Arity("setCenterX:y:", args, 2); err != nil {
+			return nil, err
+		}
+		x, y, err := num2(args)
+		if err != nil {
+			return nil, err
+		}
+		switch s := sh.(type) {
+		case *Ellipse:
+			s.CX, s.CY = x, y
+		case *Text:
+			s.X, s.Y = x, y
+		case *Dot:
+			s.X, s.Y = x, y
+		default:
+			b := sh.Bounds()
+			c := b.Center()
+			sh.Translate(x-c.X, y-c.Y)
+		}
+		a.Session.Redraw()
+		return d, nil
+	})
+	d.Bind("setRadiiX:y:", func(args []script.Value) (script.Value, error) {
+		if err := script.Arity("setRadiiX:y:", args, 2); err != nil {
+			return nil, err
+		}
+		x, y, err := num2(args)
+		if err != nil {
+			return nil, err
+		}
+		e, ok := sh.(*Ellipse)
+		if !ok {
+			return nil, fmt.Errorf("gdp: %s has no radii", sh.Kind())
+		}
+		if x < 0 {
+			x = -x
+		}
+		if y < 0 {
+			y = -y
+		}
+		e.RX, e.RY = x, y
+		a.Session.Redraw()
+		return d, nil
+	})
+	d.Bind("moveToX:y:", func(args []script.Value) (script.Value, error) {
+		if err := script.Arity("moveToX:y:", args, 2); err != nil {
+			return nil, err
+		}
+		x, y, err := num2(args)
+		if err != nil {
+			return nil, err
+		}
+		b := sh.Bounds()
+		sh.Translate(x-b.MinX, y-b.MinY)
+		a.Session.Redraw()
+		return d, nil
+	})
+	return d
+}

@@ -1,0 +1,129 @@
+package gdp
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grandma"
+	"repro/internal/script"
+)
+
+func TestScriptViewCreateRectPaperSemantics(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	env := script.NewEnv()
+	env.SetVar("view", app.ScriptView())
+	env.SetAttr("startX", 10.0)
+	env.SetAttr("startY", 20.0)
+
+	// The exact semantics text from the paper's section 3.2.
+	recog := script.MustParse("recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>]")
+	if _, err := recog.Eval(env); err != nil {
+		t.Fatal(err)
+	}
+	env.SetAttr("currentX", 110.0)
+	env.SetAttr("currentY", 90.0)
+	manip := script.MustParse("[recog setEndpoint:1 x:<currentX> y:<currentY>]")
+	if _, err := manip.Eval(env); err != nil {
+		t.Fatal(err)
+	}
+	if app.Scene.Len() != 1 {
+		t.Fatalf("scene = %v", app.Scene.Kinds())
+	}
+	r := app.Scene.Shapes()[0].(*Rect)
+	if r.X1 != 10 || r.Y1 != 20 || r.X2 != 110 || r.Y2 != 90 {
+		t.Errorf("rect = %+v", r)
+	}
+}
+
+func TestScriptViewAllCreators(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	env := script.NewEnv()
+	env.SetVar("view", app.ScriptView())
+	srcs := []string{
+		"[[view createLine] setEndpoint:1 x:50 y:60]",
+		"[[view createEllipse] setCenterX:100 y:100]",
+		`[[view createText:"label"] setCenterX:30 y:30]`,
+		"[[view createDot] setCenterX:5 y:5]",
+	}
+	for _, src := range srcs {
+		if _, err := script.MustParse(src).Eval(env); err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+	}
+	if app.Scene.Len() != 4 {
+		t.Fatalf("scene = %v", app.Scene.Kinds())
+	}
+	e := app.Scene.Shapes()[1].(*Ellipse)
+	if e.CX != 100 || e.CY != 100 {
+		t.Errorf("ellipse center (%v,%v)", e.CX, e.CY)
+	}
+	if app.Scene.Shapes()[2].(*Text).S != "label" {
+		t.Error("text content")
+	}
+}
+
+func TestScriptViewRadiiAndMove(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	env := script.NewEnv()
+	env.SetVar("view", app.ScriptView())
+	src := "e = [[view createEllipse] setCenterX:50 y:50]; [e setRadiiX:-20 y:10]; [e moveToX:100 y:100]"
+	if _, err := script.MustParse(src).Eval(env); err != nil {
+		t.Fatal(err)
+	}
+	e := app.Scene.Shapes()[0].(*Ellipse)
+	if e.RX != 20 || e.RY != 10 {
+		t.Errorf("radii (%v,%v)", e.RX, e.RY)
+	}
+	if b := e.Bounds(); b.MinX != 100 || b.MinY != 100 {
+		t.Errorf("bounds after move %+v", b)
+	}
+}
+
+func TestScriptViewErrors(t *testing.T) {
+	app := newApp(t, grandma.ModeMouseUp)
+	env := script.NewEnv()
+	env.SetVar("view", app.ScriptView())
+	for _, src := range []string{
+		"[[view createDot] setEndpoint:0 x:1 y:2]", // dots have no endpoints
+		"[[view createLine] setRadiiX:1 y:2]",      // lines have no radii
+		`[view createText:5]`,                      // non-string text
+	} {
+		if _, err := script.MustParse(src).Eval(env); err == nil {
+			t.Errorf("%s: expected error", src)
+		}
+	}
+}
+
+func TestScriptSemanticsDriveGDP(t *testing.T) {
+	// Full integration: register script-language semantics for the rect
+	// gesture and drive it with a synthetic stroke, reproducing the
+	// paper's configuration end to end.
+	app := newApp(t, grandma.ModeEager)
+	var scriptErr error
+	sem, err := grandma.ScriptSemantics(
+		"recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>]",
+		"[recog setEndpoint:1 x:<currentX> y:<currentY>]",
+		"nil",
+		func(a *grandma.Attrs, env *script.Env) { env.SetVar("view", app.ScriptView()) },
+		func(e error) { scriptErr = e },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Handler.Register("rect", sem)
+
+	g := driver(30)
+	p := gestureAt(t, g, "rect", geom.Pt(100, 100))
+	app.PlayGesture(p)
+	if scriptErr != nil {
+		t.Fatal(scriptErr)
+	}
+	if app.Scene.Len() != 1 {
+		t.Fatalf("scene = %v (log: %v)", app.Scene.Kinds(), app.Log)
+	}
+	r := app.Scene.Shapes()[0].(*Rect)
+	end := p[len(p)-1]
+	if r.X2 != end.X || r.Y2 != end.Y {
+		t.Errorf("rubberband corner (%v,%v) vs end (%v,%v)", r.X2, r.Y2, end.X, end.Y)
+	}
+}

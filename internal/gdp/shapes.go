@@ -1,0 +1,427 @@
+// Package gdp reproduces GDP, the paper's gesture-based drawing program
+// (section 2): "GDP is capable of producing drawings made with lines,
+// rectangles, ellipses, and text", driven entirely by the eleven-gesture
+// set of figure 3 plus control-point direct manipulation for the edit
+// gesture. It is built on the grandma toolkit exactly as the paper builds
+// GDP on GRANDMA.
+package gdp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// Shape is a drawable GDP model object. Shapes are mutable: the
+// manipulation phase of a gesture updates them in place in the presence of
+// application feedback.
+type Shape interface {
+	// ID is the scene-assigned identity (0 before the shape is added).
+	ID() int
+	setID(id int)
+	// Bounds returns the shape's bounding box.
+	Bounds() geom.Rect
+	// Draw paints the shape.
+	Draw(c *raster.Canvas)
+	// Translate moves the shape by (dx, dy).
+	Translate(dx, dy float64)
+	// RotateScale rotates the shape by angle radians and scales it by
+	// factor s about the given center (the rotate-scale gesture's center
+	// of rotation).
+	RotateScale(center geom.Point, angle, s float64)
+	// Touches reports whether p falls on (or within tol of) the shape —
+	// used by delete's touch semantics and by object picking.
+	Touches(p geom.Point, tol float64) bool
+	// Clone returns a deep copy with ID zero (the copy gesture).
+	Clone() Shape
+	// Kind returns the shape's type name for logs and tests.
+	Kind() string
+}
+
+// base carries the scene identity common to all shapes.
+type base struct{ id int }
+
+func (b *base) ID() int      { return b.id }
+func (b *base) setID(id int) { b.id = id }
+
+// Line is a straight line segment with a thickness. The modified GDP the
+// paper mentions maps the line gesture's length to thickness; the field
+// exists for that extension even though the default semantics leave it 1.
+type Line struct {
+	base
+	X1, Y1, X2, Y2 float64
+	Thickness      float64
+}
+
+// NewLine returns a line from (x1,y1) to (x2,y2) with thickness 1.
+func NewLine(x1, y1, x2, y2 float64) *Line {
+	return &Line{X1: x1, Y1: y1, X2: x2, Y2: y2, Thickness: 1}
+}
+
+// Kind implements Shape.
+func (l *Line) Kind() string { return "line" }
+
+// Bounds implements Shape.
+func (l *Line) Bounds() geom.Rect {
+	return geom.RectFromPoints(geom.Pt(l.X1, l.Y1), geom.Pt(l.X2, l.Y2))
+}
+
+// Draw implements Shape. Thickness greater than 1 strokes parallel offset
+// lines (the modified GDP's thickness-by-gesture-length feature).
+func (l *Line) Draw(c *raster.Canvas) {
+	k := int(l.Thickness)
+	if k <= 1 {
+		c.Line(l.X1, l.Y1, l.X2, l.Y2, '+')
+		return
+	}
+	d := geom.Pt(l.X2-l.X1, l.Y2-l.Y1)
+	n := d.Norm()
+	if n == 0 {
+		c.SetF(l.X1, l.Y1, '+')
+		return
+	}
+	perp := geom.Pt(-d.Y/n, d.X/n)
+	for i := 0; i < k; i++ {
+		off := float64(i) - float64(k-1)/2
+		c.Line(l.X1+perp.X*off, l.Y1+perp.Y*off, l.X2+perp.X*off, l.Y2+perp.Y*off, '+')
+	}
+}
+
+// Translate implements Shape.
+func (l *Line) Translate(dx, dy float64) {
+	l.X1 += dx
+	l.Y1 += dy
+	l.X2 += dx
+	l.Y2 += dy
+}
+
+// RotateScale implements Shape.
+func (l *Line) RotateScale(center geom.Point, angle, s float64) {
+	p1 := geom.Pt(l.X1, l.Y1).Sub(center).Rotate(angle).Scale(s).Add(center)
+	p2 := geom.Pt(l.X2, l.Y2).Sub(center).Rotate(angle).Scale(s).Add(center)
+	l.X1, l.Y1, l.X2, l.Y2 = p1.X, p1.Y, p2.X, p2.Y
+}
+
+// Touches implements Shape.
+func (l *Line) Touches(p geom.Point, tol float64) bool {
+	return geom.SegmentDist(p, geom.Pt(l.X1, l.Y1), geom.Pt(l.X2, l.Y2)) <= tol+l.Thickness/2
+}
+
+// Clone implements Shape.
+func (l *Line) Clone() Shape {
+	c := *l
+	c.id = 0
+	return &c
+}
+
+// Rect is a rectangle defined by two opposite corners plus a rotation
+// about its center (the modified GDP maps the rectangle gesture's initial
+// angle to this orientation).
+type Rect struct {
+	base
+	X1, Y1, X2, Y2 float64
+	Angle          float64
+}
+
+// NewRect returns an axis-aligned rectangle with the given corners.
+func NewRect(x1, y1, x2, y2 float64) *Rect {
+	return &Rect{X1: x1, Y1: y1, X2: x2, Y2: y2}
+}
+
+// Kind implements Shape.
+func (r *Rect) Kind() string { return "rect" }
+
+// Corners returns the rectangle's four corners, rotation applied, in
+// drawing order.
+func (r *Rect) Corners() [4]geom.Point {
+	c := geom.Pt((r.X1+r.X2)/2, (r.Y1+r.Y2)/2)
+	raw := [4]geom.Point{
+		{X: r.X1, Y: r.Y1}, {X: r.X2, Y: r.Y1},
+		{X: r.X2, Y: r.Y2}, {X: r.X1, Y: r.Y2},
+	}
+	if r.Angle != 0 {
+		for i, p := range raw {
+			raw[i] = p.RotateAround(c, r.Angle)
+		}
+	}
+	return raw
+}
+
+// Bounds implements Shape.
+func (r *Rect) Bounds() geom.Rect {
+	b := geom.EmptyRect()
+	for _, p := range r.Corners() {
+		b = b.AddPoint(p)
+	}
+	return b
+}
+
+// Draw implements Shape.
+func (r *Rect) Draw(c *raster.Canvas) {
+	k := r.Corners()
+	c.Polygon(k[:], '#')
+}
+
+// Translate implements Shape.
+func (r *Rect) Translate(dx, dy float64) {
+	r.X1 += dx
+	r.Y1 += dy
+	r.X2 += dx
+	r.Y2 += dy
+}
+
+// RotateScale implements Shape.
+func (r *Rect) RotateScale(center geom.Point, angle, s float64) {
+	c := geom.Pt((r.X1+r.X2)/2, (r.Y1+r.Y2)/2)
+	nc := c.Sub(center).Rotate(angle).Scale(s).Add(center)
+	hw, hh := (r.X2-r.X1)/2*s, (r.Y2-r.Y1)/2*s
+	r.X1, r.X2 = nc.X-hw, nc.X+hw
+	r.Y1, r.Y2 = nc.Y-hh, nc.Y+hh
+	r.Angle += angle
+}
+
+// Touches implements Shape: true near any edge.
+func (r *Rect) Touches(p geom.Point, tol float64) bool {
+	k := r.Corners()
+	for i := 0; i < 4; i++ {
+		if geom.SegmentDist(p, k[i], k[(i+1)%4]) <= tol {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone implements Shape.
+func (r *Rect) Clone() Shape {
+	c := *r
+	c.id = 0
+	return &c
+}
+
+// Ellipse is an axis-aligned ellipse (GDP's ellipse gesture fixes the
+// center at the gesture start; manipulation drags size and eccentricity).
+// Axis tilt is not modelled; RotateScale moves the center and scales the
+// radii, which this reproduction documents as a simplification.
+type Ellipse struct {
+	base
+	CX, CY, RX, RY float64
+}
+
+// NewEllipse returns an ellipse centered at (cx, cy).
+func NewEllipse(cx, cy, rx, ry float64) *Ellipse {
+	return &Ellipse{CX: cx, CY: cy, RX: math.Abs(rx), RY: math.Abs(ry)}
+}
+
+// Kind implements Shape.
+func (e *Ellipse) Kind() string { return "ellipse" }
+
+// Bounds implements Shape.
+func (e *Ellipse) Bounds() geom.Rect {
+	return geom.Rect{MinX: e.CX - e.RX, MinY: e.CY - e.RY, MaxX: e.CX + e.RX, MaxY: e.CY + e.RY}
+}
+
+// Draw implements Shape.
+func (e *Ellipse) Draw(c *raster.Canvas) { c.Ellipse(e.CX, e.CY, e.RX, e.RY, 'o') }
+
+// Translate implements Shape.
+func (e *Ellipse) Translate(dx, dy float64) {
+	e.CX += dx
+	e.CY += dy
+}
+
+// RotateScale implements Shape.
+func (e *Ellipse) RotateScale(center geom.Point, angle, s float64) {
+	nc := geom.Pt(e.CX, e.CY).Sub(center).Rotate(angle).Scale(s).Add(center)
+	e.CX, e.CY = nc.X, nc.Y
+	e.RX *= s
+	e.RY *= s
+}
+
+// Touches implements Shape: true near the ellipse outline.
+func (e *Ellipse) Touches(p geom.Point, tol float64) bool {
+	if e.RX < 1e-9 || e.RY < 1e-9 {
+		return p.Dist(geom.Pt(e.CX, e.CY)) <= tol
+	}
+	dx := (p.X - e.CX) / e.RX
+	dy := (p.Y - e.CY) / e.RY
+	r := math.Hypot(dx, dy)
+	// Distance from the outline, approximated in the scaled metric.
+	return math.Abs(r-1)*math.Min(e.RX, e.RY) <= tol
+}
+
+// Clone implements Shape.
+func (e *Ellipse) Clone() Shape {
+	c := *e
+	c.id = 0
+	return &c
+}
+
+// Text is a text label anchored at its top-left cell.
+type Text struct {
+	base
+	X, Y float64
+	S    string
+}
+
+// NewText returns a text shape.
+func NewText(x, y float64, s string) *Text { return &Text{X: x, Y: y, S: s} }
+
+// Kind implements Shape.
+func (t *Text) Kind() string { return "text" }
+
+// Bounds implements Shape.
+func (t *Text) Bounds() geom.Rect {
+	w := float64(len(t.S))
+	if w == 0 {
+		w = 1
+	}
+	return geom.Rect{MinX: t.X, MinY: t.Y, MaxX: t.X + w, MaxY: t.Y + 1}
+}
+
+// Draw implements Shape.
+func (t *Text) Draw(c *raster.Canvas) {
+	c.Text(int(math.Round(t.X)), int(math.Round(t.Y)), t.S)
+}
+
+// Translate implements Shape.
+func (t *Text) Translate(dx, dy float64) {
+	t.X += dx
+	t.Y += dy
+}
+
+// RotateScale implements Shape (text only relocates; glyphs do not scale
+// on a character canvas).
+func (t *Text) RotateScale(center geom.Point, angle, s float64) {
+	np := geom.Pt(t.X, t.Y).Sub(center).Rotate(angle).Scale(s).Add(center)
+	t.X, t.Y = np.X, np.Y
+}
+
+// Touches implements Shape.
+func (t *Text) Touches(p geom.Point, tol float64) bool {
+	return t.Bounds().Inset(-tol).Contains(p)
+}
+
+// Clone implements Shape.
+func (t *Text) Clone() Shape {
+	c := *t
+	c.id = 0
+	return &c
+}
+
+// Dot is a point marker (the dot gesture).
+type Dot struct {
+	base
+	X, Y float64
+}
+
+// NewDot returns a dot at (x, y).
+func NewDot(x, y float64) *Dot { return &Dot{X: x, Y: y} }
+
+// Kind implements Shape.
+func (d *Dot) Kind() string { return "dot" }
+
+// Bounds implements Shape.
+func (d *Dot) Bounds() geom.Rect {
+	return geom.Rect{MinX: d.X, MinY: d.Y, MaxX: d.X, MaxY: d.Y}
+}
+
+// Draw implements Shape.
+func (d *Dot) Draw(c *raster.Canvas) { c.SetF(d.X, d.Y, '@') }
+
+// Translate implements Shape.
+func (d *Dot) Translate(dx, dy float64) {
+	d.X += dx
+	d.Y += dy
+}
+
+// RotateScale implements Shape.
+func (d *Dot) RotateScale(center geom.Point, angle, s float64) {
+	np := geom.Pt(d.X, d.Y).Sub(center).Rotate(angle).Scale(s).Add(center)
+	d.X, d.Y = np.X, np.Y
+}
+
+// Touches implements Shape.
+func (d *Dot) Touches(p geom.Point, tol float64) bool {
+	return p.Dist(geom.Pt(d.X, d.Y)) <= tol+1
+}
+
+// Clone implements Shape.
+func (d *Dot) Clone() Shape {
+	c := *d
+	c.id = 0
+	return &c
+}
+
+// Group is a composite shape — "the group gesture generates a composite
+// object out of the enclosed objects". Operations apply to every member.
+type Group struct {
+	base
+	Members []Shape
+}
+
+// NewGroup returns a group over the given members.
+func NewGroup(members []Shape) *Group { return &Group{Members: members} }
+
+// Kind implements Shape.
+func (g *Group) Kind() string { return "group" }
+
+// Add appends a member (the group gesture's manipulation phase: "additional
+// objects may be added to the group by touching them").
+func (g *Group) Add(s Shape) { g.Members = append(g.Members, s) }
+
+// Bounds implements Shape.
+func (g *Group) Bounds() geom.Rect {
+	b := geom.EmptyRect()
+	for _, m := range g.Members {
+		b = b.Union(m.Bounds())
+	}
+	return b
+}
+
+// Draw implements Shape.
+func (g *Group) Draw(c *raster.Canvas) {
+	for _, m := range g.Members {
+		m.Draw(c)
+	}
+}
+
+// Translate implements Shape.
+func (g *Group) Translate(dx, dy float64) {
+	for _, m := range g.Members {
+		m.Translate(dx, dy)
+	}
+}
+
+// RotateScale implements Shape.
+func (g *Group) RotateScale(center geom.Point, angle, s float64) {
+	for _, m := range g.Members {
+		m.RotateScale(center, angle, s)
+	}
+}
+
+// Touches implements Shape.
+func (g *Group) Touches(p geom.Point, tol float64) bool {
+	for _, m := range g.Members {
+		if m.Touches(p, tol) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone implements Shape.
+func (g *Group) Clone() Shape {
+	out := &Group{Members: make([]Shape, len(g.Members))}
+	for i, m := range g.Members {
+		out.Members[i] = m.Clone()
+	}
+	return out
+}
+
+// String summarizes a shape for logs.
+func String(s Shape) string {
+	b := s.Bounds()
+	return fmt.Sprintf("%s#%d[%.0f,%.0f..%.0f,%.0f]", s.Kind(), s.ID(), b.MinX, b.MinY, b.MaxX, b.MaxY)
+}

@@ -1,0 +1,283 @@
+package gdp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/raster"
+)
+
+func TestLineBasics(t *testing.T) {
+	l := NewLine(0, 0, 30, 40)
+	if l.Kind() != "line" {
+		t.Error("kind")
+	}
+	if b := l.Bounds(); b != (geom.Rect{MinX: 0, MinY: 0, MaxX: 30, MaxY: 40}) {
+		t.Errorf("bounds %+v", b)
+	}
+	if !l.Touches(geom.Pt(15, 20), 1) {
+		t.Error("midpoint not touched")
+	}
+	if l.Touches(geom.Pt(40, 0), 1) {
+		t.Error("far point touched")
+	}
+	l.Translate(10, 10)
+	if l.X1 != 10 || l.Y2 != 50 {
+		t.Error("translate")
+	}
+	c := l.Clone().(*Line)
+	c.X1 = 999
+	if l.X1 == 999 {
+		t.Error("clone aliases")
+	}
+}
+
+func TestLineRotateScale(t *testing.T) {
+	l := NewLine(10, 0, 20, 0)
+	l.RotateScale(geom.Pt(0, 0), math.Pi/2, 2)
+	if !mathx.ApproxEqual(l.X1, 0, 1e-9) || !mathx.ApproxEqual(l.Y1, 20, 1e-9) {
+		t.Errorf("endpoint 1 = (%v,%v)", l.X1, l.Y1)
+	}
+	if !mathx.ApproxEqual(l.Y2, 40, 1e-9) {
+		t.Errorf("endpoint 2 y = %v", l.Y2)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(0, 0, 20, 10)
+	if b := r.Bounds(); b != (geom.Rect{MinX: 0, MinY: 0, MaxX: 20, MaxY: 10}) {
+		t.Errorf("bounds %+v", b)
+	}
+	if !r.Touches(geom.Pt(10, 0), 1) || !r.Touches(geom.Pt(20, 5), 1) {
+		t.Error("edges not touched")
+	}
+	if r.Touches(geom.Pt(10, 5), 1) {
+		t.Error("interior touched (outline shape)")
+	}
+	r.RotateScale(geom.Pt(10, 5), math.Pi/2, 1)
+	// Rotated 90 degrees about its center: bounds become 10x20.
+	b := r.Bounds()
+	if !mathx.ApproxEqual(b.Width(), 10, 1e-9) || !mathx.ApproxEqual(b.Height(), 20, 1e-9) {
+		t.Errorf("rotated bounds %vx%v", b.Width(), b.Height())
+	}
+}
+
+func TestEllipseBasics(t *testing.T) {
+	e := NewEllipse(50, 50, 20, 10)
+	if !e.Touches(geom.Pt(70, 50), 1.5) || !e.Touches(geom.Pt(50, 40), 1.5) {
+		t.Error("outline not touched")
+	}
+	if e.Touches(geom.Pt(50, 50), 1.5) {
+		t.Error("center touched")
+	}
+	e.RotateScale(geom.Pt(50, 50), 0, 2)
+	if e.RX != 40 || e.RY != 20 {
+		t.Errorf("scaled radii %v,%v", e.RX, e.RY)
+	}
+	// Degenerate ellipse falls back to center proximity.
+	z := NewEllipse(0, 0, 0, 0)
+	if !z.Touches(geom.Pt(0.5, 0), 1) {
+		t.Error("degenerate ellipse not touched at center")
+	}
+}
+
+func TestTextAndDot(t *testing.T) {
+	tx := NewText(5, 5, "hi")
+	if !tx.Touches(geom.Pt(6, 5.5), 0) {
+		t.Error("text not touched")
+	}
+	tx.Translate(1, 1)
+	if tx.X != 6 {
+		t.Error("translate")
+	}
+	d := NewDot(3, 3)
+	if !d.Touches(geom.Pt(3.5, 3), 1) {
+		t.Error("dot not touched")
+	}
+	if d.Touches(geom.Pt(30, 3), 1) {
+		t.Error("far dot touched")
+	}
+}
+
+func TestGroup(t *testing.T) {
+	g := NewGroup([]Shape{NewLine(0, 0, 10, 0), NewDot(20, 20)})
+	if g.Bounds() != (geom.Rect{MinX: 0, MinY: 0, MaxX: 20, MaxY: 20}) {
+		t.Errorf("bounds %+v", g.Bounds())
+	}
+	if !g.Touches(geom.Pt(5, 0), 1) || !g.Touches(geom.Pt(20, 20), 1) {
+		t.Error("members not touched")
+	}
+	g.Translate(5, 5)
+	if g.Bounds().MinX != 5 {
+		t.Error("translate")
+	}
+	c := g.Clone().(*Group)
+	c.Members[0].Translate(100, 0)
+	if g.Members[0].Bounds().MinX > 50 {
+		t.Error("clone aliases members")
+	}
+	g.Add(NewDot(100, 100))
+	if len(g.Members) != 3 {
+		t.Error("Add")
+	}
+}
+
+func TestSceneOperations(t *testing.T) {
+	s := NewScene()
+	l := NewLine(0, 0, 10, 0)
+	r := NewRect(5, -5, 15, 5)
+	s.Add(l)
+	s.Add(r)
+	if l.ID() == 0 || r.ID() == 0 || l.ID() == r.ID() {
+		t.Error("IDs not assigned uniquely")
+	}
+	if s.ByID(l.ID()) != Shape(l) || s.ByID(999) != nil {
+		t.Error("ByID")
+	}
+	// TopAt returns the topmost (later-added) among overlaps.
+	if got := s.TopAt(geom.Pt(5, 0), 1); got != Shape(r) {
+		// (5,0) is on the line and near the rect's left edge.
+		t.Errorf("TopAt = %v", got)
+	}
+	s.Remove(r)
+	if s.Len() != 1 {
+		t.Error("Remove")
+	}
+	s.Remove(r) // double remove is fine
+	enc := s.EnclosedBy(geom.Rect{MinX: -1, MinY: -1, MaxX: 11, MaxY: 1})
+	if len(enc) != 1 || enc[0] != Shape(l) {
+		t.Errorf("EnclosedBy = %v", enc)
+	}
+	if len(s.EnclosedBy(geom.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 1})) != 0 {
+		t.Error("partial enclosure counted")
+	}
+	if got := strings.Join(s.Kinds(), ","); got != "line" {
+		t.Errorf("kinds = %s", got)
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Error("Clear")
+	}
+}
+
+func TestSceneDraw(t *testing.T) {
+	s := NewScene()
+	s.Add(NewRect(2, 2, 12, 8))
+	s.Add(NewDot(5, 5))
+	c := raster.NewCanvas(20, 12)
+	s.Draw(c)
+	if c.Count('#') == 0 || c.Count('@') != 1 {
+		t.Errorf("draw counts: #=%d @=%d", c.Count('#'), c.Count('@'))
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	s := NewScene()
+	l := NewLine(1, 2, 3, 4)
+	s.Add(l)
+	got := String(l)
+	if !strings.HasPrefix(got, "line#1[") {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func TestEnclosedByPolygon(t *testing.T) {
+	s := NewScene()
+	inside := NewDot(5, 5)
+	outside := NewDot(50, 50)
+	straddle := NewRect(8, 8, 30, 12) // pokes out of the lasso
+	s.Add(inside)
+	s.Add(outside)
+	s.Add(straddle)
+	lasso := []geom.Point{{X: 0, Y: 0}, {X: 20, Y: 0}, {X: 20, Y: 20}, {X: 0, Y: 20}}
+	got := s.EnclosedByPolygon(lasso)
+	if len(got) != 1 || got[0] != Shape(inside) {
+		t.Errorf("enclosed = %v", got)
+	}
+	if s.EnclosedByPolygon(lasso[:2]) != nil {
+		t.Error("degenerate lasso enclosed something")
+	}
+	// A concave lasso excludes shapes in its notch even though they are in
+	// its bounding box.
+	s2 := NewScene()
+	notched := NewDot(16, 10)
+	s2.Add(notched)
+	cShape := []geom.Point{
+		{X: 0, Y: 0}, {X: 20, Y: 0}, {X: 20, Y: 6}, {X: 6, Y: 6},
+		{X: 6, Y: 14}, {X: 20, Y: 14}, {X: 20, Y: 20}, {X: 0, Y: 20},
+	}
+	if len(s2.EnclosedByPolygon(cShape)) != 0 {
+		t.Error("dot in the lasso's notch was enclosed; bbox semantics leaked back")
+	}
+}
+
+func TestScenePersistenceRoundTrip(t *testing.T) {
+	s := NewScene()
+	thick := NewLine(1, 2, 3, 4)
+	thick.Thickness = 3
+	s.Add(thick)
+	tilted := NewRect(10, 10, 40, 30)
+	tilted.Angle = 0.5
+	s.Add(tilted)
+	s.Add(NewEllipse(50, 50, 20, 10))
+	s.Add(NewText(5, 5, "hello world"))
+	s.Add(NewDot(99, 99))
+	s.Add(NewGroup([]Shape{NewDot(1, 1), NewLine(0, 0, 5, 5)}))
+
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScene(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got.Kinds(), ",") != strings.Join(s.Kinds(), ",") {
+		t.Fatalf("kinds: %v vs %v", got.Kinds(), s.Kinds())
+	}
+	if l := got.Shapes()[0].(*Line); l.Thickness != 3 {
+		t.Errorf("thickness lost: %v", l.Thickness)
+	}
+	if r := got.Shapes()[1].(*Rect); r.Angle != 0.5 {
+		t.Errorf("angle lost: %v", r.Angle)
+	}
+	if tx := got.Shapes()[3].(*Text); tx.S != "hello world" {
+		t.Errorf("text lost: %q", tx.S)
+	}
+	g := got.Shapes()[5].(*Group)
+	if len(g.Members) != 2 || g.Members[1].Kind() != "line" {
+		t.Errorf("group members: %v", len(g.Members))
+	}
+	// Fresh IDs assigned.
+	if got.Shapes()[0].ID() == 0 {
+		t.Error("loaded shape has no ID")
+	}
+}
+
+func TestSceneFileAndErrors(t *testing.T) {
+	s := NewScene()
+	s.Add(NewDot(1, 1))
+	path := t.TempDir() + "/scene.json"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScene(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("loaded %d shapes", got.Len())
+	}
+	if _, err := LoadScene(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := ReadScene(strings.NewReader(`[{"kind":"blob"}]`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadScene(strings.NewReader("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

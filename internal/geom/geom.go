@@ -1,0 +1,211 @@
+// Package geom provides the planar geometry primitives used throughout the
+// gesture recognizer: points, timestamped points, rectangles (bounding
+// boxes), and paths. Coordinates follow the paper's screen convention:
+// x grows rightward, y grows *downward*. An "up" stroke therefore has a
+// negative y delta; the synthetic generators and GDP both use this
+// convention consistently.
+package geom
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Point is a position in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p . q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product p x q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// DistSq returns the squared Euclidean distance between p and q. It is the
+// form used on the feature-extraction hot path, where the square root of
+// Dist would be wasted work.
+func (p Point) DistSq(q Point) float64 {
+	return mathx.Sq(p.X-q.X) + mathx.Sq(p.Y-q.Y)
+}
+
+// Angle returns the direction of p viewed as a vector, in radians in
+// (-pi, pi]. The zero vector has angle 0 by convention.
+func (p Point) Angle() float64 {
+	if p.X == 0 && p.Y == 0 {
+		return 0
+	}
+	return math.Atan2(p.Y, p.X)
+}
+
+// Rotate returns p rotated by angle radians about the origin.
+func (p Point) Rotate(angle float64) Point {
+	s, c := math.Sincos(angle)
+	return Point{p.X*c - p.Y*s, p.X*s + p.Y*c}
+}
+
+// RotateAround returns p rotated by angle radians about center.
+func (p Point) RotateAround(center Point, angle float64) Point {
+	return p.Sub(center).Rotate(angle).Add(center)
+}
+
+// Lerp returns the point a fraction t of the way from p to q. t is not
+// clamped; t outside [0,1] extrapolates.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// TimedPoint is a mouse sample: a position plus the time, in seconds, at
+// which it arrived. This matches the paper's g_p = (x_p, y_p, t_p).
+type TimedPoint struct {
+	X, Y float64
+	T    float64
+}
+
+// TPt is shorthand for TimedPoint{x, y, t}.
+func TPt(x, y, t float64) TimedPoint { return TimedPoint{x, y, t} }
+
+// Point returns the spatial component of the sample.
+func (tp TimedPoint) Point() Point { return Point{tp.X, tp.Y} }
+
+// Rect is an axis-aligned rectangle, most often a bounding box. A Rect is
+// valid when MinX <= MaxX and MinY <= MaxY; EmptyRect returns the canonical
+// invalid rectangle used as the identity for Union/AddPoint.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyRect returns the empty rectangle: the identity element for Union and
+// AddPoint. Empty() reports true for it.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// RectFromPoints returns the smallest rectangle containing both points.
+func RectFromPoints(a, b Point) Rect {
+	return Rect{
+		MinX: math.Min(a.X, b.X), MinY: math.Min(a.Y, b.Y),
+		MaxX: math.Max(a.X, b.X), MaxY: math.Max(a.Y, b.Y),
+	}
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns the horizontal extent of r, or 0 if r is empty.
+func (r Rect) Width() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxX - r.MinX
+}
+
+// Height returns the vertical extent of r, or 0 if r is empty.
+func (r Rect) Height() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.MaxY - r.MinY
+}
+
+// Diagonal returns the length of r's diagonal (feature f3 in the paper).
+func (r Rect) Diagonal() float64 { return math.Hypot(r.Width(), r.Height()) }
+
+// DiagonalAngle returns the angle of r's diagonal (feature f4), measured as
+// atan2(height, width); it lies in [0, pi/2] for non-empty rectangles.
+func (r Rect) DiagonalAngle() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return math.Atan2(r.Height(), r.Width())
+}
+
+// Center returns the midpoint of r. Center of an empty Rect is undefined
+// but returns a finite-free value rather than panicking.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// AddPoint returns r expanded to contain p.
+func (r Rect) AddPoint(p Point) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, p.X), MinY: math.Min(r.MinY, p.Y),
+		MaxX: math.Max(r.MaxX, p.X), MaxY: math.Max(r.MaxY, p.Y),
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX), MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX), MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return !r.Empty() &&
+		p.X >= r.MinX && p.X <= r.MaxX &&
+		p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r. An empty s is
+// contained in any non-empty r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if r.Empty() {
+		return false
+	}
+	if s.Empty() {
+		return true
+	}
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX &&
+		s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX &&
+		r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Inset returns r shrunk by d on every side (or grown, for negative d).
+// Shrinking past the midpoint yields an empty rectangle.
+func (r Rect) Inset(d float64) Rect {
+	return Rect{r.MinX + d, r.MinY + d, r.MaxX - d, r.MaxY - d}
+}
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{r.MinX + dx, r.MinY + dy, r.MaxX + dx, r.MaxY + dy}
+}

@@ -1,0 +1,212 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	a, b := Pt(1, 2), Pt(3, -4)
+	if got := a.Add(b); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestPointNormDist(t *testing.T) {
+	if got := Pt(3, 4).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := Pt(0, 0).Dist(Pt(3, 4)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := Pt(0, 0).DistSq(Pt(3, 4)); got != 25 {
+		t.Errorf("DistSq = %v", got)
+	}
+}
+
+func TestPointAngle(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(1, 0), 0},
+		{Pt(0, 1), math.Pi / 2},
+		{Pt(-1, 0), math.Pi},
+		{Pt(0, -1), -math.Pi / 2},
+		{Pt(0, 0), 0},
+	}
+	for _, c := range cases {
+		if got := c.p.Angle(); !mathx.ApproxEqual(got, c.want, 1e-12) {
+			t.Errorf("Angle(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRotate(t *testing.T) {
+	got := Pt(1, 0).Rotate(math.Pi / 2)
+	if !mathx.ApproxEqual(got.X, 0, 1e-12) || !mathx.ApproxEqual(got.Y, 1, 1e-12) {
+		t.Errorf("Rotate = %v", got)
+	}
+	got = Pt(2, 1).RotateAround(Pt(1, 1), math.Pi)
+	if !mathx.ApproxEqual(got.X, 0, 1e-12) || !mathx.ApproxEqual(got.Y, 1, 1e-12) {
+		t.Errorf("RotateAround = %v", got)
+	}
+}
+
+func TestRotatePreservesDistance(t *testing.T) {
+	f := func(x, y, cx, cy, angle float64) bool {
+		if !mathx.Finite(x) || !mathx.Finite(y) || !mathx.Finite(cx) || !mathx.Finite(cy) || !mathx.Finite(angle) {
+			return true
+		}
+		x, y = math.Mod(x, 1e6), math.Mod(y, 1e6)
+		cx, cy = math.Mod(cx, 1e6), math.Mod(cy, 1e6)
+		p, c := Pt(x, y), Pt(cx, cy)
+		q := p.RotateAround(c, angle)
+		return mathx.ApproxEqual(p.Dist(c), q.Dist(c), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	got := Pt(0, 0).Lerp(Pt(10, 20), 0.5)
+	if got != Pt(5, 10) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	r := EmptyRect()
+	if !r.Empty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	if r.Width() != 0 || r.Height() != 0 || r.Diagonal() != 0 {
+		t.Error("empty rect has nonzero extent")
+	}
+	if r.Contains(Pt(0, 0)) {
+		t.Error("empty rect contains a point")
+	}
+	r = r.AddPoint(Pt(1, 2))
+	if r.Empty() {
+		t.Fatal("rect empty after AddPoint")
+	}
+	if r.MinX != 1 || r.MaxX != 1 || r.MinY != 2 || r.MaxY != 2 {
+		t.Errorf("rect after one AddPoint: %+v", r)
+	}
+}
+
+func TestRectAccumulate(t *testing.T) {
+	r := EmptyRect().AddPoint(Pt(1, 1)).AddPoint(Pt(-2, 5)).AddPoint(Pt(3, 0))
+	want := Rect{-2, 0, 3, 5}
+	if r != want {
+		t.Errorf("accumulated rect %+v, want %+v", r, want)
+	}
+	if r.Width() != 5 || r.Height() != 5 {
+		t.Errorf("width/height = %v/%v", r.Width(), r.Height())
+	}
+	if !mathx.ApproxEqual(r.Diagonal(), math.Sqrt(50), 1e-12) {
+		t.Errorf("diagonal = %v", r.Diagonal())
+	}
+	if !mathx.ApproxEqual(r.DiagonalAngle(), math.Pi/4, 1e-12) {
+		t.Errorf("diagonal angle = %v", r.DiagonalAngle())
+	}
+}
+
+func TestRectContainment(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 10)) || !r.Contains(Pt(5, 5)) {
+		t.Error("boundary/interior points not contained")
+	}
+	if r.Contains(Pt(-0.1, 5)) || r.Contains(Pt(5, 10.1)) {
+		t.Error("outside points contained")
+	}
+	if !r.ContainsRect(Rect{1, 1, 9, 9}) {
+		t.Error("inner rect not contained")
+	}
+	if r.ContainsRect(Rect{1, 1, 11, 9}) {
+		t.Error("overhanging rect contained")
+	}
+	if !r.ContainsRect(EmptyRect()) {
+		t.Error("empty rect should be contained")
+	}
+	if EmptyRect().ContainsRect(Rect{1, 1, 2, 2}) {
+		t.Error("empty rect contains nothing")
+	}
+}
+
+func TestRectIntersectsUnion(t *testing.T) {
+	a := Rect{0, 0, 5, 5}
+	b := Rect{4, 4, 9, 9}
+	c := Rect{6, 6, 7, 7}
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Error("Intersects wrong")
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 9, 9}) {
+		t.Errorf("Union = %+v", u)
+	}
+	if got := a.Union(EmptyRect()); got != a {
+		t.Errorf("Union with empty = %+v", got)
+	}
+	if got := EmptyRect().Union(a); got != a {
+		t.Errorf("empty Union a = %+v", got)
+	}
+	if EmptyRect().Intersects(a) || a.Intersects(EmptyRect()) {
+		t.Error("empty rect intersects something")
+	}
+}
+
+func TestRectInsetTranslateCenter(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if got := r.Inset(2); got != (Rect{2, 2, 8, 8}) {
+		t.Errorf("Inset = %+v", got)
+	}
+	if got := r.Inset(6); !got.Empty() {
+		t.Errorf("over-inset should be empty, got %+v", got)
+	}
+	if got := r.Translate(3, -1); got != (Rect{3, -1, 13, 9}) {
+		t.Errorf("Translate = %+v", got)
+	}
+	if got := r.Center(); got != Pt(5, 5) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestRectFromPoints(t *testing.T) {
+	r := RectFromPoints(Pt(5, 1), Pt(2, 7))
+	if r != (Rect{2, 1, 5, 7}) {
+		t.Errorf("RectFromPoints = %+v", r)
+	}
+}
+
+func TestUnionCommutativeProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, dx, dy} {
+			if !mathx.Finite(v) {
+				return true
+			}
+		}
+		r1 := RectFromPoints(Pt(ax, ay), Pt(bx, by))
+		r2 := RectFromPoints(Pt(cx, cy), Pt(dx, dy))
+		return r1.Union(r2) == r2.Union(r1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,251 @@
+package geom
+
+import "math"
+
+// Path is an ordered sequence of mouse samples — the raw material of a
+// gesture. Paths are value-ish: the mutating helpers return new slices and
+// never alias their receiver unless documented.
+type Path []TimedPoint
+
+// Bounds returns the bounding box of the path's spatial component.
+func (p Path) Bounds() Rect {
+	r := EmptyRect()
+	for _, tp := range p {
+		r = r.AddPoint(tp.Point())
+	}
+	return r
+}
+
+// Length returns the total arc length of the path.
+func (p Path) Length() float64 {
+	total := 0.0
+	for i := 1; i < len(p); i++ {
+		total += p[i].Point().Dist(p[i-1].Point())
+	}
+	return total
+}
+
+// Duration returns the elapsed time from the first sample to the last, or 0
+// for paths with fewer than two samples.
+func (p Path) Duration() float64 {
+	if len(p) < 2 {
+		return 0
+	}
+	return p[len(p)-1].T - p[0].T
+}
+
+// Translate returns a copy of the path shifted by (dx, dy). Timestamps are
+// preserved.
+func (p Path) Translate(dx, dy float64) Path {
+	out := make(Path, len(p))
+	for i, tp := range p {
+		out[i] = TimedPoint{tp.X + dx, tp.Y + dy, tp.T}
+	}
+	return out
+}
+
+// ScaleAbout returns a copy of the path scaled by s about the given center.
+func (p Path) ScaleAbout(center Point, s float64) Path {
+	out := make(Path, len(p))
+	for i, tp := range p {
+		q := tp.Point().Sub(center).Scale(s).Add(center)
+		out[i] = TimedPoint{q.X, q.Y, tp.T}
+	}
+	return out
+}
+
+// RotateAbout returns a copy of the path rotated by angle radians about the
+// given center.
+func (p Path) RotateAbout(center Point, angle float64) Path {
+	out := make(Path, len(p))
+	for i, tp := range p {
+		q := tp.Point().RotateAround(center, angle)
+		out[i] = TimedPoint{q.X, q.Y, tp.T}
+	}
+	return out
+}
+
+// TimeShift returns a copy of the path with dt added to every timestamp.
+func (p Path) TimeShift(dt float64) Path {
+	out := make(Path, len(p))
+	for i, tp := range p {
+		out[i] = TimedPoint{tp.X, tp.Y, tp.T + dt}
+	}
+	return out
+}
+
+// Prefix returns the subpath consisting of the first n samples. It aliases
+// the receiver's backing array (no copy), mirroring the paper's definition
+// of the subgesture g[i]. Prefix panics if n is out of range, matching
+// the paper's "undefined when i > |g|".
+func (p Path) Prefix(n int) Path {
+	if n < 0 || n > len(p) {
+		panic("geom: Path.Prefix index out of range")
+	}
+	return p[:n]
+}
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	out := make(Path, len(p))
+	copy(out, p)
+	return out
+}
+
+// At returns the interpolated spatial position a fraction t in [0,1] along
+// the path by arc length. Empty paths return the origin; single-point paths
+// return that point.
+func (p Path) At(t float64) Point {
+	switch len(p) {
+	case 0:
+		return Point{}
+	case 1:
+		return p[0].Point()
+	}
+	if t <= 0 {
+		return p[0].Point()
+	}
+	if t >= 1 {
+		return p[len(p)-1].Point()
+	}
+	target := p.Length() * t
+	run := 0.0
+	for i := 1; i < len(p); i++ {
+		a, b := p[i-1].Point(), p[i].Point()
+		seg := a.Dist(b)
+		if run+seg >= target {
+			if seg == 0 {
+				return a
+			}
+			return a.Lerp(b, (target-run)/seg)
+		}
+		run += seg
+	}
+	return p[len(p)-1].Point()
+}
+
+// Resample returns a new path with n samples evenly spaced by arc length.
+// Timestamps are interpolated linearly in path-fraction space. n must be at
+// least 2 and the receiver must have at least 2 samples; otherwise a clone
+// of the receiver is returned.
+func (p Path) Resample(n int) Path {
+	if n < 2 || len(p) < 2 {
+		return p.Clone()
+	}
+	total := p.Length()
+	out := make(Path, 0, n)
+	out = append(out, p[0])
+	if total == 0 {
+		// Degenerate path: all points coincide. Replicate spatially,
+		// spreading timestamps across the original duration.
+		t0, t1 := p[0].T, p[len(p)-1].T
+		for i := 1; i < n; i++ {
+			frac := float64(i) / float64(n-1)
+			out = append(out, TimedPoint{p[0].X, p[0].Y, t0 + (t1-t0)*frac})
+		}
+		return out
+	}
+	step := total / float64(n-1)
+	run := 0.0
+	seg := 1
+	for len(out) < n-1 {
+		target := float64(len(out)) * step
+		for seg < len(p) {
+			a, b := p[seg-1], p[seg]
+			d := a.Point().Dist(b.Point())
+			if run+d >= target && d > 0 {
+				f := (target - run) / d
+				out = append(out, TimedPoint{
+					X: a.X + (b.X-a.X)*f,
+					Y: a.Y + (b.Y-a.Y)*f,
+					T: a.T + (b.T-a.T)*f,
+				})
+				break
+			}
+			run += d
+			seg++
+		}
+		if seg >= len(p) {
+			break
+		}
+	}
+	out = append(out, p[len(p)-1])
+	return out
+}
+
+// PolylineLength returns the arc length of a polyline given as bare points.
+func PolylineLength(pts []Point) float64 {
+	total := 0.0
+	for i := 1; i < len(pts); i++ {
+		total += pts[i].Dist(pts[i-1])
+	}
+	return total
+}
+
+// PointAlongPolyline returns the point a distance d along the polyline,
+// clamped to the endpoints, together with the index of the segment it falls
+// on (the index of the segment's start vertex).
+func PointAlongPolyline(pts []Point, d float64) (Point, int) {
+	if len(pts) == 0 {
+		return Point{}, 0
+	}
+	if len(pts) == 1 || d <= 0 {
+		return pts[0], 0
+	}
+	run := 0.0
+	for i := 1; i < len(pts); i++ {
+		seg := pts[i].Dist(pts[i-1])
+		if run+seg >= d {
+			if seg == 0 {
+				return pts[i-1], i - 1
+			}
+			return pts[i-1].Lerp(pts[i], (d-run)/seg), i - 1
+		}
+		run += seg
+	}
+	return pts[len(pts)-1], len(pts) - 2
+}
+
+// PolygonContains reports whether p lies inside the polygon given by pts
+// (implicitly closed), using the even-odd ray-casting rule. Points exactly
+// on an edge may land on either side; gesture lassos do not need boundary
+// exactness. Polygons with fewer than 3 vertices contain nothing.
+func PolygonContains(pts []Point, p Point) bool {
+	if len(pts) < 3 {
+		return false
+	}
+	inside := false
+	j := len(pts) - 1
+	for i := 0; i < len(pts); i++ {
+		pi, pj := pts[i], pts[j]
+		if (pi.Y > p.Y) != (pj.Y > p.Y) {
+			x := pi.X + (p.Y-pi.Y)/(pj.Y-pi.Y)*(pj.X-pi.X)
+			if p.X < x {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// Polygon returns the path's spatial points as a polygon vertex list.
+func (p Path) Polygon() []Point {
+	out := make([]Point, len(p))
+	for i, tp := range p {
+		out[i] = tp.Point()
+	}
+	return out
+}
+
+// SegmentDist returns the distance from point p to the segment ab.
+func SegmentDist(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	l2 := ab.Dot(ab)
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / l2
+	t = math.Max(0, math.Min(1, t))
+	return p.Dist(a.Add(ab.Scale(t)))
+}

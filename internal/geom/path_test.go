@@ -1,0 +1,267 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func sq(pts ...float64) Path {
+	// Build a path from flat x,y pairs with timestamps 0, 0.02, 0.04, ...
+	p := make(Path, 0, len(pts)/2)
+	for i := 0; i+1 < len(pts); i += 2 {
+		p = append(p, TimedPoint{pts[i], pts[i+1], float64(len(p)) * 0.02})
+	}
+	return p
+}
+
+func TestPathLengthBounds(t *testing.T) {
+	p := sq(0, 0, 3, 4, 3, 8)
+	if got := p.Length(); got != 9 {
+		t.Errorf("Length = %v", got)
+	}
+	b := p.Bounds()
+	if b != (Rect{0, 0, 3, 8}) {
+		t.Errorf("Bounds = %+v", b)
+	}
+	if got := p.Duration(); !mathx.ApproxEqual(got, 0.04, 1e-12) {
+		t.Errorf("Duration = %v", got)
+	}
+}
+
+func TestPathEmptyAndSingle(t *testing.T) {
+	var empty Path
+	if empty.Length() != 0 || empty.Duration() != 0 || !empty.Bounds().Empty() {
+		t.Error("empty path metrics wrong")
+	}
+	one := sq(1, 2)
+	if one.Length() != 0 || one.Duration() != 0 {
+		t.Error("single-point path metrics wrong")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	p := sq(0, 0, 1, 1)
+	q := p.Translate(10, -5)
+	if q[0].X != 10 || q[0].Y != -5 || q[1].X != 11 || q[1].Y != -4 {
+		t.Errorf("Translate = %+v", q)
+	}
+	if q[0].T != p[0].T {
+		t.Error("Translate changed timestamps")
+	}
+	if p[0].X != 0 {
+		t.Error("Translate mutated receiver")
+	}
+}
+
+func TestScaleRotateAbout(t *testing.T) {
+	p := sq(1, 0, 2, 0)
+	s := p.ScaleAbout(Pt(0, 0), 2)
+	if s[1].X != 4 || s[1].Y != 0 {
+		t.Errorf("ScaleAbout = %+v", s)
+	}
+	r := p.RotateAbout(Pt(0, 0), math.Pi/2)
+	if !mathx.ApproxEqual(r[0].X, 0, 1e-12) || !mathx.ApproxEqual(r[0].Y, 1, 1e-12) {
+		t.Errorf("RotateAbout = %+v", r)
+	}
+}
+
+func TestTimeShift(t *testing.T) {
+	p := sq(0, 0, 1, 1).TimeShift(5)
+	if p[0].T != 5 || !mathx.ApproxEqual(p[1].T, 5.02, 1e-12) {
+		t.Errorf("TimeShift = %+v", p)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	p := sq(0, 0, 1, 1, 2, 2)
+	if got := p.Prefix(2); len(got) != 2 || got[1].X != 1 {
+		t.Errorf("Prefix = %+v", got)
+	}
+	if got := p.Prefix(0); len(got) != 0 {
+		t.Errorf("Prefix(0) = %+v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Prefix beyond length did not panic")
+		}
+	}()
+	p.Prefix(4)
+}
+
+func TestAt(t *testing.T) {
+	p := sq(0, 0, 10, 0)
+	if got := p.At(0.5); got != Pt(5, 0) {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if got := p.At(0); got != Pt(0, 0) {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := p.At(1); got != Pt(10, 0) {
+		t.Errorf("At(1) = %v", got)
+	}
+	if got := p.At(-1); got != Pt(0, 0) {
+		t.Errorf("At(-1) = %v", got)
+	}
+	if got := p.At(2); got != Pt(10, 0) {
+		t.Errorf("At(2) = %v", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	p := sq(0, 0, 10, 0)
+	r := p.Resample(11)
+	if len(r) != 11 {
+		t.Fatalf("Resample len = %d", len(r))
+	}
+	for i, tp := range r {
+		if !mathx.ApproxEqual(tp.X, float64(i), 1e-9) || !mathx.ApproxEqual(tp.Y, 0, 1e-9) {
+			t.Errorf("resampled[%d] = %v", i, tp)
+		}
+	}
+	// Endpoints preserved exactly.
+	if r[0] != p[0] || r[10] != p[1] {
+		t.Error("Resample endpoints not preserved")
+	}
+}
+
+func TestResampleDegenerate(t *testing.T) {
+	// All points coincide.
+	p := Path{{1, 1, 0}, {1, 1, 0.1}, {1, 1, 0.2}}
+	r := p.Resample(5)
+	if len(r) != 5 {
+		t.Fatalf("len = %d", len(r))
+	}
+	for _, tp := range r {
+		if tp.X != 1 || tp.Y != 1 {
+			t.Errorf("degenerate resample moved point: %v", tp)
+		}
+	}
+	if !mathx.ApproxEqual(r[4].T, 0.2, 1e-12) {
+		t.Errorf("degenerate resample last T = %v", r[4].T)
+	}
+	// Too-short inputs are cloned.
+	if got := (Path{{0, 0, 0}}).Resample(5); len(got) != 1 {
+		t.Errorf("short path resample = %+v", got)
+	}
+	if got := p.Resample(1); len(got) != 3 {
+		t.Errorf("n<2 resample = %+v", got)
+	}
+}
+
+func TestResampleLengthPreserved(t *testing.T) {
+	f := func(seed uint8) bool {
+		// Build a pseudo-random zigzag from the seed.
+		p := Path{}
+		x, y := 0.0, 0.0
+		s := int(seed) + 3
+		for i := 0; i < 8; i++ {
+			x += float64((s*(i+1))%17) - 8
+			y += float64((s*(i+3))%13) - 6
+			p = append(p, TimedPoint{x, y, float64(i) * 0.02})
+		}
+		r := p.Resample(64)
+		// Resampling can only shorten (it chords the polyline), and only
+		// slightly at this density.
+		return r.Length() <= p.Length()+1e-9 && r.Length() >= 0.9*p.Length()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineHelpers(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}, {10, 10}}
+	if got := PolylineLength(pts); got != 20 {
+		t.Errorf("PolylineLength = %v", got)
+	}
+	p, seg := PointAlongPolyline(pts, 15)
+	if p != Pt(10, 5) || seg != 1 {
+		t.Errorf("PointAlongPolyline(15) = %v seg %d", p, seg)
+	}
+	p, _ = PointAlongPolyline(pts, -1)
+	if p != Pt(0, 0) {
+		t.Errorf("clamped low = %v", p)
+	}
+	p, _ = PointAlongPolyline(pts, 100)
+	if p != Pt(10, 10) {
+		t.Errorf("clamped high = %v", p)
+	}
+	if p, _ := PointAlongPolyline(nil, 1); p != Pt(0, 0) {
+		t.Errorf("empty polyline = %v", p)
+	}
+	if p, _ := PointAlongPolyline([]Point{{3, 4}}, 1); p != Pt(3, 4) {
+		t.Errorf("single point polyline = %v", p)
+	}
+}
+
+func TestSegmentDist(t *testing.T) {
+	if got := SegmentDist(Pt(5, 5), Pt(0, 0), Pt(10, 0)); got != 5 {
+		t.Errorf("mid = %v", got)
+	}
+	if got := SegmentDist(Pt(-3, 4), Pt(0, 0), Pt(10, 0)); got != 5 {
+		t.Errorf("past end = %v", got)
+	}
+	if got := SegmentDist(Pt(3, 4), Pt(0, 0), Pt(0, 0)); got != 5 {
+		t.Errorf("degenerate segment = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := sq(0, 0, 1, 1)
+	q := p.Clone()
+	q[0].X = 99
+	if p[0].X == 99 {
+		t.Error("Clone aliases receiver")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	square := []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}
+	if !PolygonContains(square, Pt(5, 5)) {
+		t.Error("center not contained")
+	}
+	if PolygonContains(square, Pt(15, 5)) || PolygonContains(square, Pt(-1, 5)) {
+		t.Error("outside point contained")
+	}
+	// Concave "C" shape: the notch is outside.
+	c := []Point{{0, 0}, {10, 0}, {10, 3}, {3, 3}, {3, 7}, {10, 7}, {10, 10}, {0, 10}}
+	if !PolygonContains(c, Pt(1, 5)) {
+		t.Error("spine not contained")
+	}
+	if PolygonContains(c, Pt(8, 5)) {
+		t.Error("notch contained")
+	}
+	// Degenerate polygons contain nothing.
+	if PolygonContains(nil, Pt(0, 0)) || PolygonContains(square[:2], Pt(0, 0)) {
+		t.Error("degenerate polygon contained a point")
+	}
+}
+
+func TestPolygonContainsMatchesBBoxForConvex(t *testing.T) {
+	// For an axis-aligned rectangle polygon, containment agrees with Rect
+	// containment away from the boundary.
+	square := []Point{{2, 2}, {20, 2}, {20, 14}, {2, 14}}
+	r := Rect{2, 2, 20, 14}
+	f := func(xq, yq uint8) bool {
+		p := Pt(float64(xq%25), float64(yq%25))
+		// Skip boundary points where the even-odd rule may differ.
+		if p.X == 2 || p.X == 20 || p.Y == 2 || p.Y == 14 {
+			return true
+		}
+		return PolygonContains(square, p) == r.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathPolygon(t *testing.T) {
+	p := sq(1, 2, 3, 4)
+	poly := p.Polygon()
+	if len(poly) != 2 || poly[0] != Pt(1, 2) || poly[1] != Pt(3, 4) {
+		t.Errorf("Polygon = %v", poly)
+	}
+}

@@ -1,0 +1,141 @@
+// Package gesture defines the gesture and gesture-set types shared by the
+// recognizer, the eager-recognition trainer, and the GRANDMA toolkit.
+//
+// Following the paper (section 4.1), a gesture g is a sequence of points
+// g_p = (x_p, y_p, t_p); the i-th subgesture g[i] is the prefix consisting
+// of the first i points; the term "full gesture" distinguishes g from its
+// proper prefixes.
+package gesture
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Gesture is a single-stroke gesture: the samples collected between a
+// mouse-down and the end of the interaction.
+type Gesture struct {
+	Points geom.Path `json:"points"`
+}
+
+// New returns a gesture over the given samples. The slice is used directly
+// (not copied); callers that go on mutating it should pass a clone.
+func New(points geom.Path) Gesture { return Gesture{Points: points} }
+
+// Len returns |g|, the number of points in the gesture.
+func (g Gesture) Len() int { return len(g.Points) }
+
+// Sub returns the subgesture g[i]: the prefix of the first i points. It
+// aliases g's backing array. Sub panics when i is out of range, matching
+// the paper's "g[i] is undefined when i > |g|".
+func (g Gesture) Sub(i int) Gesture { return Gesture{Points: g.Points.Prefix(i)} }
+
+// Bounds returns the gesture's bounding box.
+func (g Gesture) Bounds() geom.Rect { return g.Points.Bounds() }
+
+// Start returns the first sample. It panics on an empty gesture.
+func (g Gesture) Start() geom.TimedPoint { return g.Points[0] }
+
+// End returns the last sample. It panics on an empty gesture.
+func (g Gesture) End() geom.TimedPoint { return g.Points[len(g.Points)-1] }
+
+// PathLength returns the total arc length of the gesture.
+func (g Gesture) PathLength() float64 { return g.Points.Length() }
+
+// Duration returns the elapsed time between the first and last samples.
+func (g Gesture) Duration() float64 { return g.Points.Duration() }
+
+// Clone returns a deep copy of g.
+func (g Gesture) Clone() Gesture { return Gesture{Points: g.Points.Clone()} }
+
+// String implements fmt.Stringer with a compact debugging summary.
+func (g Gesture) String() string {
+	if g.Len() == 0 {
+		return "gesture(empty)"
+	}
+	s, e := g.Start(), g.End()
+	return fmt.Sprintf("gesture(%d pts, (%.0f,%.0f)->(%.0f,%.0f), %.0fms)",
+		g.Len(), s.X, s.Y, e.X, e.Y, g.Duration()*1000)
+}
+
+// Example is a labelled training (or test) gesture.
+type Example struct {
+	Class   string  `json:"class"`
+	Gesture Gesture `json:"gesture"`
+}
+
+// Set is a named collection of labelled examples — the unit the trainers
+// consume and the cmd tools serialize.
+type Set struct {
+	Name     string    `json:"name"`
+	Examples []Example `json:"examples"`
+}
+
+// Add appends a labelled example to the set.
+func (s *Set) Add(class string, g Gesture) {
+	s.Examples = append(s.Examples, Example{Class: class, Gesture: g})
+}
+
+// Classes returns the distinct class names in first-appearance order. The
+// order is deterministic for a given example order, which keeps trained
+// classifier layouts reproducible.
+func (s *Set) Classes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range s.Examples {
+		if !seen[e.Class] {
+			seen[e.Class] = true
+			out = append(out, e.Class)
+		}
+	}
+	return out
+}
+
+// ByClass groups the set's gestures by class name.
+func (s *Set) ByClass() map[string][]Gesture {
+	out := make(map[string][]Gesture)
+	for _, e := range s.Examples {
+		out[e.Class] = append(out[e.Class], e.Gesture)
+	}
+	return out
+}
+
+// CountByClass returns the number of examples of each class.
+func (s *Set) CountByClass() map[string]int {
+	out := make(map[string]int)
+	for _, e := range s.Examples {
+		out[e.Class]++
+	}
+	return out
+}
+
+// Len returns the total number of examples in the set.
+func (s *Set) Len() int { return len(s.Examples) }
+
+// ErrEmptySet is returned by Validate for sets with no examples.
+var ErrEmptySet = errors.New("gesture: set has no examples")
+
+// Validate checks that the set is usable for training: non-empty, every
+// example non-empty, and timestamps non-decreasing within each gesture.
+func (s *Set) Validate() error {
+	if len(s.Examples) == 0 {
+		return ErrEmptySet
+	}
+	for i, e := range s.Examples {
+		if e.Class == "" {
+			return fmt.Errorf("gesture: example %d has empty class name", i)
+		}
+		if e.Gesture.Len() == 0 {
+			return fmt.Errorf("gesture: example %d (%s) is empty", i, e.Class)
+		}
+		pts := e.Gesture.Points
+		for j := 1; j < len(pts); j++ {
+			if pts[j].T < pts[j-1].T {
+				return fmt.Errorf("gesture: example %d (%s) has decreasing timestamp at point %d", i, e.Class, j)
+			}
+		}
+	}
+	return nil
+}

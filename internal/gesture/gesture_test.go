@@ -1,0 +1,181 @@
+package gesture
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func mk(pts ...float64) Gesture {
+	p := make(geom.Path, 0, len(pts)/2)
+	for i := 0; i+1 < len(pts); i += 2 {
+		p = append(p, geom.TimedPoint{X: pts[i], Y: pts[i+1], T: float64(len(p)) * 0.02})
+	}
+	return New(p)
+}
+
+func TestGestureBasics(t *testing.T) {
+	g := mk(0, 0, 3, 4, 3, 8)
+	if g.Len() != 3 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if g.Start().X != 0 || g.End().Y != 8 {
+		t.Error("Start/End wrong")
+	}
+	if g.PathLength() != 9 {
+		t.Errorf("PathLength = %v", g.PathLength())
+	}
+	if g.Bounds() != (geom.Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 8}) {
+		t.Errorf("Bounds = %+v", g.Bounds())
+	}
+	if d := g.Duration(); d < 0.039 || d > 0.041 {
+		t.Errorf("Duration = %v", d)
+	}
+}
+
+func TestSubAliasesAndPanics(t *testing.T) {
+	g := mk(0, 0, 1, 1, 2, 2)
+	sub := g.Sub(2)
+	if sub.Len() != 2 || sub.End().X != 1 {
+		t.Errorf("Sub = %+v", sub)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Sub beyond length did not panic")
+		}
+	}()
+	g.Sub(4)
+}
+
+func TestSubPrefixProperty(t *testing.T) {
+	g := mk(0, 0, 1, 2, 3, 4, 5, 6, 7, 8)
+	f := func(n uint8) bool {
+		i := int(n)%g.Len() + 1
+		sub := g.Sub(i)
+		// g[i][p] == g[p] and |g[i]| == i, per the paper's definition.
+		if sub.Len() != i {
+			return false
+		}
+		for p := 0; p < i; p++ {
+			if sub.Points[p] != g.Points[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := mk(0, 0, 1, 1)
+	c := g.Clone()
+	c.Points[0].X = 99
+	if g.Points[0].X == 99 {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Gesture{}).String(); got != "gesture(empty)" {
+		t.Errorf("empty String = %q", got)
+	}
+	got := mk(1, 2, 30, 40).String()
+	if !strings.Contains(got, "2 pts") || !strings.Contains(got, "(1,2)->(30,40)") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSetClassesOrderAndCounts(t *testing.T) {
+	var s Set
+	s.Add("b", mk(0, 0, 1, 1))
+	s.Add("a", mk(0, 0, 1, 1))
+	s.Add("b", mk(0, 0, 2, 2))
+	if got := s.Classes(); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Errorf("Classes = %v", got)
+	}
+	counts := s.CountByClass()
+	if counts["b"] != 2 || counts["a"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	by := s.ByClass()
+	if len(by["b"]) != 2 || len(by["a"]) != 1 {
+		t.Errorf("ByClass sizes wrong")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var s Set
+	if err := s.Validate(); err != ErrEmptySet {
+		t.Errorf("empty set: %v", err)
+	}
+	s.Add("", mk(0, 0, 1, 1))
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "empty class") {
+		t.Errorf("empty class: %v", err)
+	}
+	s = Set{}
+	s.Add("a", Gesture{})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "is empty") {
+		t.Errorf("empty gesture: %v", err)
+	}
+	s = Set{}
+	s.Add("a", New(geom.Path{{X: 0, Y: 0, T: 1}, {X: 1, Y: 1, T: 0.5}}))
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "decreasing timestamp") {
+		t.Errorf("decreasing ts: %v", err)
+	}
+	s = Set{}
+	s.Add("a", mk(0, 0, 1, 1))
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := &Set{Name: "demo"}
+	s.Add("a", mk(0, 0, 10, 10, 20, 0))
+	s.Add("b", mk(5, 5, 6, 6))
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", s, got)
+	}
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := &Set{Name: "file"}
+	s.Add("x", mk(0, 0, 3, 4))
+	path := t.TempDir() + "/set.json"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "file" || got.Len() != 1 {
+		t.Errorf("loaded %+v", got)
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := s.SaveFile(t.TempDir() + "/no/such/dir/x.json"); err == nil {
+		t.Error("bad path accepted")
+	}
+}

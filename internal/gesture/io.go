@@ -1,0 +1,51 @@
+package gesture
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the set as indented JSON to w.
+func (s *Set) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("gesture: encoding set %q: %w", s.Name, err)
+	}
+	return nil
+}
+
+// ReadJSON parses a set from r.
+func ReadJSON(r io.Reader) (*Set, error) {
+	var s Set
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("gesture: decoding set: %w", err)
+	}
+	return &s, nil
+}
+
+// SaveFile writes the set to the named file as JSON.
+func (s *Set) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("gesture: %w", err)
+	}
+	defer f.Close()
+	if err := s.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a set from the named JSON file.
+func LoadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gesture: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,125 @@
+package grandma
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/eager"
+	"repro/internal/gesture"
+	"repro/internal/script"
+)
+
+// Retarget swaps the handler's recognizer for a newly trained one — the
+// runtime half of GRANDMA's train-by-example loop. The handler keeps its
+// mode, predicates, and registered semantics; semantics for classes the
+// new recognizer does not know simply stop firing.
+func (h *GestureHandler) Retarget(rec *eager.Recognizer) {
+	h.eag = rec
+	h.full = rec.Full
+}
+
+// Editor drives GRANDMA's interactive gesture-set editing: "GRANDMA, a
+// tool for building gesture-based applications" lets the designer add
+// gesture classes by example and attach interpreted semantics at runtime.
+// The Editor owns the example set, a Recorder for collecting strokes
+// through the live interface, and the retraining step that swaps the new
+// recognizer into the handler.
+type Editor struct {
+	Handler *GestureHandler
+	// Set is the training set being edited.
+	Set *gesture.Set
+	// Recorder collects strokes when recording is active. Attach it to a
+	// view (ahead of the gesture handler) once; it stays inert until
+	// BeginRecording.
+	Recorder *Recorder
+	// Options configures retraining.
+	Options eager.Options
+}
+
+// NewEditor builds an editor for a handler, seeding the example set (which
+// may be empty or the set the handler was originally trained from).
+func NewEditor(h *GestureHandler, seed *gesture.Set, opts eager.Options) *Editor {
+	if seed == nil {
+		seed = &gesture.Set{Name: "edited"}
+	}
+	return &Editor{
+		Handler:  h,
+		Set:      seed,
+		Recorder: &Recorder{Set: seed},
+		Options:  opts,
+	}
+}
+
+// BeginRecording arms the recorder: subsequent strokes on its view are
+// captured as examples of the named class instead of being recognized.
+func (e *Editor) BeginRecording(class string) error {
+	if class == "" {
+		return errors.New("grandma: recording needs a class name")
+	}
+	e.Recorder.Class = class
+	return nil
+}
+
+// EndRecording disarms the recorder; strokes flow to the gesture handler
+// again.
+func (e *Editor) EndRecording() {
+	e.Recorder.Class = ""
+}
+
+// Recording reports the class being recorded, or "".
+func (e *Editor) Recording() string { return e.Recorder.Class }
+
+// Counts returns examples per class in the edited set, sorted by name.
+func (e *Editor) Counts() []string {
+	counts := e.Set.CountByClass()
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s:%d", n, counts[n])
+	}
+	return out
+}
+
+// RemoveClass deletes every example of a class from the set (the gesture
+// still needs a Retrain to disappear from the recognizer).
+func (e *Editor) RemoveClass(class string) int {
+	kept := e.Set.Examples[:0]
+	removed := 0
+	for _, ex := range e.Set.Examples {
+		if ex.Class == class {
+			removed++
+			continue
+		}
+		kept = append(kept, ex)
+	}
+	e.Set.Examples = kept
+	return removed
+}
+
+// Retrain rebuilds the recognizer from the edited set and swaps it into
+// the handler. The handler keeps running throughout; recognition simply
+// uses the new classifier from the next interaction on.
+func (e *Editor) Retrain() (*eager.Report, error) {
+	rec, report, err := eager.Train(e.Set, e.Options)
+	if err != nil {
+		return nil, fmt.Errorf("grandma: retrain: %w", err)
+	}
+	e.Handler.Retarget(rec)
+	return report, nil
+}
+
+// SetScriptSemantics attaches interpreted recog/manip/done semantics to a
+// class, in GRANDMA's message language.
+func (e *Editor) SetScriptSemantics(class, recogSrc, manipSrc, doneSrc string, bind func(a *Attrs, env *script.Env), onErr func(error)) error {
+	sem, err := ScriptSemantics(recogSrc, manipSrc, doneSrc, bind, onErr)
+	if err != nil {
+		return err
+	}
+	e.Handler.Register(class, sem)
+	return nil
+}

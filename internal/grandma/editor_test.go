@@ -1,0 +1,151 @@
+package grandma
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/script"
+	"repro/internal/synth"
+)
+
+// TestTrainByExampleLoop walks the full GRANDMA designer workflow: start
+// with a two-class interface, record a brand-new gesture class by drawing
+// examples through the live interface, retrain, attach interpreted
+// semantics, and use the new gesture.
+func TestTrainByExampleLoop(t *testing.T) {
+	// Seed interface: U and D.
+	seedSet, _ := synth.NewGenerator(synth.DefaultParams(7)).Set("seed", synth.UDClasses(), 12)
+	rec, _, err := eager.Train(seedSet, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewGestureHandler(rec.Full, ModeMouseUp)
+	var recognized []string
+	h.OnRecognized = func(class string, a *Attrs) { recognized = append(recognized, class) }
+
+	root := NewView("window", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 2000, MaxY: 2000}
+	editor := NewEditor(h, seedSet, eager.DefaultOptions())
+	root.AddHandler(editor.Recorder) // inert until BeginRecording
+	root.AddHandler(h)
+	s := NewSession(root, nil)
+
+	// The new class: a right stroke.
+	rightClass := synth.RightStrokeClass()
+	gen := synth.NewGenerator(synth.DefaultParams(55))
+	when := 0.0
+	play := func(p geom.Path) {
+		s.Replay(display.StrokeTrace(p.TimeShift(when-p[0].T), display.LeftButton, 0.01))
+		when += 5
+	}
+
+	// Before training, a right stroke is misunderstood as U or D.
+	play(gen.Sample(rightClass).G.Points)
+	if len(recognized) != 1 || recognized[0] == "R" {
+		t.Fatalf("pre-training recognition: %v", recognized)
+	}
+	recognized = nil
+
+	// Record 12 examples of the new class through the interface.
+	if err := editor.BeginRecording("R"); err != nil {
+		t.Fatal(err)
+	}
+	if editor.Recording() != "R" {
+		t.Fatal("recording state")
+	}
+	for i := 0; i < 12; i++ {
+		play(gen.Sample(rightClass).G.Points)
+	}
+	editor.EndRecording()
+	if len(recognized) != 0 {
+		t.Fatalf("gesture handler fired while recording: %v", recognized)
+	}
+	if got := strings.Join(editor.Counts(), " "); got != "D:12 R:12 U:12" {
+		t.Fatalf("counts = %s", got)
+	}
+
+	// Retrain and attach interpreted semantics for the new class.
+	report, err := editor.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AUCClasses < 4 {
+		t.Errorf("retrained AUC classes = %d", report.AUCClasses)
+	}
+	marker := script.NewDispatch("marker")
+	hits := 0
+	marker.Bind("ping", func(args []script.Value) (script.Value, error) {
+		hits++
+		return nil, nil
+	})
+	err = editor.SetScriptSemantics("R", "[marker ping]", "nil", "nil",
+		func(a *Attrs, env *script.Env) { env.SetVar("marker", marker) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The interface now recognizes R and runs its semantics.
+	play(gen.Sample(rightClass).G.Points)
+	if len(recognized) != 1 || recognized[0] != "R" {
+		t.Fatalf("post-training recognition: %v", recognized)
+	}
+	if hits != 1 {
+		t.Fatalf("script semantics ran %d times", hits)
+	}
+	// And the original classes still work.
+	play(gen.Sample(synth.UDClasses()[0]).G.Points)
+	if recognized[len(recognized)-1] != "U" {
+		t.Fatalf("U broken after retrain: %v", recognized)
+	}
+}
+
+func TestEditorRemoveClass(t *testing.T) {
+	seedSet, _ := synth.NewGenerator(synth.DefaultParams(3)).Set("seed", synth.UDClasses(), 5)
+	rec, _, err := eager.Train(seedSet, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewGestureHandler(rec.Full, ModeMouseUp)
+	e := NewEditor(h, seedSet, eager.DefaultOptions())
+	if got := e.RemoveClass("U"); got != 5 {
+		t.Fatalf("removed %d", got)
+	}
+	if got := e.RemoveClass("U"); got != 0 {
+		t.Fatalf("second remove %d", got)
+	}
+	// Retraining a single-class set still works (degenerate classifier).
+	if _, err := e.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Classes()); got != 1 {
+		t.Fatalf("classes after removal = %d", got)
+	}
+}
+
+func TestEditorValidation(t *testing.T) {
+	seedSet, _ := synth.NewGenerator(synth.DefaultParams(3)).Set("seed", synth.UDClasses(), 3)
+	rec, _, err := eager.Train(seedSet, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewGestureHandler(rec.Full, ModeMouseUp)
+	e := NewEditor(h, nil, eager.DefaultOptions())
+	if err := e.BeginRecording(""); err == nil {
+		t.Error("empty class accepted")
+	}
+	// Retraining an empty set fails cleanly without touching the handler.
+	before := h.Classes()
+	if _, err := e.Retrain(); err == nil {
+		t.Error("empty retrain succeeded")
+	}
+	after := h.Classes()
+	if len(before) != len(after) {
+		t.Error("failed retrain modified the handler")
+	}
+	if err := e.SetScriptSemantics("U", "[", "nil", "nil", nil, nil); err == nil {
+		t.Error("bad semantics source accepted")
+	}
+}

@@ -1,0 +1,343 @@
+package grandma
+
+import (
+	"repro/internal/display"
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/recognizer"
+)
+
+// TransitionMode selects how the two-phase interaction moves from gesture
+// collection to manipulation — the three alternatives of the paper's
+// introduction of GRANDMA:
+//
+//  1. when the mouse button is released (the manipulation phase is
+//     omitted),
+//  2. by a timeout indicating the user has kept the mouse still while
+//     holding the button (200 ms), or
+//  3. when enough of the gesture has been seen to classify it
+//     unambiguously — eager recognition.
+type TransitionMode int
+
+// Transition modes.
+const (
+	ModeMouseUp TransitionMode = iota
+	ModeTimeout
+	ModeEager
+)
+
+// String implements fmt.Stringer.
+func (m TransitionMode) String() string {
+	switch m {
+	case ModeMouseUp:
+		return "mouse-up"
+	case ModeTimeout:
+		return "timeout"
+	case ModeEager:
+		return "eager"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultTimeout is the paper's motionless-mouse timeout: 200 ms.
+const DefaultTimeout = 0.2
+
+// Attrs carries the gestural attributes available to gesture semantics —
+// the values the paper's interpreter binds lazily into the environment
+// (<startX>, <currentX>, the enclosed area, and so on).
+type Attrs struct {
+	View  *View
+	Class string
+	// Start of the gesture.
+	StartX, StartY, StartT float64
+	// Current mouse position (updated every manipulation point).
+	CurrentX, CurrentY, CurrentT float64
+	// Points collected so far (the gesture during collection; gesture plus
+	// manipulation trail afterwards).
+	Points geom.Path
+	// GesturePoints is the collection-phase prefix only — what the
+	// classifier saw.
+	GesturePoints geom.Path
+	// Recog holds the value returned by the Recog semantics, available to
+	// Manip and Done (the paper stores it in the variable "recog").
+	Recog any
+}
+
+// Bounds returns the bounding box of the gesture points (used by
+// enclosure-style semantics such as GDP's group gesture).
+func (a *Attrs) Bounds() geom.Rect { return a.GesturePoints.Bounds() }
+
+// InitialAngle returns the gesture's initial direction in radians — the
+// angle from its first to its third point, the attribute the paper's
+// modified GDP maps to rectangle orientation. Gestures shorter than three
+// points return 0.
+func (a *Attrs) InitialAngle() float64 {
+	if len(a.GesturePoints) < 3 {
+		return 0
+	}
+	p0, p2 := a.GesturePoints[0], a.GesturePoints[2]
+	return geom.Pt(p2.X-p0.X, p2.Y-p0.Y).Angle()
+}
+
+// GestureLength returns the arc length of the collected gesture — the
+// attribute the modified GDP maps to line thickness.
+func (a *Attrs) GestureLength() float64 { return a.GesturePoints.Length() }
+
+// Semantics is the per-gesture-class behaviour triple of §3.2: recog is
+// evaluated at the phase transition, manip for each mouse point during the
+// manipulation phase, done when the interaction ends.
+type Semantics struct {
+	Recog func(a *Attrs) any
+	Manip func(a *Attrs)
+	Done  func(a *Attrs)
+}
+
+// GestureHandler is GRANDMA's gesture event handler: it collects and inks
+// the gesture, decides the phase transition, classifies, and runs the
+// recognized class's semantics. Each instance recognizes its own gesture
+// set with its own semantics.
+type GestureHandler struct {
+	Button    display.Button
+	Predicate func(ev display.Event, v *View) bool
+	Mode      TransitionMode
+	// Timeout is the motionless interval for ModeTimeout; 0 means
+	// DefaultTimeout.
+	Timeout float64
+	// OnRecognized, if set, observes every recognition (for tests, logs,
+	// and the demo binaries).
+	OnRecognized func(class string, a *Attrs)
+	// MinProbability rejects gestures whose estimated class probability
+	// (the paper's 1/sum(exp(v_j - v_winner)) formula, §4.2) falls below
+	// it. 0 disables probability rejection.
+	MinProbability float64
+	// MaxMahalanobis rejects gestures farther than this Mahalanobis
+	// distance from the winning class mean. 0 disables distance rejection.
+	MaxMahalanobis float64
+	// OnRejected, if set, observes rejected gestures. A rejected gesture
+	// runs no semantics.
+	OnRejected func(a *Attrs, probability, distance float64)
+
+	full      *recognizer.Full
+	eag       *eager.Recognizer
+	semantics map[string]*Semantics
+}
+
+// NewGestureHandler builds a handler around a full (non-eager) classifier.
+// mode must be ModeMouseUp or ModeTimeout.
+func NewGestureHandler(full *recognizer.Full, mode TransitionMode) *GestureHandler {
+	if mode == ModeEager {
+		panic("grandma: ModeEager requires NewEagerGestureHandler")
+	}
+	return &GestureHandler{
+		Mode:      mode,
+		full:      full,
+		semantics: make(map[string]*Semantics),
+	}
+}
+
+// NewEagerGestureHandler builds a handler that transitions phases by eager
+// recognition.
+func NewEagerGestureHandler(eag *eager.Recognizer) *GestureHandler {
+	return &GestureHandler{
+		Mode:      ModeEager,
+		eag:       eag,
+		full:      eag.Full,
+		semantics: make(map[string]*Semantics),
+	}
+}
+
+// Register associates semantics with a gesture class. Classes without
+// semantics still classify; they just have no effect.
+func (h *GestureHandler) Register(class string, sem *Semantics) {
+	h.semantics[class] = sem
+}
+
+// Classes returns the classes of the underlying classifier.
+func (h *GestureHandler) Classes() []string { return h.full.Classes() }
+
+// BiasClass adjusts the named class's misclassification cost (§4.2:
+// "simply by adjusting the constant terms of the evaluation functions, it
+// is possible to bias the classifier away from certain classes. This is
+// useful when mistakenly choosing a certain class is a grave error").
+// Negative delta makes the class need stronger evidence — the natural
+// setting for destructive gestures like GDP's delete. Returns false when
+// the class is unknown.
+func (h *GestureHandler) BiasClass(class string, delta float64) bool {
+	idx := h.full.C.ClassIndex(class)
+	if idx < 0 {
+		return false
+	}
+	h.full.C.BiasClass(idx, delta)
+	return true
+}
+
+// Wants implements EventHandler.
+func (h *GestureHandler) Wants(ev display.Event, v *View) bool {
+	if ev.Kind != display.MouseDown || ev.Button != h.Button {
+		return false
+	}
+	if h.Predicate != nil && !h.Predicate(ev, v) {
+		return false
+	}
+	return true
+}
+
+// Begin implements EventHandler: it starts the collection phase.
+func (h *GestureHandler) Begin(ev display.Event, v *View, s *Session) Interaction {
+	g := &gestureInteraction{h: h, view: v}
+	g.attrs = Attrs{
+		View:   v,
+		StartX: ev.X, StartY: ev.Y, StartT: ev.Time,
+		CurrentX: ev.X, CurrentY: ev.Y, CurrentT: ev.Time,
+	}
+	p := geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.Time}
+	g.points = geom.Path{p}
+	if h.Mode == ModeEager {
+		g.stream = h.eag.NewSession()
+		g.stream.Add(p)
+	}
+	if h.Mode == ModeTimeout {
+		g.armTimeout(s)
+	}
+	s.SetInk(g.points)
+	return g
+}
+
+// phase constants for gestureInteraction.
+const (
+	phaseCollecting = iota
+	phaseManipulating
+)
+
+type gestureInteraction struct {
+	h      *GestureHandler
+	view   *View
+	phase  int
+	points geom.Path
+	attrs  Attrs
+	stream *eager.Session
+	timer  *display.Timer
+	sem    *Semantics
+	ended  bool
+}
+
+func (g *gestureInteraction) timeout() float64 {
+	if g.h.Timeout > 0 {
+		return g.h.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (g *gestureInteraction) armTimeout(s *Session) {
+	s.Display.Cancel(g.timer)
+	g.timer = s.Display.Schedule(g.timeout(), func() {
+		if g.ended || g.phase != phaseCollecting {
+			return
+		}
+		// The mouse has been still: transition at the last known point,
+		// stamped with the (later) time the timer fired.
+		g.transition(s, g.attrs.CurrentX, g.attrs.CurrentY, s.Display.Now())
+	})
+}
+
+// transition classifies the collected gesture and enters the manipulation
+// phase: evaluate recog once, then manip for this first position.
+func (g *gestureInteraction) transition(s *Session, x, y, t float64) {
+	var class string
+	rejected := false
+	var prob, dist float64
+	if g.h.MinProbability > 0 || g.h.MaxMahalanobis > 0 {
+		res := g.h.full.Evaluate(gesture.New(g.points))
+		class, prob, dist = res.Class, res.Probability, res.Mahalanobis
+		if g.h.MinProbability > 0 && prob < g.h.MinProbability {
+			rejected = true
+		}
+		if g.h.MaxMahalanobis > 0 && dist > g.h.MaxMahalanobis {
+			rejected = true
+		}
+		if !rejected && g.h.Mode == ModeEager && g.stream.Decided() {
+			class = g.stream.Class()
+		}
+	} else if g.h.Mode == ModeEager && g.stream.Decided() {
+		class = g.stream.Class()
+	} else {
+		class = g.h.full.Classify(gesture.New(g.points))
+	}
+	g.phase = phaseManipulating
+	if rejected {
+		g.attrs.Class = ""
+		g.attrs.GesturePoints = g.points.Clone()
+		g.attrs.CurrentX, g.attrs.CurrentY, g.attrs.CurrentT = x, y, t
+		g.attrs.Points = g.points
+		g.sem = nil
+		if g.h.OnRejected != nil {
+			g.h.OnRejected(&g.attrs, prob, dist)
+		}
+		s.Redraw()
+		return
+	}
+	g.attrs.Class = class
+	g.attrs.GesturePoints = g.points.Clone()
+	g.attrs.CurrentX, g.attrs.CurrentY, g.attrs.CurrentT = x, y, t
+	g.attrs.Points = g.points
+	g.sem = g.h.semantics[class]
+	if g.sem != nil && g.sem.Recog != nil {
+		g.attrs.Recog = g.sem.Recog(&g.attrs)
+	}
+	if g.h.OnRecognized != nil {
+		g.h.OnRecognized(class, &g.attrs)
+	}
+	if g.sem != nil && g.sem.Manip != nil {
+		g.sem.Manip(&g.attrs)
+	}
+	s.Redraw()
+}
+
+// Handle implements Interaction.
+func (g *gestureInteraction) Handle(ev display.Event, s *Session) bool {
+	switch ev.Kind {
+	case display.MouseMove:
+		g.attrs.CurrentX, g.attrs.CurrentY, g.attrs.CurrentT = ev.X, ev.Y, ev.Time
+		p := geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.Time}
+		g.points = append(g.points, p)
+		g.attrs.Points = g.points
+		switch g.phase {
+		case phaseCollecting:
+			s.SetInk(g.points)
+			switch g.h.Mode {
+			case ModeEager:
+				if fired, _ := g.stream.Add(p); fired {
+					g.transition(s, ev.X, ev.Y, ev.Time)
+				}
+			case ModeTimeout:
+				g.armTimeout(s)
+			}
+		case phaseManipulating:
+			if g.sem != nil && g.sem.Manip != nil {
+				g.sem.Manip(&g.attrs)
+			}
+			s.Redraw()
+		}
+		return false
+
+	case display.MouseUp:
+		g.ended = true
+		s.Display.Cancel(g.timer)
+		g.attrs.CurrentX, g.attrs.CurrentY, g.attrs.CurrentT = ev.X, ev.Y, ev.Time
+		if g.phase == phaseCollecting {
+			// Gesture ended before any transition: classify now; the
+			// manipulation phase is omitted (alternative 1 of §1).
+			g.transition(s, ev.X, ev.Y, ev.Time)
+		}
+		if g.sem != nil && g.sem.Done != nil {
+			g.sem.Done(&g.attrs)
+		}
+		s.ClearInk()
+		return true
+
+	default:
+		return false
+	}
+}

@@ -1,0 +1,526 @@
+package grandma
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/mathx"
+	"repro/internal/raster"
+	"repro/internal/recognizer"
+	"repro/internal/script"
+	"repro/internal/synth"
+)
+
+// trainUD returns full and eager recognizers for the U/D set plus one test
+// sample of each class.
+func trainUD(t *testing.T) (*recognizer.Full, *eager.Recognizer, map[string]gesture.Gesture) {
+	t.Helper()
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(7)).Set("train", synth.UDClasses(), 12)
+	eag, _, err := eager.Train(trainSet, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSet, _ := synth.NewGenerator(synth.DefaultParams(99)).Set("test", synth.UDClasses(), 1)
+	samples := map[string]gesture.Gesture{}
+	for _, e := range testSet.Examples {
+		samples[e.Class] = e.Gesture
+	}
+	return eag.Full, eag, samples
+}
+
+type semLog struct {
+	recogs []string
+	manips int
+	dones  int
+}
+
+func loggingSemantics(l *semLog, class string) *Semantics {
+	return &Semantics{
+		Recog: func(a *Attrs) any {
+			l.recogs = append(l.recogs, class)
+			return class
+		},
+		Manip: func(a *Attrs) { l.manips++ },
+		Done:  func(a *Attrs) { l.dones++ },
+	}
+}
+
+func newGestureSession(h *GestureHandler) *Session {
+	root := NewView("window", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 2000, MaxY: 2000}
+	root.AddHandler(h)
+	// Generous canvas: synthetic gestures are placed at random origins up
+	// to roughly (400, 300).
+	return NewSession(root, raster.NewCanvas(600, 400))
+}
+
+func TestMouseUpMode(t *testing.T) {
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeMouseUp)
+	var l semLog
+	for _, c := range full.Classes() {
+		h.Register(c, loggingSemantics(&l, c))
+	}
+	var recognized []string
+	h.OnRecognized = func(class string, a *Attrs) { recognized = append(recognized, class) }
+	s := newGestureSession(h)
+
+	s.Replay(display.StrokeTrace(samples["U"].Points, display.LeftButton, 0.01))
+	if len(recognized) != 1 || recognized[0] != "U" {
+		t.Fatalf("recognized = %v", recognized)
+	}
+	// Mouse-up mode: recog fires at up; manipulation phase omitted (the
+	// one manip call comes from the transition itself), done still runs.
+	if len(l.recogs) != 1 || l.dones != 1 {
+		t.Fatalf("recogs=%v dones=%d", l.recogs, l.dones)
+	}
+	if l.manips != 1 {
+		t.Fatalf("manips = %d, want exactly the transition call", l.manips)
+	}
+	if s.Active() {
+		t.Fatal("interaction leaked")
+	}
+}
+
+func TestTimeoutMode(t *testing.T) {
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeTimeout)
+	var l semLog
+	h.Register("U", loggingSemantics(&l, "U"))
+	h.Register("D", loggingSemantics(&l, "D"))
+	s := newGestureSession(h)
+
+	// Draw the gesture, hold still past the timeout, then move twice more
+	// (the manipulation phase) and release.
+	g := samples["D"].Points
+	last := g[len(g)-1]
+	trace := display.StrokeTrace(g, display.LeftButton, 0)[:len(g)] // drop the auto mouse-up
+	hold := last.T + DefaultTimeout + 0.05
+	trace = append(trace,
+		display.Event{Kind: display.MouseMove, X: last.X + 10, Y: last.Y, Time: hold + 0.02},
+		display.Event{Kind: display.MouseMove, X: last.X + 20, Y: last.Y, Time: hold + 0.04},
+		display.Event{Kind: display.MouseUp, X: last.X + 20, Y: last.Y, Time: hold + 0.06},
+	)
+	s.Replay(trace)
+
+	if len(l.recogs) != 1 || l.recogs[0] != "D" {
+		t.Fatalf("recogs = %v", l.recogs)
+	}
+	// Manip: once at transition + twice for the post-timeout moves.
+	if l.manips != 3 {
+		t.Fatalf("manips = %d, want 3", l.manips)
+	}
+	if l.dones != 1 {
+		t.Fatalf("dones = %d", l.dones)
+	}
+}
+
+func TestTimeoutDoesNotFireWhileMoving(t *testing.T) {
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeTimeout)
+	var l semLog
+	h.Register("U", loggingSemantics(&l, "U"))
+	h.Register("D", loggingSemantics(&l, "D"))
+	s := newGestureSession(h)
+
+	// Continuous movement with gaps below the timeout, then release: the
+	// transition must happen at mouse-up, not mid-gesture.
+	g := samples["U"].Points
+	s.Replay(display.StrokeTrace(g, display.LeftButton, 0.05))
+	if len(l.recogs) != 1 {
+		t.Fatalf("recogs = %v", l.recogs)
+	}
+	// Only the transition manip.
+	if l.manips != 1 {
+		t.Fatalf("manips = %d; timeout fired during movement", l.manips)
+	}
+}
+
+func TestEagerMode(t *testing.T) {
+	_, eag, samples := trainUD(t)
+	h := NewEagerGestureHandler(eag)
+	var l semLog
+	h.Register("U", loggingSemantics(&l, "U"))
+	h.Register("D", loggingSemantics(&l, "D"))
+	var firedClass string
+	h.OnRecognized = func(class string, a *Attrs) {
+		firedClass = class
+		// At the transition the classifier must have seen only a prefix.
+		if len(a.GesturePoints) >= samples["U"].Len() {
+			t.Errorf("eager transition saw the whole gesture (%d points)", len(a.GesturePoints))
+		}
+	}
+	s := newGestureSession(h)
+	s.Replay(display.StrokeTrace(samples["U"].Points, display.LeftButton, 0.01))
+
+	if firedClass != "U" {
+		t.Fatalf("recognized %q", firedClass)
+	}
+	// Manipulation phase received the points after the transition.
+	if l.manips < 2 {
+		t.Fatalf("manips = %d; eager transition came too late", l.manips)
+	}
+	if l.dones != 1 {
+		t.Fatalf("dones = %d", l.dones)
+	}
+}
+
+func TestGestureAndDragCoexist(t *testing.T) {
+	// The paper's §3.1 scenario: a draggable object view on top of a
+	// gesture-sensitive background.
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeMouseUp)
+	var recognized []string
+	h.OnRecognized = func(class string, a *Attrs) { recognized = append(recognized, class) }
+
+	root := NewView("window", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 2000, MaxY: 2000}
+	root.AddHandler(h)
+	box := NewView("box", nil)
+	box.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40}
+	box.AddHandler(&DragHandler{})
+	root.AddChild(box)
+	s := NewSession(root, nil)
+
+	// Press on the box: drag, no gesture.
+	s.Replay(display.DragTrace(geom.Pt(20, 20), geom.Pt(120, 120), 5, 0, 0.2, display.LeftButton))
+	if len(recognized) != 0 {
+		t.Fatalf("drag was recognized as gesture: %v", recognized)
+	}
+	if box.Frame.MinX != 100 {
+		t.Fatalf("box did not drag: %+v", box.Frame)
+	}
+	// Press on the background: gesture. (The samples' coordinates sit far
+	// from the box.)
+	s.Replay(display.StrokeTrace(samples["D"].Points.TimeShift(5), display.LeftButton, 0.01))
+	if len(recognized) != 1 || recognized[0] != "D" {
+		t.Fatalf("background gesture not recognized: %v", recognized)
+	}
+}
+
+func TestGestureButtonPredicate(t *testing.T) {
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeMouseUp)
+	h.Button = display.RightButton
+	fired := 0
+	h.OnRecognized = func(string, *Attrs) { fired++ }
+	s := newGestureSession(h)
+	s.Replay(display.StrokeTrace(samples["U"].Points, display.LeftButton, 0.01))
+	if fired != 0 {
+		t.Fatal("left-button stroke triggered right-button gesture handler")
+	}
+	s.Replay(display.StrokeTrace(samples["U"].Points.TimeShift(10), display.RightButton, 0.01))
+	if fired != 1 {
+		t.Fatal("right-button stroke ignored")
+	}
+}
+
+func TestInkDrawnDuringCollection(t *testing.T) {
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeMouseUp)
+	s := newGestureSession(h)
+	g := samples["U"].Points
+	trace := display.StrokeTrace(g, display.LeftButton, 0.05)
+	// Feed all but the mouse-up; ink should be visible.
+	for _, ev := range trace[:len(trace)-1] {
+		s.Post(ev)
+	}
+	if s.Canvas.Count(s.InkGlyph) == 0 {
+		t.Fatal("no ink during collection")
+	}
+	s.Post(trace[len(trace)-1])
+	if s.Canvas.Count(s.InkGlyph) != 0 {
+		t.Fatal("ink not cleared after interaction")
+	}
+}
+
+func TestScriptSemanticsIntegration(t *testing.T) {
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeMouseUp)
+
+	var gotX, gotY float64
+	target := script.NewDispatch("target")
+	target.Bind("markX:y:", func(args []script.Value) (script.Value, error) {
+		if err := script.Arity("markX:y:", args, 2); err != nil {
+			return nil, err
+		}
+		gotX, _ = script.Num(args[0])
+		gotY, _ = script.Num(args[1])
+		return target, nil
+	})
+
+	var scriptErr error
+	sem, err := ScriptSemantics(
+		"recog = [target markX:<startX> y:<startY>]",
+		"[recog markX:<currentX> y:<currentY>]",
+		"nil",
+		func(a *Attrs, env *script.Env) { env.SetVar("target", target) },
+		func(e error) { scriptErr = e },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Register("U", sem)
+	s := newGestureSession(h)
+	g := samples["U"].Points
+	s.Replay(display.StrokeTrace(g, display.LeftButton, 0.01))
+	if scriptErr != nil {
+		t.Fatal(scriptErr)
+	}
+	// The last manip evaluation bound <currentX>/<currentY> to the final
+	// mouse position.
+	end := g[len(g)-1]
+	if gotX != end.X || gotY != end.Y {
+		t.Errorf("final mark (%v,%v), want (%v,%v)", gotX, gotY, end.X, end.Y)
+	}
+}
+
+func TestScriptSemanticsParseErrors(t *testing.T) {
+	if _, err := ScriptSemantics("[", "nil", "nil", nil, nil); err == nil {
+		t.Error("bad recog accepted")
+	}
+	if _, err := ScriptSemantics("nil", "[", "nil", nil, nil); err == nil {
+		t.Error("bad manip accepted")
+	}
+	if _, err := ScriptSemantics("nil", "nil", "[", nil, nil); err == nil {
+		t.Error("bad done accepted")
+	}
+}
+
+func TestEagerHandlerConstructorPanics(t *testing.T) {
+	full, _, _ := trainUD(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGestureHandler(ModeEager) did not panic")
+		}
+	}()
+	NewGestureHandler(full, ModeEager)
+}
+
+func TestTransitionModeString(t *testing.T) {
+	if ModeMouseUp.String() != "mouse-up" || ModeTimeout.String() != "timeout" ||
+		ModeEager.String() != "eager" || TransitionMode(9).String() != "unknown" {
+		t.Error("TransitionMode.String wrong")
+	}
+}
+
+func TestSameViewGestureAndDragViaButtons(t *testing.T) {
+	// §3.1: "A single view (or view class) may respond to both gesture and
+	// direct manipulation (say, via different mouse buttons) by
+	// associating multiple handlers with the view."
+	full, _, samples := trainUD(t)
+	g := NewGestureHandler(full, ModeMouseUp)
+	g.Button = display.LeftButton
+	var recognized []string
+	g.OnRecognized = func(class string, a *Attrs) { recognized = append(recognized, class) }
+
+	root := NewView("window", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 2000, MaxY: 2000}
+	root.AddHandler(g)
+	root.AddHandler(&DragHandler{Button: display.RightButton})
+	s := NewSession(root, nil)
+
+	// Left button: gesture.
+	s.Replay(display.StrokeTrace(samples["U"].Points, display.LeftButton, 0.01))
+	if len(recognized) != 1 || recognized[0] != "U" {
+		t.Fatalf("left-button gesture: %v", recognized)
+	}
+	// Right button on the same view: drag (moves the whole window view).
+	before := root.Frame
+	s.Replay(display.DragTrace(geom.Pt(100, 100), geom.Pt(150, 130), 4, 20, 0.2, display.RightButton))
+	if root.Frame == before {
+		t.Fatal("right-button drag did not move the view")
+	}
+	if len(recognized) != 1 {
+		t.Fatalf("drag triggered the gesture handler: %v", recognized)
+	}
+}
+
+func TestDifferentViewClassesDifferentGestureSets(t *testing.T) {
+	// §3.1: "views of different classes may respond to different sets of
+	// gestures by associating each view class with a different gesture
+	// handler."
+	full, _, samples := trainUD(t)
+
+	var leftEvents, rightEvents []string
+	leftHandler := NewGestureHandler(full, ModeMouseUp)
+	leftHandler.OnRecognized = func(class string, a *Attrs) { leftEvents = append(leftEvents, class) }
+	rightHandler := NewGestureHandler(full, ModeMouseUp)
+	rightHandler.OnRecognized = func(class string, a *Attrs) { rightEvents = append(rightEvents, class) }
+
+	leftClass := NewViewClass("leftPane", nil)
+	leftClass.AddHandler(leftHandler)
+	rightClass := NewViewClass("rightPane", nil)
+	rightClass.AddHandler(rightHandler)
+
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 2000, MaxY: 2000}
+	left := NewView("left", leftClass)
+	left.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 2000}
+	right := NewView("right", rightClass)
+	right.Frame = geom.Rect{MinX: 1000, MinY: 0, MaxX: 2000, MaxY: 2000}
+	root.AddChild(left)
+	root.AddChild(right)
+	s := NewSession(root, nil)
+
+	// A gesture drawn in the left pane goes to the left handler only. The
+	// synthetic samples land around x in [100,500]; shift a copy for the
+	// right pane.
+	s.Replay(display.StrokeTrace(samples["U"].Points, display.LeftButton, 0.01))
+	rightStroke := samples["D"].Points.Translate(1100, 0).TimeShift(10)
+	s.Replay(display.StrokeTrace(rightStroke, display.LeftButton, 0.01))
+
+	if len(leftEvents) != 1 || leftEvents[0] != "U" {
+		t.Errorf("left pane events = %v", leftEvents)
+	}
+	if len(rightEvents) != 1 || rightEvents[0] != "D" {
+		t.Errorf("right pane events = %v", rightEvents)
+	}
+}
+
+func TestAttrsHelpers(t *testing.T) {
+	a := &Attrs{GesturePoints: geom.Path{
+		{X: 0, Y: 0, T: 0}, {X: 10, Y: 0, T: 0.02}, {X: 10, Y: 10, T: 0.04},
+	}}
+	// Initial angle: from the first to the third point, (10,10) direction.
+	want := math.Atan2(10, 10)
+	if got := a.InitialAngle(); !mathx.ApproxEqual(got, want, 1e-9) {
+		t.Errorf("InitialAngle = %v, want %v", got, want)
+	}
+	if got := a.GestureLength(); got != 20 {
+		t.Errorf("GestureLength = %v", got)
+	}
+	short := &Attrs{GesturePoints: geom.Path{{X: 0, Y: 0, T: 0}}}
+	if short.InitialAngle() != 0 {
+		t.Error("short gesture initial angle should be 0")
+	}
+}
+
+func TestHandlerClasses(t *testing.T) {
+	full, eag, _ := trainUD(t)
+	h := NewGestureHandler(full, ModeMouseUp)
+	if len(h.Classes()) != 2 {
+		t.Errorf("Classes = %v", h.Classes())
+	}
+	he := NewEagerGestureHandler(eag)
+	if len(he.Classes()) != 2 {
+		t.Errorf("eager Classes = %v", he.Classes())
+	}
+}
+
+func TestRejectionInEagerMode(t *testing.T) {
+	// Rejection thresholds also apply in eager mode: when the full
+	// evaluation rejects, no semantics run even if the stream decided.
+	_, eag, samples := trainUD(t)
+	h := NewEagerGestureHandler(eag)
+	h.MinProbability = 1.1 // reject everything
+	rejected := 0
+	h.OnRejected = func(a *Attrs, prob, dist float64) { rejected++ }
+	recognized := 0
+	h.OnRecognized = func(string, *Attrs) { recognized++ }
+	s := newGestureSession(h)
+	s.Replay(display.StrokeTrace(samples["U"].Points, display.LeftButton, 0.01))
+	if rejected != 1 || recognized != 0 {
+		t.Fatalf("rejected=%d recognized=%d", rejected, recognized)
+	}
+}
+
+func TestCustomTimeoutValue(t *testing.T) {
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeTimeout)
+	h.Timeout = 0.5
+	var l semLog
+	h.Register("U", loggingSemantics(&l, "U"))
+	h.Register("D", loggingSemantics(&l, "D"))
+	s := newGestureSession(h)
+
+	g := samples["U"].Points
+	last := g[len(g)-1]
+	trace := display.StrokeTrace(g, display.LeftButton, 0)[:len(g)]
+	// A pause longer than the default 200 ms but shorter than the custom
+	// 500 ms must NOT transition; the move after it is still collection.
+	trace = append(trace,
+		display.Event{Kind: display.MouseMove, X: last.X + 5, Y: last.Y, Time: last.T + 0.3},
+		display.Event{Kind: display.MouseUp, X: last.X + 5, Y: last.Y, Time: last.T + 0.35},
+	)
+	s.Replay(trace)
+	// Transition happened only at mouse-up: exactly one manip call.
+	if l.manips != 1 {
+		t.Fatalf("manips = %d; custom timeout ignored", l.manips)
+	}
+}
+
+func TestEndActiveNoop(t *testing.T) {
+	root := NewView("root", nil)
+	s := NewSession(root, nil)
+	s.EndActive() // must not panic with no active interaction
+	if s.Active() {
+		t.Fatal("EndActive created an interaction")
+	}
+}
+
+func TestScriptSemanticsExtendedAttributes(t *testing.T) {
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeMouseUp)
+	var got = map[string]float64{}
+	sink := script.NewDispatch("sink")
+	sink.Bind("len:dur:endX:ang:", func(args []script.Value) (script.Value, error) {
+		got["length"], _ = script.Num(args[0])
+		got["duration"], _ = script.Num(args[1])
+		got["endX"], _ = script.Num(args[2])
+		got["initialAngle"], _ = script.Num(args[3])
+		return nil, nil
+	})
+	sem, err := ScriptSemantics(
+		"[sink len:<length> dur:<duration> endX:<endX> ang:<initialAngle>]",
+		"nil", "nil",
+		func(a *Attrs, env *script.Env) { env.SetVar("sink", sink) },
+		func(e error) { t.Errorf("semantics error: %v", e) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Register("U", sem)
+	s := newGestureSession(h)
+	g := samples["U"].Points
+	s.Replay(display.StrokeTrace(g, display.LeftButton, 0.01))
+	if got["length"] <= 0 || got["duration"] <= 0 {
+		t.Errorf("attrs: %+v", got)
+	}
+	if got["endX"] != g[len(g)-1].X {
+		t.Errorf("endX = %v, want %v", got["endX"], g[len(g)-1].X)
+	}
+}
+
+func TestBiasClassAgainstDestructiveGesture(t *testing.T) {
+	// §4.2's unequal misclassification costs: bias the classifier away
+	// from a "grave error" class. A strong negative bias on U makes every
+	// stroke classify as D; a borderline stroke needs stronger evidence to
+	// be U.
+	full, _, samples := trainUD(t)
+	h := NewGestureHandler(full, ModeMouseUp)
+	var got []string
+	h.OnRecognized = func(class string, a *Attrs) { got = append(got, class) }
+	s := newGestureSession(h)
+
+	if !h.BiasClass("U", -1e9) {
+		t.Fatal("BiasClass failed")
+	}
+	if h.BiasClass("nonesuch", 1) {
+		t.Fatal("unknown class accepted")
+	}
+	s.Replay(display.StrokeTrace(samples["U"].Points, display.LeftButton, 0.01))
+	if len(got) != 1 || got[0] != "U" {
+		// With the bias, the U stroke must NOT classify as U.
+		if got[0] == "U" {
+			t.Fatalf("bias ignored: %v", got)
+		}
+	}
+	if got[0] != "D" {
+		t.Fatalf("expected D under extreme anti-U bias, got %v", got)
+	}
+}

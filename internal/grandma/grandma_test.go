@@ -1,0 +1,284 @@
+package grandma
+
+import (
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+func TestViewClassInheritance(t *testing.T) {
+	base := NewViewClass("base", nil)
+	sub := NewViewClass("sub", base)
+	h1 := &ClickHandler{}
+	h2 := &ClickHandler{}
+	base.AddHandler(h1)
+	sub.AddHandler(h2)
+	hs := sub.Handlers()
+	if len(hs) != 2 || hs[0] != EventHandler(h2) || hs[1] != EventHandler(h1) {
+		t.Fatalf("inheritance order wrong: %v", hs)
+	}
+	if !sub.IsA(base) || !sub.IsA(sub) || base.IsA(sub) {
+		t.Error("IsA wrong")
+	}
+}
+
+func TestViewTree(t *testing.T) {
+	root := NewView("root", nil)
+	a := NewView("a", nil)
+	root.AddChild(a)
+	if a.Parent() != root || len(root.Children()) != 1 {
+		t.Fatal("AddChild broken")
+	}
+	root.RemoveChild(a)
+	if a.Parent() != nil || len(root.Children()) != 0 {
+		t.Fatal("RemoveChild broken")
+	}
+	root.RemoveChild(a) // unknown child: no-op
+	root.AddChild(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double AddChild did not panic")
+		}
+	}()
+	NewView("other", nil).AddChild(a)
+}
+
+func TestHitTestTopmost(t *testing.T) {
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	under := NewView("under", nil)
+	under.Frame = geom.Rect{MinX: 10, MinY: 10, MaxX: 50, MaxY: 50}
+	over := NewView("over", nil)
+	over.Frame = geom.Rect{MinX: 30, MinY: 30, MaxX: 70, MaxY: 70}
+	over.Z = 1
+	root.AddChild(under)
+	root.AddChild(over)
+
+	if got := root.HitTest(geom.Pt(40, 40)); got != over {
+		t.Errorf("overlap hit = %v, want over", got.Name)
+	}
+	if got := root.HitTest(geom.Pt(15, 15)); got != under {
+		t.Errorf("hit = %v, want under", got.Name)
+	}
+	if got := root.HitTest(geom.Pt(90, 90)); got != root {
+		t.Errorf("background hit = %v, want root", got.Name)
+	}
+	if got := root.HitTest(geom.Pt(500, 500)); got != nil {
+		t.Errorf("miss hit = %v, want nil", got.Name)
+	}
+	over.Visible = false
+	if got := root.HitTest(geom.Pt(40, 40)); got != under {
+		t.Errorf("invisible view still hit: %v", got.Name)
+	}
+}
+
+func TestCustomHitFunc(t *testing.T) {
+	v := NewView("circle", nil)
+	v.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	v.HitFunc = func(p geom.Point, v *View) bool {
+		return p.Dist(v.Frame.Center()) <= 5
+	}
+	if v.HitTest(geom.Pt(1, 1)) != nil {
+		t.Error("corner inside circle?")
+	}
+	if v.HitTest(geom.Pt(5, 5)) != v {
+		t.Error("center missed")
+	}
+}
+
+func TestDrawOrder(t *testing.T) {
+	c := raster.NewCanvas(10, 10)
+	root := NewView("root", nil)
+	lo := NewView("lo", nil)
+	lo.Z = 0
+	lo.DrawFunc = func(c *raster.Canvas, v *View) { c.Set(5, 5, 'L') }
+	hi := NewView("hi", nil)
+	hi.Z = 1
+	hi.DrawFunc = func(c *raster.Canvas, v *View) { c.Set(5, 5, 'H') }
+	root.AddChild(hi)
+	root.AddChild(lo)
+	root.Draw(c)
+	if c.At(5, 5) != 'H' {
+		t.Errorf("top glyph = %c, want H", c.At(5, 5))
+	}
+	hi.Visible = false
+	c.Clear()
+	root.Draw(c)
+	if c.At(5, 5) != 'L' {
+		t.Errorf("after hiding hi, glyph = %c", c.At(5, 5))
+	}
+}
+
+func TestDragHandler(t *testing.T) {
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 200, MaxY: 200}
+	box := NewView("box", nil)
+	box.Frame = geom.Rect{MinX: 10, MinY: 10, MaxX: 30, MaxY: 30}
+	root.AddChild(box)
+	moved := 0
+	done := false
+	box.AddHandler(&DragHandler{
+		OnMove: func(v *View, dx, dy float64) { moved++ },
+		OnDone: func(v *View) { done = true },
+	})
+	s := NewSession(root, nil)
+	s.Replay(display.DragTrace(geom.Pt(20, 20), geom.Pt(60, 80), 4, 0, 0.2, display.LeftButton))
+	want := geom.Rect{MinX: 50, MinY: 70, MaxX: 70, MaxY: 90}
+	if box.Frame != want {
+		t.Errorf("frame after drag = %+v, want %+v", box.Frame, want)
+	}
+	if moved != 4 || !done {
+		t.Errorf("moved=%d done=%v", moved, done)
+	}
+	if s.Active() {
+		t.Error("interaction still active after mouse-up")
+	}
+}
+
+func TestDragButtonFilter(t *testing.T) {
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	box := NewView("box", nil)
+	box.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 20, MaxY: 20}
+	root.AddChild(box)
+	box.AddHandler(&DragHandler{Button: display.RightButton})
+	s := NewSession(root, nil)
+	s.Replay(display.DragTrace(geom.Pt(5, 5), geom.Pt(50, 50), 3, 0, 0.1, display.LeftButton))
+	if box.Frame.MinX != 0 {
+		t.Error("left-button drag moved a right-button-only view")
+	}
+}
+
+func TestClickHandler(t *testing.T) {
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	clicks := 0
+	root.AddHandler(&ClickHandler{Action: func(v *View) { clicks++ }})
+	s := NewSession(root, nil)
+	// Clean click.
+	s.Replay([]display.Event{
+		{Kind: display.MouseDown, X: 10, Y: 10, Time: 0},
+		{Kind: display.MouseUp, X: 11, Y: 10, Time: 0.05},
+	})
+	if clicks != 1 {
+		t.Fatalf("clicks = %d", clicks)
+	}
+	// Too much movement: aborted.
+	s.Replay([]display.Event{
+		{Kind: display.MouseDown, X: 10, Y: 10, Time: 1},
+		{Kind: display.MouseMove, X: 40, Y: 40, Time: 1.02},
+		{Kind: display.MouseUp, X: 40, Y: 40, Time: 1.05},
+	})
+	if clicks != 1 {
+		t.Fatalf("sloppy click fired: %d", clicks)
+	}
+}
+
+func TestHandlerPropagation(t *testing.T) {
+	// First handler declines via predicate; second accepts. Then: handlers
+	// on the child decline entirely and the parent's handler receives the
+	// interaction.
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	child := NewView("child", nil)
+	child.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}
+	root.AddChild(child)
+
+	var order []string
+	declining := &ClickHandler{
+		Predicate: func(ev display.Event, v *View) bool { order = append(order, "declined"); return false },
+		Action:    func(v *View) { t.Error("declining handler fired") },
+	}
+	accepting := &ClickHandler{Action: func(v *View) { order = append(order, "child") }}
+	child.AddHandler(declining)
+	child.AddHandler(accepting)
+	rootH := &ClickHandler{Action: func(v *View) { order = append(order, "root") }}
+	root.AddHandler(rootH)
+
+	s := NewSession(root, nil)
+	s.Replay([]display.Event{
+		{Kind: display.MouseDown, X: 10, Y: 10, Time: 0},
+		{Kind: display.MouseUp, X: 10, Y: 10, Time: 0.01},
+	})
+	if len(order) != 2 || order[0] != "declined" || order[1] != "child" {
+		t.Fatalf("order = %v", order)
+	}
+	// Outside the child, the root handler takes it.
+	s.Replay([]display.Event{
+		{Kind: display.MouseDown, X: 80, Y: 80, Time: 1},
+		{Kind: display.MouseUp, X: 80, Y: 80, Time: 1.01},
+	})
+	if order[len(order)-1] != "root" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestClassLevelHandlerShared(t *testing.T) {
+	cls := NewViewClass("button", nil)
+	clicks := map[string]int{}
+	cls.AddHandler(&ClickHandler{Action: func(v *View) { clicks[v.Name]++ }})
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	b1 := NewView("b1", cls)
+	b1.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	b2 := NewView("b2", cls)
+	b2.Frame = geom.Rect{MinX: 20, MinY: 0, MaxX: 30, MaxY: 10}
+	root.AddChild(b1)
+	root.AddChild(b2)
+	s := NewSession(root, nil)
+	click := func(x, y float64, at float64) {
+		s.Replay([]display.Event{
+			{Kind: display.MouseDown, X: x, Y: y, Time: at},
+			{Kind: display.MouseUp, X: x, Y: y, Time: at + 0.01},
+		})
+	}
+	click(5, 5, 0)
+	click(25, 5, 1)
+	click(25, 5, 2)
+	if clicks["b1"] != 1 || clicks["b2"] != 2 {
+		t.Errorf("clicks = %v", clicks)
+	}
+}
+
+func TestStrayEventsIgnored(t *testing.T) {
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	s := NewSession(root, nil)
+	// Moves and ups with no interaction must not panic or activate.
+	s.Replay([]display.Event{
+		{Kind: display.MouseMove, X: 5, Y: 5, Time: 0},
+		{Kind: display.MouseUp, X: 5, Y: 5, Time: 0.1},
+	})
+	if s.Active() {
+		t.Error("stray events created an interaction")
+	}
+	// Mouse-down outside every view.
+	s.Post(display.Event{Kind: display.MouseDown, X: 50, Y: 50, Time: 1})
+	if s.Active() {
+		t.Error("miss created an interaction")
+	}
+}
+
+func TestSessionTapRecordsTrace(t *testing.T) {
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	s := NewSession(root, nil)
+	tr := &display.Trace{Name: "recorded"}
+	s.Tap = func(ev display.Event) { tr.Append(ev) }
+	s.Replay(display.DragTrace(geom.Pt(10, 10), geom.Pt(40, 40), 3, 0, 0.1, display.LeftButton))
+	if tr.Len() != 5 { // down + 3 moves + up
+		t.Fatalf("recorded %d events", tr.Len())
+	}
+	// The recorded trace replays identically into another session.
+	root2 := NewView("root", nil)
+	root2.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	clicks := 0
+	root2.AddHandler(&ClickHandler{Slop: 100, Action: func(v *View) { clicks++ }})
+	s2 := NewSession(root2, nil)
+	s2.Replay(tr.Events)
+	if clicks != 1 {
+		t.Fatalf("replayed trace produced %d clicks", clicks)
+	}
+}

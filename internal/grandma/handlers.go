@@ -1,0 +1,123 @@
+package grandma
+
+import (
+	"repro/internal/display"
+	"repro/internal/geom"
+)
+
+// DragHandler implements the classic direct-manipulation drag: press on a
+// view, move it with the mouse, release. It is the paper's example of a
+// non-gestural interaction technique coexisting with gesture handlers in
+// one interface.
+type DragHandler struct {
+	// Button restricts the handler to one mouse button.
+	Button display.Button
+	// Predicate optionally narrows which events/views are accepted, on top
+	// of the button check ("Each handler has a predicate that it uses to
+	// decide which events it will handle").
+	Predicate func(ev display.Event, v *View) bool
+	// OnMove, if set, is called after each frame translation.
+	OnMove func(v *View, dx, dy float64)
+	// OnDone, if set, is called when the drag completes.
+	OnDone func(v *View)
+}
+
+// Wants implements EventHandler.
+func (h *DragHandler) Wants(ev display.Event, v *View) bool {
+	if ev.Kind != display.MouseDown || ev.Button != h.Button {
+		return false
+	}
+	if h.Predicate != nil && !h.Predicate(ev, v) {
+		return false
+	}
+	return true
+}
+
+// Begin implements EventHandler.
+func (h *DragHandler) Begin(ev display.Event, v *View, s *Session) Interaction {
+	return &dragInteraction{h: h, v: v, lastX: ev.X, lastY: ev.Y}
+}
+
+type dragInteraction struct {
+	h            *DragHandler
+	v            *View
+	lastX, lastY float64
+}
+
+func (d *dragInteraction) Handle(ev display.Event, s *Session) bool {
+	switch ev.Kind {
+	case display.MouseMove:
+		dx, dy := ev.X-d.lastX, ev.Y-d.lastY
+		d.lastX, d.lastY = ev.X, ev.Y
+		d.v.Frame = d.v.Frame.Translate(dx, dy)
+		if d.h.OnMove != nil {
+			d.h.OnMove(d.v, dx, dy)
+		}
+		s.Redraw()
+		return false
+	case display.MouseUp:
+		if d.h.OnDone != nil {
+			d.h.OnDone(d.v)
+		}
+		s.Redraw()
+		return true
+	default:
+		return false
+	}
+}
+
+// ClickHandler fires an action on a click: a press and release with little
+// movement. Movement beyond Slop aborts without firing (the event is
+// consumed — a deliberate simplification versus re-dispatching).
+type ClickHandler struct {
+	Button    display.Button
+	Predicate func(ev display.Event, v *View) bool
+	// Slop is the maximum distance the cursor may travel; 0 means 3 px.
+	Slop float64
+	// Action is invoked on a successful click.
+	Action func(v *View)
+}
+
+// Wants implements EventHandler.
+func (h *ClickHandler) Wants(ev display.Event, v *View) bool {
+	if ev.Kind != display.MouseDown || ev.Button != h.Button {
+		return false
+	}
+	if h.Predicate != nil && !h.Predicate(ev, v) {
+		return false
+	}
+	return true
+}
+
+// Begin implements EventHandler.
+func (h *ClickHandler) Begin(ev display.Event, v *View, s *Session) Interaction {
+	return &clickInteraction{h: h, v: v, start: geom.Pt(ev.X, ev.Y)}
+}
+
+type clickInteraction struct {
+	h       *ClickHandler
+	v       *View
+	start   geom.Point
+	aborted bool
+}
+
+func (c *clickInteraction) Handle(ev display.Event, s *Session) bool {
+	slop := c.h.Slop
+	if slop == 0 {
+		slop = 3
+	}
+	switch ev.Kind {
+	case display.MouseMove:
+		if geom.Pt(ev.X, ev.Y).Dist(c.start) > slop {
+			c.aborted = true
+		}
+		return false
+	case display.MouseUp:
+		if !c.aborted && c.h.Action != nil {
+			c.h.Action(c.v)
+		}
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,87 @@
+package grandma
+
+// GRANDMA "is a Model/View/Controller-like system: models are application
+// objects, views are objects responsible for displaying models, and event
+// handlers deal with input directed at views" (§3). This file supplies the
+// model half: an embeddable change-notification subject, so application
+// objects can announce mutations and views (or the session) can repaint
+// without the semantics code calling Redraw by hand.
+
+// Subject is an embeddable observable. The zero value is ready to use.
+// Observers are called synchronously, in registration order, whenever
+// NotifyChanged runs. Not safe for concurrent use — GRANDMA interfaces are
+// single-threaded event loops, as the paper's was.
+type Subject struct {
+	observers []*observer
+}
+
+type observer struct {
+	fn      func()
+	removed bool
+}
+
+// Observe registers a change observer and returns a function that removes
+// it. Removal during notification is safe; the removed observer simply
+// stops being called.
+func (s *Subject) Observe(fn func()) (remove func()) {
+	o := &observer{fn: fn}
+	s.observers = append(s.observers, o)
+	return func() { o.removed = true }
+}
+
+// NotifyChanged invokes every live observer and compacts removed ones.
+func (s *Subject) NotifyChanged() {
+	live := s.observers[:0]
+	for _, o := range s.observers {
+		if o.removed {
+			continue
+		}
+		live = append(live, o)
+	}
+	s.observers = live
+	// Iterate over a snapshot: observers registered during notification
+	// run from the next change on.
+	snapshot := append([]*observer(nil), s.observers...)
+	for _, o := range snapshot {
+		if !o.removed {
+			o.fn()
+		}
+	}
+}
+
+// ObserverCount returns the number of live observers (for tests).
+func (s *Subject) ObserverCount() int {
+	n := 0
+	for _, o := range s.observers {
+		if !o.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// Observable is anything exposing a Subject — typically via embedding.
+type Observable interface {
+	ModelSubject() *Subject
+}
+
+// ModelSubject implements Observable for types that embed Subject.
+func (s *Subject) ModelSubject() *Subject { return s }
+
+// BindModel wires a model's change notifications to the session: any
+// NotifyChanged invalidates the display, and the session repaints after
+// the current event completes (coalescing repeated changes within one
+// event). It returns the observer-removal function.
+func (sess *Session) BindModel(m Observable) (remove func()) {
+	return m.ModelSubject().Observe(sess.Invalidate)
+}
+
+// Invalidate marks the display dirty; the session repaints after the
+// in-flight event (or immediately when idle).
+func (sess *Session) Invalidate() {
+	if sess.inEvent {
+		sess.dirty = true
+		return
+	}
+	sess.Redraw()
+}

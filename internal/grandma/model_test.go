@@ -1,0 +1,126 @@
+package grandma
+
+import (
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// counterModel is a tiny observable application object.
+type counterModel struct {
+	Subject
+	n int
+}
+
+func (m *counterModel) inc() {
+	m.n++
+	m.NotifyChanged()
+}
+
+func TestSubjectObservers(t *testing.T) {
+	var s Subject
+	var log []string
+	removeA := s.Observe(func() { log = append(log, "a") })
+	s.Observe(func() { log = append(log, "b") })
+	s.NotifyChanged()
+	if len(log) != 2 || log[0] != "a" || log[1] != "b" {
+		t.Fatalf("log = %v", log)
+	}
+	removeA()
+	removeA() // double remove is fine
+	s.NotifyChanged()
+	if len(log) != 3 || log[2] != "b" {
+		t.Fatalf("log = %v", log)
+	}
+	if s.ObserverCount() != 1 {
+		t.Fatalf("count = %d", s.ObserverCount())
+	}
+}
+
+func TestObserverRemovalDuringNotify(t *testing.T) {
+	var s Subject
+	calls := 0
+	var remove func()
+	remove = s.Observe(func() {
+		calls++
+		remove() // self-removal mid-notification
+	})
+	s.Observe(func() { calls++ })
+	s.NotifyChanged()
+	s.NotifyChanged()
+	// First notify: both; second: only the survivor.
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestObserverAddedDuringNotifyDeferred(t *testing.T) {
+	var s Subject
+	calls := 0
+	s.Observe(func() {
+		if calls == 0 {
+			s.Observe(func() { calls += 10 })
+		}
+		calls++
+	})
+	s.NotifyChanged()
+	if calls != 1 {
+		t.Fatalf("newly added observer ran during same notification: %d", calls)
+	}
+	s.NotifyChanged()
+	if calls != 12 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestBindModelRepaintsOnChange(t *testing.T) {
+	m := &counterModel{}
+	root := NewView("root", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 20}
+	root.DrawFunc = func(c *raster.Canvas, v *View) {
+		// Paint the model state so repaints are observable.
+		for i := 0; i < m.n; i++ {
+			c.Set(i, 0, '#')
+		}
+	}
+	s := NewSession(root, raster.NewCanvas(50, 20))
+	remove := s.BindModel(m)
+
+	// A change while idle repaints immediately.
+	m.inc()
+	if s.Canvas.Count('#') != 1 {
+		t.Fatalf("idle change not painted: %d", s.Canvas.Count('#'))
+	}
+
+	// Changes during an event coalesce into one repaint after it.
+	paints := 0
+	root.AddHandler(&ClickHandler{Action: func(v *View) {
+		m.inc()
+		m.inc()
+		if s.Canvas.Count('#') != 1 {
+			paints++ // repainted during the event: wrong
+		}
+	}})
+	s.Replay([]display.Event{
+		{Kind: display.MouseDown, X: 5, Y: 5, Time: 1},
+		{Kind: display.MouseUp, X: 5, Y: 5, Time: 1.01},
+	})
+	if paints != 0 {
+		t.Fatal("repainted mid-event instead of coalescing")
+	}
+	if s.Canvas.Count('#') != 3 {
+		t.Fatalf("after event, painted %d", s.Canvas.Count('#'))
+	}
+
+	// After unbinding, changes no longer repaint.
+	remove()
+	m.inc()
+	if s.Canvas.Count('#') != 3 {
+		t.Fatal("unbound model still repaints")
+	}
+	if m.ModelSubject().ObserverCount() != 0 {
+		t.Fatal("observer not removed")
+	}
+}

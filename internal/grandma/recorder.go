@@ -1,0 +1,70 @@
+package grandma
+
+import (
+	"repro/internal/display"
+	"repro/internal/geom"
+	"repro/internal/gesture"
+)
+
+// Recorder is an event handler that captures raw strokes as labelled
+// gesture examples. It is the collection half of GRANDMA's train-by-example
+// story: put the interface in record mode (attach a Recorder ahead of the
+// gesture handler), draw examples of a class, retrain, resume. Strokes are
+// inked like gestures and appended to Set under the current Class label.
+type Recorder struct {
+	Button    display.Button
+	Predicate func(ev display.Event, v *View) bool
+	// Class labels subsequently recorded strokes. Empty disables the
+	// recorder (events propagate to the next handler).
+	Class string
+	// Set receives the recorded examples. Must be non-nil to record.
+	Set *gesture.Set
+	// OnStroke, if set, observes each completed stroke.
+	OnStroke func(class string, g gesture.Gesture)
+}
+
+// Wants implements EventHandler.
+func (r *Recorder) Wants(ev display.Event, v *View) bool {
+	if ev.Kind != display.MouseDown || ev.Button != r.Button {
+		return false
+	}
+	if r.Class == "" || r.Set == nil {
+		return false
+	}
+	if r.Predicate != nil && !r.Predicate(ev, v) {
+		return false
+	}
+	return true
+}
+
+// Begin implements EventHandler.
+func (r *Recorder) Begin(ev display.Event, v *View, s *Session) Interaction {
+	ri := &recordInteraction{r: r}
+	ri.points = geom.Path{{X: ev.X, Y: ev.Y, T: ev.Time}}
+	s.SetInk(ri.points)
+	return ri
+}
+
+type recordInteraction struct {
+	r      *Recorder
+	points geom.Path
+}
+
+func (ri *recordInteraction) Handle(ev display.Event, s *Session) bool {
+	switch ev.Kind {
+	case display.MouseMove:
+		ri.points = append(ri.points, geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.Time})
+		s.SetInk(ri.points)
+		return false
+	case display.MouseUp:
+		g := gesture.New(ri.points.Clone())
+		ri.r.Set.Add(ri.r.Class, g)
+		if ri.r.OnStroke != nil {
+			ri.r.OnStroke(ri.r.Class, g)
+		}
+		s.ClearInk()
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,115 @@
+package grandma
+
+import (
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/synth"
+)
+
+func TestRecorderCapturesStrokes(t *testing.T) {
+	root := NewView("window", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	set := &gesture.Set{Name: "recorded"}
+	var observed []string
+	rec := &Recorder{
+		Class: "U",
+		Set:   set,
+		OnStroke: func(class string, g gesture.Gesture) {
+			observed = append(observed, class)
+		},
+	}
+	root.AddHandler(rec)
+	s := NewSession(root, nil)
+
+	gen := synth.NewGenerator(synth.DefaultParams(3))
+	sample := gen.Sample(synth.UDClasses()[0])
+	s.Replay(display.StrokeTrace(sample.G.Points, display.LeftButton, 0.01))
+
+	if set.Len() != 1 {
+		t.Fatalf("recorded %d strokes", set.Len())
+	}
+	if set.Examples[0].Class != "U" {
+		t.Errorf("class = %s", set.Examples[0].Class)
+	}
+	if set.Examples[0].Gesture.Len() != sample.G.Len() {
+		t.Errorf("recorded %d points, drew %d", set.Examples[0].Gesture.Len(), sample.G.Len())
+	}
+	if len(observed) != 1 || observed[0] != "U" {
+		t.Errorf("OnStroke = %v", observed)
+	}
+
+	// Relabel and record a second class.
+	rec.Class = "D"
+	sample2 := gen.Sample(synth.UDClasses()[1])
+	s.Replay(display.StrokeTrace(sample2.G.Points.TimeShift(10), display.LeftButton, 0.01))
+	if set.Len() != 2 || set.Examples[1].Class != "D" {
+		t.Fatalf("second stroke: %+v", set.CountByClass())
+	}
+}
+
+func TestRecorderDisabledPropagates(t *testing.T) {
+	root := NewView("window", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	set := &gesture.Set{}
+	clicked := 0
+	// Recorder first, but with no class: the click handler behind it must
+	// receive the event.
+	root.AddHandler(&Recorder{Set: set})
+	root.AddHandler(&ClickHandler{Action: func(v *View) { clicked++ }})
+	s := NewSession(root, nil)
+	s.Replay([]display.Event{
+		{Kind: display.MouseDown, X: 5, Y: 5, Time: 0},
+		{Kind: display.MouseUp, X: 5, Y: 5, Time: 0.02},
+	})
+	if set.Len() != 0 {
+		t.Error("disabled recorder recorded")
+	}
+	if clicked != 1 {
+		t.Error("event did not propagate past the disabled recorder")
+	}
+}
+
+func TestRecordThenTrainRoundTrip(t *testing.T) {
+	// The full GRANDMA train-by-example loop: record synthetic strokes
+	// through the interface, train an eager recognizer on the recording,
+	// and recognize fresh strokes.
+	root := NewView("window", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	set := &gesture.Set{Name: "ui-recorded"}
+	rec := &Recorder{Set: set}
+	root.AddHandler(rec)
+	s := NewSession(root, nil)
+
+	gen := synth.NewGenerator(synth.DefaultParams(5))
+	when := 0.0
+	for _, class := range synth.UDClasses() {
+		rec.Class = class.Name
+		for i := 0; i < 10; i++ {
+			sample := gen.Sample(class)
+			s.Replay(display.StrokeTrace(sample.G.Points.TimeShift(when), display.LeftButton, 0.01))
+			when += 5
+		}
+	}
+	if set.Len() != 20 {
+		t.Fatalf("recorded %d", set.Len())
+	}
+
+	trained, _, err := eager.Train(set, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, _ := synth.NewGenerator(synth.DefaultParams(99)).Set("t", synth.UDClasses(), 10)
+	correct := 0
+	for _, e := range test.Examples {
+		if class, _ := trained.Run(e.Gesture); class == e.Class {
+			correct++
+		}
+	}
+	if correct < 18 {
+		t.Errorf("recognizer trained from recorded strokes: %d/20 correct", correct)
+	}
+}

@@ -1,0 +1,100 @@
+package grandma
+
+import (
+	"fmt"
+
+	"repro/internal/script"
+)
+
+// ScriptSemantics compiles the paper's three-expression semantics form —
+// recog / manip / done source strings in GRANDMA's message language — into
+// a Semantics value. Before each evaluation the gestural attributes are
+// bound into the environment exactly as §3.2 describes ("the values of
+// many gestural attributes are lazily bound to variables in the
+// environment"); the recog result is stored in the variable "recog".
+//
+// bind, if non-nil, is called once per interaction (at recog time) to
+// install application objects — typically the view — into the environment.
+// Evaluation errors are reported through onErr (or ignored when nil):
+// gesture semantics run inside the event loop, where there is no caller to
+// return an error to.
+func ScriptSemantics(recogSrc, manipSrc, doneSrc string, bind func(a *Attrs, env *script.Env), onErr func(error)) (*Semantics, error) {
+	recogP, err := script.Parse(recogSrc)
+	if err != nil {
+		return nil, fmt.Errorf("grandma: recog: %w", err)
+	}
+	manipP, err := script.Parse(manipSrc)
+	if err != nil {
+		return nil, fmt.Errorf("grandma: manip: %w", err)
+	}
+	doneP, err := script.Parse(doneSrc)
+	if err != nil {
+		return nil, fmt.Errorf("grandma: done: %w", err)
+	}
+	report := func(e error) {
+		if e != nil && onErr != nil {
+			onErr(e)
+		}
+	}
+
+	// One environment per interaction, created at recog time and reused by
+	// manip/done so variables (like recog) persist across the phases.
+	var env *script.Env
+	bindAttrs := func(a *Attrs) {
+		env.SetAttr("startX", a.StartX)
+		env.SetAttr("startY", a.StartY)
+		env.SetAttr("startT", a.StartT)
+		env.SetAttr("currentX", a.CurrentX)
+		env.SetAttr("currentY", a.CurrentY)
+		env.SetAttr("currentT", a.CurrentT)
+		b := a.Bounds()
+		env.SetAttr("minX", b.MinX)
+		env.SetAttr("minY", b.MinY)
+		env.SetAttr("maxX", b.MaxX)
+		env.SetAttr("maxY", b.MaxY)
+		env.SetAttr("nPoints", float64(len(a.GesturePoints)))
+		// "There are many other attributes available to the semantics
+		// writer" (§3.2) — the ones the modified GDP maps to application
+		// parameters, plus end position and duration.
+		env.SetAttr("initialAngle", a.InitialAngle())
+		env.SetAttr("length", a.GestureLength())
+		env.SetAttr("duration", a.GesturePoints.Duration())
+		if n := len(a.GesturePoints); n > 0 {
+			env.SetAttr("endX", a.GesturePoints[n-1].X)
+			env.SetAttr("endY", a.GesturePoints[n-1].Y)
+		} else {
+			env.SetAttr("endX", a.CurrentX)
+			env.SetAttr("endY", a.CurrentY)
+		}
+	}
+
+	return &Semantics{
+		Recog: func(a *Attrs) any {
+			env = script.NewEnv()
+			if bind != nil {
+				bind(a, env)
+			}
+			bindAttrs(a)
+			v, err := recogP.Eval(env)
+			report(err)
+			env.SetVar("recog", v)
+			return v
+		},
+		Manip: func(a *Attrs) {
+			if env == nil {
+				return
+			}
+			bindAttrs(a)
+			_, err := manipP.Eval(env)
+			report(err)
+		},
+		Done: func(a *Attrs) {
+			if env == nil {
+				return
+			}
+			bindAttrs(a)
+			_, err := doneP.Eval(env)
+			report(err)
+		},
+	}, nil
+}

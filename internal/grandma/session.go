@@ -1,0 +1,117 @@
+package grandma
+
+import (
+	"repro/internal/display"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// Session is a running GRANDMA interface: a view tree attached to a
+// headless display and an optional canvas. It implements the dispatch rule
+// of §3.1: on mouse-down, the topmost view under the cursor is found and
+// its handler list queried in order (instance handlers, then class-chain
+// handlers, then the parent view's handlers, and so on up the tree); the
+// first handler whose predicate accepts the event and whose Begin returns
+// an interaction owns all input until it completes.
+type Session struct {
+	Root    *View
+	Display *display.Display
+	Canvas  *raster.Canvas
+
+	active  Interaction
+	ink     geom.Path
+	inEvent bool
+	dirty   bool
+
+	// Tap, if set, observes every delivered input event before dispatch —
+	// the hook behind session recording (display.Trace).
+	Tap func(display.Event)
+
+	// InkGlyph is the glyph used for gesture ink; the paper's figures show
+	// gestures with dotted lines.
+	InkGlyph byte
+}
+
+// NewSession creates a session over the given root view. canvas may be nil
+// for interaction-only tests.
+func NewSession(root *View, canvas *raster.Canvas) *Session {
+	s := &Session{Root: root, Canvas: canvas, InkGlyph: '*'}
+	s.Display = display.New(s.handle)
+	return s
+}
+
+// Post delivers one event (advancing the virtual clock first).
+func (s *Session) Post(ev display.Event) { s.Display.Post(ev) }
+
+// Replay delivers a sequence of events in time order.
+func (s *Session) Replay(events []display.Event) { s.Display.Replay(events) }
+
+// Active reports whether an interaction is in progress.
+func (s *Session) Active() bool { return s.active != nil }
+
+// handle is the display sink. Model invalidations raised while the event
+// runs are coalesced into one repaint afterwards.
+func (s *Session) handle(ev display.Event) {
+	if s.Tap != nil {
+		s.Tap(ev)
+	}
+	s.inEvent = true
+	defer func() {
+		s.inEvent = false
+		if s.dirty {
+			s.dirty = false
+			s.Redraw()
+		}
+	}()
+	if s.active != nil {
+		if done := s.active.Handle(ev, s); done {
+			s.active = nil
+		}
+		return
+	}
+	if ev.Kind != display.MouseDown {
+		return // stray move/up with no interaction in progress
+	}
+	p := geom.Pt(ev.X, ev.Y)
+	target := s.Root.HitTest(p)
+	for v := target; v != nil; v = v.parent {
+		for _, h := range v.AllHandlers() {
+			if !h.Wants(ev, v) {
+				continue
+			}
+			if inter := h.Begin(ev, v, s); inter != nil {
+				s.active = inter
+				return
+			}
+		}
+	}
+}
+
+// EndActive force-completes the current interaction (used by handlers that
+// finish from a timer rather than an event).
+func (s *Session) EndActive() { s.active = nil }
+
+// SetInk replaces the gesture ink overlay.
+func (s *Session) SetInk(p geom.Path) {
+	s.ink = p
+	s.Redraw()
+}
+
+// ClearInk removes the gesture ink overlay.
+func (s *Session) ClearInk() {
+	s.ink = nil
+	s.Redraw()
+}
+
+// Redraw clears the canvas and repaints the view tree plus the ink
+// overlay. It is a no-op without a canvas.
+func (s *Session) Redraw() {
+	if s.Canvas == nil {
+		return
+	}
+	s.Canvas.Clear()
+	s.Root.Draw(s.Canvas)
+	if len(s.ink) > 0 {
+		s.Canvas.Dotted(s.ink, s.InkGlyph)
+	}
+}

@@ -1,0 +1,201 @@
+// Package grandma reproduces the architecture of GRANDMA (Gesture
+// Recognizers Automated in a Novel Direct Manipulation Architecture), the
+// paper's toolkit for building gesture-based applications.
+//
+// GRANDMA is "a Model/View/Controller-like system ... [that] generalizes
+// MVC by allowing a list of event handlers (rather than a single
+// controller) to be associated with a view. Event handlers may be
+// associated with view classes as well, and are inherited." (§3)
+//
+// The package provides:
+//
+//   - View and ViewClass with per-instance and per-class (inherited)
+//     handler lists;
+//   - event dispatch in which "the handlers associated with a particular
+//     view are queried in order whenever input is initiated at the view;
+//     any input ignored by one handler is propagated to the next" — and
+//     then to ancestor views;
+//   - direct-manipulation handlers (drag, click);
+//   - the gesture handler implementing the paper's two-phase interaction
+//     with all three phase-transition triggers: mouse-up, a 200 ms
+//     motionless timeout, and eager recognition.
+package grandma
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/display"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// ViewClass is a named class of views. Handlers attached to a class are
+// shared by every view of that class and of its subclasses — the paper
+// notes this "greatly improves efficiency, as a single handler is
+// automatically shared by many objects".
+type ViewClass struct {
+	Name     string
+	Super    *ViewClass
+	handlers []EventHandler
+}
+
+// NewViewClass creates a view class with an optional superclass.
+func NewViewClass(name string, super *ViewClass) *ViewClass {
+	return &ViewClass{Name: name, Super: super}
+}
+
+// AddHandler appends an event handler to the class's list.
+func (vc *ViewClass) AddHandler(h EventHandler) { vc.handlers = append(vc.handlers, h) }
+
+// Handlers returns the class chain's handlers: this class's first, then
+// each ancestor's, matching inheritance order.
+func (vc *ViewClass) Handlers() []EventHandler {
+	var out []EventHandler
+	for c := vc; c != nil; c = c.Super {
+		out = append(out, c.handlers...)
+	}
+	return out
+}
+
+// IsA reports whether vc is other or inherits from it.
+func (vc *ViewClass) IsA(other *ViewClass) bool {
+	for c := vc; c != nil; c = c.Super {
+		if c == other {
+			return true
+		}
+	}
+	return false
+}
+
+// View is a displayable object. In GRANDMA terms, a view is "responsible
+// for displaying models"; input directed at the view is handled by its
+// event-handler list.
+type View struct {
+	Name    string
+	Class   *ViewClass
+	Frame   geom.Rect
+	Z       int  // stacking order among siblings; higher is on top
+	Visible bool // invisible views neither draw nor receive input
+
+	// Model is the application object this view displays.
+	Model any
+	// DrawFunc paints the view; nil views are invisible containers.
+	DrawFunc func(c *raster.Canvas, v *View)
+	// HitFunc overrides hit testing; nil means Frame.Contains.
+	HitFunc func(p geom.Point, v *View) bool
+
+	parent   *View
+	children []*View
+	handlers []EventHandler
+}
+
+// NewView creates a visible view of the given class (class may be nil).
+func NewView(name string, class *ViewClass) *View {
+	return &View{Name: name, Class: class, Visible: true, Frame: geom.EmptyRect()}
+}
+
+// Parent returns the view's parent, or nil for a root.
+func (v *View) Parent() *View { return v.parent }
+
+// Children returns the view's children (do not mutate).
+func (v *View) Children() []*View { return v.children }
+
+// AddChild appends a child view. It panics if the child already has a
+// parent — reparenting must be explicit via RemoveChild.
+func (v *View) AddChild(c *View) {
+	if c.parent != nil {
+		panic(fmt.Sprintf("grandma: view %q already has a parent", c.Name))
+	}
+	c.parent = v
+	v.children = append(v.children, c)
+}
+
+// RemoveChild detaches a child view; unknown children are ignored.
+func (v *View) RemoveChild(c *View) {
+	for i, ch := range v.children {
+		if ch == c {
+			v.children = append(v.children[:i], v.children[i+1:]...)
+			c.parent = nil
+			return
+		}
+	}
+}
+
+// AddHandler appends an instance-level event handler.
+func (v *View) AddHandler(h EventHandler) { v.handlers = append(v.handlers, h) }
+
+// AllHandlers returns the handlers queried for input at this view:
+// instance handlers first, then the class chain's handlers.
+func (v *View) AllHandlers() []EventHandler {
+	out := append([]EventHandler(nil), v.handlers...)
+	if v.Class != nil {
+		out = append(out, v.Class.Handlers()...)
+	}
+	return out
+}
+
+// hits reports whether p falls on this view.
+func (v *View) hits(p geom.Point) bool {
+	if v.HitFunc != nil {
+		return v.HitFunc(p, v)
+	}
+	return v.Frame.Contains(p)
+}
+
+// HitTest returns the topmost visible view at p: children are searched in
+// front-to-back order (higher Z first, later siblings in front of earlier
+// ones at equal Z) before the view itself. It returns nil when p misses
+// everything. A container view with an empty frame still forwards hit
+// testing to its children.
+func (v *View) HitTest(p geom.Point) *View {
+	if !v.Visible {
+		return nil
+	}
+	order := make([]*View, len(v.children))
+	copy(order, v.children)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Z > order[j].Z })
+	for _, c := range order {
+		if hit := c.HitTest(p); hit != nil {
+			return hit
+		}
+	}
+	if v.hits(p) {
+		return v
+	}
+	return nil
+}
+
+// Draw paints the view and its children back-to-front.
+func (v *View) Draw(c *raster.Canvas) {
+	if !v.Visible {
+		return
+	}
+	if v.DrawFunc != nil {
+		v.DrawFunc(c, v)
+	}
+	order := make([]*View, len(v.children))
+	copy(order, v.children)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Z < order[j].Z })
+	for _, ch := range order {
+		ch.Draw(c)
+	}
+}
+
+// EventHandler is the interaction-technique protocol: "Each class of event
+// handler implements a particular kind of interaction technique" (§3.1).
+// Wants is the handler's predicate deciding which events it handles; Begin
+// starts an interaction for a mouse-down it wants, returning nil to pass
+// the event to the next handler.
+type EventHandler interface {
+	Wants(ev display.Event, v *View) bool
+	Begin(ev display.Event, v *View, s *Session) Interaction
+}
+
+// Interaction is an in-progress interaction owning subsequent input until
+// it reports done.
+type Interaction interface {
+	// Handle processes one event and returns true when the interaction has
+	// completed.
+	Handle(ev display.Event, s *Session) bool
+}

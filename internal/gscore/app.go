@@ -1,0 +1,238 @@
+package gscore
+
+import (
+	"fmt"
+
+	"repro/internal/display"
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/grandma"
+	"repro/internal/raster"
+	"repro/internal/synth"
+)
+
+// EditorClasses returns the score editor's gesture set: the five note
+// gestures of figure 8 plus a scratch gesture for deletion. Because the
+// note gestures are prefixes of one another, this set is the paper's
+// canonical example of one NOT amenable to eager recognition — which is
+// why the editor defaults to the timeout phase transition.
+func EditorClasses() []synth.Class {
+	classes := synth.NoteClasses()
+	classes = append(classes, synth.Class{
+		// A mostly-horizontal zigzag: deliberately unlike the vertical
+		// stem-and-flag structure of the note gestures.
+		Name: "scratch",
+		Skeleton: []geom.Point{
+			{X: 0, Y: 0}, {X: 44, Y: 10}, {X: 6, Y: 20}, {X: 50, Y: 30},
+		},
+		DecisionVertex: -1,
+	})
+	return classes
+}
+
+// Config configures the editor.
+type Config struct {
+	// Width and Height size the canvas. Defaults 600 x 200.
+	Width, Height int
+	// Staff geometry; the zero value gets a sensible default spanning the
+	// canvas.
+	Staff Staff
+	// Eager switches the phase transition to eager recognition. The
+	// default is the 200 ms timeout transition: the note gestures are
+	// prefixes of one another, the paper's canonical case where eager
+	// recognition cannot help (figure 8).
+	Eager bool
+	// Timeout overrides the 200 ms motionless timeout.
+	Timeout float64
+	// Recognizer supplies a pre-trained recognizer over EditorClasses.
+	Recognizer *eager.Recognizer
+	// TrainSeed and TrainPerClass configure training when Recognizer is
+	// nil (defaults 1 and 15).
+	TrainSeed     int64
+	TrainPerClass int
+}
+
+// App is the running editor.
+type App struct {
+	Score   *Score
+	Canvas  *raster.Canvas
+	Session *grandma.Session
+	Handler *grandma.GestureHandler
+	Root    *grandma.View
+	Log     []string
+	// PickTol is the note-picking tolerance in pixels.
+	PickTol float64
+}
+
+// New builds a score editor, training a recognizer if none is supplied.
+func New(cfg Config) (*App, error) {
+	if cfg.Width <= 0 {
+		cfg.Width = 600
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 200
+	}
+	if cfg.Staff == (Staff{}) {
+		cfg.Staff = Staff{
+			Left:  20,
+			Right: float64(cfg.Width) - 20,
+			BaseY: float64(cfg.Height) * 0.7,
+			Gap:   12,
+		}
+	}
+	rec := cfg.Recognizer
+	if rec == nil {
+		seed := cfg.TrainSeed
+		if seed == 0 {
+			seed = 1
+		}
+		per := cfg.TrainPerClass
+		if per == 0 {
+			per = 15
+		}
+		trainSet, _ := synth.NewGenerator(synth.DefaultParams(seed)).Set("gscore-train", EditorClasses(), per)
+		var err error
+		rec, _, err = eager.Train(trainSet, eager.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("gscore: training recognizer: %w", err)
+		}
+	}
+
+	app := &App{
+		Score:   NewScore(cfg.Staff),
+		Canvas:  raster.NewCanvas(cfg.Width, cfg.Height),
+		PickTol: 8,
+	}
+
+	var h *grandma.GestureHandler
+	if cfg.Eager {
+		h = grandma.NewEagerGestureHandler(rec)
+	} else {
+		h = grandma.NewGestureHandler(rec.Full, grandma.ModeTimeout)
+	}
+	h.Timeout = cfg.Timeout
+	h.OnRecognized = func(class string, a *grandma.Attrs) {
+		app.logf("recognized %s at (%.0f,%.0f)", class, a.StartX, a.StartY)
+	}
+	app.Handler = h
+
+	root := grandma.NewView("gscore", nil)
+	root.Frame = geom.Rect{MinX: 0, MinY: 0, MaxX: float64(cfg.Width), MaxY: float64(cfg.Height)}
+	root.DrawFunc = func(c *raster.Canvas, v *grandma.View) { app.Score.Draw(c) }
+	root.AddHandler(h)
+	app.Root = root
+	app.Session = grandma.NewSession(root, app.Canvas)
+
+	app.registerSemantics()
+	return app, nil
+}
+
+func (a *App) logf(format string, args ...any) {
+	a.Log = append(a.Log, fmt.Sprintf(format, args...))
+}
+
+// noteDrag carries the manipulation of a freshly inserted note — the
+// introduction's "dragged by the mouse but snapping to legal destinations"
+// feedback. The note stays where the gesture started until the mouse
+// actually moves after the phase transition; from then on it tracks the
+// cursor, snapped to staff lines and spaces.
+type noteDrag struct {
+	note         *Note
+	lastX, lastY float64
+	moved        bool
+}
+
+func (st *noteDrag) track(sc *Score, x, y float64) {
+	if x == st.lastX && y == st.lastY {
+		return
+	}
+	st.lastX, st.lastY = x, y
+	st.moved = true
+	sc.Move(st.note, x, y)
+}
+
+// registerSemantics wires the note-insertion and scratch-deletion
+// semantics. Note insertion demonstrates the introduction's snapping
+// feedback: during manipulation the new note follows the mouse but snaps
+// to staff lines and spaces.
+func (a *App) registerSemantics() {
+	for _, d := range []Duration{Quarter, Eighth, Sixteenth, ThirtySecond, SixtyFourth} {
+		dur := d
+		a.Handler.Register(string(dur), &grandma.Semantics{
+			Recog: func(at *grandma.Attrs) any {
+				// The note is created at the gesture START (the head of
+				// the drawn note); manipulation then drags it relatively,
+				// snapping to staff lines and spaces.
+				step := a.Score.Staff.YToStep(at.StartY)
+				n := a.Score.Add(at.StartX, step, dur)
+				a.logf("insert %s", n)
+				return &noteDrag{note: n, lastX: at.CurrentX, lastY: at.CurrentY}
+			},
+			Manip: func(at *grandma.Attrs) {
+				if st, ok := at.Recog.(*noteDrag); ok {
+					st.track(a.Score, at.CurrentX, at.CurrentY)
+				}
+			},
+			Done: func(at *grandma.Attrs) {
+				if st, ok := at.Recog.(*noteDrag); ok {
+					a.logf("placed %s", st.note)
+				}
+			},
+		})
+	}
+	a.Handler.Register("scratch", &grandma.Semantics{
+		Recog: func(at *grandma.Attrs) any {
+			if n := a.Score.At(at.StartX, at.StartY, a.PickTol); n != nil {
+				a.Score.Remove(n)
+				a.logf("delete %s", n)
+			} else {
+				a.logf("delete: nothing at (%.0f,%.0f)", at.StartX, at.StartY)
+			}
+			return nil
+		},
+		Manip: func(at *grandma.Attrs) {
+			if n := a.Score.At(at.CurrentX, at.CurrentY, a.PickTol); n != nil {
+				a.Score.Remove(n)
+				a.logf("delete (touch) %s", n)
+			}
+		},
+	})
+}
+
+// shiftToNow rebases a path after the session's current time.
+func (a *App) shiftToNow(p geom.Path) geom.Path {
+	if len(p) == 0 {
+		return p
+	}
+	return p.TimeShift(a.Session.Display.Now() + 0.05 - p[0].T)
+}
+
+// PlayGesture replays a gesture as a press-draw-release interaction.
+func (a *App) PlayGesture(p geom.Path) {
+	p = a.shiftToNow(p)
+	a.Session.Replay(display.StrokeTrace(p, display.LeftButton, 0.01))
+}
+
+// PlayTwoPhase replays a gesture, a motionless hold, then manipulation
+// moves, then release.
+func (a *App) PlayTwoPhase(gesturePath geom.Path, hold float64, manip []geom.Point) {
+	p := a.shiftToNow(gesturePath)
+	evs := display.StrokeTrace(p, display.LeftButton, 0)
+	evs = evs[:len(evs)-1]
+	last := p[len(p)-1]
+	t := last.T + hold
+	x, y := last.X, last.Y
+	for _, m := range manip {
+		t += 0.02
+		x, y = m.X, m.Y
+		evs = append(evs, display.Event{Kind: display.MouseMove, X: x, Y: y, Time: t})
+	}
+	evs = append(evs, display.Event{Kind: display.MouseUp, X: x, Y: y, Time: t + 0.02})
+	a.Session.Replay(evs)
+}
+
+// Render repaints and returns the canvas as ASCII.
+func (a *App) Render() string {
+	a.Session.Redraw()
+	return a.Canvas.String()
+}

@@ -1,0 +1,244 @@
+package gscore
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/synth"
+)
+
+func TestStaffGeometry(t *testing.T) {
+	s := Staff{Left: 10, Right: 100, BaseY: 100, Gap: 10}
+	if s.StepY(0) != 100 || s.StepY(2) != 90 || s.StepY(1) != 95 {
+		t.Errorf("StepY: %v %v %v", s.StepY(0), s.StepY(2), s.StepY(1))
+	}
+	// Snapping: y between line 0 (100) and space 1 (95) rounds nearest.
+	if s.YToStep(99) != 0 {
+		t.Errorf("YToStep(99) = %d", s.YToStep(99))
+	}
+	if s.YToStep(96) != 1 {
+		t.Errorf("YToStep(96) = %d", s.YToStep(96))
+	}
+	if s.YToStep(60) != 8 { // top line
+		t.Errorf("YToStep(60) = %d", s.YToStep(60))
+	}
+	if s.ClampX(5) != 10 || s.ClampX(200) != 100 || s.ClampX(50) != 50 {
+		t.Error("ClampX wrong")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	if Quarter.Flags() != 0 || Eighth.Flags() != 1 || SixtyFourth.Flags() != 4 {
+		t.Error("Flags wrong")
+	}
+	if !Quarter.Valid() || Duration("whole").Valid() {
+		t.Error("Valid wrong")
+	}
+}
+
+func TestScoreCRUD(t *testing.T) {
+	sc := NewScore(Staff{Left: 0, Right: 500, BaseY: 100, Gap: 10})
+	n1 := sc.Add(100, 2, Quarter)
+	n2 := sc.Add(50, 4, Eighth)
+	if sc.Len() != 2 {
+		t.Fatal("Len")
+	}
+	// Time-ordered: n2 (x=50) first.
+	if sc.Notes()[0] != n2 {
+		t.Error("notes not time-ordered")
+	}
+	if n1.ID() == n2.ID() || n1.ID() == 0 {
+		t.Error("IDs")
+	}
+	// At picks the nearest note.
+	if sc.At(101, 91, 8) != n1 {
+		t.Error("At missed n1")
+	}
+	if sc.At(300, 100, 8) != nil {
+		t.Error("At found a phantom note")
+	}
+	// Move snaps.
+	sc.Move(n1, 222, 73) // y=73 -> step round((100-73)*2/10)=5
+	if n1.X != 222 || n1.Step != 5 {
+		t.Errorf("moved note: %+v", n1)
+	}
+	sc.Remove(n1)
+	if sc.Len() != 1 {
+		t.Error("Remove")
+	}
+	sc.Remove(n1) // double remove ok
+	if got := n2.String(); !strings.Contains(got, "eighth#") {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func TestScoreDraw(t *testing.T) {
+	sc := NewScore(Staff{Left: 2, Right: 60, BaseY: 50, Gap: 8})
+	sc.Add(20, 2, Quarter)
+	sc.Add(40, 3, Sixteenth)
+	c := raster.NewCanvas(70, 60)
+	sc.Draw(c)
+	if c.Count('@') != 2 {
+		t.Errorf("note heads = %d", c.Count('@'))
+	}
+	if c.Count('-') < 5*50 {
+		t.Errorf("staff lines too sparse: %d", c.Count('-'))
+	}
+	if c.Count('\\') < 2 { // sixteenth has two flags
+		t.Errorf("flags = %d", c.Count('\\'))
+	}
+}
+
+var (
+	edOnce sync.Once
+	edRec  *eager.Recognizer
+	edErr  error
+)
+
+func editorRecognizer(t *testing.T) *eager.Recognizer {
+	t.Helper()
+	edOnce.Do(func() {
+		set, _ := synth.NewGenerator(synth.DefaultParams(1)).Set("gscore-train", EditorClasses(), 15)
+		edRec, _, edErr = eager.Train(set, eager.DefaultOptions())
+	})
+	if edErr != nil {
+		t.Fatal(edErr)
+	}
+	return edRec
+}
+
+func newEditor(t *testing.T) *App {
+	t.Helper()
+	app, err := New(Config{Recognizer: editorRecognizer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func driver(seed int64) *synth.Generator {
+	p := synth.DefaultParams(seed)
+	p.Jitter = 0.5
+	p.RotJitter = 0.01
+	p.ScaleJitter = 0.03
+	p.CornerLoopProb = 0
+	return synth.NewGenerator(p)
+}
+
+func classByName(t *testing.T, name string) synth.Class {
+	t.Helper()
+	for _, c := range EditorClasses() {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no class %q", name)
+	return synth.Class{}
+}
+
+func TestInsertNotesByGesture(t *testing.T) {
+	app := newEditor(t)
+	gen := driver(60)
+	// Draw a quarter-note gesture starting on the staff.
+	staff := app.Score.Staff
+	start := geom.Pt(100, staff.StepY(4))
+	p := gen.SampleAt(classByName(t, "quarter"), start).G.Points
+	app.PlayGesture(p)
+	if app.Score.Len() != 1 {
+		t.Fatalf("score = %d notes (log: %v)", app.Score.Len(), app.Log)
+	}
+	n := app.Score.Notes()[0]
+	if n.Duration != Quarter {
+		t.Errorf("duration = %s", n.Duration)
+	}
+	if n.Step != 4 {
+		t.Errorf("step = %d, want 4", n.Step)
+	}
+	// A sixteenth elsewhere.
+	p2 := gen.SampleAt(classByName(t, "sixteenth"), geom.Pt(220, staff.StepY(6))).G.Points
+	app.PlayGesture(p2)
+	if app.Score.Len() != 2 {
+		t.Fatalf("score = %d notes (log: %v)", app.Score.Len(), app.Log)
+	}
+	if app.Score.Notes()[1].Duration != Sixteenth {
+		t.Errorf("second note = %s", app.Score.Notes()[1].Duration)
+	}
+}
+
+func TestManipulationSnapsToStaff(t *testing.T) {
+	app := newEditor(t)
+	gen := driver(61)
+	staff := app.Score.Staff
+	p := gen.SampleAt(classByName(t, "eighth"), geom.Pt(150, staff.StepY(2))).G.Points
+	// Manipulate: drag to an x,y that is NOT on a staff step; the note
+	// must snap to the nearest line/space.
+	targetY := staff.StepY(6) + staff.Gap/4 // a quarter-gap off step 6
+	app.PlayTwoPhase(p, 0.3, []geom.Point{{X: 300, Y: targetY}})
+	if app.Score.Len() != 1 {
+		t.Fatalf("score = %d (log: %v)", app.Score.Len(), app.Log)
+	}
+	n := app.Score.Notes()[0]
+	if n.X != 300 {
+		t.Errorf("x = %v", n.X)
+	}
+	if n.Step != 6 {
+		t.Errorf("step = %d, want snapped 6", n.Step)
+	}
+}
+
+func TestScratchDeletes(t *testing.T) {
+	app := newEditor(t)
+	staff := app.Score.Staff
+	n := app.Score.Add(200, 4, Quarter)
+	gen := driver(62)
+	p := gen.SampleAt(classByName(t, "scratch"), geom.Pt(200, staff.StepY(4))).G.Points
+	app.PlayGesture(p)
+	if app.Score.Len() != 0 {
+		t.Fatalf("note %v not deleted (log: %v)", n, app.Log)
+	}
+}
+
+func TestEditorRender(t *testing.T) {
+	app := newEditor(t)
+	app.Score.Add(100, 2, Quarter)
+	out := app.Render()
+	if !strings.Contains(out, "@") || !strings.Contains(out, "-") {
+		t.Error("render missing staff or note")
+	}
+}
+
+func TestEditorNotesNotEager(t *testing.T) {
+	// Sanity: the editor's recognizer, like fig. 8 predicts, is barely
+	// eager on the prefix-structured note classes.
+	rec := editorRecognizer(t)
+	test, _ := synth.NewGenerator(synth.DefaultParams(99)).Set("t", synth.NoteClasses(), 10)
+	seen, total := 0, 0
+	for _, e := range test.Examples {
+		_, firedAt := rec.Run(e.Gesture)
+		seen += firedAt
+		total += e.Gesture.Len()
+	}
+	if frac := float64(seen) / float64(total); frac < 0.8 {
+		t.Errorf("note gestures eagerly recognized at %.2f of points; expected near 1", frac)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	app, err := New(Config{TrainPerClass: 5, TrainSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Canvas.W != 600 || app.Canvas.H != 200 {
+		t.Errorf("canvas %dx%d", app.Canvas.W, app.Canvas.H)
+	}
+	if app.Score.Staff.Gap != 12 {
+		t.Errorf("staff default %+v", app.Score.Staff)
+	}
+	if len(app.Handler.Classes()) != 6 {
+		t.Errorf("classes = %v", app.Handler.Classes())
+	}
+}

@@ -1,0 +1,199 @@
+// Package gscore implements a small gesture-based musical score editor in
+// the mold of GSCORE, the second GRANDMA application in Rubine's thesis.
+// It exercises the parts of the paper GDP does not:
+//
+//   - the figure-8 note gestures (quarter through sixty-fourth) as a live
+//     gesture set — and, because each note gesture is a prefix of the
+//     next, the editor uses the TIMEOUT phase transition rather than eager
+//     recognition, exactly the trade-off section 5 derives;
+//   - manipulation-phase feedback that SNAPS to legal destinations — the
+//     introduction's argument for two-phase interaction ("a text cursor,
+//     dragged by the mouse but snapping to legal destinations"): here the
+//     dragged note snaps to staff lines and spaces.
+package gscore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/raster"
+)
+
+// Duration is a note duration, named as in Buxton's gesture set.
+type Duration string
+
+// Durations, longest to shortest.
+const (
+	Quarter      Duration = "quarter"
+	Eighth       Duration = "eighth"
+	Sixteenth    Duration = "sixteenth"
+	ThirtySecond Duration = "thirtysecond"
+	SixtyFourth  Duration = "sixtyfourth"
+)
+
+// Flags returns the number of flags drawn on the note's stem.
+func (d Duration) Flags() int {
+	switch d {
+	case Eighth:
+		return 1
+	case Sixteenth:
+		return 2
+	case ThirtySecond:
+		return 3
+	case SixtyFourth:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether d is a known duration.
+func (d Duration) Valid() bool {
+	switch d {
+	case Quarter, Eighth, Sixteenth, ThirtySecond, SixtyFourth:
+		return true
+	}
+	return false
+}
+
+// Note is one note on the staff: a horizontal (time) position and a pitch
+// step. Step 0 is the bottom staff line; each +1 is the next line-or-space
+// upward (so even steps sit on lines, odd steps in spaces).
+type Note struct {
+	id       int
+	X        float64
+	Step     int
+	Duration Duration
+}
+
+// ID returns the score-assigned identity.
+func (n *Note) ID() int { return n.id }
+
+// Staff describes the drawing geometry of a five-line staff.
+type Staff struct {
+	// Left and Right bound the staff horizontally, in canvas coordinates.
+	Left, Right float64
+	// BaseY is the y coordinate of the bottom staff line.
+	BaseY float64
+	// Gap is the vertical distance between adjacent staff lines. A step is
+	// half a gap.
+	Gap float64
+}
+
+// StepY returns the y coordinate of a pitch step.
+func (s Staff) StepY(step int) float64 {
+	return s.BaseY - float64(step)*s.Gap/2
+}
+
+// YToStep returns the nearest pitch step for a y coordinate — the snapping
+// function for manipulation feedback.
+func (s Staff) YToStep(y float64) int {
+	return int(math.Round((s.BaseY - y) * 2 / s.Gap))
+}
+
+// ClampX keeps a time position inside the staff.
+func (s Staff) ClampX(x float64) float64 {
+	if x < s.Left {
+		return s.Left
+	}
+	if x > s.Right {
+		return s.Right
+	}
+	return x
+}
+
+// Score is a staff plus its notes, ordered by time position.
+type Score struct {
+	Staff  Staff
+	notes  []*Note
+	nextID int
+}
+
+// NewScore returns an empty score over the given staff.
+func NewScore(staff Staff) *Score {
+	return &Score{Staff: staff, nextID: 1}
+}
+
+// Add inserts a note, snapping its position onto the staff, and returns it.
+func (sc *Score) Add(x float64, step int, d Duration) *Note {
+	n := &Note{id: sc.nextID, X: sc.Staff.ClampX(x), Step: step, Duration: d}
+	sc.nextID++
+	sc.notes = append(sc.notes, n)
+	sc.sortNotes()
+	return n
+}
+
+// Remove deletes a note by identity; unknown notes are ignored.
+func (sc *Score) Remove(n *Note) {
+	for i, x := range sc.notes {
+		if x == n {
+			sc.notes = append(sc.notes[:i], sc.notes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Notes returns the notes in time order (do not mutate the slice).
+func (sc *Score) Notes() []*Note { return sc.notes }
+
+// Len returns the number of notes.
+func (sc *Score) Len() int { return len(sc.notes) }
+
+// At returns the note nearest to (x, y) within tol, or nil.
+func (sc *Score) At(x, y, tol float64) *Note {
+	var best *Note
+	bestD := tol
+	for _, n := range sc.notes {
+		dx := n.X - x
+		dy := sc.Staff.StepY(n.Step) - y
+		d := math.Hypot(dx, dy)
+		if d <= bestD {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+// Move repositions a note with snapping: x clamps to the staff, y snaps to
+// the nearest line or space.
+func (sc *Score) Move(n *Note, x, y float64) {
+	n.X = sc.Staff.ClampX(x)
+	n.Step = sc.Staff.YToStep(y)
+	sc.sortNotes()
+}
+
+func (sc *Score) sortNotes() {
+	sort.SliceStable(sc.notes, func(i, j int) bool { return sc.notes[i].X < sc.notes[j].X })
+}
+
+// Draw paints the staff and its notes.
+func (sc *Score) Draw(c *raster.Canvas) {
+	s := sc.Staff
+	for line := 0; line < 5; line++ {
+		y := s.StepY(line * 2)
+		c.Line(s.Left, y, s.Right, y, '-')
+	}
+	for _, n := range sc.notes {
+		sc.drawNote(c, n)
+	}
+}
+
+// drawNote paints a note head, stem, and flags.
+func (sc *Score) drawNote(c *raster.Canvas, n *Note) {
+	y := sc.Staff.StepY(n.Step)
+	c.SetF(n.X, y, '@')
+	// Stem upward, two gaps tall.
+	stemTop := y - 2*sc.Staff.Gap
+	c.Line(n.X+1, y-1, n.X+1, stemTop, '|')
+	// Flags off the stem top.
+	for f := 0; f < n.Duration.Flags(); f++ {
+		fy := stemTop + float64(f)*2
+		c.Line(n.X+1, fy, n.X+4, fy+1, '\\')
+	}
+}
+
+// String summarizes a note for logs.
+func (n *Note) String() string {
+	return fmt.Sprintf("%s#%d(x=%.0f,step=%d)", n.Duration, n.id, n.X, n.Step)
+}

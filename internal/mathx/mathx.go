@@ -1,0 +1,88 @@
+// Package mathx provides small numeric helpers shared by the geometry,
+// feature-extraction, and linear-algebra packages. All functions are pure
+// and allocation-free.
+package mathx
+
+import "math"
+
+// Eps is the default tolerance used by approximate comparisons throughout
+// the repository. It is deliberately loose: the recognizer operates on
+// mouse coordinates where sub-micro-pixel differences are meaningless.
+const Eps = 1e-9
+
+// NormalizeAngle maps an angle in radians into the half-open interval
+// (-pi, pi]. It is used when accumulating turn angles so that a near-straight
+// path contributes near-zero turning rather than +-2*pi artifacts.
+func NormalizeAngle(a float64) float64 {
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		return 0
+	}
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Clamp limits v to the closed interval [lo, hi]. It panics if lo > hi,
+// which always indicates a programming error at the call site.
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic("mathx: Clamp called with lo > hi")
+	}
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// ApproxEqual reports whether a and b are equal to within tol, using a
+// mixed absolute/relative test: |a-b| <= tol * max(1, |a|, |b|).
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Sq returns v*v. It exists because squaring shows up on the hot path of
+// feature extraction and reads better than math.Pow(v, 2).
+func Sq(v float64) float64 { return v * v }
+
+// SafeDiv returns num/den, or fallback when den is so small that the
+// division would be numerically meaningless. Feature extraction uses it to
+// guard the cosine/sine features of zero-length segments.
+func SafeDiv(num, den, fallback float64) float64 {
+	if math.Abs(den) < Eps {
+		return fallback
+	}
+	return num / den
+}
+
+// Finite reports whether v is neither NaN nor infinite.
+func Finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// MinInt returns the smaller of a and b.
+func MinInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxInt returns the larger of a and b.
+func MaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-2 * math.Pi, 0},
+		{3 * math.Pi, math.Pi},
+		{math.Pi / 2, math.Pi / 2},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		got := NormalizeAngle(c.in)
+		if !ApproxEqual(got, c.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := NormalizeAngle(v); got != 0 {
+			t.Errorf("NormalizeAngle(%v) = %v, want 0", v, got)
+		}
+	}
+}
+
+func TestNormalizeAngleRange(t *testing.T) {
+	f := func(a float64) bool {
+		if !Finite(a) {
+			return true
+		}
+		// Restrict to a sane magnitude; the loop-based normalization is
+		// intended for accumulated turn angles, not astronomic values.
+		a = math.Mod(a, 1000)
+		got := NormalizeAngle(a)
+		return got > -math.Pi-1e-12 && got <= math.Pi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeAnglePreservesModulo(t *testing.T) {
+	f := func(a float64) bool {
+		if !Finite(a) {
+			return true
+		}
+		a = math.Mod(a, 100)
+		got := NormalizeAngle(a)
+		// a and got must differ by an integer multiple of 2*pi.
+		k := (a - got) / (2 * math.Pi)
+		return ApproxEqual(k, math.Round(k), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 10); got != 5 {
+		t.Errorf("Clamp(5,0,10) = %v", got)
+	}
+	if got := Clamp(-1, 0, 10); got != 0 {
+		t.Errorf("Clamp(-1,0,10) = %v", got)
+	}
+	if got := Clamp(11, 0, 10); got != 10 {
+		t.Errorf("Clamp(11,0,10) = %v", got)
+	}
+}
+
+func TestClampPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp(0, 1, -1) did not panic")
+		}
+	}()
+	Clamp(0, 1, -1)
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("nearby values should compare equal")
+	}
+	if ApproxEqual(1.0, 1.1, 1e-9) {
+		t.Error("distant values should not compare equal")
+	}
+	// Relative tolerance: large magnitudes widen the window.
+	if !ApproxEqual(1e12, 1e12+1, 1e-9) {
+		t.Error("relative tolerance should absorb small absolute error at scale")
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if got := SafeDiv(10, 2, -1); got != 5 {
+		t.Errorf("SafeDiv(10,2) = %v", got)
+	}
+	if got := SafeDiv(10, 0, -1); got != -1 {
+		t.Errorf("SafeDiv(10,0) = %v, want fallback", got)
+	}
+	if got := SafeDiv(10, 1e-300, 7); got != 7 {
+		t.Errorf("SafeDiv with tiny denominator = %v, want fallback", got)
+	}
+}
+
+func TestSq(t *testing.T) {
+	if got := Sq(-3); got != 9 {
+		t.Errorf("Sq(-3) = %v", got)
+	}
+}
+
+func TestFinite(t *testing.T) {
+	if Finite(math.NaN()) || Finite(math.Inf(1)) || Finite(math.Inf(-1)) {
+		t.Error("NaN/Inf reported finite")
+	}
+	if !Finite(0) || !Finite(-1e300) {
+		t.Error("finite values reported non-finite")
+	}
+}
+
+func TestMinMaxInt(t *testing.T) {
+	if MinInt(2, 3) != 2 || MinInt(3, 2) != 2 {
+		t.Error("MinInt broken")
+	}
+	if MaxInt(2, 3) != 3 || MaxInt(3, 2) != 3 {
+		t.Error("MaxInt broken")
+	}
+}

@@ -1,0 +1,107 @@
+// Package multipath implements the paper's multi-finger extension
+// (section 6): "Using the Sensor Frame as an input device, I have
+// implemented a drawing program based on multiple finger gestures ... the
+// translate-rotate-scale gesture is made with two fingers, which during
+// the manipulation phase allow for simultaneous rotation, translation, and
+// scaling of graphic objects. Even some single finger gestures allow
+// additional fingers to be brought into the field of view during
+// manipulation, thus allowing additional parameters to be specified
+// interactively."
+//
+// The package provides:
+//
+//   - the two-point similarity-transform solver behind simultaneous
+//     translate-rotate-scale (TransformTracker);
+//   - a multi-finger interaction session that classifies the primary
+//     finger's stroke with the single-stroke (optionally eager) recognizer
+//     and routes additional fingers into the manipulation phase.
+//
+// The Sensor Frame itself is simulated: fingers are just identified
+// timed-point streams, which is all the algorithms consume.
+package multipath
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Transform is an incremental similarity transform: rotate by Rotate and
+// scale by Scale about Pivot, then translate by Translate. It is the delta
+// between two consecutive two-finger configurations.
+type Transform struct {
+	Pivot     geom.Point
+	Rotate    float64
+	Scale     float64
+	Translate geom.Point
+}
+
+// Identity reports whether the transform moves nothing.
+func (t Transform) Identity() bool {
+	return t.Rotate == 0 && t.Scale == 1 && t.Translate == (geom.Point{})
+}
+
+// Apply maps a point through the transform.
+func (t Transform) Apply(p geom.Point) geom.Point {
+	q := p.Sub(t.Pivot).Rotate(t.Rotate).Scale(t.Scale).Add(t.Pivot)
+	return q.Add(t.Translate)
+}
+
+// Transformable is anything the transform can drive — GDP shapes satisfy
+// it structurally.
+type Transformable interface {
+	Translate(dx, dy float64)
+	RotateScale(center geom.Point, angle, scale float64)
+}
+
+// ApplyTo drives a Transformable through the transform (rotate-scale about
+// the pivot, then translate).
+func (t Transform) ApplyTo(s Transformable) {
+	s.RotateScale(t.Pivot, t.Rotate, t.Scale)
+	s.Translate(t.Translate.X, t.Translate.Y)
+}
+
+// Solve computes the unique similarity transform mapping the segment
+// (a0, b0) onto (a1, b1): a0 maps exactly to a1 and b0 to b1 (when the
+// source fingers are not coincident; coincident fingers yield a pure
+// translation).
+func Solve(a0, b0, a1, b1 geom.Point) Transform {
+	d0 := b0.Sub(a0)
+	d1 := b1.Sub(a1)
+	n0 := d0.Norm()
+	mid0 := a0.Lerp(b0, 0.5)
+	mid1 := a1.Lerp(b1, 0.5)
+	if n0 < 1e-9 {
+		return Transform{Pivot: mid0, Scale: 1, Translate: mid1.Sub(mid0)}
+	}
+	scale := d1.Norm() / n0
+	rot := math.Atan2(d1.Y, d1.X) - math.Atan2(d0.Y, d0.X)
+	// Normalize into (-pi, pi] for sane incremental deltas.
+	for rot > math.Pi {
+		rot -= 2 * math.Pi
+	}
+	for rot <= -math.Pi {
+		rot += 2 * math.Pi
+	}
+	return Transform{Pivot: mid0, Rotate: rot, Scale: scale, Translate: mid1.Sub(mid0)}
+}
+
+// TransformTracker accumulates incremental transforms from a moving pair
+// of fingers. Each Update returns the delta since the previous Update
+// (or since construction).
+type TransformTracker struct {
+	a, b geom.Point
+}
+
+// NewTransformTracker starts tracking from the fingers' initial positions.
+func NewTransformTracker(a, b geom.Point) *TransformTracker {
+	return &TransformTracker{a: a, b: b}
+}
+
+// Update consumes new finger positions and returns the incremental
+// transform from the previous configuration to this one.
+func (t *TransformTracker) Update(a, b geom.Point) Transform {
+	tr := Solve(t.a, t.b, a, b)
+	t.a, t.b = a, b
+	return tr
+}

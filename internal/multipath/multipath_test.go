@@ -1,0 +1,142 @@
+package multipath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+func TestSolveMapsFingersExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pt := func() geom.Point {
+			return geom.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		}
+		a0, b0, a1, b1 := pt(), pt(), pt(), pt()
+		if a0.Dist(b0) < 1e-3 {
+			return true // coincident-finger case tested separately
+		}
+		tr := Solve(a0, b0, a1, b1)
+		ga := tr.Apply(a0)
+		gb := tr.Apply(b0)
+		return mathx.ApproxEqual(ga.X, a1.X, 1e-6) && mathx.ApproxEqual(ga.Y, a1.Y, 1e-6) &&
+			mathx.ApproxEqual(gb.X, b1.X, 1e-6) && mathx.ApproxEqual(gb.Y, b1.Y, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolvePureTranslation(t *testing.T) {
+	tr := Solve(geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 5), geom.Pt(15, 5))
+	if !mathx.ApproxEqual(tr.Rotate, 0, 1e-12) || !mathx.ApproxEqual(tr.Scale, 1, 1e-12) {
+		t.Errorf("rotation/scale: %+v", tr)
+	}
+	if tr.Translate != geom.Pt(5, 5) {
+		t.Errorf("translate: %+v", tr)
+	}
+}
+
+func TestSolvePureRotation(t *testing.T) {
+	// Fingers rotate 90 degrees about their midpoint (5, 0).
+	tr := Solve(geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, -5), geom.Pt(5, 5))
+	if !mathx.ApproxEqual(tr.Rotate, math.Pi/2, 1e-9) {
+		t.Errorf("rotate = %v", tr.Rotate)
+	}
+	if !mathx.ApproxEqual(tr.Scale, 1, 1e-9) {
+		t.Errorf("scale = %v", tr.Scale)
+	}
+	if tr.Translate.Norm() > 1e-9 {
+		t.Errorf("translate = %v", tr.Translate)
+	}
+}
+
+func TestSolvePureScale(t *testing.T) {
+	tr := Solve(geom.Pt(-5, 0), geom.Pt(5, 0), geom.Pt(-10, 0), geom.Pt(10, 0))
+	if !mathx.ApproxEqual(tr.Scale, 2, 1e-12) || !mathx.ApproxEqual(tr.Rotate, 0, 1e-12) {
+		t.Errorf("%+v", tr)
+	}
+}
+
+func TestSolveCoincidentFingers(t *testing.T) {
+	tr := Solve(geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(4, 5), geom.Pt(4, 5))
+	if tr.Scale != 1 || tr.Rotate != 0 {
+		t.Errorf("%+v", tr)
+	}
+	if tr.Translate != geom.Pt(3, 4) {
+		t.Errorf("translate = %v", tr.Translate)
+	}
+}
+
+func TestTransformIdentity(t *testing.T) {
+	if !(Transform{Scale: 1}).Identity() {
+		t.Error("identity not detected")
+	}
+	if (Transform{Scale: 1, Rotate: 0.1}).Identity() {
+		t.Error("rotation considered identity")
+	}
+}
+
+// stubShape implements Transformable for tests.
+type stubShape struct {
+	pts []geom.Point
+}
+
+func (s *stubShape) Translate(dx, dy float64) {
+	for i := range s.pts {
+		s.pts[i] = s.pts[i].Add(geom.Pt(dx, dy))
+	}
+}
+
+func (s *stubShape) RotateScale(center geom.Point, angle, scale float64) {
+	for i := range s.pts {
+		s.pts[i] = s.pts[i].Sub(center).Rotate(angle).Scale(scale).Add(center)
+	}
+}
+
+func TestApplyToMatchesApply(t *testing.T) {
+	sh := &stubShape{pts: []geom.Point{{X: 1, Y: 2}, {X: -3, Y: 4}, {X: 0, Y: 0}}}
+	want := make([]geom.Point, len(sh.pts))
+	tr := Solve(geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(2, 3), geom.Pt(5, 12))
+	for i, p := range sh.pts {
+		want[i] = tr.Apply(p)
+	}
+	tr.ApplyTo(sh)
+	for i := range want {
+		if !mathx.ApproxEqual(sh.pts[i].X, want[i].X, 1e-9) ||
+			!mathx.ApproxEqual(sh.pts[i].Y, want[i].Y, 1e-9) {
+			t.Fatalf("point %d: %v != %v", i, sh.pts[i], want[i])
+		}
+	}
+}
+
+func TestTrackerComposesToTotalTransform(t *testing.T) {
+	// Following a pair of fingers step by step must move a shape to the
+	// same place as the one-shot transform between the end configurations.
+	steps := 12
+	a0, b0 := geom.Pt(0, 0), geom.Pt(20, 0)
+	a1, b1 := geom.Pt(30, 10), geom.Pt(30, 38) // translate+rotate+scale
+
+	tracked := &stubShape{pts: []geom.Point{{X: 5, Y: 5}, {X: 10, Y: -5}}}
+	oneShot := &stubShape{pts: []geom.Point{{X: 5, Y: 5}, {X: 10, Y: -5}}}
+
+	tr := NewTransformTracker(a0, b0)
+	for i := 1; i <= steps; i++ {
+		f := float64(i) / float64(steps)
+		// Interpolate fingers along straight paths; rotation emerges from
+		// the changing segment orientation.
+		a := a0.Lerp(a1, f)
+		b := b0.Lerp(b1, f)
+		tr.Update(a, b).ApplyTo(tracked)
+	}
+	Solve(a0, b0, a1, b1).ApplyTo(oneShot)
+	for i := range tracked.pts {
+		if tracked.pts[i].Dist(oneShot.pts[i]) > 1e-6 {
+			t.Fatalf("point %d: incremental %v vs one-shot %v", i, tracked.pts[i], oneShot.pts[i])
+		}
+	}
+}

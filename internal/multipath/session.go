@@ -1,0 +1,195 @@
+package multipath
+
+import (
+	"sort"
+
+	"repro/internal/eager"
+	"repro/internal/geom"
+)
+
+// FingerID identifies one finger in the (simulated) Sensor Frame's field
+// of view.
+type FingerID int
+
+// EventKind enumerates finger events.
+type EventKind int
+
+// Finger event kinds.
+const (
+	FingerDown EventKind = iota
+	FingerMove
+	FingerUp
+)
+
+// Event is one finger sample.
+type Event struct {
+	Finger FingerID
+	Kind   EventKind
+	X, Y   float64
+	T      float64
+}
+
+// Session is a multi-finger two-phase interaction: the primary (first)
+// finger's stroke is collected and classified — eagerly when the
+// recognizer allows — and once recognized, a second finger joins to drive
+// simultaneous translate-rotate-scale manipulation. Additional fingers
+// beyond the second are counted and surfaced so applications can map them
+// to extra parameters (the paper's color/thickness example).
+type Session struct {
+	rec *eager.Recognizer
+
+	// OnRecognized fires once, at the phase transition.
+	OnRecognized func(class string)
+	// OnTransform fires for each two-finger manipulation delta.
+	OnTransform func(tr Transform)
+	// OnExtraFingers fires when the number of fingers beyond the first two
+	// changes during manipulation.
+	OnExtraFingers func(n int)
+
+	fingers map[FingerID]geom.Point
+	order   []FingerID // arrival order of live fingers
+	stream  *eager.Session
+	class   string
+	decided bool
+	tracker *TransformTracker
+	extra   int
+}
+
+// NewSession starts a multi-finger interaction over the given recognizer.
+func NewSession(rec *eager.Recognizer) *Session {
+	return &Session{rec: rec, fingers: make(map[FingerID]geom.Point)}
+}
+
+// Class returns the recognized class, or "" before recognition.
+func (s *Session) Class() string { return s.class }
+
+// Decided reports whether the gesture phase has ended.
+func (s *Session) Decided() bool { return s.decided }
+
+// FingerCount returns the number of fingers currently in view.
+func (s *Session) FingerCount() int { return len(s.order) }
+
+func (s *Session) primary() (FingerID, bool) {
+	if len(s.order) == 0 {
+		return 0, false
+	}
+	return s.order[0], true
+}
+
+// manipPair returns the two manipulation fingers (the two longest-lived).
+func (s *Session) manipPair() (geom.Point, geom.Point, bool) {
+	if len(s.order) < 2 {
+		return geom.Point{}, geom.Point{}, false
+	}
+	return s.fingers[s.order[0]], s.fingers[s.order[1]], true
+}
+
+func (s *Session) decide(class string) {
+	if s.decided {
+		return
+	}
+	s.decided = true
+	s.class = class
+	if s.OnRecognized != nil {
+		s.OnRecognized(class)
+	}
+}
+
+// Handle consumes one finger event.
+func (s *Session) Handle(ev Event) {
+	p := geom.Pt(ev.X, ev.Y)
+	switch ev.Kind {
+	case FingerDown:
+		if _, live := s.fingers[ev.Finger]; !live {
+			s.order = append(s.order, ev.Finger)
+		}
+		s.fingers[ev.Finger] = p
+		if len(s.order) == 1 {
+			// Primary finger starts the gesture.
+			s.stream = s.rec.NewSession()
+			if fired, class := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T}); fired {
+				s.decide(class)
+			}
+			return
+		}
+		// A second (or later) finger arriving forces the phase transition:
+		// the remaining interaction is manipulation.
+		if !s.decided {
+			s.decide(s.stream.End())
+		}
+		s.syncManipState()
+
+	case FingerMove:
+		if _, live := s.fingers[ev.Finger]; !live {
+			return // unknown finger; ignore
+		}
+		s.fingers[ev.Finger] = p
+		prim, _ := s.primary()
+		if !s.decided {
+			if ev.Finger != prim {
+				return
+			}
+			if fired, class := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T}); fired {
+				s.decide(class)
+				s.syncManipState()
+			}
+			return
+		}
+		if a, b, ok := s.manipPair(); ok && s.tracker != nil &&
+			(ev.Finger == s.order[0] || ev.Finger == s.order[1]) {
+			tr := s.tracker.Update(a, b)
+			if s.OnTransform != nil && !tr.Identity() {
+				s.OnTransform(tr)
+			}
+		}
+
+	case FingerUp:
+		if _, live := s.fingers[ev.Finger]; !live {
+			return
+		}
+		delete(s.fingers, ev.Finger)
+		for i, id := range s.order {
+			if id == ev.Finger {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		if len(s.order) == 0 && !s.decided {
+			// Interaction ended during collection: classify in full.
+			s.decide(s.stream.End())
+			return
+		}
+		s.syncManipState()
+	}
+}
+
+// syncManipState rebuilds the transform tracker and extra-finger count
+// after the finger population changes.
+func (s *Session) syncManipState() {
+	if !s.decided {
+		return
+	}
+	if a, b, ok := s.manipPair(); ok {
+		s.tracker = NewTransformTracker(a, b)
+	} else {
+		s.tracker = nil
+	}
+	extra := len(s.order) - 2
+	if extra < 0 {
+		extra = 0
+	}
+	if extra != s.extra {
+		s.extra = extra
+		if s.OnExtraFingers != nil {
+			s.OnExtraFingers(extra)
+		}
+	}
+}
+
+// LiveFingers returns the identifiers of fingers in view, in arrival
+// order (for tests and debugging).
+func (s *Session) LiveFingers() []FingerID {
+	out := append([]FingerID(nil), s.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,201 @@
+package multipath
+
+import (
+	"testing"
+
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/synth"
+)
+
+func trainRec(t *testing.T) *eager.Recognizer {
+	t.Helper()
+	set, _ := synth.NewGenerator(synth.DefaultParams(7)).Set("train", synth.UDClasses(), 12)
+	rec, _, err := eager.Train(set, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// playPrimary feeds a gesture's points as finger-0 events.
+func playPrimary(s *Session, g geom.Path) {
+	for i, p := range g {
+		kind := FingerMove
+		if i == 0 {
+			kind = FingerDown
+		}
+		s.Handle(Event{Finger: 0, Kind: kind, X: p.X, Y: p.Y, T: p.T})
+	}
+}
+
+func sampleUD(t *testing.T, class int) geom.Path {
+	t.Helper()
+	gen := synth.NewGenerator(synth.DefaultParams(51))
+	return gen.Sample(synth.UDClasses()[class]).G.Points
+}
+
+func TestSingleFingerGestureRecognized(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	var recognized string
+	s.OnRecognized = func(class string) { recognized = class }
+	g := sampleUD(t, 0) // class U
+	playPrimary(s, g)
+	last := g[len(g)-1]
+	s.Handle(Event{Finger: 0, Kind: FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+	if recognized != "U" {
+		t.Fatalf("recognized %q", recognized)
+	}
+	if !s.Decided() || s.Class() != "U" {
+		t.Fatal("session state wrong")
+	}
+	if s.FingerCount() != 0 {
+		t.Fatalf("fingers still live: %v", s.LiveFingers())
+	}
+}
+
+func TestSecondFingerForcesTransition(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	fired := 0
+	s.OnRecognized = func(class string) { fired++ }
+	g := sampleUD(t, 1) // class D
+	// Feed only the first few points — likely still ambiguous — then land
+	// a second finger.
+	for i := 0; i < 4; i++ {
+		kind := FingerMove
+		if i == 0 {
+			kind = FingerDown
+		}
+		s.Handle(Event{Finger: 0, Kind: kind, X: g[i].X, Y: g[i].Y, T: g[i].T})
+	}
+	s.Handle(Event{Finger: 1, Kind: FingerDown, X: g[3].X + 40, Y: g[3].Y, T: g[3].T + 0.02})
+	if fired != 1 {
+		t.Fatalf("recognition fired %d times", fired)
+	}
+	if !s.Decided() {
+		t.Fatal("second finger did not force the phase transition")
+	}
+	if s.FingerCount() != 2 {
+		t.Fatalf("finger count %d", s.FingerCount())
+	}
+}
+
+func TestTwoFingerTranslateRotateScale(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	sh := &stubShape{pts: []geom.Point{{X: 100, Y: 100}, {X: 120, Y: 100}}}
+	s.OnTransform = func(tr Transform) { tr.ApplyTo(sh) }
+
+	g := sampleUD(t, 0)
+	playPrimary(s, g) // full gesture: recognized by the end at latest
+	last := g[len(g)-1]
+	if !s.Decided() {
+		// Force transition with the second finger if eager didn't fire.
+		s.Handle(Event{Finger: 1, Kind: FingerDown, X: last.X + 30, Y: last.Y, T: last.T + 0.02})
+	} else {
+		s.Handle(Event{Finger: 1, Kind: FingerDown, X: last.X + 30, Y: last.Y, T: last.T + 0.02})
+	}
+
+	// Move finger 1 to double the finger separation: pure scale about the
+	// pair. The shape's segment length must grow accordingly.
+	before := sh.pts[0].Dist(sh.pts[1])
+	s.Handle(Event{Finger: 1, Kind: FingerMove, X: last.X + 60, Y: last.Y, T: last.T + 0.06})
+	after := sh.pts[0].Dist(sh.pts[1])
+	if after <= before*1.5 {
+		t.Fatalf("scale not applied: %v -> %v", before, after)
+	}
+
+	// Move both fingers rigidly: pure translation.
+	p0 := sh.pts[0]
+	s.Handle(Event{Finger: 0, Kind: FingerMove, X: last.X + 10, Y: last.Y + 20, T: last.T + 0.08})
+	s.Handle(Event{Finger: 1, Kind: FingerMove, X: last.X + 70, Y: last.Y + 20, T: last.T + 0.10})
+	moved := sh.pts[0].Sub(p0)
+	if moved.Norm() < 15 {
+		t.Fatalf("translation not applied: moved %v", moved)
+	}
+}
+
+func TestExtraFingersSurface(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	var extras []int
+	s.OnExtraFingers = func(n int) { extras = append(extras, n) }
+	g := sampleUD(t, 0)
+	playPrimary(s, g)
+	last := g[len(g)-1]
+	s.Handle(Event{Finger: 1, Kind: FingerDown, X: last.X + 30, Y: last.Y, T: last.T + 0.02})
+	s.Handle(Event{Finger: 2, Kind: FingerDown, X: last.X + 60, Y: last.Y, T: last.T + 0.04})
+	s.Handle(Event{Finger: 3, Kind: FingerDown, X: last.X + 90, Y: last.Y, T: last.T + 0.05})
+	s.Handle(Event{Finger: 3, Kind: FingerUp, X: last.X + 90, Y: last.Y, T: last.T + 0.06})
+	want := []int{1, 2, 1}
+	if len(extras) != len(want) {
+		t.Fatalf("extras = %v", extras)
+	}
+	for i := range want {
+		if extras[i] != want[i] {
+			t.Fatalf("extras = %v, want %v", extras, want)
+		}
+	}
+}
+
+func TestUnknownFingerEventsIgnored(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	// Moves/ups for fingers never seen must not panic or change state.
+	s.Handle(Event{Finger: 9, Kind: FingerMove, X: 1, Y: 1, T: 0})
+	s.Handle(Event{Finger: 9, Kind: FingerUp, X: 1, Y: 1, T: 0})
+	if s.FingerCount() != 0 || s.Decided() {
+		t.Fatal("stray events changed state")
+	}
+}
+
+func TestNonPrimaryMovesIgnoredDuringCollection(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	g := sampleUD(t, 0)
+	s.Handle(Event{Finger: 0, Kind: FingerDown, X: g[0].X, Y: g[0].Y, T: g[0].T})
+	// A second finger lands immediately: transition is forced on a
+	// one-point gesture; it must not crash, and classification happens via
+	// the full classifier.
+	s.Handle(Event{Finger: 1, Kind: FingerDown, X: g[0].X + 5, Y: g[0].Y, T: g[0].T + 0.01})
+	if !s.Decided() {
+		t.Fatal("transition not forced")
+	}
+	if s.Class() == "" {
+		t.Fatal("no class assigned")
+	}
+}
+
+func TestLiveFingersSorted(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	s.Handle(Event{Finger: 5, Kind: FingerDown, X: 1, Y: 1, T: 0})
+	s.Handle(Event{Finger: 2, Kind: FingerDown, X: 2, Y: 2, T: 0.01})
+	ids := s.LiveFingers()
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 5 {
+		t.Fatalf("LiveFingers = %v", ids)
+	}
+	// All fingers up during collection forces a final classification.
+	s2 := NewSession(rec)
+	g := sampleUD(t, 0)
+	s2.Handle(Event{Finger: 0, Kind: FingerDown, X: g[0].X, Y: g[0].Y, T: g[0].T})
+	s2.Handle(Event{Finger: 0, Kind: FingerMove, X: g[1].X, Y: g[1].Y, T: g[1].T})
+	s2.Handle(Event{Finger: 0, Kind: FingerUp, X: g[1].X, Y: g[1].Y, T: g[1].T + 0.01})
+	if !s2.Decided() || s2.Class() == "" {
+		t.Fatal("lift during collection did not classify")
+	}
+}
+
+func TestRepeatedDownSameFinger(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	g := sampleUD(t, 0)
+	s.Handle(Event{Finger: 0, Kind: FingerDown, X: g[0].X, Y: g[0].Y, T: g[0].T})
+	// A duplicate down for a live finger must not duplicate it.
+	s.Handle(Event{Finger: 0, Kind: FingerDown, X: g[1].X, Y: g[1].Y, T: g[1].T})
+	if s.FingerCount() != 1 {
+		t.Fatalf("finger count %d", s.FingerCount())
+	}
+}

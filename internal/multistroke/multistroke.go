@@ -1,0 +1,219 @@
+// Package multistroke implements the paper's multi-stroke extension
+// (section 6): "Other extensions includ[e] handling multi-stroke
+// gestures." GRANDMA itself supports only single strokes — "The major
+// drawback is that many common marks (e.g. 'X' and '=>') cannot be used
+// as gestures" — and the paper points at the known adaptation techniques
+// for turning single-stroke recognizers into multi-stroke ones.
+//
+// This package implements that adaptation in the standard way: strokes
+// drawn within an inter-stroke timeout and within a spatial neighborhood
+// are grouped into one mark; each stroke is classified with the
+// single-stroke classifier; and the resulting class sequence is matched
+// against registered multi-stroke definitions. An "X" is two "slash"
+// strokes whose bounding boxes overlap; an arrow is a shaft stroke
+// followed by a chevron stroke; and so on.
+package multistroke
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/recognizer"
+)
+
+// Definition describes one multi-stroke gesture class.
+type Definition struct {
+	// Name of the multi-stroke class.
+	Name string
+	// Strokes is the expected sequence of single-stroke classes, in
+	// drawing order.
+	Strokes []string
+	// RequireOverlap additionally demands that every stroke's bounding box
+	// intersect the union of the previous strokes' boxes (an "X" needs its
+	// two slashes to cross; a "=" keeps its bars apart but still nearby).
+	RequireOverlap bool
+}
+
+// Config tunes stroke grouping.
+type Config struct {
+	// InterStrokeTimeout is the maximum gap, in seconds, between the end
+	// of one stroke and the start of the next for them to join one mark.
+	// The paper notes single-stroke gestures "allow the use of short
+	// timeouts"; multi-stroke marks need one. Default 0.6 s.
+	InterStrokeTimeout float64
+	// MaxDistance is the maximum distance between a new stroke's start and
+	// the previous strokes' combined bounding box (inflated by this
+	// amount) for grouping. Default 80 px.
+	MaxDistance float64
+}
+
+// DefaultConfig returns the standard grouping parameters.
+func DefaultConfig() Config {
+	return Config{InterStrokeTimeout: 0.6, MaxDistance: 80}
+}
+
+// Recognizer matches grouped stroke sequences against definitions.
+type Recognizer struct {
+	single *recognizer.Full
+	cfg    Config
+	defs   []Definition
+}
+
+// New builds a multi-stroke recognizer over a trained single-stroke
+// classifier.
+func New(single *recognizer.Full, cfg Config) *Recognizer {
+	if cfg.InterStrokeTimeout <= 0 {
+		cfg.InterStrokeTimeout = 0.6
+	}
+	if cfg.MaxDistance <= 0 {
+		cfg.MaxDistance = 80
+	}
+	return &Recognizer{single: single, cfg: cfg}
+}
+
+// Define registers a multi-stroke class. Definitions are matched in
+// registration order; the first full match wins.
+func (r *Recognizer) Define(d Definition) error {
+	if d.Name == "" || len(d.Strokes) == 0 {
+		return errors.New("multistroke: definition needs a name and at least one stroke")
+	}
+	for _, s := range d.Strokes {
+		if r.single.C.ClassIndex(s) < 0 {
+			return fmt.Errorf("multistroke: %q uses unknown single-stroke class %q", d.Name, s)
+		}
+	}
+	r.defs = append(r.defs, d)
+	return nil
+}
+
+// Mark is one recognized multi-stroke gesture.
+type Mark struct {
+	Name    string            // matched definition, or "" when unmatched
+	Classes []string          // per-stroke single-stroke classes
+	Strokes []gesture.Gesture // the strokes themselves
+	Bounds  geom.Rect
+}
+
+// Session groups incoming strokes into marks. Feed every completed stroke
+// with AddStroke; when a stroke does not join the current group (too late
+// or too far), the current group is emitted as a Mark and a new group
+// starts. Call Flush at the end of input.
+type Session struct {
+	r       *Recognizer
+	current []gesture.Gesture
+	classes []string
+	bounds  geom.Rect
+	lastEnd float64
+}
+
+// NewSession starts grouping strokes.
+func (r *Recognizer) NewSession() *Session {
+	return &Session{r: r, bounds: geom.EmptyRect()}
+}
+
+// AddStroke feeds one completed stroke. If the stroke starts a new group,
+// the finished previous group is returned as a Mark (nil otherwise).
+func (s *Session) AddStroke(g gesture.Gesture) *Mark {
+	if g.Len() == 0 {
+		return nil
+	}
+	var emitted *Mark
+	if len(s.current) > 0 && !s.joins(g) {
+		emitted = s.finish()
+	}
+	s.current = append(s.current, g)
+	s.classes = append(s.classes, s.r.single.Classify(g))
+	s.bounds = s.bounds.Union(g.Bounds())
+	s.lastEnd = g.End().T
+	return emitted
+}
+
+// joins reports whether a new stroke belongs to the current group.
+func (s *Session) joins(g gesture.Gesture) bool {
+	if g.Start().T-s.lastEnd > s.r.cfg.InterStrokeTimeout {
+		return false
+	}
+	near := s.bounds.Inset(-s.r.cfg.MaxDistance)
+	return near.Contains(g.Start().Point())
+}
+
+// Flush emits the in-progress group (nil when empty).
+func (s *Session) Flush() *Mark {
+	if len(s.current) == 0 {
+		return nil
+	}
+	return s.finish()
+}
+
+func (s *Session) finish() *Mark {
+	m := &Mark{
+		Classes: s.classes,
+		Strokes: s.current,
+		Bounds:  s.bounds,
+	}
+	m.Name = s.r.match(m)
+	s.current = nil
+	s.classes = nil
+	s.bounds = geom.EmptyRect()
+	return m
+}
+
+// match finds the first definition matching the mark's class sequence (and
+// overlap requirement).
+func (r *Recognizer) match(m *Mark) string {
+	for _, d := range r.defs {
+		if len(d.Strokes) != len(m.Classes) {
+			continue
+		}
+		ok := true
+		for i := range d.Strokes {
+			if d.Strokes[i] != m.Classes[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if d.RequireOverlap && !marksOverlap(m.Strokes) {
+			continue
+		}
+		return d.Name
+	}
+	return ""
+}
+
+// marksOverlap reports whether each stroke's bounds intersect the union of
+// the earlier strokes' bounds.
+func marksOverlap(strokes []gesture.Gesture) bool {
+	if len(strokes) < 2 {
+		return true
+	}
+	acc := strokes[0].Bounds()
+	for _, g := range strokes[1:] {
+		b := g.Bounds()
+		if !acc.Intersects(b) {
+			return false
+		}
+		acc = acc.Union(b)
+	}
+	return true
+}
+
+// Recognize is the batch convenience: group and match a whole sequence of
+// strokes, returning every completed mark.
+func (r *Recognizer) Recognize(strokes []gesture.Gesture) []*Mark {
+	s := r.NewSession()
+	var out []*Mark
+	for _, g := range strokes {
+		if m := s.AddStroke(g); m != nil {
+			out = append(out, m)
+		}
+	}
+	if m := s.Flush(); m != nil {
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package multistroke
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/recognizer"
+	"repro/internal/synth"
+)
+
+// strokeClasses are the single-stroke alphabet for multi-stroke marks.
+func strokeClasses() []synth.Class {
+	return []synth.Class{
+		{Name: "slash", Skeleton: []geom.Point{{X: 0, Y: 60}, {X: 55, Y: 0}}, DecisionVertex: -1},
+		{Name: "backslash", Skeleton: []geom.Point{{X: 0, Y: 0}, {X: 55, Y: 60}}, DecisionVertex: -1},
+		{Name: "hbar", Skeleton: []geom.Point{{X: 0, Y: 0}, {X: 60, Y: 0}}, DecisionVertex: -1},
+		{Name: "vbar", Skeleton: []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 60}}, DecisionVertex: -1},
+	}
+}
+
+func trainSingle(t *testing.T) *recognizer.Full {
+	t.Helper()
+	set, _ := synth.NewGenerator(synth.DefaultParams(3)).Set("strokes", strokeClasses(), 12)
+	full, err := recognizer.Train(set, recognizer.DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+func newRec(t *testing.T) *Recognizer {
+	t.Helper()
+	r := New(trainSingle(t), DefaultConfig())
+	for _, d := range []Definition{
+		{Name: "X", Strokes: []string{"slash", "backslash"}, RequireOverlap: true},
+		{Name: "equals", Strokes: []string{"hbar", "hbar"}},
+		{Name: "plus", Strokes: []string{"hbar", "vbar"}, RequireOverlap: true},
+	} {
+		if err := r.Define(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// strokeAt synthesizes one named stroke anchored at origin, starting at
+// time t0.
+func strokeAt(t *testing.T, gen *synth.Generator, name string, origin geom.Point, t0 float64) gesture.Gesture {
+	t.Helper()
+	for _, c := range strokeClasses() {
+		if c.Name == name {
+			s := gen.SampleAt(c, origin)
+			return gesture.New(s.G.Points.TimeShift(t0 - s.G.Points[0].T))
+		}
+	}
+	t.Fatalf("no stroke class %q", name)
+	return gesture.Gesture{}
+}
+
+func cleanGen(seed int64) *synth.Generator {
+	p := synth.DefaultParams(seed)
+	p.Jitter = 0.5
+	p.RotJitter = 0.01
+	p.CornerLoopProb = 0
+	return synth.NewGenerator(p)
+}
+
+func TestXMark(t *testing.T) {
+	r := newRec(t)
+	gen := cleanGen(5)
+	// Two crossing slashes drawn 0.3 s apart.
+	s1 := strokeAt(t, gen, "slash", geom.Pt(100, 100), 0)
+	s2 := strokeAt(t, gen, "backslash", geom.Pt(100, 70), s1.End().T+0.3)
+	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	if len(marks) != 1 {
+		t.Fatalf("marks = %d", len(marks))
+	}
+	if marks[0].Name != "X" {
+		t.Fatalf("mark = %q (classes %v)", marks[0].Name, marks[0].Classes)
+	}
+	if len(marks[0].Strokes) != 2 {
+		t.Fatalf("strokes in mark = %d", len(marks[0].Strokes))
+	}
+}
+
+func TestEqualsMark(t *testing.T) {
+	r := newRec(t)
+	gen := cleanGen(6)
+	s1 := strokeAt(t, gen, "hbar", geom.Pt(100, 100), 0)
+	s2 := strokeAt(t, gen, "hbar", geom.Pt(100, 120), s1.End().T+0.25)
+	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	if len(marks) != 1 || marks[0].Name != "equals" {
+		t.Fatalf("marks = %+v", marks)
+	}
+}
+
+func TestTimeoutSplitsMarks(t *testing.T) {
+	r := newRec(t)
+	gen := cleanGen(7)
+	s1 := strokeAt(t, gen, "slash", geom.Pt(100, 100), 0)
+	// Second stroke starts 2 s later: a separate mark.
+	s2 := strokeAt(t, gen, "backslash", geom.Pt(100, 40), s1.End().T+2)
+	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	if len(marks) != 2 {
+		t.Fatalf("marks = %d, want 2 separate", len(marks))
+	}
+	// Single strokes match no multi-stroke definition.
+	if marks[0].Name != "" || marks[1].Name != "" {
+		t.Fatalf("single strokes matched: %q %q", marks[0].Name, marks[1].Name)
+	}
+}
+
+func TestDistanceSplitsMarks(t *testing.T) {
+	r := newRec(t)
+	gen := cleanGen(8)
+	s1 := strokeAt(t, gen, "hbar", geom.Pt(100, 100), 0)
+	// Quick but far away: separate mark.
+	s2 := strokeAt(t, gen, "hbar", geom.Pt(600, 300), s1.End().T+0.2)
+	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	if len(marks) != 2 {
+		t.Fatalf("marks = %d, want 2", len(marks))
+	}
+}
+
+func TestOverlapRequirement(t *testing.T) {
+	r := newRec(t)
+	gen := cleanGen(9)
+	// Slash and backslash near in time but NOT crossing: classes match X
+	// but the overlap requirement fails.
+	s1 := strokeAt(t, gen, "slash", geom.Pt(100, 100), 0)
+	s2 := strokeAt(t, gen, "backslash", geom.Pt(170, 30), s1.End().T+0.2)
+	if s1.Bounds().Intersects(s2.Bounds()) {
+		t.Fatal("test setup: strokes unexpectedly overlap")
+	}
+	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	if len(marks) != 1 {
+		t.Fatalf("marks = %d", len(marks))
+	}
+	if marks[0].Name == "X" {
+		t.Fatal("non-crossing slashes matched X")
+	}
+}
+
+func TestStreamingSession(t *testing.T) {
+	r := newRec(t)
+	gen := cleanGen(10)
+	s := r.NewSession()
+	s1 := strokeAt(t, gen, "hbar", geom.Pt(100, 100), 0)
+	s2 := strokeAt(t, gen, "vbar", geom.Pt(130, 70), s1.End().T+0.2)
+	if m := s.AddStroke(s1); m != nil {
+		t.Fatal("first stroke emitted a mark")
+	}
+	if m := s.AddStroke(s2); m != nil {
+		t.Fatal("joined stroke emitted a mark")
+	}
+	// A distant stroke closes the plus.
+	s3 := strokeAt(t, gen, "hbar", geom.Pt(500, 300), s2.End().T+0.2)
+	m := s.AddStroke(s3)
+	if m == nil || m.Name != "plus" {
+		t.Fatalf("emitted mark = %+v", m)
+	}
+	final := s.Flush()
+	if final == nil || final.Name != "" || len(final.Strokes) != 1 {
+		t.Fatalf("flush = %+v", final)
+	}
+	if s.Flush() != nil {
+		t.Fatal("second flush emitted")
+	}
+	if s.AddStroke(gesture.Gesture{}) != nil {
+		t.Fatal("empty stroke emitted")
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	r := New(trainSingle(t), Config{})
+	if err := r.Define(Definition{Name: "", Strokes: []string{"hbar"}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Define(Definition{Name: "x", Strokes: nil}); err == nil {
+		t.Error("empty strokes accepted")
+	}
+	if err := r.Define(Definition{Name: "x", Strokes: []string{"nosuch"}}); err == nil {
+		t.Error("unknown stroke class accepted")
+	}
+}

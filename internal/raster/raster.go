@@ -1,0 +1,235 @@
+// Package raster implements a small software canvas used as GRANDMA's
+// frame buffer in this headless reproduction. Views paint glyphs into a
+// byte grid; tests and the cmd tools observe rendering through ASCII
+// snapshots. It supports the primitives GDP draws: lines (Bresenham),
+// axis-aligned and rotated rectangles, midpoint ellipses, dotted gesture
+// ink, and text labels.
+package raster
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Canvas is a W x H grid of glyph bytes. The zero byte renders as the
+// background character. Construct with NewCanvas.
+type Canvas struct {
+	W, H int
+	pix  []byte
+}
+
+// Background is the glyph used for unset cells in String output.
+const Background = '.'
+
+// NewCanvas returns a cleared canvas. Dimensions must be positive.
+func NewCanvas(w, h int) *Canvas {
+	if w <= 0 || h <= 0 {
+		panic("raster: non-positive canvas dimensions")
+	}
+	return &Canvas{W: w, H: h, pix: make([]byte, w*h)}
+}
+
+// Clear resets every cell.
+func (c *Canvas) Clear() {
+	for i := range c.pix {
+		c.pix[i] = 0
+	}
+}
+
+// Set paints glyph ch at integer cell (x, y). Out-of-bounds paints are
+// clipped silently — shapes may legitimately extend past the canvas.
+func (c *Canvas) Set(x, y int, ch byte) {
+	if x < 0 || y < 0 || x >= c.W || y >= c.H {
+		return
+	}
+	c.pix[y*c.W+x] = ch
+}
+
+// At returns the glyph at (x, y), or 0 when out of bounds or unset.
+func (c *Canvas) At(x, y int) byte {
+	if x < 0 || y < 0 || x >= c.W || y >= c.H {
+		return 0
+	}
+	return c.pix[y*c.W+x]
+}
+
+// SetF paints at a float position, rounding to the nearest cell.
+func (c *Canvas) SetF(x, y float64, ch byte) {
+	c.Set(int(math.Round(x)), int(math.Round(y)), ch)
+}
+
+// Line draws a straight line with Bresenham's algorithm.
+func (c *Canvas) Line(x0, y0, x1, y1 float64, ch byte) {
+	ix0, iy0 := int(math.Round(x0)), int(math.Round(y0))
+	ix1, iy1 := int(math.Round(x1)), int(math.Round(y1))
+	dx := abs(ix1 - ix0)
+	dy := -abs(iy1 - iy0)
+	sx, sy := 1, 1
+	if ix0 > ix1 {
+		sx = -1
+	}
+	if iy0 > iy1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		c.Set(ix0, iy0, ch)
+		if ix0 == ix1 && iy0 == iy1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			ix0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			iy0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Rect strokes an axis-aligned rectangle outline.
+func (c *Canvas) Rect(r geom.Rect, ch byte) {
+	if r.Empty() {
+		return
+	}
+	c.Line(r.MinX, r.MinY, r.MaxX, r.MinY, ch)
+	c.Line(r.MaxX, r.MinY, r.MaxX, r.MaxY, ch)
+	c.Line(r.MaxX, r.MaxY, r.MinX, r.MaxY, ch)
+	c.Line(r.MinX, r.MaxY, r.MinX, r.MinY, ch)
+}
+
+// Polygon strokes a closed polygon through the given vertices.
+func (c *Canvas) Polygon(pts []geom.Point, ch byte) {
+	if len(pts) < 2 {
+		return
+	}
+	for i := 1; i < len(pts); i++ {
+		c.Line(pts[i-1].X, pts[i-1].Y, pts[i].X, pts[i].Y, ch)
+	}
+	c.Line(pts[len(pts)-1].X, pts[len(pts)-1].Y, pts[0].X, pts[0].Y, ch)
+}
+
+// Ellipse strokes an axis-aligned ellipse centered at (cx, cy) with radii
+// rx and ry, by sampling the parametric form densely enough for the raster
+// resolution.
+func (c *Canvas) Ellipse(cx, cy, rx, ry float64, ch byte) {
+	if rx < 0 || ry < 0 {
+		return
+	}
+	steps := int(8 * (rx + ry))
+	if steps < 16 {
+		steps = 16
+	}
+	for i := 0; i <= steps; i++ {
+		a := 2 * math.Pi * float64(i) / float64(steps)
+		c.SetF(cx+rx*math.Cos(a), cy+ry*math.Sin(a), ch)
+	}
+}
+
+// Path strokes a polyline through timed points, connecting consecutive
+// samples. Used for gesture ink.
+func (c *Canvas) Path(p geom.Path, ch byte) {
+	for i := 1; i < len(p); i++ {
+		c.Line(p[i-1].X, p[i-1].Y, p[i].X, p[i].Y, ch)
+	}
+	if len(p) == 1 {
+		c.SetF(p[0].X, p[0].Y, ch)
+	}
+}
+
+// Dotted marks every sample of a path without connecting them — the
+// paper's figures draw gestures "with dotted lines".
+func (c *Canvas) Dotted(p geom.Path, ch byte) {
+	for _, tp := range p {
+		c.SetF(tp.X, tp.Y, ch)
+	}
+}
+
+// Text writes a string horizontally starting at cell (x, y), one glyph per
+// cell, clipped at the canvas edge.
+func (c *Canvas) Text(x, y int, s string) {
+	for i := 0; i < len(s); i++ {
+		c.Set(x+i, y, s[i])
+	}
+}
+
+// Count returns the number of cells painted with glyph ch.
+func (c *Canvas) Count(ch byte) int {
+	n := 0
+	for _, b := range c.pix {
+		if b == ch {
+			n++
+		}
+	}
+	return n
+}
+
+// NonEmpty returns the number of painted (non-zero) cells.
+func (c *Canvas) NonEmpty() int {
+	n := 0
+	for _, b := range c.pix {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Downsample returns a reduced canvas in which each output cell covers an
+// sx-by-sy block of this canvas and takes the block's first painted glyph
+// (scanning row-major). Terminal cells are roughly twice as tall as wide,
+// so sy is typically about 2*sx. Factors must be positive.
+func (c *Canvas) Downsample(sx, sy int) *Canvas {
+	if sx <= 0 || sy <= 0 {
+		panic("raster: non-positive downsample factors")
+	}
+	w := (c.W + sx - 1) / sx
+	h := (c.H + sy - 1) / sy
+	out := NewCanvas(w, h)
+	for oy := 0; oy < h; oy++ {
+		for ox := 0; ox < w; ox++ {
+			var glyph byte
+		block:
+			for y := oy * sy; y < (oy+1)*sy && y < c.H; y++ {
+				for x := ox * sx; x < (ox+1)*sx && x < c.W; x++ {
+					if b := c.pix[y*c.W+x]; b != 0 {
+						glyph = b
+						break block
+					}
+				}
+			}
+			if glyph != 0 {
+				out.Set(ox, oy, glyph)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the canvas as H lines of W characters.
+func (c *Canvas) String() string {
+	var sb strings.Builder
+	sb.Grow((c.W + 1) * c.H)
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			b := c.pix[y*c.W+x]
+			if b == 0 {
+				b = Background
+			}
+			sb.WriteByte(b)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,192 @@
+package raster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewCanvasAndClear(t *testing.T) {
+	c := NewCanvas(4, 3)
+	if c.NonEmpty() != 0 {
+		t.Fatal("fresh canvas not empty")
+	}
+	c.Set(1, 1, '*')
+	if c.At(1, 1) != '*' || c.NonEmpty() != 1 {
+		t.Fatal("Set/At broken")
+	}
+	c.Clear()
+	if c.NonEmpty() != 0 {
+		t.Fatal("Clear broken")
+	}
+}
+
+func TestNewCanvasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size canvas accepted")
+		}
+	}()
+	NewCanvas(0, 5)
+}
+
+func TestClipping(t *testing.T) {
+	c := NewCanvas(3, 3)
+	c.Set(-1, 0, '*')
+	c.Set(0, -1, '*')
+	c.Set(3, 0, '*')
+	c.Set(0, 3, '*')
+	if c.NonEmpty() != 0 {
+		t.Fatal("out-of-bounds set painted something")
+	}
+	if c.At(-1, -1) != 0 {
+		t.Fatal("out-of-bounds At nonzero")
+	}
+}
+
+func TestHorizontalLine(t *testing.T) {
+	c := NewCanvas(10, 3)
+	c.Line(1, 1, 8, 1, '-')
+	if c.Count('-') != 8 {
+		t.Fatalf("horizontal line painted %d cells", c.Count('-'))
+	}
+}
+
+func TestDiagonalLine(t *testing.T) {
+	c := NewCanvas(10, 10)
+	c.Line(0, 0, 9, 9, '\\')
+	for i := 0; i < 10; i++ {
+		if c.At(i, i) != '\\' {
+			t.Fatalf("diagonal missing at (%d,%d)", i, i)
+		}
+	}
+	// Reverse direction must paint the same cells.
+	c2 := NewCanvas(10, 10)
+	c2.Line(9, 9, 0, 0, '\\')
+	if c.String() != c2.String() {
+		t.Error("line direction changed raster")
+	}
+}
+
+func TestRect(t *testing.T) {
+	c := NewCanvas(12, 8)
+	c.Rect(geom.Rect{MinX: 2, MinY: 1, MaxX: 9, MaxY: 6}, '#')
+	// Corners painted.
+	for _, p := range [][2]int{{2, 1}, {9, 1}, {9, 6}, {2, 6}} {
+		if c.At(p[0], p[1]) != '#' {
+			t.Fatalf("corner (%d,%d) unpainted", p[0], p[1])
+		}
+	}
+	// Interior empty.
+	if c.At(5, 3) != 0 {
+		t.Fatal("interior painted")
+	}
+	c.Rect(geom.EmptyRect(), '#') // must not panic
+}
+
+func TestEllipse(t *testing.T) {
+	c := NewCanvas(21, 21)
+	c.Ellipse(10, 10, 8, 5, 'o')
+	// Extremes painted.
+	for _, p := range [][2]int{{18, 10}, {2, 10}, {10, 15}, {10, 5}} {
+		if c.At(p[0], p[1]) != 'o' {
+			t.Fatalf("ellipse extreme (%d,%d) unpainted", p[0], p[1])
+		}
+	}
+	if c.At(10, 10) != 0 {
+		t.Fatal("ellipse center painted")
+	}
+	c.Ellipse(0, 0, -1, 5, 'o') // negative radius: no-op
+}
+
+func TestPolygon(t *testing.T) {
+	c := NewCanvas(20, 20)
+	c.Polygon([]geom.Point{{X: 2, Y: 2}, {X: 15, Y: 2}, {X: 15, Y: 15}}, '+')
+	if c.At(2, 2) != '+' || c.At(15, 15) != '+' {
+		t.Fatal("polygon vertices unpainted")
+	}
+	// Closing edge back to start.
+	if c.At(9, 9) != '+' { // on the hypotenuse 15,15 -> 2,2
+		t.Fatal("closing edge missing")
+	}
+	c.Polygon([]geom.Point{{X: 1, Y: 1}}, '+') // single point: no-op
+}
+
+func TestPathAndDotted(t *testing.T) {
+	p := geom.Path{{X: 1, Y: 1, T: 0}, {X: 6, Y: 1, T: 1}, {X: 6, Y: 4, T: 2}}
+	c := NewCanvas(10, 6)
+	c.Path(p, '*')
+	if c.At(3, 1) != '*' || c.At(6, 3) != '*' {
+		t.Fatal("path segments unpainted")
+	}
+	c2 := NewCanvas(10, 6)
+	c2.Dotted(p, '.')
+	if c2.NonEmpty() != 3 {
+		t.Fatalf("dotted painted %d cells, want 3", c2.NonEmpty())
+	}
+	c3 := NewCanvas(4, 4)
+	c3.Path(geom.Path{{X: 2, Y: 2, T: 0}}, '*')
+	if c3.At(2, 2) != '*' {
+		t.Fatal("single-point path unpainted")
+	}
+}
+
+func TestText(t *testing.T) {
+	c := NewCanvas(8, 2)
+	c.Text(1, 0, "hi")
+	if c.At(1, 0) != 'h' || c.At(2, 0) != 'i' {
+		t.Fatal("text unpainted")
+	}
+	c.Text(6, 1, "long") // clipped
+	if c.At(7, 1) != 'o' {
+		t.Fatal("clipped text wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := NewCanvas(3, 2)
+	c.Set(0, 0, 'A')
+	got := c.String()
+	want := "A..\n...\n"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if strings.Count(got, "\n") != 2 {
+		t.Fatal("line count wrong")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	c := NewCanvas(10, 10)
+	c.Set(0, 0, 'A')
+	c.Set(9, 9, 'B')
+	d := c.Downsample(5, 5)
+	if d.W != 2 || d.H != 2 {
+		t.Fatalf("downsampled %dx%d", d.W, d.H)
+	}
+	if d.At(0, 0) != 'A' || d.At(1, 1) != 'B' {
+		t.Errorf("glyphs lost: %q %q", d.At(0, 0), d.At(1, 1))
+	}
+	if d.At(1, 0) != 0 || d.At(0, 1) != 0 {
+		t.Error("empty blocks painted")
+	}
+	// Non-divisible dimensions round up.
+	d2 := NewCanvas(7, 5).Downsample(3, 2)
+	if d2.W != 3 || d2.H != 3 {
+		t.Errorf("ragged downsample %dx%d", d2.W, d2.H)
+	}
+	// First painted glyph in a block wins (row-major).
+	c3 := NewCanvas(4, 4)
+	c3.Set(1, 0, 'x')
+	c3.Set(0, 1, 'y')
+	if got := c3.Downsample(2, 2).At(0, 0); got != 'x' {
+		t.Errorf("block glyph = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive factors did not panic")
+		}
+	}()
+	c.Downsample(0, 1)
+}

@@ -1,0 +1,137 @@
+// Package recognizer ties the feature extractor and the linear classifier
+// into the paper's full classifier C-hat: a function from gestures to class
+// names, trained from example gestures. The eager-recognition trainer, the
+// GRANDMA gesture handler, and GDP all consume this type.
+package recognizer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/classifier"
+	"repro/internal/features"
+	"repro/internal/gesture"
+	"repro/internal/linalg"
+)
+
+// Full is a trained full (non-eager) gesture classifier.
+type Full struct {
+	Opts features.Options       `json:"opts"`
+	C    *classifier.Classifier `json:"classifier"`
+}
+
+// TrainOptions configures full-classifier training.
+type TrainOptions struct {
+	Features features.Options
+	Sort     bool // sort class names in the trained classifier
+}
+
+// DefaultTrainOptions returns paper-faithful training options.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Features: features.DefaultOptions()}
+}
+
+// Train builds a full classifier from a labelled gesture set.
+func Train(set *gesture.Set, opts TrainOptions) (*Full, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Features.Validate(); err != nil {
+		return nil, err
+	}
+	ex := make([]classifier.Example, 0, set.Len())
+	for _, e := range set.Examples {
+		ex = append(ex, classifier.Example{
+			Class:    e.Class,
+			Features: features.Compute(e.Gesture.Points, opts.Features),
+		})
+	}
+	c, err := classifier.Train(ex, classifier.Options{SortClasses: opts.Sort})
+	if err != nil {
+		return nil, fmt.Errorf("recognizer: %w", err)
+	}
+	return &Full{Opts: opts.Features, C: c}, nil
+}
+
+// Features returns the feature vector of g under the recognizer's options.
+func (f *Full) Features(g gesture.Gesture) linalg.Vec {
+	return features.Compute(g.Points, f.Opts)
+}
+
+// Classify returns the class of g.
+func (f *Full) Classify(g gesture.Gesture) string {
+	name, _ := f.C.Classify(f.Features(g))
+	return name
+}
+
+// Evaluate returns the classification of g with rejection diagnostics.
+func (f *Full) Evaluate(g gesture.Gesture) classifier.Result {
+	return f.C.Evaluate(f.Features(g))
+}
+
+// Classes returns the class names the recognizer discriminates.
+func (f *Full) Classes() []string { return f.C.Classes }
+
+// Accuracy classifies every example in the set and returns the fraction
+// classified correctly, together with the per-example predictions.
+func (f *Full) Accuracy(set *gesture.Set) (float64, []string) {
+	if set.Len() == 0 {
+		return 0, nil
+	}
+	preds := make([]string, set.Len())
+	correct := 0
+	for i, e := range set.Examples {
+		preds[i] = f.Classify(e.Gesture)
+		if preds[i] == e.Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(set.Len()), preds
+}
+
+// WriteJSON serializes the recognizer.
+func (f *Full) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("recognizer: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a recognizer.
+func ReadJSON(r io.Reader) (*Full, error) {
+	var f Full
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("recognizer: decode: %w", err)
+	}
+	if f.C == nil {
+		return nil, fmt.Errorf("recognizer: missing classifier")
+	}
+	return &f, nil
+}
+
+// SaveFile writes the recognizer to the named file as JSON.
+func (f *Full) SaveFile(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("recognizer: %w", err)
+	}
+	defer fh.Close()
+	if err := f.WriteJSON(fh); err != nil {
+		return err
+	}
+	return fh.Close()
+}
+
+// LoadFile reads a recognizer from the named JSON file.
+func LoadFile(path string) (*Full, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("recognizer: %w", err)
+	}
+	defer fh.Close()
+	return ReadJSON(fh)
+}

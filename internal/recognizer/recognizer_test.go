@@ -1,0 +1,171 @@
+package recognizer
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/gesture"
+	"repro/internal/synth"
+)
+
+func trainTest(t *testing.T, classes []synth.Class, trainN, testN int, seed int64) (*Full, *gesture.Set) {
+	t.Helper()
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(seed)).Set("train", classes, trainN)
+	testSet, _ := synth.NewGenerator(synth.DefaultParams(seed+1000)).Set("test", classes, testN)
+	r, err := Train(trainSet, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, testSet
+}
+
+func TestFullClassifierEightDirections(t *testing.T) {
+	// Paper (fig. 9 set): full classifier 99.2% on 30 test examples of each
+	// of 8 classes, trained on 10 each. Require the same shape: >= 97%.
+	r, testSet := trainTest(t, synth.EightDirectionClasses(), 10, 30, 101)
+	acc, _ := r.Accuracy(testSet)
+	if acc < 0.97 {
+		t.Errorf("eight-direction full accuracy = %.3f, want >= 0.97", acc)
+	}
+}
+
+func TestFullClassifierGDP(t *testing.T) {
+	// Paper (fig. 10 set): full classifier 99.7%. Require >= 96%.
+	r, testSet := trainTest(t, synth.GDPClasses(), 10, 30, 202)
+	acc, preds := r.Accuracy(testSet)
+	if acc < 0.96 {
+		bad := map[string]int{}
+		for i, p := range preds {
+			if p != testSet.Examples[i].Class {
+				bad[testSet.Examples[i].Class+"->"+p]++
+			}
+		}
+		t.Errorf("GDP full accuracy = %.3f, want >= 0.96; confusions: %v", acc, bad)
+	}
+	if len(r.Classes()) != 11 {
+		t.Errorf("classes = %v", r.Classes())
+	}
+}
+
+func TestFullClassifierUD(t *testing.T) {
+	r, testSet := trainTest(t, synth.UDClasses(), 15, 30, 303)
+	acc, _ := r.Accuracy(testSet)
+	if acc < 0.99 {
+		t.Errorf("U/D accuracy = %.3f", acc)
+	}
+}
+
+func TestFullClassifierNotes(t *testing.T) {
+	// The note gestures are hard to recognize EAGERLY but fine to recognize
+	// in full: flags change the path length and turn counts.
+	r, testSet := trainTest(t, synth.NoteClasses(), 10, 30, 404)
+	acc, _ := r.Accuracy(testSet)
+	if acc < 0.9 {
+		t.Errorf("notes accuracy = %.3f", acc)
+	}
+}
+
+func TestEvaluateRejectionSignals(t *testing.T) {
+	r, testSet := trainTest(t, synth.EightDirectionClasses(), 10, 5, 505)
+	for _, e := range testSet.Examples {
+		res := r.Evaluate(e.Gesture)
+		if res.Probability <= 0 || res.Probability > 1.000001 {
+			t.Fatalf("probability %v out of range", res.Probability)
+		}
+		if res.Mahalanobis < 0 {
+			t.Fatalf("negative Mahalanobis")
+		}
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(&gesture.Set{}, DefaultTrainOptions()); err == nil {
+		t.Error("empty set accepted")
+	}
+	set := &gesture.Set{}
+	set.Add("a", gesture.Gesture{})
+	if _, err := Train(set, DefaultTrainOptions()); err == nil {
+		t.Error("empty gesture accepted")
+	}
+	ok, _ := synth.NewGenerator(synth.DefaultParams(1)).Set("s", synth.UDClasses(), 3)
+	bad := DefaultTrainOptions()
+	bad.Features = features.Options{MinMove: -1}
+	if _, err := Train(ok, bad); err == nil {
+		t.Error("invalid feature options accepted")
+	}
+}
+
+func TestSortedClasses(t *testing.T) {
+	set, _ := synth.NewGenerator(synth.DefaultParams(2)).Set("s", synth.GDPClasses(), 3)
+	opts := DefaultTrainOptions()
+	opts.Sort = true
+	r, err := Train(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := r.Classes()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("classes not sorted: %v", names)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r, testSet := trainTest(t, synth.UDClasses(), 10, 10, 606)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range testSet.Examples {
+		if r.Classify(e.Gesture) != r2.Classify(e.Gesture) {
+			t.Fatal("round-tripped recognizer disagrees")
+		}
+	}
+	if _, err := ReadJSON(bytes.NewBufferString("{}")); err == nil {
+		t.Error("classifier-less JSON accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	r, _ := trainTest(t, synth.UDClasses(), 5, 1, 707)
+	path := t.TempDir() + "/full.json"
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracyEmptySet(t *testing.T) {
+	r, _ := trainTest(t, synth.UDClasses(), 5, 1, 808)
+	acc, preds := r.Accuracy(&gesture.Set{})
+	if acc != 0 || preds != nil {
+		t.Error("empty set accuracy should be 0/nil")
+	}
+}
+
+func TestIOErrorPaths(t *testing.T) {
+	r, _ := trainTest(t, synth.UDClasses(), 5, 1, 909)
+	if err := r.SaveFile(t.TempDir() + "/no/dir/x.json"); err == nil {
+		t.Error("bad save path accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Write to a failing writer.
+	if err := r.WriteJSON(failWriter{}); err == nil {
+		t.Error("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }

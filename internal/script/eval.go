@@ -1,0 +1,190 @@
+package script
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is any value flowing through the interpreter: nil, float64, string,
+// bool, or an Object.
+type Value = any
+
+// Object is the message-receiving protocol. GRANDMA models, views, and
+// handlers implement it (usually via Dispatch) so semantics expressions can
+// send them messages.
+type Object interface {
+	Send(selector string, args []Value) (Value, error)
+}
+
+// Method is one message implementation.
+type Method func(args []Value) (Value, error)
+
+// Dispatch is a ready-made Object backed by a selector map. The zero value
+// is usable after Bind calls.
+type Dispatch struct {
+	Name    string // used in error messages
+	methods map[string]Method
+}
+
+// NewDispatch returns an empty dispatch object with a debug name.
+func NewDispatch(name string) *Dispatch {
+	return &Dispatch{Name: name, methods: make(map[string]Method)}
+}
+
+// Bind registers a method under a selector and returns the receiver for
+// chaining.
+func (d *Dispatch) Bind(selector string, m Method) *Dispatch {
+	if d.methods == nil {
+		d.methods = make(map[string]Method)
+	}
+	d.methods[selector] = m
+	return d
+}
+
+// Selectors returns the bound selectors, sorted (for error messages and
+// reflection-style tooling).
+func (d *Dispatch) Selectors() []string {
+	out := make([]string, 0, len(d.methods))
+	for s := range d.methods {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Send implements Object.
+func (d *Dispatch) Send(selector string, args []Value) (Value, error) {
+	m, ok := d.methods[selector]
+	if !ok {
+		return nil, &MessageError{Receiver: d.Name, Selector: selector}
+	}
+	return m(args)
+}
+
+// MessageError reports an unhandled selector.
+type MessageError struct {
+	Receiver string
+	Selector string
+}
+
+func (e *MessageError) Error() string {
+	return fmt.Sprintf("script: %s does not respond to %q", e.Receiver, e.Selector)
+}
+
+// Env is an evaluation environment: variables (assignable from scripts)
+// and gestural attributes (read-only, bound lazily by the gesture handler
+// before each evaluation).
+type Env struct {
+	Vars  map[string]Value
+	Attrs map[string]Value
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{Vars: make(map[string]Value), Attrs: make(map[string]Value)}
+}
+
+// SetVar binds a variable.
+func (e *Env) SetVar(name string, v Value) { e.Vars[name] = v }
+
+// SetAttr binds a gestural attribute.
+func (e *Env) SetAttr(name string, v Value) { e.Attrs[name] = v }
+
+// Var reads a variable, with an ok flag.
+func (e *Env) Var(name string) (Value, bool) {
+	v, ok := e.Vars[name]
+	return v, ok
+}
+
+// Eval runs the program in the environment and returns the value of its
+// last statement (nil for an empty program). Assignments update the
+// environment's variables.
+func (p *Program) Eval(env *Env) (Value, error) {
+	var last Value
+	for i := range p.Stmts {
+		st := &p.Stmts[i]
+		v, err := evalExpr(st.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		if st.Assign != "" {
+			env.SetVar(st.Assign, v)
+		}
+		last = v
+	}
+	return last, nil
+}
+
+func evalExpr(e Expr, env *Env) (Value, error) {
+	switch n := e.(type) {
+	case *NumLit:
+		return n.Value, nil
+	case *StrLit:
+		return n.Value, nil
+	case *NilLit:
+		return nil, nil
+	case *VarRef:
+		v, ok := env.Vars[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("script: undefined variable %q", n.Name)
+		}
+		return v, nil
+	case *AttrRef:
+		v, ok := env.Attrs[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("script: unknown attribute <%s>", n.Name)
+		}
+		return v, nil
+	case *Msg:
+		recv, err := evalExpr(n.Recv, env)
+		if err != nil {
+			return nil, err
+		}
+		if recv == nil {
+			// Objective-C semantics: messages to nil return nil.
+			return nil, nil
+		}
+		obj, ok := recv.(Object)
+		if !ok {
+			return nil, fmt.Errorf("script: %T does not receive messages (selector %q)", recv, n.Selector)
+		}
+		args := make([]Value, len(n.Args))
+		for i, a := range n.Args {
+			if args[i], err = evalExpr(a, env); err != nil {
+				return nil, err
+			}
+		}
+		return obj.Send(n.Selector, args)
+	default:
+		return nil, fmt.Errorf("script: unknown expression node %T", e)
+	}
+}
+
+// Num coerces a Value to float64 for use inside method implementations.
+func Num(v Value) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case int:
+		return float64(x), nil
+	default:
+		return 0, fmt.Errorf("script: expected number, got %T", v)
+	}
+}
+
+// Str coerces a Value to string.
+func Str(v Value) (string, error) {
+	if s, ok := v.(string); ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("script: expected string, got %T", v)
+}
+
+// Arity returns an error unless args has exactly n elements; helper for
+// method implementations.
+func Arity(selector string, args []Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("script: %q takes %d arguments, got %d", selector, n, len(args))
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package script_test
+
+import (
+	"fmt"
+
+	"repro/internal/script"
+)
+
+// Evaluating the paper's exact rectangle semantics against stub objects.
+func Example() {
+	// A stub rectangle that records its endpoints.
+	rect := script.NewDispatch("rect")
+	rect.Bind("setEndpoint:x:y:", func(args []script.Value) (script.Value, error) {
+		i, _ := script.Num(args[0])
+		x, _ := script.Num(args[1])
+		y, _ := script.Num(args[2])
+		fmt.Printf("endpoint %d = (%g, %g)\n", int(i), x, y)
+		return rect, nil
+	})
+	view := script.NewDispatch("view")
+	view.Bind("createRect", func(args []script.Value) (script.Value, error) {
+		return rect, nil
+	})
+
+	env := script.NewEnv()
+	env.SetVar("view", view)
+	env.SetAttr("startX", 10.0)
+	env.SetAttr("startY", 20.0)
+
+	recog := script.MustParse("recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>]")
+	if _, err := recog.Eval(env); err != nil {
+		panic(err)
+	}
+
+	// Each manipulation point re-binds <currentX>/<currentY> and
+	// re-evaluates the manip expression.
+	manip := script.MustParse("[recog setEndpoint:1 x:<currentX> y:<currentY>]")
+	env.SetAttr("currentX", 110.0)
+	env.SetAttr("currentY", 95.0)
+	if _, err := manip.Eval(env); err != nil {
+		panic(err)
+	}
+	// Output:
+	// endpoint 0 = (10, 20)
+	// endpoint 1 = (110, 95)
+}
+
+// Programs can be formatted back to canonical source.
+func ExampleProgram_Format() {
+	p := script.MustParse("x=5;[obj doIt:x with:<attr>]")
+	fmt.Println(p.Format())
+	// Output:
+	// x = 5; [obj doIt:x with:<attr>]
+}

@@ -1,0 +1,39 @@
+package script
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics on arbitrary input and
+// that anything it accepts survives a Format/Parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"x = 5; x",
+		"recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>]",
+		"[nil foo]",
+		`"str \" esc"`,
+		"// comment\nnil",
+		"[a b:1 c:2]",
+		"<attr>",
+		"[",
+		"1 2",
+		"@#$",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out := p.Format()
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Format output unparseable: %q -> %q: %v", src, out, err)
+		}
+		if !reflect.DeepEqual(p.Stmts, p2.Stmts) {
+			t.Fatalf("round trip changed AST: %q -> %q", src, out)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+// Package script implements GRANDMA's gesture-semantics expression
+// language. In the paper (section 3.2), each gesture's semantics are three
+// expressions — recog, manip, done — written as Objective-C message sends
+// and "evaluated by a simple Objective-C message interpreter built into
+// GRANDMA", with gestural attributes like <startX> lazily bound in the
+// environment:
+//
+//	recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>];
+//	manip = [recog setEndpoint:1 x:<currentX> y:<currentY>];
+//	done  = nil;
+//
+// This package reproduces that interpreter: a lexer, a recursive-descent
+// parser, and an evaluator that sends messages to Go objects implementing
+// the Object interface. Message sends to nil return nil, matching
+// Objective-C.
+package script
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokLBracket
+	tokRBracket
+	tokIdent   // bare identifier: view, recog, createRect
+	tokSelPart // identifier immediately followed by ':': setEndpoint:
+	tokAttr    // <identifier>
+	tokNumber  // 0, 1.5, -3
+	tokString  // "text"
+	tokAssign  // =
+	tokSemi    // ;
+	tokNil     // nil keyword
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokIdent:
+		return "identifier"
+	case tokSelPart:
+		return "selector"
+	case tokAttr:
+		return "attribute"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokAssign:
+		return "'='"
+	case tokSemi:
+		return "';'"
+	case tokNil:
+		return "'nil'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("script: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lex tokenizes src. Comments run from "//" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokAssign, pos: i})
+			i++
+		case c == ';':
+			toks = append(toks, token{kind: tokSemi, pos: i})
+			i++
+		case c == '<':
+			j := i + 1
+			start := j
+			for j < n && isIdentRune(rune(src[j])) {
+				j++
+			}
+			if j == start || j >= n || src[j] != '>' {
+				return nil, &SyntaxError{Pos: i, Msg: "malformed attribute reference; want <name>"}
+			}
+			toks = append(toks, token{kind: tokAttr, text: src[start:j], pos: i})
+			i = j + 1
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, &SyntaxError{Pos: i, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9',
+			c == '-' && i+1 < n && (src[i+1] >= '0' && src[i+1] <= '9' || src[i+1] == '.'):
+			j := i
+			if src[j] == '-' {
+				j++
+			}
+			seenDot := false
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' && !seenDot) {
+				if src[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			// Optional exponent: e or E, optional sign, digits.
+			if j < n && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < n && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < n && src[k] >= '0' && src[k] <= '9' {
+					for k < n && src[k] >= '0' && src[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			var v float64
+			if _, err := fmt.Sscanf(src[i:j], "%g", &v); err != nil {
+				return nil, &SyntaxError{Pos: i, Msg: "malformed number"}
+			}
+			toks = append(toks, token{kind: tokNumber, num: v, pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentRune(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			switch {
+			case j < n && src[j] == ':':
+				toks = append(toks, token{kind: tokSelPart, text: word + ":", pos: i})
+				j++
+			case word == "nil":
+				toks = append(toks, token{kind: tokNil, pos: i})
+			default:
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,199 @@
+package script
+
+import "fmt"
+
+// Expr is a parsed expression node.
+type Expr interface{ exprNode() }
+
+// NumLit is a numeric literal.
+type NumLit struct{ Value float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ Value string }
+
+// NilLit is the nil literal.
+type NilLit struct{}
+
+// VarRef reads a variable from the environment (e.g. view, recog).
+type VarRef struct{ Name string }
+
+// AttrRef reads a gestural attribute from the environment (e.g. <startX>).
+type AttrRef struct{ Name string }
+
+// Msg is a message send: [receiver selector] or
+// [receiver part1:arg1 part2:arg2 ...].
+type Msg struct {
+	Recv     Expr
+	Selector string // full selector, e.g. "setEndpoint:x:y:" or "createRect"
+	Args     []Expr
+}
+
+func (*NumLit) exprNode()  {}
+func (*StrLit) exprNode()  {}
+func (*NilLit) exprNode()  {}
+func (*VarRef) exprNode()  {}
+func (*AttrRef) exprNode() {}
+func (*Msg) exprNode()     {}
+
+// Stmt is a statement: an expression, optionally assigned to a variable.
+type Stmt struct {
+	Assign string // variable name, or "" for a bare expression
+	Expr   Expr
+}
+
+// Program is a parsed semantics expression: a sequence of statements. Its
+// value when evaluated is the value of the last statement.
+type Program struct {
+	Stmts []Stmt
+	src   string
+}
+
+// Source returns the original source text.
+func (p *Program) Source() string { return p.src }
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("expected %v, found %v", k, t.kind)}
+	}
+	return p.next(), nil
+}
+
+// Parse compiles a semantics source string into a Program. An empty or
+// all-whitespace source parses to an empty program (which evaluates to
+// nil, like the paper's "done = nil").
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{src: src}
+	for p.peek().kind != tokEOF {
+		// Skip empty statements.
+		if p.peek().kind == tokSemi {
+			p.next()
+			continue
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, st)
+		switch p.peek().kind {
+		case tokSemi:
+			p.next()
+		case tokEOF:
+		default:
+			t := p.peek()
+			return nil, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("expected ';' or end of input, found %v", t.kind)}
+		}
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for static sources; it panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	// Lookahead for "ident = expr".
+	if p.peek().kind == tokIdent && p.toks[p.i+1].kind == tokAssign {
+		name := p.next().text
+		p.next() // '='
+		e, err := p.parseExpr()
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Assign: name, Expr: e}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return Stmt{}, err
+	}
+	return Stmt{Expr: e}, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLBracket:
+		return p.parseMsg()
+	case tokNumber:
+		p.next()
+		return &NumLit{Value: t.num}, nil
+	case tokString:
+		p.next()
+		return &StrLit{Value: t.text}, nil
+	case tokNil:
+		p.next()
+		return &NilLit{}, nil
+	case tokIdent:
+		p.next()
+		return &VarRef{Name: t.text}, nil
+	case tokAttr:
+		p.next()
+		return &AttrRef{Name: t.text}, nil
+	default:
+		return nil, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("expected expression, found %v", t.kind)}
+	}
+}
+
+func (p *parser) parseMsg() (Expr, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	recv, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		// Unary message: [recv selector]
+		p.next()
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return &Msg{Recv: recv, Selector: t.text}, nil
+	case tokSelPart:
+		// Keyword message: [recv part1:arg1 part2:arg2 ...]
+		sel := ""
+		var args []Expr
+		for p.peek().kind == tokSelPart {
+			part := p.next()
+			sel += part.text
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return &Msg{Recv: recv, Selector: sel, Args: args}, nil
+	default:
+		return nil, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("expected selector, found %v", t.kind)}
+	}
+}

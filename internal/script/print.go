@@ -1,0 +1,82 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders the program back to canonical source: statements joined
+// by "; ", keyword selectors interleaved with their arguments, strings
+// quoted. Parsing the result yields a structurally identical program —
+// the round-trip property tests rely on this. It is also the basis for
+// semantics inspection tooling (GRANDMA let users browse and edit gesture
+// semantics at runtime).
+func (p *Program) Format() string {
+	parts := make([]string, len(p.Stmts))
+	for i := range p.Stmts {
+		st := &p.Stmts[i]
+		s := formatExpr(st.Expr)
+		if st.Assign != "" {
+			s = st.Assign + " = " + s
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, "; ")
+}
+
+func formatExpr(e Expr) string {
+	switch n := e.(type) {
+	case *NumLit:
+		return strconv.FormatFloat(n.Value, 'g', -1, 64)
+	case *StrLit:
+		return quote(n.Value)
+	case *NilLit:
+		return "nil"
+	case *VarRef:
+		return n.Name
+	case *AttrRef:
+		return "<" + n.Name + ">"
+	case *Msg:
+		var b strings.Builder
+		b.WriteByte('[')
+		b.WriteString(formatExpr(n.Recv))
+		if len(n.Args) == 0 {
+			b.WriteByte(' ')
+			b.WriteString(n.Selector)
+		} else {
+			parts := strings.SplitAfter(n.Selector, ":")
+			// SplitAfter leaves a trailing empty element.
+			k := 0
+			for _, part := range parts {
+				if part == "" {
+					continue
+				}
+				b.WriteByte(' ')
+				b.WriteString(part)
+				if k < len(n.Args) {
+					b.WriteString(formatExpr(n.Args[k]))
+					k++
+				}
+			}
+		}
+		b.WriteByte(']')
+		return b.String()
+	default:
+		return fmt.Sprintf("/*?%T*/", e)
+	}
+}
+
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\\':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package script
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatKnown(t *testing.T) {
+	cases := map[string]string{
+		"x = 5; x":          "x = 5; x",
+		"nil":               "nil",
+		"[view createRect]": "[view createRect]",
+		"recog=[[view createRect] setEndpoint:0 x:<startX> y:<startY>]": "recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>]",
+		`"he said \"hi\""`: `"he said \"hi\""`,
+		"-3.5":             "-3.5",
+	}
+	for src, want := range cases {
+		p := MustParse(src)
+		if got := p.Format(); got != want {
+			t.Errorf("Format(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestFormatParsesBack(t *testing.T) {
+	srcs := []string{
+		"x = 5; y = [calc addX:x y:2]; [y total]",
+		"[nil foo]",
+		`[view createText:"label"]`,
+		"recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>]; [recog moveToX:1 y:2]",
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		p2, err := Parse(p1.Format())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", src, p1.Format(), err)
+		}
+		if !reflect.DeepEqual(p1.Stmts, p2.Stmts) {
+			t.Errorf("round trip changed AST for %q:\n%q", src, p1.Format())
+		}
+	}
+}
+
+// genExpr builds a random AST of bounded depth.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return &NumLit{Value: float64(rng.Intn(2000)-1000) / 8}
+		case 1:
+			return &StrLit{Value: randIdent(rng) + `"q\` + randIdent(rng)}
+		case 2:
+			return &NilLit{}
+		case 3:
+			return &VarRef{Name: randIdent(rng)}
+		default:
+			return &AttrRef{Name: randIdent(rng)}
+		}
+	}
+	if rng.Intn(3) == 0 {
+		return genExpr(rng, 0)
+	}
+	// Message send.
+	recv := genExpr(rng, depth-1)
+	if rng.Intn(2) == 0 {
+		return &Msg{Recv: recv, Selector: randIdent(rng)}
+	}
+	n := rng.Intn(3) + 1
+	sel := ""
+	args := make([]Expr, 0, n)
+	for i := 0; i < n; i++ {
+		sel += randIdent(rng) + ":"
+		args = append(args, genExpr(rng, depth-1))
+	}
+	return &Msg{Recv: recv, Selector: sel, Args: args}
+}
+
+func randIdent(rng *rand.Rand) string {
+	letters := "abcdefgXYZ_"
+	n := rng.Intn(6) + 1
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func TestFormatRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := &Program{}
+		n := rng.Intn(3) + 1
+		for i := 0; i < n; i++ {
+			st := Stmt{Expr: genExpr(rng, 3)}
+			if rng.Intn(2) == 0 {
+				st.Assign = randIdent(rng)
+			}
+			prog.Stmts = append(prog.Stmts, st)
+		}
+		src := prog.Format()
+		p2, err := Parse(src)
+		if err != nil {
+			t.Logf("generated source failed to parse: %q: %v", src, err)
+			return false
+		}
+		if !reflect.DeepEqual(prog.Stmts, p2.Stmts) {
+			t.Logf("AST mismatch for %q", src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,355 @@
+package script
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseLiterals(t *testing.T) {
+	for src, want := range map[string]float64{
+		"42":     42,
+		"-3.5":   -3.5,
+		"0":      0,
+		"1.25":   1.25,
+		"-0.5":   -0.5,
+		".25":    0.25,
+		"1e+06":  1e6,
+		"2.5e-3": 0.0025,
+		"1E2":    100,
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		v, err := p.Eval(NewEnv())
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", src, err)
+		}
+		if v != want {
+			t.Errorf("Eval(%q) = %v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestParseString(t *testing.T) {
+	p := MustParse(`"hello \"world\""`)
+	v, err := p.Eval(NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != `hello "world"` {
+		t.Errorf("got %q", v)
+	}
+}
+
+func TestNilProgram(t *testing.T) {
+	for _, src := range []string{"", "  \n\t", ";;", "nil", "nil;"} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		v, err := p.Eval(NewEnv())
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", src, err)
+		}
+		if v != nil {
+			t.Errorf("Eval(%q) = %v, want nil", src, v)
+		}
+	}
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	env := NewEnv()
+	p := MustParse("x = 5; x")
+	v, err := p.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5.0 {
+		t.Errorf("got %v", v)
+	}
+	if got, _ := env.Var("x"); got != 5.0 {
+		t.Errorf("env var x = %v", got)
+	}
+	if _, err := MustParse("undefined").Eval(NewEnv()); err == nil {
+		t.Error("undefined variable did not error")
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	env := NewEnv()
+	env.SetAttr("startX", 12.0)
+	v, err := MustParse("<startX>").Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12.0 {
+		t.Errorf("got %v", v)
+	}
+	if _, err := MustParse("<missing>").Eval(env); err == nil {
+		t.Error("missing attribute did not error")
+	}
+}
+
+// calculator is a test object with unary and keyword methods.
+func calculator() (*Dispatch, *float64) {
+	total := new(float64)
+	d := NewDispatch("calculator")
+	d.Bind("reset", func(args []Value) (Value, error) {
+		*total = 0
+		return d, nil
+	})
+	d.Bind("add:", func(args []Value) (Value, error) {
+		if err := Arity("add:", args, 1); err != nil {
+			return nil, err
+		}
+		n, err := Num(args[0])
+		if err != nil {
+			return nil, err
+		}
+		*total += n
+		return d, nil
+	})
+	d.Bind("addX:y:", func(args []Value) (Value, error) {
+		if err := Arity("addX:y:", args, 2); err != nil {
+			return nil, err
+		}
+		x, err := Num(args[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := Num(args[1])
+		if err != nil {
+			return nil, err
+		}
+		*total += x + y
+		return d, nil
+	})
+	d.Bind("total", func(args []Value) (Value, error) {
+		return *total, nil
+	})
+	return d, total
+}
+
+func TestUnaryMessage(t *testing.T) {
+	calc, total := calculator()
+	env := NewEnv()
+	env.SetVar("calc", calc)
+	*total = 99
+	v, err := MustParse("[calc total]").Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 99.0 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestKeywordMessage(t *testing.T) {
+	calc, _ := calculator()
+	env := NewEnv()
+	env.SetVar("calc", calc)
+	v, err := MustParse("[calc addX:3 y:4]; [calc total]").Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7.0 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestNestedMessagesAndChaining(t *testing.T) {
+	calc, _ := calculator()
+	env := NewEnv()
+	env.SetVar("calc", calc)
+	// [[calc reset] add:5] — the paper's nested-send style.
+	v, err := MustParse("[[[calc reset] add:5] total]").Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5.0 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestPaperRectangleSemanticsShape(t *testing.T) {
+	// Mirror the paper's GDP rectangle semantics structure with a stub
+	// view object.
+	var created *Dispatch
+	var endpoints [2][2]float64
+	rect := NewDispatch("rect")
+	rect.Bind("setEndpoint:x:y:", func(args []Value) (Value, error) {
+		if err := Arity("setEndpoint:x:y:", args, 3); err != nil {
+			return nil, err
+		}
+		i, _ := Num(args[0])
+		x, _ := Num(args[1])
+		y, _ := Num(args[2])
+		endpoints[int(i)] = [2]float64{x, y}
+		return rect, nil
+	})
+	view := NewDispatch("view")
+	view.Bind("createRect", func(args []Value) (Value, error) {
+		created = rect
+		return rect, nil
+	})
+
+	env := NewEnv()
+	env.SetVar("view", view)
+	env.SetAttr("startX", 10.0)
+	env.SetAttr("startY", 20.0)
+
+	recog := MustParse("recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>]")
+	if _, err := recog.Eval(env); err != nil {
+		t.Fatal(err)
+	}
+	if created == nil {
+		t.Fatal("createRect not sent")
+	}
+	if endpoints[0] != [2]float64{10, 20} {
+		t.Fatalf("endpoint 0 = %v", endpoints[0])
+	}
+
+	env.SetAttr("currentX", 30.0)
+	env.SetAttr("currentY", 40.0)
+	manip := MustParse("[recog setEndpoint:1 x:<currentX> y:<currentY>]")
+	if _, err := manip.Eval(env); err != nil {
+		t.Fatal(err)
+	}
+	if endpoints[1] != [2]float64{30, 40} {
+		t.Fatalf("endpoint 1 = %v", endpoints[1])
+	}
+}
+
+func TestMessageToNilReturnsNil(t *testing.T) {
+	v, err := MustParse("[nil anything]").Eval(NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("message to nil = %v", v)
+	}
+	// Nested: receiver expression evaluates to nil through a variable.
+	env := NewEnv()
+	env.SetVar("x", nil)
+	if v, err := MustParse("[x foo:1 bar:2]").Eval(env); err != nil || v != nil {
+		t.Errorf("message to nil var: v=%v err=%v", v, err)
+	}
+}
+
+func TestUnknownSelector(t *testing.T) {
+	calc, _ := calculator()
+	env := NewEnv()
+	env.SetVar("calc", calc)
+	_, err := MustParse("[calc frobnicate]").Eval(env)
+	var me *MessageError
+	if !errors.As(err, &me) {
+		t.Fatalf("want MessageError, got %v", err)
+	}
+	if me.Selector != "frobnicate" || me.Receiver != "calculator" {
+		t.Errorf("error detail: %+v", me)
+	}
+}
+
+func TestNonObjectReceiver(t *testing.T) {
+	if _, err := MustParse("[5 foo]").Eval(NewEnv()); err == nil {
+		t.Error("number receiver accepted")
+	}
+	env := NewEnv()
+	env.SetVar("s", "str")
+	if _, err := MustParse("[s foo]").Eval(env); err == nil {
+		t.Error("string receiver accepted")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	for _, src := range []string{
+		"[",
+		"[view",
+		"[view createRect",
+		"[view foo:]",
+		"[]",
+		"<unclosed",
+		`"unterminated`,
+		"view createRect]",
+		"= 5",
+		"[view 5]",
+		"x = ",
+		"1 2",
+		"@",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q) error is %T, want *SyntaxError", src, err)
+			}
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := MustParse("// leading comment\nx = 3; // trailing\nx")
+	v, err := p.Eval(NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3.0 {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("[")
+}
+
+func TestDispatchSelectors(t *testing.T) {
+	calc, _ := calculator()
+	sels := calc.Selectors()
+	want := []string{"add:", "addX:y:", "reset", "total"}
+	if strings.Join(sels, ",") != strings.Join(want, ",") {
+		t.Errorf("selectors = %v", sels)
+	}
+	// Zero-value Dispatch is usable after Bind.
+	var d Dispatch
+	d.Bind("ping", func(args []Value) (Value, error) { return "pong", nil })
+	v, err := d.Send("ping", nil)
+	if err != nil || v != "pong" {
+		t.Errorf("zero-value dispatch: %v, %v", v, err)
+	}
+}
+
+func TestCoercions(t *testing.T) {
+	if n, err := Num(3.5); err != nil || n != 3.5 {
+		t.Error("Num(float64)")
+	}
+	if n, err := Num(3); err != nil || n != 3.0 {
+		t.Error("Num(int)")
+	}
+	if _, err := Num("x"); err == nil {
+		t.Error("Num(string) accepted")
+	}
+	if s, err := Str("x"); err != nil || s != "x" {
+		t.Error("Str(string)")
+	}
+	if _, err := Str(1.0); err == nil {
+		t.Error("Str(number) accepted")
+	}
+	if err := Arity("f", []Value{1}, 2); err == nil {
+		t.Error("Arity mismatch accepted")
+	}
+}
+
+func TestSourcePreserved(t *testing.T) {
+	src := "x = 1; x"
+	if MustParse(src).Source() != src {
+		t.Error("Source not preserved")
+	}
+}

@@ -1,0 +1,186 @@
+// Package segment addresses the paper's last future-work item: "Further
+// work is needed to utilize devices, such as the DataGlove, which have no
+// explicit signaling with which to indicate the start of a gesture."
+// Without a button press, stroke boundaries must be inferred from the
+// motion itself.
+//
+// The segmenter uses dwell detection — the same physical-relaxation cue
+// the paper observes in button-based gesturing ("the gesture ends when the
+// user relaxes physically"): sustained low speed ends a stroke, motion
+// after a dwell starts the next, and a sampling gap (the hand leaving the
+// sensor's field of view) ends one unconditionally. Completed strokes feed
+// straight into the ordinary recognizers.
+package segment
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/gesture"
+)
+
+// Options tunes the segmenter. Zero values take the documented defaults.
+type Options struct {
+	// SpeedThreshold is the speed, in px/s, below which the device is
+	// considered dwelling (default 40).
+	SpeedThreshold float64
+	// DwellTime is how long a dwell must last, in seconds, to terminate
+	// the stroke (default 0.15 — under the 200 ms interaction timeout, so
+	// glove dwells feel like mouse holds).
+	DwellTime float64
+	// GapTime is the sampling gap, in seconds, that unconditionally
+	// terminates a stroke (default 0.25).
+	GapTime float64
+	// MinPoints discards completed strokes shorter than this (default 4,
+	// matching the eager recognizer's minimum subgesture).
+	MinPoints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SpeedThreshold <= 0 {
+		o.SpeedThreshold = 40
+	}
+	if o.DwellTime <= 0 {
+		o.DwellTime = 0.15
+	}
+	if o.GapTime <= 0 {
+		o.GapTime = 0.25
+	}
+	if o.MinPoints <= 0 {
+		o.MinPoints = 4
+	}
+	return o
+}
+
+// Segmenter turns a continuous point stream into strokes. It is a small
+// state machine: ACTIVE while a stroke is being collected, IDLE while the
+// device dwells between strokes; a new stroke begins only when motion
+// resumes, so neither the dwell tail nor the inter-stroke hop contaminates
+// the strokes handed to the recognizer.
+type Segmenter struct {
+	opts Options
+
+	cur        geom.Path
+	last       geom.TimedPoint
+	haveLast   bool
+	active     bool
+	dwellStart float64 // time the current dwell began; NaN when moving
+	dwellCut   int     // index into cur where the dwell began
+}
+
+// New returns a segmenter.
+func New(opts Options) *Segmenter {
+	return &Segmenter{opts: opts.withDefaults(), dwellStart: math.NaN()}
+}
+
+// Add feeds one sample from the continuous stream. When the sample
+// completes a stroke (by dwell or gap), that stroke is returned; otherwise
+// nil. The returned stroke never includes the dwell tail.
+func (s *Segmenter) Add(p geom.TimedPoint) *gesture.Gesture {
+	if !s.haveLast {
+		s.haveLast = true
+		s.last = p
+		s.cur = geom.Path{p}
+		s.active = true
+		return nil
+	}
+	dt := p.T - s.last.T
+	speed := math.Inf(1)
+	if dt > 0 {
+		speed = p.Point().Dist(s.last.Point()) / dt
+	}
+	s.last = p
+
+	if dt > s.opts.GapTime {
+		// The hand left the field of view: close the stroke as-is and
+		// start fresh at the reappearance point.
+		var done *gesture.Gesture
+		if s.active {
+			n := len(s.cur)
+			if !math.IsNaN(s.dwellStart) {
+				n = s.dwellCut
+			}
+			done = s.finish(n)
+		}
+		s.cur = geom.Path{p}
+		s.active = true
+		s.dwellStart = math.NaN()
+		return done
+	}
+
+	if !s.active {
+		if speed >= s.opts.SpeedThreshold {
+			// Motion resumed: a new stroke starts here.
+			s.active = true
+			s.cur = geom.Path{p}
+			s.dwellStart = math.NaN()
+		}
+		return nil
+	}
+
+	if speed < s.opts.SpeedThreshold {
+		if math.IsNaN(s.dwellStart) {
+			s.dwellStart = s.cur[len(s.cur)-1].T
+			s.dwellCut = len(s.cur)
+		}
+		if p.T-s.dwellStart >= s.opts.DwellTime {
+			// Dwell long enough: emit the pre-dwell stroke and go idle.
+			done := s.finish(s.dwellCut)
+			s.cur = nil
+			s.active = false
+			s.dwellStart = math.NaN()
+			return done
+		}
+	} else {
+		s.dwellStart = math.NaN()
+	}
+
+	s.cur = append(s.cur, p)
+	return nil
+}
+
+// finish packages the first n collected points as a stroke, or nil when
+// too short.
+func (s *Segmenter) finish(n int) *gesture.Gesture {
+	if n > len(s.cur) {
+		n = len(s.cur)
+	}
+	if n < s.opts.MinPoints {
+		return nil
+	}
+	g := gesture.New(s.cur[:n:n])
+	return &g
+}
+
+// Flush terminates the stream, returning any in-progress stroke.
+func (s *Segmenter) Flush() *gesture.Gesture {
+	var done *gesture.Gesture
+	if s.active {
+		n := len(s.cur)
+		if !math.IsNaN(s.dwellStart) {
+			n = s.dwellCut
+		}
+		done = s.finish(n)
+	}
+	s.cur = nil
+	s.haveLast = false
+	s.active = false
+	s.dwellStart = math.NaN()
+	return done
+}
+
+// Segment is the batch convenience: run a whole stream and return every
+// stroke.
+func Segment(stream geom.Path, opts Options) []gesture.Gesture {
+	s := New(opts)
+	var out []gesture.Gesture
+	for _, p := range stream {
+		if g := s.Add(p); g != nil {
+			out = append(out, *g)
+		}
+	}
+	if g := s.Flush(); g != nil {
+		out = append(out, *g)
+	}
+	return out
+}

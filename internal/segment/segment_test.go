@@ -1,0 +1,161 @@
+package segment
+
+import (
+	"testing"
+
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/synth"
+)
+
+// stream concatenates gestures into one continuous point stream, holding
+// still for dwell seconds between them (re-emitting the last position at
+// the sampling rate, as a glove sensor would).
+func stream(dwell float64, gestures ...geom.Path) geom.Path {
+	var out geom.Path
+	t := 0.0
+	for _, g := range gestures {
+		if len(out) > 0 {
+			// Dwell at the previous end position.
+			last := out[len(out)-1]
+			steps := int(dwell / 0.02)
+			for i := 0; i < steps; i++ {
+				t += 0.02
+				out = append(out, geom.TimedPoint{X: last.X, Y: last.Y, T: t})
+			}
+		}
+		for i, p := range g {
+			if i == 0 && len(out) > 0 {
+				// Hop to the new start (fast move, still below GapTime).
+				t += 0.05
+			} else if i > 0 {
+				t += p.T - g[i-1].T
+			}
+			out = append(out, geom.TimedPoint{X: p.X, Y: p.Y, T: t})
+		}
+	}
+	return out
+}
+
+func samples(t *testing.T, seed int64) (geom.Path, geom.Path) {
+	t.Helper()
+	gen := synth.NewGenerator(synth.DefaultParams(seed))
+	u := gen.Sample(synth.UDClasses()[0]).G.Points
+	d := gen.Sample(synth.UDClasses()[1]).G.Points
+	return u, d
+}
+
+func TestDwellSplitsStrokes(t *testing.T) {
+	u, d := samples(t, 3)
+	st := stream(0.4, u, d)
+	strokes := Segment(st, Options{})
+	if len(strokes) != 2 {
+		t.Fatalf("segmented %d strokes, want 2", len(strokes))
+	}
+	// Each stroke approximates its source gesture (the dwell tail is cut,
+	// so lengths may differ by a few points).
+	if diff := strokes[0].Len() - len(u); diff < -4 || diff > 1 {
+		t.Errorf("stroke 1 has %d points vs source %d", strokes[0].Len(), len(u))
+	}
+	if strokes[0].Start().Point().Dist(u[0].Point()) > 1 {
+		t.Errorf("stroke 1 start drifted")
+	}
+}
+
+func TestSegmentedStrokesRecognize(t *testing.T) {
+	// End-to-end DataGlove story: segment a continuous stream, then
+	// classify each stroke with the ordinary recognizer.
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(7)).Set("train", synth.UDClasses(), 12)
+	rec, _, err := eager.Train(trainSet, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, d := samples(t, 9)
+	strokes := Segment(stream(0.5, u, d, u), Options{})
+	if len(strokes) != 3 {
+		t.Fatalf("segmented %d strokes", len(strokes))
+	}
+	want := []string{"U", "D", "U"}
+	for i, g := range strokes {
+		if got := rec.Classify(g); got != want[i] {
+			t.Errorf("stroke %d classified %s, want %s", i, got, want[i])
+		}
+	}
+}
+
+func TestGapSplits(t *testing.T) {
+	u, d := samples(t, 5)
+	// Concatenate with a large time gap and no dwell samples.
+	shifted := d.TimeShift(u[len(u)-1].T + 2)
+	st := append(append(geom.Path{}, u...), shifted...)
+	strokes := Segment(st, Options{})
+	if len(strokes) != 2 {
+		t.Fatalf("gap produced %d strokes", len(strokes))
+	}
+	if strokes[0].Len() != len(u) {
+		t.Errorf("gap-terminated stroke has %d points, want %d", strokes[0].Len(), len(u))
+	}
+}
+
+func TestShortStrokesDiscarded(t *testing.T) {
+	// A two-point twitch between dwells is noise, not a gesture.
+	st := geom.Path{
+		{X: 0, Y: 0, T: 0}, {X: 30, Y: 0, T: 0.02},
+	}
+	strokes := Segment(st, Options{MinPoints: 4})
+	if len(strokes) != 0 {
+		t.Fatalf("twitch produced %d strokes", len(strokes))
+	}
+}
+
+func TestStreamingAPI(t *testing.T) {
+	u, d := samples(t, 11)
+	st := stream(0.4, u, d)
+	s := New(Options{})
+	emitted := 0
+	for _, p := range st {
+		if g := s.Add(p); g != nil {
+			emitted++
+			if g.Len() < 4 {
+				t.Fatalf("emitted stroke too short: %d", g.Len())
+			}
+		}
+	}
+	if g := s.Flush(); g != nil {
+		emitted++
+	}
+	if emitted != 2 {
+		t.Fatalf("emitted %d strokes", emitted)
+	}
+	// Flush resets: reusable for the next stream.
+	if g := s.Flush(); g != nil {
+		t.Fatal("second flush emitted")
+	}
+	for _, p := range u {
+		s.Add(p)
+	}
+	if g := s.Flush(); g == nil {
+		t.Fatal("reuse after flush failed")
+	}
+}
+
+func TestDwellTailExcluded(t *testing.T) {
+	u, _ := samples(t, 13)
+	st := stream(0.5, u, u) // two strokes with a long dwell between
+	strokes := Segment(st, Options{})
+	if len(strokes) != 2 {
+		t.Fatalf("strokes = %d", len(strokes))
+	}
+	// The first stroke must not contain dwell points: consecutive
+	// duplicates at the end would betray them.
+	p := strokes[0].Points
+	dupes := 0
+	for i := 1; i < len(p); i++ {
+		if p[i].Point().Dist(p[i-1].Point()) < 1e-9 {
+			dupes++
+		}
+	}
+	if dupes > 1 {
+		t.Errorf("stroke retains %d dwell samples", dupes)
+	}
+}

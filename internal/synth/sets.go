@@ -1,0 +1,244 @@
+package synth
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// UDClasses returns the paper's pedagogical two-class set (figures 5–7):
+// both classes start with a horizontal segment; U turns up, D turns down.
+func UDClasses() []Class {
+	return []Class{
+		{Name: "U", Skeleton: []geom.Point{{X: 0, Y: 0}, {X: 85, Y: 0}, {X: 85, Y: -65}}, DecisionVertex: 1},
+		{Name: "D", Skeleton: []geom.Point{{X: 0, Y: 0}, {X: 85, Y: 0}, {X: 85, Y: 65}}, DecisionVertex: 1},
+	}
+}
+
+// RightStrokeClass returns the extra single-segment class the paper uses to
+// motivate the exclusion floor in the accidental-completeness threshold
+// ("if, in addition to U and D, there is a third gesture class consisting
+// simply of a right stroke").
+func RightStrokeClass() Class {
+	return Class{Name: "R", Skeleton: []geom.Point{{X: 0, Y: 0}, {X: 85, Y: 0}}, DecisionVertex: -1}
+}
+
+// EightDirectionClasses returns the figure-9 evaluation set: eight
+// two-segment gestures named for their segment directions ("ur" = up then
+// right). Every gesture is ambiguous along its first segment and becomes
+// unambiguous once the corner is turned.
+func EightDirectionClasses() []Class {
+	dirs := map[byte]geom.Point{
+		'u': {X: 0, Y: -1},
+		'd': {X: 0, Y: 1},
+		'l': {X: -1, Y: 0},
+		'r': {X: 1, Y: 0},
+	}
+	const seg = 75.0
+	names := []string{"ur", "ul", "dr", "dl", "ru", "rd", "lu", "ld"}
+	out := make([]Class, 0, len(names))
+	for _, n := range names {
+		d1 := dirs[n[0]].Scale(seg)
+		d2 := dirs[n[1]].Scale(seg)
+		p0 := geom.Pt(0, 0)
+		p1 := p0.Add(d1)
+		p2 := p1.Add(d2)
+		out = append(out, Class{
+			Name:           n,
+			Skeleton:       []geom.Point{p0, p1, p2},
+			DecisionVertex: 1,
+		})
+	}
+	return out
+}
+
+// arc samples a circular arc as a polyline: center (cx, cy), radius r,
+// from startAngle sweeping by sweep radians (positive = clockwise in
+// screen coordinates, since y grows downward), with n segments.
+func arc(cx, cy, rx, ry, startAngle, sweep float64, n int) []geom.Point {
+	pts := make([]geom.Point, 0, n+1)
+	for i := 0; i <= n; i++ {
+		a := startAngle + sweep*float64(i)/float64(n)
+		pts = append(pts, geom.Pt(cx+rx*math.Cos(a), cy+ry*math.Sin(a)))
+	}
+	return pts
+}
+
+// GDPClasses returns this reproduction's stylization of GDP's eleven
+// gesture classes (figure 3 / figure 10): line, rectangle, ellipse, group,
+// text, delete, edit, move, rotate-scale, copy, and dot. Shapes are chosen
+// so the ambiguity structure matches the paper's discussion:
+//
+//   - rect is the only class that starts straight down (trained in the
+//     single "U" orientation, so it is eagerly recognizable very early);
+//   - group is clockwise, per the paper's note that a counterclockwise
+//     group prevented copy from ever being eagerly recognized;
+//   - copy and ellipse are counterclockwise curves, so they share a prefix
+//     with each other but not with group;
+//   - dot is a two-point press-and-release.
+func GDPClasses() []Class {
+	classes := []Class{
+		{
+			Name:           "line",
+			Skeleton:       []geom.Point{{X: 0, Y: 0}, {X: 95, Y: 72}},
+			DecisionVertex: -1,
+		},
+		{
+			Name: "rect", // "U" orientation: down, right, up
+			Skeleton: []geom.Point{
+				{X: 0, Y: 0}, {X: 0, Y: 70}, {X: 58, Y: 70}, {X: 58, Y: 0},
+			},
+			DecisionVertex: -1,
+		},
+		{
+			Name:           "ellipse", // counterclockwise closed oval
+			Skeleton:       arc(0, 0, 46, 31, -math.Pi/2, -2*math.Pi, 16),
+			DecisionVertex: -1,
+		},
+		{
+			Name:           "group", // big clockwise lasso, slightly overlapping
+			Skeleton:       arc(0, 0, 58, 52, -math.Pi/2, 2*math.Pi*1.06, 18),
+			DecisionVertex: -1,
+		},
+		{
+			Name: "text", // small horizontal wave
+			Skeleton: []geom.Point{
+				{X: 0, Y: 0}, {X: 16, Y: 13}, {X: 32, Y: -2}, {X: 48, Y: 13}, {X: 64, Y: 0},
+			},
+			DecisionVertex: -1,
+		},
+		{
+			Name: "delete", // scratch with sharp reversals
+			Skeleton: []geom.Point{
+				{X: 0, Y: 0}, {X: 48, Y: 52}, {X: 4, Y: 40}, {X: 52, Y: 96},
+			},
+			DecisionVertex: -1,
+		},
+		{
+			Name: "edit", // the "27"-like squiggle
+			Skeleton: []geom.Point{
+				{X: 0, Y: 10}, {X: 22, Y: -6}, {X: 34, Y: 12}, {X: 6, Y: 34},
+				{X: 42, Y: 34}, {X: 24, Y: 70},
+			},
+			DecisionVertex: -1,
+		},
+		{
+			Name: "move", // chevron: up-right then down-right
+			Skeleton: []geom.Point{
+				{X: 0, Y: 0}, {X: 38, Y: -46}, {X: 76, Y: 0},
+			},
+			DecisionVertex: 1,
+		},
+		{
+			Name:           "rotate-scale", // clockwise arc past a full turn
+			Skeleton:       arc(0, 0, 36, 36, 0, 2*math.Pi*1.25, 20),
+			DecisionVertex: -1,
+		},
+		{
+			Name:           "copy", // counterclockwise "C", 3/4 turn
+			Skeleton:       arc(0, 0, 27, 27, -math.Pi/2, -1.5*math.Pi, 12),
+			DecisionVertex: -1,
+		},
+		{
+			Name:           "dot",
+			Skeleton:       []geom.Point{{X: 0, Y: 0}},
+			DecisionVertex: -1,
+		},
+	}
+	return classes
+}
+
+// NoteClasses returns Buxton's musical-note gesture set (figure 8): five
+// classes where every shorter note's gesture is a strict prefix of the next
+// longer one — quarter, eighth, sixteenth, thirty-second, sixty-fourth.
+// The paper uses this set to show gestures NOT amenable to eager
+// recognition: "these gestures would always be considered ambiguous by the
+// eager recognizer, and thus would never be eagerly recognized."
+func NoteClasses() []Class {
+	stem := []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 72}}
+	flags := []geom.Point{
+		{X: 15, Y: 58}, {X: 0, Y: 44}, {X: 15, Y: 30}, {X: 0, Y: 16},
+	}
+	names := []string{"quarter", "eighth", "sixteenth", "thirtysecond", "sixtyfourth"}
+	out := make([]Class, 0, len(names))
+	for i, n := range names {
+		skel := append([]geom.Point(nil), stem...)
+		skel = append(skel, flags[:i]...)
+		out = append(out, Class{Name: n, Skeleton: skel, DecisionVertex: -1})
+	}
+	return out
+}
+
+// ProofreaderClasses returns a stylization of the proofreader's marks from
+// the paper's introduction (figure 1, after Buxton and Coleman): the
+// "move text" circling gesture, an insert caret, and a delete strike.
+// The move gesture is a closed loop around the text; in one-phase use it
+// continues with a tail to the destination (see WithTail), which is
+// exactly the high-variance part the paper's conclusion says should be
+// manipulation instead.
+func ProofreaderClasses() []Class {
+	return []Class{
+		{
+			Name:           "move-text", // circling selection loop (a phrase)
+			Skeleton:       arc(0, 0, 34, 22, math.Pi/2, 2*math.Pi*1.04, 14),
+			DecisionVertex: -1,
+		},
+		{
+			// A second loop differing from move-text chiefly by size —
+			// the distinction lives in exactly the features (bounding box,
+			// path length, endpoint distance) that a random destination
+			// tail swamps.
+			Name:           "move-word", // tight loop around one word
+			Skeleton:       arc(0, 0, 14, 10, math.Pi/2, 2*math.Pi*1.04, 12),
+			DecisionVertex: -1,
+		},
+		{
+			Name: "insert", // caret
+			Skeleton: []geom.Point{
+				{X: 0, Y: 0}, {X: 18, Y: -26}, {X: 36, Y: 0},
+			},
+			DecisionVertex: 1,
+		},
+		{
+			Name: "delete-text", // strike-through with pigtail
+			Skeleton: []geom.Point{
+				{X: 0, Y: 0}, {X: 48, Y: -6}, {X: 58, Y: -16}, {X: 50, Y: -22}, {X: 44, Y: -12},
+			},
+			DecisionVertex: -1,
+		},
+	}
+}
+
+// WithTail appends a destination tail to a class skeleton: the stroke
+// continues from the gesture's end to a point offset by (dx, dy). In the
+// paper's one-phase systems the move-text tail indicates the destination
+// and varies enormously between instances; the two-phase interaction moves
+// it into the manipulation phase.
+func WithTail(c Class, dx, dy float64) Class {
+	out := c
+	out.Skeleton = append(append([]geom.Point(nil), c.Skeleton...),
+		c.Skeleton[len(c.Skeleton)-1].Add(geom.Pt(dx, dy)))
+	return out
+}
+
+// RotatedClass returns a copy of the class with its skeleton rotated by
+// angle radians about its first vertex. The paper's modified GDP requires
+// the rectangle gesture to be "trained in multiple orientations"; this
+// helper builds those variants.
+func RotatedClass(c Class, angle float64) Class {
+	out := c
+	out.Skeleton = make([]geom.Point, len(c.Skeleton))
+	for i, p := range c.Skeleton {
+		out.Skeleton[i] = p.Sub(c.Skeleton[0]).Rotate(angle).Add(c.Skeleton[0])
+	}
+	return out
+}
+
+// ClassNames returns the names of a class slice, in order.
+func ClassNames(classes []Class) []string {
+	out := make([]string, len(classes))
+	for i, c := range classes {
+		out[i] = c.Name
+	}
+	return out
+}

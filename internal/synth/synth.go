@@ -1,0 +1,265 @@
+// Package synth generates synthetic single-stroke gestures with realistic
+// sampling characteristics. It is this reproduction's substitute for the
+// human mouse/stylus input the paper collected on a DEC MicroVAX II: the
+// recognizer consumes only (x, y, t) sequences, and these generators are
+// calibrated to the paper's figures — gestures of roughly 8–60 points,
+// sampled at mouse rates, with spatial jitter, speed variation, and the
+// specific failure mode the paper reports ("a corner looping 270 degrees
+// rather than being a sharp 90").
+//
+// All generation is deterministic for a given seed.
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/mathx"
+)
+
+// Params controls the stroke synthesizer.
+type Params struct {
+	// Seed drives all randomness. Identical Params produce identical sets.
+	Seed int64
+	// DT is the nominal sampling interval in seconds (mouse event rate).
+	DT float64
+	// Speed is the nominal drawing speed in pixels/second.
+	Speed float64
+	// SpeedJitter is the fractional per-gesture speed variation.
+	SpeedJitter float64
+	// Jitter is the per-point Gaussian positional noise, in pixels.
+	Jitter float64
+	// TimeJitter is the fractional per-sample timestamp noise.
+	TimeJitter float64
+	// ScaleJitter is the fractional per-gesture size variation.
+	ScaleJitter float64
+	// RotJitter is the per-gesture rotation noise, in radians.
+	RotJitter float64
+	// CornerLoopProb is the probability that any given corner is drawn as
+	// a ~270-degree loop in the wrong direction instead of a sharp turn —
+	// the error mode the paper observed in its test data.
+	CornerLoopProb float64
+	// CornerLoopRadius is the radius of such loops, in pixels.
+	CornerLoopRadius float64
+}
+
+// DefaultParams returns parameters that produce gestures comparable to the
+// paper's data: ~20 ms sampling, a few hundred pixels/second, light jitter,
+// and a 5% corner-loop rate.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:             seed,
+		DT:               0.02,
+		Speed:            380,
+		SpeedJitter:      0.18,
+		Jitter:           1.1,
+		TimeJitter:       0.08,
+		ScaleJitter:      0.12,
+		RotJitter:        0.05,
+		CornerLoopProb:   0.05,
+		CornerLoopRadius: 7,
+	}
+}
+
+// Class describes one gesture class as a skeleton polyline. The synthesizer
+// perturbs and samples the skeleton to produce examples.
+type Class struct {
+	Name string
+	// Skeleton is the ideal polyline, in a y-grows-downward coordinate
+	// system. A single-point skeleton denotes a "dot" gesture (two nearly
+	// coincident samples).
+	Skeleton []geom.Point
+	// DecisionVertex is the index of the skeleton vertex after which the
+	// class becomes visually unambiguous (the corner turn in the paper's
+	// fig. 9 sets), or -1 when no such oracle is defined. It feeds the
+	// "minimum points before unambiguous" measurement that the author
+	// determined by hand.
+	DecisionVertex int
+}
+
+// Sample is one generated gesture with its ground-truth metadata.
+type Sample struct {
+	Class string
+	G     gesture.Gesture
+	// MinPoints is the oracle minimum number of mouse points that must be
+	// seen before the gesture is unambiguous (0 when no oracle applies).
+	MinPoints int
+}
+
+// Generator synthesizes gestures. Not safe for concurrent use.
+type Generator struct {
+	p   Params
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator for the given parameters.
+func NewGenerator(p Params) *Generator {
+	if p.DT <= 0 {
+		p.DT = 0.02
+	}
+	if p.Speed <= 0 {
+		p.Speed = 380
+	}
+	return &Generator{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Sample generates one example of the class at a random origin.
+func (g *Generator) Sample(c Class) Sample {
+	return g.SampleAt(c, g.randOrigin())
+}
+
+// SampleAt generates one example of the class with its skeleton anchored at
+// the given origin — used when a gesture must land on a particular object,
+// e.g. when driving GDP over a scene.
+func (g *Generator) SampleAt(c Class, origin geom.Point) Sample {
+	if len(c.Skeleton) <= 1 {
+		return g.dot(c, origin)
+	}
+	poly, decisionLen := g.render(c, origin)
+	pts, minPts := g.trace(poly, decisionLen)
+	return Sample{Class: c.Name, G: gesture.New(pts), MinPoints: minPts}
+}
+
+// Set generates n examples of every class, returning both a training set
+// and the per-example metadata (aligned with the set's example order).
+func (g *Generator) Set(name string, classes []Class, n int) (*gesture.Set, []Sample) {
+	set := &gesture.Set{Name: name}
+	var meta []Sample
+	for _, c := range classes {
+		for i := 0; i < n; i++ {
+			s := g.Sample(c)
+			set.Add(s.Class, s.G)
+			meta = append(meta, s)
+		}
+	}
+	return set, meta
+}
+
+// dot produces the GDP "dot" gesture: a press and release with essentially
+// no motion.
+func (g *Generator) dot(c Class, origin geom.Point) Sample {
+	var base geom.Point
+	if len(c.Skeleton) == 1 {
+		base = c.Skeleton[0]
+	}
+	p0 := base.Add(origin)
+	p1 := p0.Add(geom.Pt(g.rng.NormFloat64()*0.6, g.rng.NormFloat64()*0.6))
+	dt := 0.03 + g.rng.Float64()*0.05
+	pts := geom.Path{
+		{X: p0.X, Y: p0.Y, T: 0},
+		{X: p1.X, Y: p1.Y, T: dt},
+	}
+	return Sample{Class: c.Name, G: gesture.New(pts)}
+}
+
+func (g *Generator) randOrigin() geom.Point {
+	return geom.Pt(100+g.rng.Float64()*300, 100+g.rng.Float64()*200)
+}
+
+// render turns the class skeleton into a dense polyline to be traced,
+// applying the per-gesture transform and corner-loop defects. It returns
+// the polyline and the arc length at which the decision vertex falls
+// (-1 when the class has no decision oracle).
+func (g *Generator) render(c Class, origin geom.Point) ([]geom.Point, float64) {
+	// Per-gesture similarity transform about the first vertex.
+	scale := 1 + g.rng.NormFloat64()*g.p.ScaleJitter
+	scale = mathx.Clamp(scale, 0.6, 1.5)
+	rot := g.rng.NormFloat64() * g.p.RotJitter
+	skel := make([]geom.Point, len(c.Skeleton))
+	for i, p := range c.Skeleton {
+		q := p.Sub(c.Skeleton[0]).Scale(scale).Rotate(rot).Add(c.Skeleton[0])
+		skel[i] = q.Add(origin)
+	}
+
+	out := []geom.Point{skel[0]}
+	decisionLen := -1.0
+	runLen := 0.0
+	for i := 1; i < len(skel); i++ {
+		prev := out[len(out)-1]
+		// Interior vertex with a potential corner defect?
+		isCorner := i < len(skel)-1
+		if isCorner && g.rng.Float64() < g.p.CornerLoopProb {
+			loop := g.cornerLoop(skel[i-1], skel[i], skel[i+1])
+			runLen += prev.Dist(skel[i])
+			out = append(out, skel[i])
+			for _, lp := range loop {
+				runLen += out[len(out)-1].Dist(lp)
+				out = append(out, lp)
+			}
+		} else {
+			runLen += prev.Dist(skel[i])
+			out = append(out, skel[i])
+		}
+		if i == c.DecisionVertex {
+			decisionLen = runLen
+		}
+	}
+	return out, decisionLen
+}
+
+// cornerLoop builds the paper's observed failure mode: instead of turning
+// sharply from the incoming to the outgoing direction, the pen sweeps a
+// small loop the long way around (e.g. -270 degrees instead of +90).
+func (g *Generator) cornerLoop(a, v, b geom.Point) []geom.Point {
+	d1 := v.Sub(a)
+	d2 := b.Sub(v)
+	a1 := d1.Angle()
+	a2 := d2.Angle()
+	turn := mathx.NormalizeAngle(a2 - a1)
+	if turn == 0 {
+		return nil
+	}
+	// Go the other way around: a turn of turn - sign(turn)*2*pi.
+	longTurn := turn - math.Copysign(2*math.Pi, turn)
+	r := g.p.CornerLoopRadius * (0.8 + g.rng.Float64()*0.5)
+	const steps = 10
+	pts := make([]geom.Point, 0, steps)
+	heading := a1
+	cur := v
+	stepLen := math.Abs(longTurn) * r / steps
+	for i := 0; i < steps; i++ {
+		heading += longTurn / steps
+		cur = cur.Add(geom.Pt(math.Cos(heading), math.Sin(heading)).Scale(stepLen))
+		pts = append(pts, cur)
+	}
+	// Re-aim at b so the outgoing segment stays on course.
+	return pts
+}
+
+// trace samples the polyline at mouse rate with speed and position noise.
+// It returns the samples and the oracle minimum point count (the first
+// sample index strictly past decisionLen, 1-based), or 0 when decisionLen
+// is negative.
+func (g *Generator) trace(poly []geom.Point, decisionLen float64) (geom.Path, int) {
+	total := geom.PolylineLength(poly)
+	base := g.p.Speed * (1 + g.rng.NormFloat64()*g.p.SpeedJitter)
+	base = math.Max(80, base)
+
+	var pts geom.Path
+	minPts := 0
+	t := 0.0
+	pos := 0.0
+	for {
+		p, _ := geom.PointAlongPolyline(poly, pos)
+		jp := p.Add(geom.Pt(g.rng.NormFloat64()*g.p.Jitter, g.rng.NormFloat64()*g.p.Jitter))
+		pts = append(pts, geom.TimedPoint{X: jp.X, Y: jp.Y, T: t})
+		if decisionLen >= 0 && minPts == 0 && pos > decisionLen {
+			minPts = len(pts)
+		}
+		if pos >= total {
+			break
+		}
+		// Ease-in/ease-out speed profile along the stroke.
+		frac := pos / total
+		v := base * (0.55 + 0.75*math.Sin(math.Pi*mathx.Clamp(frac, 0, 1)))
+		v = math.Max(60, v)
+		pos = math.Min(total, pos+v*g.p.DT)
+		t += g.p.DT * math.Max(0.2, 1+g.rng.NormFloat64()*g.p.TimeJitter)
+	}
+	if decisionLen >= 0 && minPts == 0 {
+		minPts = len(pts)
+	}
+	return pts, minPts
+}

@@ -1,0 +1,172 @@
+// Package template implements a template-matching (nearest-neighbor)
+// single-stroke recognizer: resample, normalize, and compare against
+// stored training examples. Recognizers of this family preceded and
+// followed Rubine's statistical method (the paper surveys the Ledeen
+// recognizer and connectionist models as the trainable alternatives; the
+// later "$1" recognizer family descends from exactly this scheme). It
+// serves as the baseline comparator in experiment A7: matching accuracy,
+// very different cost structure — classification is O(templates x points)
+// against the statistical method's O(classes x features) — and, crucially,
+// no notion of mid-stroke ambiguity, so it cannot support eager
+// recognition.
+package template
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/gesture"
+)
+
+// Options configures the recognizer.
+type Options struct {
+	// Points is the resample count (default 64).
+	Points int
+	// RotationInvariant rotates each stroke so its centroid-to-first-point
+	// angle is zero before matching. Off by default: Rubine's features are
+	// orientation-sensitive too, and gesture sets (like GDP's) rely on
+	// orientation to distinguish classes.
+	RotationInvariant bool
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options { return Options{Points: 64} }
+
+// Recognizer is a trained template matcher.
+type Recognizer struct {
+	Opts      Options
+	Templates []Template
+}
+
+// Template is one normalized training example.
+type Template struct {
+	Class  string
+	Points []geom.Point
+}
+
+// Train stores a normalized template per training example.
+func Train(set *gesture.Set, opts Options) (*Recognizer, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Points <= 1 {
+		opts.Points = 64
+	}
+	r := &Recognizer{Opts: opts}
+	for _, e := range set.Examples {
+		r.Templates = append(r.Templates, Template{
+			Class:  e.Class,
+			Points: r.normalize(e.Gesture),
+		})
+	}
+	if len(r.Templates) == 0 {
+		return nil, errors.New("template: no templates")
+	}
+	return r, nil
+}
+
+// normalize resamples to Opts.Points, translates the centroid to the
+// origin, scales the bounding box's longer side to 1, and optionally
+// rotates the indicative angle to zero.
+func (r *Recognizer) normalize(g gesture.Gesture) []geom.Point {
+	pts := g.Points.Resample(r.Opts.Points).Polygon()
+	if len(pts) == 0 {
+		return pts
+	}
+	// Pad degenerate strokes (e.g. the 2-point dot) to the full count so
+	// distances stay well-defined.
+	for len(pts) < r.Opts.Points {
+		pts = append(pts, pts[len(pts)-1])
+	}
+	// Centroid to origin.
+	var cx, cy float64
+	for _, p := range pts {
+		cx += p.X
+		cy += p.Y
+	}
+	cx /= float64(len(pts))
+	cy /= float64(len(pts))
+	for i := range pts {
+		pts[i].X -= cx
+		pts[i].Y -= cy
+	}
+	if r.Opts.RotationInvariant {
+		ang := pts[0].Angle()
+		for i := range pts {
+			pts[i] = pts[i].Rotate(-ang)
+		}
+	}
+	// Scale the longer bbox side to 1 (degenerate strokes stay tiny, which
+	// is itself the signature of a dot).
+	b := geom.EmptyRect()
+	for _, p := range pts {
+		b = b.AddPoint(p)
+	}
+	side := math.Max(b.Width(), b.Height())
+	if side > 1e-9 {
+		for i := range pts {
+			pts[i].X /= side
+			pts[i].Y /= side
+		}
+	}
+	return pts
+}
+
+// distance is the mean point-to-point Euclidean distance between two
+// normalized strokes.
+func distance(a, b []geom.Point) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += a[i].Dist(b[i])
+	}
+	return sum / float64(n)
+}
+
+// Classify returns the class of the nearest template.
+func (r *Recognizer) Classify(g gesture.Gesture) string {
+	class, _ := r.ClassifyWithDistance(g)
+	return class
+}
+
+// ClassifyWithDistance also returns the nearest-template distance, usable
+// as a rejection signal.
+func (r *Recognizer) ClassifyWithDistance(g gesture.Gesture) (string, float64) {
+	probe := r.normalize(g)
+	best := ""
+	bestD := math.Inf(1)
+	for i := range r.Templates {
+		if d := distance(probe, r.Templates[i].Points); d < bestD {
+			best, bestD = r.Templates[i].Class, d
+		}
+	}
+	return best, bestD
+}
+
+// Accuracy classifies every example in a set and returns the fraction
+// classified correctly.
+func (r *Recognizer) Accuracy(set *gesture.Set) float64 {
+	if set.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for _, e := range set.Examples {
+		if r.Classify(e.Gesture) == e.Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(set.Len())
+}
+
+// String summarizes the recognizer.
+func (r *Recognizer) String() string {
+	return fmt.Sprintf("template recognizer: %d templates x %d points", len(r.Templates), r.Opts.Points)
+}

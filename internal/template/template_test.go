@@ -1,0 +1,117 @@
+package template
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gesture"
+	"repro/internal/synth"
+)
+
+func sets(t *testing.T, classes []synth.Class, trainN, testN int, seed int64) (*gesture.Set, *gesture.Set) {
+	t.Helper()
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(seed)).Set("train", classes, trainN)
+	testSet, _ := synth.NewGenerator(synth.DefaultParams(seed+1000)).Set("test", classes, testN)
+	return trainSet, testSet
+}
+
+func TestEightDirectionsAccuracy(t *testing.T) {
+	trainSet, testSet := sets(t, synth.EightDirectionClasses(), 10, 30, 1)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := r.Accuracy(testSet); acc < 0.95 {
+		t.Errorf("accuracy %.3f", acc)
+	}
+}
+
+func TestGDPAccuracy(t *testing.T) {
+	trainSet, testSet := sets(t, synth.GDPClasses(), 10, 30, 2)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := r.Accuracy(testSet); acc < 0.9 {
+		t.Errorf("GDP accuracy %.3f", acc)
+	}
+}
+
+func TestNormalizationInvariances(t *testing.T) {
+	trainSet, testSet := sets(t, synth.UDClasses(), 8, 10, 3)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range testSet.Examples {
+		base := r.Classify(e.Gesture)
+		// Translation invariance.
+		moved := gesture.New(e.Gesture.Points.Translate(500, -300))
+		if got := r.Classify(moved); got != base {
+			t.Fatalf("translation changed class: %s vs %s", got, base)
+		}
+		// Scale invariance.
+		scaled := gesture.New(e.Gesture.Points.ScaleAbout(e.Gesture.Start().Point(), 1.7))
+		if got := r.Classify(scaled); got != base {
+			t.Fatalf("scaling changed class: %s vs %s", got, base)
+		}
+	}
+}
+
+func TestRotationInvariantOption(t *testing.T) {
+	// The eight-direction classes contain true rotations of one another
+	// (ur rotated 90 degrees clockwise is rd, and so on), so a
+	// rotation-invariant matcher must collapse those distinctions and do
+	// much worse than the orientation-sensitive default.
+	trainSet, testSet := sets(t, synth.EightDirectionClasses(), 10, 10, 4)
+	opts := DefaultOptions()
+	opts.RotationInvariant = true
+	r, err := Train(trainSet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rDefault, _ := Train(trainSet, DefaultOptions())
+	accInv := r.Accuracy(testSet)
+	accDef := rDefault.Accuracy(testSet)
+	if accInv >= accDef-0.1 {
+		t.Errorf("rotation invariance did not hurt the rotation-paired set: %.2f vs %.2f", accInv, accDef)
+	}
+}
+
+func TestDegenerateStrokes(t *testing.T) {
+	trainSet, _ := sets(t, synth.GDPClasses(), 5, 1, 5)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-point dot classifies without panicking, and as dot.
+	g := synth.NewGenerator(synth.DefaultParams(6))
+	var dotClass synth.Class
+	for _, c := range synth.GDPClasses() {
+		if c.Name == "dot" {
+			dotClass = c
+		}
+	}
+	s := g.Sample(dotClass)
+	if got := r.Classify(s.G); got != "dot" {
+		t.Errorf("dot classified as %s", got)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(&gesture.Set{}, DefaultOptions()); err == nil {
+		t.Error("empty set accepted")
+	}
+	// Points <= 1 falls back to the default.
+	trainSet, _ := sets(t, synth.UDClasses(), 3, 1, 7)
+	r, err := Train(trainSet, Options{Points: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Opts.Points != 64 {
+		t.Errorf("Points default = %d", r.Opts.Points)
+	}
+	if !strings.Contains(r.String(), "templates") {
+		t.Error("String")
+	}
+}

@@ -1,0 +1,333 @@
+// Package rubine is the public API of this reproduction of Dean Rubine's
+// "Integrating Gesture Recognition and Direct Manipulation" (USENIX 1991).
+//
+// It re-exports the building blocks a downstream application needs:
+//
+//   - gesture data types and synthetic generators (Gesture, Set, the
+//     figure-9/figure-10 gesture sets);
+//   - the statistical single-stroke recognizer (TrainFull / FullRecognizer);
+//   - eager recognition — training recognizers that classify a gesture
+//     mid-stroke, as soon as it becomes unambiguous (TrainEager,
+//     EagerRecognizer, EagerSession);
+//   - the GRANDMA toolkit for two-phase gesture-plus-direct-manipulation
+//     interfaces (View, GestureHandler, Semantics, transition modes);
+//   - GDP, the gesture-based drawing program built on all of the above.
+//
+// Quick start:
+//
+//	set, _ := rubine.Generate(rubine.EightDirections, 15, 1)
+//	rec, report, err := rubine.TrainEager(set, rubine.DefaultEagerOptions())
+//	...
+//	session := rec.NewSession()
+//	for _, p := range stroke {
+//	    if fired, class := session.Add(p); fired {
+//	        // switch to the manipulation phase for `class`
+//	    }
+//	}
+package rubine
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/eager"
+	"repro/internal/gdp"
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/grandma"
+	"repro/internal/multipath"
+	"repro/internal/multistroke"
+	"repro/internal/recognizer"
+	"repro/internal/segment"
+	"repro/internal/synth"
+	"repro/internal/template"
+)
+
+// Geometry and gesture data types.
+type (
+	// Point is a plain 2-D point (x right, y down).
+	Point = geom.Point
+	// TimedPoint is one mouse sample (x, y, t) — t in seconds.
+	TimedPoint = geom.TimedPoint
+	// Path is a sequence of mouse samples.
+	Path = geom.Path
+	// Gesture is a single-stroke gesture.
+	Gesture = gesture.Gesture
+	// Example is a labelled gesture.
+	Example = gesture.Example
+	// Set is a named collection of labelled gestures.
+	Set = gesture.Set
+)
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// TPt constructs a TimedPoint.
+func TPt(x, y, t float64) TimedPoint { return geom.TPt(x, y, t) }
+
+// NewGesture wraps a path as a gesture.
+func NewGesture(p Path) Gesture { return gesture.New(p) }
+
+// LoadSet reads a gesture set from a JSON file.
+func LoadSet(path string) (*Set, error) { return gesture.LoadFile(path) }
+
+// Recognizers.
+type (
+	// FullRecognizer is the paper's full (non-eager) statistical
+	// classifier over complete gestures.
+	FullRecognizer = recognizer.Full
+	// EagerRecognizer classifies gestures mid-stroke, as soon as they are
+	// unambiguous.
+	EagerRecognizer = eager.Recognizer
+	// EagerSession is a streaming recognition session over one stroke.
+	EagerSession = eager.Session
+	// EagerOptions configures eager training.
+	EagerOptions = eager.Options
+	// EagerReport captures per-stage eager-training statistics.
+	EagerReport = eager.Report
+	// TrainOptions configures full-classifier training.
+	TrainOptions = recognizer.TrainOptions
+)
+
+// TrainFull trains the full classifier from a labelled set.
+func TrainFull(set *Set, opts TrainOptions) (*FullRecognizer, error) {
+	return recognizer.Train(set, opts)
+}
+
+// DefaultTrainOptions returns paper-faithful full-training options.
+func DefaultTrainOptions() TrainOptions { return recognizer.DefaultTrainOptions() }
+
+// TrainEager trains an eager recognizer (sections 4.3-4.7 of the paper).
+func TrainEager(set *Set, opts EagerOptions) (*EagerRecognizer, *EagerReport, error) {
+	return eager.Train(set, opts)
+}
+
+// DefaultEagerOptions returns the paper-faithful eager configuration:
+// 5x ambiguity bias and the 50% accidental-completeness threshold.
+func DefaultEagerOptions() EagerOptions { return eager.DefaultOptions() }
+
+// LoadEager reads a trained eager recognizer from a JSON file.
+func LoadEager(path string) (*EagerRecognizer, error) { return eager.LoadFile(path) }
+
+// LoadFull reads a trained full recognizer from a JSON file.
+func LoadFull(path string) (*FullRecognizer, error) { return recognizer.LoadFile(path) }
+
+// Synthetic gesture generation (the stand-in for human input).
+type (
+	// GestureClass is a skeleton-defined gesture class for the generator.
+	GestureClass = synth.Class
+	// GenParams controls the stroke synthesizer.
+	GenParams = synth.Params
+	// Generator synthesizes gesture examples.
+	Generator = synth.Generator
+)
+
+// Predefined gesture-set identifiers for Generate.
+const (
+	// UD is the paper's two-class pedagogical set (figures 5-7).
+	UD = "ud"
+	// EightDirections is the figure-9 evaluation set.
+	EightDirections = "eight"
+	// GDPSet is the eleven-class GDP set (figures 3 and 10).
+	GDPSet = "gdp"
+	// Notes is Buxton's note-duration set (figure 8) — not amenable to
+	// eager recognition.
+	Notes = "notes"
+)
+
+// Classes returns the class definitions of a predefined set identifier.
+func Classes(name string) []GestureClass {
+	switch name {
+	case UD:
+		return synth.UDClasses()
+	case EightDirections:
+		return synth.EightDirectionClasses()
+	case GDPSet:
+		return synth.GDPClasses()
+	case Notes:
+		return synth.NoteClasses()
+	default:
+		return nil
+	}
+}
+
+// Generate produces n examples per class of a predefined set with the
+// given seed. It returns nil for an unknown set name.
+func Generate(name string, n int, seed int64) *Set {
+	classes := Classes(name)
+	if classes == nil {
+		return nil
+	}
+	set, _ := synth.NewGenerator(synth.DefaultParams(seed)).Set(name, classes, n)
+	return set
+}
+
+// NewGenerator returns a gesture synthesizer for custom classes.
+func NewGenerator(p GenParams) *Generator { return synth.NewGenerator(p) }
+
+// DefaultGenParams returns generator parameters calibrated to the paper's
+// data.
+func DefaultGenParams(seed int64) GenParams { return synth.DefaultParams(seed) }
+
+// GRANDMA toolkit.
+type (
+	// View is a displayable object with an event-handler list.
+	View = grandma.View
+	// ViewClass groups views and carries inherited handlers.
+	ViewClass = grandma.ViewClass
+	// UISession is a running GRANDMA interface over a view tree.
+	UISession = grandma.Session
+	// GestureHandler implements the two-phase interaction.
+	GestureHandler = grandma.GestureHandler
+	// Semantics is the recog/manip/done behaviour triple.
+	Semantics = grandma.Semantics
+	// Attrs carries gestural attributes into semantics.
+	Attrs = grandma.Attrs
+	// TransitionMode selects mouse-up, timeout, or eager transitions.
+	TransitionMode = grandma.TransitionMode
+	// DragHandler is the classic direct-manipulation drag.
+	DragHandler = grandma.DragHandler
+)
+
+// Transition modes for the two-phase interaction.
+const (
+	ModeMouseUp = grandma.ModeMouseUp
+	ModeTimeout = grandma.ModeTimeout
+	ModeEager   = grandma.ModeEager
+)
+
+// NewGestureHandler builds a gesture handler around a full classifier
+// (mouse-up or timeout transitions).
+func NewGestureHandler(full *FullRecognizer, mode TransitionMode) *GestureHandler {
+	return grandma.NewGestureHandler(full, mode)
+}
+
+// NewEagerGestureHandler builds a gesture handler with eager transitions.
+func NewEagerGestureHandler(rec *EagerRecognizer) *GestureHandler {
+	return grandma.NewEagerGestureHandler(rec)
+}
+
+// GDP, the demonstration application.
+type (
+	// GDP is the gesture-based drawing program.
+	GDP = gdp.App
+	// GDPConfig configures a GDP instance.
+	GDPConfig = gdp.Config
+	// Shape is a GDP drawable.
+	Shape = gdp.Shape
+)
+
+// NewGDP builds a GDP instance.
+func NewGDP(cfg GDPConfig) (*GDP, error) { return gdp.New(cfg) }
+
+// Multi-finger (Sensor Frame) extension — section 6 of the paper.
+type (
+	// Transform is an incremental similarity transform (two-finger
+	// translate-rotate-scale).
+	Transform = multipath.Transform
+	// TransformTracker accumulates incremental transforms from a moving
+	// finger pair.
+	TransformTracker = multipath.TransformTracker
+	// MultiSession is a multi-finger two-phase interaction session.
+	MultiSession = multipath.Session
+	// FingerEvent is one finger sample in a multi-finger session.
+	FingerEvent = multipath.Event
+)
+
+// SolveTransform computes the similarity transform mapping finger pair
+// (a0, b0) onto (a1, b1).
+func SolveTransform(a0, b0, a1, b1 Point) Transform {
+	return multipath.Solve(a0, b0, a1, b1)
+}
+
+// NewMultiSession starts a multi-finger interaction over an eager
+// recognizer.
+func NewMultiSession(rec *EagerRecognizer) *MultiSession {
+	return multipath.NewSession(rec)
+}
+
+// Recorder captures raw strokes drawn through a GRANDMA session as
+// labelled examples — the collection half of train-by-example.
+type Recorder = grandma.Recorder
+
+// Multi-stroke marks — the paper's other section-6 extension: adapting the
+// single-stroke recognizer to marks like "X" that need several strokes.
+type (
+	// MultiStrokeRecognizer groups strokes into marks and matches them
+	// against registered definitions.
+	MultiStrokeRecognizer = multistroke.Recognizer
+	// MultiStrokeDefinition describes one multi-stroke class as a sequence
+	// of single-stroke classes.
+	MultiStrokeDefinition = multistroke.Definition
+	// MultiStrokeConfig tunes stroke grouping (timeout, distance).
+	MultiStrokeConfig = multistroke.Config
+	// Mark is one recognized multi-stroke gesture.
+	Mark = multistroke.Mark
+)
+
+// NewMultiStroke builds a multi-stroke recognizer over a trained
+// single-stroke classifier.
+func NewMultiStroke(single *FullRecognizer, cfg MultiStrokeConfig) *MultiStrokeRecognizer {
+	return multistroke.New(single, cfg)
+}
+
+// DefaultMultiStrokeConfig returns the standard grouping parameters.
+func DefaultMultiStrokeConfig() MultiStrokeConfig { return multistroke.DefaultConfig() }
+
+// Runtime gesture-set editing — GRANDMA's train-by-example loop.
+type (
+	// GestureEditor records new gesture examples through a live interface,
+	// retrains, and swaps the recognizer into the handler without
+	// restarting.
+	GestureEditor = grandma.Editor
+	// Observable and Subject form GRANDMA's model layer: application
+	// objects announce changes; bound sessions repaint.
+	Observable = grandma.Observable
+	Subject    = grandma.Subject
+)
+
+// NewGestureEditor builds an editor over a handler and a seed example set
+// (nil starts empty).
+func NewGestureEditor(h *GestureHandler, seed *Set, opts EagerOptions) *GestureEditor {
+	return grandma.NewEditor(h, seed, opts)
+}
+
+// Gesture-set design analysis and the baseline recognizer.
+type (
+	// SetReport is the gesture-set design analysis: pairwise separation,
+	// per-class eagerness, prefix-confusion warnings.
+	SetReport = analysis.Report
+	// TemplateRecognizer is the nearest-neighbor baseline recognizer.
+	TemplateRecognizer = template.Recognizer
+	// TemplateOptions configures the baseline recognizer.
+	TemplateOptions = template.Options
+)
+
+// AnalyzeSet evaluates a gesture set's design (see internal/analysis).
+func AnalyzeSet(set *Set) (*SetReport, error) {
+	return analysis.Analyze(set, analysis.DefaultOptions())
+}
+
+// TrainTemplate trains the template-matching baseline recognizer.
+func TrainTemplate(set *Set, opts TemplateOptions) (*TemplateRecognizer, error) {
+	return template.Train(set, opts)
+}
+
+// DefaultTemplateOptions returns the baseline's standard configuration.
+func DefaultTemplateOptions() TemplateOptions { return template.DefaultOptions() }
+
+// Stroke segmentation for devices with no explicit gesture start signal
+// (the paper's DataGlove future-work item).
+type (
+	// Segmenter carves a continuous point stream into strokes by dwell
+	// and gap detection.
+	Segmenter = segment.Segmenter
+	// SegmentOptions tunes the segmenter.
+	SegmentOptions = segment.Options
+)
+
+// NewSegmenter returns a stroke segmenter.
+func NewSegmenter(opts SegmentOptions) *Segmenter { return segment.New(opts) }
+
+// SegmentStream carves a whole stream into strokes in one call.
+func SegmentStream(stream Path, opts SegmentOptions) []Gesture {
+	return segment.Segment(stream, opts)
+}

@@ -1,0 +1,89 @@
+package rubine
+
+import (
+	"testing"
+)
+
+func TestGenerateAndTrainFull(t *testing.T) {
+	set := Generate(EightDirections, 10, 1)
+	if set == nil || set.Len() != 80 {
+		t.Fatalf("Generate returned %v", set)
+	}
+	rec, err := TrainFull(set, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := Generate(EightDirections, 10, 2)
+	acc, _ := rec.Accuracy(test)
+	if acc < 0.9 {
+		t.Errorf("accuracy %.3f", acc)
+	}
+}
+
+func TestTrainEagerAndSession(t *testing.T) {
+	set := Generate(UD, 12, 3)
+	rec, report, err := TrainEager(set, DefaultEagerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Subgestures == 0 {
+		t.Error("empty report")
+	}
+	test := Generate(UD, 5, 4)
+	for _, e := range test.Examples {
+		s := rec.NewSession()
+		fired := false
+		for _, p := range e.Gesture.Points {
+			if ok, class := s.Add(p); ok {
+				fired = true
+				if class == "" {
+					t.Fatal("empty class on fire")
+				}
+			}
+		}
+		final := s.End()
+		if final != "U" && final != "D" {
+			t.Fatalf("class %q", final)
+		}
+		_ = fired
+	}
+}
+
+func TestClassesCatalog(t *testing.T) {
+	for name, want := range map[string]int{UD: 2, EightDirections: 8, GDPSet: 11, Notes: 5} {
+		if got := len(Classes(name)); got != want {
+			t.Errorf("Classes(%s) = %d classes, want %d", name, got, want)
+		}
+	}
+	if Classes("bogus") != nil || Generate("bogus", 1, 1) != nil {
+		t.Error("unknown set not rejected")
+	}
+}
+
+func TestNewGDPFacade(t *testing.T) {
+	app, err := NewGDP(GDPConfig{TrainPerClass: 5, Mode: ModeMouseUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Scene.Len() != 0 {
+		t.Error("fresh GDP has shapes")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	p := Pt(1, 2)
+	if p.X != 1 || p.Y != 2 {
+		t.Error("Pt")
+	}
+	tp := TPt(1, 2, 3)
+	if tp.T != 3 {
+		t.Error("TPt")
+	}
+	g := NewGesture(Path{tp})
+	if g.Len() != 1 {
+		t.Error("NewGesture")
+	}
+	if DefaultGenParams(9).Seed != 9 {
+		t.Error("DefaultGenParams")
+	}
+}
