@@ -106,10 +106,17 @@ func gdpTestData(b *testing.B) (*eager.Recognizer, []linalg.Vec, int) {
 	var vecs []linalg.Vec
 	points := 0
 	for _, e := range testSet.Examples {
-		ext := features.NewExtractor(rec.Full.Opts)
+		ext, err := features.NewExtractor(rec.Full.Opts)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, p := range e.Gesture.Points {
 			ext.Add(p)
-			vecs = append(vecs, ext.Vector())
+			v, err := ext.Vector()
+			if err != nil {
+				b.Fatal(err)
+			}
+			vecs = append(vecs, v)
 		}
 		points += e.Gesture.Len()
 	}
@@ -121,7 +128,10 @@ func gdpTestData(b *testing.B) (*eager.Recognizer, []linalg.Vec, int) {
 func BenchmarkFeatureUpdatePerPoint(b *testing.B) {
 	rec, _, _ := gdpTestData(b)
 	testSet, _ := synth.NewGenerator(synth.DefaultParams(7)).Set("t", synth.GDPClasses(), 5)
-	ext := features.NewExtractor(rec.Full.Opts)
+	ext, err := features.NewExtractor(rec.Full.Opts)
+	if err != nil {
+		b.Fatal(err)
+	}
 	pts := testSet.Examples[0].Gesture.Points
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

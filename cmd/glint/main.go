@@ -1,0 +1,67 @@
+// Command glint runs the repository's domain-specific static-analysis
+// suite (internal/lint) over Go packages:
+//
+//	go run ./cmd/glint ./...
+//
+// It prints one line per finding and exits 1 when there are findings,
+// 2 on a load or internal error, and 0 on a clean run. The analyzers and
+// the //lint:ignore allowlist mechanism are documented in DESIGN.md
+// ("Static analysis & invariants").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("glint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("dir", ".", "directory to resolve package patterns from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "glint: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "glint: %s: %v\n", pkg.ImportPath, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "glint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -33,7 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	var classify func(g gesture.Gesture) (string, int)
+	var classify func(g gesture.Gesture) (string, int, error)
 	if *eagerFlag {
 		rec, err := eager.LoadFile(*recPath)
 		if err != nil {
@@ -47,12 +47,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "grecog: %v\n", err)
 			return 1
 		}
-		classify = func(g gesture.Gesture) (string, int) { return rec.Classify(g), g.Len() }
+		classify = func(g gesture.Gesture) (string, int, error) {
+			class, err := rec.Classify(g)
+			return class, g.Len(), err
+		}
 	}
 
 	correct, seen, total := 0, 0, 0
 	for i, e := range set.Examples {
-		class, firedAt := classify(e.Gesture)
+		class, firedAt, err := classify(e.Gesture)
+		if err != nil {
+			fmt.Fprintf(stderr, "grecog: example %d: %v\n", i, err)
+			return 1
+		}
 		ok := class == e.Class
 		if ok {
 			correct++

@@ -18,124 +18,8 @@
 // Without -script, a built-in demo runs.
 package main
 
-import (
-	"bufio"
-	"flag"
-	"fmt"
-	"os"
-	"strconv"
-	"strings"
-
-	"repro/internal/geom"
-	"repro/internal/gscore"
-	"repro/internal/synth"
-)
-
-const demoScript = `
-# Insert a few notes, drag one, scratch one out.
-note quarter 80 2
-note eighth 160 4
-note sixteenth 240 6
-drag eighth 320 3 360 80
-scratch 160 4
-render
-log
-`
+import "os"
 
 func main() {
-	width := flag.Int("w", 600, "canvas width")
-	height := flag.Int("h", 200, "canvas height")
-	shrink := flag.Int("shrink", 4, "downsample factor for output (0 = raw)")
-	scriptPath := flag.String("script", "", "script file (default: built-in demo)")
-	seed := flag.Int64("seed", 9, "gesture synthesis seed")
-	flag.Parse()
-
-	app, err := gscore.New(gscore.Config{Width: *width, Height: *height})
-	if err != nil {
-		fatal(err)
-	}
-
-	src := demoScript
-	if *scriptPath != "" {
-		b, err := os.ReadFile(*scriptPath)
-		if err != nil {
-			fatal(err)
-		}
-		src = string(b)
-	}
-
-	params := synth.DefaultParams(*seed)
-	params.Jitter = 0.4
-	params.RotJitter = 0.01
-	params.CornerLoopProb = 0
-	gen := synth.NewGenerator(params)
-	classes := map[string]synth.Class{}
-	for _, c := range gscore.EditorClasses() {
-		classes[c.Name] = c
-	}
-	staff := app.Score.Staff
-
-	scanner := bufio.NewScanner(strings.NewReader(src))
-	lineNo := 0
-	for scanner.Scan() {
-		lineNo++
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		cmd, args := fields[0], fields[1:]
-		num := func(i int) float64 {
-			if i >= len(args) {
-				fatal(fmt.Errorf("line %d: %s: missing argument %d", lineNo, cmd, i+1))
-			}
-			v, err := strconv.ParseFloat(args[i], 64)
-			if err != nil {
-				fatal(fmt.Errorf("line %d: %w", lineNo, err))
-			}
-			return v
-		}
-		switch cmd {
-		case "note", "drag":
-			if len(args) < 1 {
-				fatal(fmt.Errorf("line %d: missing duration", lineNo))
-			}
-			class, ok := classes[args[0]]
-			if !ok {
-				fatal(fmt.Errorf("line %d: unknown duration %q", lineNo, args[0]))
-			}
-			x := num(1)
-			step := int(num(2))
-			p := gen.SampleAt(class, geom.Pt(x, staff.StepY(step))).G.Points
-			if cmd == "note" {
-				app.PlayGesture(p)
-			} else {
-				mx, my := num(3), num(4)
-				app.PlayTwoPhase(p, 0.3, []geom.Point{{X: mx, Y: my}})
-			}
-		case "scratch":
-			x := num(0)
-			step := int(num(1))
-			p := gen.SampleAt(classes["scratch"], geom.Pt(x, staff.StepY(step))).G.Points
-			app.PlayGesture(p)
-		case "render":
-			app.Render()
-			if *shrink > 0 {
-				fmt.Print(app.Canvas.Downsample(*shrink, *shrink).String())
-			} else {
-				fmt.Print(app.Canvas.String())
-			}
-		case "log":
-			for _, l := range app.Log {
-				fmt.Println("log:", l)
-			}
-		default:
-			fatal(fmt.Errorf("line %d: unknown command %q", lineNo, cmd))
-		}
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "gscore: %v\n", err)
-	os.Exit(1)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/gscore"
+	"repro/internal/synth"
+)
+
+const demoScript = `
+# Insert a few notes, drag one, scratch one out.
+note quarter 80 2
+note eighth 160 4
+note sixteenth 240 6
+drag eighth 320 3 360 80
+scratch 160 4
+render
+log
+`
+
+// run executes gscore with the given arguments. Extracted from main for
+// tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gscore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	width := fs.Int("w", 600, "canvas width")
+	height := fs.Int("h", 200, "canvas height")
+	shrink := fs.Int("shrink", 4, "downsample factor for output (0 = raw)")
+	scriptPath := fs.String("script", "", "script file (default: built-in demo)")
+	seed := fs.Int64("seed", 9, "gesture synthesis seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	app, err := gscore.New(gscore.Config{Width: *width, Height: *height})
+	if err != nil {
+		fmt.Fprintf(stderr, "gscore: %v\n", err)
+		return 1
+	}
+
+	src := demoScript
+	if *scriptPath != "" {
+		b, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "gscore: %v\n", err)
+			return 1
+		}
+		src = string(b)
+	}
+
+	params := synth.DefaultParams(*seed)
+	params.Jitter = 0.4
+	params.RotJitter = 0.01
+	params.CornerLoopProb = 0
+	gen := synth.NewGenerator(params)
+	classes := map[string]synth.Class{}
+	for _, c := range gscore.EditorClasses() {
+		classes[c.Name] = c
+	}
+	staff := app.Score.Staff
+
+	scanner := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		bad := func(err error) int {
+			fmt.Fprintf(stderr, "gscore: %v\n", err)
+			return 1
+		}
+		num := func(i int) (float64, error) {
+			if i >= len(args) {
+				return 0, fmt.Errorf("line %d: %s: missing argument %d", lineNo, cmd, i+1)
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				return 0, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			return v, nil
+		}
+		nums := func(idx ...int) ([]float64, error) {
+			out := make([]float64, len(idx))
+			for j, i := range idx {
+				v, err := num(i)
+				if err != nil {
+					return nil, err
+				}
+				out[j] = v
+			}
+			return out, nil
+		}
+		switch cmd {
+		case "note", "drag":
+			if len(args) < 1 {
+				return bad(fmt.Errorf("line %d: missing duration", lineNo))
+			}
+			class, ok := classes[args[0]]
+			if !ok {
+				return bad(fmt.Errorf("line %d: unknown duration %q", lineNo, args[0]))
+			}
+			v, err := nums(1, 2)
+			if err != nil {
+				return bad(err)
+			}
+			x, step := v[0], int(v[1])
+			p := gen.SampleAt(class, geom.Pt(x, staff.StepY(step))).G.Points
+			if cmd == "note" {
+				app.PlayGesture(p)
+			} else {
+				m, err := nums(3, 4)
+				if err != nil {
+					return bad(err)
+				}
+				app.PlayTwoPhase(p, 0.3, []geom.Point{{X: m[0], Y: m[1]}})
+			}
+		case "scratch":
+			v, err := nums(0, 1)
+			if err != nil {
+				return bad(err)
+			}
+			x, step := v[0], int(v[1])
+			p := gen.SampleAt(classes["scratch"], geom.Pt(x, staff.StepY(step))).G.Points
+			app.PlayGesture(p)
+		case "render":
+			app.Render()
+			if *shrink > 0 {
+				fmt.Fprint(stdout, app.Canvas.Downsample(*shrink, *shrink).String())
+			} else {
+				fmt.Fprint(stdout, app.Canvas.String())
+			}
+		case "log":
+			for _, l := range app.Log {
+				fmt.Fprintln(stdout, "log:", l)
+			}
+		default:
+			return bad(fmt.Errorf("line %d: unknown command %q", lineNo, cmd))
+		}
+	}
+	return 0
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScoreDemoScript(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	// The demo inserts three notes, drags a fourth, and scratches one out;
+	// the log lines record each interaction.
+	if !strings.Contains(out, "log:") {
+		t.Errorf("no log lines in output:\n%s", out)
+	}
+	// render prints the downsampled staff, which always contains staff lines.
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Errorf("rendered output too short:\n%s", out)
+	}
+}
+
+func TestScoreScriptFile(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "score.txt")
+	src := "note quarter 100 2\nrender\nlog\n"
+	if err := os.WriteFile(script, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-script", script, "-shrink", "0"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "log:") {
+		t.Errorf("no log line after note insert:\n%s", stdout.String())
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-script", filepath.Join(dir, "missing.txt")}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing script: exit %d", code)
+	}
+	for name, src := range map[string]string{
+		"unknown command":  "bogus 1 2\n",
+		"unknown duration": "note wholehog 100 2\n",
+		"missing argument": "note quarter\n",
+		"bad number":       "note quarter abc 2\n",
+	} {
+		script := filepath.Join(dir, "bad.txt")
+		if err := os.WriteFile(script, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stdout.Reset()
+		stderr.Reset()
+		if code := run([]string{"-script", script}, &stdout, &stderr); code != 1 {
+			t.Errorf("%s: exit %d, stderr %q", name, code, stderr.String())
+		}
+	}
+	if code := run([]string{"-nosuchflag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}

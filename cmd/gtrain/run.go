@@ -61,7 +61,11 @@ func run(args []string, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "gtrain: %v\n", err)
 			return 1
 		}
-		acc, _ := rec.Accuracy(set)
+		acc, _, err := rec.Accuracy(set)
+		if err != nil {
+			fmt.Fprintf(stderr, "gtrain: %v\n", err)
+			return 1
+		}
 		fmt.Fprintf(stderr, "gtrain: full classifier, %.1f%% on its own training data\n", 100*acc)
 		if err := rec.SaveFile(*out); err != nil {
 			fmt.Fprintf(stderr, "gtrain: %v\n", err)

@@ -1,0 +1,118 @@
+package rubine
+
+import (
+	"math"
+	"testing"
+)
+
+// degenerateGestures are the pathological strokes a real application can
+// produce: taps, stuck clocks, stuck pointers, and corrupted sensor
+// coordinates. Every layer must either classify them to a finite result or
+// return an error — never panic, never emit NaN.
+func degenerateGestures() map[string]struct {
+	g       Gesture
+	wantErr bool // layers must reject (non-finite input)
+} {
+	identical := make(Path, 8)
+	for i := range identical {
+		identical[i] = TPt(40, 40, float64(i)*0.01)
+	}
+	zeroDur := Path{TPt(0, 0, 0), TPt(30, 0, 0), TPt(60, 5, 0), TPt(90, 10, 0)}
+	nanPath := Path{TPt(0, 0, 0), TPt(30, 0, 0.1), TPt(math.NaN(), 10, 0.2), TPt(90, 20, 0.3)}
+	return map[string]struct {
+		g       Gesture
+		wantErr bool
+	}{
+		"single point":         {NewGesture(Path{TPt(10, 10, 0)}), false},
+		"zero duration":        {NewGesture(zeroDur), false},
+		"all identical points": {NewGesture(identical), false},
+		"NaN coordinate":       {NewGesture(nanPath), true},
+	}
+}
+
+func TestFullRecognizerDegenerateInputs(t *testing.T) {
+	rec, err := TrainFull(Generate(EightDirections, 10, 1), DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range degenerateGestures() {
+		t.Run(name, func(t *testing.T) {
+			res, err := rec.Evaluate(tc.g)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Evaluate accepted %s: %+v", name, res)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Evaluate(%s): %v", name, err)
+			}
+			for field, v := range map[string]float64{
+				"Probability": res.Probability,
+				"Mahalanobis": res.Mahalanobis,
+				"Score":       res.Score,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v", field, v)
+				}
+			}
+		})
+	}
+}
+
+func TestEagerRecognizerDegenerateInputs(t *testing.T) {
+	rec, _, err := TrainEager(Generate(UD, 10, 2), DefaultEagerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range degenerateGestures() {
+		t.Run(name, func(t *testing.T) {
+			s, err := rec.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var streamErr error
+			for _, p := range tc.g.Points {
+				if _, _, err := s.Add(p); err != nil {
+					streamErr = err
+					break
+				}
+			}
+			if streamErr == nil {
+				_, streamErr = s.End()
+			}
+			if tc.wantErr && streamErr == nil {
+				t.Fatalf("eager session accepted %s", name)
+			}
+			if !tc.wantErr && streamErr != nil {
+				t.Fatalf("eager session rejected %s: %v", name, streamErr)
+			}
+		})
+	}
+}
+
+func TestFeaturesDegenerateInputs(t *testing.T) {
+	rec, err := TrainFull(Generate(EightDirections, 10, 3), DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range degenerateGestures() {
+		t.Run(name, func(t *testing.T) {
+			v, err := rec.Features(tc.g)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Features accepted %s: %v", name, v)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Features(%s): %v", name, err)
+			}
+			for i, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Errorf("feature %d = %v", i, x)
+				}
+			}
+		})
+	}
+}

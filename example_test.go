@@ -18,14 +18,25 @@ func Example() {
 	// Stream a fresh "U" gesture point by point.
 	test := rubine.Generate(rubine.UD, 1, 99)
 	stroke := test.Examples[0]
-	session := rec.NewSession()
+	session, err := rec.NewSession()
+	if err != nil {
+		panic(err)
+	}
 	for _, p := range stroke.Gesture.Points {
-		if fired, class := session.Add(p); fired {
+		fired, class, err := session.Add(p)
+		if err != nil {
+			panic(err)
+		}
+		if fired {
 			fmt.Printf("recognized %q before the stroke ended\n", class)
 			break
 		}
 	}
-	fmt.Printf("drew %q, final class %q\n", stroke.Class, session.End())
+	final, err := session.End()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("drew %q, final class %q\n", stroke.Class, final)
 	// Output:
 	// recognized "U" before the stroke ended
 	// drew "U", final class "U"
@@ -40,7 +51,10 @@ func ExampleTrainFull() {
 		panic(err)
 	}
 	test := rubine.Generate(rubine.EightDirections, 1, 42)
-	res := rec.Evaluate(test.Examples[0].Gesture)
+	res, err := rec.Evaluate(test.Examples[0].Gesture)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("class=%s probability>0.9: %v\n", res.Class, res.Probability > 0.9)
 	// Output:
 	// class=ur probability>0.9: true

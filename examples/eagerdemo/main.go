@@ -17,16 +17,26 @@ import (
 )
 
 func streamOne(rec *rubine.EagerRecognizer, class string, g rubine.Gesture) {
-	session := rec.NewSession()
+	session, err := rec.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
 	firedAt := -1
 	var got string
 	for i, p := range g.Points {
-		if fired, c := session.Add(p); fired {
+		fired, c, err := session.Add(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fired {
 			firedAt, got = i+1, c
 		}
 	}
 	if firedAt < 0 {
-		got = session.End()
+		got, err = session.End()
+		if err != nil {
+			log.Fatal(err)
+		}
 		firedAt = g.Len()
 	}
 	// Draw the timeline: '-' for ambiguous points, '#' once recognized.

@@ -74,7 +74,11 @@ func main() {
 	add(e1)
 	add(at("hbar", rubine.Pt(100, 318), e1.End().T+0.25))
 
-	for _, m := range marks.Recognize(strokes) {
+	recognized, err := marks.Recognize(strokes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range recognized {
 		name := m.Name
 		if name == "" {
 			name = "(unmatched)"

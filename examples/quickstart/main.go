@@ -26,7 +26,10 @@ func main() {
 	test := rubine.Generate(rubine.EightDirections, 5, 99)
 	correct := 0
 	for _, e := range test.Examples {
-		res := rec.Evaluate(e.Gesture)
+		res, err := rec.Evaluate(e.Gesture)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ok := ""
 		if res.Class == e.Class {
 			correct++

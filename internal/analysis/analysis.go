@@ -124,12 +124,18 @@ func Analyze(set *gesture.Set, opts Options) (*Report, error) {
 			a = &agg{conf: map[string]int{}}
 			byClass[e.Class] = a
 		}
-		_, firedAt := rec.Run(e.Gesture)
+		_, firedAt, err := rec.Run(e.Gesture)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: holdout example (%s): %w", e.Class, err)
+		}
 		a.fracSum += float64(firedAt) / float64(e.Gesture.Len())
 		a.n++
 		// Which classes do this gesture's early prefixes look like?
 		for i := opts.Eager.MinSubgesture; i <= e.Gesture.Len(); i += 3 {
-			pred := rec.Full.Classify(e.Gesture.Sub(i))
+			pred, err := rec.Full.Classify(e.Gesture.Sub(i))
+			if err != nil {
+				return nil, fmt.Errorf("analysis: holdout prefix (%s): %w", e.Class, err)
+			}
 			if pred != e.Class {
 				a.conf[pred]++
 			}
@@ -157,6 +163,7 @@ func Analyze(set *gesture.Set, opts Options) (*Report, error) {
 		rep.Eagerness = append(rep.Eagerness, ce)
 	}
 	sort.Slice(rep.Eagerness, func(i, j int) bool {
+		//lint:ignore floateq exact tie-break for a deterministic sort order, not a numeric tolerance test
 		if rep.Eagerness[i].MeanFiredFrac != rep.Eagerness[j].MeanFiredFrac {
 			return rep.Eagerness[i].MeanFiredFrac > rep.Eagerness[j].MeanFiredFrac
 		}

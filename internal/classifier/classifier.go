@@ -56,13 +56,18 @@ type Classifier struct {
 	Means   []linalg.Vec `json:"means"`   // per class feature means
 	InvCov  *linalg.Mat  `json:"invCov"`  // inverse of the pooled covariance
 	Ridge   float64      `json:"ridge"`   // regularization applied, 0 if none
+	Blend   float64      `json:"blend,omitempty"` // identity-blend weight applied, 0 if none
 	Counts  []int        `json:"counts"`  // training examples per class
 }
 
-// Errors returned by Train.
+// Errors returned by Train and the classification methods.
 var (
 	ErrNoExamples = errors.New("classifier: no training examples")
 	ErrNoClasses  = errors.New("classifier: training data names no classes")
+	// ErrNonFinite reports NaN/Inf in a feature vector — training and
+	// classification both refuse non-finite input rather than letting it
+	// corrupt every later score.
+	ErrNonFinite = errors.New("classifier: non-finite feature vector")
 )
 
 // Train computes a classifier from labelled feature vectors. All vectors
@@ -86,6 +91,9 @@ func Train(examples []Example, opts Options) (*Classifier, error) {
 	for _, e := range examples {
 		if len(e.Features) != dim {
 			return nil, fmt.Errorf("classifier: inconsistent feature dimension: %d vs %d", len(e.Features), dim)
+		}
+		if !e.Features.AllFinite() {
+			return nil, fmt.Errorf("%w in training example for class %q", ErrNonFinite, e.Class)
 		}
 		if _, ok := classIdx[e.Class]; !ok {
 			classIdx[e.Class] = len(classes)
@@ -148,7 +156,7 @@ func Train(examples []Example, opts Options) (*Classifier, error) {
 		cov = linalg.Identity(dim)
 	}
 
-	inv, ridge, err := invertCovariance(cov)
+	inv, ridge, blend, err := invertCovariance(cov)
 	if err != nil {
 		return nil, fmt.Errorf("classifier: covariance inversion: %w", err)
 	}
@@ -168,6 +176,7 @@ func Train(examples []Example, opts Options) (*Classifier, error) {
 		Means:   means,
 		InvCov:  inv,
 		Ridge:   ridge,
+		Blend:   blend,
 		Counts:  counts,
 	}, nil
 }
@@ -177,11 +186,21 @@ func Train(examples []Example, opts Options) (*Classifier, error) {
 // direct inversion is ill-conditioned; we instead precondition by the
 // diagonal — invert the correlation matrix D^-1/2 Sigma D^-1/2 and rescale.
 // Zero-variance features (e.g. every feature of the GDP "dot" class when a
-// set is degenerate) and rank deficiency are absorbed by an escalating
-// dimensionless ridge on the correlation matrix; the ridge used is
-// returned, 0 when none was needed. This is the documented substitute for
-// the paper's unspecified handling of singular covariance estimates.
-func invertCovariance(cov *linalg.Mat) (*linalg.Mat, float64, error) {
+// set is degenerate) and rank deficiency are absorbed in two stages, both
+// substitutes for the paper's unspecified handling of singular covariance
+// estimates:
+//
+//  1. an escalating dimensionless ridge on the correlation matrix
+//     (linalg.InvertRegularized); the ridge used is returned, 0 when none
+//     was needed;
+//  2. if even the ridge cannot produce an invertible matrix, covariance
+//     blending: interpolate the correlation matrix toward the identity,
+//     (1-w)*R + w*I, with escalating w. At w=1 the metric degrades to
+//     per-feature-normalized Euclidean distance, which is always
+//     invertible — so training never fails on singular covariance, it
+//     only loses metric fidelity, and the blend weight is recorded on the
+//     classifier for diagnostics.
+func invertCovariance(cov *linalg.Mat) (inv *linalg.Mat, ridge, blend float64, err error) {
 	n := cov.Rows
 	d := make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -200,15 +219,26 @@ func invertCovariance(cov *linalg.Mat) (*linalg.Mat, float64, error) {
 	}
 	invCorr, ridge, err := linalg.InvertRegularized(corr)
 	if err != nil {
-		return nil, 0, err
+		for _, w := range []float64{0.25, 0.5, 1} {
+			blended, berr := linalg.Invert(linalg.BlendIdentity(corr, w))
+			if berr == nil {
+				invCorr, ridge, blend, err = blended, 0, w, nil
+				break
+			}
+		}
+		if err != nil {
+			// Unreachable in practice (w=1 inverts the identity), kept so
+			// a logic regression surfaces as an error, not a bad metric.
+			return nil, 0, 0, err
+		}
 	}
-	inv := linalg.NewMat(n, n)
+	inv = linalg.NewMat(n, n)
 	for r := 0; r < n; r++ {
 		for c := 0; c < n; c++ {
 			inv.Set(r, c, invCorr.At(r, c)/(d[r]*d[c]))
 		}
 	}
-	return inv, ridge, nil
+	return inv, ridge, blend, nil
 }
 
 // NumClasses returns the number of classes the classifier discriminates.
@@ -224,51 +254,69 @@ func (c *Classifier) ClassIndex(name string) int {
 	return -1
 }
 
+// checkInput validates a feature vector against the classifier's shape.
+// Feature vectors ultimately come from user strokes and serialized
+// models, so mismatches are errors, not panics.
+func (c *Classifier) checkInput(f linalg.Vec) error {
+	if len(f) != c.Dim {
+		return fmt.Errorf("classifier: feature dimension %d, classifier expects %d", len(f), c.Dim)
+	}
+	if !f.AllFinite() {
+		return ErrNonFinite
+	}
+	return nil
+}
+
 // Score returns the per-class discriminant values v_c(f). The slice is
 // indexed like Classes.
-func (c *Classifier) Score(f linalg.Vec) []float64 {
+func (c *Classifier) Score(f linalg.Vec) ([]float64, error) {
 	return c.ScoreInto(f, make([]float64, len(c.Classes)))
 }
 
 // ScoreInto computes the discriminant values into out (which must have one
-// element per class) and returns it. It performs no allocation — the form
-// used on the per-mouse-point hot path.
-func (c *Classifier) ScoreInto(f linalg.Vec, out []float64) []float64 {
-	if len(f) != c.Dim {
-		panic(fmt.Sprintf("classifier: feature dimension %d, classifier expects %d", len(f), c.Dim))
+// element per class) and returns it. It performs no allocation beyond the
+// input checks — the form used on the per-mouse-point hot path.
+func (c *Classifier) ScoreInto(f linalg.Vec, out []float64) ([]float64, error) {
+	if err := c.checkInput(f); err != nil {
+		return nil, err
 	}
 	if len(out) != len(c.Classes) {
-		panic(fmt.Sprintf("classifier: score buffer length %d, want %d", len(out), len(c.Classes)))
+		return nil, fmt.Errorf("classifier: score buffer length %d, want %d", len(out), len(c.Classes))
 	}
 	for i := range c.Classes {
 		out[i] = c.Consts[i] + c.Weights[i].Dot(f)
 	}
-	return out
+	return out, nil
 }
 
 // Classify returns the best class for f together with its index.
-func (c *Classifier) Classify(f linalg.Vec) (string, int) {
-	scores := c.Score(f)
-	best := 0
-	for i, s := range scores {
-		if s > scores[best] {
-			best = i
-		}
+func (c *Classifier) Classify(f linalg.Vec) (string, int, error) {
+	scores, err := c.Score(f)
+	if err != nil {
+		return "", -1, err
 	}
-	return c.Classes[best], best
+	best := argmax(scores)
+	return c.Classes[best], best, nil
 }
 
 // ClassifyInto is the allocation-free Classify: scores must have one
 // element per class and is clobbered.
-func (c *Classifier) ClassifyInto(f linalg.Vec, scores []float64) (string, int) {
-	c.ScoreInto(f, scores)
+func (c *Classifier) ClassifyInto(f linalg.Vec, scores []float64) (string, int, error) {
+	if _, err := c.ScoreInto(f, scores); err != nil {
+		return "", -1, err
+	}
+	best := argmax(scores)
+	return c.Classes[best], best, nil
+}
+
+func argmax(scores []float64) int {
 	best := 0
 	for i, s := range scores {
 		if s > scores[best] {
 			best = i
 		}
 	}
-	return c.Classes[best], best
+	return best
 }
 
 // Result carries a classification together with its rejection diagnostics.
@@ -282,14 +330,17 @@ type Result struct {
 
 // Evaluate classifies f and computes the rejection diagnostics: the
 // ambiguity probability estimate 1 / sum_j exp(v_j - v_winner) and the
-// Mahalanobis distance to the winning class mean.
-func (c *Classifier) Evaluate(f linalg.Vec) Result {
-	scores := c.Score(f)
-	best := 0
-	for i, s := range scores {
-		if s > scores[best] {
-			best = i
-		}
+// Mahalanobis distance to the winning class mean. Non-finite input — and,
+// defensively, a non-finite winning score from a corrupt model — is an
+// error: Evaluate never reports a NaN probability or distance.
+func (c *Classifier) Evaluate(f linalg.Vec) (Result, error) {
+	scores, err := c.Score(f)
+	if err != nil {
+		return Result{}, err
+	}
+	best := argmax(scores)
+	if math.IsNaN(scores[best]) || math.IsInf(scores[best], 0) {
+		return Result{}, fmt.Errorf("classifier: non-finite score for class %q", c.Classes[best])
 	}
 	denom := 0.0
 	for _, s := range scores {
@@ -299,19 +350,29 @@ func (c *Classifier) Evaluate(f linalg.Vec) Result {
 			denom += math.Exp(d)
 		}
 	}
+	dist, err := c.Mahalanobis(f, best)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{
 		Class:       c.Classes[best],
 		Index:       best,
 		Score:       scores[best],
 		Probability: 1 / denom,
-		Mahalanobis: c.Mahalanobis(f, best),
-	}
+		Mahalanobis: dist,
+	}, nil
 }
 
 // Mahalanobis returns the Mahalanobis distance from f to the mean of the
 // class with the given index, under the pooled covariance metric.
-func (c *Classifier) Mahalanobis(f linalg.Vec, classIndex int) float64 {
-	return linalg.Mahalanobis(c.InvCov, f, c.Means[classIndex])
+func (c *Classifier) Mahalanobis(f linalg.Vec, classIndex int) (float64, error) {
+	if err := c.checkInput(f); err != nil {
+		return 0, err
+	}
+	if classIndex < 0 || classIndex >= len(c.Means) {
+		return 0, fmt.Errorf("classifier: class index %d out of range [0,%d)", classIndex, len(c.Means))
+	}
+	return linalg.Mahalanobis(c.InvCov, f, c.Means[classIndex]), nil
 }
 
 // MahalanobisTo returns the Mahalanobis distance between f and an arbitrary
@@ -351,7 +412,7 @@ func ReadJSON(r io.Reader) (*Classifier, error) {
 	if err := json.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("classifier: decode: %w", err)
 	}
-	if err := c.validateShape(); err != nil {
+	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	return &c, nil
@@ -380,7 +441,12 @@ func LoadFile(path string) (*Classifier, error) {
 	return ReadJSON(f)
 }
 
-func (c *Classifier) validateShape() error {
+// Validate checks the classifier's structural and numerical integrity:
+// consistent per-class array shapes, a present and square inverse
+// covariance, and finite weights throughout. Deserialized models must
+// pass Validate before classification so a corrupt file surfaces as one
+// load-time error instead of NaN scores at recognition time.
+func (c *Classifier) Validate() error {
 	n := len(c.Classes)
 	if n == 0 {
 		return errors.New("classifier: no classes")
@@ -392,9 +458,18 @@ func (c *Classifier) validateShape() error {
 		if len(c.Weights[i]) != c.Dim || len(c.Means[i]) != c.Dim {
 			return fmt.Errorf("classifier: class %d vectors have wrong dimension", i)
 		}
+		if !c.Weights[i].AllFinite() || !c.Means[i].AllFinite() {
+			return fmt.Errorf("%w: class %q has non-finite weights or means", ErrNonFinite, c.Classes[i])
+		}
+	}
+	if !linalg.Vec(c.Consts).AllFinite() {
+		return fmt.Errorf("%w: non-finite constant term", ErrNonFinite)
 	}
 	if c.InvCov == nil || c.InvCov.Rows != c.Dim || c.InvCov.Cols != c.Dim {
 		return errors.New("classifier: missing or misshapen inverse covariance")
+	}
+	if !c.InvCov.AllFinite() {
+		return fmt.Errorf("%w: non-finite inverse covariance", ErrNonFinite)
 	}
 	return nil
 }

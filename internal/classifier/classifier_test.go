@@ -39,12 +39,12 @@ func TestTrainAndClassifySeparable(t *testing.T) {
 	// Fresh draws from each distribution must classify correctly.
 	for i := 0; i < 100; i++ {
 		fa := linalg.Vec{rng.NormFloat64(), rng.NormFloat64()}
-		if got, _ := c.Classify(fa); got != "a" {
-			t.Fatalf("misclassified class-a point %v as %s", fa, got)
+		if got, _, err := c.Classify(fa); err != nil || got != "a" {
+			t.Fatalf("misclassified class-a point %v as %s (err %v)", fa, got, err)
 		}
 		fb := linalg.Vec{10 + rng.NormFloat64(), 10 + rng.NormFloat64()}
-		if got, _ := c.Classify(fb); got != "b" {
-			t.Fatalf("misclassified class-b point %v as %s", fb, got)
+		if got, _, err := c.Classify(fb); err != nil || got != "b" {
+			t.Fatalf("misclassified class-b point %v as %s (err %v)", fb, got, err)
 		}
 	}
 }
@@ -106,11 +106,11 @@ func TestSingularCovarianceRegularized(t *testing.T) {
 	if c.Ridge <= 0 {
 		t.Errorf("expected a ridge, got %v", c.Ridge)
 	}
-	if got, _ := c.Classify(linalg.Vec{0.1, -0.1}); got != "a" {
-		t.Errorf("near-a point classified as %s", got)
+	if got, _, err := c.Classify(linalg.Vec{0.1, -0.1}); err != nil || got != "a" {
+		t.Errorf("near-a point classified as %s (err %v)", got, err)
 	}
-	if got, _ := c.Classify(linalg.Vec{4.9, 5.1}); got != "b" {
-		t.Errorf("near-b point classified as %s", got)
+	if got, _, err := c.Classify(linalg.Vec{4.9, 5.1}); err != nil || got != "b" {
+		t.Errorf("near-b point classified as %s (err %v)", got, err)
 	}
 }
 
@@ -125,11 +125,11 @@ func TestOneExamplePerClass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.Classify(linalg.Vec{2, 0}); got != "a" {
-		t.Errorf("got %s", got)
+	if got, _, err := c.Classify(linalg.Vec{2, 0}); err != nil || got != "a" {
+		t.Errorf("got %s (err %v)", got, err)
 	}
-	if got, _ := c.Classify(linalg.Vec{8, 0}); got != "b" {
-		t.Errorf("got %s", got)
+	if got, _, err := c.Classify(linalg.Vec{8, 0}); err != nil || got != "b" {
+		t.Errorf("got %s (err %v)", got, err)
 	}
 }
 
@@ -142,30 +142,33 @@ func TestSingleClass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.Classify(linalg.Vec{100, 100}); got != "only" {
-		t.Errorf("single-class classifier returned %s", got)
+	if got, _, err := c.Classify(linalg.Vec{100, 100}); err != nil || got != "only" {
+		t.Errorf("single-class classifier returned %s (err %v)", got, err)
 	}
-	r := c.Evaluate(linalg.Vec{1.5, 1.5})
+	r, err := c.Evaluate(linalg.Vec{1.5, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Probability != 1 {
 		t.Errorf("single-class probability = %v", r.Probability)
 	}
 }
 
-func TestScoreDimensionPanic(t *testing.T) {
+func TestScoreDimensionError(t *testing.T) {
 	c, _ := Train(gauss2(rand.New(rand.NewSource(2)), 5), Options{})
-	defer func() {
-		if recover() == nil {
-			t.Error("Score with wrong dimension did not panic")
-		}
-	}()
-	c.Score(linalg.Vec{1, 2, 3})
+	if _, err := c.Score(linalg.Vec{1, 2, 3}); err == nil {
+		t.Error("Score with wrong dimension did not error")
+	}
 }
 
 func TestEvaluateDiagnostics(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	c, _ := Train(gauss2(rng, 30), Options{})
 	// A point at a class mean: high probability, small Mahalanobis.
-	r := c.Evaluate(linalg.Vec{0, 0})
+	r, err := c.Evaluate(linalg.Vec{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Class != "a" {
 		t.Fatalf("mean point misclassified: %+v", r)
 	}
@@ -179,12 +182,18 @@ func TestEvaluateDiagnostics(t *testing.T) {
 	// where the two classes are equally likely.
 	mid := c.Means[0].Add(c.Means[1])
 	mid.Scale(0.5)
-	r = c.Evaluate(mid)
+	r, err = c.Evaluate(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !mathx.ApproxEqual(r.Probability, 0.5, 1e-6) {
 		t.Errorf("boundary probability = %v, want 0.5", r.Probability)
 	}
 	// A far outlier: huge Mahalanobis.
-	r = c.Evaluate(linalg.Vec{500, -500})
+	r, err = c.Evaluate(linalg.Vec{500, -500})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Mahalanobis < 10 {
 		t.Errorf("outlier Mahalanobis = %v", r.Mahalanobis)
 	}
@@ -198,7 +207,10 @@ func TestProbabilitiesBounded(t *testing.T) {
 			return true
 		}
 		x, y = math.Mod(x, 1e3), math.Mod(y, 1e3)
-		r := c.Evaluate(linalg.Vec{x, y})
+		r, err := c.Evaluate(linalg.Vec{x, y})
+		if err != nil {
+			return false
+		}
 		return r.Probability > 0 && r.Probability <= 1+1e-12 && mathx.Finite(r.Mahalanobis)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -217,8 +229,8 @@ func TestArgmaxInvariantUnderSharedShift(t *testing.T) {
 	}
 	for i := 0; i < 50; i++ {
 		f := linalg.Vec{rng.Float64() * 10, rng.Float64() * 10}
-		a, _ := c.Classify(f)
-		b, _ := shifted.Classify(f)
+		a, _, _ := c.Classify(f)
+		b, _, _ := shifted.Classify(f)
 		if a != b {
 			t.Fatalf("shared shift changed classification of %v: %s vs %s", f, a, b)
 		}
@@ -231,12 +243,12 @@ func TestBiasClassChangesBoundary(t *testing.T) {
 	mid := linalg.Vec{5, 5}
 	// Strongly bias class b: the midpoint must now classify as b.
 	c.BiasClass(c.ClassIndex("b"), 1e6)
-	if got, _ := c.Classify(mid); got != "b" {
+	if got, _, _ := c.Classify(mid); got != "b" {
 		t.Errorf("bias toward b ignored, got %s", got)
 	}
 	// And the reverse.
 	c.BiasClass(c.ClassIndex("a"), 2e6)
-	if got, _ := c.Classify(mid); got != "a" {
+	if got, _, _ := c.Classify(mid); got != "a" {
 		t.Errorf("bias toward a ignored, got %s", got)
 	}
 }
@@ -266,10 +278,21 @@ func TestMahalanobisMatchesClassification(t *testing.T) {
 	c, _ := Train(gauss2(rng, 25), Options{})
 	for i := 0; i < 100; i++ {
 		f := linalg.Vec{rng.Float64()*14 - 2, rng.Float64()*14 - 2}
-		_, best := c.Classify(f)
+		_, best, err := c.Classify(f)
+		if err != nil {
+			t.Fatal(err)
+		}
 		minIdx := 0
 		for j := range c.Classes {
-			if c.Mahalanobis(f, j) < c.Mahalanobis(f, minIdx) {
+			dj, err := c.Mahalanobis(f, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dm, err := c.Mahalanobis(f, minIdx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dj < dm {
 				minIdx = j
 			}
 		}
@@ -292,8 +315,8 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	for i := 0; i < 20; i++ {
 		f := linalg.Vec{rng.Float64() * 10, rng.Float64() * 10}
-		a, _ := c.Classify(f)
-		b, _ := c2.Classify(f)
+		a, _, _ := c.Classify(f)
+		b, _, _ := c2.Classify(f)
 		if a != b {
 			t.Fatalf("round-tripped classifier disagrees on %v", f)
 		}
@@ -334,15 +357,21 @@ func TestScoreIntoMatchesScore(t *testing.T) {
 	buf := make([]float64, c.NumClasses())
 	for i := 0; i < 50; i++ {
 		f := linalg.Vec{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
-		want := c.Score(f)
-		got := c.ScoreInto(f, buf)
+		want, err := c.Score(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ScoreInto(f, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for j := range want {
 			if got[j] != want[j] {
 				t.Fatalf("ScoreInto[%d] = %v, want %v", j, got[j], want[j])
 			}
 		}
-		w1, i1 := c.Classify(f)
-		w2, i2 := c.ClassifyInto(f, buf)
+		w1, i1, _ := c.Classify(f)
+		w2, i2, _ := c.ClassifyInto(f, buf)
 		if w1 != w2 || i1 != i2 {
 			t.Fatalf("ClassifyInto disagrees: %s/%d vs %s/%d", w1, i1, w2, i2)
 		}
@@ -362,13 +391,10 @@ func TestScoreIntoAllocationFree(t *testing.T) {
 	}
 }
 
-func TestScoreIntoBadBufferPanics(t *testing.T) {
+func TestScoreIntoBadBufferError(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	c, _ := Train(gauss2(rng, 5), Options{})
-	defer func() {
-		if recover() == nil {
-			t.Error("short buffer did not panic")
-		}
-	}()
-	c.ScoreInto(linalg.Vec{1, 2}, make([]float64, 1))
+	if _, err := c.ScoreInto(linalg.Vec{1, 2}, make([]float64, 1)); err == nil {
+		t.Error("short buffer did not error")
+	}
 }

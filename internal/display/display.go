@@ -109,6 +109,7 @@ func (c *Clock) AdvanceTo(t float64) {
 				continue
 			}
 			if idx == -1 || tm.deadline < c.timers[idx].deadline ||
+				//lint:ignore floateq exact equality tie-break so same-deadline timers fire in id order
 				(tm.deadline == c.timers[idx].deadline && tm.id < c.timers[idx].id) {
 				idx = i
 			}

@@ -157,7 +157,10 @@ func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
 	}
 	report := &Report{}
 
-	subs := LabelSubgestures(set, full, opts.MinSubgesture)
+	subs, err := LabelSubgestures(set, full, opts.MinSubgesture)
+	if err != nil {
+		return nil, nil, err
+	}
 	report.Subgestures = len(subs)
 	for i := range subs {
 		if subs[i].Complete {
@@ -196,7 +199,10 @@ func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
 	}
 
 	if !opts.SkipTweak {
-		report.TweakAdjusts = Tweak(auc, subs)
+		report.TweakAdjusts, err = Tweak(auc, subs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("eager: tweak pass: %w", err)
+		}
 	}
 
 	return &Recognizer{Full: full, AUC: auc, Opts: opts}, report, nil
@@ -206,7 +212,7 @@ func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
 // least minLen) of every training example and labels each as complete or
 // incomplete. A prefix g[i] is complete iff C(g[j]) == C(g) for all
 // j in [i, |g|] — computed with a single backward scan per gesture.
-func LabelSubgestures(set *gesture.Set, full *recognizer.Full, minLen int) []Subgesture {
+func LabelSubgestures(set *gesture.Set, full *recognizer.Full, minLen int) ([]Subgesture, error) {
 	var out []Subgesture
 	for ei, e := range set.Examples {
 		n := e.Gesture.Len()
@@ -216,7 +222,11 @@ func LabelSubgestures(set *gesture.Set, full *recognizer.Full, minLen int) []Sub
 		preds := make([]string, 0, n-minLen+1)
 		for i := minLen; i <= n; i++ {
 			sub := e.Gesture.Sub(i)
-			preds = append(preds, full.Classify(sub))
+			p, err := full.Classify(sub)
+			if err != nil {
+				return nil, fmt.Errorf("eager: example %d prefix %d: %w", ei, i, err)
+			}
+			preds = append(preds, p)
 		}
 		// Backward scan: complete iff this and all longer prefixes match.
 		complete := make([]bool, len(preds))
@@ -227,17 +237,21 @@ func LabelSubgestures(set *gesture.Set, full *recognizer.Full, minLen int) []Sub
 		}
 		for k, pred := range preds {
 			i := minLen + k
+			fv, err := full.Features(e.Gesture.Sub(i))
+			if err != nil {
+				return nil, fmt.Errorf("eager: example %d prefix %d: %w", ei, i, err)
+			}
 			out = append(out, Subgesture{
 				Example:  ei,
 				Len:      i,
 				Class:    e.Class,
 				Pred:     pred,
 				Complete: complete[k],
-				Features: full.Features(e.Gesture.Sub(i)),
+				Features: fv,
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // incompleteMeans returns the mean feature vector of each incomplete set
@@ -393,7 +407,7 @@ func trainAUC(subs []Subgesture, opts Options) (*classifier.Classifier, error) {
 // ever lower complete-class scores, a single ordered pass with an inner
 // fixpoint per subgesture leaves no violations on the training data.
 // Returns the number of adjustments made.
-func Tweak(auc *classifier.Classifier, subs []Subgesture) int {
+func Tweak(auc *classifier.Classifier, subs []Subgesture) (int, error) {
 	adjusts := 0
 	for i := range subs {
 		s := &subs[i]
@@ -401,7 +415,10 @@ func Tweak(auc *classifier.Classifier, subs []Subgesture) int {
 			continue // only incomplete subgestures matter here
 		}
 		for {
-			scores := auc.Score(s.Features)
+			scores, err := auc.Score(s.Features)
+			if err != nil {
+				return adjusts, err
+			}
 			bestC, bestI := -1, -1
 			for j, name := range auc.Classes {
 				if IsCompleteSet(name) {
@@ -422,5 +439,5 @@ func Tweak(auc *classifier.Classifier, subs []Subgesture) int {
 			adjusts++
 		}
 	}
-	return adjusts
+	return adjusts, nil
 }

@@ -50,7 +50,10 @@ func TestUDPipelineStages(t *testing.T) {
 	_, testSet, _ := genSets(synth.UDClasses(), 1, 20, 12)
 	correct, sumFired, sumLen := 0, 0, 0
 	for _, e := range testSet.Examples {
-		class, firedAt := r.Run(e.Gesture)
+		class, firedAt, err := r.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if class == e.Class {
 			correct++
 		}
@@ -78,7 +81,10 @@ func TestConservatismOnTrainingData(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			trainSet, _, _ := genSets(tc.classes, 10, 1, 21)
 			r, _ := mustTrain(t, trainSet, DefaultOptions())
-			subs := LabelSubgestures(trainSet, r.Full, r.Opts.MinSubgesture)
+			subs, err := LabelSubgestures(trainSet, r.Full, r.Opts.MinSubgesture)
+			if err != nil {
+				t.Fatal(err)
+			}
 			thr := MoveThreshold(subs, r.Full, r.Opts.MoveThresholdFrac)
 			MoveAccidentals(subs, r.Full, thr)
 			violations := 0
@@ -87,7 +93,10 @@ func TestConservatismOnTrainingData(t *testing.T) {
 				if s.Complete && !s.Moved {
 					continue
 				}
-				name, _ := r.AUC.Classify(s.Features)
+				name, _, err := r.AUC.Classify(s.Features)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if IsCompleteSet(name) {
 					violations++
 				}
@@ -107,10 +116,16 @@ func TestEagerEightDirections(t *testing.T) {
 	trainSet, testSet, _ := genSets(classes, 10, 30, 31)
 	r, _ := mustTrain(t, trainSet, DefaultOptions())
 
-	fullAcc, _ := r.Full.Accuracy(testSet)
+	fullAcc, _, err := r.Full.Accuracy(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
 	correct, sumFired, sumLen := 0, 0, 0
 	for _, e := range testSet.Examples {
-		class, firedAt := r.Run(e.Gesture)
+		class, firedAt, err := r.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if class == e.Class {
 			correct++
 		}
@@ -148,7 +163,10 @@ func TestNotesNeverEager(t *testing.T) {
 	sumFired, sumLen := 0, 0
 	prefixFired := 0 // early fires on classes that are strict prefixes
 	for _, e := range testSet.Examples {
-		_, firedAt := r.Run(e.Gesture)
+		_, firedAt, err := r.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
 		sumFired += firedAt
 		sumLen += e.Gesture.Len()
 		if e.Class != "sixtyfourth" && firedAt < e.Gesture.Len()*3/4 {
@@ -172,10 +190,16 @@ func TestEagerGDP(t *testing.T) {
 	trainSet, testSet, _ := genSets(classes, 10, 30, 51)
 	r, _ := mustTrain(t, trainSet, DefaultOptions())
 
-	fullAcc, _ := r.Full.Accuracy(testSet)
+	fullAcc, _, err := r.Full.Accuracy(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
 	correct, sumFired, sumLen := 0, 0, 0
 	for _, e := range testSet.Examples {
-		class, firedAt := r.Run(e.Gesture)
+		class, firedAt, err := r.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if class == e.Class {
 			correct++
 		}
@@ -199,7 +223,11 @@ func TestDoneRespectsMinSubgesture(t *testing.T) {
 	trainSet, _, _ := genSets(synth.UDClasses(), 10, 1, 61)
 	r, _ := mustTrain(t, trainSet, DefaultOptions())
 	g := trainSet.Examples[0].Gesture
-	if r.Done(g.Sub(2)) {
+	done, err := r.Done(g.Sub(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
 		t.Error("Done fired below MinSubgesture")
 	}
 }
@@ -208,10 +236,17 @@ func TestSessionSingleFire(t *testing.T) {
 	trainSet, testSet, _ := genSets(synth.EightDirectionClasses(), 10, 2, 71)
 	r, _ := mustTrain(t, trainSet, DefaultOptions())
 	for _, e := range testSet.Examples {
-		s := r.NewSession()
+		s, err := r.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
 		fires := 0
 		for _, p := range e.Gesture.Points {
-			if fired, class := s.Add(p); fired {
+			fired, class, err := s.Add(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fired {
 				fires++
 				if class == "" {
 					t.Fatal("fired with empty class")
@@ -221,7 +256,10 @@ func TestSessionSingleFire(t *testing.T) {
 		if fires > 1 {
 			t.Fatalf("session fired %d times", fires)
 		}
-		final := s.End()
+		final, err := s.End()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if final == "" {
 			t.Fatal("End returned empty class")
 		}
@@ -238,7 +276,10 @@ func TestRunMatchesSession(t *testing.T) {
 	trainSet, testSet, _ := genSets(synth.EightDirectionClasses(), 10, 3, 81)
 	r, _ := mustTrain(t, trainSet, DefaultOptions())
 	for _, e := range testSet.Examples {
-		class, firedAt := r.Run(e.Gesture)
+		class, firedAt, err := r.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if firedAt < 1 || firedAt > e.Gesture.Len() {
 			t.Fatalf("firedAt = %d out of range", firedAt)
 		}
@@ -246,7 +287,10 @@ func TestRunMatchesSession(t *testing.T) {
 			t.Fatal("empty class")
 		}
 		// Determinism.
-		c2, f2 := r.Run(e.Gesture)
+		c2, f2, err := r.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if c2 != class || f2 != firedAt {
 			t.Fatal("Run not deterministic")
 		}
@@ -317,7 +361,10 @@ func TestSetNames(t *testing.T) {
 func TestLabelSubgestureInvariants(t *testing.T) {
 	trainSet, _, _ := genSets(synth.UDClasses(), 8, 1, 101)
 	r, _ := mustTrain(t, trainSet, DefaultOptions())
-	subs := LabelSubgestures(trainSet, r.Full, 4)
+	subs, err := LabelSubgestures(trainSet, r.Full, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byExample := map[int][]Subgesture{}
 	for _, s := range subs {
 		byExample[s.Example] = append(byExample[s.Example], s)
@@ -357,8 +404,11 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range testSet.Examples {
-		c1, f1 := r.Run(e.Gesture)
-		c2, f2 := r2.Run(e.Gesture)
+		c1, f1, err1 := r.Run(e.Gesture)
+		c2, f2, err2 := r2.Run(e.Gesture)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
 		if c1 != c2 || f1 != f2 {
 			t.Fatal("round-tripped recognizer disagrees")
 		}
@@ -398,7 +448,11 @@ func TestAblationTwoClassUnderperforms(t *testing.T) {
 		}
 		correct := 0
 		for _, e := range testSet.Examples {
-			if class, _ := r.Run(e.Gesture); class == e.Class {
+			class, _, err := r.Run(e.Gesture)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if class == e.Class {
 				correct++
 			}
 		}
@@ -426,8 +480,11 @@ func TestBiasIncreasesCaution(t *testing.T) {
 	rHigh, _ := mustTrain(t, trainSet, high)
 	sumLow, sumHigh := 0, 0
 	for _, e := range testSet.Examples {
-		_, f1 := rLow.Run(e.Gesture)
-		_, f2 := rHigh.Run(e.Gesture)
+		_, f1, err1 := rLow.Run(e.Gesture)
+		_, f2, err2 := rHigh.Run(e.Gesture)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
 		sumLow += f1
 		sumHigh += f2
 	}
@@ -446,8 +503,11 @@ func TestRequireAgreementNeverLessAccurate(t *testing.T) {
 
 	var accPaper, accGated, seenPaper, seenGated int
 	for _, e := range testSet.Examples {
-		c1, f1 := rPaper.Run(e.Gesture)
-		c2, f2 := rGated.Run(e.Gesture)
+		c1, f1, err1 := rPaper.Run(e.Gesture)
+		c2, f2, err2 := rGated.Run(e.Gesture)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
 		if c1 == e.Class {
 			accPaper++
 		}
@@ -479,8 +539,11 @@ func TestTrainingDeterministic(t *testing.T) {
 		t.Fatal("trained parameters differ between identical runs")
 	}
 	for _, e := range testSet.Examples {
-		c1, f1 := r1.Run(e.Gesture)
-		c2, f2 := r2.Run(e.Gesture)
+		c1, f1, err1 := r1.Run(e.Gesture)
+		c2, f2, err2 := r2.Run(e.Gesture)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
 		if c1 != c2 || f1 != f2 {
 			t.Fatalf("recognizers disagree on identical training")
 		}

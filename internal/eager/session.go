@@ -15,20 +15,28 @@ import (
 
 // Done implements the paper's D function on a complete gesture prefix:
 // true iff the AUC classifies the prefix's feature vector into one of the
-// complete sets, i.e. the prefix is judged unambiguous.
-func (r *Recognizer) Done(g gesture.Gesture) bool {
+// complete sets, i.e. the prefix is judged unambiguous. A prefix whose
+// features cannot be computed (non-finite coordinates) is an error, which
+// callers should treat as "not done" plus a rejected stroke.
+func (r *Recognizer) Done(g gesture.Gesture) (bool, error) {
 	if g.Len() < r.Opts.MinSubgesture {
-		return false
+		return false, nil
 	}
-	f := r.Full.Features(g)
-	name, _ := r.AUC.Classify(f)
-	return IsCompleteSet(name)
+	f, err := r.Full.Features(g)
+	if err != nil {
+		return false, err
+	}
+	name, _, err := r.AUC.Classify(f)
+	if err != nil {
+		return false, err
+	}
+	return IsCompleteSet(name), nil
 }
 
 // Classify runs the full classifier on a gesture (used at the moment D
 // fires, and as the fallback when the gesture ends without ever being
 // judged unambiguous).
-func (r *Recognizer) Classify(g gesture.Gesture) string {
+func (r *Recognizer) Classify(g gesture.Gesture) (string, error) {
 	return r.Full.Classify(g)
 }
 
@@ -49,42 +57,61 @@ type Session struct {
 	fullBuf []float64
 }
 
-// NewSession starts a streaming recognition session.
-func (r *Recognizer) NewSession() *Session {
+// NewSession starts a streaming recognition session. It fails only when
+// the recognizer's feature options are invalid (e.g. deserialized from a
+// corrupt file).
+func (r *Recognizer) NewSession() (*Session, error) {
+	ext, err := features.NewExtractor(r.Full.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("eager: %w", err)
+	}
 	return &Session{
 		r:       r,
-		ext:     features.NewExtractor(r.Full.Opts),
+		ext:     ext,
 		featBuf: make(linalg.Vec, r.Full.Opts.Dim()),
 		aucBuf:  make([]float64, r.AUC.NumClasses()),
 		fullBuf: make([]float64, r.Full.C.NumClasses()),
-	}
+	}, nil
 }
 
-// Add feeds one mouse point. It returns true the first time the gesture
-// becomes unambiguous, along with the recognized class. After the session
-// has decided, further Adds still accumulate points (harmless) but report
-// decided=false so callers act on the transition exactly once.
-func (s *Session) Add(p geom.TimedPoint) (fired bool, class string) {
+// Add feeds one mouse point. It returns fired=true the first time the
+// gesture becomes unambiguous, along with the recognized class. After the
+// session has decided, further Adds still accumulate points (harmless) but
+// report fired=false so callers act on the transition exactly once.
+//
+// A non-finite point poisons the accumulated features; Add then returns an
+// error and the session will keep erroring until Reset-by-replacement.
+// Callers should reject the stroke.
+func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
 	s.points = append(s.points, p)
 	s.ext.Add(p)
 	if s.decided || len(s.points) < s.r.Opts.MinSubgesture {
-		return false, ""
+		return false, "", nil
 	}
-	f := s.ext.VectorInto(s.featBuf)
-	name, _ := s.r.AUC.ClassifyInto(f, s.aucBuf)
+	f, err := s.ext.VectorInto(s.featBuf)
+	if err != nil {
+		return false, "", err
+	}
+	name, _, err := s.r.AUC.ClassifyInto(f, s.aucBuf)
+	if err != nil {
+		return false, "", err
+	}
 	if !IsCompleteSet(name) {
-		return false, ""
+		return false, "", nil
 	}
-	class, _ = s.r.Full.C.ClassifyInto(f, s.fullBuf)
+	class, _, err = s.r.Full.C.ClassifyInto(f, s.fullBuf)
+	if err != nil {
+		return false, "", err
+	}
 	if s.r.Opts.RequireAgreement && class != strings.TrimPrefix(name, CompletePrefix) {
 		// The AUC believes the prefix is unambiguous but the full
 		// classifier has not caught up yet (typical right at a corner):
 		// wait for them to agree.
-		return false, ""
+		return false, "", nil
 	}
 	s.decided = true
 	s.class = class
-	return true, s.class
+	return true, s.class, nil
 }
 
 // Decided reports whether the session has already fired.
@@ -100,13 +127,19 @@ func (s *Session) PointCount() int { return len(s.points) }
 func (s *Session) Gesture() gesture.Gesture { return gesture.New(s.points) }
 
 // End finishes the session at mouse-up: if the gesture was never judged
-// unambiguous, it is classified in full now. Returns the final class.
-func (s *Session) End() string {
+// unambiguous, it is classified in full now. Returns the final class, or
+// an error when the stroke's features are non-finite (the caller should
+// reject the gesture).
+func (s *Session) End() (string, error) {
 	if !s.decided {
-		s.class = s.r.Classify(s.Gesture())
+		class, err := s.r.Classify(s.Gesture())
+		if err != nil {
+			return "", err
+		}
+		s.class = class
 		s.decided = true
 	}
-	return s.class
+	return s.class, nil
 }
 
 // Run replays an entire gesture through a fresh session and reports the
@@ -114,14 +147,25 @@ func (s *Session) End() string {
 // seen when recognition fired (|g| when it only fired at the end). This is
 // the measurement behind the paper's "percentage of mouse points examined"
 // statistics in section 5.
-func (r *Recognizer) Run(g gesture.Gesture) (class string, firedAt int) {
-	s := r.NewSession()
+func (r *Recognizer) Run(g gesture.Gesture) (class string, firedAt int, err error) {
+	s, err := r.NewSession()
+	if err != nil {
+		return "", 0, err
+	}
 	for i, p := range g.Points {
-		if fired, c := s.Add(p); fired {
-			return c, i + 1
+		fired, c, err := s.Add(p)
+		if err != nil {
+			return "", 0, err
+		}
+		if fired {
+			return c, i + 1, nil
 		}
 	}
-	return s.End(), g.Len()
+	class, err = s.End()
+	if err != nil {
+		return "", 0, err
+	}
+	return class, g.Len(), nil
 }
 
 // WriteJSON serializes the recognizer.
@@ -134,14 +178,29 @@ func (r *Recognizer) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// ReadJSON deserializes a recognizer.
+// ReadJSON deserializes a recognizer, validating both classifiers and
+// the feature options so corrupt files fail at load time rather than at
+// recognition time.
 func ReadJSON(rd io.Reader) (*Recognizer, error) {
 	var r Recognizer
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, fmt.Errorf("eager: decode: %w", err)
 	}
-	if r.Full == nil || r.AUC == nil {
+	if r.Full == nil || r.Full.C == nil || r.AUC == nil {
 		return nil, fmt.Errorf("eager: incomplete recognizer JSON")
+	}
+	if err := r.Full.Opts.Validate(); err != nil {
+		return nil, fmt.Errorf("eager: %w", err)
+	}
+	if err := r.Full.C.Validate(); err != nil {
+		return nil, fmt.Errorf("eager: full classifier: %w", err)
+	}
+	if err := r.AUC.Validate(); err != nil {
+		return nil, fmt.Errorf("eager: auc: %w", err)
+	}
+	if r.Full.C.Dim != r.AUC.Dim {
+		return nil, fmt.Errorf("eager: full classifier dimension %d does not match AUC dimension %d",
+			r.Full.C.Dim, r.AUC.Dim)
 	}
 	if r.Opts.MinSubgesture < 2 {
 		r.Opts.MinSubgesture = DefaultOptions().MinSubgesture

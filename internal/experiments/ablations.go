@@ -169,10 +169,16 @@ func CornerLoopSweep(cfg Config, probs []float64) (*Ablation, error) {
 		params := synth.DefaultParams(cfg.TestSeed)
 		params.CornerLoopProb = prob
 		testSet, _ := synth.NewGenerator(params).Set("loop-test", classes, cfg.TestPerClass)
-		fullAcc, _ := rec.Full.Accuracy(testSet)
+		fullAcc, _, err := rec.Full.Accuracy(testSet)
+		if err != nil {
+			return nil, err
+		}
 		correct, seen, total := 0, 0, 0
 		for _, e := range testSet.Examples {
-			class, firedAt := rec.Run(e.Gesture)
+			class, firedAt, err := rec.Run(e.Gesture)
+			if err != nil {
+				return nil, err
+			}
 			if class == e.Class {
 				correct++
 			}

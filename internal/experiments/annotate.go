@@ -57,7 +57,14 @@ func Annotate(name string, classes []synth.Class, cfg Config) ([]Annotation, err
 	out := make([]Annotation, 0, testSet.Len())
 	for i, e := range testSet.Examples {
 		counters[e.Class]++
-		class, firedAt := rec.Run(e.Gesture)
+		class, firedAt, err := rec.Run(e.Gesture)
+		if err != nil {
+			return nil, err
+		}
+		fullPred, err := rec.Full.Classify(e.Gesture)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, Annotation{
 			Class:      e.Class,
 			Index:      counters[e.Class],
@@ -65,7 +72,7 @@ func Annotate(name string, classes []synth.Class, cfg Config) ([]Annotation, err
 			FiredAt:    firedAt,
 			Total:      e.Gesture.Len(),
 			EagerWrong: class != e.Class,
-			FullWrong:  rec.Full.Classify(e.Gesture) != e.Class,
+			FullWrong:  fullPred != e.Class,
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool {

@@ -73,7 +73,10 @@ func RunBaseline(cfg Config) (*BaselineComparison, error) {
 		const reps = 5
 		var rubAcc float64
 		for i := 0; i < reps; i++ {
-			rubAcc, _ = rub.Accuracy(testSet)
+			rubAcc, _, err = rub.Accuracy(testSet)
+			if err != nil {
+				return nil, err
+			}
 		}
 		rubClassify := time.Since(start) / time.Duration(reps*testSet.Len())
 		out.Rows = append(out.Rows, BaselineRow{

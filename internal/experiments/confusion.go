@@ -131,8 +131,15 @@ func Confusions(name string, classes []synth.Class, cfg Config) (full, eagerC *C
 	full = newConfusion(names)
 	eagerC = newConfusion(names)
 	for _, e := range testSet.Examples {
-		full.Add(e.Class, rec.Full.Classify(e.Gesture))
-		got, _ := rec.Run(e.Gesture)
+		pred, perr := rec.Full.Classify(e.Gesture)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		full.Add(e.Class, pred)
+		got, _, rerr := rec.Run(e.Gesture)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
 		eagerC.Add(e.Class, got)
 	}
 	return full, eagerC, nil

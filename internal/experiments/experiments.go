@@ -102,11 +102,18 @@ func RunEagerEval(name string, classes []synth.Class, cfg Config) (*EagerEval, e
 		st.TotalPoints += e.Gesture.Len()
 		total += e.Gesture.Len()
 
-		if rec.Full.Classify(e.Gesture) == e.Class {
+		pred, err := rec.Full.Classify(e.Gesture)
+		if err != nil {
+			return nil, fmt.Errorf("experiments %s: %w", name, err)
+		}
+		if pred == e.Class {
 			fullCorrect++
 			st.FullCorrect++
 		}
-		class, firedAt := rec.Run(e.Gesture)
+		class, firedAt, err := rec.Run(e.Gesture)
+		if err != nil {
+			return nil, fmt.Errorf("experiments %s: %w", name, err)
+		}
 		if class == e.Class {
 			eagerCorrect++
 			st.EagerCorrect++
@@ -223,7 +230,10 @@ func RunTiming(cfg Config) (*Timing, error) {
 	featStart := time.Now()
 	for r := 0; r < reps; r++ {
 		for _, e := range testSet.Examples {
-			ext := features.NewExtractor(rec.Full.Opts)
+			ext, err := features.NewExtractor(rec.Full.Opts)
+			if err != nil {
+				return nil, err
+			}
 			for _, p := range e.Gesture.Points {
 				ext.Add(p)
 			}
@@ -234,10 +244,17 @@ func RunTiming(cfg Config) (*Timing, error) {
 	// AUC classification of the running feature vector at every point.
 	vecs := make([]linalg.Vec, 0, points)
 	for _, e := range testSet.Examples {
-		ext := features.NewExtractor(rec.Full.Opts)
+		ext, err := features.NewExtractor(rec.Full.Opts)
+		if err != nil {
+			return nil, err
+		}
 		for _, p := range e.Gesture.Points {
 			ext.Add(p)
-			vecs = append(vecs, ext.Vector())
+			v, err := ext.Vector()
+			if err != nil {
+				return nil, err
+			}
+			vecs = append(vecs, v)
 		}
 	}
 	aucStart := time.Now()

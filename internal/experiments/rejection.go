@@ -114,7 +114,10 @@ func RunRejection(cfg Config) (*RejectionSweep, error) {
 		}
 		var falseRej, accepted, acceptedCorrect int
 		for _, e := range testSet.Examples {
-			res := evalOne(rec, e.Gesture)
+			res, err := evalOne(rec, e.Gesture)
+			if err != nil {
+				return nil, err
+			}
 			if !accepts(res) {
 				falseRej++
 				continue
@@ -126,7 +129,13 @@ func RunRejection(cfg Config) (*RejectionSweep, error) {
 		}
 		var falseAcc int
 		for _, s := range garbage {
-			if accepts(evalOne(rec, s)) {
+			res, err := evalOne(rec, s)
+			if err != nil {
+				// An unclassifiable garbage stroke counts as rejected,
+				// which is exactly the desired outcome.
+				continue
+			}
+			if accepts(res) {
 				falseAcc++
 			}
 		}
@@ -149,7 +158,10 @@ type recognizerResult struct {
 	dist  float64
 }
 
-func evalOne(rec *recognizer.Full, g gesture.Gesture) recognizerResult {
-	res := rec.Evaluate(g)
-	return recognizerResult{class: res.Class, prob: res.Probability, dist: res.Mahalanobis}
+func evalOne(rec *recognizer.Full, g gesture.Gesture) (recognizerResult, error) {
+	res, err := rec.Evaluate(g)
+	if err != nil {
+		return recognizerResult{}, err
+	}
+	return recognizerResult{class: res.Class, prob: res.Probability, dist: res.Mahalanobis}, nil
 }

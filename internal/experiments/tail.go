@@ -90,7 +90,10 @@ func RunTailEffect(cfg Config) (*TailEffect, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments tail one-phase: %w", err)
 		}
-		acc1, _ := rec1.Accuracy(test1)
+		acc1, _, err := rec1.Accuracy(test1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments tail one-phase: %w", err)
+		}
 
 		// Two-phase: the classifier sees only the mark proper.
 		gen := synth.NewGenerator(synth.DefaultParams(trainSeed))
@@ -101,7 +104,10 @@ func RunTailEffect(cfg Config) (*TailEffect, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments tail two-phase: %w", err)
 		}
-		acc2, _ := rec2.Accuracy(test2)
+		acc2, _, err := rec2.Accuracy(test2)
+		if err != nil {
+			return nil, fmt.Errorf("experiments tail two-phase: %w", err)
+		}
 
 		res.OnePhaseAccuracy += acc1
 		res.TwoPhaseAccuracy += acc2

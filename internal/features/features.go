@@ -29,12 +29,20 @@
 package features
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/geom"
 	"repro/internal/linalg"
 )
+
+// ErrNonFinite is returned (wrapped) by Vector, VectorInto, and Compute
+// when a feature value is NaN or Inf — which can only happen when the
+// input stroke contained a non-finite coordinate or timestamp, or
+// overflowed float64. Production recognizers must absorb such strokes by
+// rejecting them, never by propagating NaN into classifier scores.
+var ErrNonFinite = errors.New("features: non-finite feature value (NaN/Inf in input stroke?)")
 
 // NumFeatures is the size of the full feature vector.
 const NumFeatures = 13
@@ -137,13 +145,14 @@ type Extractor struct {
 	maxSpeedSq float64
 }
 
-// NewExtractor returns an extractor with the given options. Invalid options
-// panic; validate beforehand when options come from external input.
-func NewExtractor(opts Options) *Extractor {
+// NewExtractor returns an extractor with the given options. Options come
+// from external input (CLI flags, recognizer JSON), so invalid ones are
+// an error, not a panic.
+func NewExtractor(opts Options) (*Extractor, error) {
 	if err := opts.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return &Extractor{opts: opts}
+	return &Extractor{opts: opts}, nil
 }
 
 // Reset returns the extractor to its initial state, keeping its options.
@@ -248,35 +257,47 @@ func (e *Extractor) full() [NumFeatures]float64 {
 
 // Vector returns the feature vector for the points added so far, projected
 // through the configured feature subset. The returned vector is a fresh
-// copy; the extractor may continue to accumulate points afterwards.
-func (e *Extractor) Vector() linalg.Vec {
+// copy; the extractor may continue to accumulate points afterwards. It
+// returns ErrNonFinite (wrapped) when any feature is NaN or Inf.
+func (e *Extractor) Vector() (linalg.Vec, error) {
 	f := e.full()
-	return e.opts.project(f[:])
+	v := e.opts.project(f[:])
+	if !v.AllFinite() {
+		return nil, fmt.Errorf("%w after %d points", ErrNonFinite, e.raw)
+	}
+	return v, nil
 }
 
 // VectorInto writes the current feature vector into out (which must have
 // length Options.Dim()) and returns it, performing no allocation — the
-// per-mouse-point hot-path form.
-func (e *Extractor) VectorInto(out linalg.Vec) linalg.Vec {
+// per-mouse-point hot-path form. A wrong-sized buffer or a non-finite
+// feature value is an error; out's contents are unspecified on error.
+func (e *Extractor) VectorInto(out linalg.Vec) (linalg.Vec, error) {
 	if len(out) != e.opts.Dim() {
-		panic(fmt.Sprintf("features: buffer length %d, want %d", len(out), e.opts.Dim()))
+		return nil, fmt.Errorf("features: buffer length %d, want %d", len(out), e.opts.Dim())
 	}
 	f := e.full()
 	if len(e.opts.Use) == 0 {
 		copy(out, f[:])
-		return out
+	} else {
+		for i, idx := range e.opts.Use {
+			out[i] = f[idx]
+		}
 	}
-	for i, idx := range e.opts.Use {
-		out[i] = f[idx]
+	if !out.AllFinite() {
+		return nil, fmt.Errorf("%w after %d points", ErrNonFinite, e.raw)
 	}
-	return out
+	return out, nil
 }
 
 // Compute returns the feature vector of an entire path in one call. It is
 // exactly equivalent to feeding the path point-by-point to a fresh
 // Extractor; the incremental path is the single source of truth.
-func Compute(p geom.Path, opts Options) linalg.Vec {
-	e := NewExtractor(opts)
+func Compute(p geom.Path, opts Options) (linalg.Vec, error) {
+	e, err := NewExtractor(opts)
+	if err != nil {
+		return nil, err
+	}
 	for _, tp := range p {
 		e.Add(tp)
 	}

@@ -78,6 +78,35 @@ func naive(p geom.Path, minMove float64) linalg.Vec {
 	return f
 }
 
+// mustCompute and mustExtractor unwrap the error returns for tests whose
+// inputs are finite by construction.
+func mustCompute(t testing.TB, p geom.Path, opts Options) linalg.Vec {
+	t.Helper()
+	v, err := Compute(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func mustExtractor(t testing.TB, opts Options) *Extractor {
+	t.Helper()
+	e, err := NewExtractor(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustVector(t testing.TB, e *Extractor) linalg.Vec {
+	t.Helper()
+	v, err := e.Vector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 func vecApproxEqual(a, b linalg.Vec, tol float64) bool {
 	if len(a) != len(b) {
 		return false
@@ -107,7 +136,10 @@ func randomPath(seed int64, n int) geom.Path {
 func TestIncrementalMatchesNaive(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
 		p := randomPath(seed, int(n%64)+1)
-		inc := Compute(p, DefaultOptions())
+		inc, err := Compute(p, DefaultOptions())
+		if err != nil {
+			return false
+		}
 		ref := naive(p, 3)
 		return vecApproxEqual(inc, ref, 1e-9)
 	}
@@ -118,10 +150,10 @@ func TestIncrementalMatchesNaive(t *testing.T) {
 
 func TestIncrementalMatchesNaiveAtEveryPrefix(t *testing.T) {
 	p := randomPath(99, 40)
-	e := NewExtractor(DefaultOptions())
+	e := mustExtractor(t, DefaultOptions())
 	for i, tp := range p {
 		e.Add(tp)
-		got := e.Vector()
+		got := mustVector(t, e)
 		want := naive(p[:i+1], 3)
 		if !vecApproxEqual(got, want, 1e-9) {
 			t.Fatalf("prefix %d: incremental %v != naive %v", i+1, got, want)
@@ -135,7 +167,7 @@ func TestStraightLineFeatures(t *testing.T) {
 	for i := range p {
 		p[i] = geom.TimedPoint{X: float64(i * 10), Y: 0, T: float64(i) * 0.01}
 	}
-	f := Compute(p, DefaultOptions())
+	f := mustCompute(t, p, DefaultOptions())
 	if !mathx.ApproxEqual(f[FInitCos], 1, 1e-9) || !mathx.ApproxEqual(f[FInitSin], 0, 1e-9) {
 		t.Errorf("initial angle = (%v, %v)", f[FInitCos], f[FInitSin])
 	}
@@ -178,7 +210,7 @@ func TestRightAngleTurn(t *testing.T) {
 		{X: 40, Y: 20, T: 0.06},
 		{X: 40, Y: 40, T: 0.08},
 	}
-	f := Compute(p, DefaultOptions())
+	f := mustCompute(t, p, DefaultOptions())
 	if !mathx.ApproxEqual(math.Abs(f[FTotalAngle]), math.Pi/2, 1e-9) {
 		t.Errorf("total angle = %v, want +-pi/2", f[FTotalAngle])
 	}
@@ -198,8 +230,8 @@ func TestTotalAngleSign(t *testing.T) {
 	ccw := geom.Path{
 		geom.TPt(0, 0, 0), geom.TPt(0, 20, 0.02), geom.TPt(20, 20, 0.04), geom.TPt(20, 0, 0.06), geom.TPt(0, 0, 0.08),
 	}
-	f1 := Compute(cw, DefaultOptions())
-	f2 := Compute(ccw, DefaultOptions())
+	f1 := mustCompute(t, cw, DefaultOptions())
+	f2 := mustCompute(t, ccw, DefaultOptions())
 	if f1[FTotalAngle]*f2[FTotalAngle] >= 0 {
 		t.Errorf("loop orientations not distinguished: %v vs %v", f1[FTotalAngle], f2[FTotalAngle])
 	}
@@ -212,7 +244,12 @@ func TestTranslationInvariance(t *testing.T) {
 	f := func(seed int64, dx, dy int16) bool {
 		p := randomPath(seed, 30)
 		q := p.Translate(float64(dx), float64(dy))
-		return vecApproxEqual(Compute(p, DefaultOptions()), Compute(q, DefaultOptions()), 1e-6)
+		fp, err1 := Compute(p, DefaultOptions())
+		fq, err2 := Compute(q, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return vecApproxEqual(fp, fq, 1e-6)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
@@ -225,7 +262,12 @@ func TestTimeShiftInvariance(t *testing.T) {
 		q := p.TimeShift(float64(dt))
 		// Large shifts lose low-order timestamp bits, which squares into the
 		// max-speed feature; allow for that cancellation.
-		return vecApproxEqual(Compute(p, DefaultOptions()), Compute(q, DefaultOptions()), 1e-6)
+		fp, err1 := Compute(p, DefaultOptions())
+		fq, err2 := Compute(q, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return vecApproxEqual(fp, fq, 1e-6)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
@@ -236,11 +278,11 @@ func TestMonotoneFeaturesNonDecreasingOverPrefixes(t *testing.T) {
 	// Path length, absolute angle, squared angle, duration, bbox diagonal
 	// and max speed can only grow as points are added.
 	p := randomPath(5, 50)
-	e := NewExtractor(DefaultOptions())
+	e := mustExtractor(t, DefaultOptions())
 	prev := make(linalg.Vec, NumFeatures)
 	for _, tp := range p {
 		e.Add(tp)
-		cur := e.Vector()
+		cur := mustVector(t, e)
 		for _, idx := range []int{FBBoxLen, FPathLen, FAbsAngle, FSqrAngle, FMaxSpeedSq, FDuration} {
 			if cur[idx] < prev[idx]-1e-9 {
 				t.Fatalf("feature %s decreased: %v -> %v", Names[idx], prev[idx], cur[idx])
@@ -252,28 +294,28 @@ func TestMonotoneFeaturesNonDecreasingOverPrefixes(t *testing.T) {
 
 func TestDegenerateGestures(t *testing.T) {
 	// Empty.
-	f := Compute(nil, DefaultOptions())
+	f := mustCompute(t, nil, DefaultOptions())
 	for i, v := range f {
 		if v != 0 {
 			t.Errorf("empty gesture feature %s = %v", Names[i], v)
 		}
 	}
 	// Single point.
-	f = Compute(geom.Path{{X: 5, Y: 5, T: 1}}, DefaultOptions())
+	f = mustCompute(t, geom.Path{{X: 5, Y: 5, T: 1}}, DefaultOptions())
 	for i, v := range f {
 		if v != 0 {
 			t.Errorf("single point feature %s = %v", Names[i], v)
 		}
 	}
 	// Two coincident points ("dot"): the second is filtered out.
-	f = Compute(geom.Path{geom.TPt(5, 5, 0), geom.TPt(5.5, 5.2, 0.05)}, DefaultOptions())
+	f = mustCompute(t, geom.Path{geom.TPt(5, 5, 0), geom.TPt(5.5, 5.2, 0.05)}, DefaultOptions())
 	for i, v := range f {
 		if v != 0 {
 			t.Errorf("dot feature %s = %v", Names[i], v)
 		}
 	}
 	// Duplicate timestamps must not produce Inf/NaN speeds.
-	f = Compute(geom.Path{geom.TPt(0, 0, 0), geom.TPt(10, 0, 0), geom.TPt(20, 0, 0)}, DefaultOptions())
+	f = mustCompute(t, geom.Path{geom.TPt(0, 0, 0), geom.TPt(10, 0, 0), geom.TPt(20, 0, 0)}, DefaultOptions())
 	for i, v := range f {
 		if !mathx.Finite(v) {
 			t.Errorf("duplicate-timestamp feature %s = %v", Names[i], v)
@@ -287,7 +329,7 @@ func TestDegenerateGestures(t *testing.T) {
 func TestMinMoveFilter(t *testing.T) {
 	// Points 1px apart are all filtered with the default 3px threshold.
 	p := geom.Path{geom.TPt(0, 0, 0), geom.TPt(1, 0, 0.01), geom.TPt(2, 0, 0.02), geom.TPt(3.5, 0, 0.03)}
-	e := NewExtractor(DefaultOptions())
+	e := mustExtractor(t, DefaultOptions())
 	for _, tp := range p {
 		e.Add(tp)
 	}
@@ -298,7 +340,7 @@ func TestMinMoveFilter(t *testing.T) {
 		t.Errorf("AcceptedCount = %d", e.AcceptedCount())
 	}
 	// MinMove=0 accepts every strictly moving point.
-	e2 := NewExtractor(Options{MinMove: 0})
+	e2 := mustExtractor(t, Options{MinMove: 0})
 	for _, tp := range p {
 		e2.Add(tp)
 	}
@@ -310,11 +352,11 @@ func TestMinMoveFilter(t *testing.T) {
 func TestFeatureSubset(t *testing.T) {
 	opts := Options{MinMove: 3, Use: []int{FPathLen, FDuration}}
 	p := randomPath(1, 20)
-	f := Compute(p, opts)
+	f := mustCompute(t, p, opts)
 	if len(f) != 2 {
 		t.Fatalf("subset vector len = %d", len(f))
 	}
-	full := Compute(p, DefaultOptions())
+	full := mustCompute(t, p, DefaultOptions())
 	if f[0] != full[FPathLen] || f[1] != full[FDuration] {
 		t.Errorf("subset values %v mismatch full %v/%v", f, full[FPathLen], full[FDuration])
 	}
@@ -335,17 +377,14 @@ func TestOptionsValidate(t *testing.T) {
 	}
 }
 
-func TestNewExtractorPanicsOnInvalid(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewExtractor with invalid options did not panic")
-		}
-	}()
-	NewExtractor(Options{MinMove: -5})
+func TestNewExtractorErrorsOnInvalid(t *testing.T) {
+	if _, err := NewExtractor(Options{MinMove: -5}); err == nil {
+		t.Error("NewExtractor with invalid options did not error")
+	}
 }
 
 func TestReset(t *testing.T) {
-	e := NewExtractor(DefaultOptions())
+	e := mustExtractor(t, DefaultOptions())
 	for _, tp := range randomPath(3, 10) {
 		e.Add(tp)
 	}
@@ -353,7 +392,7 @@ func TestReset(t *testing.T) {
 	if e.RawCount() != 0 || e.AcceptedCount() != 0 {
 		t.Error("Reset did not clear counts")
 	}
-	v := e.Vector()
+	v := mustVector(t, e)
 	for _, x := range v {
 		if x != 0 {
 			t.Error("Reset did not clear features")
@@ -362,13 +401,13 @@ func TestReset(t *testing.T) {
 }
 
 func TestVectorIsACopy(t *testing.T) {
-	e := NewExtractor(DefaultOptions())
+	e := mustExtractor(t, DefaultOptions())
 	for _, tp := range randomPath(3, 10) {
 		e.Add(tp)
 	}
-	v1 := e.Vector()
+	v1 := mustVector(t, e)
 	v1[0] = 999
-	v2 := e.Vector()
+	v2 := mustVector(t, e)
 	if v2[0] == 999 {
 		t.Error("Vector aliases internal state")
 	}
@@ -378,7 +417,7 @@ func TestInitialAngleUsesThirdAcceptedPoint(t *testing.T) {
 	// First three accepted points turn a corner; the initial angle must be
 	// start->third, not the overall direction.
 	p := geom.Path{geom.TPt(0, 0, 0), geom.TPt(10, 0, 0.01), geom.TPt(10, 10, 0.02), geom.TPt(10, 50, 0.03)}
-	f := Compute(p, DefaultOptions())
+	f := mustCompute(t, p, DefaultOptions())
 	want := math.Atan2(10, 10) // direction of (10,10) from origin
 	got := math.Atan2(f[FInitSin], f[FInitCos])
 	if !mathx.ApproxEqual(got, want, 1e-9) {
@@ -387,12 +426,15 @@ func TestInitialAngleUsesThirdAcceptedPoint(t *testing.T) {
 }
 
 func TestVectorIntoMatchesVector(t *testing.T) {
-	e := NewExtractor(DefaultOptions())
+	e := mustExtractor(t, DefaultOptions())
 	buf := make(linalg.Vec, NumFeatures)
 	for _, tp := range randomPath(21, 30) {
 		e.Add(tp)
-		want := e.Vector()
-		got := e.VectorInto(buf)
+		want := mustVector(t, e)
+		got, err := e.VectorInto(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("VectorInto[%d] = %v, want %v", i, got[i], want[i])
@@ -400,38 +442,40 @@ func TestVectorIntoMatchesVector(t *testing.T) {
 		}
 	}
 	// Subset options too.
-	sub := NewExtractor(Options{MinMove: 3, Use: []int{FPathLen, FDuration}})
+	sub := mustExtractor(t, Options{MinMove: 3, Use: []int{FPathLen, FDuration}})
 	sbuf := make(linalg.Vec, 2)
 	for _, tp := range randomPath(22, 20) {
 		sub.Add(tp)
 	}
-	want := sub.Vector()
-	got := sub.VectorInto(sbuf)
+	want := mustVector(t, sub)
+	got, err := sub.VectorInto(sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got[0] != want[0] || got[1] != want[1] {
 		t.Fatal("subset VectorInto mismatch")
 	}
 }
 
 func TestVectorIntoAllocationFree(t *testing.T) {
-	e := NewExtractor(DefaultOptions())
+	e := mustExtractor(t, DefaultOptions())
 	for _, tp := range randomPath(23, 20) {
 		e.Add(tp)
 	}
 	buf := make(linalg.Vec, NumFeatures)
 	allocs := testing.AllocsPerRun(100, func() {
-		e.VectorInto(buf)
+		if _, err := e.VectorInto(buf); err != nil {
+			t.Fatal(err)
+		}
 	})
 	if allocs != 0 {
 		t.Errorf("VectorInto allocates %v per run", allocs)
 	}
 }
 
-func TestVectorIntoBadBufferPanics(t *testing.T) {
-	e := NewExtractor(DefaultOptions())
-	defer func() {
-		if recover() == nil {
-			t.Error("short buffer did not panic")
-		}
-	}()
-	e.VectorInto(make(linalg.Vec, 3))
+func TestVectorIntoBadBufferError(t *testing.T) {
+	e := mustExtractor(t, DefaultOptions())
+	if _, err := e.VectorInto(make(linalg.Vec, 3)); err == nil {
+		t.Error("short buffer did not error")
+	}
 }

@@ -195,8 +195,12 @@ func (h *GestureHandler) Begin(ev display.Event, v *View, s *Session) Interactio
 	p := geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.Time}
 	g.points = geom.Path{p}
 	if h.Mode == ModeEager {
-		g.stream = h.eag.NewSession()
-		g.stream.Add(p)
+		// NewSession fails only on invalid feature options; degrade to
+		// mouse-up classification (stream == nil) rather than crash the UI.
+		if stream, err := h.eag.NewSession(); err == nil {
+			g.stream = stream
+			g.stream.Add(p)
+		}
 	}
 	if h.Mode == ModeTimeout {
 		g.armTimeout(s)
@@ -249,21 +253,31 @@ func (g *gestureInteraction) transition(s *Session, x, y, t float64) {
 	rejected := false
 	var prob, dist float64
 	if g.h.MinProbability > 0 || g.h.MaxMahalanobis > 0 {
-		res := g.h.full.Evaluate(gesture.New(g.points))
-		class, prob, dist = res.Class, res.Probability, res.Mahalanobis
-		if g.h.MinProbability > 0 && prob < g.h.MinProbability {
+		res, err := g.h.full.Evaluate(gesture.New(g.points))
+		if err != nil {
+			// Unclassifiable stroke (e.g. non-finite input): reject it
+			// rather than act on garbage.
 			rejected = true
+		} else {
+			class, prob, dist = res.Class, res.Probability, res.Mahalanobis
+			if g.h.MinProbability > 0 && prob < g.h.MinProbability {
+				rejected = true
+			}
+			if g.h.MaxMahalanobis > 0 && dist > g.h.MaxMahalanobis {
+				rejected = true
+			}
 		}
-		if g.h.MaxMahalanobis > 0 && dist > g.h.MaxMahalanobis {
-			rejected = true
-		}
-		if !rejected && g.h.Mode == ModeEager && g.stream.Decided() {
+		if !rejected && g.h.Mode == ModeEager && g.stream != nil && g.stream.Decided() {
 			class = g.stream.Class()
 		}
-	} else if g.h.Mode == ModeEager && g.stream.Decided() {
+	} else if g.h.Mode == ModeEager && g.stream != nil && g.stream.Decided() {
 		class = g.stream.Class()
 	} else {
-		class = g.h.full.Classify(gesture.New(g.points))
+		c, err := g.h.full.Classify(gesture.New(g.points))
+		if err != nil {
+			rejected = true
+		}
+		class = c
 	}
 	g.phase = phaseManipulating
 	if rejected {
@@ -308,8 +322,13 @@ func (g *gestureInteraction) Handle(ev display.Event, s *Session) bool {
 			s.SetInk(g.points)
 			switch g.h.Mode {
 			case ModeEager:
-				if fired, _ := g.stream.Add(p); fired {
-					g.transition(s, ev.X, ev.Y, ev.Time)
+				// An Add error means the stroke is poisoned (non-finite
+				// point); keep collecting — the mouse-up transition will
+				// reject it.
+				if g.stream != nil {
+					if fired, _, err := g.stream.Add(p); err == nil && fired {
+						g.transition(s, ev.X, ev.Y, ev.Time)
+					}
 				}
 			case ModeTimeout:
 				g.armTimeout(s)

@@ -105,7 +105,11 @@ func TestRecordThenTrainRoundTrip(t *testing.T) {
 	test, _ := synth.NewGenerator(synth.DefaultParams(99)).Set("t", synth.UDClasses(), 10)
 	correct := 0
 	for _, e := range test.Examples {
-		if class, _ := trained.Run(e.Gesture); class == e.Class {
+		class, _, err := trained.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if class == e.Class {
 			correct++
 		}
 	}

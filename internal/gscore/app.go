@@ -143,6 +143,7 @@ type noteDrag struct {
 }
 
 func (st *noteDrag) track(sc *Score, x, y float64) {
+	//lint:ignore floateq skip no-op drag events: coordinates are compared to their own previous exact values
 	if x == st.lastX && y == st.lastY {
 		return
 	}

@@ -218,7 +218,10 @@ func TestEditorNotesNotEager(t *testing.T) {
 	test, _ := synth.NewGenerator(synth.DefaultParams(99)).Set("t", synth.NoteClasses(), 10)
 	seen, total := 0, 0
 	for _, e := range test.Examples {
-		_, firedAt := rec.Run(e.Gesture)
+		_, firedAt, err := rec.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
 		seen += firedAt
 		total += e.Gesture.Len()
 	}

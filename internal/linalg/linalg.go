@@ -29,9 +29,12 @@ func (v Vec) Clone() Vec {
 }
 
 // Dot returns the inner product of v and w. It panics on length mismatch:
-// mismatched feature dimensions always indicate a bug upstream.
+// mismatched feature dimensions always indicate a bug upstream — every
+// data-carrying entry point (classifier, features) validates dimensions
+// and returns an error before vectors reach these kernels.
 func (v Vec) Dot(w Vec) float64 {
 	if len(v) != len(w) {
+		//lint:ignore nopanic shape invariant, validated at data entry points
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(v), len(w)))
 	}
 	s := 0.0
@@ -44,6 +47,7 @@ func (v Vec) Dot(w Vec) float64 {
 // Sub returns v - w as a new vector.
 func (v Vec) Sub(w Vec) Vec {
 	if len(v) != len(w) {
+		//lint:ignore nopanic shape invariant, validated at data entry points
 		panic(fmt.Sprintf("linalg: Sub length mismatch %d vs %d", len(v), len(w)))
 	}
 	out := make(Vec, len(v))
@@ -56,6 +60,7 @@ func (v Vec) Sub(w Vec) Vec {
 // Add returns v + w as a new vector.
 func (v Vec) Add(w Vec) Vec {
 	if len(v) != len(w) {
+		//lint:ignore nopanic shape invariant, validated at data entry points
 		panic(fmt.Sprintf("linalg: Add length mismatch %d vs %d", len(v), len(w)))
 	}
 	out := make(Vec, len(v))
@@ -68,6 +73,7 @@ func (v Vec) Add(w Vec) Vec {
 // AddScaled adds s*w to v in place.
 func (v Vec) AddScaled(s float64, w Vec) {
 	if len(v) != len(w) {
+		//lint:ignore nopanic shape invariant, validated at data entry points
 		panic(fmt.Sprintf("linalg: AddScaled length mismatch %d vs %d", len(v), len(w)))
 	}
 	for i := range v {
@@ -98,6 +104,7 @@ type Mat struct {
 // NewMat returns a zero matrix with the given shape.
 func NewMat(rows, cols int) *Mat {
 	if rows <= 0 || cols <= 0 {
+		//lint:ignore nopanic construction invariant: dimensions are compile-time or validated-options constants
 		panic("linalg: NewMat with non-positive dimension")
 	}
 	return &Mat{Rows: rows, Cols: cols, A: make([]float64, rows*cols)}
@@ -128,6 +135,7 @@ func (m *Mat) Clone() *Mat {
 // MulVec returns m * v.
 func (m *Mat) MulVec(v Vec) Vec {
 	if m.Cols != len(v) {
+		//lint:ignore nopanic shape invariant, validated at data entry points
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
 	}
 	out := make(Vec, m.Rows)
@@ -145,6 +153,7 @@ func (m *Mat) MulVec(v Vec) Vec {
 // Mul returns m * n.
 func (m *Mat) Mul(n *Mat) *Mat {
 	if m.Cols != n.Rows {
+		//lint:ignore nopanic shape invariant, validated at data entry points
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
 	}
 	out := NewMat(m.Rows, n.Cols)
@@ -290,11 +299,60 @@ func InvertRegularized(m *Mat) (*Mat, float64, error) {
 	return nil, 0, fmt.Errorf("linalg: regularized inversion failed: %w", ErrSingular)
 }
 
+// Solve returns x with m*x = b, via the inverse (the matrices here are at
+// most a few dozen rows, so a dedicated factorization would be noise). It
+// returns ErrSingular when m is singular and an error on shape mismatch.
+func Solve(m *Mat, b Vec) (Vec, error) {
+	if m.Rows != m.Cols || m.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: cannot solve %dx%d system with %d-vector", m.Rows, m.Cols, len(b))
+	}
+	inv, err := Invert(m)
+	if err != nil {
+		return nil, err
+	}
+	return inv.MulVec(b), nil
+}
+
+// BlendIdentity returns (1-w)*m + w*I — the covariance-blending fallback
+// for singular estimates: as w grows the result interpolates from the
+// measured matrix to the (always invertible) identity metric. w must be
+// in [0, 1]; m must be square.
+func BlendIdentity(m *Mat, w float64) *Mat {
+	out := m.Clone()
+	for i := range out.A {
+		out.A[i] *= 1 - w
+	}
+	n := out.Rows
+	if out.Cols < n {
+		n = out.Cols
+	}
+	for i := 0; i < n; i++ {
+		out.A[i*out.Cols+i] += w
+	}
+	return out
+}
+
+// AllFinite reports whether every element of v is finite (no NaN/Inf).
+func (v Vec) AllFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether every element of m is finite (no NaN/Inf).
+func (m *Mat) AllFinite() bool {
+	return Vec(m.A).AllFinite()
+}
+
 // QuadForm returns d' * m * d — the quadratic form at the heart of the
 // Mahalanobis distance, where m is an inverse covariance matrix and d a
 // difference from a class mean.
 func QuadForm(m *Mat, d Vec) float64 {
 	if m.Rows != len(d) || m.Cols != len(d) {
+		//lint:ignore nopanic shape invariant, validated at data entry points
 		panic(fmt.Sprintf("linalg: QuadForm shape mismatch %dx%d with %d", m.Rows, m.Cols, len(d)))
 	}
 	s := 0.0

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxarg enforces context.Context hygiene ahead of the serving work the
+// roadmap plans: a context must be the first parameter of a function that
+// takes one, and must not be stored in a struct field — a stored context
+// outlives the request it belongs to, which breaks cancellation exactly
+// when an event-handler layer like GRANDMA's is put behind a server.
+var Ctxarg = &Analyzer{
+	Name: "ctxarg",
+	Doc: "flag functions taking context.Context anywhere but the first parameter, and struct fields " +
+		"that store a context.Context.",
+	Run: runCtxarg,
+}
+
+func runCtxarg(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj, ok := pass.Info.Defs[d.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				params := obj.Type().(*types.Signature).Params()
+				for i := 1; i < params.Len(); i++ {
+					if isContext(params.At(i).Type()) {
+						pass.Reportf(d.Name.Pos(), "context.Context should be the first parameter of %s", d.Name.Name)
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						tv, ok := pass.Info.Types[field.Type]
+						if ok && isContext(tv.Type) {
+							pass.Reportf(field.Pos(), "struct %s stores a context.Context; pass it as a call parameter instead",
+								ts.Name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isContext(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floateq reports == and != between floating-point expressions. Exact
+// equality on computed floats is almost always a numerical bug in this
+// codebase — classifier scores, Mahalanobis distances, and feature values
+// all accumulate rounding error. Three idioms are exempt by design:
+//
+//   - x != x and x == x: the portable NaN test;
+//   - comparison against an exact floating constant zero: a sentinel or
+//     sparsity test (e.g. skipping zero matrix entries), not an
+//     approximate-equality check;
+//   - _test.go files, where exact comparison against golden values is
+//     legitimate.
+//
+// Anything else needs an epsilon comparison (see internal/mathx) or an
+// audited //lint:ignore floateq directive.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag == and != on float operands outside _test.go files; exempts the x != x NaN idiom and " +
+		"comparisons with constant zero. Use an epsilon comparison or //lint:ignore floateq <reason>.",
+	Run: runFloateq,
+}
+
+func runFloateq(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // NaN idiom: x != x
+			}
+			pass.Reportf(be.OpPos, "%s on float operands; use an epsilon comparison", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// simple operands (identifiers, selectors, or index expressions over
+// such), which covers the x != x NaN-test idiom.
+func sameExpr(a, b ast.Expr) bool {
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameExpr(av.X, bv.X)
+	case *ast.IndexExpr:
+		bv, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(av.X, bv.X) && sameExpr(av.Index, bv.Index)
+	case *ast.ParenExpr:
+		return sameExpr(av.X, b)
+	}
+	if bp, ok := b.(*ast.ParenExpr); ok {
+		return sameExpr(a, bp.X)
+	}
+	return false
+}

@@ -1,0 +1,183 @@
+// Package lint is a small static-analysis framework modelled on
+// golang.org/x/tools/go/analysis, built entirely on the standard library's
+// go/ast and go/types packages so the repository needs no third-party
+// modules. cmd/glint drives it over the whole repo; the linttest
+// subpackage runs individual analyzers over testdata packages the way
+// analysistest does.
+//
+// The framework exists because this recognizer is numerically fragile by
+// design: training inverts a common covariance matrix and eager
+// recognition thresholds on probability estimates, so a stray NaN, a
+// dropped inversion error, or a panic on a degenerate stroke silently
+// corrupts classification. The analyzers in this package are the
+// machine-checked statement of the repo's invariants; DESIGN.md documents
+// each one and the allowlist mechanism.
+//
+// # Suppression directives
+//
+// A diagnostic can be suppressed with an explicit, audited directive:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed either on the flagged line or alone on the line directly above
+// it. The reason is mandatory — a directive without one is itself
+// reported. `<analyzer>` may be a comma-separated list or `all`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. The Run function inspects a
+// type-checked package via the Pass and reports findings with
+// Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:ignore
+	// directives. It must be a single lowercase word.
+	Name string
+	// Doc is a one-paragraph description shown by `glint -list`.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// surviving diagnostics: suppression directives are honoured, malformed
+// directives are reported, and the result is sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s: %w", a.Name, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	diags = Suppress(fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file      string
+	line      int  // line the directive appears on
+	names     map[string]bool
+	all       bool
+	hasReason bool
+	pos       token.Position
+}
+
+func (d *directive) matches(analyzer string) bool {
+	return d.all || d.names[analyzer]
+}
+
+// Suppress filters out diagnostics covered by a //lint:ignore directive on
+// the same line or on the line directly above. Directives lacking a reason
+// do not suppress anything and are reported as findings themselves, so the
+// allowlist stays auditable.
+func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	var dirs []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				d := directive{file: pos.Filename, line: pos.Line, pos: pos, names: map[string]bool{}}
+				if len(fields) > 0 {
+					for _, n := range strings.Split(fields[0], ",") {
+						if n == "all" {
+							d.all = true
+						}
+						d.names[n] = true
+					}
+				}
+				d.hasReason = len(fields) >= 2
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for i := range dirs {
+			d := &dirs[i]
+			if !d.hasReason || d.file != diag.Pos.Filename || !d.matches(diag.Analyzer) {
+				continue
+			}
+			if d.line == diag.Pos.Line || d.line == diag.Pos.Line-1 {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for i := range dirs {
+		d := &dirs[i]
+		if !d.hasReason {
+			out = append(out, Diagnostic{
+				Analyzer: "directive",
+				Pos:      d.pos,
+				Message:  "//lint:ignore directive needs a reason: //lint:ignore <analyzer> <reason>",
+			})
+		}
+	}
+	return out
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,67 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestNopanic(t *testing.T) {
+	const fixture = "fixture/nopanic"
+	lint.NopanicProtected[fixture] = true
+	defer delete(lint.NopanicProtected, fixture)
+	linttest.Run(t, lint.Nopanic, "testdata/nopanic", fixture)
+}
+
+func TestNopanicUnprotectedPackage(t *testing.T) {
+	// The same fixture under an unprotected path must produce no
+	// diagnostics at all — which would make every `want` comment fail —
+	// so load it directly and assert emptiness.
+	pkg, err := lint.LoadDir("testdata/nopanic", "fixture/unprotected")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, []*lint.Analyzer{lint.Nopanic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("nopanic flagged an unprotected package: %v", diags)
+	}
+}
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, lint.Floateq, "testdata/floateq", "fixture/floateq")
+}
+
+func TestNanGuard(t *testing.T) {
+	linttest.Run(t, lint.NanGuard, "testdata/nanguard", "fixture/nanguard")
+}
+
+func TestMutexcopy(t *testing.T) {
+	linttest.Run(t, lint.Mutexcopy, "testdata/mutexcopy", "fixture/mutexcopy")
+}
+
+func TestCtxarg(t *testing.T) {
+	linttest.Run(t, lint.Ctxarg, "testdata/ctxarg", "fixture/ctxarg")
+}
+
+// TestProtectedPackagesExist guards the nopanic configuration against
+// refactors that move or rename a protected package: a protected path
+// that no longer loads would silently disable the gate.
+func TestProtectedPackagesExist(t *testing.T) {
+	pkgs, err := lint.Load("../..", []string{"./internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, p := range pkgs {
+		found[p.ImportPath] = true
+	}
+	for path := range lint.NopanicProtected {
+		if !found[path] {
+			t.Errorf("nopanic protects %s, but that package does not exist", path)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package linttest runs a lint.Analyzer over a testdata package and
+// checks its diagnostics against expectations embedded in the source, the
+// way golang.org/x/tools/go/analysis/analysistest does:
+//
+//	bad := compute() == 1.0 // want `float operands`
+//
+// A `// want` comment declares that the analyzer must report a diagnostic
+// on that line whose message matches the backquoted regular expression.
+// Lines without a want comment must produce no diagnostic. //lint:ignore
+// directives are honoured exactly as in the glint driver, so fixtures can
+// test the allowlist mechanism itself.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the backquoted pattern from a // want comment.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads the package in dir under the given import path, applies the
+// analyzer, and reports any mismatch between produced diagnostics and the
+// // want expectations as test errors.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type expectation struct {
+		pattern *regexp.Regexp
+		line    int
+		file    string
+		matched bool
+	}
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ms := wantRe.FindAllStringSubmatch(c.Text, -1)
+				if ms == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed want comment %q (pattern must be backquoted)",
+							pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &expectation{pattern: re, line: pos.Line, file: pos.Filename})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

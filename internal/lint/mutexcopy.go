@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Mutexcopy reports functions whose receiver, parameters, or results pass
+// a lock by value. The GRANDMA event-handler layer shares handler and
+// session state between the event loop and timer callbacks; copying a
+// struct that embeds a sync primitive silently forks its lock state,
+// which is exactly the class of bug -race only catches when the schedule
+// cooperates. (go vet's copylocks covers assignments; this analyzer
+// covers the signature surface, where the copy is part of the API.)
+var Mutexcopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc: "flag receivers, parameters, and results that pass sync primitives (Mutex, RWMutex, WaitGroup, " +
+		"Once, Cond, Map) by value, including structs and arrays that contain one.",
+	Run: runMutexcopy,
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true,
+}
+
+func runMutexcopy(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if recv := sig.Recv(); recv != nil && containsLock(recv.Type(), nil) {
+				pass.Reportf(fd.Name.Pos(), "method %s copies a lock: receiver type %s contains a sync primitive; use a pointer receiver",
+					fd.Name.Name, recv.Type())
+			}
+			params := sig.Params()
+			for i := 0; i < params.Len(); i++ {
+				if containsLock(params.At(i).Type(), nil) {
+					pass.Reportf(fd.Name.Pos(), "function %s copies a lock: parameter %d type %s contains a sync primitive; pass a pointer",
+						fd.Name.Name, i+1, params.At(i).Type())
+				}
+			}
+			results := sig.Results()
+			for i := 0; i < results.Len(); i++ {
+				if containsLock(results.At(i).Type(), nil) {
+					pass.Reportf(fd.Name.Pos(), "function %s copies a lock: result %d type %s contains a sync primitive; return a pointer",
+						fd.Name.Name, i+1, results.At(i).Type())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// containsLock reports whether a value of type t embeds a sync primitive
+// by value. Pointers, slices, maps, channels, and funcs reference rather
+// than copy, so recursion stops there.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+		return containsLock(tt.Underlying(), seen)
+	case *types.Alias:
+		return containsLock(types.Unalias(tt), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if containsLock(tt.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(tt.Elem(), seen)
+	}
+	return false
+}

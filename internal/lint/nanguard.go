@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NanGuardFuncs maps package paths to the functions whose error (or ok)
+// result must not be dropped. These are the numerical routines that fail
+// on degenerate data — a singular covariance, a zero-length stroke — and
+// whose failure, if ignored, propagates NaN/Inf or a stale result into
+// every later classification. The var is exported so tests can register
+// fixture targets.
+var NanGuardFuncs = map[string]map[string]bool{
+	"repro/internal/linalg": {
+		"Invert":            true,
+		"InvertRegularized": true,
+		"Solve":             true,
+	},
+}
+
+// NanGuard reports call sites that drop the error/ok result of the
+// guarded numerical routines: either by using the call as a bare
+// expression statement or by assigning the error/ok result to the blank
+// identifier.
+var NanGuard = &Analyzer{
+	Name: "nanguard",
+	Doc: "flag call sites that drop the error/ok result of linalg inverse/solve routines; ignoring a " +
+		"singularity failure propagates NaN or a stale matrix into every later classification.",
+	Run: runNanGuard,
+}
+
+func runNanGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if fn := guardedCallee(pass, st.X); fn != nil {
+					pass.Reportf(st.Pos(), "result of %s.%s dropped; the error/ok result must be checked",
+						fn.Pkg().Path(), fn.Name())
+				}
+			case *ast.AssignStmt:
+				// Only the multi-assign form `a, b := f()` can silently
+				// blank an error: find the guarded call and check whether
+				// its error/ok result position is assigned to _.
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				fn := guardedCallee(pass, st.Rhs[0])
+				if fn == nil {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				idx := guardResultIndex(sig)
+				if idx < 0 || idx >= len(st.Lhs) {
+					return true
+				}
+				if id, ok := st.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(id.Pos(), "error result of %s.%s assigned to _; the error/ok result must be checked",
+						fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedCallee returns the *types.Func of e's callee when e is a call to
+// a guarded routine, nil otherwise.
+func guardedCallee(pass *Pass, e ast.Expr) *types.Func {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if names := NanGuardFuncs[fn.Pkg().Path()]; names != nil && names[fn.Name()] {
+		return fn
+	}
+	return nil
+}
+
+// guardResultIndex returns the index of the error (or trailing bool "ok")
+// result in sig, or -1 when the signature has none.
+func guardResultIndex(sig *types.Signature) int {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return i
+		}
+	}
+	if res.Len() > 0 {
+		last := res.At(res.Len() - 1)
+		if b, ok := last.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+			return res.Len() - 1
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

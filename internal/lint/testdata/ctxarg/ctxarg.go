@@ -1,0 +1,30 @@
+// Package ctxarg is a fixture for the ctxarg analyzer.
+package ctxarg
+
+import "context"
+
+// Last takes the context in the wrong position: flagged.
+func Last(name string, ctx context.Context) { // want `context.Context should be the first parameter`
+	_ = name
+	_ = ctx
+}
+
+// First is the correct shape: clean.
+func First(ctx context.Context, name string) {
+	_ = ctx
+	_ = name
+}
+
+// NoCtx takes no context at all: clean.
+func NoCtx(name string) { _ = name }
+
+// Holder stores a context in a field: flagged.
+type Holder struct {
+	ctx context.Context // want `stores a context.Context`
+	n   int
+}
+
+// Clean has no context field: clean.
+type Clean struct {
+	n int
+}

@@ -1,0 +1,42 @@
+// Package floateq is a fixture for the floateq analyzer.
+package floateq
+
+func compare(a, b float64, xs []float64, n int) bool {
+	if a == b { // want `== on float operands`
+		return true
+	}
+	if a != b+1 { // want `!= on float operands`
+		return true
+	}
+	if xs[0] == xs[1] { // want `== on float operands`
+		return true
+	}
+
+	// Exempt: the NaN idiom.
+	if a != a {
+		return false
+	}
+	if xs[n] != xs[n] {
+		return false
+	}
+	// Exempt: exact zero is a sentinel/sparsity test.
+	if a == 0 || b != 0.0 {
+		return false
+	}
+	// Exempt: integer comparison is none of our business.
+	if n == 3 {
+		return false
+	}
+	//lint:ignore floateq fixture demonstrating the allowlist
+	if a == b {
+		return true
+	}
+	bad := a == b // want `== on float operands`
+	return bad
+}
+
+type vec []float32
+
+func (v vec) eq(w vec) bool {
+	return v[0] == w[0] // want `== on float operands`
+}

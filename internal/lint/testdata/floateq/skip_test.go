@@ -1,0 +1,7 @@
+package floateq
+
+// Exact float comparison in a _test.go file is exempt by specification:
+// tests legitimately compare against golden values.
+func goldenEqual(a, b float64) bool {
+	return a == b
+}

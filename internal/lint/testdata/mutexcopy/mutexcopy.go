@@ -1,0 +1,41 @@
+// Package mutexcopy is a fixture for the mutexcopy analyzer.
+package mutexcopy
+
+import "sync"
+
+// Guarded embeds a mutex by value.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested buries the lock one struct deeper.
+type Nested struct {
+	inner Guarded
+}
+
+// Count copies its receiver and the lock inside it: flagged.
+func (g Guarded) Count() int { return g.n } // want `receiver type .* contains a sync primitive`
+
+// Inc uses a pointer receiver: clean.
+func (g *Guarded) Inc() { g.mu.Lock(); g.n++; g.mu.Unlock() }
+
+// Take copies a lock through a parameter: flagged.
+func Take(g Guarded) int { return g.n } // want `parameter 1 type .* contains a sync primitive`
+
+// TakeNested copies through a nested struct and an array: flagged twice.
+func TakeNested(n Nested, arr [2]Guarded) { // want `parameter 1 type .* contains a sync primitive` // want `parameter 2 type .* contains a sync primitive`
+	_ = n
+	_ = arr
+}
+
+// Make returns a lock by value: flagged.
+func Make() Guarded { return Guarded{} } // want `result 1 type .* contains a sync primitive`
+
+// Pointers, slices, and maps reference rather than copy: clean.
+func ByRef(g *Guarded, gs []Guarded, m map[string]*Guarded, wg *sync.WaitGroup) {
+	_ = g
+	_ = gs
+	_ = m
+	_ = wg
+}

@@ -1,0 +1,34 @@
+// Package nanguard is a fixture for the nanguard analyzer, exercised
+// against the real linalg routines it guards in production.
+package nanguard
+
+import "repro/internal/linalg"
+
+func dropped(m *linalg.Mat) {
+	linalg.Invert(m) // want `result of repro/internal/linalg.Invert dropped`
+
+	inv, _ := linalg.Invert(m) // want `error result of repro/internal/linalg.Invert assigned to _`
+	_ = inv
+
+	linalg.InvertRegularized(m) // want `result of repro/internal/linalg.InvertRegularized dropped`
+}
+
+func checked(m *linalg.Mat) (*linalg.Mat, error) {
+	inv, err := linalg.Invert(m)
+	if err != nil {
+		return nil, err
+	}
+	// Blanking a non-error result is fine; only the error may not be dropped.
+	reg, _, err := linalg.InvertRegularized(m)
+	if err != nil {
+		return nil, err
+	}
+	_ = reg
+	return inv, nil
+}
+
+// Unguarded functions may drop whatever they like.
+func unguarded(m *linalg.Mat) {
+	m.MaxAbs()
+	_ = linalg.Identity(2)
+}

@@ -1,0 +1,65 @@
+// Package nopanic is a fixture for the nopanic analyzer. The test
+// registers this package's import path as protected.
+package nopanic
+
+import "errors"
+
+// Direct panic in an exported function: flagged.
+func Exported(x int) int {
+	if x < 0 {
+		panic("negative") // want `panic reachable from exported function Exported`
+	}
+	return x
+}
+
+// Panic reached through an unexported helper: flagged at the panic site.
+func ExportedIndirect(x int) int {
+	return helper(x)
+}
+
+func helper(x int) int {
+	if x < 0 {
+		panic("negative via helper") // want `panic reachable from exported function`
+	}
+	return x
+}
+
+// Panic in an unexported function nobody exported reaches: not flagged.
+func orphan() {
+	panic("unreachable from the API")
+}
+
+// Exported function returning an error instead: clean.
+func Checked(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative")
+	}
+	return x, nil
+}
+
+// Allowlisted invariant guard: suppressed by the directive.
+func Guarded(n int) int {
+	if n <= 0 {
+		//lint:ignore nopanic fixture invariant guard, not data-reachable
+		panic("non-positive dimension")
+	}
+	return n
+}
+
+// T is exported; its exported method panics via a method call: flagged.
+type T struct{ v int }
+
+// Get panics through another method.
+func (t *T) Get() int { return t.check() }
+
+func (t *T) check() int {
+	if t.v < 0 {
+		panic("bad state") // want `panic reachable from exported function`
+	}
+	return t.v
+}
+
+// unexportedType's exported-looking method is not API surface: not flagged.
+type hidden struct{}
+
+func (hidden) Boom() { panic("not exported API") }

@@ -45,6 +45,7 @@ func Clamp(v, lo, hi float64) float64 {
 // ApproxEqual reports whether a and b are equal to within tol, using a
 // mixed absolute/relative test: |a-b| <= tol * max(1, |a|, |b|).
 func ApproxEqual(a, b, tol float64) bool {
+	//lint:ignore floateq fast path of the epsilon comparison itself
 	if a == b {
 		return true
 	}

@@ -38,6 +38,7 @@ type Transform struct {
 
 // Identity reports whether the transform moves nothing.
 func (t Transform) Identity() bool {
+	//lint:ignore floateq identity sentinel: fields are set to exactly 0/1 when no manipulation occurred
 	return t.Rotate == 0 && t.Scale == 1 && t.Translate == (geom.Point{})
 }
 

@@ -105,9 +105,19 @@ func (s *Session) Handle(ev Event) {
 		}
 		s.fingers[ev.Finger] = p
 		if len(s.order) == 1 {
-			// Primary finger starts the gesture.
-			s.stream = s.rec.NewSession()
-			if fired, class := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T}); fired {
+			// Primary finger starts the gesture. A session or Add error
+			// (invalid options, non-finite input) rejects the gesture:
+			// decide("") so manipulation can still proceed classless.
+			stream, err := s.rec.NewSession()
+			if err != nil {
+				s.decide("")
+				return
+			}
+			s.stream = stream
+			fired, class, err := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T})
+			if err != nil {
+				s.decide("")
+			} else if fired {
 				s.decide(class)
 			}
 			return
@@ -115,7 +125,7 @@ func (s *Session) Handle(ev Event) {
 		// A second (or later) finger arriving forces the phase transition:
 		// the remaining interaction is manipulation.
 		if !s.decided {
-			s.decide(s.stream.End())
+			s.decide(s.endClass())
 		}
 		s.syncManipState()
 
@@ -126,10 +136,14 @@ func (s *Session) Handle(ev Event) {
 		s.fingers[ev.Finger] = p
 		prim, _ := s.primary()
 		if !s.decided {
-			if ev.Finger != prim {
+			if ev.Finger != prim || s.stream == nil {
 				return
 			}
-			if fired, class := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T}); fired {
+			fired, class, err := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T})
+			if err != nil {
+				s.decide("")
+				s.syncManipState()
+			} else if fired {
 				s.decide(class)
 				s.syncManipState()
 			}
@@ -156,11 +170,24 @@ func (s *Session) Handle(ev Event) {
 		}
 		if len(s.order) == 0 && !s.decided {
 			// Interaction ended during collection: classify in full.
-			s.decide(s.stream.End())
+			s.decide(s.endClass())
 			return
 		}
 		s.syncManipState()
 	}
+}
+
+// endClass finishes the streaming session, mapping any error (an
+// unclassifiable stroke) to "" — the session's rejection marker.
+func (s *Session) endClass() string {
+	if s.stream == nil {
+		return ""
+	}
+	class, err := s.stream.End()
+	if err != nil {
+		return ""
+	}
+	return class
 }
 
 // syncManipState rebuilds the transform tracker and extra-finger count

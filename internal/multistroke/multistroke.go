@@ -114,20 +114,26 @@ func (r *Recognizer) NewSession() *Session {
 }
 
 // AddStroke feeds one completed stroke. If the stroke starts a new group,
-// the finished previous group is returned as a Mark (nil otherwise).
-func (s *Session) AddStroke(g gesture.Gesture) *Mark {
+// the finished previous group is returned as a Mark (nil otherwise). An
+// unclassifiable stroke (non-finite coordinates) is an error; the group
+// state is unchanged so the caller can simply drop the stroke.
+func (s *Session) AddStroke(g gesture.Gesture) (*Mark, error) {
 	if g.Len() == 0 {
-		return nil
+		return nil, nil
+	}
+	class, err := s.r.single.Classify(g)
+	if err != nil {
+		return nil, fmt.Errorf("multistroke: %w", err)
 	}
 	var emitted *Mark
 	if len(s.current) > 0 && !s.joins(g) {
 		emitted = s.finish()
 	}
 	s.current = append(s.current, g)
-	s.classes = append(s.classes, s.r.single.Classify(g))
+	s.classes = append(s.classes, class)
 	s.bounds = s.bounds.Union(g.Bounds())
 	s.lastEnd = g.End().T
-	return emitted
+	return emitted, nil
 }
 
 // joins reports whether a new stroke belongs to the current group.
@@ -203,17 +209,22 @@ func marksOverlap(strokes []gesture.Gesture) bool {
 }
 
 // Recognize is the batch convenience: group and match a whole sequence of
-// strokes, returning every completed mark.
-func (r *Recognizer) Recognize(strokes []gesture.Gesture) []*Mark {
+// strokes, returning every completed mark. It fails on the first
+// unclassifiable stroke.
+func (r *Recognizer) Recognize(strokes []gesture.Gesture) ([]*Mark, error) {
 	s := r.NewSession()
 	var out []*Mark
 	for _, g := range strokes {
-		if m := s.AddStroke(g); m != nil {
+		m, err := s.AddStroke(g)
+		if err != nil {
+			return out, err
+		}
+		if m != nil {
 			out = append(out, m)
 		}
 	}
 	if m := s.Flush(); m != nil {
 		out = append(out, m)
 	}
-	return out
+	return out, nil
 }

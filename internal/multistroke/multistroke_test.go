@@ -72,7 +72,10 @@ func TestXMark(t *testing.T) {
 	// Two crossing slashes drawn 0.3 s apart.
 	s1 := strokeAt(t, gen, "slash", geom.Pt(100, 100), 0)
 	s2 := strokeAt(t, gen, "backslash", geom.Pt(100, 70), s1.End().T+0.3)
-	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	marks, err := r.Recognize([]gesture.Gesture{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(marks) != 1 {
 		t.Fatalf("marks = %d", len(marks))
 	}
@@ -89,7 +92,10 @@ func TestEqualsMark(t *testing.T) {
 	gen := cleanGen(6)
 	s1 := strokeAt(t, gen, "hbar", geom.Pt(100, 100), 0)
 	s2 := strokeAt(t, gen, "hbar", geom.Pt(100, 120), s1.End().T+0.25)
-	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	marks, err := r.Recognize([]gesture.Gesture{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(marks) != 1 || marks[0].Name != "equals" {
 		t.Fatalf("marks = %+v", marks)
 	}
@@ -101,7 +107,10 @@ func TestTimeoutSplitsMarks(t *testing.T) {
 	s1 := strokeAt(t, gen, "slash", geom.Pt(100, 100), 0)
 	// Second stroke starts 2 s later: a separate mark.
 	s2 := strokeAt(t, gen, "backslash", geom.Pt(100, 40), s1.End().T+2)
-	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	marks, err := r.Recognize([]gesture.Gesture{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(marks) != 2 {
 		t.Fatalf("marks = %d, want 2 separate", len(marks))
 	}
@@ -117,7 +126,10 @@ func TestDistanceSplitsMarks(t *testing.T) {
 	s1 := strokeAt(t, gen, "hbar", geom.Pt(100, 100), 0)
 	// Quick but far away: separate mark.
 	s2 := strokeAt(t, gen, "hbar", geom.Pt(600, 300), s1.End().T+0.2)
-	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	marks, err := r.Recognize([]gesture.Gesture{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(marks) != 2 {
 		t.Fatalf("marks = %d, want 2", len(marks))
 	}
@@ -133,7 +145,10 @@ func TestOverlapRequirement(t *testing.T) {
 	if s1.Bounds().Intersects(s2.Bounds()) {
 		t.Fatal("test setup: strokes unexpectedly overlap")
 	}
-	marks := r.Recognize([]gesture.Gesture{s1, s2})
+	marks, err := r.Recognize([]gesture.Gesture{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(marks) != 1 {
 		t.Fatalf("marks = %d", len(marks))
 	}
@@ -148,15 +163,18 @@ func TestStreamingSession(t *testing.T) {
 	s := r.NewSession()
 	s1 := strokeAt(t, gen, "hbar", geom.Pt(100, 100), 0)
 	s2 := strokeAt(t, gen, "vbar", geom.Pt(130, 70), s1.End().T+0.2)
-	if m := s.AddStroke(s1); m != nil {
-		t.Fatal("first stroke emitted a mark")
+	if m, err := s.AddStroke(s1); err != nil || m != nil {
+		t.Fatalf("first stroke emitted a mark (%v, %v)", m, err)
 	}
-	if m := s.AddStroke(s2); m != nil {
-		t.Fatal("joined stroke emitted a mark")
+	if m, err := s.AddStroke(s2); err != nil || m != nil {
+		t.Fatalf("joined stroke emitted a mark (%v, %v)", m, err)
 	}
 	// A distant stroke closes the plus.
 	s3 := strokeAt(t, gen, "hbar", geom.Pt(500, 300), s2.End().T+0.2)
-	m := s.AddStroke(s3)
+	m, err := s.AddStroke(s3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m == nil || m.Name != "plus" {
 		t.Fatalf("emitted mark = %+v", m)
 	}
@@ -167,7 +185,7 @@ func TestStreamingSession(t *testing.T) {
 	if s.Flush() != nil {
 		t.Fatal("second flush emitted")
 	}
-	if s.AddStroke(gesture.Gesture{}) != nil {
+	if m, err := s.AddStroke(gesture.Gesture{}); err != nil || m != nil {
 		t.Fatal("empty stroke emitted")
 	}
 }

@@ -42,11 +42,12 @@ func Train(set *gesture.Set, opts TrainOptions) (*Full, error) {
 		return nil, err
 	}
 	ex := make([]classifier.Example, 0, set.Len())
-	for _, e := range set.Examples {
-		ex = append(ex, classifier.Example{
-			Class:    e.Class,
-			Features: features.Compute(e.Gesture.Points, opts.Features),
-		})
+	for i, e := range set.Examples {
+		v, err := features.Compute(e.Gesture.Points, opts.Features)
+		if err != nil {
+			return nil, fmt.Errorf("recognizer: example %d (%s): %w", i, e.Class, err)
+		}
+		ex = append(ex, classifier.Example{Class: e.Class, Features: v})
 	}
 	c, err := classifier.Train(ex, classifier.Options{SortClasses: opts.Sort})
 	if err != nil {
@@ -56,19 +57,28 @@ func Train(set *gesture.Set, opts TrainOptions) (*Full, error) {
 }
 
 // Features returns the feature vector of g under the recognizer's options.
-func (f *Full) Features(g gesture.Gesture) linalg.Vec {
+// Strokes containing non-finite coordinates are an error, never NaN output.
+func (f *Full) Features(g gesture.Gesture) (linalg.Vec, error) {
 	return features.Compute(g.Points, f.Opts)
 }
 
 // Classify returns the class of g.
-func (f *Full) Classify(g gesture.Gesture) string {
-	name, _ := f.C.Classify(f.Features(g))
-	return name
+func (f *Full) Classify(g gesture.Gesture) (string, error) {
+	v, err := f.Features(g)
+	if err != nil {
+		return "", err
+	}
+	name, _, err := f.C.Classify(v)
+	return name, err
 }
 
 // Evaluate returns the classification of g with rejection diagnostics.
-func (f *Full) Evaluate(g gesture.Gesture) classifier.Result {
-	return f.C.Evaluate(f.Features(g))
+func (f *Full) Evaluate(g gesture.Gesture) (classifier.Result, error) {
+	v, err := f.Features(g)
+	if err != nil {
+		return classifier.Result{}, err
+	}
+	return f.C.Evaluate(v)
 }
 
 // Classes returns the class names the recognizer discriminates.
@@ -76,19 +86,23 @@ func (f *Full) Classes() []string { return f.C.Classes }
 
 // Accuracy classifies every example in the set and returns the fraction
 // classified correctly, together with the per-example predictions.
-func (f *Full) Accuracy(set *gesture.Set) (float64, []string) {
+func (f *Full) Accuracy(set *gesture.Set) (float64, []string, error) {
 	if set.Len() == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	preds := make([]string, set.Len())
 	correct := 0
 	for i, e := range set.Examples {
-		preds[i] = f.Classify(e.Gesture)
+		p, err := f.Classify(e.Gesture)
+		if err != nil {
+			return 0, nil, fmt.Errorf("recognizer: example %d (%s): %w", i, e.Class, err)
+		}
+		preds[i] = p
 		if preds[i] == e.Class {
 			correct++
 		}
 	}
-	return float64(correct) / float64(set.Len()), preds
+	return float64(correct) / float64(set.Len()), preds, nil
 }
 
 // WriteJSON serializes the recognizer.
@@ -101,7 +115,9 @@ func (f *Full) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// ReadJSON deserializes a recognizer.
+// ReadJSON deserializes a recognizer, validating the feature options, the
+// classifier's integrity, and that the two agree on dimensionality, so a
+// corrupt or hand-edited file fails at load time.
 func ReadJSON(r io.Reader) (*Full, error) {
 	var f Full
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
@@ -109,6 +125,16 @@ func ReadJSON(r io.Reader) (*Full, error) {
 	}
 	if f.C == nil {
 		return nil, fmt.Errorf("recognizer: missing classifier")
+	}
+	if err := f.Opts.Validate(); err != nil {
+		return nil, fmt.Errorf("recognizer: %w", err)
+	}
+	if err := f.C.Validate(); err != nil {
+		return nil, fmt.Errorf("recognizer: %w", err)
+	}
+	if f.C.Dim != f.Opts.Dim() {
+		return nil, fmt.Errorf("recognizer: classifier dimension %d does not match feature options dimension %d",
+			f.C.Dim, f.Opts.Dim())
 	}
 	return &f, nil
 }

@@ -25,7 +25,10 @@ func TestFullClassifierEightDirections(t *testing.T) {
 	// Paper (fig. 9 set): full classifier 99.2% on 30 test examples of each
 	// of 8 classes, trained on 10 each. Require the same shape: >= 97%.
 	r, testSet := trainTest(t, synth.EightDirectionClasses(), 10, 30, 101)
-	acc, _ := r.Accuracy(testSet)
+	acc, _, err := r.Accuracy(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc < 0.97 {
 		t.Errorf("eight-direction full accuracy = %.3f, want >= 0.97", acc)
 	}
@@ -34,7 +37,10 @@ func TestFullClassifierEightDirections(t *testing.T) {
 func TestFullClassifierGDP(t *testing.T) {
 	// Paper (fig. 10 set): full classifier 99.7%. Require >= 96%.
 	r, testSet := trainTest(t, synth.GDPClasses(), 10, 30, 202)
-	acc, preds := r.Accuracy(testSet)
+	acc, preds, err := r.Accuracy(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc < 0.96 {
 		bad := map[string]int{}
 		for i, p := range preds {
@@ -51,7 +57,10 @@ func TestFullClassifierGDP(t *testing.T) {
 
 func TestFullClassifierUD(t *testing.T) {
 	r, testSet := trainTest(t, synth.UDClasses(), 15, 30, 303)
-	acc, _ := r.Accuracy(testSet)
+	acc, _, err := r.Accuracy(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc < 0.99 {
 		t.Errorf("U/D accuracy = %.3f", acc)
 	}
@@ -61,7 +70,10 @@ func TestFullClassifierNotes(t *testing.T) {
 	// The note gestures are hard to recognize EAGERLY but fine to recognize
 	// in full: flags change the path length and turn counts.
 	r, testSet := trainTest(t, synth.NoteClasses(), 10, 30, 404)
-	acc, _ := r.Accuracy(testSet)
+	acc, _, err := r.Accuracy(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc < 0.9 {
 		t.Errorf("notes accuracy = %.3f", acc)
 	}
@@ -70,7 +82,10 @@ func TestFullClassifierNotes(t *testing.T) {
 func TestEvaluateRejectionSignals(t *testing.T) {
 	r, testSet := trainTest(t, synth.EightDirectionClasses(), 10, 5, 505)
 	for _, e := range testSet.Examples {
-		res := r.Evaluate(e.Gesture)
+		res, err := r.Evaluate(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if res.Probability <= 0 || res.Probability > 1.000001 {
 			t.Fatalf("probability %v out of range", res.Probability)
 		}
@@ -124,7 +139,12 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range testSet.Examples {
-		if r.Classify(e.Gesture) != r2.Classify(e.Gesture) {
+		c1, err1 := r.Classify(e.Gesture)
+		c2, err2 := r2.Classify(e.Gesture)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if c1 != c2 {
 			t.Fatal("round-tripped recognizer disagrees")
 		}
 	}
@@ -146,7 +166,10 @@ func TestSaveLoadFile(t *testing.T) {
 
 func TestAccuracyEmptySet(t *testing.T) {
 	r, _ := trainTest(t, synth.UDClasses(), 5, 1, 808)
-	acc, preds := r.Accuracy(&gesture.Set{})
+	acc, preds, err := r.Accuracy(&gesture.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc != 0 || preds != nil {
 		t.Error("empty set accuracy should be 0/nil")
 	}

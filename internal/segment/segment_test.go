@@ -77,7 +77,11 @@ func TestSegmentedStrokesRecognize(t *testing.T) {
 	}
 	want := []string{"U", "D", "U"}
 	for i, g := range strokes {
-		if got := rec.Classify(g); got != want[i] {
+		got, err := rec.Classify(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
 			t.Errorf("stroke %d classified %s, want %s", i, got, want[i])
 		}
 	}

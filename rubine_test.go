@@ -14,7 +14,10 @@ func TestGenerateAndTrainFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	test := Generate(EightDirections, 10, 2)
-	acc, _ := rec.Accuracy(test)
+	acc, _, err := rec.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if acc < 0.9 {
 		t.Errorf("accuracy %.3f", acc)
 	}
@@ -31,17 +34,27 @@ func TestTrainEagerAndSession(t *testing.T) {
 	}
 	test := Generate(UD, 5, 4)
 	for _, e := range test.Examples {
-		s := rec.NewSession()
+		s, err := rec.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
 		fired := false
 		for _, p := range e.Gesture.Points {
-			if ok, class := s.Add(p); ok {
+			ok, class, err := s.Add(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
 				fired = true
 				if class == "" {
 					t.Fatal("empty class on fire")
 				}
 			}
 		}
-		final := s.End()
+		final, err := s.End()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if final != "U" && final != "D" {
 			t.Fatalf("class %q", final)
 		}
