@@ -8,14 +8,20 @@ package rubine
 // costs.
 
 import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/eager"
 	"repro/internal/experiments"
 	"repro/internal/features"
 	"repro/internal/gdp"
+	"repro/internal/geom"
 	"repro/internal/grandma"
 	"repro/internal/linalg"
+	"repro/internal/multipath"
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
@@ -200,6 +206,90 @@ func BenchmarkTrainEagerGDP(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTrainEagerGDPSerial pins the single-threaded reference
+// training path (Parallelism: 1) so the parallel benchmark below has an
+// explicit baseline in the same run.
+func BenchmarkTrainEagerGDPSerial(b *testing.B) {
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(42)).Set("train", synth.GDPClasses(), 15)
+	opts := eager.DefaultOptions()
+	opts.Parallelism = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eager.Train(trainSet, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainEagerGDPParallel measures the parallel training path
+// (Parallelism: 0 = GOMAXPROCS workers). Besides fanning out across
+// cores, this path does one incremental extractor pass per example
+// instead of recomputing every prefix from scratch, so it is faster than
+// the serial reference even at GOMAXPROCS=1 — while producing a
+// bit-identical classifier (asserted by TestParallelTrainingBitIdentical).
+func BenchmarkTrainEagerGDPParallel(b *testing.B) {
+	trainSet, _ := synth.NewGenerator(synth.DefaultParams(42)).Set("train", synth.GDPClasses(), 15)
+	opts := eager.DefaultOptions()
+	opts.Parallelism = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eager.Train(trainSet, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures the serving engine end to end: many
+// concurrent producers streaming complete interactions through a sharded
+// serve.Engine sharing one recognizer snapshot. One op = one full
+// session (down, moves, up, classification, result callback).
+func BenchmarkEngineThroughput(b *testing.B) {
+	set, _ := synth.NewGenerator(synth.DefaultParams(42)).Set("train", synth.UDClasses(), 12)
+	rec, _, err := eager.Train(set, eager.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var completed atomic.Int64
+	e, err := serve.New(rec, serve.Options{OnResult: func(serve.Result) { completed.Add(1) }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gestures := make([]geom.Path, 8)
+	gen := synth.NewGenerator(synth.DefaultParams(9))
+	for i := range gestures {
+		gestures[i] = gen.Sample(synth.UDClasses()[i%2]).G.Points
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		k := 0
+		for pb.Next() {
+			g := gestures[k%len(gestures)]
+			id := fmt.Sprintf("bench-%p-%d", pb, k)
+			k++
+			for i, p := range g {
+				kind := multipath.FingerMove
+				if i == 0 {
+					kind = multipath.FingerDown
+				}
+				ev := serve.Event{Session: id, Finger: 0, Kind: kind, X: p.X, Y: p.Y, T: p.T}
+				for e.Submit(ev) == serve.ErrQueueFull {
+					runtime.Gosched()
+				}
+			}
+			last := g[len(g)-1]
+			up := serve.Event{Session: id, Finger: 0, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01}
+			for e.Submit(up) == serve.ErrQueueFull {
+				runtime.Gosched()
+			}
+		}
+	})
+	b.StopTimer()
+	if err := e.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(completed.Load()), "sessions")
 }
 
 // BenchmarkGDPInteraction measures a complete two-phase interaction

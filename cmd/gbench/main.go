@@ -1,0 +1,169 @@
+// Command gbench converts `go test -bench` output into a JSON summary.
+// CI pipes the benchmark run through it to publish a machine-readable
+// artifact (BENCH_parallel.json) so run-over-run regressions are
+// diffable without scraping the text format.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x . | gbench -o BENCH_parallel.json
+//	gbench -o out.json bench.txt
+//
+// With no file argument, gbench reads stdin. With no -o, the JSON is
+// written to stdout. Lines that are not benchmark results (headers,
+// PASS/ok trailers, test chatter) are skipped; goos/goarch/pkg/cpu
+// headers are captured into the summary when present.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// Summary is the JSON document gbench emits.
+type Summary struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line. Procs is the -N GOMAXPROCS
+// suffix go test appends to the name (1 when absent). Metrics maps each
+// reported unit (ns/op, B/op, plus any ReportMetric units) to its value.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// run executes gbench with the given arguments. Extracted from main for
+// tests.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("gbench", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	out := flags.String("o", "", "write the JSON summary to this file instead of stdout")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if flags.NArg() > 1 {
+		fmt.Fprintln(stderr, "gbench: at most one input file")
+		return 2
+	}
+	if flags.NArg() == 1 {
+		f, err := os.Open(flags.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "gbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+
+	sum, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "gbench: %v\n", err)
+		return 1
+	}
+	if len(sum.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "gbench: no benchmark results in input")
+		return 1
+	}
+
+	enc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "gbench: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		if _, err := stdout.Write(enc); err != nil {
+			fmt.Fprintf(stderr, "gbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(stderr, "gbench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parse reads go test -bench output, collecting header fields and every
+// Benchmark result line.
+func parse(r io.Reader) (*Summary, error) {
+	sum := &Summary{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			sum.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			sum.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			sum.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			sum.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseResult(line)
+			if ok {
+				sum.Benchmarks = append(sum.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// parseResult parses one result line of the form
+//
+//	BenchmarkName-8   	     100	  12345 ns/op	 3.0 extra-unit
+//
+// Value/unit pairs after the iteration count populate Metrics. Lines
+// that do not fit the shape (e.g. "BenchmarkFoo" alone on a line when
+// output wraps) report ok=false and are skipped.
+func parseResult(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			procs = n
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTrainEagerGDPSerial   	       1	  18880354 ns/op
+BenchmarkTrainEagerGDPParallel-8 	       2	  10306861 ns/op
+BenchmarkEngineThroughput      	       1	     22868 ns/op	         1.000 sessions
+PASS
+ok  	repro	0.036s
+`
+
+func TestParseSample(t *testing.T) {
+	sum, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Goos != "linux" || sum.Goarch != "amd64" || sum.Pkg != "repro" {
+		t.Fatalf("headers not captured: %+v", sum)
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(sum.Benchmarks))
+	}
+	serial := sum.Benchmarks[0]
+	if serial.Name != "BenchmarkTrainEagerGDPSerial" || serial.Procs != 1 || serial.Iterations != 1 {
+		t.Errorf("serial row: %+v", serial)
+	}
+	if serial.Metrics["ns/op"] != 18880354 {
+		t.Errorf("serial ns/op = %v", serial.Metrics["ns/op"])
+	}
+	par := sum.Benchmarks[1]
+	if par.Name != "BenchmarkTrainEagerGDPParallel" || par.Procs != 8 || par.Iterations != 2 {
+		t.Errorf("parallel row: %+v", par)
+	}
+	eng := sum.Benchmarks[2]
+	if eng.Metrics["sessions"] != 1 {
+		t.Errorf("extra metric not parsed: %+v", eng.Metrics)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	in := "BenchmarkWrapped\nBenchmarkOK 5 100 ns/op\nBenchmarkBadIters x 100 ns/op\n"
+	sum, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 1 || sum.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("want only BenchmarkOK, got %+v", sum.Benchmarks)
+	}
+}
+
+func TestRunStdinToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var sum Summary
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("round-tripped %d benchmarks, want 3", len(sum.Benchmarks))
+	}
+}
+
+func TestRunFileToOutputFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", out, in}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("wrote to stdout despite -o: %s", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("file is not valid JSON: %v", err)
+	}
+	if sum.CPU == "" || len(sum.Benchmarks) != 3 {
+		t.Fatalf("summary incomplete: %+v", sum)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader("no benchmarks here\n"), &stdout, &stderr); code != 1 {
+		t.Errorf("empty input: exit %d", code)
+	}
+	if code := run([]string{"a", "b"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("two input files: exit %d", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.txt")}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+}

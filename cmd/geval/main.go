@@ -7,6 +7,14 @@
 //
 //	geval [-exp all|fig9|fig10|fig8|ud|timing|ablation-twoclass|ablation-bias|ablation-threshold|trainsize]
 //	      [-train N] [-test N] [-train-seed S] [-test-seed S]
+//	      [-parallel] [-j N]
+//
+// -exp also accepts a comma-separated list (e.g. -exp fig9,fig10,ud).
+// -parallel runs the selected experiments concurrently — the section 5
+// sweep over all synthetic sets at once — printing results in the same
+// deterministic order as the serial sweep. -j sets the training
+// parallelism inside each experiment (0 = auto, 1 = the serial reference
+// path); either way the trained classifiers are bit-identical.
 package main
 
 import (
@@ -14,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"sync"
 
 	"repro/internal/experiments"
 	"repro/internal/synth"
@@ -28,14 +38,20 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	flag := flag.NewFlagSet("geval", flag.ContinueOnError)
 	flag.SetOutput(stderr)
-	exp := flag.String("exp", "all", "experiment to run")
+	exp := flag.String("exp", "all", "experiment to run, or a comma-separated list")
 	annotate := flag.Bool("annotate", false, "with -exp fig9|fig10: print per-example annotations in the figure's min,fired/total notation")
 	confusion := flag.Bool("confusion", false, "with -exp fig9|fig10|fig8: print full and eager confusion matrices")
+	parallel := flag.Bool("parallel", false, "run the selected experiments concurrently (results still print in deterministic order)")
+	jobs := flag.Int("j", 0, "training parallelism inside each experiment: 0 = auto (GOMAXPROCS), 1 = serial reference path")
 	trainN := flag.Int("train", 10, "training examples per class")
 	testN := flag.Int("test", 30, "test examples per class")
 	trainSeed := flag.Int64("train-seed", 42, "training set seed")
 	testSeed := flag.Int64("test-seed", 1042, "test set seed")
 	if err := flag.Parse(args); err != nil {
+		return 2
+	}
+	if *jobs < 0 {
+		fmt.Fprintln(stderr, "geval: -j must be >= 0")
 		return 2
 	}
 
@@ -44,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.TestPerClass = *testN
 	cfg.TrainSeed = *trainSeed
 	cfg.TestSeed = *testSeed
+	cfg.Eager.Parallelism = *jobs
 
 	workload := func() []synth.Class {
 		switch *exp {
@@ -92,10 +109,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	type runner struct {
-		name string
-		run  func() (fmt.Stringer, error)
-	}
 	wrap := func(f func(experiments.Config) (*experiments.EagerEval, error)) func() (fmt.Stringer, error) {
 		return func() (fmt.Stringer, error) {
 			r, err := f(cfg)
@@ -165,24 +178,83 @@ func run(args []string, stdout, stderr io.Writer) int {
 		})},
 	}
 
-	ran := false
-	for _, r := range all {
-		if *exp != "all" && *exp != r.name {
-			continue
-		}
-		ran = true
-		out, err := r.run()
-		if err != nil {
-			fmt.Fprintf(stderr, "geval %s: %v\n", r.name, err)
-			return 1
-		}
-		fmt.Fprintln(stdout, out)
-	}
-	if !ran {
-		fmt.Fprintf(stderr, "geval: unknown experiment %q\n", *exp)
+	selected, unknown := selectRunners(all, *exp)
+	if unknown != "" {
+		fmt.Fprintf(stderr, "geval: unknown experiment %q\n", unknown)
 		return 2
 	}
+
+	outs := make([]fmt.Stringer, len(selected))
+	errs := make([]error, len(selected))
+	if *parallel {
+		// Parallel sweep: every selected experiment trains and evaluates
+		// concurrently. Experiments are independent (each builds its own
+		// synthetic sets and recognizers), so the only shared state is the
+		// result slot each goroutine owns. Output stays in selection order.
+		var wg sync.WaitGroup
+		for i, r := range selected {
+			wg.Add(1)
+			go func(i int, r runner) {
+				defer wg.Done()
+				outs[i], errs[i] = r.run()
+			}(i, r)
+		}
+		wg.Wait()
+	} else {
+		for i, r := range selected {
+			outs[i], errs[i] = r.run()
+		}
+	}
+	for i, r := range selected {
+		if errs[i] != nil {
+			fmt.Fprintf(stderr, "geval %s: %v\n", r.name, errs[i])
+			return 1
+		}
+		fmt.Fprintln(stdout, outs[i])
+	}
 	return 0
+}
+
+// selectRunners resolves a comma-separated -exp value against the runner
+// table, preserving table order. It returns the first unknown name, if
+// any.
+func selectRunners(all []runner, exp string) (selected []runner, unknown string) {
+	if exp == "all" {
+		return all, ""
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(exp, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, r := range all {
+			if r.name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, name
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, exp
+	}
+	for _, r := range all {
+		if want[r.name] {
+			selected = append(selected, r)
+		}
+	}
+	return selected, ""
+}
+
+// runner names one experiment of the section 5 sweep.
+type runner struct {
+	name string
+	run  func() (fmt.Stringer, error)
 }
 
 type stringer struct{ s string }

@@ -59,3 +59,50 @@ func TestEvalErrors(t *testing.T) {
 		t.Errorf("bad flag: exit %d", code)
 	}
 }
+
+// TestEvalCommaSeparatedExps: -exp accepts a list and prints results in
+// table order regardless of list order.
+func TestEvalCommaSeparatedExps(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(small("-exp", "ud,fig9"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	i9 := strings.Index(out, "fig9-eight-directions")
+	iud := strings.Index(out, "fig5-7-ud")
+	if i9 < 0 || iud < 0 {
+		t.Fatalf("missing experiments in:\n%s", out)
+	}
+	if i9 > iud {
+		t.Errorf("results not in table order:\n%s", out)
+	}
+	if code := run(small("-exp", "fig9,nope"), &stdout, &stderr); code != 2 {
+		t.Errorf("unknown name in list: exit %d", code)
+	}
+}
+
+// TestEvalParallelSweepMatchesSerial: the concurrent sweep must produce
+// byte-identical output to the serial sweep (deterministic ordering, and
+// bit-identical training via the parallel trainer).
+func TestEvalParallelSweepMatchesSerial(t *testing.T) {
+	var serialOut, parallelOut, stderr bytes.Buffer
+	exps := "fig9,ud,ablation-twoclass"
+	if code := run(small("-exp", exps, "-j", "1"), &serialOut, &stderr); code != 0 {
+		t.Fatalf("serial exit %d: %s", code, stderr.String())
+	}
+	if code := run(small("-exp", exps, "-parallel", "-j", "4"), &parallelOut, &stderr); code != 0 {
+		t.Fatalf("parallel exit %d: %s", code, stderr.String())
+	}
+	if serialOut.String() != parallelOut.String() {
+		t.Errorf("parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialOut.String(), parallelOut.String())
+	}
+}
+
+// TestEvalJobsValidation: negative -j is a usage error.
+func TestEvalJobsValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(small("-j", "-2"), &stdout, &stderr); code != 2 {
+		t.Errorf("negative -j: exit %d", code)
+	}
+}

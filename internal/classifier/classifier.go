@@ -48,6 +48,16 @@ type Options struct {
 // Classifier is a trained linear classifier. Fields are exported for JSON
 // serialization; treat them as read-only outside this package except via
 // BiasClass.
+//
+// Concurrency contract: a fully-trained Classifier is immutable, so every
+// classification method — Score, ScoreInto, Classify, ClassifyInto,
+// Evaluate, Mahalanobis, MahalanobisTo, MeanDistance — is safe for
+// concurrent use from multiple goroutines, provided each goroutine passes
+// its own out/scores buffer to the ...Into forms. This is what lets the
+// parallel eager trainer and the serve.Engine share one classifier across
+// a worker pool with only per-worker scratch. BiasClass mutates the
+// constants and is NOT safe concurrently with classification; training
+// passes (bias, tweak) must complete before the classifier is shared.
 type Classifier struct {
 	Classes []string     `json:"classes"`
 	Dim     int          `json:"dim"`
@@ -300,7 +310,9 @@ func (c *Classifier) Classify(f linalg.Vec) (string, int, error) {
 }
 
 // ClassifyInto is the allocation-free Classify: scores must have one
-// element per class and is clobbered.
+// element per class and is clobbered. It is safe for concurrent use as
+// long as every goroutine supplies a distinct scores buffer (see the
+// Classifier concurrency contract).
 func (c *Classifier) ClassifyInto(f linalg.Vec, scores []float64) (string, int, error) {
 	if _, err := c.ScoreInto(f, scores); err != nil {
 		return "", -1, err

@@ -2,8 +2,10 @@ package classifier
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -396,5 +398,58 @@ func TestScoreIntoBadBufferError(t *testing.T) {
 	c, _ := Train(gauss2(rng, 5), Options{})
 	if _, err := c.ScoreInto(linalg.Vec{1, 2}, make([]float64, 1)); err == nil {
 		t.Error("short buffer did not error")
+	}
+}
+
+// TestConcurrentClassifyInto asserts the documented concurrency contract:
+// a trained classifier may be shared across goroutines as long as each
+// supplies its own scores buffer. Run under -race (the tier-1 gate) this
+// is the standing tripwire for any future mutation sneaking into the
+// classification path.
+func TestConcurrentClassifyInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, err := Train(gauss2(rng, 40), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []linalg.Vec{{0, 0}, {10, 10}, {1, -1}, {9, 11}, {5, 5}}
+	wantName := make([]string, len(inputs))
+	for i, f := range inputs {
+		wantName[i], _, err = c.Classify(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scores := make([]float64, c.NumClasses())
+			for rep := 0; rep < 200; rep++ {
+				for i, f := range inputs {
+					name, _, err := c.ClassifyInto(f, scores)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if name != wantName[i] {
+						errCh <- fmt.Errorf("concurrent ClassifyInto(%v) = %q, want %q", f, name, wantName[i])
+						return
+					}
+					if _, err := c.Mahalanobis(f, 0); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
 	}
 }

@@ -87,6 +87,14 @@ type Options struct {
 	// errors. Agreement gating trades a sliver of eagerness for accuracy
 	// (ablation A5 in DESIGN.md).
 	RequireAgreement bool
+	// Parallelism controls how many workers the training passes that
+	// dominate the pipeline's cost — subgesture labelling (step 2) and the
+	// tweak verification scan (step 5) — fan out across. 0 means auto
+	// (runtime.GOMAXPROCS); 1 selects the original single-threaded
+	// reference path, kept as the oracle the equivalence tests compare
+	// against. Any value produces bit-identical classifiers: results are
+	// merged in example-index order, never completion order.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -150,6 +158,9 @@ func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
 	if opts.MoveThresholdFrac < 0 || opts.MoveThresholdFrac > 1 {
 		return nil, nil, errors.New("eager: MoveThresholdFrac must be in [0,1]")
 	}
+	if opts.Parallelism < 0 {
+		return nil, nil, errors.New("eager: Parallelism must be >= 0")
+	}
 
 	full, err := recognizer.Train(set, opts.Train)
 	if err != nil {
@@ -157,7 +168,12 @@ func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
 	}
 	report := &Report{}
 
-	subs, err := LabelSubgestures(set, full, opts.MinSubgesture)
+	var subs []Subgesture
+	if opts.Parallelism == 1 {
+		subs, err = LabelSubgestures(set, full, opts.MinSubgesture)
+	} else {
+		subs, err = LabelSubgesturesParallel(set, full, opts.MinSubgesture, opts.Parallelism)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -199,7 +215,11 @@ func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
 	}
 
 	if !opts.SkipTweak {
-		report.TweakAdjusts, err = Tweak(auc, subs)
+		if opts.Parallelism == 1 {
+			report.TweakAdjusts, err = Tweak(auc, subs)
+		} else {
+			report.TweakAdjusts, err = TweakParallel(auc, subs, opts.Parallelism)
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("eager: tweak pass: %w", err)
 		}
@@ -419,18 +439,7 @@ func Tweak(auc *classifier.Classifier, subs []Subgesture) (int, error) {
 			if err != nil {
 				return adjusts, err
 			}
-			bestC, bestI := -1, -1
-			for j, name := range auc.Classes {
-				if IsCompleteSet(name) {
-					if bestC < 0 || scores[j] > scores[bestC] {
-						bestC = j
-					}
-				} else {
-					if bestI < 0 || scores[j] > scores[bestI] {
-						bestI = j
-					}
-				}
-			}
+			bestC, bestI := bestCompleteIncomplete(auc, scores)
 			if bestC < 0 || bestI < 0 || scores[bestC] <= scores[bestI] {
 				break
 			}

@@ -1,0 +1,292 @@
+package eager
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/classifier"
+	"repro/internal/features"
+	"repro/internal/gesture"
+	"repro/internal/linalg"
+	"repro/internal/recognizer"
+)
+
+// The parallel training path. Step 2 (classify every prefix of every
+// example) and the verification scan of step 5 are the two passes whose
+// cost scales with the number of subgestures; both are embarrassingly
+// parallel across examples. Determinism is preserved by construction:
+// workers pull work units (whole examples, or contiguous index chunks)
+// from an atomic counter, write results into slots keyed by example/chunk
+// index, and the merge concatenates slots in index order — completion
+// order never influences the output, so the trained classifier is
+// bit-identical to the serial oracle for every Parallelism value.
+//
+// The per-worker inner loop is also cheaper than the serial oracle's: one
+// incremental feature extractor pass per example yields every prefix's
+// feature vector in O(1) per point (the same property the paper exploits
+// on the interactive path), where the oracle recomputes each prefix from
+// scratch. Since features.Compute is defined as exactly equivalent to the
+// incremental extractor, the emitted vectors are bit-identical.
+
+// effectiveWorkers resolves a Parallelism value to a worker count, capped
+// by the number of independent work units.
+func effectiveWorkers(parallelism, units int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > units {
+		w = units
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// labelWorker is the per-worker reusable state for subgesture labelling:
+// one incremental extractor (reset per example), one feature buffer, and
+// one ClassifyInto score buffer, so the steady-state loop allocates only
+// the feature vectors it must retain.
+type labelWorker struct {
+	ext     *features.Extractor
+	featBuf linalg.Vec
+	scores  []float64
+}
+
+func newLabelWorker(full *recognizer.Full) (*labelWorker, error) {
+	ext, err := features.NewExtractor(full.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("eager: %w", err)
+	}
+	return &labelWorker{
+		ext:     ext,
+		featBuf: make(linalg.Vec, full.Opts.Dim()),
+		scores:  make([]float64, full.C.NumClasses()),
+	}, nil
+}
+
+// labelExample labels every prefix of one example with a single O(n)
+// incremental-extractor pass (the serial oracle recomputes each prefix
+// from scratch, O(n^2) feature work). The emitted subgestures — order,
+// predictions, feature bits, and error text — match LabelSubgestures
+// exactly.
+func (w *labelWorker) labelExample(e gesture.Example, ei int, full *recognizer.Full, minLen int) ([]Subgesture, error) {
+	n := e.Gesture.Len()
+	if n < minLen {
+		return nil, nil
+	}
+	w.ext.Reset()
+	preds := make([]string, 0, n-minLen+1)
+	feats := make([]linalg.Vec, 0, n-minLen+1)
+	for i, p := range e.Gesture.Points {
+		w.ext.Add(p)
+		if i+1 < minLen {
+			continue
+		}
+		fv, err := w.ext.VectorInto(w.featBuf)
+		if err != nil {
+			return nil, fmt.Errorf("eager: example %d prefix %d: %w", ei, i+1, err)
+		}
+		kept := append(linalg.Vec(nil), fv...)
+		pred, _, err := full.C.ClassifyInto(kept, w.scores)
+		if err != nil {
+			return nil, fmt.Errorf("eager: example %d prefix %d: %w", ei, i+1, err)
+		}
+		preds = append(preds, pred)
+		feats = append(feats, kept)
+	}
+	// Backward scan: complete iff this and all longer prefixes match.
+	complete := make([]bool, len(preds))
+	ok := true
+	for k := len(preds) - 1; k >= 0; k-- {
+		ok = ok && preds[k] == e.Class
+		complete[k] = ok
+	}
+	out := make([]Subgesture, 0, len(preds))
+	for k, pred := range preds {
+		out = append(out, Subgesture{
+			Example:  ei,
+			Len:      minLen + k,
+			Class:    e.Class,
+			Pred:     pred,
+			Complete: complete[k],
+			Features: feats[k],
+		})
+	}
+	return out, nil
+}
+
+// LabelSubgesturesParallel is the parallel form of LabelSubgestures: it
+// fans examples across `workers` goroutines (0 = GOMAXPROCS) and merges
+// the per-example subgesture runs in example-index order, so the output —
+// including error selection, which always reports the lowest-indexed
+// failing example — is bit-identical to the serial oracle.
+func LabelSubgesturesParallel(set *gesture.Set, full *recognizer.Full, minLen, workers int) ([]Subgesture, error) {
+	n := len(set.Examples)
+	if n == 0 {
+		return nil, nil
+	}
+	w := effectiveWorkers(workers, n)
+
+	perExample := make([][]Subgesture, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc, err := newLabelWorker(full)
+			if err != nil {
+				// Options were validated when the recognizer was built, so
+				// this is unreachable with a well-formed recognizer; park
+				// the error on the first unclaimed slot.
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = err
+				}
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				perExample[i], errs[i] = sc.labelExample(set.Examples[i], i, full, minLen)
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for i := range perExample {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		total += len(perExample[i])
+	}
+	out := make([]Subgesture, 0, total)
+	for _, subs := range perExample {
+		out = append(out, subs...)
+	}
+	return out, nil
+}
+
+// TweakParallel is the parallel form of Tweak. The scan that dominates
+// the pass — scoring every incomplete training subgesture against the
+// AUC — runs read-only across `workers` goroutines over contiguous index
+// chunks; the adjustments themselves are then applied by the identical
+// serial fixpoint, restricted to the violating candidates in index order.
+//
+// This is bit-identical to the serial pass because adjustments only ever
+// lower complete-class constants: a subgesture that passes under the
+// initial constants can never become violating, so the candidates found
+// by the initial-state scan are a superset of every subgesture the serial
+// pass adjusts at, and re-running the serial inner fixpoint over them in
+// index order replays exactly the serial adjustment sequence.
+func TweakParallel(auc *classifier.Classifier, subs []Subgesture, workers int) (int, error) {
+	n := len(subs)
+	if n == 0 {
+		return 0, nil
+	}
+	w := effectiveWorkers(workers, n)
+	chunk := (n + w - 1) / w
+	nchunks := (n + chunk - 1) / chunk
+
+	perChunk := make([][]int, nchunks)
+	errs := make([]error, nchunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scores := make([]float64, auc.NumClasses())
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo, hi := c*chunk, (c+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				perChunk[c], errs[c] = scanTweakCandidates(auc, subs[lo:hi], lo, scores)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var candidates []int
+	for c := range perChunk {
+		if errs[c] != nil {
+			return 0, errs[c]
+		}
+		candidates = append(candidates, perChunk[c]...)
+	}
+
+	// Serial fixpoint over the candidates, identical to Tweak's inner loop.
+	adjusts := 0
+	for _, i := range candidates {
+		s := &subs[i]
+		for {
+			scores, err := auc.Score(s.Features)
+			if err != nil {
+				return adjusts, err
+			}
+			bestC, bestI := bestCompleteIncomplete(auc, scores)
+			if bestC < 0 || bestI < 0 || scores[bestC] <= scores[bestI] {
+				break
+			}
+			gap := scores[bestC] - scores[bestI]
+			auc.BiasClass(bestC, -(gap + 1e-4 + 0.01*gap))
+			adjusts++
+		}
+	}
+	return adjusts, nil
+}
+
+// scanTweakCandidates scores the incomplete subgestures of one contiguous
+// chunk (read-only) and returns the global indices of those the AUC
+// misjudges as unambiguous under the current constants.
+func scanTweakCandidates(auc *classifier.Classifier, chunk []Subgesture, base int, scores []float64) ([]int, error) {
+	var out []int
+	for k := range chunk {
+		s := &chunk[k]
+		if s.Complete && !s.Moved {
+			continue
+		}
+		if _, err := auc.ScoreInto(s.Features, scores); err != nil {
+			return nil, err
+		}
+		bestC, bestI := bestCompleteIncomplete(auc, scores)
+		if bestC >= 0 && bestI >= 0 && scores[bestC] > scores[bestI] {
+			out = append(out, base+k)
+		}
+	}
+	return out, nil
+}
+
+// bestCompleteIncomplete returns the indices of the best-scoring complete
+// and incomplete AUC classes (-1 when a side has no classes). Shared by
+// the serial and parallel tweak passes so their comparisons cannot drift.
+func bestCompleteIncomplete(auc *classifier.Classifier, scores []float64) (bestC, bestI int) {
+	bestC, bestI = -1, -1
+	for j, name := range auc.Classes {
+		if IsCompleteSet(name) {
+			if bestC < 0 || scores[j] > scores[bestC] {
+				bestC = j
+			}
+		} else {
+			if bestI < 0 || scores[j] > scores[bestI] {
+				bestI = j
+			}
+		}
+	}
+	return bestC, bestI
+}

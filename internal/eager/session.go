@@ -79,9 +79,9 @@ func (r *Recognizer) NewSession() (*Session, error) {
 // session has decided, further Adds still accumulate points (harmless) but
 // report fired=false so callers act on the transition exactly once.
 //
-// A non-finite point poisons the accumulated features; Add then returns an
-// error and the session will keep erroring until Reset-by-replacement.
-// Callers should reject the stroke.
+// A non-finite point poisons the accumulated features; Add (and a later
+// End) then keep returning an error until Reset is called. Callers should
+// reject the stroke.
 func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
 	s.points = append(s.points, p)
 	s.ext.Add(p)
@@ -112,6 +112,19 @@ func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
 	s.decided = true
 	s.class = class
 	return true, s.class, nil
+}
+
+// Reset returns the session to its initial empty state so it can collect
+// a fresh gesture, reusing every allocated buffer (points backing array,
+// feature and score buffers, extractor). This is both the recovery path
+// after a poisoned stroke — a non-finite point leaves the incremental
+// features permanently non-finite, so Add and End error until Reset — and
+// the reuse path for serving engines that pool sessions across gestures.
+func (s *Session) Reset() {
+	s.ext.Reset()
+	s.points = s.points[:0]
+	s.decided = false
+	s.class = ""
 }
 
 // Decided reports whether the session has already fired.

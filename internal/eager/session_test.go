@@ -1,0 +1,90 @@
+package eager
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synth"
+)
+
+// TestEndAfterNonFinitePoint: a NaN point poisons the stroke; End must
+// report the error (never a class computed from NaN features) and leave
+// the session undecided. Regression for the "Reset-by-replacement" doc
+// referencing a Reset that did not exist: recovery is now a real method.
+func TestEndAfterNonFinitePoint(t *testing.T) {
+	trainSet, _, _ := genSets(synth.UDClasses(), 8, 1, 221)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := trainSet.Examples[0].Gesture.Points
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Add(good[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Add(geom.TimedPoint{X: math.NaN(), Y: 0, T: good[2].T + 0.01}); err == nil {
+		t.Fatal("Add accepted a NaN point at judging length")
+	}
+	// Still poisoned: further valid points cannot heal the features.
+	if _, _, err := s.Add(geom.TimedPoint{X: 500, Y: 500, T: good[2].T + 0.02}); err == nil {
+		t.Fatal("Add recovered without Reset")
+	}
+	if _, err := s.End(); err == nil {
+		t.Fatal("End classified a poisoned stroke")
+	}
+	if s.Decided() || s.Class() != "" {
+		t.Fatal("poisoned session decided anyway")
+	}
+}
+
+// TestSessionReset: after Reset the same session must collect and
+// classify a fresh gesture exactly like a brand-new session, including
+// after poisoning.
+func TestSessionReset(t *testing.T) {
+	trainSet, testSet, _ := genSets(synth.UDClasses(), 10, 4, 231)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison, then Reset, then replay every test gesture through the same
+	// session; outcomes must match fresh-session Run.
+	s.Add(geom.TimedPoint{X: math.Inf(1), Y: 0, T: 0})
+	for _, e := range testSet.Examples {
+		s.Reset()
+		if s.PointCount() != 0 || s.Decided() || s.Class() != "" {
+			t.Fatal("Reset left residual state")
+		}
+		var fired bool
+		var firedAt int
+		var class string
+		for i, p := range e.Gesture.Points {
+			f, c, err := s.Add(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f && !fired {
+				fired, firedAt, class = true, i+1, c
+			}
+		}
+		if !fired {
+			var err error
+			class, err = s.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			firedAt = e.Gesture.Len()
+		}
+		wantClass, wantAt, err := r.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if class != wantClass || firedAt != wantAt {
+			t.Fatalf("pooled session (%s,%d) disagrees with fresh Run (%s,%d)",
+				class, firedAt, wantClass, wantAt)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package multipath
 
 import (
-	"sort"
-
 	"repro/internal/eager"
 	"repro/internal/geom"
 )
@@ -46,13 +44,14 @@ type Session struct {
 	// changes during manipulation.
 	OnExtraFingers func(n int)
 
-	fingers map[FingerID]geom.Point
-	order   []FingerID // arrival order of live fingers
-	stream  *eager.Session
-	class   string
-	decided bool
-	tracker *TransformTracker
-	extra   int
+	fingers  map[FingerID]geom.Point
+	order    []FingerID // arrival order of live fingers
+	stream   *eager.Session
+	class    string
+	decided  bool
+	complete bool
+	tracker  *TransformTracker
+	extra    int
 }
 
 // NewSession starts a multi-finger interaction over the given recognizer.
@@ -65,6 +64,11 @@ func (s *Session) Class() string { return s.class }
 
 // Decided reports whether the gesture phase has ended.
 func (s *Session) Decided() bool { return s.decided }
+
+// Completed reports whether the whole interaction has ended: the gesture
+// phase decided and every finger lifted. A completed session is inert —
+// see Handle.
+func (s *Session) Completed() bool { return s.complete }
 
 // FingerCount returns the number of fingers currently in view.
 func (s *Session) FingerCount() int { return len(s.order) }
@@ -96,7 +100,18 @@ func (s *Session) decide(class string) {
 }
 
 // Handle consumes one finger event.
+//
+// A Session models exactly one interaction. Once the interaction has
+// completed — the gesture was decided and the last finger lifted — the
+// session is inert: every further event is ignored. (Previously a
+// FingerDown on a completed session silently started a new eager stream
+// whose recognition result was unreachable, because the one-shot decide
+// had already fired; explicit inertness replaces that trap. Start a new
+// Session, or serve many interactions through the serve.Engine, instead.)
 func (s *Session) Handle(ev Event) {
+	if s.complete {
+		return
+	}
 	p := geom.Pt(ev.X, ev.Y)
 	switch ev.Kind {
 	case FingerDown:
@@ -168,13 +183,35 @@ func (s *Session) Handle(ev Event) {
 				break
 			}
 		}
-		if len(s.order) == 0 && !s.decided {
-			// Interaction ended during collection: classify in full.
-			s.decide(s.endClass())
+		if len(s.order) == 0 {
+			if !s.decided {
+				// Interaction ended during collection: classify in full.
+				s.decide(s.endClass())
+			}
+			s.complete = true
 			return
 		}
 		s.syncManipState()
 	}
+}
+
+// Finish force-ends the interaction and returns the final class: if the
+// gesture phase is still running the stroke collected so far is
+// classified in full (an unclassifiable stroke yields "", the rejection
+// marker). Serving engines use it to drain in-flight sessions at
+// shutdown. Finishing an already-completed session just returns its
+// class.
+func (s *Session) Finish() string {
+	if !s.complete {
+		if !s.decided {
+			s.decide(s.endClass())
+		}
+		s.complete = true
+		s.fingers = make(map[FingerID]geom.Point)
+		s.order = nil
+		s.tracker = nil
+	}
+	return s.class
 }
 
 // endClass finishes the streaming session, mapping any error (an
@@ -214,9 +251,8 @@ func (s *Session) syncManipState() {
 }
 
 // LiveFingers returns the identifiers of fingers in view, in arrival
-// order (for tests and debugging).
+// order — index 0 is the primary (gesturing) finger, index 1 the second
+// manipulation finger. Callers wanting ID order can sort the copy.
 func (s *Session) LiveFingers() []FingerID {
-	out := append([]FingerID(nil), s.order...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]FingerID(nil), s.order...)
 }

@@ -168,14 +168,31 @@ func TestNonPrimaryMovesIgnoredDuringCollection(t *testing.T) {
 	}
 }
 
-func TestLiveFingersSorted(t *testing.T) {
+// TestLiveFingersArrivalOrder is the regression for the doc/behaviour
+// mismatch: LiveFingers promised arrival order but returned FingerIDs
+// sorted numerically. With out-of-order IDs the primary finger must stay
+// at index 0.
+func TestLiveFingersArrivalOrder(t *testing.T) {
 	rec := trainRec(t)
 	s := NewSession(rec)
 	s.Handle(Event{Finger: 5, Kind: FingerDown, X: 1, Y: 1, T: 0})
 	s.Handle(Event{Finger: 2, Kind: FingerDown, X: 2, Y: 2, T: 0.01})
+	s.Handle(Event{Finger: 9, Kind: FingerDown, X: 3, Y: 3, T: 0.02})
 	ids := s.LiveFingers()
-	if len(ids) != 2 || ids[0] != 2 || ids[1] != 5 {
-		t.Fatalf("LiveFingers = %v", ids)
+	want := []FingerID{5, 2, 9}
+	if len(ids) != len(want) {
+		t.Fatalf("LiveFingers = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("LiveFingers = %v, want arrival order %v", ids, want)
+		}
+	}
+	// After the mid-arrival finger lifts, relative arrival order holds.
+	s.Handle(Event{Finger: 2, Kind: FingerUp, X: 2, Y: 2, T: 0.03})
+	ids = s.LiveFingers()
+	if len(ids) != 2 || ids[0] != 5 || ids[1] != 9 {
+		t.Fatalf("LiveFingers after lift = %v, want [5 9]", ids)
 	}
 	// All fingers up during collection forces a final classification.
 	s2 := NewSession(rec)
@@ -185,6 +202,69 @@ func TestLiveFingersSorted(t *testing.T) {
 	s2.Handle(Event{Finger: 0, Kind: FingerUp, X: g[1].X, Y: g[1].Y, T: g[1].T + 0.01})
 	if !s2.Decided() || s2.Class() == "" {
 		t.Fatal("lift during collection did not classify")
+	}
+}
+
+// TestCompletedSessionIgnoresNewDown is the regression for the lifecycle
+// bug: a FingerDown after the interaction ended (all fingers up, gesture
+// decided) used to start a new eager stream whose result was discarded by
+// the one-shot decide. The session must now be inert.
+func TestCompletedSessionIgnoresNewDown(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	fired := 0
+	s.OnRecognized = func(string) { fired++ }
+	g := sampleUD(t, 0)
+	playPrimary(s, g)
+	last := g[len(g)-1]
+	s.Handle(Event{Finger: 0, Kind: FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+	if !s.Completed() {
+		t.Fatal("session not completed after last finger up")
+	}
+	class := s.Class()
+	if class == "" || fired != 1 {
+		t.Fatalf("first interaction: class %q, fired %d", class, fired)
+	}
+	// Down -> move -> up with the same FingerID on the completed session.
+	g2 := sampleUD(t, 1)
+	playPrimary(s, g2)
+	s.Handle(Event{Finger: 0, Kind: FingerUp, X: g2[len(g2)-1].X, Y: g2[len(g2)-1].Y, T: g2[len(g2)-1].T + 0.01})
+	if fired != 1 {
+		t.Fatalf("completed session fired recognition again (%d times)", fired)
+	}
+	if s.Class() != class {
+		t.Fatalf("completed session class changed: %q -> %q", class, s.Class())
+	}
+	if s.FingerCount() != 0 {
+		t.Fatalf("completed session tracked new fingers: %v", s.LiveFingers())
+	}
+}
+
+// TestFinishDrainsInFlight: Finish on a mid-gesture session classifies
+// the stroke collected so far and completes the session.
+func TestFinishDrainsInFlight(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	g := sampleUD(t, 0)
+	for i := 0; i < len(g)/2; i++ {
+		kind := FingerMove
+		if i == 0 {
+			kind = FingerDown
+		}
+		s.Handle(Event{Finger: 0, Kind: kind, X: g[i].X, Y: g[i].Y, T: g[i].T})
+	}
+	class := s.Finish()
+	if !s.Completed() || !s.Decided() {
+		t.Fatal("Finish did not complete the session")
+	}
+	if class != s.Class() {
+		t.Fatalf("Finish returned %q, Class says %q", class, s.Class())
+	}
+	if s.FingerCount() != 0 {
+		t.Fatal("Finish left live fingers")
+	}
+	if got := s.Finish(); got != class {
+		t.Fatalf("second Finish returned %q, want %q", got, class)
 	}
 }
 

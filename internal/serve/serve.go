@@ -1,0 +1,275 @@
+// Package serve is the concurrent serving engine: it multiplexes many
+// independent gesture interactions — each a multipath.Session wrapping an
+// eager recognition stream — across a pool of worker goroutines, sharing
+// one immutable recognizer snapshot.
+//
+// Design (see DESIGN.md §7):
+//
+//   - Immutable snapshot sharing. The engine holds a *eager.Recognizer
+//     behind an atomic.Pointer. Classification never mutates the
+//     recognizer (the classifier's documented concurrency contract), so
+//     any number of sessions on any number of goroutines read it without
+//     locks. Swap publishes a freshly-trained recognizer atomically —
+//     retrain-without-downtime: sessions started after the swap use the
+//     new model, in-flight sessions finish on the snapshot they started
+//     with, and no session ever observes a half-updated model.
+//
+//   - Sharding. Each session ID hashes (FNV-1a) to one shard; a shard is
+//     one goroutine owning a bounded event queue and the state of every
+//     session mapped to it. All events of one session are handled by one
+//     goroutine in submission order, so the single-goroutine session
+//     types are used unchanged, with no per-session locking.
+//
+//   - Backpressure. Submit never blocks and never drops silently: when a
+//     shard's queue is full it returns ErrQueueFull and counts the
+//     rejection, and the caller decides (shed, retry, spill).
+//
+//   - Clean shutdown. Close stops intake (ErrClosed), lets every shard
+//     drain its queued events, force-finishes in-flight sessions via
+//     (*multipath.Session).Finish — classifying whatever stroke prefix
+//     was collected — and reports each as a Result before returning.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/eager"
+	"repro/internal/multipath"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull reports that the target shard's event queue is at
+	// capacity. The event was NOT enqueued; the caller owns the retry
+	// policy. This is deliberate backpressure, never silent dropping.
+	ErrQueueFull = errors.New("serve: shard queue full")
+	// ErrClosed reports a Submit after Close.
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// DefaultQueueDepth is the per-shard event queue capacity used when
+// Options.QueueDepth is 0.
+const DefaultQueueDepth = 256
+
+// Event is one finger sample addressed to one interaction session.
+type Event struct {
+	Session string
+	Finger  multipath.FingerID
+	Kind    multipath.EventKind
+	X, Y, T float64
+}
+
+// Result is the outcome of one completed interaction: the recognized
+// class ("" marks a rejected/unclassifiable stroke, matching the session
+// layer's convention).
+type Result struct {
+	Session string
+	Class   string
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the number of worker goroutines (and queues). 0 means
+	// runtime.GOMAXPROCS.
+	Shards int
+	// QueueDepth is the per-shard event queue capacity. 0 means
+	// DefaultQueueDepth. Submit returns ErrQueueFull beyond it.
+	QueueDepth int
+	// OnResult, when set, is called once per completed session, from the
+	// shard goroutine that owned it. Calls may arrive concurrently from
+	// different shards; the callback must be safe for that. A slow
+	// callback stalls its shard — that is the backpressure propagating,
+	// by design.
+	OnResult func(Result)
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Submitted int64 // events accepted into a queue
+	Rejected  int64 // events refused with ErrQueueFull
+	Completed int64 // sessions finished (including drained at Close)
+	Active    int64 // sessions currently in flight
+}
+
+// Engine is the concurrent session server. Create with New; all methods
+// are safe for concurrent use.
+type Engine struct {
+	rec    atomic.Pointer[eager.Recognizer]
+	opts   Options
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. concurrent Submit/Close
+	closed bool
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	active    atomic.Int64
+}
+
+// shard is one worker goroutine's world: its queue and the sessions it
+// exclusively owns. Only that goroutine touches `sessions`.
+type shard struct {
+	ch       chan Event
+	sessions map[string]*multipath.Session
+}
+
+// New builds and starts an engine serving the given recognizer.
+func New(rec *eager.Recognizer, opts Options) (*Engine, error) {
+	if rec == nil {
+		return nil, errors.New("serve: nil recognizer")
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("serve: Shards must be >= 0, got %d", opts.Shards)
+	}
+	if opts.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: QueueDepth must be >= 0, got %d", opts.QueueDepth)
+	}
+	if opts.Shards == 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	e := &Engine{opts: opts}
+	e.rec.Store(rec)
+	for i := 0; i < opts.Shards; i++ {
+		sh := &shard{
+			ch:       make(chan Event, opts.QueueDepth),
+			sessions: make(map[string]*multipath.Session),
+		}
+		e.shards = append(e.shards, sh)
+		e.wg.Add(1)
+		go e.run(sh)
+	}
+	return e, nil
+}
+
+// Recognizer returns the current recognizer snapshot.
+func (e *Engine) Recognizer() *eager.Recognizer { return e.rec.Load() }
+
+// Swap atomically publishes a new recognizer and returns the previous
+// one — retraining without downtime. Sessions already in flight keep the
+// snapshot they started with; sessions created after Swap use rec. A nil
+// rec is refused (nil is returned and the current snapshot is kept), so
+// a failed retrain can never blank the serving model.
+func (e *Engine) Swap(rec *eager.Recognizer) *eager.Recognizer {
+	if rec == nil {
+		return nil
+	}
+	return e.rec.Swap(rec)
+}
+
+// shardFor maps a session ID to its shard by FNV-1a hash.
+func (e *Engine) shardFor(session string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(session))
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// Submit routes one event to its session's shard. It never blocks: a full
+// shard queue returns ErrQueueFull (the event is not enqueued), a closed
+// engine returns ErrClosed. Events for one session are processed in
+// submission order as long as the caller submits them from one goroutine.
+func (e *Engine) Submit(ev Event) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	sh := e.shardFor(ev.Session)
+	select {
+	case sh.ch <- ev:
+		e.submitted.Add(1)
+		return nil
+	default:
+		e.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Close stops intake, drains every shard's queued events, force-finishes
+// the sessions still in flight (each is classified on the stroke prefix
+// collected so far and reported through OnResult), and waits for all
+// workers to exit. Close is idempotent; concurrent Submits during Close
+// get ErrClosed or are processed, never lost after being accepted.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return nil
+	}
+	e.closed = true
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Submitted: e.submitted.Load(),
+		Rejected:  e.rejected.Load(),
+		Completed: e.completed.Load(),
+		Active:    e.active.Load(),
+	}
+}
+
+// run is one shard's worker loop: handle events until the queue closes,
+// then drain the in-flight sessions deterministically (ID order).
+func (e *Engine) run(sh *shard) {
+	defer e.wg.Done()
+	for ev := range sh.ch {
+		e.handle(sh, ev)
+	}
+	ids := make([]string, 0, len(sh.sessions))
+	for id := range sh.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sess := sh.sessions[id]
+		class := sess.Finish()
+		delete(sh.sessions, id)
+		e.active.Add(-1)
+		e.completed.Add(1)
+		if e.opts.OnResult != nil {
+			e.opts.OnResult(Result{Session: id, Class: class})
+		}
+	}
+}
+
+// handle applies one event to its session, creating the session on its
+// first FingerDown (with the recognizer snapshot current at that moment)
+// and retiring it when the interaction completes.
+func (e *Engine) handle(sh *shard, ev Event) {
+	sess, ok := sh.sessions[ev.Session]
+	if !ok {
+		if ev.Kind != multipath.FingerDown {
+			return // stray move/up for an unknown or already-retired session
+		}
+		sess = multipath.NewSession(e.rec.Load())
+		sh.sessions[ev.Session] = sess
+		e.active.Add(1)
+	}
+	sess.Handle(multipath.Event{Finger: ev.Finger, Kind: ev.Kind, X: ev.X, Y: ev.Y, T: ev.T})
+	if sess.Completed() {
+		delete(sh.sessions, ev.Session)
+		e.active.Add(-1)
+		e.completed.Add(1)
+		if e.opts.OnResult != nil {
+			e.opts.OnResult(Result{Session: ev.Session, Class: sess.Class()})
+		}
+	}
+}
