@@ -1,17 +1,34 @@
 // Command gbench converts `go test -bench` output into a JSON summary.
-// CI pipes the benchmark run through it to publish a machine-readable
-// artifact (BENCH_parallel.json) so run-over-run regressions are
-// diffable without scraping the text format.
+// CI pipes benchmark runs through it to publish machine-readable
+// artifacts (BENCH_parallel.json, BENCH_obs.json) so run-over-run
+// regressions are diffable without scraping the text format.
 //
 // Usage:
 //
 //	go test -bench=. -benchtime=1x . | gbench -o BENCH_parallel.json
 //	gbench -o out.json bench.txt
+//	go test -bench=ObsDisabled ./internal/obs | gbench -obs -o BENCH_obs.json
 //
 // With no file argument, gbench reads stdin. With no -o, the JSON is
 // written to stdout. Lines that are not benchmark results (headers,
 // PASS/ok trailers, test chatter) are skipped; goos/goarch/pkg/cpu
 // headers are captured into the summary when present.
+//
+// # Output schema
+//
+// The document is versioned by a top-level "schema" key; this gbench
+// writes schema 2. Changes within a schema version are strictly
+// additive.
+//
+//   - schema 1 (PR 2): "goos", "goarch", "pkg", "cpu" (strings, omitted
+//     when absent from the input) and "benchmarks", an array of parsed
+//     result lines — see Benchmark. Schema-1 documents predate the
+//     "schema" key; readers should treat a missing key as 1.
+//   - schema 2 (this PR): adds the "schema" key itself and, under -obs,
+//     a "metrics" key holding an internal/obs Snapshot (itself versioned
+//     by its own "schema" field, obs.SnapshotSchema) produced by the
+//     deterministic obsdemo workload with -obs-seed (default 1). Without
+//     -obs the "metrics" key is omitted.
 package main
 
 import (
@@ -23,19 +40,28 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/obsdemo"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
+// SummarySchema is the "schema" value this gbench writes. See the
+// package comment for the version history.
+const SummarySchema = 2
+
 // Summary is the JSON document gbench emits.
 type Summary struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Schema     int           `json:"schema"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []Benchmark   `json:"benchmarks"`
+	Metrics    *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Benchmark is one parsed result line. Procs is the -N GOMAXPROCS
@@ -54,6 +80,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("gbench", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	out := flags.String("o", "", "write the JSON summary to this file instead of stdout")
+	withObs := flags.Bool("obs", false, "embed an obs snapshot from the deterministic obsdemo workload under \"metrics\"")
+	obsSeed := flags.Int64("obs-seed", 1, "seed for the -obs demo workload")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -82,6 +110,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "gbench: no benchmark results in input")
 		return 1
 	}
+	if *withObs {
+		reg, err := obsdemo.Run(*obsSeed)
+		if err != nil {
+			fmt.Fprintf(stderr, "gbench: %v\n", err)
+			return 1
+		}
+		snap := reg.Snapshot()
+		sum.Metrics = &snap
+	}
 
 	enc, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
@@ -106,7 +143,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // parse reads go test -bench output, collecting header fields and every
 // Benchmark result line.
 func parse(r io.Reader) (*Summary, error) {
-	sum := &Summary{Benchmarks: []Benchmark{}}
+	sum := &Summary{Schema: SummarySchema, Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {

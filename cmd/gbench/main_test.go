@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 const sample = `goos: linux
@@ -97,6 +99,50 @@ func TestRunFileToOutputFile(t *testing.T) {
 	}
 	if sum.CPU == "" || len(sum.Benchmarks) != 3 {
 		t.Fatalf("summary incomplete: %+v", sum)
+	}
+}
+
+func TestSchemaVersion(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if string(doc["schema"]) != "2" {
+		t.Errorf(`"schema" = %s, want 2`, doc["schema"])
+	}
+	if _, ok := doc["metrics"]; ok {
+		t.Error(`"metrics" present without -obs`)
+	}
+}
+
+func TestObsFlagEmbedsMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a demo recognizer")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-obs"}, strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var sum Summary
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Schema != 2 {
+		t.Errorf("schema = %d, want 2", sum.Schema)
+	}
+	if sum.Metrics == nil {
+		t.Fatal(`-obs did not populate "metrics"`)
+	}
+	if sum.Metrics.Schema != obs.SnapshotSchema {
+		t.Errorf("metrics schema = %d, want %d", sum.Metrics.Schema, obs.SnapshotSchema)
+	}
+	if len(sum.Metrics.Counters) == 0 || len(sum.Metrics.Histograms) == 0 {
+		t.Errorf("embedded snapshot is empty: %d counters, %d histograms",
+			len(sum.Metrics.Counters), len(sum.Metrics.Histograms))
 	}
 }
 

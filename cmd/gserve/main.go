@@ -1,0 +1,182 @@
+// Command gserve is the observability demo server: it trains a GDP
+// recognizer with full instrumentation, serves it through an
+// instrumented serve.Engine, and exposes the internal/obs registry over
+// HTTP. It exists so the metrics/tracing contract in OBSERVABILITY.md
+// can be watched live rather than only snapshotted in tests.
+//
+// Endpoints:
+//
+//	GET  /metrics       obs snapshot as indented JSON (obs.Handler)
+//	GET  /metrics.txt   human-readable report (obs.TextHandler)
+//	GET  /healthz       liveness: "ok"
+//	POST /swap          retrain on a fresh seed and hot-swap the model
+//	                    (serve.Engine.Swap — zero downtime), reporting
+//	                    the swap count as JSON
+//	     /debug/pprof/  the standard net/http/pprof profiles
+//
+// Usage:
+//
+//	gserve [-addr :8089] [-seed 1] [-shards 0] [-traffic 24]
+//
+// -traffic N replays N synthetic GDP interactions through the engine at
+// startup so /metrics shows populated histograms immediately; -shards 0
+// means GOMAXPROCS. Every run is deterministic for a fixed -seed (see
+// internal/obsdemo).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/eager"
+	"repro/internal/multipath"
+	"repro/internal/obs"
+	"repro/internal/obsdemo"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes gserve with the given arguments. Extracted from main for
+// tests; it blocks serving HTTP until the listener fails.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("gserve", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	addr := flags.String("addr", ":8089", "HTTP listen address")
+	seed := flags.Int64("seed", 1, "training and traffic seed")
+	shards := flags.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+	traffic := flags.Int("traffic", 24, "synthetic interactions to replay at startup")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	srv, err := newServer(*seed, *shards)
+	if err != nil {
+		fmt.Fprintf(stderr, "gserve: %v\n", err)
+		return 1
+	}
+	if err := srv.playTraffic(*traffic); err != nil {
+		fmt.Fprintf(stderr, "gserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gserve: serving on %s (seed %d, %d startup interactions)\n",
+		*addr, *seed, *traffic)
+	if err := http.ListenAndServe(*addr, srv.mux); err != nil {
+		fmt.Fprintf(stderr, "gserve: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// server bundles the instrumented engine, its registry, and the HTTP
+// mux. Split from run so tests drive the mux with httptest.
+type server struct {
+	reg    *obs.Registry
+	engine *serve.Engine
+	mux    *http.ServeMux
+	seed   int64
+	swapN  atomic.Int64 // distinct seeds for successive /swap retrains
+	nextID atomic.Int64 // startup-traffic session IDs
+}
+
+// newServer trains the initial model (instrumented, via obsdemo.New),
+// starts the engine against the same registry, and wires the mux.
+func newServer(seed int64, shards int) (*server, error) {
+	reg, rec, err := obsdemo.New(seed)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := serve.New(rec, serve.Options{Shards: shards, Obs: reg})
+	if err != nil {
+		return nil, err
+	}
+	s := &server{reg: reg, engine: engine, mux: http.NewServeMux(), seed: seed}
+
+	s.mux.Handle("/metrics", obs.Handler(reg))
+	s.mux.Handle("/metrics.txt", obs.TextHandler(reg))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/swap", s.handleSwap)
+	// Our own mux, so the pprof handlers are mounted explicitly rather
+	// than through the package's DefaultServeMux side effects.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s, nil
+}
+
+// handleSwap retrains on a fresh deterministic seed and hot-swaps the
+// engine's model. In-flight sessions finish on the snapshot they started
+// with; the response reports the serve.swaps counter after the swap.
+func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	newSeed := s.seed + 1000 + s.swapN.Add(1)
+	gen := synth.NewGenerator(synth.DefaultParams(newSeed))
+	set, _ := gen.Set("gdp-retrain", synth.GDPClasses(), obsdemo.TrainExamples)
+	opts := eager.DefaultOptions()
+	opts.Obs = s.reg
+	rec, _, err := eager.Train(set, opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.engine.Swap(rec)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(map[string]any{"swapped": true, "seed": newSeed})
+}
+
+// playTraffic replays n synthetic single-finger GDP interactions through
+// the engine so the registry has live data before the first scrape.
+func (s *server) playTraffic(n int) error {
+	gen := synth.NewGenerator(synth.DefaultParams(s.seed + 1))
+	classes := synth.GDPClasses()
+	for i := 0; i < n; i++ {
+		sample := gen.Sample(classes[i%len(classes)])
+		id := fmt.Sprintf("startup-%04d", s.nextID.Add(1))
+		for j, p := range sample.G.Points {
+			kind := multipath.FingerMove
+			if j == 0 {
+				kind = multipath.FingerDown
+			}
+			if err := s.submitRetry(serve.Event{Session: id, Kind: kind, X: p.X, Y: p.Y, T: p.T}); err != nil {
+				return err
+			}
+		}
+		last := sample.G.Points[sample.G.Len()-1]
+		if err := s.submitRetry(serve.Event{Session: id, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// submitRetry retries on the engine's ErrQueueFull backpressure signal
+// (the producer-side policy the serve package documents).
+func (s *server) submitRetry(ev serve.Event) error {
+	for {
+		err := s.engine.Submit(ev)
+		if err == nil {
+			return nil
+		}
+		if err != serve.ErrQueueFull {
+			return err
+		}
+		runtime.Gosched()
+	}
+}

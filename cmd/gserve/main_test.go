@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	srv, err := newServer(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.engine.Close() })
+	if err := srv.playTraffic(6); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func get(t *testing.T, srv *server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	return rr
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rr := get(t, srv, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics body is not a Snapshot: %v", err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		t.Errorf("schema = %d, want %d", snap.Schema, obs.SnapshotSchema)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "serve.events.submitted" && c.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("startup traffic not visible in serve.events.submitted")
+	}
+}
+
+func TestMetricsTextEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rr := get(t, srv, "/metrics.txt")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /metrics.txt = %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{"serve.events.submitted", "eager.decide_ns", "serve.trace"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text report missing %q", want)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	if rr := get(t, srv, "/healthz"); rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "ok") {
+		t.Fatalf("GET /healthz = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestSwapEndpoint(t *testing.T) {
+	srv := testServer(t)
+	before := srv.engine.Recognizer()
+
+	rr := httptest.NewRecorder()
+	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/swap", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /swap = %d, want 405", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/swap", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("POST /swap = %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp struct {
+		Swapped bool  `json:"swapped"`
+		Seed    int64 `json:"seed"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Swapped {
+		t.Error("swap response reports swapped=false")
+	}
+	if srv.engine.Recognizer() == before {
+		t.Error("engine still serves the pre-swap recognizer")
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	srv := testServer(t)
+	rr := get(t, srv, "/debug/pprof/")
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "goroutine") {
+		t.Fatalf("GET /debug/pprof/ = %d", rr.Code)
+	}
+}

@@ -29,7 +29,35 @@ import (
 	"sort"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
+
+// AmbiguityThreshold is the probability below which Evaluate counts a
+// classification as ambiguous in the instrumentation (the paper's §4.2
+// rejection discussion: "we typically reject when P < 0.95"). It only
+// affects the `<prefix>.ambiguous` counter, never the classification
+// itself — rejection policy stays with the caller.
+const AmbiguityThreshold = 0.95
+
+// classifierMetrics is the per-classifier instrumentation. All handles
+// are nil until Instrument attaches a registry, making every recording
+// call a sub-5ns no-op (see internal/obs).
+type classifierMetrics struct {
+	scoreNS         *obs.Histogram // latency of one discriminant evaluation
+	classifications *obs.Counter   // Classify/ClassifyInto/Evaluate calls
+	errors          *obs.Counter   // inputs refused (shape, non-finite)
+	ambiguous       *obs.Counter   // Evaluate results under AmbiguityThreshold
+	byClass         []*obs.Counter // wins per class, indexed like Classes
+}
+
+// winner returns the win counter for class index i, nil when
+// uninstrumented or out of range (both no-op on use).
+func (m *classifierMetrics) winner(i int) *obs.Counter {
+	if i < 0 || i >= len(m.byClass) {
+		return nil
+	}
+	return m.byClass[i]
+}
 
 // Example is one labelled feature vector.
 type Example struct {
@@ -56,8 +84,11 @@ type Options struct {
 // its own out/scores buffer to the ...Into forms. This is what lets the
 // parallel eager trainer and the serve.Engine share one classifier across
 // a worker pool with only per-worker scratch. BiasClass mutates the
-// constants and is NOT safe concurrently with classification; training
-// passes (bias, tweak) must complete before the classifier is shared.
+// constants and Instrument attaches metrics; neither is safe
+// concurrently with classification — training passes (bias, tweak) and
+// instrumentation must complete before the classifier is shared. Once
+// attached, the metrics themselves are lock-free and do not affect the
+// concurrency contract.
 type Classifier struct {
 	Classes []string     `json:"classes"`
 	Dim     int          `json:"dim"`
@@ -68,6 +99,39 @@ type Classifier struct {
 	Ridge   float64      `json:"ridge"`   // regularization applied, 0 if none
 	Blend   float64      `json:"blend,omitempty"` // identity-blend weight applied, 0 if none
 	Counts  []int        `json:"counts"`  // training examples per class
+
+	// m is the attached instrumentation; its zero value (no registry)
+	// makes every metric call a no-op. Unexported, so serialization and
+	// JSON round-trips are unaffected. See Instrument.
+	m classifierMetrics
+}
+
+// Instrument attaches the classifier's metrics to a registry under the
+// given name prefix (e.g. "classifier.full", "classifier.auc"):
+// per-evaluation score latency (`<prefix>.score_ns`), call and error
+// counters (`<prefix>.classifications`, `<prefix>.errors`), the
+// ambiguity counter (`<prefix>.ambiguous`), and one win counter per
+// class (`<prefix>.class.<class>`). A nil registry detaches nothing and
+// attaches nothing — the call is a no-op.
+//
+// Concurrency contract: Instrument mutates the classifier and must be
+// called before the classifier is shared across goroutines, exactly
+// like BiasClass; once attached, the instruments themselves are
+// lock-free and concurrent classification remains race-free.
+func (c *Classifier) Instrument(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	c.m = classifierMetrics{
+		scoreNS:         reg.Histogram(prefix+".score_ns", obs.LatencyBuckets()),
+		classifications: reg.Counter(prefix + ".classifications"),
+		errors:          reg.Counter(prefix + ".errors"),
+		ambiguous:       reg.Counter(prefix + ".ambiguous"),
+		byClass:         make([]*obs.Counter, len(c.Classes)),
+	}
+	for i, name := range c.Classes {
+		c.m.byClass[i] = reg.Counter(prefix + ".class." + name)
+	}
 }
 
 // Errors returned by Train and the classification methods.
@@ -287,26 +351,25 @@ func (c *Classifier) Score(f linalg.Vec) ([]float64, error) {
 // element per class) and returns it. It performs no allocation beyond the
 // input checks — the form used on the per-mouse-point hot path.
 func (c *Classifier) ScoreInto(f linalg.Vec, out []float64) ([]float64, error) {
+	start := obs.Start(c.m.scoreNS)
 	if err := c.checkInput(f); err != nil {
+		c.m.errors.Inc()
 		return nil, err
 	}
 	if len(out) != len(c.Classes) {
+		c.m.errors.Inc()
 		return nil, fmt.Errorf("classifier: score buffer length %d, want %d", len(out), len(c.Classes))
 	}
 	for i := range c.Classes {
 		out[i] = c.Consts[i] + c.Weights[i].Dot(f)
 	}
+	obs.ObserveSince(c.m.scoreNS, start)
 	return out, nil
 }
 
 // Classify returns the best class for f together with its index.
 func (c *Classifier) Classify(f linalg.Vec) (string, int, error) {
-	scores, err := c.Score(f)
-	if err != nil {
-		return "", -1, err
-	}
-	best := argmax(scores)
-	return c.Classes[best], best, nil
+	return c.ClassifyInto(f, make([]float64, len(c.Classes)))
 }
 
 // ClassifyInto is the allocation-free Classify: scores must have one
@@ -318,6 +381,8 @@ func (c *Classifier) ClassifyInto(f linalg.Vec, scores []float64) (string, int, 
 		return "", -1, err
 	}
 	best := argmax(scores)
+	c.m.classifications.Inc()
+	c.m.winner(best).Inc()
 	return c.Classes[best], best, nil
 }
 
@@ -365,6 +430,11 @@ func (c *Classifier) Evaluate(f linalg.Vec) (Result, error) {
 	dist, err := c.Mahalanobis(f, best)
 	if err != nil {
 		return Result{}, err
+	}
+	c.m.classifications.Inc()
+	c.m.winner(best).Inc()
+	if 1/denom < AmbiguityThreshold {
+		c.m.ambiguous.Inc()
 	}
 	return Result{
 		Class:       c.Classes[best],

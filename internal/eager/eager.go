@@ -38,8 +38,39 @@ import (
 	"repro/internal/classifier"
 	"repro/internal/gesture"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/recognizer"
 )
+
+// trainMetrics carries the training-pipeline instrumentation. Built from
+// Options.Obs; with a nil registry every handle is nil and every
+// recording call is a no-op, so the pipeline is identical with
+// observability on or off.
+type trainMetrics struct {
+	runs        *obs.Counter   // completed Train calls
+	subgestures *obs.Counter   // labelled subgestures, summed over runs
+	totalNS     *obs.Histogram // whole-pipeline wall time
+	fullNS      *obs.Histogram // step 1: full-classifier training
+	labelNS     *obs.Histogram // step 2: subgesture labelling
+	moveNS      *obs.Histogram // step 4: accidental-completeness move
+	aucNS       *obs.Histogram // step 5a: AUC training
+	tweakNS     *obs.Histogram // step 5b: tweak pass
+	workerUtil  *obs.Histogram // per-worker busy fraction of the parallel passes
+}
+
+func newTrainMetrics(reg *obs.Registry) trainMetrics {
+	return trainMetrics{
+		runs:        reg.Counter("eager.train.runs"),
+		subgestures: reg.Counter("eager.train.subgestures"),
+		totalNS:     reg.Histogram("eager.train.total_ns", obs.LatencyBuckets()),
+		fullNS:      reg.Histogram("eager.train.full_ns", obs.LatencyBuckets()),
+		labelNS:     reg.Histogram("eager.train.label_ns", obs.LatencyBuckets()),
+		moveNS:      reg.Histogram("eager.train.move_ns", obs.LatencyBuckets()),
+		aucNS:       reg.Histogram("eager.train.auc_ns", obs.LatencyBuckets()),
+		tweakNS:     reg.Histogram("eager.train.tweak_ns", obs.LatencyBuckets()),
+		workerUtil:  reg.Histogram("eager.train.worker_util", obs.FractionBuckets()),
+	}
+}
 
 // Set-name prefixes for the 2C-class partition. The class in each set's
 // name refers to the full classifier's classification of the set's
@@ -95,6 +126,14 @@ type Options struct {
 	// against. Any value produces bit-identical classifiers: results are
 	// merged in example-index order, never completion order.
 	Parallelism int
+	// Obs, when set, receives training-pipeline metrics (per-pass wall
+	// times under eager.train.*, worker utilization of the parallel
+	// passes) and instruments the returned recognizer (see
+	// Recognizer.Instrument). Never serialized; a deserialized
+	// recognizer must be re-instrumented explicitly. Instrumentation
+	// does not perturb results: training stays bit-identical for any
+	// Obs value.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -141,10 +180,20 @@ type Report struct {
 
 // Recognizer is a trained eager recognizer: the full classifier plus the
 // ambiguous/unambiguous classifier implementing D.
+//
+// Concurrency contract: like its classifiers, a fully-trained Recognizer
+// is immutable and safe for concurrent use — any number of goroutines
+// may call Done, Classify, Run, and NewSession (each Session is then
+// single-goroutine). Instrument is the one mutating exception and must
+// be called before the recognizer is shared.
 type Recognizer struct {
 	Full *recognizer.Full       `json:"full"`
 	AUC  *classifier.Classifier `json:"auc"`
 	Opts Options                `json:"opts"`
+
+	// m is the attached streaming instrumentation; zero (all no-ops)
+	// until Instrument is called. Unexported, so it never serializes.
+	m sessionMetrics
 }
 
 // Train builds an eager recognizer from a labelled gesture set.
@@ -162,21 +211,28 @@ func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
 		return nil, nil, errors.New("eager: Parallelism must be >= 0")
 	}
 
+	tm := newTrainMetrics(opts.Obs)
+	tTotal := obs.Start(tm.totalNS)
+
+	tPass := obs.Start(tm.fullNS)
 	full, err := recognizer.Train(set, opts.Train)
 	if err != nil {
 		return nil, nil, err
 	}
+	obs.ObserveSince(tm.fullNS, tPass)
 	report := &Report{}
 
+	tPass = obs.Start(tm.labelNS)
 	var subs []Subgesture
 	if opts.Parallelism == 1 {
 		subs, err = LabelSubgestures(set, full, opts.MinSubgesture)
 	} else {
-		subs, err = LabelSubgesturesParallel(set, full, opts.MinSubgesture, opts.Parallelism)
+		subs, err = labelSubgesturesParallel(set, full, opts.MinSubgesture, opts.Parallelism, tm.workerUtil)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
+	obs.ObserveSince(tm.labelNS, tPass)
 	report.Subgestures = len(subs)
 	for i := range subs {
 		if subs[i].Complete {
@@ -190,15 +246,19 @@ func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
 	}
 
 	if !opts.SkipMoveAccidental {
+		tPass = obs.Start(tm.moveNS)
 		threshold := MoveThreshold(subs, full, opts.MoveThresholdFrac)
 		report.MoveThreshold = threshold
 		report.MovedAccidental = MoveAccidentals(subs, full, threshold)
+		obs.ObserveSince(tm.moveNS, tPass)
 	}
 
+	tPass = obs.Start(tm.aucNS)
 	auc, err := trainAUC(subs, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("eager: training AUC: %w", err)
 	}
+	obs.ObserveSince(tm.aucNS, tPass)
 	report.AUCClasses = auc.NumClasses()
 	report.AUCRidge = auc.Ridge
 
@@ -215,17 +275,25 @@ func Train(set *gesture.Set, opts Options) (*Recognizer, *Report, error) {
 	}
 
 	if !opts.SkipTweak {
+		tPass = obs.Start(tm.tweakNS)
 		if opts.Parallelism == 1 {
 			report.TweakAdjusts, err = Tweak(auc, subs)
 		} else {
-			report.TweakAdjusts, err = TweakParallel(auc, subs, opts.Parallelism)
+			report.TweakAdjusts, err = tweakParallel(auc, subs, opts.Parallelism, tm.workerUtil)
 		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("eager: tweak pass: %w", err)
 		}
+		obs.ObserveSince(tm.tweakNS, tPass)
 	}
 
-	return &Recognizer{Full: full, AUC: auc, Opts: opts}, report, nil
+	tm.runs.Inc()
+	tm.subgestures.Add(int64(report.Subgestures))
+	obs.ObserveSince(tm.totalNS, tTotal)
+
+	rec := &Recognizer{Full: full, AUC: auc, Opts: opts}
+	rec.Instrument(opts.Obs)
+	return rec, report, nil
 }
 
 // LabelSubgestures runs the full classifier over every prefix (of length at

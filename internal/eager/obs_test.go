@@ -1,0 +1,154 @@
+package eager
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+// snapCounter returns a named counter's value from the snapshot, failing
+// the test when the counter was never registered.
+func snapCounter(t *testing.T, snap obs.Snapshot, name string) int64 {
+	t.Helper()
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("counter %q not in snapshot", name)
+	return 0
+}
+
+// snapHist returns a named histogram snapshot, failing the test when it
+// was never registered.
+func snapHist(t *testing.T, snap obs.Snapshot, name string) obs.HistogramSnap {
+	t.Helper()
+	for _, h := range snap.Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	t.Fatalf("histogram %q not in snapshot", name)
+	return obs.HistogramSnap{}
+}
+
+// TestTrainAndSessionObservability trains with a registry attached and
+// replays the training set, checking the eager.* contract: training
+// metrics record the run, replay metrics reconcile (fired.eager +
+// fired.end = replays = commit_frac count), commit fractions stay in
+// (0, 1], and the poison/reset counters track the error path.
+func TestTrainAndSessionObservability(t *testing.T) {
+	reg := obs.New()
+	set, _, _ := genSets(synth.UDClasses(), 12, 0, 11)
+	opts := DefaultOptions()
+	opts.Obs = reg
+	rec, report, err := Train(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snapCounter(t, snap, "eager.train.runs"); got != 1 {
+		t.Errorf("eager.train.runs = %d, want 1", got)
+	}
+	if got := snapCounter(t, snap, "eager.train.subgestures"); got != int64(report.Subgestures) {
+		t.Errorf("eager.train.subgestures = %d, report says %d", got, report.Subgestures)
+	}
+	for _, name := range []string{
+		"eager.train.total_ns", "eager.train.full_ns", "eager.train.label_ns",
+		"eager.train.move_ns", "eager.train.auc_ns", "eager.train.tweak_ns",
+	} {
+		if h := snapHist(t, snap, name); h.Count != 1 {
+			t.Errorf("%s count = %d, want 1 (one training run)", name, h.Count)
+		}
+	}
+	if h := snapHist(t, snap, "eager.train.worker_util"); h.Count == 0 {
+		t.Error("eager.train.worker_util recorded nothing")
+	} else if h.Max > 1 {
+		t.Errorf("worker utilization max = %v, want <= 1", h.Max)
+	}
+
+	// Replay every training example; Train auto-instrumented rec.
+	replays := 0
+	for _, ex := range set.Examples {
+		if _, _, err := rec.Run(ex.Gesture); err != nil {
+			t.Fatal(err)
+		}
+		replays++
+	}
+	snap = reg.Snapshot()
+	eagerN := snapCounter(t, snap, "eager.fired.eager")
+	endN := snapCounter(t, snap, "eager.fired.end")
+	if eagerN+endN != int64(replays) {
+		t.Errorf("fired.eager (%d) + fired.end (%d) != replays (%d)", eagerN, endN, replays)
+	}
+	if eagerN == 0 {
+		t.Error("no gesture fired eagerly on its own training set")
+	}
+	cf := snapHist(t, snap, "eager.commit_frac")
+	if cf.Count != int64(replays) {
+		t.Errorf("eager.commit_frac count = %d, want %d", cf.Count, replays)
+	}
+	if cf.Min <= 0 || cf.Max > 1 {
+		t.Errorf("commit_frac range [%v, %v], want (0, 1]", cf.Min, cf.Max)
+	}
+	if h := snapHist(t, snap, "eager.decide_ns"); h.Count == 0 {
+		t.Error("eager.decide_ns recorded nothing")
+	}
+	// Both classifiers were instrumented under their prefixes.
+	if got := snapCounter(t, snap, "classifier.auc.classifications"); got == 0 {
+		t.Error("classifier.auc.classifications = 0 after replays")
+	}
+	if got := snapCounter(t, snap, "classifier.full.classifications"); got == 0 {
+		t.Error("classifier.full.classifications = 0 after replays")
+	}
+
+	// Poison one stroke, then Reset: the error is counted once per
+	// stroke, and the reset once per Reset.
+	s, err := rec.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rec.Opts.MinSubgesture+1; i++ {
+		s.Add(geom.TimedPoint{X: math.NaN(), Y: 0, T: float64(i)})
+	}
+	s.Reset()
+	snap = reg.Snapshot()
+	if got := snapCounter(t, snap, "eager.session.poisoned"); got != 1 {
+		t.Errorf("eager.session.poisoned = %d, want 1 (counted once per stroke)", got)
+	}
+	if got := snapCounter(t, snap, "eager.session.resets"); got != 1 {
+		t.Errorf("eager.session.resets = %d, want 1", got)
+	}
+}
+
+// TestInstrumentationPreservesTraining checks the guarantee documented
+// on Options.Obs: attaching a registry never changes what Train
+// produces. The instrumented and uninstrumented recognizers must be
+// byte-identical (training is deterministic, PR 2's invariant).
+func TestInstrumentationPreservesTraining(t *testing.T) {
+	set, _, _ := genSets(synth.UDClasses(), 10, 0, 5)
+
+	plain, _ := mustTrain(t, set, DefaultOptions())
+	opts := DefaultOptions()
+	opts.Obs = obs.New()
+	instrumented, _, err := Train(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b strings.Builder
+	if err := plain.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := instrumented.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("instrumented training produced a different recognizer than uninstrumented")
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/classifier"
 	"repro/internal/features"
 	"repro/internal/gesture"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/recognizer"
 )
 
@@ -125,19 +127,30 @@ func (w *labelWorker) labelExample(e gesture.Example, ei int, full *recognizer.F
 // including error selection, which always reports the lowest-indexed
 // failing example — is bit-identical to the serial oracle.
 func LabelSubgesturesParallel(set *gesture.Set, full *recognizer.Full, minLen, workers int) ([]Subgesture, error) {
+	return labelSubgesturesParallel(set, full, minLen, workers, nil)
+}
+
+// labelSubgesturesParallel is LabelSubgesturesParallel plus optional
+// worker-utilization instrumentation: when util is non-nil, each
+// worker's busy fraction (time spent labelling / pass wall time) is
+// observed once, so a snapshot shows whether the fan-out actually kept
+// the workers fed. Instrumentation never changes results.
+func labelSubgesturesParallel(set *gesture.Set, full *recognizer.Full, minLen, workers int, util *obs.Histogram) ([]Subgesture, error) {
 	n := len(set.Examples)
 	if n == 0 {
 		return nil, nil
 	}
 	w := effectiveWorkers(workers, n)
 
+	passStart := obs.Start(util)
+	busy := make([]time.Duration, w)
 	perExample := make([][]Subgesture, n)
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
 			sc, err := newLabelWorker(full)
 			if err != nil {
@@ -157,11 +170,19 @@ func LabelSubgesturesParallel(set *gesture.Set, full *recognizer.Full, minLen, w
 				if i >= n {
 					return
 				}
+				var t0 time.Time
+				if util != nil {
+					t0 = time.Now()
+				}
 				perExample[i], errs[i] = sc.labelExample(set.Examples[i], i, full, minLen)
+				if util != nil {
+					busy[wi] += time.Since(t0)
+				}
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
+	observeUtilization(util, busy, passStart)
 
 	total := 0
 	for i := range perExample {
@@ -190,6 +211,12 @@ func LabelSubgesturesParallel(set *gesture.Set, full *recognizer.Full, minLen, w
 // pass adjusts at, and re-running the serial inner fixpoint over them in
 // index order replays exactly the serial adjustment sequence.
 func TweakParallel(auc *classifier.Classifier, subs []Subgesture, workers int) (int, error) {
+	return tweakParallel(auc, subs, workers, nil)
+}
+
+// tweakParallel is TweakParallel plus the same optional per-worker
+// utilization instrumentation as labelSubgesturesParallel.
+func tweakParallel(auc *classifier.Classifier, subs []Subgesture, workers int, util *obs.Histogram) (int, error) {
 	n := len(subs)
 	if n == 0 {
 		return 0, nil
@@ -198,13 +225,15 @@ func TweakParallel(auc *classifier.Classifier, subs []Subgesture, workers int) (
 	chunk := (n + w - 1) / w
 	nchunks := (n + chunk - 1) / chunk
 
+	passStart := obs.Start(util)
+	busy := make([]time.Duration, w)
 	perChunk := make([][]int, nchunks)
 	errs := make([]error, nchunks)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
 			scores := make([]float64, auc.NumClasses())
 			for {
@@ -216,11 +245,19 @@ func TweakParallel(auc *classifier.Classifier, subs []Subgesture, workers int) (
 				if hi > n {
 					hi = n
 				}
+				var t0 time.Time
+				if util != nil {
+					t0 = time.Now()
+				}
 				perChunk[c], errs[c] = scanTweakCandidates(auc, subs[lo:hi], lo, scores)
+				if util != nil {
+					busy[wi] += time.Since(t0)
+				}
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
+	observeUtilization(util, busy, passStart)
 
 	var candidates []int
 	for c := range perChunk {
@@ -270,6 +307,27 @@ func scanTweakCandidates(auc *classifier.Classifier, chunk []Subgesture, base in
 		}
 	}
 	return out, nil
+}
+
+// observeUtilization records each worker's busy fraction of the pass's
+// wall time into util. No-op when util is nil (passStart is then zero).
+// Fractions are clamped to 1: a worker's last claim can finish a hair
+// after wg.Wait resumes the measuring goroutine.
+func observeUtilization(util *obs.Histogram, busy []time.Duration, passStart time.Time) {
+	if util == nil || passStart.IsZero() {
+		return
+	}
+	wall := time.Since(passStart)
+	if wall <= 0 {
+		return
+	}
+	for _, b := range busy {
+		frac := float64(b) / float64(wall)
+		if frac > 1 {
+			frac = 1
+		}
+		util.Observe(frac)
+	}
 }
 
 // bestCompleteIncomplete returns the indices of the best-scoring complete

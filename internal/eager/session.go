@@ -11,7 +11,47 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gesture"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
+
+// sessionMetrics is the streaming-recognition instrumentation shared by
+// every Session a Recognizer spawns. All handles are nil until
+// Instrument attaches a registry, so uninstrumented sessions pay only
+// sub-5ns no-op calls per point (see internal/obs).
+type sessionMetrics struct {
+	decideNS   *obs.Histogram // per-point latency of one Add (the paper's D + C-hat cost)
+	commitFrac *obs.Histogram // commit point as fraction of gesture length (Run replays)
+	firedEager *obs.Counter   // gestures recognized mid-stroke
+	firedEnd   *obs.Counter   // gestures classified only at End (D never fired)
+	resets     *obs.Counter   // Session.Reset calls
+	poisoned   *obs.Counter   // strokes poisoned by a non-finite point
+}
+
+// Instrument attaches the recognizer's streaming metrics — and its two
+// classifiers' metrics, under the "classifier.full" and "classifier.auc"
+// prefixes — to the registry. A nil registry is a no-op.
+//
+// Concurrency contract: Instrument mutates the recognizer and both
+// classifiers, so it must be called before the recognizer is shared
+// (before handing it to serve.New or serve.Engine.Swap); sessions
+// created afterwards record into the registry, and the instruments are
+// lock-free so concurrent sessions stay race-free. eager.Train calls
+// Instrument automatically when Options.Obs is set.
+func (r *Recognizer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.m = sessionMetrics{
+		decideNS:   reg.Histogram("eager.decide_ns", obs.LatencyBuckets()),
+		commitFrac: reg.Histogram("eager.commit_frac", obs.FractionBuckets()),
+		firedEager: reg.Counter("eager.fired.eager"),
+		firedEnd:   reg.Counter("eager.fired.end"),
+		resets:     reg.Counter("eager.session.resets"),
+		poisoned:   reg.Counter("eager.session.poisoned"),
+	}
+	r.Full.C.Instrument(reg, "classifier.full")
+	r.AUC.Instrument(reg, "classifier.auc")
+}
 
 // Done implements the paper's D function on a complete gesture prefix:
 // true iff the AUC classifies the prefix's feature vector into one of the
@@ -55,6 +95,11 @@ type Session struct {
 	featBuf linalg.Vec
 	aucBuf  []float64
 	fullBuf []float64
+	// Instrumentation (copied from the recognizer at NewSession; all
+	// no-ops when the recognizer is uninstrumented).
+	m         sessionMetrics
+	decidedAt int  // point count when D fired eagerly; 0 otherwise
+	noted     bool // poisoned-stroke counted (once per stroke, not per Add)
 }
 
 // NewSession starts a streaming recognition session. It fails only when
@@ -71,6 +116,7 @@ func (r *Recognizer) NewSession() (*Session, error) {
 		featBuf: make(linalg.Vec, r.Full.Opts.Dim()),
 		aucBuf:  make([]float64, r.AUC.NumClasses()),
 		fullBuf: make([]float64, r.Full.C.NumClasses()),
+		m:       r.m,
 	}, nil
 }
 
@@ -82,7 +128,29 @@ func (r *Recognizer) NewSession() (*Session, error) {
 // A non-finite point poisons the accumulated features; Add (and a later
 // End) then keep returning an error until Reset is called. Callers should
 // reject the stroke.
+//
+// When the recognizer is instrumented (see Recognizer.Instrument), each
+// Add observes its own latency into eager.decide_ns — the paper's
+// per-mouse-point cost, measured as a distribution — and the first error
+// of a stroke counts into eager.session.poisoned.
 func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
+	start := obs.Start(s.m.decideNS)
+	fired, class, err = s.add(p)
+	obs.ObserveSince(s.m.decideNS, start)
+	if err != nil {
+		if !s.noted {
+			s.noted = true
+			s.m.poisoned.Inc()
+		}
+	} else if fired {
+		s.decidedAt = len(s.points)
+		s.m.firedEager.Inc()
+	}
+	return fired, class, err
+}
+
+// add is the uninstrumented body of Add.
+func (s *Session) add(p geom.TimedPoint) (fired bool, class string, err error) {
 	s.points = append(s.points, p)
 	s.ext.Add(p)
 	if s.decided || len(s.points) < s.r.Opts.MinSubgesture {
@@ -125,6 +193,9 @@ func (s *Session) Reset() {
 	s.points = s.points[:0]
 	s.decided = false
 	s.class = ""
+	s.decidedAt = 0
+	s.noted = false
+	s.m.resets.Inc()
 }
 
 // Decided reports whether the session has already fired.
@@ -140,9 +211,11 @@ func (s *Session) PointCount() int { return len(s.points) }
 func (s *Session) Gesture() gesture.Gesture { return gesture.New(s.points) }
 
 // End finishes the session at mouse-up: if the gesture was never judged
-// unambiguous, it is classified in full now. Returns the final class, or
-// an error when the stroke's features are non-finite (the caller should
-// reject the gesture).
+// unambiguous, it is classified in full now — counted into
+// eager.fired.end when instrumented, the complement of the mid-stroke
+// eager.fired.eager count. Returns the final class, or an error when the
+// stroke's features are non-finite (the caller should reject the
+// gesture).
 func (s *Session) End() (string, error) {
 	if !s.decided {
 		class, err := s.r.Classify(s.Gesture())
@@ -151,6 +224,7 @@ func (s *Session) End() (string, error) {
 		}
 		s.class = class
 		s.decided = true
+		s.m.firedEnd.Inc()
 	}
 	return s.class, nil
 }
@@ -159,7 +233,10 @@ func (s *Session) End() (string, error) {
 // outcome: the recognized class and the number of points that had been
 // seen when recognition fired (|g| when it only fired at the end). This is
 // the measurement behind the paper's "percentage of mouse points examined"
-// statistics in section 5.
+// statistics in section 5; when the recognizer is instrumented, each
+// replay observes firedAt/|g| into the eager.commit_frac histogram —
+// the commit-point distribution behind the paper's accuracy/earliness
+// trade-off.
 func (r *Recognizer) Run(g gesture.Gesture) (class string, firedAt int, err error) {
 	s, err := r.NewSession()
 	if err != nil {
@@ -171,6 +248,7 @@ func (r *Recognizer) Run(g gesture.Gesture) (class string, firedAt int, err erro
 			return "", 0, err
 		}
 		if fired {
+			r.m.commitFrac.Observe(float64(i+1) / float64(g.Len()))
 			return c, i + 1, nil
 		}
 	}
@@ -178,6 +256,7 @@ func (r *Recognizer) Run(g gesture.Gesture) (class string, firedAt int, err erro
 	if err != nil {
 		return "", 0, err
 	}
+	r.m.commitFrac.Observe(1)
 	return class, g.Len(), nil
 }
 

@@ -47,6 +47,29 @@ func TestCtxarg(t *testing.T) {
 	linttest.Run(t, lint.Ctxarg, "testdata/ctxarg", "fixture/ctxarg")
 }
 
+func TestExpdoc(t *testing.T) {
+	const fixture = "fixture/expdoc"
+	lint.ExpdocPackages[fixture] = true
+	defer delete(lint.ExpdocPackages, fixture)
+	linttest.Run(t, lint.Expdoc, "testdata/expdoc", fixture)
+}
+
+func TestExpdocUncheckedPackage(t *testing.T) {
+	// The fixture loaded under a path outside ExpdocPackages must produce
+	// no diagnostics.
+	pkg, err := lint.LoadDir("testdata/expdoc", "fixture/unchecked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, []*lint.Analyzer{lint.Expdoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expdoc flagged an unchecked package: %v", diags)
+	}
+}
+
 // TestProtectedPackagesExist guards the nopanic configuration against
 // refactors that move or rename a protected package: a protected path
 // that no longer loads would silently disable the gate.
@@ -62,6 +85,11 @@ func TestProtectedPackagesExist(t *testing.T) {
 	for path := range lint.NopanicProtected {
 		if !found[path] {
 			t.Errorf("nopanic protects %s, but that package does not exist", path)
+		}
+	}
+	for path := range lint.ExpdocPackages {
+		if !found[path] {
+			t.Errorf("expdoc checks %s, but that package does not exist", path)
 		}
 	}
 }

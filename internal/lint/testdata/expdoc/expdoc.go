@@ -1,0 +1,53 @@
+// Package expdoc is the fixture for the expdoc analyzer.
+package expdoc
+
+// Documented carries its required doc comment.
+const Documented = 1
+
+const Bare = 2 // want `exported const Bare has no doc comment`
+
+const (
+	// GroupedDoc documents this one spec.
+	GroupedDoc = 3
+	GroupBare  = 4 // want `exported const GroupBare has no doc comment`
+)
+
+// A group doc comment covers every spec in the group.
+const (
+	CoveredA = 5
+	CoveredB = 6
+)
+
+// V is documented.
+var V int
+
+var W int // want `exported var W has no doc comment`
+
+var w int // unexported: never flagged
+
+// T is documented.
+type T struct{}
+
+type U struct{} // want `exported type U has no doc comment`
+
+// M is documented.
+func (T) M() {}
+
+func (T) N() {} // want `exported method N has no doc comment`
+
+// F is documented.
+func F() int { return w }
+
+func G() {} // want `exported function G has no doc comment`
+
+func unexported() {}
+
+type hidden struct{}
+
+// Visible is exported but hangs off an unexported type, so it is not part
+// of the package's visible API surface and is not flagged even when its
+// doc comment is removed.
+func (hidden) Visible() { unexported() }
+
+//lint:ignore expdoc generated-style identifier kept nameless for the fixture
+func H() {}

@@ -1,0 +1,121 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The disabled-path benchmarks prove the tentpole overhead claim: with
+// no registry attached every instrument handle is nil and each event
+// costs under 5 ns. CI runs these and publishes BENCH_obs.json via
+// cmd/gbench. The sinks defeat dead-code elimination of the nil checks.
+
+var (
+	sinkTime time.Time
+	sinkI64  int64
+)
+
+// BenchmarkObsDisabledCounterInc measures Counter.Inc on a nil counter —
+// the cost an uninstrumented serve.Engine pays per submitted event.
+func BenchmarkObsDisabledCounterInc(b *testing.B) {
+	var c *obs.Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	sinkI64 = c.Value()
+}
+
+// BenchmarkObsDisabledHistogramObserve measures Histogram.Observe on a
+// nil histogram.
+func BenchmarkObsDisabledHistogramObserve(b *testing.B) {
+	var h *obs.Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+	sinkI64 = h.Count()
+}
+
+// BenchmarkObsDisabledStartObserveSince measures the full disabled
+// timing idiom — Start plus ObserveSince — which must skip the clock
+// read entirely.
+func BenchmarkObsDisabledStartObserveSince(b *testing.B) {
+	var h *obs.Histogram
+	for i := 0; i < b.N; i++ {
+		start := obs.Start(h)
+		obs.ObserveSince(h, start)
+		sinkTime = start
+	}
+}
+
+// BenchmarkObsDisabledRingEmit measures Ring.Emit on a nil ring.
+func BenchmarkObsDisabledRingEmit(b *testing.B) {
+	var r *obs.Ring
+	for i := 0; i < b.N; i++ {
+		r.Emit("ev", "")
+	}
+	sinkI64 = int64(r.Cap())
+}
+
+// Enabled-path reference points, for the overhead table in
+// OBSERVABILITY.md.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.New().Counter("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	sinkI64 = c.Value()
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.New().Histogram("bench", obs.LatencyBuckets())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000000))
+	}
+	sinkI64 = h.Count()
+}
+
+func BenchmarkObsRingEmit(b *testing.B) {
+	r := obs.New().Ring("bench", 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit("ev", "")
+	}
+	sinkI64 = int64(r.Cap())
+}
+
+// TestDisabledPathUnderFiveNanoseconds enforces the <5ns/event claim
+// with testing.Benchmark. Timing assertions are meaningless under the
+// race detector's instrumentation (and noisy in -short environments), so
+// the test only runs in a plain `go test`; the race-gated tier-1 run
+// still executes every benchmark body once via -benchtime style
+// invocation in CI.
+func TestDisabledPathUnderFiveNanoseconds(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion is not meaningful under -race instrumentation")
+	}
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short mode")
+	}
+	const limit = 5.0 // ns/event, the tentpole contract
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"CounterInc", BenchmarkObsDisabledCounterInc},
+		{"HistogramObserve", BenchmarkObsDisabledHistogramObserve},
+		{"StartObserveSince", BenchmarkObsDisabledStartObserveSince},
+		{"RingEmit", BenchmarkObsDisabledRingEmit},
+	} {
+		r := testing.Benchmark(bench.fn)
+		perOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		t.Logf("disabled %s: %.2f ns/event", bench.name, perOp)
+		if perOp >= limit {
+			t.Errorf("disabled %s costs %.2f ns/event, contract is <%g ns", bench.name, perOp, limit)
+		}
+	}
+}

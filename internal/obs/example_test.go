@@ -1,0 +1,47 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Example shows the whole lifecycle: register instruments, emit from the
+// hot path (nil-safely — the same code runs unchanged with no registry
+// attached), and read a structured snapshot. This doubles as the godoc
+// usage documentation for the package.
+func Example() {
+	// With a registry: everything records.
+	reg := obs.New()
+	submitted := reg.Counter("serve.events.submitted")
+	latency := reg.Histogram("serve.session.latency_ns", obs.LatencyBuckets())
+	trace := reg.Ring("serve.trace", 1024)
+
+	// The hot path holds plain handles and calls unconditionally.
+	for i := 0; i < 3; i++ {
+		submitted.Inc()
+		latency.Observe(float64(1500 + 1000*i)) // pretend-measured nanoseconds
+	}
+	trace.Emit("swap", "model generation 2")
+
+	// Without a registry: the same handles are nil and every call is a
+	// sub-5ns no-op — instrumented code never branches on "is obs on?".
+	var disabled *obs.Registry
+	disabled.Counter("serve.events.submitted").Inc()
+	disabled.Histogram("x", obs.LatencyBuckets()).Observe(1)
+
+	snap := reg.Snapshot()
+	for _, c := range snap.Counters {
+		fmt.Printf("%s = %d\n", c.Name, c.Value)
+	}
+	for _, h := range snap.Histograms {
+		fmt.Printf("%s: count=%d mean=%.0fns\n", h.Name, h.Count, h.Mean())
+	}
+	for _, t := range snap.Traces {
+		fmt.Printf("%s: %d event(s), last %q\n", t.Name, t.Emitted, t.Events[len(t.Events)-1].Name)
+	}
+	// Output:
+	// serve.events.submitted = 3
+	// serve.session.latency_ns: count=3 mean=2500ns
+	// serve.trace: 1 event(s), last "swap"
+}

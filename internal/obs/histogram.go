@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a streaming histogram over fixed bucket boundaries: the
+// boundaries are set at registration and never change, so two snapshots
+// of the same registry are structurally identical regardless of what was
+// observed. Bucket i counts observations v with bounds[i-1] < v <=
+// bounds[i]; one extra overflow bucket counts v > bounds[len-1].
+//
+// Observe is lock-free (one atomic add per observation plus CAS loops
+// for the sum and extremes) and safe for concurrent use from any number
+// of goroutines. All methods are no-ops (or return zero values) on a nil
+// receiver.
+type Histogram struct {
+	bounds []float64      // immutable after construction, ascending
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomicFloat64
+	min    atomicFloat64 // +Inf until the first observation
+	max    atomicFloat64 // -Inf until the first observation
+}
+
+// newHistogram builds a histogram over a defensive copy of the given
+// ascending boundaries.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// Observe records one value. NaN observations are ignored (a poisoned
+// measurement must not poison the sum). No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.updateMin(v)
+	h.max.updateMax(v)
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations; 0 on a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// snapshot captures the histogram's current state. Buckets race benignly
+// with concurrent Observes: each bucket load is atomic, so totals may be
+// mid-update by a handful of events but never torn.
+func (h *Histogram) snapshot(name string) HistogramSnap {
+	s := HistogramSnap{
+		Name:   name,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = h.min.load()
+		s.Max = h.max.load()
+	}
+	return s
+}
+
+// HistogramSnap is the point-in-time state of one histogram inside a
+// Snapshot. Counts has one entry per bucket: Counts[i] holds
+// observations in (Bounds[i-1], Bounds[i]], and the final entry counts
+// overflow beyond the last boundary. Min and Max are 0 when Count is 0.
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns the arithmetic mean of the observations, or 0 when empty.
+func (s HistogramSnap) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// by linear interpolation inside the containing bucket, clamped to the
+// observed min/max. This is the per-gesture-distribution signal the
+// text report surfaces (p50/p90/p99): with latency-style bucket layouts
+// the estimate is within one bucket width of the true quantile.
+func (s HistogramSnap) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		// The rank falls in bucket i. Interpolate across its span.
+		lo := s.Min
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Bounds) {
+			hi = s.Bounds[i]
+		}
+		if lo < s.Min {
+			lo = s.Min
+		}
+		if hi > s.Max {
+			hi = s.Max
+		}
+		if c == 0 || hi < lo {
+			return lo
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return s.Max
+}

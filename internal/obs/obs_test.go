@@ -1,0 +1,300 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestNilSafety exercises every instrument and registry method through
+// nil receivers: the disabled path must be a total no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var c *obs.Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Errorf("nil counter Value = %d, want 0", c.Value())
+	}
+
+	var h *obs.Histogram
+	h.Observe(1)
+	obs.ObserveSince(h, obs.Start(h))
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("nil histogram Count/Sum = %d/%g, want 0/0", h.Count(), h.Sum())
+	}
+	if !obs.Start(h).IsZero() {
+		t.Error("Start(nil) must return the zero Time (no clock read on the disabled path)")
+	}
+
+	var rg *obs.Ring
+	rg.Emit("x", "")
+	if rg.Cap() != 0 || rg.Events() != nil {
+		t.Error("nil ring must have zero cap and nil events")
+	}
+
+	var reg *obs.Registry
+	if reg.Counter("a") != nil || reg.Histogram("b", nil) != nil || reg.Ring("c", 8) != nil {
+		t.Error("nil registry accessors must return nil instruments")
+	}
+	s := reg.Snapshot()
+	if s.Schema != obs.SnapshotSchema || len(s.Counters)+len(s.Histograms)+len(s.Traces) != 0 {
+		t.Errorf("nil registry snapshot = %+v, want empty with schema %d", s, obs.SnapshotSchema)
+	}
+}
+
+// TestConcurrentCounterAndHistogram hammers one counter and one
+// histogram from many goroutines under the race gate and checks the
+// totals are exact: lock-free must not mean lossy.
+func TestConcurrentCounterAndHistogram(t *testing.T) {
+	reg := obs.New()
+	c := reg.Counter("test.hits")
+	h := reg.Histogram("test.lat", obs.LatencyBuckets())
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	wantSum := float64(workers*per) * float64(workers*per-1) / 2
+	if math.Abs(h.Sum()-wantSum) > 1e-6*wantSum {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), wantSum)
+	}
+	snap := reg.Snapshot()
+	hs := snap.Histograms[0]
+	var bucketTotal int64
+	for _, n := range hs.Counts {
+		bucketTotal += n
+	}
+	if bucketTotal != workers*per {
+		t.Errorf("bucket counts sum to %d, want %d", bucketTotal, workers*per)
+	}
+	if hs.Min != 0 || hs.Max != workers*per-1 {
+		t.Errorf("min/max = %g/%g, want 0/%d", hs.Min, hs.Max, workers*per-1)
+	}
+}
+
+// TestConcurrentRing emits from many goroutines and checks the retained
+// tail is a dense, unique suffix of the sequence space.
+func TestConcurrentRing(t *testing.T) {
+	reg := obs.New()
+	rg := reg.Ring("test.trace", 64)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rg.Emit("ev", "")
+			}
+		}()
+	}
+	wg.Wait()
+	evs := rg.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d events, want 64", len(evs))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+		if e.Seq >= workers*per {
+			t.Fatalf("seq %d out of range", e.Seq)
+		}
+	}
+}
+
+// TestHistogramBuckets pins the bucket-assignment rule: value v lands in
+// the first bucket whose upper bound is >= v, with a final overflow
+// bucket.
+func TestHistogramBuckets(t *testing.T) {
+	reg := obs.New()
+	h := reg.Histogram("b", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // must be ignored
+	s := histSnap(t, reg, "b")
+	want := []int64{2, 2, 2, 2} // (<=1)=0.5,1  (1,2]=1.5,2  (2,4]=3,4  (>4)=5,100
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Errorf("counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8 (NaN must be ignored)", s.Count)
+	}
+}
+
+// TestSnapshotStructureDeterministic registers the same instruments in
+// two registries in different orders, drives them with different values,
+// and checks the snapshots' names, bucket boundaries, and field
+// structure are byte-identical once values are zeroed — the property the
+// metric contract (OBSERVABILITY.md) and gbench's versioned "metrics"
+// key rely on.
+func TestSnapshotStructureDeterministic(t *testing.T) {
+	build := func(order []string, scale float64) obs.Snapshot {
+		reg := obs.New()
+		for _, name := range order {
+			reg.Counter("c." + name).Add(int64(scale * 10))
+		}
+		for _, name := range order {
+			reg.Histogram("h."+name, obs.LatencyBuckets()).Observe(scale)
+		}
+		reg.Ring("t.trace", 16).Emit("x", "y")
+		return reg.Snapshot()
+	}
+	a := build([]string{"alpha", "beta", "gamma"}, 1)
+	b := build([]string{"gamma", "alpha", "beta"}, 250000)
+
+	strip := func(s obs.Snapshot) obs.Snapshot {
+		for i := range s.Counters {
+			s.Counters[i].Value = 0
+		}
+		for i := range s.Histograms {
+			h := &s.Histograms[i]
+			h.Count, h.Sum, h.Min, h.Max = 0, 0, 0, 0
+			h.Counts = make([]int64, len(h.Counts))
+		}
+		for i := range s.Traces {
+			s.Traces[i].Events = nil
+			s.Traces[i].Emitted = 0
+		}
+		return s
+	}
+	aj, err := json.Marshal(strip(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(strip(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("snapshot structure differs:\n%s\n%s", aj, bj)
+	}
+}
+
+// TestRegistryReturnsSameInstrument checks registration is idempotent,
+// including with differing bounds (first registration wins).
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	reg := obs.New()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("Counter not idempotent")
+	}
+	h1 := reg.Histogram("y", []float64{1, 2})
+	h2 := reg.Histogram("y", []float64{5, 6, 7})
+	if h1 != h2 {
+		t.Error("Histogram not idempotent")
+	}
+	if rg1, rg2 := reg.Ring("z", 4), reg.Ring("z", 99); rg1 != rg2 {
+		t.Error("Ring not idempotent")
+	}
+}
+
+// TestQuantile sanity-checks the interpolated quantile estimates against
+// a uniform-ish distribution.
+func TestQuantile(t *testing.T) {
+	reg := obs.New()
+	h := reg.Histogram("q", []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	s := histSnap(t, reg, "q")
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 50, 10},
+		{0.9, 90, 10},
+		{0, 1, 0},
+		{1, 100, 0},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g±%g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+// TestWriteTextAndHandlers smoke-tests the three exposure surfaces: the
+// text report, the JSON handler, and the text handler.
+func TestWriteTextAndHandlers(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("serve.demo").Add(7)
+	reg.Histogram("lat.demo", obs.LatencyBuckets()).Observe(1234)
+	reg.Ring("trace.demo", 8).Emit("swap", "gen-2")
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serve.demo", "lat.demo", "trace.demo", "swap", "p99"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	rw := httptest.NewRecorder()
+	obs.Handler(reg).ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rw.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON handler output does not parse: %v", err)
+	}
+	if snap.Schema != obs.SnapshotSchema || len(snap.Counters) != 1 {
+		t.Errorf("handler snapshot = %+v", snap)
+	}
+
+	rw = httptest.NewRecorder()
+	obs.TextHandler(reg).ServeHTTP(rw, httptest.NewRequest("GET", "/metrics.txt", nil))
+	if !strings.Contains(rw.Body.String(), "serve.demo") {
+		t.Errorf("text handler output missing counter:\n%s", rw.Body.String())
+	}
+}
+
+// TestObserveSince records a real duration and checks it lands.
+func TestObserveSince(t *testing.T) {
+	reg := obs.New()
+	h := reg.Histogram("lat", obs.LatencyBuckets())
+	start := obs.Start(h)
+	if start.IsZero() {
+		t.Fatal("Start(enabled) must read the clock")
+	}
+	obs.ObserveSince(h, start)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	// A zero start must not observe even on an enabled histogram.
+	obs.ObserveSince(h, obs.Start(nil))
+	if h.Count() != 1 {
+		t.Error("ObserveSince with zero start must be a no-op")
+	}
+}
+
+// histSnap pulls one named histogram's snapshot out of a registry.
+func histSnap(t *testing.T, reg *obs.Registry, name string) obs.HistogramSnap {
+	t.Helper()
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	t.Fatalf("histogram %q not in snapshot", name)
+	return obs.HistogramSnap{}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// SnapshotSchema is the version of the Snapshot structure (and therefore
+// of the JSON documents cmd/gserve and cmd/gbench emit under their
+// "metrics" keys). Bump it whenever a field is renamed, removed, or
+// changes meaning; adding metrics does not bump it.
+const SnapshotSchema = 1
+
+// Registry names and owns a process's instruments. Accessors register on
+// first use and return the same instrument for the same name thereafter,
+// so independent packages can share metrics by name. A nil *Registry is
+// fully usable: every accessor returns nil, which every instrument
+// treats as "disabled" — instrumented code never branches on whether
+// observability is attached.
+//
+// Concurrency: all methods are safe for concurrent use. Registration
+// takes a mutex; the instruments themselves are lock-free (see Counter,
+// Histogram, Ring).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	rings    map[string]*Ring
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		rings:    make(map[string]*Ring),
+	}
+}
+
+// Counter returns the named counter, registering it on first use.
+// Returns nil (the disabled instrument) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bucket boundaries on first use. Later calls return the existing
+// histogram regardless of the bounds argument — boundaries are fixed at
+// registration, which is what keeps snapshots structurally
+// deterministic. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Ring returns the named trace ring, registering it with the given
+// capacity on first use (non-positive capacity selects the 1024-entry
+// default). Later calls return the existing ring regardless of the
+// capacity argument. Returns nil on a nil registry.
+func (r *Registry) Ring(name string, capacity int) *Ring {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.rings[name]
+	if !ok {
+		rg = newRing(capacity)
+		r.rings[name] = rg
+	}
+	return rg
+}
+
+// CounterSnap is the point-in-time value of one counter inside a
+// Snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot is a structured, JSON-serializable view of every registered
+// instrument, sorted by name within each section. Its structure — the
+// set of names, histogram bucket boundaries, and field layout — is
+// deterministic for a given instrumented workload; only the observed
+// values vary run to run. OBSERVABILITY.md documents every name the repo
+// emits, and TestSnapshotMatchesObservabilityContract holds the two in
+// sync.
+type Snapshot struct {
+	Schema     int             `json:"schema"`
+	Counters   []CounterSnap   `json:"counters"`
+	Histograms []HistogramSnap `json:"histograms"`
+	Traces     []TraceSnap     `json:"traces"`
+}
+
+// Snapshot captures the current state of every instrument. Counters and
+// histogram buckets are read atomically per value; a snapshot taken
+// while events are in flight is internally consistent per instrument but
+// not across instruments (a submit may be counted whose latency is not
+// yet observed). On a nil registry it returns an empty snapshot with the
+// current schema.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Schema:     SnapshotSchema,
+		Counters:   []CounterSnap{},
+		Histograms: []HistogramSnap{},
+		Traces:     []TraceSnap{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	rings := make(map[string]*Ring, len(r.rings))
+	for k, v := range r.rings {
+		rings[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, h := range hists {
+		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	for name, rg := range rings {
+		s.Traces = append(s.Traces, rg.snapshot(name))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Traces, func(i, j int) bool { return s.Traces[i].Name < s.Traces[j].Name })
+	return s
+}
+
+// WriteText renders the snapshot as a human-readable report: counters as
+// a name/value table, histograms with count, mean, min/max, and
+// estimated p50/p90/p99 (the distribution view the paper's evaluation is
+// built on — averages hide the commit-point and latency tails), and the
+// tail of each trace ring.
+func (s Snapshot) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# obs snapshot (schema %d)\n", s.Schema)
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(tw, "\ncounter\tvalue\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(tw, "\nhistogram\tcount\tmean\tmin\tmax\tp50\tp90\tp99\n")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(tw, "%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
+				h.Name, h.Count, h.Mean(), h.Min, h.Max,
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+		}
+	}
+	for _, t := range s.Traces {
+		fmt.Fprintf(tw, "\ntrace %s\t(%d emitted, cap %d)\n", t.Name, t.Emitted, t.Cap)
+		events := t.Events
+		const tail = 16
+		if len(events) > tail {
+			fmt.Fprintf(tw, "...\t%d older events elided\n", len(events)-tail)
+			events = events[len(events)-tail:]
+		}
+		for _, e := range events {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n",
+				e.Seq, time.Unix(0, e.At).UTC().Format("15:04:05.000"), e.Name, e.Detail)
+		}
+	}
+	return tw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry's Snapshot as an
+// indented JSON document — the expvar-style dump cmd/gserve mounts at
+// /metrics. Safe to call with a nil registry (serves the empty
+// snapshot).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encoding errors here mean the client went away; nothing to do.
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// TextHandler returns an http.Handler serving the human-readable report
+// of WriteText — cmd/gserve mounts it at /metrics.txt. Safe with a nil
+// registry.
+func TextHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.Snapshot().WriteText(w)
+	})
+}

@@ -1,0 +1,129 @@
+package obsdemo
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// metricNameRe matches backquoted metric names in OBSERVABILITY.md's
+// contract tables: dotted lowercase segments, possibly containing the
+// <role>/<class> placeholders.
+var metricNameRe = regexp.MustCompile("`((?:[a-z_]+|<[a-z]+>)(?:\\.(?:[a-z_]+|<[a-z]+>))+)`")
+
+// roles are the classifier instrumentation prefixes the recognizer
+// registers; <role> in the document expands over these.
+var roles = []string{"full", "auc"}
+
+// docMetricNames parses OBSERVABILITY.md and returns the documented
+// concrete metric names plus the documented wildcard prefixes (from
+// names ending in the <class> placeholder), with <role> expanded.
+func docMetricNames(t *testing.T) (names map[string]bool, wildcards []string) {
+	t.Helper()
+	raw, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		// Contract rows are table lines whose first cell is the name.
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		m := metricNameRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, name := range expandRoles(m[1]) {
+			if suffix, ok := strings.CutSuffix(name, "<class>"); ok {
+				wildcards = append(wildcards, suffix)
+				continue
+			}
+			if strings.Contains(name, "<") {
+				t.Fatalf("unexpanded placeholder in documented metric %q", name)
+			}
+			names[name] = true
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no metric names parsed from OBSERVABILITY.md — format drifted?")
+	}
+	return names, wildcards
+}
+
+func expandRoles(name string) []string {
+	if !strings.Contains(name, "<role>") {
+		return []string{name}
+	}
+	out := make([]string, 0, len(roles))
+	for _, r := range roles {
+		out = append(out, strings.ReplaceAll(name, "<role>", r))
+	}
+	return out
+}
+
+// TestContractMatchesDocument checks OBSERVABILITY.md against a live
+// snapshot of the demo workload in both directions: every documented
+// metric is registered, and every registered metric is documented.
+func TestContractMatchesDocument(t *testing.T) {
+	doc, wildcards := docMetricNames(t)
+
+	reg, err := Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	live := map[string]bool{}
+	for _, c := range snap.Counters {
+		live[c.Name] = true
+	}
+	for _, h := range snap.Histograms {
+		live[h.Name] = true
+	}
+	// The trace ring is named in prose ("serve.trace"), not a metric
+	// table; account for it explicitly.
+	for _, tr := range snap.Traces {
+		if tr.Name != "serve.trace" {
+			t.Errorf("trace ring %q is not in the OBSERVABILITY.md contract", tr.Name)
+		}
+	}
+
+	// Document -> snapshot: every documented name must be registered.
+	for name := range doc {
+		if !live[name] {
+			t.Errorf("OBSERVABILITY.md documents %s, but the demo workload never registers it", name)
+		}
+	}
+	// Every documented wildcard prefix must match something.
+	for _, prefix := range wildcards {
+		found := false
+		for name := range live {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("OBSERVABILITY.md documents the family %s<class>, but nothing registered matches", prefix)
+		}
+	}
+
+	// Snapshot -> document: every registered name must be documented,
+	// directly or via a wildcard family.
+	for name := range live {
+		if doc[name] {
+			continue
+		}
+		covered := false
+		for _, prefix := range wildcards {
+			if strings.HasPrefix(name, prefix) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("metric %s is registered but not documented in OBSERVABILITY.md", name)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package obsdemo builds small, fully instrumented, deterministic
+// train-and-serve workloads over the paper's GDP gesture set. It is the
+// shared substrate behind three consumers:
+//
+//   - cmd/gserve uses New to boot an instrumented engine with a model to
+//     serve and a registry to expose over HTTP;
+//   - cmd/gbench -obs uses Run to embed a populated metrics snapshot in
+//     its JSON artifact;
+//   - the OBSERVABILITY.md contract test uses Run to obtain a snapshot
+//     that has every documented metric registered, and checks the
+//     document and the snapshot against each other.
+//
+// Everything seeded is deterministic: for a fixed seed the trained
+// recognizer, the replayed traffic, and therefore the set of metric
+// names, bucket boundaries, and all count-valued metrics are identical
+// run over run (latency-valued histogram contents of course vary).
+package obsdemo
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/eager"
+	"repro/internal/geom"
+	"repro/internal/multipath"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// TrainExamples is the per-class training-set size used by New and Run —
+// small enough that a demo trains in well under a second, large enough
+// that the GDP classes separate cleanly.
+const TrainExamples = 6
+
+// New trains a GDP recognizer with full training instrumentation
+// attached to a fresh registry and returns both. The recognizer is
+// instrumented too (eager.Train does that when Options.Obs is set), so
+// sessions created from it — directly or through a serve.Engine sharing
+// the same registry — record into the returned registry.
+func New(seed int64) (*obs.Registry, *eager.Recognizer, error) {
+	reg := obs.New()
+	gen := synth.NewGenerator(synth.DefaultParams(seed))
+	set, _ := gen.Set("gdp-train", synth.GDPClasses(), TrainExamples)
+	opts := eager.DefaultOptions()
+	opts.Obs = reg
+	rec, _, err := eager.Train(set, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obsdemo: train: %w", err)
+	}
+	return reg, rec, nil
+}
+
+// Run executes the full demo workload and returns the populated
+// registry: train (New), serve a burst of replayed GDP interactions
+// through an instrumented multi-shard engine, exercise the swap and
+// swap-rejection paths, leave one session to be drained at Close, replay
+// gestures through Recognizer.Run for the commit-fraction histogram, and
+// poison-then-Reset one streaming session. After Run, every metric in
+// the OBSERVABILITY.md contract is registered in the snapshot.
+func Run(seed int64) (*obs.Registry, error) {
+	reg, rec, err := New(seed)
+	if err != nil {
+		return nil, err
+	}
+
+	e, err := serve.New(rec, serve.Options{
+		Shards:     minInt(4, runtime.GOMAXPROCS(0)),
+		QueueDepth: 64,
+		Obs:        reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("obsdemo: %w", err)
+	}
+
+	gen := synth.NewGenerator(synth.DefaultParams(seed + 1))
+	classes := synth.GDPClasses()
+	const sessions = 24
+	for i := 0; i < sessions; i++ {
+		s := gen.Sample(classes[i%len(classes)])
+		if err := play(e, fmt.Sprintf("demo-%03d", i), s.G.Points, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// Swap paths: a rejected nil swap, then a real (self-)swap — the
+	// engine republishes the same immutable snapshot, which exercises the
+	// full code path without a second training run.
+	e.Swap(nil)
+	e.Swap(rec)
+
+	// One session left open (no FingerUp) so Close drains it.
+	s := gen.Sample(classes[0])
+	if err := play(e, "demo-open", s.G.Points, false); err != nil {
+		return nil, err
+	}
+	if err := e.Close(); err != nil {
+		return nil, fmt.Errorf("obsdemo: close: %w", err)
+	}
+
+	// Replay through Run for the commit-fraction histogram (the paper's
+	// eagerness measurement).
+	gen = synth.NewGenerator(synth.DefaultParams(seed + 2))
+	for i := 0; i < len(classes); i++ {
+		sample := gen.Sample(classes[i])
+		if _, _, err := rec.Run(sample.G); err != nil {
+			return nil, fmt.Errorf("obsdemo: replay: %w", err)
+		}
+	}
+
+	// Error path: a poisoned stroke (counted once) and its Reset.
+	sess, err := rec.NewSession()
+	if err != nil {
+		return nil, fmt.Errorf("obsdemo: %w", err)
+	}
+	for i := 0; i <= rec.Opts.MinSubgesture; i++ {
+		sess.Add(geom.TimedPoint{X: math.NaN(), T: float64(i)})
+	}
+	sess.Reset()
+
+	return reg, nil
+}
+
+// play streams one single-finger interaction into the engine, retrying
+// on backpressure. finish controls whether the FingerUp is sent (false
+// leaves the session in flight for Close to drain).
+func play(e *serve.Engine, id string, g geom.Path, finish bool) error {
+	for i, p := range g {
+		kind := multipath.FingerMove
+		if i == 0 {
+			kind = multipath.FingerDown
+		}
+		if err := submitRetry(e, serve.Event{Session: id, Kind: kind, X: p.X, Y: p.Y, T: p.T}); err != nil {
+			return err
+		}
+	}
+	if !finish {
+		return nil
+	}
+	last := g[len(g)-1]
+	return submitRetry(e, serve.Event{Session: id, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+}
+
+// submitRetry applies the retry-on-ErrQueueFull producer policy the
+// engine's backpressure contract expects callers to choose.
+func submitRetry(e *serve.Engine, ev serve.Event) error {
+	for {
+		err := e.Submit(ev)
+		if err == nil {
+			return nil
+		}
+		if err != serve.ErrQueueFull {
+			return fmt.Errorf("obsdemo: submit: %w", err)
+		}
+		runtime.Gosched()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

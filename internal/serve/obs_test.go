@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/multipath"
+	"repro/internal/obs"
+)
+
+// snapCounter returns a named counter's value from the snapshot, failing
+// the test when the counter was never registered.
+func snapCounter(t *testing.T, snap obs.Snapshot, name string) int64 {
+	t.Helper()
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("counter %q not in snapshot", name)
+	return 0
+}
+
+// snapHist returns a named histogram snapshot, failing the test when it
+// was never registered.
+func snapHist(t *testing.T, snap obs.Snapshot, name string) obs.HistogramSnap {
+	t.Helper()
+	for _, h := range snap.Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	t.Fatalf("histogram %q not in snapshot", name)
+	return obs.HistogramSnap{}
+}
+
+// TestEngineObservability runs an instrumented engine through a full
+// workload — sessions, a swap, a rejected swap, a drain at Close — and
+// checks the serve.* metric contract: counters reconcile with Stats and
+// with each other, latency histograms saw every session, and the trace
+// ring recorded the lifecycle events.
+func TestEngineObservability(t *testing.T) {
+	reg := obs.New()
+	rec := trainRec(t, 1)
+	sink := newSink()
+	e, err := New(rec, Options{Shards: 4, OnResult: sink.add, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const done = 20
+	for i := 0; i < done; i++ {
+		g, _ := sampleGesture(int64(100+i), i%2)
+		playSession(t, e, fmt.Sprintf("s%02d", i), g)
+	}
+	if got := e.Swap(nil); got != nil {
+		t.Fatalf("Swap(nil) = %v, want nil", got)
+	}
+	if got := e.Swap(trainRec(t, 2)); got == nil {
+		t.Fatal("Swap returned nil previous recognizer")
+	}
+	// One session left open (no FingerUp) so Close has something to drain.
+	g, _ := sampleGesture(999, 0)
+	for i, p := range g {
+		kind := multipath.FingerMove
+		if i == 0 {
+			kind = multipath.FingerDown
+		}
+		submitRetry(t, e, Event{Session: "open", Finger: 0, Kind: kind, X: p.X, Y: p.Y, T: p.T})
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	st := e.Stats()
+	if got := snapCounter(t, snap, "serve.events.submitted"); got != st.Submitted {
+		t.Errorf("serve.events.submitted = %d, Stats.Submitted = %d", got, st.Submitted)
+	}
+	if got := snapCounter(t, snap, "serve.events.rejected"); got != st.Rejected {
+		t.Errorf("serve.events.rejected = %d, Stats.Rejected = %d", got, st.Rejected)
+	}
+	opened := snapCounter(t, snap, "serve.sessions.opened")
+	completed := snapCounter(t, snap, "serve.sessions.completed")
+	drained := snapCounter(t, snap, "serve.sessions.drained")
+	if opened != done+1 || completed != done+1 {
+		t.Errorf("opened=%d completed=%d, want both %d", opened, completed, done+1)
+	}
+	if drained != 1 {
+		t.Errorf("serve.sessions.drained = %d, want 1", drained)
+	}
+	if got := snapCounter(t, snap, "serve.swaps"); got != 1 {
+		t.Errorf("serve.swaps = %d, want 1", got)
+	}
+	if got := snapCounter(t, snap, "serve.swaps_rejected"); got != 1 {
+		t.Errorf("serve.swaps_rejected = %d, want 1", got)
+	}
+
+	if h := snapHist(t, snap, "serve.session.latency_ns"); h.Count != done+1 {
+		t.Errorf("serve.session.latency_ns count = %d, want %d", h.Count, done+1)
+	}
+	if h := snapHist(t, snap, "serve.queue.wait_ns"); h.Count != st.Submitted {
+		t.Errorf("serve.queue.wait_ns count = %d, want %d", h.Count, st.Submitted)
+	}
+	if h := snapHist(t, snap, "serve.queue.depth"); h.Count != st.Submitted {
+		t.Errorf("serve.queue.depth count = %d, want %d", h.Count, st.Submitted)
+	}
+
+	var traced *obs.TraceSnap
+	for i := range snap.Traces {
+		if snap.Traces[i].Name == "serve.trace" {
+			traced = &snap.Traces[i]
+		}
+	}
+	if traced == nil {
+		t.Fatal("serve.trace missing from snapshot")
+	}
+	counts := map[string]int{}
+	for _, ev := range traced.Events {
+		counts[ev.Name]++
+	}
+	// done+1 opens, done normal completions, 1 drain, 1 swap, 1 rejection:
+	// well under the ring capacity, so nothing has been overwritten.
+	want := map[string]int{
+		"session_open": done + 1, "session_done": done,
+		"session_drained": 1, "swap": 1, "swap_rejected": 1,
+	}
+	for name, n := range want {
+		if counts[name] != n {
+			t.Errorf("trace %q count = %d, want %d", name, counts[name], n)
+		}
+	}
+}
+
+// TestEngineUninstrumented checks that a no-registry engine still serves
+// correctly — the nil-handle no-op path — and records nothing anywhere.
+func TestEngineUninstrumented(t *testing.T) {
+	rec := trainRec(t, 1)
+	sink := newSink()
+	e, err := New(rec, Options{Shards: 2, OnResult: sink.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, want := sampleGesture(7, 1)
+	playSession(t, e, "only", g)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := sink.get("only"); !ok || got != want {
+		t.Fatalf("session class = %q (ok=%v), want %q", got, ok, want)
+	}
+}

@@ -38,9 +38,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/eager"
 	"repro/internal/multipath"
+	"repro/internal/obs"
 )
 
 // Errors returned by Submit.
@@ -87,6 +89,46 @@ type Options struct {
 	// callback stalls its shard — that is the backpressure propagating,
 	// by design.
 	OnResult func(Result)
+	// Obs, when set, attaches the engine's metrics and trace ring to the
+	// registry (see OBSERVABILITY.md for the serve.* contract). Nil
+	// leaves the engine uninstrumented: every metric call degrades to a
+	// sub-5ns no-op.
+	Obs *obs.Registry `json:"-"`
+}
+
+// engineMetrics holds the engine's obs handles. The zero value (all nil)
+// is the uninstrumented state; see OBSERVABILITY.md for the contract.
+type engineMetrics struct {
+	submitted     *obs.Counter   // serve.events.submitted
+	rejected      *obs.Counter   // serve.events.rejected
+	opened        *obs.Counter   // serve.sessions.opened
+	completed     *obs.Counter   // serve.sessions.completed
+	drained       *obs.Counter   // serve.sessions.drained (subset of completed)
+	swaps         *obs.Counter   // serve.swaps
+	swapsRejected *obs.Counter   // serve.swaps_rejected (nil recognizer refused)
+	queueDepth    *obs.Histogram // serve.queue.depth, sampled per accepted Submit
+	queueWaitNS   *obs.Histogram // serve.queue.wait_ns, enqueue -> dequeue
+	sessionNS     *obs.Histogram // serve.session.latency_ns, first submit -> completion
+	trace         *obs.Ring      // serve.trace lifecycle events
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	if reg == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		submitted:     reg.Counter("serve.events.submitted"),
+		rejected:      reg.Counter("serve.events.rejected"),
+		opened:        reg.Counter("serve.sessions.opened"),
+		completed:     reg.Counter("serve.sessions.completed"),
+		drained:       reg.Counter("serve.sessions.drained"),
+		swaps:         reg.Counter("serve.swaps"),
+		swapsRejected: reg.Counter("serve.swaps_rejected"),
+		queueDepth:    reg.Histogram("serve.queue.depth", obs.DepthBuckets()),
+		queueWaitNS:   reg.Histogram("serve.queue.wait_ns", obs.LatencyBuckets()),
+		sessionNS:     reg.Histogram("serve.session.latency_ns", obs.LatencyBuckets()),
+		trace:         reg.Ring("serve.trace", 0),
+	}
 }
 
 // Stats is a snapshot of the engine's counters.
@@ -112,13 +154,30 @@ type Engine struct {
 	rejected  atomic.Int64
 	completed atomic.Int64
 	active    atomic.Int64
+
+	m engineMetrics
+}
+
+// queued is one enqueued event plus its enqueue timestamp (the zero Time
+// when the engine is uninstrumented), so the shard can observe queue wait
+// on dequeue.
+type queued struct {
+	ev Event
+	at time.Time
+}
+
+// liveSession is one in-flight session plus the enqueue time of the
+// event that opened it, so completion can observe end-to-end latency.
+type liveSession struct {
+	sess  *multipath.Session
+	start time.Time
 }
 
 // shard is one worker goroutine's world: its queue and the sessions it
 // exclusively owns. Only that goroutine touches `sessions`.
 type shard struct {
-	ch       chan Event
-	sessions map[string]*multipath.Session
+	ch       chan queued
+	sessions map[string]*liveSession
 }
 
 // New builds and starts an engine serving the given recognizer.
@@ -138,12 +197,12 @@ func New(rec *eager.Recognizer, opts Options) (*Engine, error) {
 	if opts.QueueDepth == 0 {
 		opts.QueueDepth = DefaultQueueDepth
 	}
-	e := &Engine{opts: opts}
+	e := &Engine{opts: opts, m: newEngineMetrics(opts.Obs)}
 	e.rec.Store(rec)
 	for i := 0; i < opts.Shards; i++ {
 		sh := &shard{
-			ch:       make(chan Event, opts.QueueDepth),
-			sessions: make(map[string]*multipath.Session),
+			ch:       make(chan queued, opts.QueueDepth),
+			sessions: make(map[string]*liveSession),
 		}
 		e.shards = append(e.shards, sh)
 		e.wg.Add(1)
@@ -162,8 +221,12 @@ func (e *Engine) Recognizer() *eager.Recognizer { return e.rec.Load() }
 // a failed retrain can never blank the serving model.
 func (e *Engine) Swap(rec *eager.Recognizer) *eager.Recognizer {
 	if rec == nil {
+		e.m.swapsRejected.Inc()
+		e.m.trace.Emit("swap_rejected", "nil recognizer")
 		return nil
 	}
+	e.m.swaps.Inc()
+	e.m.trace.Emit("swap", "")
 	return e.rec.Swap(rec)
 }
 
@@ -186,11 +249,14 @@ func (e *Engine) Submit(ev Event) error {
 	}
 	sh := e.shardFor(ev.Session)
 	select {
-	case sh.ch <- ev:
+	case sh.ch <- queued{ev: ev, at: obs.Start(e.m.queueWaitNS)}:
 		e.submitted.Add(1)
+		e.m.submitted.Inc()
+		e.m.queueDepth.Observe(float64(len(sh.ch)))
 		return nil
 	default:
 		e.rejected.Add(1)
+		e.m.rejected.Inc()
 		return ErrQueueFull
 	}
 }
@@ -230,8 +296,9 @@ func (e *Engine) Stats() Stats {
 // then drain the in-flight sessions deterministically (ID order).
 func (e *Engine) run(sh *shard) {
 	defer e.wg.Done()
-	for ev := range sh.ch {
-		e.handle(sh, ev)
+	for q := range sh.ch {
+		obs.ObserveSince(e.m.queueWaitNS, q.at)
+		e.handle(sh, q)
 	}
 	ids := make([]string, 0, len(sh.sessions))
 	for id := range sh.sessions {
@@ -239,37 +306,50 @@ func (e *Engine) run(sh *shard) {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		sess := sh.sessions[id]
-		class := sess.Finish()
-		delete(sh.sessions, id)
-		e.active.Add(-1)
-		e.completed.Add(1)
-		if e.opts.OnResult != nil {
-			e.opts.OnResult(Result{Session: id, Class: class})
-		}
+		ls := sh.sessions[id]
+		class := ls.sess.Finish()
+		e.finish(sh, id, ls, class, true)
 	}
 }
 
 // handle applies one event to its session, creating the session on its
 // first FingerDown (with the recognizer snapshot current at that moment)
 // and retiring it when the interaction completes.
-func (e *Engine) handle(sh *shard, ev Event) {
-	sess, ok := sh.sessions[ev.Session]
+func (e *Engine) handle(sh *shard, q queued) {
+	ev := q.ev
+	ls, ok := sh.sessions[ev.Session]
 	if !ok {
 		if ev.Kind != multipath.FingerDown {
 			return // stray move/up for an unknown or already-retired session
 		}
-		sess = multipath.NewSession(e.rec.Load())
-		sh.sessions[ev.Session] = sess
+		ls = &liveSession{sess: multipath.NewSession(e.rec.Load()), start: q.at}
+		sh.sessions[ev.Session] = ls
 		e.active.Add(1)
+		e.m.opened.Inc()
+		e.m.trace.Emit("session_open", ev.Session)
 	}
-	sess.Handle(multipath.Event{Finger: ev.Finger, Kind: ev.Kind, X: ev.X, Y: ev.Y, T: ev.T})
-	if sess.Completed() {
-		delete(sh.sessions, ev.Session)
-		e.active.Add(-1)
-		e.completed.Add(1)
-		if e.opts.OnResult != nil {
-			e.opts.OnResult(Result{Session: ev.Session, Class: sess.Class()})
-		}
+	ls.sess.Handle(multipath.Event{Finger: ev.Finger, Kind: ev.Kind, X: ev.X, Y: ev.Y, T: ev.T})
+	if ls.sess.Completed() {
+		e.finish(sh, ev.Session, ls, ls.sess.Class(), false)
+	}
+}
+
+// finish retires one session from its shard: counters, end-to-end
+// latency (enqueue of the opening event through completion), trace, and
+// the OnResult callback. drained marks sessions force-finished at Close.
+func (e *Engine) finish(sh *shard, id string, ls *liveSession, class string, drained bool) {
+	delete(sh.sessions, id)
+	e.active.Add(-1)
+	e.completed.Add(1)
+	e.m.completed.Inc()
+	obs.ObserveSince(e.m.sessionNS, ls.start)
+	if drained {
+		e.m.drained.Inc()
+		e.m.trace.Emit("session_drained", id)
+	} else {
+		e.m.trace.Emit("session_done", id)
+	}
+	if e.opts.OnResult != nil {
+		e.opts.OnResult(Result{Session: id, Class: class})
 	}
 }
