@@ -1,0 +1,145 @@
+// Command greplay is the deterministic-replay checker for flight
+// recorder bundles: it re-runs a captured gesture's raw points through a
+// saved recognizer and diffs the replayed eager decisions against the
+// recorded ones, point by point. The eager decision sequence is a pure
+// function of the recognizer and the point stream, so a clean replay
+// proves the capture is faithful and the code path deterministic; any
+// divergence — down to a single margin bit — is reported and the command
+// exits nonzero.
+//
+// Two modes:
+//
+//	greplay -record -seed 1 -o flight.json -model model.json
+//	    Run the instrumented demo workload (internal/obsdemo) with a
+//	    keep-everything flight recorder, then save the captured bundles
+//	    and the exact recognizer that produced them.
+//
+//	greplay -bundle flight.json -model model.json [-v]
+//	    Load the dump and the recognizer, replay every bundle, and diff.
+//	    Exit 0 when every bundle replays bit-identically; exit 1 on any
+//	    divergence (or an empty dump — nothing verified is a failure).
+//
+// The two invocations back-to-back are the self-check CI runs: record a
+// deterministic workload, then prove its bundles replay bit-for-bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/eager"
+	"repro/internal/flight"
+	"repro/internal/obsdemo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes greplay with the given arguments; extracted from main for
+// tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("greplay", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	record := flags.Bool("record", false, "record a demo workload instead of replaying")
+	seed := flags.Int64("seed", 1, "demo workload seed (with -record)")
+	out := flags.String("o", "flight.json", "bundle dump to write (with -record)")
+	model := flags.String("model", "", "recognizer JSON file (written with -record, read otherwise)")
+	bundle := flags.String("bundle", "", "bundle dump to replay")
+	verbose := flags.Bool("v", false, "report every bundle, not just divergences")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *model == "" {
+		fmt.Fprintln(stderr, "greplay: -model is required")
+		return 2
+	}
+
+	if *record {
+		if err := doRecord(*seed, *out, *model, stdout); err != nil {
+			fmt.Fprintf(stderr, "greplay: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *bundle == "" {
+		fmt.Fprintln(stderr, "greplay: -bundle is required (or use -record)")
+		return 2
+	}
+	diverged, err := doReplay(*bundle, *model, *verbose, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "greplay: %v\n", err)
+		return 1
+	}
+	if diverged {
+		return 1
+	}
+	return 0
+}
+
+// doRecord runs the demo workload and writes the bundle dump plus the
+// recognizer that produced it.
+func doRecord(seed int64, out, model string, stdout io.Writer) error {
+	rec, recorder, err := obsdemo.Flight(seed)
+	if err != nil {
+		return err
+	}
+	if err := rec.SaveFile(model); err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := recorder.WriteJSON(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	offered, captured := recorder.Stats()
+	fmt.Fprintf(stdout, "greplay: recorded %d/%d gestures (seed %d) -> %s, model -> %s\n",
+		captured, offered, seed, out, model)
+	return nil
+}
+
+// doReplay replays every bundle in the dump against the recognizer and
+// reports divergences. It returns diverged=true when any bundle failed
+// to replay bit-identically, or when the dump held no bundles at all
+// (verifying nothing must not look like success).
+func doReplay(bundle, model string, verbose bool, stdout io.Writer) (diverged bool, err error) {
+	rec, err := eager.LoadFile(model)
+	if err != nil {
+		return false, err
+	}
+	dump, err := flight.ReadDumpFile(bundle)
+	if err != nil {
+		return false, err
+	}
+	if len(dump.Bundles) == 0 {
+		fmt.Fprintf(stdout, "greplay: %s holds no bundles — nothing verified\n", bundle)
+		return true, nil
+	}
+	for _, b := range dump.Bundles {
+		d, err := flight.Replay(rec, b)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", b.Session, err)
+		}
+		if d != nil {
+			diverged = true
+			fmt.Fprintf(stdout, "DIVERGED %s (%d points): %s\n", b.Session, len(b.Points), d)
+		} else if verbose {
+			fmt.Fprintf(stdout, "ok %s (%d points, %d decisions, class %q)\n",
+				b.Session, len(b.Points), len(b.Decisions), b.Outcome.Class)
+		}
+	}
+	if diverged {
+		fmt.Fprintf(stdout, "greplay: divergence detected across %d bundles\n", len(dump.Bundles))
+	} else {
+		fmt.Fprintf(stdout, "greplay: %d bundles replayed bit-identically\n", len(dump.Bundles))
+	}
+	return diverged, nil
+}

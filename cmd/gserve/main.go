@@ -8,20 +8,28 @@
 //
 //	GET  /metrics       obs snapshot as indented JSON (obs.Handler)
 //	GET  /metrics.txt   human-readable report (obs.TextHandler)
-//	GET  /healthz       liveness: "ok"
-//	POST /swap          retrain on a fresh seed and hot-swap the model
-//	                    (serve.Engine.Swap — zero downtime), reporting
-//	                    the swap count as JSON
+//	GET  /healthz       liveness: "ok" (503 once the engine is closed)
+//	POST /swap          retrain and hot-swap the model (serve.Engine.Swap
+//	                    — zero downtime). Optional JSON body {"seed": N}
+//	                    picks the retrain seed; an empty body derives one.
+//	                    Swaps are serialized: a swap arriving while
+//	                    another retrain is running gets 409 Conflict.
+//	GET  /debug/trace   per-gesture span traces in Chrome Trace Event
+//	                    Format — load in Perfetto (ui.perfetto.dev)
+//	GET  /debug/flight  flight-recorder dump: captured gesture bundles as
+//	                    JSON, replayable with cmd/greplay
 //	     /debug/pprof/  the standard net/http/pprof profiles
 //
 // Usage:
 //
 //	gserve [-addr :8089] [-seed 1] [-shards 0] [-traffic 24]
+//	       [-flight-trigger always] [-flight-cap 256]
 //
 // -traffic N replays N synthetic GDP interactions through the engine at
 // startup so /metrics shows populated histograms immediately; -shards 0
-// means GOMAXPROCS. Every run is deterministic for a fixed -seed (see
-// internal/obsdemo).
+// means GOMAXPROCS; -flight-trigger picks which gestures the flight
+// recorder keeps (always, on-error, on-poison, latency-over). Every run
+// is deterministic for a fixed -seed (see internal/obsdemo).
 package main
 
 import (
@@ -33,9 +41,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/eager"
+	"repro/internal/flight"
 	"repro/internal/multipath"
 	"repro/internal/obs"
 	"repro/internal/obsdemo"
@@ -56,11 +67,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := flags.Int64("seed", 1, "training and traffic seed")
 	shards := flags.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
 	traffic := flags.Int("traffic", 24, "synthetic interactions to replay at startup")
+	flightTrigger := flags.String("flight-trigger", "always",
+		"flight recorder trigger: always, on-error, on-poison, latency-over")
+	flightCap := flags.Int("flight-cap", flight.DefaultCapacity, "flight recorder ring capacity")
+	flightLatency := flags.Duration("flight-latency", 10*time.Millisecond,
+		"latency-over trigger threshold")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
 
-	srv, err := newServer(*seed, *shards)
+	trigger, err := flight.ParseTrigger(*flightTrigger)
+	if err != nil {
+		fmt.Fprintf(stderr, "gserve: %v\n", err)
+		return 2
+	}
+	srv, err := newServer(*seed, *shards, flight.Options{
+		Capacity:         *flightCap,
+		Trigger:          trigger,
+		LatencyThreshold: *flightLatency,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "gserve: %v\n", err)
 		return 1
@@ -78,36 +103,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// server bundles the instrumented engine, its registry, and the HTTP
-// mux. Split from run so tests drive the mux with httptest.
+// server bundles the instrumented engine, its registry, the flight
+// recorder, and the HTTP mux. Split from run so tests drive the mux with
+// httptest.
 type server struct {
-	reg    *obs.Registry
-	engine *serve.Engine
-	mux    *http.ServeMux
-	seed   int64
-	swapN  atomic.Int64 // distinct seeds for successive /swap retrains
-	nextID atomic.Int64 // startup-traffic session IDs
+	reg      *obs.Registry
+	engine   *serve.Engine
+	recorder *flight.Recorder
+	mux      *http.ServeMux
+	seed     int64
+	swapMu   sync.Mutex   // serializes /swap retrains; TryLock -> 409
+	swapN    atomic.Int64 // distinct seeds for successive /swap retrains
+	nextID   atomic.Int64 // startup-traffic session IDs
+	closed   atomic.Bool  // set by Close; /healthz turns 503
 }
 
 // newServer trains the initial model (instrumented, via obsdemo.New),
-// starts the engine against the same registry, and wires the mux.
-func newServer(seed int64, shards int) (*server, error) {
+// starts the engine — with span tracing and a flight recorder attached —
+// against the same registry, and wires the mux.
+func newServer(seed int64, shards int, fopts flight.Options) (*server, error) {
 	reg, rec, err := obsdemo.New(seed)
 	if err != nil {
 		return nil, err
 	}
-	engine, err := serve.New(rec, serve.Options{Shards: shards, Obs: reg})
+	recorder := flight.NewRecorder(fopts)
+	engine, err := serve.New(rec, serve.Options{Shards: shards, Obs: reg, Flight: recorder})
 	if err != nil {
 		return nil, err
 	}
-	s := &server{reg: reg, engine: engine, mux: http.NewServeMux(), seed: seed}
+	s := &server{reg: reg, engine: engine, recorder: recorder, mux: http.NewServeMux(), seed: seed}
 
 	s.mux.Handle("/metrics", obs.Handler(reg))
 	s.mux.Handle("/metrics.txt", obs.TextHandler(reg))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.closed.Load() {
+			http.Error(w, "closed", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/swap", s.handleSwap)
+	s.mux.Handle("/debug/trace", obs.ChromeTraceHandler(reg))
+	s.mux.Handle("/debug/flight", flight.Handler(recorder))
 	// Our own mux, so the pprof handlers are mounted explicitly rather
 	// than through the package's DefaultServeMux side effects.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -118,15 +155,51 @@ func newServer(seed int64, shards int) (*server, error) {
 	return s, nil
 }
 
-// handleSwap retrains on a fresh deterministic seed and hot-swaps the
-// engine's model. In-flight sessions finish on the snapshot they started
-// with; the response reports the serve.swaps counter after the swap.
+// Close shuts the engine down (draining in-flight sessions) and flips
+// /healthz to 503 so a load balancer stops routing here. Idempotent.
+func (s *server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	return s.engine.Close()
+}
+
+// swapRequest is the optional /swap JSON body.
+type swapRequest struct {
+	Seed int64 `json:"seed"`
+}
+
+// handleSwap retrains — on the seed from the optional JSON body, or on a
+// fresh deterministic one — and hot-swaps the engine's model. In-flight
+// sessions finish on the snapshot they started with. Retrains are
+// serialized: a /swap arriving while another is still training is
+// refused with 409 Conflict rather than queued, so concurrent callers
+// can't stack unbounded training work; the engine-level Swap itself
+// stays atomic either way.
 func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	newSeed := s.seed + 1000 + s.swapN.Add(1)
+	if body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16)); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	} else if len(body) > 0 {
+		var req swapRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, fmt.Sprintf("bad /swap body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if req.Seed != 0 {
+			newSeed = req.Seed
+		}
+	}
+	if !s.swapMu.TryLock() {
+		http.Error(w, "swap already in progress", http.StatusConflict)
+		return
+	}
+	defer s.swapMu.Unlock()
 	gen := synth.NewGenerator(synth.DefaultParams(newSeed))
 	set, _ := gen.Set("gdp-retrain", synth.GDPClasses(), obsdemo.TrainExamples)
 	opts := eager.DefaultOptions()

@@ -4,23 +4,46 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/flight"
 	"repro/internal/obs"
 )
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	srv, err := newServer(1, 2)
+	srv, err := newServer(1, 2, flight.Options{Capacity: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = srv.engine.Close() })
+	t.Cleanup(func() { _ = srv.Close() })
 	if err := srv.playTraffic(6); err != nil {
 		t.Fatal(err)
 	}
 	return srv
+}
+
+// waitIdle blocks until the engine has finished every in-flight session
+// — shards consume queues asynchronously, so tests that inspect
+// per-session artifacts (spans, flight bundles) must wait for completion
+// first.
+func waitIdle(t *testing.T, srv *server, completed int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.engine.Stats()
+		if st.Active == 0 && st.Completed >= completed {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine never drained: %+v", st)
+		}
+		runtime.Gosched()
+	}
 }
 
 func get(t *testing.T, srv *server, path string) *httptest.ResponseRecorder {
@@ -113,5 +136,146 @@ func TestPprofIndex(t *testing.T) {
 	rr := get(t, srv, "/debug/pprof/")
 	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "goroutine") {
 		t.Fatalf("GET /debug/pprof/ = %d", rr.Code)
+	}
+}
+
+func TestSwapConflict(t *testing.T) {
+	srv := testServer(t)
+	// Hold the swap lock as a stand-in for a retrain in progress; a /swap
+	// arriving meanwhile must be refused, not queued.
+	srv.swapMu.Lock()
+	rr := httptest.NewRecorder()
+	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/swap", nil))
+	srv.swapMu.Unlock()
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("POST /swap during swap = %d, want 409", rr.Code)
+	}
+
+	// With the lock free again the endpoint works.
+	rr = httptest.NewRecorder()
+	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/swap", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("POST /swap after conflict = %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+func TestSwapMalformedBody(t *testing.T) {
+	srv := testServer(t)
+	rr := httptest.NewRecorder()
+	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/swap", strings.NewReader("{not json")))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("POST /swap with bad body = %d, want 400", rr.Code)
+	}
+}
+
+func TestSwapSeedBody(t *testing.T) {
+	srv := testServer(t)
+	rr := httptest.NewRecorder()
+	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/swap", strings.NewReader(`{"seed": 4242}`)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("POST /swap with seed body = %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp struct {
+		Seed int64 `json:"seed"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seed != 4242 {
+		t.Errorf("swap used seed %d, want the requested 4242", resp.Seed)
+	}
+}
+
+// TestMetricsDuringSwap scrapes /metrics concurrently with /swap
+// retrains — the race detector referees the snapshot-during-publication
+// path.
+func TestMetricsDuringSwap(t *testing.T) {
+	srv := testServer(t)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			rr := httptest.NewRecorder()
+			srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/swap", nil))
+			if rr.Code != http.StatusOK && rr.Code != http.StatusConflict {
+				t.Errorf("POST /swap = %d", rr.Code)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			rr := httptest.NewRecorder()
+			srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+			if rr.Code != http.StatusOK {
+				t.Errorf("GET /metrics during swap = %d", rr.Code)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestHealthzAfterClose(t *testing.T) {
+	srv := testServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if rr := get(t, srv, "/healthz"); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz after Close = %d, want 503", rr.Code)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	srv := testServer(t)
+	waitIdle(t, srv, 6)
+	rr := get(t, srv, "/debug/trace")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /debug/trace = %d", rr.Code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("trace body is not Chrome Trace JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"gesture", "queue_wait", "dispatch", "decide"} {
+		if !names[want] {
+			t.Errorf("trace missing %q spans (have %v)", want, names)
+		}
+	}
+}
+
+func TestDebugFlightEndpoint(t *testing.T) {
+	srv := testServer(t)
+	waitIdle(t, srv, 6)
+	rr := get(t, srv, "/debug/flight")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /debug/flight = %d", rr.Code)
+	}
+	dump, err := flight.ReadDump(rr.Body)
+	if err != nil {
+		t.Fatalf("flight body is not a dump: %v", err)
+	}
+	if len(dump.Bundles) == 0 {
+		t.Fatal("flight dump holds no bundles after startup traffic")
+	}
+	for _, b := range dump.Bundles {
+		if len(b.Points) == 0 || len(b.Decisions) == 0 {
+			t.Errorf("bundle %s empty: %d points, %d decisions", b.Session, len(b.Points), len(b.Decisions))
+		}
 	}
 }

@@ -80,6 +80,46 @@ func (r *Recognizer) Classify(g gesture.Gesture) (string, error) {
 	return r.Full.Classify(g)
 }
 
+// Decision is the outcome of one eager step, as reported to a Tap: which
+// point it was, whether D fired, the class (when fired or at End), the
+// AUC's ambiguity margin at that point, and the error text of a poisoned
+// step. The sequence of Decisions is a pure function of the recognizer
+// and the point stream, which is what makes flight-recorder bundles
+// replayable bit-for-bit (see internal/flight and cmd/greplay).
+type Decision struct {
+	// Index is the 1-based count of points seen when the decision was
+	// made (for Kind "end", the full point count).
+	Index int
+	// Kind is "add" for a per-point decision, "end" for the mouse-up
+	// classification.
+	Kind string
+	// Fired reports that D judged the prefix unambiguous on this step.
+	Fired bool
+	// Class is the recognized class: set when Fired, and on an "end"
+	// decision when classification succeeded.
+	Class string
+	// Margin is the AUC score gap best-complete minus best-incomplete at
+	// this point (positive means D fires, modulo agreement gating); 0
+	// when no scores were computed (short prefix, poisoned stroke, or no
+	// tap/span attached).
+	Margin float64
+	// Err is the error text of a poisoned step, "" otherwise.
+	Err string
+}
+
+// Tap observes a session's raw inputs and decisions as they happen — the
+// flight recorder's capture hook. Implementations must be cheap: they
+// run inline on the per-point path. A Tap is called from the session's
+// single owning goroutine only.
+type Tap interface {
+	// TapPoint is called once per Add with the raw input point, before
+	// the decision for that point is reported.
+	TapPoint(p geom.TimedPoint)
+	// TapDecision is called once per Add (Kind "add") and once per
+	// first End (Kind "end").
+	TapDecision(d Decision)
+}
+
 // Session consumes one gesture's points as they arrive, implementing the
 // paper's eager-recognition loop: "Each time a new mouse point arrives it
 // is appended to the gesture being collected, and D is applied ... Once D
@@ -100,6 +140,12 @@ type Session struct {
 	m         sessionMetrics
 	decidedAt int  // point count when D fired eagerly; 0 otherwise
 	noted     bool // poisoned-stroke counted (once per stroke, not per Add)
+	// Tracing and capture, attached per session via SetSpan/SetTap; both
+	// nil by default (disabled, sub-5ns no-op calls).
+	span       *obs.Span
+	tap        Tap
+	lastMargin float64 // AUC margin computed on the last add, for spans/taps
+	lastBest   string  // AUC's best class name on the last add
 }
 
 // NewSession starts a streaming recognition session. It fails only when
@@ -120,6 +166,23 @@ func (r *Recognizer) NewSession() (*Session, error) {
 	}, nil
 }
 
+// SetSpan attaches a parent trace span: every subsequent Add records a
+// "decide" child span (with per-point attributes: point index, the AUC's
+// best class and ambiguity margin, the class on commit, the error text
+// of a poisoned step) plus "auc_score"/"full_score" sub-spans around the
+// classifier evaluations, and commit/reset/poisoned instants. A nil span
+// (the default) disables tracing at sub-5ns cost per call site.
+//
+// Concurrency contract: like the session itself, SetSpan is
+// single-goroutine — call it before the first Add. serve.Engine calls it
+// with each gesture's root span when the engine is instrumented.
+func (s *Session) SetSpan(parent *obs.Span) { s.span = parent }
+
+// SetTap attaches a decision tap — the flight recorder's capture hook
+// (flight.Capture implements Tap). A nil tap (the default) disables
+// capture. Single-goroutine; call before the first Add.
+func (s *Session) SetTap(t Tap) { s.tap = t }
+
 // Add feeds one mouse point. It returns fired=true the first time the
 // gesture becomes unambiguous, along with the recognized class. After the
 // session has decided, further Adds still accumulate points (harmless) but
@@ -132,25 +195,56 @@ func (r *Recognizer) NewSession() (*Session, error) {
 // When the recognizer is instrumented (see Recognizer.Instrument), each
 // Add observes its own latency into eager.decide_ns — the paper's
 // per-mouse-point cost, measured as a distribution — and the first error
-// of a stroke counts into eager.session.poisoned.
+// of a stroke counts into eager.session.poisoned. When a span or tap is
+// attached (SetSpan/SetTap), each Add additionally records a "decide"
+// span and reports a Decision.
 func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
 	start := obs.Start(s.m.decideNS)
-	fired, class, err = s.add(p)
+	sp := s.span.Child("decide")
+	s.lastMargin, s.lastBest = 0, ""
+	fired, class, err = s.add(p, sp)
 	obs.ObserveSince(s.m.decideNS, start)
 	if err != nil {
 		if !s.noted {
 			s.noted = true
 			s.m.poisoned.Inc()
+			s.span.Event("poisoned", err.Error())
 		}
 	} else if fired {
 		s.decidedAt = len(s.points)
 		s.m.firedEager.Inc()
+		s.span.Event("commit", class)
+	}
+	sp.SetAttrInt("point", int64(len(s.points)))
+	if s.lastBest != "" {
+		sp.SetAttr("best", s.lastBest)
+		sp.SetAttrFloat("margin", s.lastMargin)
+	}
+	if fired {
+		sp.SetAttr("class", class)
+	}
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	if s.tap != nil {
+		s.tap.TapPoint(p)
+		s.tap.TapDecision(Decision{
+			Index:  len(s.points),
+			Kind:   "add",
+			Fired:  fired,
+			Class:  class,
+			Margin: s.lastMargin,
+			Err:    errText(err),
+		})
 	}
 	return fired, class, err
 }
 
-// add is the uninstrumented body of Add.
-func (s *Session) add(p geom.TimedPoint) (fired bool, class string, err error) {
+// add is the uninstrumented body of Add. sp is the per-point decide span
+// (nil when tracing is off); sub-spans for the classifier evaluations
+// hang off it.
+func (s *Session) add(p geom.TimedPoint, sp *obs.Span) (fired bool, class string, err error) {
 	s.points = append(s.points, p)
 	s.ext.Add(p)
 	if s.decided || len(s.points) < s.r.Opts.MinSubgesture {
@@ -160,14 +254,29 @@ func (s *Session) add(p geom.TimedPoint) (fired bool, class string, err error) {
 	if err != nil {
 		return false, "", err
 	}
+	aucSp := sp.Child("auc_score")
 	name, _, err := s.r.AUC.ClassifyInto(f, s.aucBuf)
+	aucSp.End()
 	if err != nil {
 		return false, "", err
+	}
+	if s.span != nil || s.tap != nil {
+		// The running ambiguity margin: best complete minus best
+		// incomplete AUC score. Positive means D fires (modulo agreement
+		// gating). Computed only when someone is listening — replay
+		// attaches a tap, so recorded and replayed margins come from the
+		// same code path and compare bit-identically.
+		if bestC, bestI := bestCompleteIncomplete(s.r.AUC, s.aucBuf); bestC >= 0 && bestI >= 0 {
+			s.lastMargin = s.aucBuf[bestC] - s.aucBuf[bestI]
+		}
+		s.lastBest = name
 	}
 	if !IsCompleteSet(name) {
 		return false, "", nil
 	}
+	fullSp := sp.Child("full_score")
 	class, _, err = s.r.Full.C.ClassifyInto(f, s.fullBuf)
+	fullSp.End()
 	if err != nil {
 		return false, "", err
 	}
@@ -180,6 +289,14 @@ func (s *Session) add(p geom.TimedPoint) (fired bool, class string, err error) {
 	s.decided = true
 	s.class = class
 	return true, s.class, nil
+}
+
+// errText renders an error for Decision.Err ("" when nil).
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // Reset returns the session to its initial empty state so it can collect
@@ -196,6 +313,7 @@ func (s *Session) Reset() {
 	s.decidedAt = 0
 	s.noted = false
 	s.m.resets.Inc()
+	s.span.Event("reset", "")
 }
 
 // Decided reports whether the session has already fired.
@@ -218,13 +336,24 @@ func (s *Session) Gesture() gesture.Gesture { return gesture.New(s.points) }
 // gesture).
 func (s *Session) End() (string, error) {
 	if !s.decided {
+		sp := s.span.Child("classify")
 		class, err := s.r.Classify(s.Gesture())
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
+			if s.tap != nil {
+				s.tap.TapDecision(Decision{Index: len(s.points), Kind: "end", Err: err.Error()})
+			}
 			return "", err
 		}
+		sp.SetAttr("class", class)
+		sp.End()
 		s.class = class
 		s.decided = true
 		s.m.firedEnd.Inc()
+		if s.tap != nil {
+			s.tap.TapDecision(Decision{Index: len(s.points), Kind: "end", Class: class})
+		}
 	}
 	return s.class, nil
 }

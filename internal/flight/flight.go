@@ -1,0 +1,402 @@
+// Package flight is the gesture flight recorder: a bounded ring of
+// per-gesture capture bundles — the raw (x, y, t) input points, every
+// eager decision made while the gesture streamed in, and the final
+// outcome — with trigger policies selecting which gestures to keep
+// (always, errors only, poisoned strokes only, or tail-latency
+// outliers).
+//
+// A bundle is the capture-and-replay unit real inference stacks use for
+// debugging: because the eager decision sequence is a pure function of
+// the recognizer and the point stream, re-running a bundle's points
+// through the same saved recognizer must reproduce the recorded
+// decisions bit-for-bit. Replay (and cmd/greplay on top of it) checks
+// exactly that, point by point, so a divergence localizes the bug — a
+// nondeterministic code path, a model mismatch, or a corrupted capture.
+//
+// Wiring: serve.Options.Flight attaches a Recorder to an engine; the
+// engine creates one Capture per gesture, taps it into the eager stream
+// (Capture implements eager.Tap), and Offers the finished bundle on
+// completion. cmd/gserve dumps the ring at /debug/flight; Engine.Close
+// dumps it to serve.Options.FlightDump.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/eager"
+	"repro/internal/geom"
+)
+
+// BundleSchema versions the bundle JSON layout (and the dump document
+// wrapping it). Bump on renamed/removed/retyped fields; additions are
+// allowed within a version.
+const BundleSchema = 1
+
+// Point is one raw input sample, the replayable unit of a capture.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	T float64 `json:"t"`
+}
+
+// Decision mirrors eager.Decision with JSON tags — one recorded eager
+// step. See eager.Decision for field semantics.
+type Decision struct {
+	Index  int     `json:"index"`
+	Kind   string  `json:"kind"`
+	Fired  bool    `json:"fired"`
+	Class  string  `json:"class,omitempty"`
+	Margin float64 `json:"margin"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// Outcome is the final result of one captured gesture.
+type Outcome struct {
+	// Class is the recognized class ("" marks a rejected stroke).
+	Class string `json:"class"`
+	// FiredEager reports that the decision fired mid-stroke.
+	FiredEager bool `json:"fired_eager"`
+	// Poisoned reports that some step errored (a non-finite point).
+	Poisoned bool `json:"poisoned"`
+	// Drained reports that the session was force-finished at Close.
+	Drained bool `json:"drained"`
+	// LatencyNS is the end-to-end session latency in nanoseconds (0 when
+	// the serving layer did not time the session).
+	LatencyNS int64 `json:"latency_ns"`
+}
+
+// Bundle is one gesture's capture: everything needed to re-run it.
+type Bundle struct {
+	Schema    int        `json:"schema"`
+	Session   string     `json:"session"`
+	Trigger   string     `json:"trigger,omitempty"` // policy that kept it
+	Points    []Point    `json:"points"`
+	Decisions []Decision `json:"decisions"`
+	Outcome   Outcome    `json:"outcome"`
+}
+
+// Capture accumulates one in-flight gesture's bundle. It implements
+// eager.Tap, so attaching it via (*eager.Session).SetTap (or
+// multipath.Session.SetTap) records every point and decision as they
+// happen. A Capture is single-goroutine, like the session it taps.
+type Capture struct {
+	session   string
+	points    []Point
+	decisions []Decision
+	poisoned  bool
+}
+
+// NewCapture starts an empty capture for the named session.
+func NewCapture(session string) *Capture {
+	return &Capture{session: session}
+}
+
+// TapPoint implements eager.Tap: records one raw input point.
+func (c *Capture) TapPoint(p geom.TimedPoint) {
+	c.points = append(c.points, Point{X: p.X, Y: p.Y, T: p.T})
+}
+
+// TapDecision implements eager.Tap: records one eager decision.
+func (c *Capture) TapDecision(d eager.Decision) {
+	c.decisions = append(c.decisions, Decision{
+		Index:  d.Index,
+		Kind:   d.Kind,
+		Fired:  d.Fired,
+		Class:  d.Class,
+		Margin: d.Margin,
+		Err:    d.Err,
+	})
+	if d.Err != "" {
+		c.poisoned = true
+	}
+}
+
+// Len returns the number of captured points.
+func (c *Capture) Len() int { return len(c.points) }
+
+// Decisions returns the recorded decision sequence (not a copy; treat as
+// read-only).
+func (c *Capture) Decisions() []Decision { return c.decisions }
+
+// Bundle seals the capture into a Bundle with the given outcome.
+// FiredEager and Poisoned are derived from the recorded decisions; the
+// caller supplies the serving-layer facts (class, drained, latency).
+func (c *Capture) Bundle(class string, drained bool, latency time.Duration) *Bundle {
+	fired := false
+	for i := range c.decisions {
+		if c.decisions[i].Fired {
+			fired = true
+			break
+		}
+	}
+	return &Bundle{
+		Schema:    BundleSchema,
+		Session:   c.session,
+		Points:    c.points,
+		Decisions: c.decisions,
+		Outcome: Outcome{
+			Class:      class,
+			FiredEager: fired,
+			Poisoned:   c.poisoned,
+			Drained:    drained,
+			LatencyNS:  latency.Nanoseconds(),
+		},
+	}
+}
+
+// Trigger selects which finished gestures a Recorder keeps.
+type Trigger int
+
+// Trigger policies.
+const (
+	// TriggerAlways keeps every offered bundle.
+	TriggerAlways Trigger = iota
+	// TriggerOnError keeps rejected gestures (outcome class "") and
+	// poisoned strokes.
+	TriggerOnError
+	// TriggerOnPoison keeps only poisoned strokes.
+	TriggerOnPoison
+	// TriggerLatencyOver keeps gestures whose end-to-end latency exceeds
+	// Options.LatencyThreshold (requires a serving layer that times
+	// sessions, i.e. serve with Options.Obs or Options.Flight set).
+	TriggerLatencyOver
+)
+
+// String names the trigger policy ("always", "on-error", "on-poison",
+// "latency-over"); unknown values render as "trigger(N)".
+func (t Trigger) String() string {
+	switch t {
+	case TriggerAlways:
+		return "always"
+	case TriggerOnError:
+		return "on-error"
+	case TriggerOnPoison:
+		return "on-poison"
+	case TriggerLatencyOver:
+		return "latency-over"
+	}
+	return fmt.Sprintf("trigger(%d)", int(t))
+}
+
+// ParseTrigger maps a policy name (as produced by Trigger.String) back
+// to its Trigger; the error lists the valid names.
+func ParseTrigger(name string) (Trigger, error) {
+	for _, t := range []Trigger{TriggerAlways, TriggerOnError, TriggerOnPoison, TriggerLatencyOver} {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("flight: unknown trigger %q (want always, on-error, on-poison, or latency-over)", name)
+}
+
+// DefaultCapacity is the recorder ring capacity used when Options.Capacity
+// is 0.
+const DefaultCapacity = 256
+
+// Options configures a Recorder.
+type Options struct {
+	// Capacity bounds the ring; 0 means DefaultCapacity. The oldest kept
+	// bundle is evicted when full.
+	Capacity int
+	// Trigger selects which finished gestures are kept.
+	Trigger Trigger
+	// LatencyThreshold is the TriggerLatencyOver cutoff.
+	LatencyThreshold time.Duration
+}
+
+// Recorder is the bounded bundle ring. All methods are safe for
+// concurrent use (a mutex guards the ring — capture happens once per
+// gesture, not per point, so this is off the per-point hot path) and
+// no-ops on a nil receiver, so an engine without a recorder pays only
+// nil checks.
+type Recorder struct {
+	mu       sync.Mutex
+	opts     Options
+	ring     []*Bundle
+	start    int // index of the oldest bundle
+	count    int
+	offered  uint64
+	captured uint64
+}
+
+// NewRecorder builds a recorder with the given options.
+func NewRecorder(opts Options) *Recorder {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	return &Recorder{opts: opts, ring: make([]*Bundle, opts.Capacity)}
+}
+
+// Trigger returns the recorder's policy (TriggerAlways on nil).
+func (r *Recorder) Trigger() Trigger {
+	if r == nil {
+		return TriggerAlways
+	}
+	return r.opts.Trigger
+}
+
+// Offer presents a finished bundle; the trigger policy decides whether
+// it is kept (reported by the return value). Empty bundles (no points)
+// are never kept — they carry nothing to replay. No-op on a nil
+// receiver or nil bundle.
+func (r *Recorder) Offer(b *Bundle) bool {
+	if r == nil || b == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.offered++
+	if len(b.Points) == 0 || !r.wants(b) {
+		return false
+	}
+	b.Trigger = r.opts.Trigger.String()
+	if r.count == len(r.ring) {
+		r.ring[r.start] = b
+		r.start = (r.start + 1) % len(r.ring)
+	} else {
+		r.ring[(r.start+r.count)%len(r.ring)] = b
+		r.count++
+	}
+	r.captured++
+	return true
+}
+
+// wants applies the trigger policy. Caller holds the mutex.
+func (r *Recorder) wants(b *Bundle) bool {
+	switch r.opts.Trigger {
+	case TriggerOnError:
+		return b.Outcome.Class == "" || b.Outcome.Poisoned
+	case TriggerOnPoison:
+		return b.Outcome.Poisoned
+	case TriggerLatencyOver:
+		return b.Outcome.LatencyNS > r.opts.LatencyThreshold.Nanoseconds()
+	}
+	return true // TriggerAlways (and unknown values degrade to keep-all)
+}
+
+// Stats reports how many bundles were offered and how many the policy
+// kept (including since-evicted ones). Zeroes on a nil receiver.
+func (r *Recorder) Stats() (offered, captured uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.offered, r.captured
+}
+
+// Bundles returns the kept bundles, oldest first. The slice is fresh but
+// the bundles are shared; treat them as immutable. Nil on a nil
+// receiver.
+func (r *Recorder) Bundles() []*Bundle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Bundle, 0, r.count)
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.ring[(r.start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Dump is the JSON document WriteJSON emits and ReadDump parses: the
+// schema, the recorder's policy, and the kept bundles sorted by session
+// ID (capture order is completion order, which is scheduling-dependent;
+// sorting keeps dumps of a deterministic workload diffable).
+type Dump struct {
+	Schema  int       `json:"schema"`
+	Trigger string    `json:"trigger"`
+	Bundles []*Bundle `json:"bundles"`
+}
+
+// WriteJSON writes the recorder's current bundles as an indented Dump
+// document. Safe on a nil receiver (writes an empty dump).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	bundles := r.Bundles()
+	if bundles == nil {
+		bundles = []*Bundle{}
+	}
+	sort.SliceStable(bundles, func(i, j int) bool { return bundles[i].Session < bundles[j].Session })
+	doc := Dump{Schema: BundleSchema, Trigger: r.Trigger().String(), Bundles: bundles}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("flight: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadDump parses a Dump document, validating the schema and that every
+// bundle has a decision per point.
+func ReadDump(rd io.Reader) (*Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(rd).Decode(&d); err != nil {
+		return nil, fmt.Errorf("flight: decode: %w", err)
+	}
+	if d.Schema != BundleSchema {
+		return nil, fmt.Errorf("flight: dump schema %d, this build reads %d", d.Schema, BundleSchema)
+	}
+	for i, b := range d.Bundles {
+		if b == nil {
+			return nil, fmt.Errorf("flight: bundle %d is null", i)
+		}
+		if err := b.Validate(); err != nil {
+			return nil, fmt.Errorf("flight: bundle %d (%s): %w", i, b.Session, err)
+		}
+	}
+	return &d, nil
+}
+
+// ReadDumpFile reads a Dump document from the named file.
+func ReadDumpFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	defer f.Close()
+	return ReadDump(f)
+}
+
+// Validate checks the bundle's internal consistency: one "add" decision
+// per point, in order, with any "end" decisions trailing.
+func (b *Bundle) Validate() error {
+	adds := 0
+	for i, d := range b.Decisions {
+		switch d.Kind {
+		case "add":
+			adds++
+			if d.Index != adds {
+				return fmt.Errorf("decision %d: add index %d, want %d", i, d.Index, adds)
+			}
+		case "end":
+			if d.Index != len(b.Points) {
+				return fmt.Errorf("decision %d: end index %d, want point count %d", i, d.Index, len(b.Points))
+			}
+		default:
+			return fmt.Errorf("decision %d: unknown kind %q", i, d.Kind)
+		}
+	}
+	if adds != len(b.Points) {
+		return fmt.Errorf("%d points but %d add decisions", len(b.Points), adds)
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the recorder's current dump —
+// cmd/gserve mounts it at /debug/flight. Safe with a nil recorder.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// Encoding errors mean the client went away; nothing to do.
+		_ = r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,211 @@
+package flight_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/eager"
+	"repro/internal/flight"
+	"repro/internal/geom"
+)
+
+// mkBundle builds a minimal valid bundle via the Capture path.
+func mkBundle(session string, points int, poisoned bool, class string, latency time.Duration) *flight.Bundle {
+	c := flight.NewCapture(session)
+	for i := 0; i < points; i++ {
+		c.TapPoint(geom.TimedPoint{X: float64(i), Y: 0, T: float64(i)})
+		d := eager.Decision{Index: i + 1, Kind: "add"}
+		if poisoned && i == points-1 {
+			d.Err = "poisoned"
+		}
+		c.TapDecision(d)
+	}
+	return c.Bundle(class, false, latency)
+}
+
+func TestTriggerString(t *testing.T) {
+	for _, c := range []struct {
+		tr   flight.Trigger
+		want string
+	}{
+		{flight.TriggerAlways, "always"},
+		{flight.TriggerOnError, "on-error"},
+		{flight.TriggerOnPoison, "on-poison"},
+		{flight.TriggerLatencyOver, "latency-over"},
+	} {
+		if got := c.tr.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int(c.tr), got, c.want)
+		}
+		back, err := flight.ParseTrigger(c.want)
+		if err != nil || back != c.tr {
+			t.Errorf("ParseTrigger(%q) = %v, %v", c.want, back, err)
+		}
+	}
+	if _, err := flight.ParseTrigger("nope"); err == nil {
+		t.Error("ParseTrigger accepted an unknown name")
+	}
+}
+
+func TestTriggerPolicies(t *testing.T) {
+	ok := mkBundle("ok", 3, false, "circle", time.Millisecond)
+	rejected := mkBundle("rej", 3, false, "", time.Millisecond)
+	poisoned := mkBundle("poi", 3, true, "", time.Millisecond)
+	slow := mkBundle("slow", 3, false, "circle", 50*time.Millisecond)
+	empty := flight.NewCapture("empty").Bundle("circle", false, time.Millisecond)
+
+	cases := []struct {
+		name string
+		opts flight.Options
+		want map[string]bool
+	}{
+		{"always", flight.Options{Trigger: flight.TriggerAlways},
+			map[string]bool{"ok": true, "rej": true, "poi": true, "slow": true, "empty": false}},
+		{"on-error", flight.Options{Trigger: flight.TriggerOnError},
+			map[string]bool{"ok": false, "rej": true, "poi": true, "slow": false}},
+		{"on-poison", flight.Options{Trigger: flight.TriggerOnPoison},
+			map[string]bool{"ok": false, "rej": false, "poi": true, "slow": false}},
+		{"latency-over", flight.Options{Trigger: flight.TriggerLatencyOver, LatencyThreshold: 10 * time.Millisecond},
+			map[string]bool{"ok": false, "rej": false, "poi": false, "slow": true}},
+	}
+	bundles := map[string]*flight.Bundle{"ok": ok, "rej": rejected, "poi": poisoned, "slow": slow, "empty": empty}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := flight.NewRecorder(c.opts)
+			for id, want := range c.want {
+				// Offer mutates Bundle.Trigger; copy so cases stay independent.
+				b := *bundles[id]
+				if got := r.Offer(&b); got != want {
+					t.Errorf("%s: Offer(%s) = %v, want %v", c.name, id, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRecorderRingEvictsOldest(t *testing.T) {
+	r := flight.NewRecorder(flight.Options{Capacity: 2})
+	for _, id := range []string{"a", "b", "c"} {
+		r.Offer(mkBundle(id, 1, false, "x", 0))
+	}
+	got := r.Bundles()
+	if len(got) != 2 || got[0].Session != "b" || got[1].Session != "c" {
+		t.Fatalf("ring = %v", got)
+	}
+	offered, captured := r.Stats()
+	if offered != 3 || captured != 3 {
+		t.Errorf("Stats = %d, %d, want 3, 3", offered, captured)
+	}
+}
+
+func TestRecorderNilSafety(t *testing.T) {
+	var r *flight.Recorder
+	if r.Offer(mkBundle("x", 1, false, "", 0)) {
+		t.Error("nil recorder kept a bundle")
+	}
+	if r.Bundles() != nil {
+		t.Error("nil recorder returned bundles")
+	}
+	if o, c := r.Stats(); o != 0 || c != 0 {
+		t.Error("nil recorder stats nonzero")
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := flight.ReadDump(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("nil-recorder dump unreadable: %v", err)
+	}
+	if len(dump.Bundles) != 0 {
+		t.Error("nil-recorder dump not empty")
+	}
+}
+
+// TestRecorderConcurrentOffer drives Offer/Bundles/WriteJSON from many
+// goroutines; the race detector referees.
+func TestRecorderConcurrentOffer(t *testing.T) {
+	r := flight.NewRecorder(flight.Options{Capacity: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Offer(mkBundle("s", 2, i%3 == 0, "c", time.Duration(i)))
+				if i%10 == 0 {
+					_ = r.Bundles()
+					var sb strings.Builder
+					_ = r.WriteJSON(&sb)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if o, c := r.Stats(); o != 800 || c != 800 {
+		t.Errorf("Stats = %d, %d, want 800, 800", o, c)
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	r := flight.NewRecorder(flight.Options{Capacity: 8, Trigger: flight.TriggerAlways})
+	r.Offer(mkBundle("b", 3, false, "line", 2*time.Millisecond))
+	r.Offer(mkBundle("a", 2, true, "", time.Millisecond))
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := flight.ReadDump(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Schema != flight.BundleSchema || dump.Trigger != "always" {
+		t.Errorf("dump header = %+v", dump)
+	}
+	if len(dump.Bundles) != 2 || dump.Bundles[0].Session != "a" || dump.Bundles[1].Session != "b" {
+		t.Fatalf("bundles not sorted by session: %v", dump.Bundles)
+	}
+	b := dump.Bundles[0]
+	if !b.Outcome.Poisoned || b.Outcome.LatencyNS != time.Millisecond.Nanoseconds() {
+		t.Errorf("outcome = %+v", b.Outcome)
+	}
+	if b.Trigger != "always" {
+		t.Errorf("bundle trigger = %q", b.Trigger)
+	}
+
+	// Schema and validation failures must be loud.
+	if _, err := flight.ReadDump(strings.NewReader(`{"schema": 99, "bundles": []}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	bad := `{"schema": 1, "bundles": [{"schema":1,"session":"x","points":[{"x":0,"y":0,"t":0}],"decisions":[],"outcome":{}}]}`
+	if _, err := flight.ReadDump(strings.NewReader(bad)); err == nil {
+		t.Error("bundle with missing decisions accepted")
+	}
+}
+
+func TestBundleValidate(t *testing.T) {
+	good := mkBundle("g", 2, false, "x", 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*flight.Bundle)
+	}{
+		{"bad add index", func(b *flight.Bundle) { b.Decisions[0].Index = 7 }},
+		{"unknown kind", func(b *flight.Bundle) { b.Decisions[1].Kind = "weird" }},
+		{"end index mismatch", func(b *flight.Bundle) {
+			b.Decisions = append(b.Decisions, flight.Decision{Index: 99, Kind: "end"})
+		}},
+		{"missing add", func(b *flight.Bundle) { b.Decisions = b.Decisions[:1] }},
+	}
+	for _, c := range cases {
+		b := *good
+		b.Decisions = append([]flight.Decision(nil), good.Decisions...)
+		c.mutate(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: Validate passed", c.name)
+		}
+	}
+}

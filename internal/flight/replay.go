@@ -1,0 +1,98 @@
+package flight
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eager"
+	"repro/internal/geom"
+)
+
+// Divergence describes the first point at which a replay disagreed with
+// the recorded decision sequence.
+type Divergence struct {
+	// Index is the position in the decision sequence (0-based).
+	Index int
+	// Field names the first differing field ("count", "kind", "fired",
+	// "class", "margin", or "err").
+	Field string
+	// Recorded and Replayed render the differing values.
+	Recorded string
+	Replayed string
+}
+
+// String formats the divergence for diagnostics.
+func (d *Divergence) String() string {
+	return fmt.Sprintf("decision %d: %s recorded %s, replayed %s",
+		d.Index, d.Field, d.Recorded, d.Replayed)
+}
+
+// Replay re-runs a bundle's points through a fresh session of the given
+// recognizer and compares the decisions it makes against the recorded
+// ones, field by field. Margins are compared bit-for-bit
+// (math.Float64bits): the eager decision sequence is a pure function of
+// the recognizer and the point stream, so any difference — however
+// small — means the model or the code changed since capture.
+//
+// Returns (nil, nil) when the replay matches exactly, a non-nil
+// Divergence when it does not, and an error when the bundle is invalid
+// or the session cannot be created.
+func Replay(rec *eager.Recognizer, b *Bundle) (*Divergence, error) {
+	if b == nil {
+		return nil, fmt.Errorf("flight: replay: nil bundle")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("flight: replay: %w", err)
+	}
+	sess, err := rec.NewSession()
+	if err != nil {
+		return nil, fmt.Errorf("flight: replay: %w", err)
+	}
+	// A fresh Capture taps the replay session exactly as the recording
+	// tap did, so margin computation runs on the same code path in both.
+	tap := NewCapture(b.Session)
+	sess.SetTap(tap)
+	for _, p := range b.Points {
+		// Decisions flow through the tap; returned values are part of them.
+		_, _, _ = sess.Add(geom.TimedPoint{X: p.X, Y: p.Y, T: p.T})
+	}
+	for _, d := range b.Decisions {
+		if d.Kind == "end" {
+			_, _ = sess.End()
+			break // End is one-shot; a second call records nothing.
+		}
+	}
+	return diffDecisions(b.Decisions, tap.Decisions()), nil
+}
+
+// diffDecisions compares two decision sequences and returns the first
+// divergence, or nil when identical.
+func diffDecisions(recorded, replayed []Decision) *Divergence {
+	n := len(recorded)
+	if len(replayed) < n {
+		n = len(replayed)
+	}
+	for i := 0; i < n; i++ {
+		a, b := recorded[i], replayed[i]
+		switch {
+		case a.Kind != b.Kind:
+			return &Divergence{i, "kind", a.Kind, b.Kind}
+		case a.Index != b.Index:
+			return &Divergence{i, "index", fmt.Sprint(a.Index), fmt.Sprint(b.Index)}
+		case a.Fired != b.Fired:
+			return &Divergence{i, "fired", fmt.Sprint(a.Fired), fmt.Sprint(b.Fired)}
+		case a.Class != b.Class:
+			return &Divergence{i, "class", fmt.Sprintf("%q", a.Class), fmt.Sprintf("%q", b.Class)}
+		case math.Float64bits(a.Margin) != math.Float64bits(b.Margin):
+			return &Divergence{i, "margin", fmt.Sprintf("%x", a.Margin), fmt.Sprintf("%x", b.Margin)}
+		case a.Err != b.Err:
+			return &Divergence{i, "err", fmt.Sprintf("%q", a.Err), fmt.Sprintf("%q", b.Err)}
+		}
+	}
+	if len(recorded) != len(replayed) {
+		return &Divergence{n, "count",
+			fmt.Sprintf("%d decisions", len(recorded)),
+			fmt.Sprintf("%d decisions", len(replayed))}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package flight_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/eager"
+	"repro/internal/flight"
+	"repro/internal/geom"
+	"repro/internal/synth"
+)
+
+var (
+	recOnce sync.Once
+	testRec *eager.Recognizer
+	recErr  error
+)
+
+// trainedRec trains one small GDP recognizer, shared across replay tests
+// (classification never mutates it).
+func trainedRec(t *testing.T) *eager.Recognizer {
+	t.Helper()
+	recOnce.Do(func() {
+		gen := synth.NewGenerator(synth.DefaultParams(7))
+		set, _ := gen.Set("flight-train", synth.GDPClasses(), 5)
+		testRec, _, recErr = eager.Train(set, eager.DefaultOptions())
+	})
+	if recErr != nil {
+		t.Fatal(recErr)
+	}
+	return testRec
+}
+
+// record runs one gesture through a tapped session, mirroring what the
+// serve engine does, and returns the sealed bundle.
+func record(t *testing.T, rec *eager.Recognizer, points geom.Path, end bool) *flight.Bundle {
+	t.Helper()
+	sess, err := rec.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := flight.NewCapture("test")
+	sess.SetTap(tap)
+	fired := false
+	class := ""
+	for _, p := range points {
+		f, c, _ := sess.Add(p)
+		if f {
+			fired, class = true, c
+		}
+	}
+	if end && !fired {
+		class, _ = sess.End()
+	}
+	return tap.Bundle(class, false, 0)
+}
+
+func TestReplayBitIdentical(t *testing.T) {
+	rec := trainedRec(t)
+	gen := synth.NewGenerator(synth.DefaultParams(8))
+	for i, class := range synth.GDPClasses() {
+		s := gen.Sample(class)
+		b := record(t, rec, s.G.Points, true)
+		if len(b.Points) == 0 {
+			t.Fatalf("%s: empty capture", class.Name)
+		}
+		d, err := flight.Replay(rec, b)
+		if err != nil {
+			t.Fatalf("%s: %v", class.Name, err)
+		}
+		if d != nil {
+			t.Errorf("gesture %d (%s) diverged: %s", i, class.Name, d)
+		}
+	}
+}
+
+func TestReplayEndPath(t *testing.T) {
+	rec := trainedRec(t)
+	gen := synth.NewGenerator(synth.DefaultParams(9))
+	s := gen.Sample(synth.GDPClasses()[0])
+	// Truncate below MinSubgesture so eager never fires and End classifies.
+	short := s.G.Points[:rec.Opts.MinSubgesture-1]
+	b := record(t, rec, short, true)
+	hasEnd := false
+	for _, d := range b.Decisions {
+		hasEnd = hasEnd || d.Kind == "end"
+	}
+	if !hasEnd {
+		t.Fatal("short gesture recorded no end decision")
+	}
+	if d, err := flight.Replay(rec, b); err != nil || d != nil {
+		t.Fatalf("end-path replay: div=%v err=%v", d, err)
+	}
+}
+
+func TestReplayDetectsModelMismatch(t *testing.T) {
+	rec := trainedRec(t)
+	gen := synth.NewGenerator(synth.DefaultParams(10))
+	// Record against a differently-trained model; replay against testRec.
+	gen2 := synth.NewGenerator(synth.DefaultParams(11))
+	set, _ := gen2.Set("other-train", synth.GDPClasses(), 5)
+	other, _, err := eager.Train(set, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for _, class := range synth.GDPClasses() {
+		s := gen.Sample(class)
+		b := record(t, other, s.G.Points, true)
+		d, err := flight.Replay(rec, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("replay against the wrong model never diverged")
+	}
+}
+
+func TestReplayRejectsInvalidBundle(t *testing.T) {
+	rec := trainedRec(t)
+	if _, err := flight.Replay(rec, nil); err == nil {
+		t.Error("nil bundle accepted")
+	}
+	b := &flight.Bundle{Session: "x", Points: []flight.Point{{X: 1}}}
+	if _, err := flight.Replay(rec, b); err == nil {
+		t.Error("bundle without decisions accepted")
+	}
+}
+
+func BenchmarkFlightCapture(b *testing.B) {
+	rec := testBenchRec(b)
+	gen := synth.NewGenerator(synth.DefaultParams(12))
+	s := gen.Sample(synth.GDPClasses()[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := rec.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tap := flight.NewCapture("bench")
+		sess.SetTap(tap)
+		for _, p := range s.G.Points {
+			sess.Add(p)
+		}
+		sess.End()
+		sinkBundle = tap.Bundle("x", false, 0)
+	}
+}
+
+func BenchmarkFlightOffer(b *testing.B) {
+	r := flight.NewRecorder(flight.Options{Capacity: 256})
+	bundle := mkBundle("bench", 32, false, "x", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Offer(bundle)
+	}
+}
+
+var sinkBundle *flight.Bundle
+
+// testBenchRec is trainedRec for benchmarks (testing.TB covers both, but
+// trainedRec takes *testing.T for Fatal's sake).
+func testBenchRec(b *testing.B) *eager.Recognizer {
+	b.Helper()
+	recOnce.Do(func() {
+		gen := synth.NewGenerator(synth.DefaultParams(7))
+		set, _ := gen.Set("flight-train", synth.GDPClasses(), 5)
+		testRec, _, recErr = eager.Train(set, eager.DefaultOptions())
+	})
+	if recErr != nil {
+		b.Fatal(recErr)
+	}
+	return testRec
+}

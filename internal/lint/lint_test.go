@@ -47,6 +47,10 @@ func TestCtxarg(t *testing.T) {
 	linttest.Run(t, lint.Ctxarg, "testdata/ctxarg", "fixture/ctxarg")
 }
 
+func TestSpanend(t *testing.T) {
+	linttest.Run(t, lint.Spanend, "testdata/spanend", "fixture/spanend")
+}
+
 func TestExpdoc(t *testing.T) {
 	const fixture = "fixture/expdoc"
 	lint.ExpdocPackages[fixture] = true

@@ -3,6 +3,7 @@ package multipath
 import (
 	"repro/internal/eager"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // FingerID identifies one finger in the (simulated) Sensor Frame's field
@@ -52,7 +53,23 @@ type Session struct {
 	complete bool
 	tracker  *TransformTracker
 	extra    int
+
+	// span and tap are forwarded to the eager stream when the primary
+	// finger starts it; both nil by default (tracing/capture disabled).
+	span *obs.Span
+	tap  eager.Tap
 }
+
+// SetSpan attaches a parent trace span, forwarded to the eager stream
+// when the primary finger starts the gesture (see eager.Session.SetSpan).
+// Call before the first Handle; like every Session method this is
+// single-goroutine.
+func (s *Session) SetSpan(sp *obs.Span) { s.span = sp }
+
+// SetTap attaches a decision tap, forwarded to the eager stream when the
+// primary finger starts the gesture (see eager.Session.SetTap). Call
+// before the first Handle.
+func (s *Session) SetTap(t eager.Tap) { s.tap = t }
 
 // NewSession starts a multi-finger interaction over the given recognizer.
 func NewSession(rec *eager.Recognizer) *Session {
@@ -128,6 +145,8 @@ func (s *Session) Handle(ev Event) {
 				s.decide("")
 				return
 			}
+			stream.SetSpan(s.span)
+			stream.SetTap(s.tap)
 			s.stream = stream
 			fired, class, err := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T})
 			if err != nil {

@@ -15,6 +15,7 @@ import (
 var (
 	sinkTime time.Time
 	sinkI64  int64
+	sinkSpan *obs.Span
 )
 
 // BenchmarkObsDisabledCounterInc measures Counter.Inc on a nil counter —
@@ -58,6 +59,38 @@ func BenchmarkObsDisabledRingEmit(b *testing.B) {
 	sinkI64 = int64(r.Cap())
 }
 
+// BenchmarkObsDisabledSpanStart measures SpanBuffer.Start on a nil
+// buffer — the per-gesture cost of an untraced serve.Engine.
+func BenchmarkObsDisabledSpanStart(b *testing.B) {
+	var sb *obs.SpanBuffer
+	for i := 0; i < b.N; i++ {
+		sinkSpan = sb.Start("gesture")
+	}
+}
+
+// BenchmarkObsDisabledSpanChildEnd measures the full disabled per-point
+// tracing idiom — Child, two attribute sets, End — which must skip the
+// clock and every allocation.
+func BenchmarkObsDisabledSpanChildEnd(b *testing.B) {
+	var root *obs.Span
+	for i := 0; i < b.N; i++ {
+		sp := root.Child("decide")
+		sp.SetAttrInt("point", int64(i))
+		sp.SetAttr("best", "x")
+		sp.End()
+		sinkSpan = sp
+	}
+}
+
+// BenchmarkObsDisabledSpanEvent measures Span.Event on a nil span.
+func BenchmarkObsDisabledSpanEvent(b *testing.B) {
+	var root *obs.Span
+	for i := 0; i < b.N; i++ {
+		root.Event("commit", "")
+	}
+	sinkI64 = int64(root.ID())
+}
+
 // Enabled-path reference points, for the overhead table in
 // OBSERVABILITY.md.
 
@@ -88,6 +121,21 @@ func BenchmarkObsRingEmit(b *testing.B) {
 	sinkI64 = int64(r.Cap())
 }
 
+// BenchmarkObsSpanRecord measures the enabled tracing cost of one full
+// child span (Child + attr + End = ID allocation, two clock reads, one
+// record publication) — the per-point price a traced gesture pays.
+func BenchmarkObsSpanRecord(b *testing.B) {
+	sb := obs.New().Spans("bench", 1024)
+	root := sb.Start("root")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := root.Child("decide")
+		sp.SetAttrInt("point", int64(i))
+		sp.End()
+	}
+	sinkI64 = int64(sb.Recorded())
+}
+
 // TestDisabledPathUnderFiveNanoseconds enforces the <5ns/event claim
 // with testing.Benchmark. Timing assertions are meaningless under the
 // race detector's instrumentation (and noisy in -short environments), so
@@ -110,6 +158,9 @@ func TestDisabledPathUnderFiveNanoseconds(t *testing.T) {
 		{"HistogramObserve", BenchmarkObsDisabledHistogramObserve},
 		{"StartObserveSince", BenchmarkObsDisabledStartObserveSince},
 		{"RingEmit", BenchmarkObsDisabledRingEmit},
+		{"SpanStart", BenchmarkObsDisabledSpanStart},
+		{"SpanChildEnd", BenchmarkObsDisabledSpanChildEnd},
+		{"SpanEvent", BenchmarkObsDisabledSpanEvent},
 	} {
 		r := testing.Benchmark(bench.fn)
 		perOp := float64(r.T.Nanoseconds()) / float64(r.N)

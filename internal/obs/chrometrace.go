@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// chromeEvent is one Chrome Trace Event Format entry ("X" = complete
+// event). Timestamps and durations are in microseconds, the format's
+// unit; pid/tid place the event on a track — one tid per trace root, so
+// each gesture renders as its own causally-nested row in Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object flavor of the trace format, the one
+// Perfetto and chrome://tracing both accept.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders every span section of the snapshot as a
+// Chrome Trace Event Format JSON document, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Each span becomes one complete
+// ("X") event; the span's trace root is used as the tid, so every
+// gesture occupies its own track and its sub-spans nest inside it by
+// time containment. Span IDs, parent links, and typed attributes are
+// carried in args.
+func (s Snapshot) WriteChromeTrace(w io.Writer) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, sec := range s.Spans {
+		for _, r := range sec.Spans {
+			ev := chromeEvent{
+				Name: r.Name,
+				Cat:  sec.Name,
+				Ph:   "X",
+				Ts:   float64(r.Start) / 1e3,
+				Dur:  float64(r.End-r.Start) / 1e3,
+				Pid:  1,
+				Tid:  r.Root,
+				Args: map[string]any{"id": r.ID},
+			}
+			if r.Parent != 0 {
+				ev.Args["parent"] = r.Parent
+			}
+			for _, a := range r.Attrs {
+				switch a.Kind {
+				case AttrInt:
+					ev.Args[a.Key] = a.Int
+				case AttrFloat:
+					ev.Args[a.Key] = a.Float
+				default:
+					ev.Args[a.Key] = a.Str
+				}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ChromeTraceHandler returns an http.Handler serving the registry's
+// current spans in Chrome Trace Event Format — cmd/gserve mounts it at
+// /debug/trace. Safe with a nil registry (serves an empty trace).
+func ChromeTraceHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// Encoding errors mean the client went away; nothing to do.
+		_ = r.Snapshot().WriteChromeTrace(w)
+	})
+}

@@ -69,6 +69,18 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.load()
 }
 
+// Quantile estimates the q-quantile of the live histogram from its
+// current bucket counts — see HistogramSnap.Quantile for the estimator
+// and its upper-bound caveat. It snapshots the buckets first, so the
+// answer is internally consistent under concurrent Observes. Returns 0
+// on a nil receiver or an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.snapshot("").Quantile(q)
+}
+
 // snapshot captures the histogram's current state. Buckets race benignly
 // with concurrent Observes: each bucket load is atomic, so totals may be
 // mid-update by a handful of events but never torn.
@@ -115,8 +127,10 @@ func (s HistogramSnap) Mean() float64 {
 // Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
 // by linear interpolation inside the containing bucket, clamped to the
 // observed min/max. This is the per-gesture-distribution signal the
-// text report surfaces (p50/p90/p99): with latency-style bucket layouts
-// the estimate is within one bucket width of the true quantile.
+// text report surfaces (p50/p95/p99). The estimate is an upper-bound
+// estimate in the usual bucket-histogram sense: the true quantile lies
+// in the same bucket, so the reported value never exceeds the bucket's
+// upper boundary and the error is at most one bucket width.
 func (s HistogramSnap) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -32,6 +33,7 @@ type Registry struct {
 	counters map[string]*Counter
 	hists    map[string]*Histogram
 	rings    map[string]*Ring
+	spans    map[string]*SpanBuffer
 }
 
 // New creates an empty registry.
@@ -40,6 +42,7 @@ func New() *Registry {
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
 		rings:    make(map[string]*Ring),
+		spans:    make(map[string]*SpanBuffer),
 	}
 }
 
@@ -96,6 +99,24 @@ func (r *Registry) Ring(name string, capacity int) *Ring {
 	return rg
 }
 
+// Spans returns the named span buffer, registering it with the given
+// capacity on first use (non-positive capacity selects the 8192-record
+// default). Later calls return the existing buffer regardless of the
+// capacity argument. Returns nil on a nil registry.
+func (r *Registry) Spans(name string, capacity int) *SpanBuffer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.spans[name]
+	if !ok {
+		b = newSpanBuffer(capacity)
+		r.spans[name] = b
+	}
+	return b
+}
+
 // CounterSnap is the point-in-time value of one counter inside a
 // Snapshot.
 type CounterSnap struct {
@@ -115,6 +136,7 @@ type Snapshot struct {
 	Counters   []CounterSnap   `json:"counters"`
 	Histograms []HistogramSnap `json:"histograms"`
 	Traces     []TraceSnap     `json:"traces"`
+	Spans      []SpanSnap      `json:"spans"`
 }
 
 // Snapshot captures the current state of every instrument. Counters and
@@ -129,6 +151,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   []CounterSnap{},
 		Histograms: []HistogramSnap{},
 		Traces:     []TraceSnap{},
+		Spans:      []SpanSnap{},
 	}
 	if r == nil {
 		return s
@@ -146,6 +169,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.rings {
 		rings[k] = v
 	}
+	spans := make(map[string]*SpanBuffer, len(r.spans))
+	for k, v := range r.spans {
+		spans[k] = v
+	}
 	r.mu.Unlock()
 
 	for name, c := range counters {
@@ -157,17 +184,21 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, rg := range rings {
 		s.Traces = append(s.Traces, rg.snapshot(name))
 	}
+	for name, b := range spans {
+		s.Spans = append(s.Spans, b.snapshot(name))
+	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	sort.Slice(s.Traces, func(i, j int) bool { return s.Traces[i].Name < s.Traces[j].Name })
+	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
 	return s
 }
 
 // WriteText renders the snapshot as a human-readable report: counters as
 // a name/value table, histograms with count, mean, min/max, and
-// estimated p50/p90/p99 (the distribution view the paper's evaluation is
-// built on — averages hide the commit-point and latency tails), and the
-// tail of each trace ring.
+// estimated p50/p95/p99 (the distribution view the paper's evaluation is
+// built on — averages hide the commit-point and latency tails), a
+// one-line summary per span buffer, and the tail of each trace ring.
 func (s Snapshot) WriteText(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "# obs snapshot (schema %d)\n", s.Schema)
@@ -178,12 +209,16 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 	}
 	if len(s.Histograms) > 0 {
-		fmt.Fprintf(tw, "\nhistogram\tcount\tmean\tmin\tmax\tp50\tp90\tp99\n")
+		fmt.Fprintf(tw, "\nhistogram\tcount\tmean\tmin\tmax\tp50\tp95\tp99\n")
 		for _, h := range s.Histograms {
 			fmt.Fprintf(tw, "%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
 				h.Name, h.Count, h.Mean(), h.Min, h.Max,
-				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 		}
+	}
+	for _, sp := range s.Spans {
+		fmt.Fprintf(tw, "\nspans %s\t(%d recorded, cap %d; export with WriteChromeTrace / /debug/trace)\n",
+			sp.Name, sp.Recorded, sp.Cap)
 	}
 	for _, t := range s.Traces {
 		fmt.Fprintf(tw, "\ntrace %s\t(%d emitted, cap %d)\n", t.Name, t.Emitted, t.Cap)
@@ -199,6 +234,17 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 	}
 	return tw.Flush()
+}
+
+// Report renders the registry's current snapshot as the human-readable
+// WriteText report and returns it as a string — the quick way to dump
+// state from tests or a debugger. Works on a nil registry (reports the
+// empty snapshot).
+func (r *Registry) Report() string {
+	var b strings.Builder
+	// WriteText cannot fail on a strings.Builder (its Write never errors).
+	_ = r.Snapshot().WriteText(&b)
+	return b.String()
 }
 
 // Handler returns an http.Handler serving the registry's Snapshot as an

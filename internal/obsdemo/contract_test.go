@@ -52,6 +52,39 @@ func docMetricNames(t *testing.T) (names map[string]bool, wildcards []string) {
 	return names, wildcards
 }
 
+// spanNameRe matches the leading backquoted span name of a "Span names"
+// table row: a single undotted lowercase word (dotted names are
+// metrics, handled by metricNameRe).
+var spanNameRe = regexp.MustCompile("^\\| `([a-z_]+)` \\|")
+
+// docSpanNames parses the "### Span names" table of OBSERVABILITY.md
+// and returns the documented span names.
+func docSpanNames(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	inSection := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "#") {
+			inSection = strings.HasPrefix(line, "### Span names")
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := spanNameRe.FindStringSubmatch(line); m != nil {
+			names[m[1]] = true
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no span names parsed from OBSERVABILITY.md — format drifted?")
+	}
+	return names
+}
+
 func expandRoles(name string) []string {
 	if !strings.Contains(name, "<role>") {
 		return []string{name}
@@ -81,11 +114,38 @@ func TestContractMatchesDocument(t *testing.T) {
 	for _, h := range snap.Histograms {
 		live[h.Name] = true
 	}
-	// The trace ring is named in prose ("serve.trace"), not a metric
-	// table; account for it explicitly.
+	// The trace ring and span buffer are named in prose ("serve.trace",
+	// "gesture.spans"), not a metric table; account for them explicitly.
 	for _, tr := range snap.Traces {
 		if tr.Name != "serve.trace" {
 			t.Errorf("trace ring %q is not in the OBSERVABILITY.md contract", tr.Name)
+		}
+	}
+	for _, sb := range snap.Spans {
+		if sb.Name != "gesture.spans" {
+			t.Errorf("span buffer %q is not in the OBSERVABILITY.md contract", sb.Name)
+		}
+	}
+
+	// Span names, both directions: every documented span name occurs in
+	// the workload's buffer, and every recorded span name is documented.
+	// The demo buffer has eviction-free headroom (obsdemo.SpanCapacity),
+	// so the name set is deterministic.
+	docSpans := docSpanNames(t)
+	liveSpans := map[string]bool{}
+	for _, sb := range snap.Spans {
+		for _, r := range sb.Spans {
+			liveSpans[r.Name] = true
+		}
+	}
+	for name := range docSpans {
+		if !liveSpans[name] {
+			t.Errorf("OBSERVABILITY.md documents span %q, but the demo workload never records it", name)
+		}
+	}
+	for name := range liveSpans {
+		if !docSpans[name] {
+			t.Errorf("span %q is recorded but not documented in OBSERVABILITY.md", name)
 		}
 	}
 

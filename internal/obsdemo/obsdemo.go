@@ -22,6 +22,7 @@ import (
 	"runtime"
 
 	"repro/internal/eager"
+	"repro/internal/flight"
 	"repro/internal/geom"
 	"repro/internal/multipath"
 	"repro/internal/obs"
@@ -52,26 +53,63 @@ func New(seed int64) (*obs.Registry, *eager.Recognizer, error) {
 	return reg, rec, nil
 }
 
+// SpanCapacity is the gesture.spans buffer capacity the demo
+// pre-registers (first registration wins over the serve engine's
+// default): generous headroom over the workload's span count, so no
+// record is ever evicted and the set of span names in the snapshot is
+// deterministic.
+const SpanCapacity = 32768
+
+// FlightCapacity is the demo flight recorder's ring capacity — larger
+// than the session count, so every captured gesture survives in the
+// dump.
+const FlightCapacity = 64
+
 // Run executes the full demo workload and returns the populated
 // registry: train (New), serve a burst of replayed GDP interactions
-// through an instrumented multi-shard engine, exercise the swap and
-// swap-rejection paths, leave one session to be drained at Close, replay
-// gestures through Recognizer.Run for the commit-fraction histogram, and
-// poison-then-Reset one streaming session. After Run, every metric in
-// the OBSERVABILITY.md contract is registered in the snapshot.
+// through an instrumented multi-shard engine (with span tracing and a
+// keep-everything flight recorder attached), exercise the swap and
+// swap-rejection paths, leave one session to be drained at Close and one
+// too short to ever fire eagerly (so the mouse-up "classify" span is
+// exercised), replay gestures through Recognizer.Run for the
+// commit-fraction histogram, and poison-then-Reset one span-traced
+// streaming session. After Run, every metric and span name in the
+// OBSERVABILITY.md contract is present in the snapshot.
 func Run(seed int64) (*obs.Registry, error) {
+	reg, _, _, err := demo(seed)
+	return reg, err
+}
+
+// Flight runs the same workload as Run and returns the trained
+// recognizer together with the populated flight recorder — the pair
+// cmd/greplay -record saves so a later replay can be checked against the
+// exact model that produced the captures.
+func Flight(seed int64) (*eager.Recognizer, *flight.Recorder, error) {
+	_, rec, fr, err := demo(seed)
+	return rec, fr, err
+}
+
+// demo is the shared workload behind Run and Flight.
+func demo(seed int64) (*obs.Registry, *eager.Recognizer, *flight.Recorder, error) {
 	reg, rec, err := New(seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
+	// Pre-register the span buffer with headroom before the engine's
+	// default-capacity registration (first registration wins), keeping the
+	// demo's span-name set eviction-free and deterministic.
+	spans := reg.Spans("gesture.spans", SpanCapacity)
+
+	fr := flight.NewRecorder(flight.Options{Capacity: FlightCapacity, Trigger: flight.TriggerAlways})
 	e, err := serve.New(rec, serve.Options{
 		Shards:     minInt(4, runtime.GOMAXPROCS(0)),
 		QueueDepth: 64,
 		Obs:        reg,
+		Flight:     fr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("obsdemo: %w", err)
+		return nil, nil, nil, fmt.Errorf("obsdemo: %w", err)
 	}
 
 	gen := synth.NewGenerator(synth.DefaultParams(seed + 1))
@@ -80,7 +118,7 @@ func Run(seed int64) (*obs.Registry, error) {
 	for i := 0; i < sessions; i++ {
 		s := gen.Sample(classes[i%len(classes)])
 		if err := play(e, fmt.Sprintf("demo-%03d", i), s.G.Points, true); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 
@@ -90,13 +128,24 @@ func Run(seed int64) (*obs.Registry, error) {
 	e.Swap(nil)
 	e.Swap(rec)
 
+	// One stroke too short to reach MinSubgesture: eager never fires, so
+	// the mouse-up full classification runs (the "classify" span).
+	s := gen.Sample(classes[1])
+	short := s.G.Points
+	if n := rec.Opts.MinSubgesture - 1; len(short) > n {
+		short = short[:n]
+	}
+	if err := play(e, "demo-short", short, true); err != nil {
+		return nil, nil, nil, err
+	}
+
 	// One session left open (no FingerUp) so Close drains it.
-	s := gen.Sample(classes[0])
+	s = gen.Sample(classes[0])
 	if err := play(e, "demo-open", s.G.Points, false); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if err := e.Close(); err != nil {
-		return nil, fmt.Errorf("obsdemo: close: %w", err)
+		return nil, nil, nil, fmt.Errorf("obsdemo: close: %w", err)
 	}
 
 	// Replay through Run for the commit-fraction histogram (the paper's
@@ -105,21 +154,27 @@ func Run(seed int64) (*obs.Registry, error) {
 	for i := 0; i < len(classes); i++ {
 		sample := gen.Sample(classes[i])
 		if _, _, err := rec.Run(sample.G); err != nil {
-			return nil, fmt.Errorf("obsdemo: replay: %w", err)
+			return nil, nil, nil, fmt.Errorf("obsdemo: replay: %w", err)
 		}
 	}
 
-	// Error path: a poisoned stroke (counted once) and its Reset.
+	// Error path: a poisoned stroke (counted once) and its Reset, traced
+	// directly (no engine) so the "poisoned" and "reset" span events are
+	// in the buffer too.
 	sess, err := rec.NewSession()
 	if err != nil {
-		return nil, fmt.Errorf("obsdemo: %w", err)
+		return nil, nil, nil, fmt.Errorf("obsdemo: %w", err)
 	}
+	root := spans.Start("gesture")
+	root.SetAttr("session", "demo-poison")
+	sess.SetSpan(root)
 	for i := 0; i <= rec.Opts.MinSubgesture; i++ {
 		sess.Add(geom.TimedPoint{X: math.NaN(), T: float64(i)})
 	}
 	sess.Reset()
+	root.End()
 
-	return reg, nil
+	return reg, rec, fr, nil
 }
 
 // play streams one single-finger interaction into the engine, retrying

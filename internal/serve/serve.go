@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/eager"
+	"repro/internal/flight"
 	"repro/internal/multipath"
 	"repro/internal/obs"
 )
@@ -90,10 +92,23 @@ type Options struct {
 	// by design.
 	OnResult func(Result)
 	// Obs, when set, attaches the engine's metrics and trace ring to the
-	// registry (see OBSERVABILITY.md for the serve.* contract). Nil
-	// leaves the engine uninstrumented: every metric call degrades to a
-	// sub-5ns no-op.
+	// registry (see OBSERVABILITY.md for the serve.* contract), and opens
+	// one causally-nested span trace per gesture in the registry's
+	// "gesture.spans" buffer (root "gesture" span with "queue_wait" /
+	// "dispatch" children per event, plus the eager layer's "decide"
+	// spans underneath). Nil leaves the engine uninstrumented: every
+	// metric and span call degrades to a sub-5ns no-op.
 	Obs *obs.Registry `json:"-"`
+	// Flight, when set, attaches a flight recorder: the engine captures
+	// each gesture's raw points and eager decisions (via eager.Tap) and
+	// offers the finished bundle to the recorder, whose trigger policy
+	// decides what to keep. Works with or without Obs. Nil disables
+	// capture entirely.
+	Flight *flight.Recorder `json:"-"`
+	// FlightDump, when set, receives the flight recorder's JSON dump once,
+	// during Close — the post-mortem artifact for a crashed or misbehaving
+	// run. Requires Flight (with a nil recorder an empty dump is written).
+	FlightDump io.Writer `json:"-"`
 }
 
 // engineMetrics holds the engine's obs handles. The zero value (all nil)
@@ -110,6 +125,7 @@ type engineMetrics struct {
 	queueWaitNS   *obs.Histogram // serve.queue.wait_ns, enqueue -> dequeue
 	sessionNS     *obs.Histogram // serve.session.latency_ns, first submit -> completion
 	trace         *obs.Ring      // serve.trace lifecycle events
+	spans         *obs.SpanBuffer // gesture.spans, one trace per gesture
 }
 
 func newEngineMetrics(reg *obs.Registry) engineMetrics {
@@ -128,6 +144,7 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		queueWaitNS:   reg.Histogram("serve.queue.wait_ns", obs.LatencyBuckets()),
 		sessionNS:     reg.Histogram("serve.session.latency_ns", obs.LatencyBuckets()),
 		trace:         reg.Ring("serve.trace", 0),
+		spans:         reg.Spans("gesture.spans", 0),
 	}
 }
 
@@ -156,6 +173,11 @@ type Engine struct {
 	active    atomic.Int64
 
 	m engineMetrics
+	// stamp records whether Submit must read the clock: true when either
+	// observability (queue-wait/latency histograms, span timestamps) or a
+	// flight recorder (latency trigger) is attached. False keeps the
+	// disabled path free of clock reads.
+	stamp bool
 }
 
 // queued is one enqueued event plus its enqueue timestamp (the zero Time
@@ -168,9 +190,13 @@ type queued struct {
 
 // liveSession is one in-flight session plus the enqueue time of the
 // event that opened it, so completion can observe end-to-end latency.
+// root is the gesture's root span (nil when uninstrumented); capture is
+// its flight-recorder capture (nil when no recorder is attached).
 type liveSession struct {
-	sess  *multipath.Session
-	start time.Time
+	sess    *multipath.Session
+	start   time.Time
+	root    *obs.Span
+	capture *flight.Capture
 }
 
 // shard is one worker goroutine's world: its queue and the sessions it
@@ -198,6 +224,7 @@ func New(rec *eager.Recognizer, opts Options) (*Engine, error) {
 		opts.QueueDepth = DefaultQueueDepth
 	}
 	e := &Engine{opts: opts, m: newEngineMetrics(opts.Obs)}
+	e.stamp = opts.Obs != nil || opts.Flight != nil
 	e.rec.Store(rec)
 	for i := 0; i < opts.Shards; i++ {
 		sh := &shard{
@@ -248,8 +275,12 @@ func (e *Engine) Submit(ev Event) error {
 		return ErrClosed
 	}
 	sh := e.shardFor(ev.Session)
+	var at time.Time
+	if e.stamp {
+		at = time.Now()
+	}
 	select {
-	case sh.ch <- queued{ev: ev, at: obs.Start(e.m.queueWaitNS)}:
+	case sh.ch <- queued{ev: ev, at: at}:
 		e.submitted.Add(1)
 		e.m.submitted.Inc()
 		e.m.queueDepth.Observe(float64(len(sh.ch)))
@@ -264,8 +295,10 @@ func (e *Engine) Submit(ev Event) error {
 // Close stops intake, drains every shard's queued events, force-finishes
 // the sessions still in flight (each is classified on the stroke prefix
 // collected so far and reported through OnResult), and waits for all
-// workers to exit. Close is idempotent; concurrent Submits during Close
-// get ErrClosed or are processed, never lost after being accepted.
+// workers to exit. When Options.FlightDump is set, the flight recorder's
+// JSON dump is then written to it exactly once (the post-mortem
+// artifact). Close is idempotent; concurrent Submits during Close get
+// ErrClosed or are processed, never lost after being accepted.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -279,6 +312,9 @@ func (e *Engine) Close() error {
 	}
 	e.mu.Unlock()
 	e.wg.Wait()
+	if e.opts.FlightDump != nil {
+		return e.opts.Flight.WriteJSON(e.opts.FlightDump)
+	}
 	return nil
 }
 
@@ -314,7 +350,10 @@ func (e *Engine) run(sh *shard) {
 
 // handle applies one event to its session, creating the session on its
 // first FingerDown (with the recognizer snapshot current at that moment)
-// and retiring it when the interaction completes.
+// and retiring it when the interaction completes. When instrumented, the
+// first event opens the gesture's root span (backdated to its enqueue
+// time, so queue wait is inside the trace) and every event records
+// "queue_wait" and "dispatch" children under it.
 func (e *Engine) handle(sh *shard, q queued) {
 	ev := q.ev
 	ls, ok := sh.sessions[ev.Session]
@@ -323,26 +362,50 @@ func (e *Engine) handle(sh *shard, q queued) {
 			return // stray move/up for an unknown or already-retired session
 		}
 		ls = &liveSession{sess: multipath.NewSession(e.rec.Load()), start: q.at}
+		ls.root = e.m.spans.StartAt("gesture", q.at)
+		ls.root.SetAttr("session", ev.Session)
+		ls.sess.SetSpan(ls.root)
+		if e.opts.Flight != nil {
+			ls.capture = flight.NewCapture(ev.Session)
+			ls.sess.SetTap(ls.capture)
+		}
 		sh.sessions[ev.Session] = ls
 		e.active.Add(1)
 		e.m.opened.Inc()
 		e.m.trace.Emit("session_open", ev.Session)
 	}
+	qsp := ls.root.ChildAt("queue_wait", q.at)
+	qsp.End()
+	dsp := ls.root.Child("dispatch")
 	ls.sess.Handle(multipath.Event{Finger: ev.Finger, Kind: ev.Kind, X: ev.X, Y: ev.Y, T: ev.T})
+	dsp.End()
 	if ls.sess.Completed() {
 		e.finish(sh, ev.Session, ls, ls.sess.Class(), false)
 	}
 }
 
 // finish retires one session from its shard: counters, end-to-end
-// latency (enqueue of the opening event through completion), trace, and
-// the OnResult callback. drained marks sessions force-finished at Close.
+// latency (enqueue of the opening event through completion), trace,
+// root-span closure, flight-bundle offer, and the OnResult callback.
+// drained marks sessions force-finished at Close.
 func (e *Engine) finish(sh *shard, id string, ls *liveSession, class string, drained bool) {
 	delete(sh.sessions, id)
 	e.active.Add(-1)
 	e.completed.Add(1)
 	e.m.completed.Inc()
 	obs.ObserveSince(e.m.sessionNS, ls.start)
+	ls.root.SetAttr("class", class)
+	if drained {
+		ls.root.SetAttrInt("drained", 1)
+	}
+	ls.root.End()
+	if ls.capture != nil {
+		var latency time.Duration
+		if !ls.start.IsZero() {
+			latency = time.Since(ls.start)
+		}
+		e.opts.Flight.Offer(ls.capture.Bundle(class, drained, latency))
+	}
 	if drained {
 		e.m.drained.Inc()
 		e.m.trace.Emit("session_drained", id)
