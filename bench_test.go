@@ -8,6 +8,7 @@ package rubine
 // costs.
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -274,13 +275,13 @@ func BenchmarkEngineThroughput(b *testing.B) {
 					kind = multipath.FingerDown
 				}
 				ev := serve.Event{Session: id, Finger: 0, Kind: kind, X: p.X, Y: p.Y, T: p.T}
-				for e.Submit(ev) == serve.ErrQueueFull {
+				for errors.Is(e.Submit(ev), serve.ErrQueueFull) {
 					runtime.Gosched()
 				}
 			}
 			last := g[len(g)-1]
 			up := serve.Event{Session: id, Finger: 0, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01}
-			for e.Submit(up) == serve.ErrQueueFull {
+			for errors.Is(e.Submit(up), serve.ErrQueueFull) {
 				runtime.Gosched()
 			}
 		}

@@ -23,13 +23,14 @@
 // Usage:
 //
 //	gserve [-addr :8089] [-seed 1] [-shards 0] [-traffic 24]
-//	       [-flight-trigger always] [-flight-cap 256]
+//	       [-flight-trigger always] [-flight-cap 256] [-idle-timeout 0]
 //
 // -traffic N replays N synthetic GDP interactions through the engine at
 // startup so /metrics shows populated histograms immediately; -shards 0
 // means GOMAXPROCS; -flight-trigger picks which gestures the flight
-// recorder keeps (always, on-error, on-poison, latency-over). Every run
-// is deterministic for a fixed -seed (see internal/obsdemo).
+// recorder keeps (always, on-error, on-poison, latency-over);
+// -idle-timeout arms the engine's idle-session reaper (0 keeps it off).
+// Every run is deterministic for a fixed -seed (see internal/obsdemo).
 package main
 
 import (
@@ -40,7 +41,6 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flightCap := flags.Int("flight-cap", flight.DefaultCapacity, "flight recorder ring capacity")
 	flightLatency := flags.Duration("flight-latency", 10*time.Millisecond,
 		"latency-over trigger threshold")
+	idleTimeout := flags.Duration("idle-timeout", 0,
+		"reap sessions idle for this long (0 disables the reaper)")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -81,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gserve: %v\n", err)
 		return 2
 	}
-	srv, err := newServer(*seed, *shards, flight.Options{
+	srv, err := newServer(*seed, *shards, *idleTimeout, flight.Options{
 		Capacity:         *flightCap,
 		Trigger:          trigger,
 		LatencyThreshold: *flightLatency,
@@ -109,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 type server struct {
 	reg      *obs.Registry
 	engine   *serve.Engine
+	sub      *serve.Submitter // unlimited-retry backpressure policy for startup traffic
 	recorder *flight.Recorder
 	mux      *http.ServeMux
 	seed     int64
@@ -121,17 +124,23 @@ type server struct {
 // newServer trains the initial model (instrumented, via obsdemo.New),
 // starts the engine — with span tracing and a flight recorder attached —
 // against the same registry, and wires the mux.
-func newServer(seed int64, shards int, fopts flight.Options) (*server, error) {
+func newServer(seed int64, shards int, idleTimeout time.Duration, fopts flight.Options) (*server, error) {
 	reg, rec, err := obsdemo.New(seed)
 	if err != nil {
 		return nil, err
 	}
 	recorder := flight.NewRecorder(fopts)
-	engine, err := serve.New(rec, serve.Options{Shards: shards, Obs: reg, Flight: recorder})
+	engine, err := serve.New(rec, serve.Options{
+		Shards:      shards,
+		Obs:         reg,
+		Flight:      recorder,
+		IdleTimeout: idleTimeout,
+	})
 	if err != nil {
 		return nil, err
 	}
-	s := &server{reg: reg, engine: engine, recorder: recorder, mux: http.NewServeMux(), seed: seed}
+	sub := serve.NewSubmitter(engine, serve.SubmitterOptions{Obs: reg})
+	s := &server{reg: reg, engine: engine, sub: sub, recorder: recorder, mux: http.NewServeMux(), seed: seed}
 
 	s.mux.Handle("/metrics", obs.Handler(reg))
 	s.mux.Handle("/metrics.txt", obs.TextHandler(reg))
@@ -227,29 +236,14 @@ func (s *server) playTraffic(n int) error {
 			if j == 0 {
 				kind = multipath.FingerDown
 			}
-			if err := s.submitRetry(serve.Event{Session: id, Kind: kind, X: p.X, Y: p.Y, T: p.T}); err != nil {
+			if err := s.sub.Submit(serve.Event{Session: id, Kind: kind, X: p.X, Y: p.Y, T: p.T}); err != nil {
 				return err
 			}
 		}
 		last := sample.G.Points[sample.G.Len()-1]
-		if err := s.submitRetry(serve.Event{Session: id, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01}); err != nil {
+		if err := s.sub.Submit(serve.Event{Session: id, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01}); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// submitRetry retries on the engine's ErrQueueFull backpressure signal
-// (the producer-side policy the serve package documents).
-func (s *server) submitRetry(ev serve.Event) error {
-	for {
-		err := s.engine.Submit(ev)
-		if err == nil {
-			return nil
-		}
-		if err != serve.ErrQueueFull {
-			return err
-		}
-		runtime.Gosched()
-	}
 }

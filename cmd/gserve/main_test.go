@@ -16,7 +16,7 @@ import (
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	srv, err := newServer(1, 2, flight.Options{Capacity: 64})
+	srv, err := newServer(1, 2, 0, flight.Options{Capacity: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,175 @@
+package eager
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+// TestDegradeClassifiesFinitePrefix: after a stroke is poisoned by a
+// non-finite point, Degrade runs the full classifier on the longest
+// leading all-finite prefix and decides the session with its answer —
+// the degraded-classification fallback the serving layer leans on.
+func TestDegradeClassifiesFinitePrefix(t *testing.T) {
+	trainSet, _, _ := genSets(synth.UDClasses(), 8, 1, 221)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	reg := obs.New()
+	r.Instrument(reg)
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := trainSet.Examples[0].Gesture.Points
+	const prefix = 6
+	for i := 0; i < prefix; i++ {
+		if _, _, err := s.Add(good[i]); err != nil {
+			t.Fatal(err)
+		}
+		if s.Decided() {
+			t.Fatalf("session decided at point %d; pick a longer undecided prefix", i)
+		}
+	}
+	if _, _, err := s.Add(geom.TimedPoint{X: math.NaN(), Y: 0, T: good[prefix].T}); err == nil {
+		t.Fatal("Add accepted a NaN point")
+	}
+	if got := s.FinitePrefix(); got != prefix {
+		t.Fatalf("FinitePrefix() = %d, want %d", got, prefix)
+	}
+
+	want, err := r.Classify(gesture.New(good[:prefix]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := s.Degrade()
+	if err != nil {
+		t.Fatalf("Degrade: %v", err)
+	}
+	if class != want {
+		t.Errorf("Degrade() = %q, full classifier on prefix says %q", class, want)
+	}
+	if !s.Decided() || s.Class() != class {
+		t.Errorf("Degrade did not decide the session (decided=%v class=%q)", s.Decided(), s.Class())
+	}
+	// Idempotent once decided.
+	if again, err := s.Degrade(); err != nil || again != class {
+		t.Errorf("second Degrade() = %q, %v, want %q, nil", again, err, class)
+	}
+
+	var degraded int64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == "eager.session.degraded" {
+			degraded = c.Value
+		}
+	}
+	if degraded != 1 {
+		t.Errorf("eager.session.degraded = %d, want 1", degraded)
+	}
+}
+
+// TestDegradeOnDecidedSession: a session that already decided eagerly
+// returns its class unchanged — no reclassification, no extra counter.
+func TestDegradeOnDecidedSession(t *testing.T) {
+	trainSet, _, _ := genSets(synth.UDClasses(), 8, 1, 221)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range trainSet.Examples[0].Gesture.Points {
+		s.Add(p)
+		if s.Decided() {
+			break
+		}
+	}
+	if !s.Decided() {
+		if _, err := s.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.Class()
+	if class, err := s.Degrade(); err != nil || class != want {
+		t.Fatalf("Degrade on decided session = %q, %v, want %q, nil", class, err, want)
+	}
+}
+
+// TestDegradeEmptyPrefix: poisoned on the very first point there is
+// nothing finite to classify; Degrade reports the error and leaves the
+// session undecided.
+func TestDegradeEmptyPrefix(t *testing.T) {
+	trainSet, _, _ := genSets(synth.UDClasses(), 8, 1, 221)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(geom.TimedPoint{X: math.NaN(), Y: 0, T: 0})
+	if got := s.FinitePrefix(); got != 0 {
+		t.Fatalf("FinitePrefix() = %d, want 0", got)
+	}
+	if _, err := s.Degrade(); err == nil {
+		t.Fatal("Degrade classified an empty prefix")
+	}
+	if s.Decided() {
+		t.Fatal("failed Degrade decided the session")
+	}
+}
+
+// TestResetClearsFinitePrefix: Reset must clear the finite-prefix
+// watermark with the rest of the session state.
+func TestResetClearsFinitePrefix(t *testing.T) {
+	trainSet, _, _ := genSets(synth.UDClasses(), 8, 1, 221)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := trainSet.Examples[0].Gesture.Points
+	for i := 0; i < 3; i++ {
+		s.Add(good[i])
+	}
+	if got := s.FinitePrefix(); got != 3 {
+		t.Fatalf("FinitePrefix() = %d, want 3", got)
+	}
+	s.Reset()
+	if got := s.FinitePrefix(); got != 0 {
+		t.Fatalf("FinitePrefix() after Reset = %d, want 0", got)
+	}
+}
+
+// TestDegradeDecisionIsTapped: the degrade fallback shows up in the
+// decision tap as a "degrade" decision at the prefix index, which is
+// what makes degraded flight bundles replayable.
+func TestDegradeDecisionIsTapped(t *testing.T) {
+	trainSet, _, _ := genSets(synth.UDClasses(), 8, 1, 221)
+	r, _ := mustTrain(t, trainSet, DefaultOptions())
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tapped []Decision
+	s.SetTap(tapFunc(func(d Decision) { tapped = append(tapped, d) }))
+	good := trainSet.Examples[0].Gesture.Points
+	for i := 0; i < 4; i++ {
+		s.Add(good[i])
+	}
+	s.Add(geom.TimedPoint{X: math.Inf(1), Y: 0, T: good[4].T})
+	class, err := s.Degrade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tapped[len(tapped)-1]
+	if last.Kind != "degrade" || last.Index != 4 || last.Class != class {
+		t.Errorf("last tapped decision = %+v, want kind degrade, index 4, class %q", last, class)
+	}
+}
+
+// tapFunc adapts a decision callback to the Tap interface, ignoring
+// points.
+type tapFunc func(Decision)
+
+func (f tapFunc) TapPoint(geom.TimedPoint) {}
+func (f tapFunc) TapDecision(d Decision)   { f(d) }

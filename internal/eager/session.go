@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gesture"
 	"repro/internal/linalg"
+	"repro/internal/mathx"
 	"repro/internal/obs"
 )
 
@@ -25,6 +26,7 @@ type sessionMetrics struct {
 	firedEnd   *obs.Counter   // gestures classified only at End (D never fired)
 	resets     *obs.Counter   // Session.Reset calls
 	poisoned   *obs.Counter   // strokes poisoned by a non-finite point
+	degraded   *obs.Counter   // poisoned strokes recovered via Degrade
 }
 
 // Instrument attaches the recognizer's streaming metrics — and its two
@@ -48,6 +50,7 @@ func (r *Recognizer) Instrument(reg *obs.Registry) {
 		firedEnd:   reg.Counter("eager.fired.end"),
 		resets:     reg.Counter("eager.session.resets"),
 		poisoned:   reg.Counter("eager.session.poisoned"),
+		degraded:   reg.Counter("eager.session.degraded"),
 	}
 	r.Full.C.Instrument(reg, "classifier.full")
 	r.AUC.Instrument(reg, "classifier.auc")
@@ -135,6 +138,11 @@ type Session struct {
 	featBuf linalg.Vec
 	aucBuf  []float64
 	fullBuf []float64
+	// finite is the length of the leading all-finite point prefix — the
+	// longest prefix the full classifier can still score after a
+	// non-finite point poisons the incremental extractor. Degrade's
+	// fallback input.
+	finite int
 	// Instrumentation (copied from the recognizer at NewSession; all
 	// no-ops when the recognizer is uninstrumented).
 	m         sessionMetrics
@@ -246,6 +254,10 @@ func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
 // hang off it.
 func (s *Session) add(p geom.TimedPoint, sp *obs.Span) (fired bool, class string, err error) {
 	s.points = append(s.points, p)
+	if s.finite == len(s.points)-1 &&
+		mathx.Finite(p.X) && mathx.Finite(p.Y) && mathx.Finite(p.T) {
+		s.finite = len(s.points)
+	}
 	s.ext.Add(p)
 	if s.decided || len(s.points) < s.r.Opts.MinSubgesture {
 		return false, "", nil
@@ -308,6 +320,7 @@ func errText(err error) string {
 func (s *Session) Reset() {
 	s.ext.Reset()
 	s.points = s.points[:0]
+	s.finite = 0
 	s.decided = false
 	s.class = ""
 	s.decidedAt = 0
@@ -356,6 +369,62 @@ func (s *Session) End() (string, error) {
 		}
 	}
 	return s.class, nil
+}
+
+// FinitePrefix returns the length of the leading all-finite point
+// prefix — equal to PointCount until a non-finite point poisons the
+// stroke, frozen at the poisoning point after. This is the prefix
+// Degrade classifies.
+func (s *Session) FinitePrefix() int { return s.finite }
+
+// Degrade is the poisoned stroke's fallback: where Add and End error
+// once a non-finite point has wrecked the incremental features, Degrade
+// classifies the longest finite prefix with the full classifier — the
+// session keeps serving, on less evidence, instead of rejecting
+// outright. It errors only when the finite prefix itself is
+// unclassifiable (too short or degenerate); on success the session is
+// decided and later End calls return the degraded class.
+//
+// Counted into eager.session.degraded when instrumented; the decision
+// is reported to an attached Tap with Kind "degrade" and the prefix
+// length as Index, so flight bundles of degraded gestures replay
+// bit-identically (flight.Replay re-issues the Degrade). Calling
+// Degrade on an already-decided session just returns its class.
+func (s *Session) Degrade() (string, error) {
+	if s.decided {
+		return s.class, nil
+	}
+	sp := s.span.Child("degrade")
+	sp.SetAttrInt("prefix", int64(s.finite))
+	if s.finite == 0 {
+		// Zero points would still yield a finite (all-zero) feature
+		// vector and a meaningless class; refuse instead.
+		err := fmt.Errorf("eager: degrade: no finite prefix to classify")
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		if s.tap != nil {
+			s.tap.TapDecision(Decision{Index: 0, Kind: "degrade", Err: err.Error()})
+		}
+		return "", err
+	}
+	class, err := s.r.Classify(gesture.New(s.points[:s.finite]))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		if s.tap != nil {
+			s.tap.TapDecision(Decision{Index: s.finite, Kind: "degrade", Err: err.Error()})
+		}
+		return "", err
+	}
+	sp.SetAttr("class", class)
+	sp.End()
+	s.class = class
+	s.decided = true
+	s.m.degraded.Inc()
+	if s.tap != nil {
+		s.tap.TapDecision(Decision{Index: s.finite, Kind: "degrade", Class: class})
+	}
+	return class, nil
 }
 
 // Run replays an entire gesture through a fresh session and reports the

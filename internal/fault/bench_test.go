@@ -1,0 +1,70 @@
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// The disabled path — a nil hook, which is what production engines run
+// with — must stay in the same sub-5ns class as internal/obs's
+// disabled instruments (OBSERVABILITY.md "Overhead"). CI runs the
+// FaultDisabled benchmarks into BENCH_fault.json.
+
+var (
+	sinkKind fault.Kind
+	sinkF    float64
+	sinkBool bool
+)
+
+func BenchmarkFaultDisabledFate(b *testing.B) {
+	var s *fault.Schedule
+	for i := 0; i < b.N; i++ {
+		sinkKind = s.Fate("bench", i)
+	}
+}
+
+func BenchmarkFaultDisabledDispatch(b *testing.B) {
+	var s *fault.Schedule
+	for i := 0; i < b.N; i++ {
+		sinkF, _, sinkBool = s.Dispatch("bench", i, 1, 2)
+	}
+}
+
+func BenchmarkFaultScheduleDispatch(b *testing.B) {
+	s, err := fault.NewSchedule(fault.Plan{Seed: 1, Rates: map[fault.Kind]float64{
+		fault.KindPanic:  0.01,
+		fault.KindPoison: 0.01,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sinkF, _, sinkBool = s.Dispatch("bench", i, 1, 2)
+	}
+}
+
+// TestDisabledFaultPathUnderFiveNanoseconds enforces the contract the
+// way internal/obs does: skipped under -short and under the race
+// detector (instrumentation skews timing), enforced in CI's benchmark
+// step.
+func TestDisabledFaultPathUnderFiveNanoseconds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing assertion skipped under the race detector")
+	}
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"Fate", BenchmarkFaultDisabledFate},
+		{"Dispatch", BenchmarkFaultDisabledDispatch},
+	} {
+		res := testing.Benchmark(bench.fn)
+		if ns := res.NsPerOp(); ns >= 5 {
+			t.Errorf("disabled %s costs %d ns/op, want < 5", bench.name, ns)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// ManualClock is a virtual clock for deterministic deadline tests: it
+// only moves when Advance is called, mirroring internal/display's
+// virtual Clock but in time.Time terms so it can drive serve's idle
+// reaper (it implements serve.Clock). Safe for concurrent use.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock returns a manual clock frozen at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{t: start}
+}
+
+// Now returns the clock's current frozen time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative d is ignored (time never runs backwards).
+func (c *ManualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.t = c.t.Add(d)
+	}
+	return c.t
+}

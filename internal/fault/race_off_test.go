@@ -1,0 +1,7 @@
+//go:build !race
+
+package fault_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; timing assertions are skipped when it is.
+const raceEnabled = false

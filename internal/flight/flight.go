@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -40,14 +41,90 @@ import (
 const BundleSchema = 1
 
 // Point is one raw input sample, the replayable unit of a capture.
+// Coordinates need not be finite — a poisoned stroke is exactly the
+// capture the recorder exists to keep — so the JSON layout encodes
+// non-finite values as the strings "NaN", "+Inf", and "-Inf" (JSON
+// numbers cannot express them) and decodes them back bit-for-bit.
 type Point struct {
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
 	T float64 `json:"t"`
 }
 
+// wirePoint is Point's JSON layout, with non-finite-safe coordinates.
+type wirePoint struct {
+	X jsonFloat `json:"x"`
+	Y jsonFloat `json:"y"`
+	T jsonFloat `json:"t"`
+}
+
+// MarshalJSON implements json.Marshaler, encoding non-finite
+// coordinates as strings.
+func (p Point) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wirePoint{jsonFloat(p.X), jsonFloat(p.Y), jsonFloat(p.T)})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both plain
+// numbers and the non-finite string forms.
+func (p *Point) UnmarshalJSON(b []byte) error {
+	var w wirePoint
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*p = Point{X: float64(w.X), Y: float64(w.Y), T: float64(w.T)}
+	return nil
+}
+
+// jsonFloat is a float64 that survives JSON round-trips even when
+// non-finite: NaN and the infinities — which encoding/json rejects as
+// numbers — are written as the strings "NaN", "+Inf", and "-Inf".
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = jsonFloat(math.NaN())
+		case "+Inf":
+			*f = jsonFloat(math.Inf(1))
+		case "-Inf":
+			*f = jsonFloat(math.Inf(-1))
+		default:
+			return fmt.Errorf("flight: bad non-finite float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
 // Decision mirrors eager.Decision with JSON tags — one recorded eager
-// step. See eager.Decision for field semantics.
+// step. See eager.Decision for field semantics. Margin gets the same
+// non-finite-safe JSON encoding as Point coordinates: a decision made
+// against a poisoned extractor may carry a NaN margin.
 type Decision struct {
 	Index  int     `json:"index"`
 	Kind   string  `json:"kind"`
@@ -55,6 +132,31 @@ type Decision struct {
 	Class  string  `json:"class,omitempty"`
 	Margin float64 `json:"margin"`
 	Err    string  `json:"err,omitempty"`
+}
+
+// wireDecision is Decision's JSON layout, with a non-finite-safe margin.
+type wireDecision struct {
+	Index  int       `json:"index"`
+	Kind   string    `json:"kind"`
+	Fired  bool      `json:"fired"`
+	Class  string    `json:"class,omitempty"`
+	Margin jsonFloat `json:"margin"`
+	Err    string    `json:"err,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Decision) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireDecision{d.Index, d.Kind, d.Fired, d.Class, jsonFloat(d.Margin), d.Err})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Decision) UnmarshalJSON(b []byte) error {
+	var w wireDecision
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*d = Decision{Index: w.Index, Kind: w.Kind, Fired: w.Fired, Class: w.Class, Margin: float64(w.Margin), Err: w.Err}
+	return nil
 }
 
 // Outcome is the final result of one captured gesture.
@@ -67,6 +169,11 @@ type Outcome struct {
 	Poisoned bool `json:"poisoned"`
 	// Drained reports that the session was force-finished at Close.
 	Drained bool `json:"drained"`
+	// Reason is the serving layer's typed outcome reason — "completed",
+	// "degraded", "drained", "reaped" (idle-deadline force-finish), or
+	// "panicked" (dispatch panic quarantined the session); "" when the
+	// capturing layer predates reasons. Mirrors serve.Outcome.
+	Reason string `json:"reason,omitempty"`
 	// LatencyNS is the end-to-end session latency in nanoseconds (0 when
 	// the serving layer did not time the session).
 	LatencyNS int64 `json:"latency_ns"`
@@ -127,8 +234,11 @@ func (c *Capture) Decisions() []Decision { return c.decisions }
 
 // Bundle seals the capture into a Bundle with the given outcome.
 // FiredEager and Poisoned are derived from the recorded decisions; the
-// caller supplies the serving-layer facts (class, drained, latency).
-func (c *Capture) Bundle(class string, drained bool, latency time.Duration) *Bundle {
+// caller supplies the serving-layer facts: the class, the typed outcome
+// reason ("completed", "degraded", "drained", "reaped", "panicked" —
+// mirroring serve.Outcome strings; Drained is derived from it), and the
+// latency.
+func (c *Capture) Bundle(class, reason string, latency time.Duration) *Bundle {
 	fired := false
 	for i := range c.decisions {
 		if c.decisions[i].Fired {
@@ -145,7 +255,8 @@ func (c *Capture) Bundle(class string, drained bool, latency time.Duration) *Bun
 			Class:      class,
 			FiredEager: fired,
 			Poisoned:   c.poisoned,
-			Drained:    drained,
+			Drained:    reason == "drained",
+			Reason:     reason,
 			LatencyNS:  latency.Nanoseconds(),
 		},
 	}
@@ -367,7 +478,10 @@ func ReadDumpFile(path string) (*Dump, error) {
 }
 
 // Validate checks the bundle's internal consistency: one "add" decision
-// per point, in order, with any "end" decisions trailing.
+// per point, in order, with any "end" or "degrade" decisions trailing.
+// A "degrade" decision (the eager layer's poisoned-stroke fallback)
+// carries the finite-prefix length as its index, which can never exceed
+// the points seen so far.
 func (b *Bundle) Validate() error {
 	adds := 0
 	for i, d := range b.Decisions {
@@ -380,6 +494,10 @@ func (b *Bundle) Validate() error {
 		case "end":
 			if d.Index != len(b.Points) {
 				return fmt.Errorf("decision %d: end index %d, want point count %d", i, d.Index, len(b.Points))
+			}
+		case "degrade":
+			if d.Index < 0 || d.Index > adds {
+				return fmt.Errorf("decision %d: degrade prefix %d outside [0, %d]", i, d.Index, adds)
 			}
 		default:
 			return fmt.Errorf("decision %d: unknown kind %q", i, d.Kind)

@@ -1,6 +1,7 @@
 package flight_test
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -22,7 +23,7 @@ func mkBundle(session string, points int, poisoned bool, class string, latency t
 		}
 		c.TapDecision(d)
 	}
-	return c.Bundle(class, false, latency)
+	return c.Bundle(class, "completed", latency)
 }
 
 func TestTriggerString(t *testing.T) {
@@ -53,7 +54,7 @@ func TestTriggerPolicies(t *testing.T) {
 	rejected := mkBundle("rej", 3, false, "", time.Millisecond)
 	poisoned := mkBundle("poi", 3, true, "", time.Millisecond)
 	slow := mkBundle("slow", 3, false, "circle", 50*time.Millisecond)
-	empty := flight.NewCapture("empty").Bundle("circle", false, time.Millisecond)
+	empty := flight.NewCapture("empty").Bundle("circle", "completed", time.Millisecond)
 
 	cases := []struct {
 		name string
@@ -207,5 +208,41 @@ func TestBundleValidate(t *testing.T) {
 		if err := b.Validate(); err == nil {
 			t.Errorf("%s: Validate passed", c.name)
 		}
+	}
+}
+
+// TestDumpRoundTripsNonFinitePoints: a poisoned capture carries the
+// NaN/Inf point that poisoned it — the bundle the recorder most exists
+// to keep — and the JSON layout must round-trip it bit-for-bit rather
+// than fail to encode (encoding/json rejects non-finite numbers).
+func TestDumpRoundTripsNonFinitePoints(t *testing.T) {
+	c := flight.NewCapture("poisoned")
+	c.TapPoint(geom.TimedPoint{X: 1, Y: 2, T: 0})
+	c.TapDecision(eager.Decision{Index: 1, Kind: "add"})
+	c.TapPoint(geom.TimedPoint{X: math.NaN(), Y: math.Inf(1), T: math.Inf(-1)})
+	c.TapDecision(eager.Decision{Index: 2, Kind: "add", Margin: math.NaN(), Err: "poisoned"})
+	r := flight.NewRecorder(flight.Options{Capacity: 4, Trigger: flight.TriggerAlways})
+	r.Offer(c.Bundle("", "degraded", time.Millisecond))
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON on a non-finite capture: %v", err)
+	}
+	dump, err := flight.ReadDump(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1", len(dump.Bundles))
+	}
+	p := dump.Bundles[0].Points[1]
+	if !math.IsNaN(p.X) || !math.IsInf(p.Y, 1) || !math.IsInf(p.T, -1) {
+		t.Errorf("non-finite point did not round-trip: %+v", p)
+	}
+	if got := dump.Bundles[0].Points[0]; got.X != 1 || got.Y != 2 || got.T != 0 {
+		t.Errorf("finite point changed in round-trip: %+v", got)
+	}
+	if m := dump.Bundles[0].Decisions[1].Margin; !math.IsNaN(m) {
+		t.Errorf("NaN margin round-tripped to %v", m)
 	}
 }

@@ -57,10 +57,17 @@ func Replay(rec *eager.Recognizer, b *Bundle) (*Divergence, error) {
 		_, _, _ = sess.Add(geom.TimedPoint{X: p.X, Y: p.Y, T: p.T})
 	}
 	for _, d := range b.Decisions {
-		if d.Kind == "end" {
+		switch d.Kind {
+		case "end":
 			_, _ = sess.End()
-			break // End is one-shot; a second call records nothing.
+		case "degrade":
+			// A degraded capture (poisoned stroke, full classifier on the
+			// finite prefix) replays by re-issuing the same fallback.
+			_, _ = sess.Degrade()
+		default:
+			continue
 		}
+		break // End/Degrade are one-shot; a second call records nothing.
 	}
 	return diffDecisions(b.Decisions, tap.Decisions()), nil
 }

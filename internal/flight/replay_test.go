@@ -52,7 +52,7 @@ func record(t *testing.T, rec *eager.Recognizer, points geom.Path, end bool) *fl
 	if end && !fired {
 		class, _ = sess.End()
 	}
-	return tap.Bundle(class, false, 0)
+	return tap.Bundle(class, "completed", 0)
 }
 
 func TestReplayBitIdentical(t *testing.T) {
@@ -148,7 +148,7 @@ func BenchmarkFlightCapture(b *testing.B) {
 			sess.Add(p)
 		}
 		sess.End()
-		sinkBundle = tap.Bundle("x", false, 0)
+		sinkBundle = tap.Bundle("x", "completed", 0)
 	}
 }
 

@@ -2,6 +2,7 @@ package gesture
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -114,7 +115,7 @@ func TestSetClassesOrderAndCounts(t *testing.T) {
 
 func TestValidate(t *testing.T) {
 	var s Set
-	if err := s.Validate(); err != ErrEmptySet {
+	if err := s.Validate(); !errors.Is(err, ErrEmptySet) {
 		t.Errorf("empty set: %v", err)
 	}
 	s.Add("", mk(0, 0, 1, 1))

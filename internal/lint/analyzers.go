@@ -2,5 +2,5 @@ package lint
 
 // All returns the full analyzer suite in the order glint runs it.
 func All() []*Analyzer {
-	return []*Analyzer{Nopanic, Floateq, NanGuard, Mutexcopy, Ctxarg, Expdoc, Spanend}
+	return []*Analyzer{Nopanic, Floateq, NanGuard, Mutexcopy, Ctxarg, Expdoc, Spanend, Errcmp}
 }

@@ -51,6 +51,10 @@ func TestSpanend(t *testing.T) {
 	linttest.Run(t, lint.Spanend, "testdata/spanend", "fixture/spanend")
 }
 
+func TestErrcmp(t *testing.T) {
+	linttest.Run(t, lint.Errcmp, "testdata/errcmp", "fixture/errcmp")
+}
+
 func TestExpdoc(t *testing.T) {
 	const fixture = "fixture/expdoc"
 	lint.ExpdocPackages[fixture] = true

@@ -28,16 +28,22 @@ type Package struct {
 
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
-	Dir        string
-	ImportPath string
-	Name       string
-	GoFiles    []string
+	Dir          string
+	ImportPath   string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
 }
 
 // Load enumerates the packages matching the patterns with `go list` (run
-// in dir) and type-checks each from source. Test files are not loaded:
-// the analyzers' contracts concern production code, and floateq exempts
-// _test.go files by specification.
+// in dir) and type-checks each from source. Test files are loaded too:
+// in-package _test.go files join their package's type-check unit, and
+// external (package foo_test) files form a separate unit under the
+// import path with a " [test]" suffix. Most analyzers exempt _test.go
+// files by specification, but errcmp deliberately does not — sentinel
+// comparisons that break under error wrapping live mostly in tests — so
+// the loader cannot drop them.
 //
 // Loading shells out to the go tool for package enumeration and uses the
 // standard library's source importer for dependencies, so it works
@@ -69,19 +75,30 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "source", nil)
 	var pkgs []*Package
 	for _, lp := range listed {
-		if len(lp.GoFiles) == 0 {
-			continue
+		if len(lp.GoFiles) > 0 {
+			files := make([]string, 0, len(lp.GoFiles)+len(lp.TestGoFiles))
+			for _, f := range append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...) {
+				files = append(files, filepath.Join(lp.Dir, f))
+			}
+			pkg, err := check(fset, imp, lp.ImportPath, files)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Dir = lp.Dir
+			pkgs = append(pkgs, pkg)
 		}
-		files := make([]string, len(lp.GoFiles))
-		for i, f := range lp.GoFiles {
-			files[i] = filepath.Join(lp.Dir, f)
+		if len(lp.XTestGoFiles) > 0 {
+			files := make([]string, len(lp.XTestGoFiles))
+			for i, f := range lp.XTestGoFiles {
+				files[i] = filepath.Join(lp.Dir, f)
+			}
+			pkg, err := check(fset, imp, lp.ImportPath+" [test]", files)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Dir = lp.Dir
+			pkgs = append(pkgs, pkg)
 		}
-		pkg, err := check(fset, imp, lp.ImportPath, files)
-		if err != nil {
-			return nil, err
-		}
-		pkg.Dir = lp.Dir
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,56 @@
+// Package errcmp is a fixture for the errcmp analyzer.
+package errcmp
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrEmpty is a sentinel in this package.
+var ErrEmpty = errors.New("empty")
+
+// fallback is package-level and an error, but not named Err*, so it is
+// outside the sentinel naming convention the analyzer enforces.
+var fallback = errors.New("fallback")
+
+func compare(err error) bool {
+	if err == ErrEmpty { // want `== against error sentinel ErrEmpty`
+		return true
+	}
+	if err != ErrEmpty { // want `!= against error sentinel ErrEmpty`
+		return true
+	}
+	if ErrEmpty == err { // want `== against error sentinel ErrEmpty`
+		return true
+	}
+	if err == os.ErrNotExist { // want `== against error sentinel ErrNotExist`
+		return true
+	}
+
+	// Exempt: nil tests presence, not identity.
+	if err != nil || ErrEmpty == nil {
+		return false
+	}
+	// Exempt: errors.Is is the fix, not a finding.
+	if errors.Is(err, ErrEmpty) {
+		return false
+	}
+	// Exempt: io.EOF is an error var but not named Err*; by convention
+	// it is never wrapped (Readers return it bare), and the analyzer
+	// keys on the repo's Err* naming.
+	if err == io.EOF {
+		return false
+	}
+	// Exempt: package-level error without the Err prefix.
+	if err == fallback {
+		return false
+	}
+	// Exempt: locally scoped error values are not sentinels.
+	ErrLocal := errors.New("local")
+	if err == ErrLocal {
+		return false
+	}
+	//lint:ignore errcmp fixture demonstrating the allowlist
+	return err == ErrEmpty
+}

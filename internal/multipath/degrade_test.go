@@ -1,0 +1,88 @@
+package multipath
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gesture"
+)
+
+// TestDegradedFallbackOnPoisonedStroke: with the fallback enabled, a
+// mid-stroke non-finite point no longer rejects the gesture — the
+// session decides with the full classifier's answer on the finite
+// prefix and reports Degraded().
+func TestDegradedFallbackOnPoisonedStroke(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	s.SetDegradedFallback(true)
+	g := sampleUD(t, 0)
+	const prefix = 6
+	for i := 0; i < prefix; i++ {
+		kind := FingerMove
+		if i == 0 {
+			kind = FingerDown
+		}
+		s.Handle(Event{Finger: 0, Kind: kind, X: g[i].X, Y: g[i].Y, T: g[i].T})
+	}
+	want, err := rec.Classify(gesture.New(g[:prefix]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Handle(Event{Finger: 0, Kind: FingerMove, X: math.NaN(), Y: 0, T: g[prefix].T})
+	if !s.Decided() {
+		t.Fatal("poisoned stroke with fallback enabled did not decide")
+	}
+	if s.Class() != want {
+		t.Errorf("Class() = %q, full classifier on finite prefix says %q", s.Class(), want)
+	}
+	if !s.Degraded() {
+		t.Error("Degraded() = false after the fallback classified")
+	}
+}
+
+// TestPoisonedStrokeStillRejectsWithoutFallback: the pre-existing
+// behavior is untouched when the fallback is off — a poisoned stroke
+// decides the empty class.
+func TestPoisonedStrokeStillRejectsWithoutFallback(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	g := sampleUD(t, 0)
+	for i := 0; i < 4; i++ {
+		kind := FingerMove
+		if i == 0 {
+			kind = FingerDown
+		}
+		s.Handle(Event{Finger: 0, Kind: kind, X: g[i].X, Y: g[i].Y, T: g[i].T})
+	}
+	s.Handle(Event{Finger: 0, Kind: FingerMove, X: math.NaN(), Y: 0, T: g[4].T})
+	if !s.Decided() || s.Class() != "" {
+		t.Fatalf("Decided=%v Class=%q, want rejection (empty class)", s.Decided(), s.Class())
+	}
+	if s.Degraded() {
+		t.Error("Degraded() = true with the fallback disabled")
+	}
+}
+
+// TestDuplicateFingerDownKeepsStroke: a duplicated FingerDown for the
+// live primary finger must not restart the eager stream and discard the
+// collected points — it is a position update only, and the gesture
+// still classifies as if the stream had never been interrupted.
+func TestDuplicateFingerDownKeepsStroke(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	var recognized string
+	s.OnRecognized = func(class string) { recognized = class }
+	g := sampleUD(t, 0)
+	for i, p := range g {
+		kind := FingerMove
+		if i == 0 || i == 3 {
+			kind = FingerDown // i == 3: the duplicate
+		}
+		s.Handle(Event{Finger: 0, Kind: kind, X: p.X, Y: p.Y, T: p.T})
+	}
+	last := g[len(g)-1]
+	s.Handle(Event{Finger: 0, Kind: FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+	if recognized != "U" {
+		t.Fatalf("recognized %q after duplicate FingerDown, want %q", recognized, "U")
+	}
+}

@@ -54,6 +54,11 @@ type Session struct {
 	tracker  *TransformTracker
 	extra    int
 
+	// degrade enables the degraded-classification fallback; degraded
+	// records that it actually fired for this interaction.
+	degrade  bool
+	degraded bool
+
 	// span and tap are forwarded to the eager stream when the primary
 	// finger starts it; both nil by default (tracing/capture disabled).
 	span *obs.Span
@@ -70,6 +75,32 @@ func (s *Session) SetSpan(sp *obs.Span) { s.span = sp }
 // primary finger starts the gesture (see eager.Session.SetTap). Call
 // before the first Handle.
 func (s *Session) SetTap(t eager.Tap) { s.tap = t }
+
+// SetDegradedFallback enables degraded classification: when the eager
+// stream poisons (a non-finite point wrecked the incremental features),
+// the session classifies the longest finite stroke prefix with the full
+// classifier (eager.Session.Degrade) instead of rejecting with "".
+// Degraded reports whether that fallback produced this interaction's
+// class. Off by default; serve.Engine turns it on. Call before the
+// first Handle.
+func (s *Session) SetDegradedFallback(on bool) { s.degrade = on }
+
+// Degraded reports that the recognized class came from the degraded
+// fallback (SetDegradedFallback) rather than the healthy eager path.
+func (s *Session) Degraded() bool { return s.degraded }
+
+// rejectClass maps a poisoned or unclassifiable stream to its fallback
+// class: with the degraded fallback enabled, the finite prefix's full
+// classification; otherwise "" — the rejection marker.
+func (s *Session) rejectClass() string {
+	if s.degrade && s.stream != nil {
+		if class, err := s.stream.Degrade(); err == nil {
+			s.degraded = true
+			return class
+		}
+	}
+	return ""
+}
 
 // NewSession starts a multi-finger interaction over the given recognizer.
 func NewSession(rec *eager.Recognizer) *Session {
@@ -137,9 +168,17 @@ func (s *Session) Handle(ev Event) {
 		}
 		s.fingers[ev.Finger] = p
 		if len(s.order) == 1 {
+			if s.stream != nil || s.decided {
+				// Duplicate FingerDown for the live primary finger: the
+				// stream is already running (or already rejected) —
+				// restarting it here would silently discard the collected
+				// stroke. Treat the event as a position update only.
+				return
+			}
 			// Primary finger starts the gesture. A session or Add error
 			// (invalid options, non-finite input) rejects the gesture:
-			// decide("") so manipulation can still proceed classless.
+			// decide("") — or the degraded fallback's class — so
+			// manipulation can still proceed.
 			stream, err := s.rec.NewSession()
 			if err != nil {
 				s.decide("")
@@ -150,7 +189,7 @@ func (s *Session) Handle(ev Event) {
 			s.stream = stream
 			fired, class, err := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T})
 			if err != nil {
-				s.decide("")
+				s.decide(s.rejectClass())
 			} else if fired {
 				s.decide(class)
 			}
@@ -175,7 +214,7 @@ func (s *Session) Handle(ev Event) {
 			}
 			fired, class, err := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T})
 			if err != nil {
-				s.decide("")
+				s.decide(s.rejectClass())
 				s.syncManipState()
 			} else if fired {
 				s.decide(class)
@@ -234,14 +273,15 @@ func (s *Session) Finish() string {
 }
 
 // endClass finishes the streaming session, mapping any error (an
-// unclassifiable stroke) to "" — the session's rejection marker.
+// unclassifiable stroke) to the degraded fallback's class when enabled,
+// or "" — the session's rejection marker.
 func (s *Session) endClass() string {
 	if s.stream == nil {
 		return ""
 	}
 	class, err := s.stream.End()
 	if err != nil {
-		return ""
+		return s.rejectClass()
 	}
 	return class
 }

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"repro/internal/eager"
+	"repro/internal/fault"
 	"repro/internal/flight"
 	"repro/internal/geom"
 	"repro/internal/multipath"
@@ -71,7 +73,9 @@ const FlightCapacity = 64
 // keep-everything flight recorder attached), exercise the swap and
 // swap-rejection paths, leave one session to be drained at Close and one
 // too short to ever fire eagerly (so the mouse-up "classify" span is
-// exercised), replay gestures through Recognizer.Run for the
+// exercised), run the scripted failure segment (a poisoned stroke that
+// degrades, a dispatch panic that quarantines, a stalled session the
+// idle reaper collects), replay gestures through Recognizer.Run for the
 // commit-fraction histogram, and poison-then-Reset one span-traced
 // streaming session. After Run, every metric and span name in the
 // OBSERVABILITY.md contract is present in the snapshot.
@@ -102,22 +106,36 @@ func demo(seed int64) (*obs.Registry, *eager.Recognizer, *flight.Recorder, error
 	spans := reg.Spans("gesture.spans", SpanCapacity)
 
 	fr := flight.NewRecorder(flight.Options{Capacity: FlightCapacity, Trigger: flight.TriggerAlways})
+	// The fault script drives the demo's failure segment: one session
+	// poisoned mid-stroke (degraded classification), one panicked at
+	// dispatch (quarantine). Index 3 is below MinSubgesture, so neither
+	// session can have decided eagerly before the fault lands.
+	script := fault.NewScript().
+		Set("demo-fault-degraded", 3, fault.KindPoison).
+		Set("demo-fault-panic", 3, fault.KindPanic)
+	script.Instrument(reg)
+	clk := fault.NewManualClock(time.Unix(1_700_000_000, 0))
 	e, err := serve.New(rec, serve.Options{
-		Shards:     minInt(4, runtime.GOMAXPROCS(0)),
-		QueueDepth: 64,
-		Obs:        reg,
-		Flight:     fr,
+		Shards:       minInt(4, runtime.GOMAXPROCS(0)),
+		QueueDepth:   64,
+		Obs:          reg,
+		Flight:       fr,
+		Fault:        script,
+		Clock:        clk,
+		IdleTimeout:  time.Second,
+		ReapInterval: -1, // reap on demand only; the clock is virtual
 	})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("obsdemo: %w", err)
 	}
+	sub := serve.NewSubmitter(e, serve.SubmitterOptions{Obs: reg})
 
 	gen := synth.NewGenerator(synth.DefaultParams(seed + 1))
 	classes := synth.GDPClasses()
 	const sessions = 24
 	for i := 0; i < sessions; i++ {
 		s := gen.Sample(classes[i%len(classes)])
-		if err := play(e, fmt.Sprintf("demo-%03d", i), s.G.Points, true); err != nil {
+		if err := play(sub, fmt.Sprintf("demo-%03d", i), s.G.Points, true); err != nil {
 			return nil, nil, nil, err
 		}
 	}
@@ -135,13 +153,38 @@ func demo(seed int64) (*obs.Registry, *eager.Recognizer, *flight.Recorder, error
 	if n := rec.Opts.MinSubgesture - 1; len(short) > n {
 		short = short[:n]
 	}
-	if err := play(e, "demo-short", short, true); err != nil {
+	if err := play(sub, "demo-short", short, true); err != nil {
 		return nil, nil, nil, err
+	}
+
+	// Failure segment, driven by the fault script: one poisoned stroke
+	// that degrades (full classifier on the finite prefix), one dispatch
+	// panic that quarantines its session while the shard keeps serving,
+	// and one stalled session the idle reaper collects after the virtual
+	// clock jumps past the deadline.
+	s = gen.Sample(classes[2])
+	if err := play(sub, "demo-fault-degraded", s.G.Points, true); err != nil {
+		return nil, nil, nil, err
+	}
+	s = gen.Sample(classes[3])
+	if err := play(sub, "demo-fault-panic", s.G.Points, true); err != nil {
+		return nil, nil, nil, err
+	}
+	s = gen.Sample(classes[4])
+	if err := play(sub, "demo-fault-stall", s.G.Points, false); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := e.Flush(); err != nil {
+		return nil, nil, nil, fmt.Errorf("obsdemo: flush: %w", err)
+	}
+	clk.Advance(2 * time.Second)
+	if _, err := e.Reap(); err != nil {
+		return nil, nil, nil, fmt.Errorf("obsdemo: reap: %w", err)
 	}
 
 	// One session left open (no FingerUp) so Close drains it.
 	s = gen.Sample(classes[0])
-	if err := play(e, "demo-open", s.G.Points, false); err != nil {
+	if err := play(sub, "demo-open", s.G.Points, false); err != nil {
 		return nil, nil, nil, err
 	}
 	if err := e.Close(); err != nil {
@@ -177,39 +220,28 @@ func demo(seed int64) (*obs.Registry, *eager.Recognizer, *flight.Recorder, error
 	return reg, rec, fr, nil
 }
 
-// play streams one single-finger interaction into the engine, retrying
-// on backpressure. finish controls whether the FingerUp is sent (false
-// leaves the session in flight for Close to drain).
-func play(e *serve.Engine, id string, g geom.Path, finish bool) error {
+// play streams one single-finger interaction through the submitter
+// (which absorbs backpressure with unlimited retries). finish controls
+// whether the FingerUp is sent (false leaves the session in flight for
+// Close to drain or the reaper to collect).
+func play(sub *serve.Submitter, id string, g geom.Path, finish bool) error {
 	for i, p := range g {
 		kind := multipath.FingerMove
 		if i == 0 {
 			kind = multipath.FingerDown
 		}
-		if err := submitRetry(e, serve.Event{Session: id, Kind: kind, X: p.X, Y: p.Y, T: p.T}); err != nil {
-			return err
+		if err := sub.Submit(serve.Event{Session: id, Kind: kind, X: p.X, Y: p.Y, T: p.T}); err != nil {
+			return fmt.Errorf("obsdemo: submit: %w", err)
 		}
 	}
 	if !finish {
 		return nil
 	}
 	last := g[len(g)-1]
-	return submitRetry(e, serve.Event{Session: id, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
-}
-
-// submitRetry applies the retry-on-ErrQueueFull producer policy the
-// engine's backpressure contract expects callers to choose.
-func submitRetry(e *serve.Engine, ev serve.Event) error {
-	for {
-		err := e.Submit(ev)
-		if err == nil {
-			return nil
-		}
-		if err != serve.ErrQueueFull {
-			return fmt.Errorf("obsdemo: submit: %w", err)
-		}
-		runtime.Gosched()
+	if err := sub.Submit(serve.Event{Session: id, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01}); err != nil {
+		return fmt.Errorf("obsdemo: submit: %w", err)
 	}
+	return nil
 }
 
 func minInt(a, b int) int {

@@ -54,10 +54,14 @@ func TestRunPopulatesEveryMetricFamily(t *testing.T) {
 // TestRunDeterministicStructure runs the demo twice with one seed and
 // checks the snapshots agree on everything the contract pins down:
 // metric names, bucket boundaries, and every count-valued metric.
-// (Latency histogram sums differ run over run, so strip them; so does
-// serve.events.rejected, which counts timing-dependent backpressure
-// rejections that submitRetry absorbed.)
+// (Latency histogram sums differ run over run, so strip them; so do
+// serve.events.rejected and serve.submitter.retries, which count
+// timing-dependent backpressure that the Submitter absorbed.)
 func TestRunDeterministicStructure(t *testing.T) {
+	nondeterministic := map[string]bool{
+		"serve.events.rejected":   true,
+		"serve.submitter.retries": true,
+	}
 	strip := func(t *testing.T, seed int64) string {
 		t.Helper()
 		reg, err := Run(seed)
@@ -67,7 +71,7 @@ func TestRunDeterministicStructure(t *testing.T) {
 		snap := reg.Snapshot()
 		counters := snap.Counters[:0:0]
 		for _, c := range snap.Counters {
-			if c.Name != "serve.events.rejected" {
+			if !nondeterministic[c.Name] {
 				counters = append(counters, c)
 			}
 		}

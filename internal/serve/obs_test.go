@@ -92,6 +92,16 @@ func TestEngineObservability(t *testing.T) {
 	if got := snapCounter(t, snap, "serve.swaps"); got != 1 {
 		t.Errorf("serve.swaps = %d, want 1", got)
 	}
+	// A healthy workload must not trip any of the failure-path counters,
+	// but they must all be registered (the contract is load-time).
+	for _, name := range []string{
+		"serve.events.bad", "serve.events.quarantined",
+		"serve.sessions.reaped", "serve.sessions.panicked", "serve.sessions.degraded",
+	} {
+		if got := snapCounter(t, snap, name); got != 0 {
+			t.Errorf("%s = %d, want 0 on a healthy workload", name, got)
+		}
+	}
 	if got := snapCounter(t, snap, "serve.swaps_rejected"); got != 1 {
 		t.Errorf("serve.swaps_rejected = %d, want 1", got)
 	}

@@ -22,7 +22,25 @@
 //
 //   - Backpressure. Submit never blocks and never drops silently: when a
 //     shard's queue is full it returns ErrQueueFull and counts the
-//     rejection, and the caller decides (shed, retry, spill).
+//     rejection, and the caller decides (shed, retry, spill). Submitter
+//     packages the standard bounded-retry/backoff/shed policy.
+//
+//   - Hostile input stops at the door. Submit validates every event —
+//     non-finite coordinates, negative or regressing timestamps, empty
+//     session IDs are rejected with ErrBadEvent before they can reach
+//     feature extraction (see DESIGN.md §9, "Fault model").
+//
+//   - Failure is contained per session. A panic while dispatching an
+//     event is recovered inside the shard loop: the session is finished
+//     with OutcomePanicked and quarantined, the shard keeps serving its
+//     other sessions. A poisoned eager stream (non-finite input past
+//     validation — i.e. internal corruption, simulated by
+//     Options.Fault) degrades to full-classification of the finite
+//     stroke prefix instead of rejecting (OutcomeDegraded). A session
+//     whose producer vanishes mid-stroke is force-finished by the idle
+//     reaper once Options.IdleTimeout passes with no events
+//     (OutcomeReaped) — the serving-side analogue of internal/display's
+//     motionless timeout.
 //
 //   - Clean shutdown. Close stops intake (ErrClosed), lets every shard
 //     drain its queued events, force-finishes in-flight sessions via
@@ -43,6 +61,7 @@ import (
 
 	"repro/internal/eager"
 	"repro/internal/flight"
+	"repro/internal/mathx"
 	"repro/internal/multipath"
 	"repro/internal/obs"
 )
@@ -55,6 +74,12 @@ var (
 	ErrQueueFull = errors.New("serve: shard queue full")
 	// ErrClosed reports a Submit after Close.
 	ErrClosed = errors.New("serve: engine closed")
+	// ErrBadEvent reports an event rejected by Submit-time validation:
+	// non-finite coordinates, a non-finite or negative timestamp, a
+	// timestamp regressing below the session's previous accepted event,
+	// or an empty session ID. The event was not enqueued. Match with
+	// errors.Is; the concrete error says which check failed.
+	ErrBadEvent = errors.New("serve: bad event")
 )
 
 // DefaultQueueDepth is the per-shard event queue capacity used when
@@ -69,12 +94,80 @@ type Event struct {
 	X, Y, T float64
 }
 
+// Outcome is the typed reason a session finished — every Result carries
+// exactly one.
+type Outcome int
+
+// Session outcomes.
+const (
+	// OutcomeCompleted is the healthy path: the interaction ran to its
+	// natural end (all fingers lifted).
+	OutcomeCompleted Outcome = iota
+	// OutcomeDegraded means the eager stream poisoned mid-stroke and the
+	// class came from the degraded fallback (full classifier on the
+	// finite prefix). The interaction still ended naturally.
+	OutcomeDegraded
+	// OutcomeDrained means Close force-finished the session, classifying
+	// the stroke prefix collected so far.
+	OutcomeDrained
+	// OutcomeReaped means the idle reaper force-finished the session
+	// after Options.IdleTimeout without events.
+	OutcomeReaped
+	// OutcomePanicked means dispatching an event for this session
+	// panicked; the panic was recovered, the session finished with class
+	// "" and was quarantined (later events for its ID are dropped).
+	OutcomePanicked
+)
+
+// String names the outcome ("completed", "degraded", "drained",
+// "reaped", "panicked"); unknown values render as "outcome(N)".
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeDrained:
+		return "drained"
+	case OutcomeReaped:
+		return "reaped"
+	case OutcomePanicked:
+		return "panicked"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
 // Result is the outcome of one completed interaction: the recognized
 // class ("" marks a rejected/unclassifiable stroke, matching the session
-// layer's convention).
+// layer's convention) and the typed reason the session ended.
 type Result struct {
 	Session string
 	Class   string
+	Outcome Outcome
+}
+
+// Clock abstracts the engine's time source so deadline behavior is
+// testable with a virtual clock (fault.ManualClock implements it). The
+// zero Options use the wall clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Injector is the engine-side fault-injection hook (fault.Schedule and
+// fault.Script implement it). When Options.Fault is set, the engine
+// consults Dispatch once per dispatched event — from the shard
+// goroutine, with the session's 0-based dispatch index — and uses the
+// possibly-corrupted coordinates; panicNow=true makes the engine panic
+// in place of dispatching, exercising panic isolation. Implementations
+// must be safe for concurrent use across shards. Nil disables injection
+// at the cost of one nil check per event.
+type Injector interface {
+	Dispatch(session string, index int, x, y float64) (fx, fy float64, panicNow bool)
 }
 
 // Options configures an Engine.
@@ -91,6 +184,24 @@ type Options struct {
 	// callback stalls its shard — that is the backpressure propagating,
 	// by design.
 	OnResult func(Result)
+	// IdleTimeout, when positive, arms the idle reaper: a session that
+	// receives no events for at least this long (by Clock) is
+	// force-finished with OutcomeReaped — the defense against producers
+	// that vanish mid-stroke. 0 disables deadlines entirely.
+	IdleTimeout time.Duration
+	// ReapInterval is the background reaper's sweep period: 0 means
+	// IdleTimeout/4 (floored at 1ms), negative disables the background
+	// sweeper — reaping then only happens via explicit Reap calls, which
+	// is what deterministic virtual-clock tests want. Ignored when
+	// IdleTimeout is 0.
+	ReapInterval time.Duration
+	// Clock is the deadline time source; nil means the wall clock. Tests
+	// inject fault.ManualClock.
+	Clock Clock `json:"-"`
+	// Fault, when set, is consulted once per dispatched event and may
+	// corrupt coordinates or force a panic — the chaos hook (see
+	// internal/fault). Nil (production) costs one nil check per event.
+	Fault Injector `json:"-"`
 	// Obs, when set, attaches the engine's metrics and trace ring to the
 	// registry (see OBSERVABILITY.md for the serve.* contract), and opens
 	// one causally-nested span trace per gesture in the registry's
@@ -114,17 +225,22 @@ type Options struct {
 // engineMetrics holds the engine's obs handles. The zero value (all nil)
 // is the uninstrumented state; see OBSERVABILITY.md for the contract.
 type engineMetrics struct {
-	submitted     *obs.Counter   // serve.events.submitted
-	rejected      *obs.Counter   // serve.events.rejected
-	opened        *obs.Counter   // serve.sessions.opened
-	completed     *obs.Counter   // serve.sessions.completed
-	drained       *obs.Counter   // serve.sessions.drained (subset of completed)
-	swaps         *obs.Counter   // serve.swaps
-	swapsRejected *obs.Counter   // serve.swaps_rejected (nil recognizer refused)
-	queueDepth    *obs.Histogram // serve.queue.depth, sampled per accepted Submit
-	queueWaitNS   *obs.Histogram // serve.queue.wait_ns, enqueue -> dequeue
-	sessionNS     *obs.Histogram // serve.session.latency_ns, first submit -> completion
-	trace         *obs.Ring      // serve.trace lifecycle events
+	submitted     *obs.Counter    // serve.events.submitted
+	rejected      *obs.Counter    // serve.events.rejected
+	bad           *obs.Counter    // serve.events.bad (failed validation)
+	quarantined   *obs.Counter    // serve.events.quarantined (dropped, post-panic session)
+	opened        *obs.Counter    // serve.sessions.opened
+	completed     *obs.Counter    // serve.sessions.completed
+	drained       *obs.Counter    // serve.sessions.drained (subset of completed)
+	reaped        *obs.Counter    // serve.sessions.reaped (subset of completed)
+	panicked      *obs.Counter    // serve.sessions.panicked (subset of completed)
+	degraded      *obs.Counter    // serve.sessions.degraded (subset of completed)
+	swaps         *obs.Counter    // serve.swaps
+	swapsRejected *obs.Counter    // serve.swaps_rejected (nil recognizer refused)
+	queueDepth    *obs.Histogram  // serve.queue.depth, sampled per accepted Submit
+	queueWaitNS   *obs.Histogram  // serve.queue.wait_ns, enqueue -> dequeue
+	sessionNS     *obs.Histogram  // serve.session.latency_ns, first submit -> completion
+	trace         *obs.Ring       // serve.trace lifecycle events
 	spans         *obs.SpanBuffer // gesture.spans, one trace per gesture
 }
 
@@ -135,9 +251,14 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	return engineMetrics{
 		submitted:     reg.Counter("serve.events.submitted"),
 		rejected:      reg.Counter("serve.events.rejected"),
+		bad:           reg.Counter("serve.events.bad"),
+		quarantined:   reg.Counter("serve.events.quarantined"),
 		opened:        reg.Counter("serve.sessions.opened"),
 		completed:     reg.Counter("serve.sessions.completed"),
 		drained:       reg.Counter("serve.sessions.drained"),
+		reaped:        reg.Counter("serve.sessions.reaped"),
+		panicked:      reg.Counter("serve.sessions.panicked"),
+		degraded:      reg.Counter("serve.sessions.degraded"),
 		swaps:         reg.Counter("serve.swaps"),
 		swapsRejected: reg.Counter("serve.swaps_rejected"),
 		queueDepth:    reg.Histogram("serve.queue.depth", obs.DepthBuckets()),
@@ -152,8 +273,12 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 type Stats struct {
 	Submitted int64 // events accepted into a queue
 	Rejected  int64 // events refused with ErrQueueFull
-	Completed int64 // sessions finished (including drained at Close)
+	Bad       int64 // events refused with ErrBadEvent
+	Completed int64 // sessions finished (any outcome)
 	Active    int64 // sessions currently in flight
+	Reaped    int64 // sessions force-finished by the idle reaper
+	Panicked  int64 // sessions finished by a recovered dispatch panic
+	Degraded  int64 // sessions classified via the degraded fallback
 }
 
 // Engine is the concurrent session server. Create with New; all methods
@@ -167,10 +292,20 @@ type Engine struct {
 	mu     sync.RWMutex // guards closed vs. concurrent Submit/Close
 	closed bool
 
+	clock     Clock
+	deadlines bool          // IdleTimeout > 0
+	stop      chan struct{} // closed at Close to stop the background reaper
+	reaperOn  bool
+	reapWG    sync.WaitGroup
+
 	submitted atomic.Int64
 	rejected  atomic.Int64
+	bad       atomic.Int64
 	completed atomic.Int64
 	active    atomic.Int64
+	reaped    atomic.Int64
+	panicked  atomic.Int64
+	degraded  atomic.Int64
 
 	m engineMetrics
 	// stamp records whether Submit must read the clock: true when either
@@ -180,12 +315,24 @@ type Engine struct {
 	stamp bool
 }
 
+// control is an in-band shard command: a Flush barrier (done only) or a
+// reap sweep. Routed through the event queue so it is serialized with
+// event handling by the shard goroutine, needing no extra locks.
+type control struct {
+	reap   bool
+	reaped *atomic.Int64 // when non-nil, accumulates the sweep's count
+	done   chan struct{} // when non-nil, closed once the command ran
+}
+
 // queued is one enqueued event plus its enqueue timestamp (the zero Time
 // when the engine is uninstrumented), so the shard can observe queue wait
-// on dequeue.
+// on dequeue. A non-nil ctl makes it a control message instead; control
+// messages bypass the submitted counter and the queue-wait histogram, so
+// queue accounting still balances (wait_ns count == events submitted).
 type queued struct {
-	ev Event
-	at time.Time
+	ev  Event
+	at  time.Time
+	ctl *control
 }
 
 // liveSession is one in-flight session plus the enqueue time of the
@@ -197,13 +344,36 @@ type liveSession struct {
 	start   time.Time
 	root    *obs.Span
 	capture *flight.Capture
+	// events is the 0-based dispatch index handed to the fault hook;
+	// lastActive is the Clock reading of the last dispatched event (only
+	// maintained when deadlines are armed).
+	events     int
+	lastActive time.Time
 }
 
 // shard is one worker goroutine's world: its queue and the sessions it
-// exclusively owns. Only that goroutine touches `sessions`.
+// exclusively owns. Only that goroutine touches `sessions` and
+// `quarantined`; `lastT` is shared with Submit under vmu.
 type shard struct {
 	ch       chan queued
 	sessions map[string]*liveSession
+	// quarantined tombstones sessions finished by a recovered panic, so
+	// late events (or a duplicate FingerDown) cannot resurrect the ID
+	// and break the one-Result-per-session invariant. Bounded by the
+	// number of panicked sessions.
+	quarantined map[string]bool
+	// vmu guards lastT, the per-session high-water timestamp Submit uses
+	// to reject regressing events. Entries are cleared when the session
+	// finishes (and for stray events), bounding the map by the live
+	// session count.
+	vmu   sync.Mutex
+	lastT map[string]float64
+}
+
+func (sh *shard) clearLastT(id string) {
+	sh.vmu.Lock()
+	delete(sh.lastT, id)
+	sh.vmu.Unlock()
 }
 
 // New builds and starts an engine serving the given recognizer.
@@ -217,6 +387,9 @@ func New(rec *eager.Recognizer, opts Options) (*Engine, error) {
 	if opts.QueueDepth < 0 {
 		return nil, fmt.Errorf("serve: QueueDepth must be >= 0, got %d", opts.QueueDepth)
 	}
+	if opts.IdleTimeout < 0 {
+		return nil, fmt.Errorf("serve: IdleTimeout must be >= 0, got %v", opts.IdleTimeout)
+	}
 	if opts.Shards == 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
@@ -225,15 +398,35 @@ func New(rec *eager.Recognizer, opts Options) (*Engine, error) {
 	}
 	e := &Engine{opts: opts, m: newEngineMetrics(opts.Obs)}
 	e.stamp = opts.Obs != nil || opts.Flight != nil
+	e.clock = opts.Clock
+	if e.clock == nil {
+		e.clock = wallClock{}
+	}
+	e.deadlines = opts.IdleTimeout > 0
+	e.stop = make(chan struct{})
 	e.rec.Store(rec)
 	for i := 0; i < opts.Shards; i++ {
 		sh := &shard{
-			ch:       make(chan queued, opts.QueueDepth),
-			sessions: make(map[string]*liveSession),
+			ch:          make(chan queued, opts.QueueDepth),
+			sessions:    make(map[string]*liveSession),
+			quarantined: make(map[string]bool),
+			lastT:       make(map[string]float64),
 		}
 		e.shards = append(e.shards, sh)
 		e.wg.Add(1)
 		go e.run(sh)
+	}
+	if e.deadlines && opts.ReapInterval >= 0 {
+		interval := opts.ReapInterval
+		if interval == 0 {
+			interval = opts.IdleTimeout / 4
+		}
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		e.reaperOn = true
+		e.reapWG.Add(1)
+		go e.reapLoop(interval)
 	}
 	return e, nil
 }
@@ -264,11 +457,35 @@ func (e *Engine) shardFor(session string) *shard {
 	return e.shards[h.Sum32()%uint32(len(e.shards))]
 }
 
-// Submit routes one event to its session's shard. It never blocks: a full
-// shard queue returns ErrQueueFull (the event is not enqueued), a closed
-// engine returns ErrClosed. Events for one session are processed in
-// submission order as long as the caller submits them from one goroutine.
+// validate is Submit's stateless event check; the regressing-timestamp
+// check needs per-shard state and lives in Submit itself.
+func validate(ev Event) error {
+	if ev.Session == "" {
+		return fmt.Errorf("%w: empty session ID", ErrBadEvent)
+	}
+	if !mathx.Finite(ev.X) || !mathx.Finite(ev.Y) {
+		return fmt.Errorf("%w: non-finite coordinates (%v, %v) for session %s", ErrBadEvent, ev.X, ev.Y, ev.Session)
+	}
+	if !mathx.Finite(ev.T) || ev.T < 0 {
+		return fmt.Errorf("%w: bad timestamp %v for session %s", ErrBadEvent, ev.T, ev.Session)
+	}
+	return nil
+}
+
+// Submit routes one event to its session's shard. It never blocks: an
+// invalid event returns ErrBadEvent (non-finite coordinates, bad or
+// regressing timestamp, empty session ID — checked before anything can
+// reach feature extraction), a full shard queue returns ErrQueueFull
+// (the event is not enqueued), a closed engine returns ErrClosed. Match
+// all three with errors.Is. Events for one session are processed in
+// submission order as long as the caller submits them from one
+// goroutine.
 func (e *Engine) Submit(ev Event) error {
+	if err := validate(ev); err != nil {
+		e.bad.Add(1)
+		e.m.bad.Inc()
+		return err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -279,26 +496,108 @@ func (e *Engine) Submit(ev Event) error {
 	if e.stamp {
 		at = time.Now()
 	}
+	sh.vmu.Lock()
+	if last, ok := sh.lastT[ev.Session]; ok && ev.T < last {
+		sh.vmu.Unlock()
+		e.bad.Add(1)
+		e.m.bad.Inc()
+		return fmt.Errorf("%w: timestamp %v regresses below %v for session %s", ErrBadEvent, ev.T, last, ev.Session)
+	}
 	select {
 	case sh.ch <- queued{ev: ev, at: at}:
+		sh.lastT[ev.Session] = ev.T
+		sh.vmu.Unlock()
 		e.submitted.Add(1)
 		e.m.submitted.Inc()
 		e.m.queueDepth.Observe(float64(len(sh.ch)))
 		return nil
 	default:
+		sh.vmu.Unlock()
 		e.rejected.Add(1)
 		e.m.rejected.Inc()
 		return ErrQueueFull
 	}
 }
 
+// Flush is a barrier: it blocks until every event accepted by Submit
+// before the call has been dispatched. It works by routing a control
+// message through each shard queue, so it shares the event path's FIFO
+// guarantee. Note the sends block when a queue is full — don't call
+// Flush from an OnResult callback. Returns ErrClosed on a closed
+// engine.
+func (e *Engine) Flush() error {
+	return e.broadcast(&control{})
+}
+
+// Reap synchronously sweeps every shard, force-finishing sessions idle
+// for at least Options.IdleTimeout (by Options.Clock), and returns how
+// many it finished. With a virtual clock and ReapInterval < 0 this is
+// the deterministic way to drive deadlines: advance the clock, call
+// Reap. A no-op (0, nil) when IdleTimeout is 0. Returns ErrClosed on a
+// closed engine.
+func (e *Engine) Reap() (int, error) {
+	var n atomic.Int64
+	if err := e.broadcast(&control{reap: true, reaped: &n}); err != nil {
+		return 0, err
+	}
+	return int(n.Load()), nil
+}
+
+// broadcast sends one control template to every shard and waits for all
+// of them to process it.
+func (e *Engine) broadcast(tmpl *control) error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	dones := make([]chan struct{}, 0, len(e.shards))
+	for _, sh := range e.shards {
+		c := &control{reap: tmpl.reap, reaped: tmpl.reaped, done: make(chan struct{})}
+		sh.ch <- queued{ctl: c}
+		dones = append(dones, c.done)
+	}
+	e.mu.RUnlock()
+	for _, d := range dones {
+		<-d
+	}
+	return nil
+}
+
+// reapLoop is the background sweeper: every interval it drops a
+// non-blocking reap command into each shard queue (skipping full queues
+// — a busy shard is not idle) until Close.
+func (e *Engine) reapLoop(interval time.Duration) {
+	defer e.reapWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			e.mu.RLock()
+			if !e.closed {
+				for _, sh := range e.shards {
+					select {
+					case sh.ch <- queued{ctl: &control{reap: true}}:
+					default:
+					}
+				}
+			}
+			e.mu.RUnlock()
+		}
+	}
+}
+
 // Close stops intake, drains every shard's queued events, force-finishes
 // the sessions still in flight (each is classified on the stroke prefix
-// collected so far and reported through OnResult), and waits for all
-// workers to exit. When Options.FlightDump is set, the flight recorder's
-// JSON dump is then written to it exactly once (the post-mortem
-// artifact). Close is idempotent; concurrent Submits during Close get
-// ErrClosed or are processed, never lost after being accepted.
+// collected so far and reported through OnResult with OutcomeDrained),
+// and waits for all workers — and the background reaper — to exit. When
+// Options.FlightDump is set, the flight recorder's JSON dump is then
+// written to it exactly once (the post-mortem artifact). Close is
+// idempotent; concurrent Submits during Close get ErrClosed or are
+// processed, never lost after being accepted.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -307,10 +606,12 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	close(e.stop)
 	for _, sh := range e.shards {
 		close(sh.ch)
 	}
 	e.mu.Unlock()
+	e.reapWG.Wait()
 	e.wg.Wait()
 	if e.opts.FlightDump != nil {
 		return e.opts.Flight.WriteJSON(e.opts.FlightDump)
@@ -323,8 +624,12 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Submitted: e.submitted.Load(),
 		Rejected:  e.rejected.Load(),
+		Bad:       e.bad.Load(),
 		Completed: e.completed.Load(),
 		Active:    e.active.Load(),
+		Reaped:    e.reaped.Load(),
+		Panicked:  e.panicked.Load(),
+		Degraded:  e.degraded.Load(),
 	}
 }
 
@@ -333,6 +638,18 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) run(sh *shard) {
 	defer e.wg.Done()
 	for q := range sh.ch {
+		if q.ctl != nil {
+			if q.ctl.reap {
+				n := e.sweep(sh)
+				if q.ctl.reaped != nil {
+					q.ctl.reaped.Add(int64(n))
+				}
+			}
+			if q.ctl.done != nil {
+				close(q.ctl.done)
+			}
+			continue
+		}
 		obs.ObserveSince(e.m.queueWaitNS, q.at)
 		e.handle(sh, q)
 	}
@@ -343,9 +660,76 @@ func (e *Engine) run(sh *shard) {
 	sort.Strings(ids)
 	for _, id := range ids {
 		ls := sh.sessions[id]
-		class := ls.sess.Finish()
-		e.finish(sh, id, ls, class, true)
+		e.forceFinish(sh, id, ls, OutcomeDrained)
 	}
+}
+
+// sweep force-finishes every session idle for at least IdleTimeout,
+// in deterministic ID order, and returns the count. Runs on the shard
+// goroutine (via a control message), so it owns the session map.
+func (e *Engine) sweep(sh *shard) int {
+	if !e.deadlines || len(sh.sessions) == 0 {
+		return 0
+	}
+	now := e.clock.Now()
+	var ids []string
+	for id, ls := range sh.sessions {
+		if now.Sub(ls.lastActive) >= e.opts.IdleTimeout {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e.forceFinish(sh, id, sh.sessions[id], OutcomeReaped)
+	}
+	return len(ids)
+}
+
+// forceFinish ends a session from outside its event stream (reaper or
+// drain): Finish classifies the collected prefix, a panicking Finish is
+// contained exactly like a dispatch panic.
+func (e *Engine) forceFinish(sh *shard, id string, ls *liveSession, outcome Outcome) {
+	class, panicked := e.finishSession(ls)
+	if panicked {
+		sh.quarantined[id] = true
+		e.finish(sh, id, ls, "", OutcomePanicked)
+		return
+	}
+	e.finish(sh, id, ls, class, outcome)
+}
+
+// finishSession calls Finish with panic containment, reporting whether
+// it panicked instead of propagating.
+func (e *Engine) finishSession(ls *liveSession) (class string, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			ls.root.Event("panic", fmt.Sprint(r))
+		}
+	}()
+	return ls.sess.Finish(), false
+}
+
+// dispatch applies one event to its session with panic containment and
+// the fault hook: a panic (injected or real) is recovered here, keeping
+// the shard alive — only the panicking session is lost.
+func (e *Engine) dispatch(id string, ls *liveSession, ev Event) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			ls.root.Event("panic", fmt.Sprint(r))
+		}
+	}()
+	x, y := ev.X, ev.Y
+	if e.opts.Fault != nil {
+		var panicNow bool
+		x, y, panicNow = e.opts.Fault.Dispatch(id, ls.events, x, y)
+		if panicNow {
+			panic(fmt.Sprintf("fault: injected panic (session %s, event %d)", id, ls.events))
+		}
+	}
+	ls.sess.Handle(multipath.Event{Finger: ev.Finger, Kind: ev.Kind, X: x, Y: y, T: ev.T})
+	return false
 }
 
 // handle applies one event to its session, creating the session on its
@@ -356,12 +740,24 @@ func (e *Engine) run(sh *shard) {
 // "queue_wait" and "dispatch" children under it.
 func (e *Engine) handle(sh *shard, q queued) {
 	ev := q.ev
+	if sh.quarantined[ev.Session] {
+		// Late event for a panic-quarantined session: drop it so the ID
+		// cannot resurrect and produce a second Result.
+		e.m.quarantined.Inc()
+		sh.clearLastT(ev.Session)
+		return
+	}
 	ls, ok := sh.sessions[ev.Session]
 	if !ok {
 		if ev.Kind != multipath.FingerDown {
-			return // stray move/up for an unknown or already-retired session
+			// Stray move/up for an unknown or already-retired session;
+			// drop its timestamp high-water mark too, so stray traffic
+			// cannot grow the validation map without bound.
+			sh.clearLastT(ev.Session)
+			return
 		}
 		ls = &liveSession{sess: multipath.NewSession(e.rec.Load()), start: q.at}
+		ls.sess.SetDegradedFallback(true)
 		ls.root = e.m.spans.StartAt("gesture", q.at)
 		ls.root.SetAttr("session", ev.Session)
 		ls.sess.SetSpan(ls.root)
@@ -377,26 +773,60 @@ func (e *Engine) handle(sh *shard, q queued) {
 	qsp := ls.root.ChildAt("queue_wait", q.at)
 	qsp.End()
 	dsp := ls.root.Child("dispatch")
-	ls.sess.Handle(multipath.Event{Finger: ev.Finger, Kind: ev.Kind, X: ev.X, Y: ev.Y, T: ev.T})
+	panicked := e.dispatch(ev.Session, ls, ev)
 	dsp.End()
+	ls.events++
+	if e.deadlines {
+		ls.lastActive = e.clock.Now()
+	}
+	if panicked {
+		sh.quarantined[ev.Session] = true
+		e.finish(sh, ev.Session, ls, "", OutcomePanicked)
+		return
+	}
 	if ls.sess.Completed() {
-		e.finish(sh, ev.Session, ls, ls.sess.Class(), false)
+		outcome := OutcomeCompleted
+		if ls.sess.Degraded() {
+			outcome = OutcomeDegraded
+		}
+		e.finish(sh, ev.Session, ls, ls.sess.Class(), outcome)
 	}
 }
 
 // finish retires one session from its shard: counters, end-to-end
 // latency (enqueue of the opening event through completion), trace,
 // root-span closure, flight-bundle offer, and the OnResult callback.
-// drained marks sessions force-finished at Close.
-func (e *Engine) finish(sh *shard, id string, ls *liveSession, class string, drained bool) {
+// The outcome drives the per-reason counters, trace events, and the
+// bundle's Outcome.Reason.
+func (e *Engine) finish(sh *shard, id string, ls *liveSession, class string, outcome Outcome) {
 	delete(sh.sessions, id)
+	sh.clearLastT(id)
 	e.active.Add(-1)
 	e.completed.Add(1)
 	e.m.completed.Inc()
 	obs.ObserveSince(e.m.sessionNS, ls.start)
 	ls.root.SetAttr("class", class)
-	if drained {
+	ls.root.SetAttr("outcome", outcome.String())
+	switch outcome {
+	case OutcomeDrained:
 		ls.root.SetAttrInt("drained", 1)
+		e.m.drained.Inc()
+		e.m.trace.Emit("session_drained", id)
+	case OutcomeReaped:
+		ls.root.Event("reaped", "")
+		e.reaped.Add(1)
+		e.m.reaped.Inc()
+		e.m.trace.Emit("session_reaped", id)
+	case OutcomePanicked:
+		e.panicked.Add(1)
+		e.m.panicked.Inc()
+		e.m.trace.Emit("session_panicked", id)
+	case OutcomeDegraded:
+		e.degraded.Add(1)
+		e.m.degraded.Inc()
+		e.m.trace.Emit("session_degraded", id)
+	default:
+		e.m.trace.Emit("session_done", id)
 	}
 	ls.root.End()
 	if ls.capture != nil {
@@ -404,15 +834,9 @@ func (e *Engine) finish(sh *shard, id string, ls *liveSession, class string, dra
 		if !ls.start.IsZero() {
 			latency = time.Since(ls.start)
 		}
-		e.opts.Flight.Offer(ls.capture.Bundle(class, drained, latency))
-	}
-	if drained {
-		e.m.drained.Inc()
-		e.m.trace.Emit("session_drained", id)
-	} else {
-		e.m.trace.Emit("session_done", id)
+		e.opts.Flight.Offer(ls.capture.Bundle(class, outcome.String(), latency))
 	}
 	if e.opts.OnResult != nil {
-		e.opts.OnResult(Result{Session: id, Class: class})
+		e.opts.OnResult(Result{Session: id, Class: class, Outcome: outcome})
 	}
 }

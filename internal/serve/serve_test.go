@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -30,19 +31,14 @@ func sampleGesture(seed int64, class int) (geom.Path, string) {
 	return gen.Sample(c).G.Points, c.Name
 }
 
-// submitRetry submits with retry-on-backpressure: the producer-side
-// policy the engine's ErrQueueFull contract expects callers to choose.
+// submitRetry submits through a Submitter with the unlimited-retry
+// policy (the producer-side policy the engine's ErrQueueFull contract
+// expects test producers to choose), failing the test on any
+// non-backpressure error.
 func submitRetry(t testing.TB, e *Engine, ev Event) {
 	t.Helper()
-	for {
-		err := e.Submit(ev)
-		if err == nil {
-			return
-		}
-		if err != ErrQueueFull {
-			t.Fatalf("submit: %v", err)
-		}
-		runtime.Gosched()
+	if err := NewSubmitter(e, SubmitterOptions{}).Submit(ev); err != nil {
+		t.Fatalf("submit: %v", err)
 	}
 }
 
@@ -50,29 +46,43 @@ func submitRetry(t testing.TB, e *Engine, ev Event) {
 // up) for the given session ID.
 func playSession(t testing.TB, e *Engine, id string, g geom.Path) {
 	t.Helper()
+	s := NewSubmitter(e, SubmitterOptions{})
 	for i, p := range g {
 		kind := multipath.FingerMove
 		if i == 0 {
 			kind = multipath.FingerDown
 		}
-		submitRetry(t, e, Event{Session: id, Finger: 0, Kind: kind, X: p.X, Y: p.Y, T: p.T})
+		if err := s.Submit(Event{Session: id, Finger: 0, Kind: kind, X: p.X, Y: p.Y, T: p.T}); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
 	}
 	last := g[len(g)-1]
-	submitRetry(t, e, Event{Session: id, Finger: 0, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+	if err := s.Submit(Event{Session: id, Finger: 0, Kind: multipath.FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
 }
 
-// resultSink collects results safely across shard goroutines.
+// resultSink collects results safely across shard goroutines, tracking
+// duplicate Results per session (there must never be any).
 type resultSink struct {
-	mu      sync.Mutex
-	classes map[string]string
+	mu       sync.Mutex
+	classes  map[string]string
+	outcomes map[string]Outcome
+	dups     int
 }
 
-func newSink() *resultSink { return &resultSink{classes: make(map[string]string)} }
+func newSink() *resultSink {
+	return &resultSink{classes: make(map[string]string), outcomes: make(map[string]Outcome)}
+}
 
 func (rs *resultSink) add(r Result) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
+	if _, ok := rs.classes[r.Session]; ok {
+		rs.dups++
+	}
 	rs.classes[r.Session] = r.Class
+	rs.outcomes[r.Session] = r.Outcome
 }
 
 func (rs *resultSink) get(id string) (string, bool) {
@@ -82,10 +92,23 @@ func (rs *resultSink) get(id string) (string, bool) {
 	return c, ok
 }
 
+func (rs *resultSink) outcome(id string) (Outcome, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	o, ok := rs.outcomes[id]
+	return o, ok
+}
+
 func (rs *resultSink) len() int {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	return len(rs.classes)
+}
+
+func (rs *resultSink) duplicates() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.dups
 }
 
 // TestManyConcurrentSessions drives many interleaved sessions from many
@@ -252,7 +275,7 @@ func TestBackpressureQueueFull(t *testing.T) {
 	var sawFull bool
 	for i := 0; i < 10; i++ {
 		err := e.Submit(Event{Session: "next", Finger: 0, Kind: multipath.FingerDown, X: 1, Y: 1, T: float64(i)})
-		if err == ErrQueueFull {
+		if errors.Is(err, ErrQueueFull) {
 			sawFull = true
 			break
 		}
@@ -296,7 +319,10 @@ func TestCloseDrainsInFlight(t *testing.T) {
 	if _, ok := sink.get("inflight"); !ok {
 		t.Fatal("in-flight session not drained at Close")
 	}
-	if err := e.Submit(Event{Session: "late", Kind: multipath.FingerDown}); err != ErrClosed {
+	if o, _ := sink.outcome("inflight"); o != OutcomeDrained {
+		t.Fatalf("drained session reported outcome %v, want %v", o, OutcomeDrained)
+	}
+	if err := e.Submit(Event{Session: "late", Kind: multipath.FingerDown}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
 	if err := e.Close(); err != nil {
@@ -337,5 +363,40 @@ func TestOptionValidation(t *testing.T) {
 	}
 	if _, err := New(rec, Options{QueueDepth: -1}); err == nil {
 		t.Error("negative QueueDepth accepted")
+	}
+	if _, err := New(rec, Options{IdleTimeout: -1}); err == nil {
+		t.Error("negative IdleTimeout accepted")
+	}
+}
+
+// TestCompletedOutcome: the healthy path reports OutcomeCompleted and
+// its string form renders for logs.
+func TestCompletedOutcome(t *testing.T) {
+	rec := trainRec(t, 7)
+	sink := newSink()
+	e, err := New(rec, Options{Shards: 1, OnResult: sink.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := sampleGesture(905, 1)
+	playSession(t, e, "healthy", g)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if o, ok := sink.outcome("healthy"); !ok || o != OutcomeCompleted {
+		t.Fatalf("outcome = %v (present %v), want %v", o, ok, OutcomeCompleted)
+	}
+	want := map[Outcome]string{
+		OutcomeCompleted: "completed",
+		OutcomeDegraded:  "degraded",
+		OutcomeDrained:   "drained",
+		OutcomeReaped:    "reaped",
+		OutcomePanicked:  "panicked",
+		Outcome(42):      "outcome(42)",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), s)
+		}
 	}
 }

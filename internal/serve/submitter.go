@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrShed reports that a Submitter gave up on an event: every attempt
+// hit ErrQueueFull and the retry budget (SubmitterOptions.MaxAttempts)
+// is spent. The returned error matches both ErrShed and ErrQueueFull
+// under errors.Is, so callers can treat shedding as the terminal form
+// of backpressure.
+var ErrShed = errors.New("serve: event shed after retries")
+
+// SubmitterOptions configures a Submitter's retry policy.
+type SubmitterOptions struct {
+	// MaxAttempts bounds the total Submit attempts per event (first try
+	// included). 0 means retry until the event is accepted or fails for
+	// a reason other than a full queue — the don't-drop-my-events policy
+	// tests and demos want. 1 means never retry.
+	MaxAttempts int
+	// Backoff is the sleep before the first retry; each further retry
+	// doubles it, capped at MaxBackoff. 0 means no sleeping at all —
+	// retries just yield the processor (runtime.Gosched), which is the
+	// right shape for tests with wedged consumers.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. 0 means 32× Backoff.
+	MaxBackoff time.Duration
+	// Obs, when set, counts retries into serve.submitter.retries and
+	// shed events into serve.submitter.shed (see OBSERVABILITY.md).
+	Obs *obs.Registry `json:"-"`
+
+	// sleep is the test seam for observing backoff; nil means
+	// time.Sleep.
+	sleep func(time.Duration)
+}
+
+// Submitter wraps an Engine with the producer-side retry policy that
+// was previously hand-rolled at every call site: Submit retries
+// ErrQueueFull with bounded exponential backoff and sheds (ErrShed)
+// when the attempt budget runs out. Every other error — ErrBadEvent,
+// ErrClosed — passes straight through: retrying can't fix those.
+// Safe for concurrent use by any number of producers.
+type Submitter struct {
+	e       *Engine
+	opts    SubmitterOptions
+	retries *obs.Counter // serve.submitter.retries
+	shed    *obs.Counter // serve.submitter.shed
+}
+
+// NewSubmitter builds a Submitter over the engine. A nil engine panics
+// at first use, not here, matching the rest of the package's
+// construct-then-serve flow.
+func NewSubmitter(e *Engine, opts SubmitterOptions) *Submitter {
+	s := &Submitter{e: e, opts: opts}
+	if opts.Obs != nil {
+		s.retries = opts.Obs.Counter("serve.submitter.retries")
+		s.shed = opts.Obs.Counter("serve.submitter.shed")
+	}
+	if s.opts.sleep == nil {
+		s.opts.sleep = time.Sleep
+	}
+	if s.opts.MaxBackoff == 0 {
+		s.opts.MaxBackoff = 32 * s.opts.Backoff
+	}
+	return s
+}
+
+// Submit submits one event under the retry policy: nil once the engine
+// accepted it, ErrShed (matching ErrQueueFull too) when the attempt
+// budget ran out, and any non-backpressure error (ErrBadEvent,
+// ErrClosed) immediately and unwrapped.
+func (s *Submitter) Submit(ev Event) error {
+	delay := s.opts.Backoff
+	for attempt := 1; ; attempt++ {
+		err := s.e.Submit(ev)
+		if err == nil || !errors.Is(err, ErrQueueFull) {
+			return err
+		}
+		if s.opts.MaxAttempts > 0 && attempt >= s.opts.MaxAttempts {
+			s.shed.Inc()
+			return fmt.Errorf("%w (%d attempts): %w", ErrShed, attempt, err)
+		}
+		s.retries.Inc()
+		if s.opts.Backoff <= 0 {
+			runtime.Gosched()
+			continue
+		}
+		s.opts.sleep(delay)
+		delay *= 2
+		if delay > s.opts.MaxBackoff {
+			delay = s.opts.MaxBackoff
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/multipath"
+	"repro/internal/obs"
+)
+
+// wedgedEngine builds a depth-1, single-shard engine whose only queue
+// slot is already taken and whose consumer is blocked in OnResult, so
+// every further Submit returns ErrQueueFull until release is closed.
+func wedgedEngine(t *testing.T, reg *obs.Registry) (e *Engine, release chan struct{}) {
+	t.Helper()
+	rec := trainRec(t, 7)
+	release = make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	e, err := New(rec, Options{
+		Shards:     1,
+		QueueDepth: 1,
+		Obs:        reg,
+		OnResult: func(Result) {
+			once.Do(func() { close(entered) })
+			<-release
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete tiny session wedges the shard inside OnResult, and one
+	// more event then fills the single queue slot. The depth-1 queue can
+	// bounce these while the shard catches up, so spin on backpressure.
+	for _, ev := range []Event{
+		{Session: "wedge", Kind: multipath.FingerDown, X: 1, Y: 1, T: 0},
+		{Session: "wedge", Kind: multipath.FingerUp, X: 1, Y: 1, T: 0.01},
+	} {
+		for {
+			err := e.Submit(ev)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("wedge submit: %v", err)
+			}
+		}
+	}
+	<-entered
+	for {
+		err := e.Submit(Event{Session: "filler", Kind: multipath.FingerDown, X: 1, Y: 1, T: 0})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("filler submit: %v", err)
+		}
+	}
+	return e, release
+}
+
+// TestSubmitterShedsAfterBudget: against a wedged engine, a bounded
+// Submitter retries exactly MaxAttempts-1 times, then sheds with an
+// error matching both ErrShed and ErrQueueFull.
+func TestSubmitterShedsAfterBudget(t *testing.T) {
+	reg := obs.New()
+	e, release := wedgedEngine(t, reg)
+	defer func() {
+		close(release)
+		if err := e.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	s := NewSubmitter(e, SubmitterOptions{MaxAttempts: 3, Obs: reg})
+	err := s.Submit(Event{Session: "shed-me", Kind: multipath.FingerDown, X: 1, Y: 1, T: 0})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("Submit = %v, want ErrShed", err)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("shed error %v should also match ErrQueueFull", err)
+	}
+	snap := reg.Snapshot()
+	if got := snapCounter(t, snap, "serve.submitter.retries"); got != 2 {
+		t.Errorf("serve.submitter.retries = %d, want 2 (3 attempts)", got)
+	}
+	if got := snapCounter(t, snap, "serve.submitter.shed"); got != 1 {
+		t.Errorf("serve.submitter.shed = %d, want 1", got)
+	}
+}
+
+// TestSubmitterBackoffDoublesAndCaps: the sleep sequence is Backoff,
+// 2×, 4×, ... capped at MaxBackoff, observed through the sleep seam.
+func TestSubmitterBackoffDoublesAndCaps(t *testing.T) {
+	e, release := wedgedEngine(t, nil)
+	defer func() {
+		close(release)
+		if err := e.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	var slept []time.Duration
+	s := NewSubmitter(e, SubmitterOptions{
+		MaxAttempts: 6,
+		Backoff:     time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+	})
+	s.opts.sleep = func(d time.Duration) { slept = append(slept, d) }
+	err := s.Submit(Event{Session: "backoff", Kind: multipath.FingerDown, X: 1, Y: 1, T: 0})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("Submit = %v, want ErrShed", err)
+	}
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		4 * time.Millisecond, 4 * time.Millisecond,
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full sequence %v)", i, slept[i], want[i], slept)
+		}
+	}
+}
+
+// TestSubmitterUnlimitedRetrySucceeds: MaxAttempts 0 keeps retrying
+// until the queue drains, then delivers.
+func TestSubmitterUnlimitedRetrySucceeds(t *testing.T) {
+	e, release := wedgedEngine(t, nil)
+	defer func() {
+		if err := e.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	s := NewSubmitter(e, SubmitterOptions{})
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Submit(Event{Session: "patient", Kind: multipath.FingerDown, X: 1, Y: 1, T: 0})
+	}()
+	// Let it spin against the full queue briefly, then unwedge.
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("unlimited-retry Submit = %v, want nil", err)
+	}
+}
+
+// TestSubmitterPassesThroughTerminalErrors: ErrBadEvent and ErrClosed
+// are not retried — they return immediately and unwrapped.
+func TestSubmitterPassesThroughTerminalErrors(t *testing.T) {
+	rec := trainRec(t, 7)
+	e, err := New(rec, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	s := NewSubmitter(e, SubmitterOptions{MaxAttempts: 5, Obs: reg})
+
+	if err := s.Submit(Event{Session: "", Kind: multipath.FingerDown}); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("bad event through Submitter = %v, want ErrBadEvent", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Event{Session: "x", Kind: multipath.FingerDown}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed engine through Submitter = %v, want ErrClosed", err)
+	}
+	snap := reg.Snapshot()
+	if got := snapCounter(t, snap, "serve.submitter.retries"); got != 0 {
+		t.Errorf("terminal errors must not count retries, got %d", got)
+	}
+	if got := snapCounter(t, snap, "serve.submitter.shed"); got != 0 {
+		t.Errorf("terminal errors must not count shed, got %d", got)
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/multipath"
+	"repro/internal/obs"
+)
+
+// TestSubmitRejectsBadEvents: Submit-time validation refuses malformed
+// events with ErrBadEvent before they can reach a shard queue — no
+// accounting as submitted, no session opened, nothing for feature
+// extraction to choke on.
+func TestSubmitRejectsBadEvents(t *testing.T) {
+	reg := obs.New()
+	rec := trainRec(t, 7)
+	sink := newSink()
+	e, err := New(rec, Options{Shards: 2, OnResult: sink.add, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	nan := math.NaN()
+	inf := math.Inf(1)
+	bad := []struct {
+		name string
+		ev   Event
+	}{
+		{"nan x", Event{Session: "s", Kind: multipath.FingerDown, X: nan, Y: 1, T: 1}},
+		{"inf y", Event{Session: "s", Kind: multipath.FingerDown, X: 1, Y: inf, T: 1}},
+		{"nan t", Event{Session: "s", Kind: multipath.FingerDown, X: 1, Y: 1, T: nan}},
+		{"neg inf x", Event{Session: "s", Kind: multipath.FingerDown, X: math.Inf(-1), Y: 1, T: 1}},
+		{"negative t", Event{Session: "s", Kind: multipath.FingerDown, X: 1, Y: 1, T: -0.5}},
+		{"empty session", Event{Session: "", Kind: multipath.FingerDown, X: 1, Y: 1, T: 1}},
+	}
+	for _, tc := range bad {
+		err := e.Submit(tc.ev)
+		if !errors.Is(err, ErrBadEvent) {
+			t.Errorf("%s: Submit = %v, want ErrBadEvent", tc.name, err)
+		}
+	}
+
+	st := e.Stats()
+	if st.Submitted != 0 {
+		t.Errorf("Stats.Submitted = %d after only bad events, want 0", st.Submitted)
+	}
+	if st.Bad != int64(len(bad)) {
+		t.Errorf("Stats.Bad = %d, want %d", st.Bad, len(bad))
+	}
+	if got := snapCounter(t, reg.Snapshot(), "serve.events.bad"); got != int64(len(bad)) {
+		t.Errorf("serve.events.bad = %d, want %d", got, len(bad))
+	}
+}
+
+// TestSubmitRejectsRegressingTimestamps: within one session, an event
+// whose timestamp drops below the session's accepted high-water mark is
+// refused; equal timestamps are fine (multi-finger frames share one).
+func TestSubmitRejectsRegressingTimestamps(t *testing.T) {
+	rec := trainRec(t, 7)
+	e, err := New(rec, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	if err := e.Submit(Event{Session: "a", Kind: multipath.FingerDown, X: 1, Y: 1, T: 5}); err != nil {
+		t.Fatalf("first event: %v", err)
+	}
+	if err := e.Submit(Event{Session: "a", Kind: multipath.FingerMove, X: 2, Y: 2, T: 3}); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("regressing T: Submit = %v, want ErrBadEvent", err)
+	}
+	if err := e.Submit(Event{Session: "a", Kind: multipath.FingerMove, X: 2, Y: 2, T: 5}); err != nil {
+		t.Fatalf("equal T should be accepted: %v", err)
+	}
+	// Other sessions keep their own high-water mark.
+	if err := e.Submit(Event{Session: "b", Kind: multipath.FingerDown, X: 1, Y: 1, T: 1}); err != nil {
+		t.Fatalf("independent session: %v", err)
+	}
+	st := e.Stats()
+	if st.Submitted != 3 || st.Bad != 1 {
+		t.Errorf("Stats = %+v, want Submitted 3, Bad 1", st)
+	}
+}
