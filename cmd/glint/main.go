@@ -2,11 +2,21 @@
 // suite (internal/lint) over Go packages:
 //
 //	go run ./cmd/glint ./...
+//	go run ./cmd/glint -escape ./...
 //
-// It prints one line per finding and exits 1 when there are findings,
-// 2 on a load or internal error, and 0 on a clean run. The analyzers and
-// the //lint:ignore allowlist mechanism are documented in DESIGN.md
-// ("Static analysis & invariants").
+// Per-package analyzers run first, then the module-level analyzers (the
+// hotalloc allocation gate, which follows //glint:hotpath call chains
+// across packages). With -escape, glint additionally builds the patterns
+// with `go build -gcflags=-m` and cross-checks the compiler's heap-escape
+// diagnostics against the same hot regions, so a compiler-confirmed
+// escape on the hot path fails the run. One //lint:ignore allowlist spans
+// all stages; a directive that suppressed nothing in any of them is
+// reported as stale (unuseddirective).
+//
+// It prints one line per finding (or one JSON record per line with
+// -json) and exits 1 when there are findings, 2 on a load or internal
+// error, and 0 on a clean run. The analyzers and the allowlist mechanism
+// are documented in DESIGN.md ("Static analysis & invariants").
 package main
 
 import (
@@ -27,14 +37,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("dir", ".", "directory to resolve package patterns from")
+	jsonOut := fs.Bool("json", false, "emit findings as newline-delimited JSON records")
+	escape := fs.Bool("escape", false, "cross-check compiler escape analysis (go build -gcflags=-m) against //glint:hotpath regions")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	analyzers := lint.All()
+	modAnalyzers := lint.ModuleAll()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range modAnalyzers {
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stdout, "%-15s %s\n", "escape",
+			"(with -escape) compiler-confirmed heap escapes inside //glint:hotpath regions.")
+		fmt.Fprintf(stdout, "%-15s %s\n", "unuseddirective",
+			"//lint:ignore directives that suppressed nothing in this run.")
 		return 0
 	}
 	patterns := fs.Args()
@@ -47,20 +67,75 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "glint: %v\n", err)
 		return 2
 	}
-	findings := 0
+	if len(pkgs) == 0 {
+		return 0
+	}
+	fset := pkgs[0].Fset // the loader shares one FileSet across packages
+	module, err := lint.ModulePath(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "glint: %v\n", err)
+		return 2
+	}
+
+	// One directive collection spans every stage, so usage is judged only
+	// after package analyzers, module analyzers, and the escape
+	// cross-check have all had their chance to consume a suppression.
+	dirs := lint.NewDirectives()
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := lint.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, analyzers)
+		dirs.Collect(pkg.Fset, pkg.Files)
+		raw, err := lint.Analyze(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, analyzers)
 		if err != nil {
 			fmt.Fprintf(stderr, "glint: %s: %v\n", pkg.ImportPath, err)
 			return 2
 		}
+		diags = append(diags, raw...)
+	}
+
+	mdiags, err := lint.RunModuleAnalyzers(fset, pkgs, module, modAnalyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "glint: %v\n", err)
+		return 2
+	}
+	diags = append(diags, mdiags...)
+	for _, a := range modAnalyzers {
+		ran[a.Name] = true
+	}
+
+	if *escape {
+		ediags, warnings, err := lint.RunEscape(*dir, patterns)
+		if err != nil {
+			fmt.Fprintf(stderr, "glint: %v\n", err)
+			return 2
+		}
+		for _, w := range warnings {
+			fmt.Fprintf(stderr, "glint: escape: %s\n", w)
+		}
+		regions := lint.HotpathRegions(fset, pkgs, module)
+		diags = append(diags, lint.CrossCheckEscapes(ediags, regions)...)
+		ran["escape"] = true
+	}
+
+	diags = dirs.Apply(diags)
+	diags = append(diags, dirs.Unused(ran)...)
+	lint.SortDiagnostics(diags)
+
+	if *jsonOut {
+		if err := lint.EncodeDiagnostics(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "glint: %v\n", err)
+			return 2
+		}
+	} else {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
-			findings++
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "glint: %d finding(s)\n", findings)
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "glint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0

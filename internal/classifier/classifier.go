@@ -349,7 +349,10 @@ func (c *Classifier) Score(f linalg.Vec) ([]float64, error) {
 
 // ScoreInto computes the discriminant values into out (which must have one
 // element per class) and returns it. It performs no allocation beyond the
-// input checks — the form used on the per-mouse-point hot path.
+// input checks — the form used on the per-mouse-point hot path, and the
+// innermost layer of the machine-checked zero-allocation decide path.
+//
+//glint:hotpath
 func (c *Classifier) ScoreInto(f linalg.Vec, out []float64) ([]float64, error) {
 	start := obs.Start(c.m.scoreNS)
 	if err := c.checkInput(f); err != nil {

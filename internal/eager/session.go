@@ -156,9 +156,19 @@ type Session struct {
 	lastBest   string  // AUC's best class name on the last add
 }
 
+// initialPointCapacity is the point capacity a fresh Session preallocates
+// so that typical strokes never grow the backing array on the per-point
+// path; Reset retains whatever capacity the stroke actually reached.
+const initialPointCapacity = 128
+
 // NewSession starts a streaming recognition session. It fails only when
 // the recognizer's feature options are invalid (e.g. deserialized from a
-// corrupt file).
+// corrupt file). Every buffer the per-point path needs — the point
+// store, feature vector, and both score buffers — is allocated here,
+// once, so Add stays allocation-free; pool sessions (serve.Engine does)
+// and Reset between gestures to amortize this constructor away.
+//
+//glint:coldpath runs once per gesture stream, not per point, and session pooling (multipath.Session.Reset) amortizes even that away
 func (r *Recognizer) NewSession() (*Session, error) {
 	ext, err := features.NewExtractor(r.Full.Opts)
 	if err != nil {
@@ -167,6 +177,7 @@ func (r *Recognizer) NewSession() (*Session, error) {
 	return &Session{
 		r:       r,
 		ext:     ext,
+		points:  make(geom.Path, 0, initialPointCapacity),
 		featBuf: make(linalg.Vec, r.Full.Opts.Dim()),
 		aucBuf:  make([]float64, r.AUC.NumClasses()),
 		fullBuf: make([]float64, r.Full.C.NumClasses()),
@@ -206,6 +217,12 @@ func (s *Session) SetTap(t Tap) { s.tap = t }
 // of a stroke counts into eager.session.poisoned. When a span or tap is
 // attached (SetSpan/SetTap), each Add additionally records a "decide"
 // span and reports a Decision.
+//
+// Add is the core of the zero-allocation decide path (the paper's D +
+// C-hat per-point cost): with tracing and capture disabled it performs
+// no allocation once the session's preallocated buffers are warm.
+//
+//glint:hotpath
 func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
 	start := obs.Start(s.m.decideNS)
 	sp := s.span.Child("decide")
@@ -253,6 +270,7 @@ func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
 // (nil when tracing is off); sub-spans for the classifier evaluations
 // hang off it.
 func (s *Session) add(p geom.TimedPoint, sp *obs.Span) (fired bool, class string, err error) {
+	//lint:ignore hotalloc NewSession preallocates initialPointCapacity and Reset retains grown capacity, so steady-state appends never grow the backing array
 	s.points = append(s.points, p)
 	if s.finite == len(s.points)-1 &&
 		mathx.Finite(p.X) && mathx.Finite(p.Y) && mathx.Finite(p.T) {
@@ -347,6 +365,8 @@ func (s *Session) Gesture() gesture.Gesture { return gesture.New(s.points) }
 // eager.fired.eager count. Returns the final class, or an error when the
 // stroke's features are non-finite (the caller should reject the
 // gesture).
+//
+//glint:coldpath runs once at mouse-up, not per point; the full classification it may do is the paper's fallback, priced per gesture
 func (s *Session) End() (string, error) {
 	if !s.decided {
 		sp := s.span.Child("classify")
@@ -390,6 +410,8 @@ func (s *Session) FinitePrefix() int { return s.finite }
 // length as Index, so flight bundles of degraded gestures replay
 // bit-identically (flight.Replay re-issues the Degrade). Calling
 // Degrade on an already-decided session just returns its class.
+//
+//glint:coldpath poisoned-stroke fallback: runs at most once per gesture, only after a non-finite point already wrecked the stream
 func (s *Session) Degrade() (string, error) {
 	if s.decided {
 		return s.class, nil

@@ -1,6 +1,16 @@
 package lint
 
-// All returns the full analyzer suite in the order glint runs it.
+// All returns the full per-package analyzer suite in the order glint runs
+// it.
 func All() []*Analyzer {
-	return []*Analyzer{Nopanic, Floateq, NanGuard, Mutexcopy, Ctxarg, Expdoc, Spanend, Errcmp}
+	return []*Analyzer{
+		Nopanic, Floateq, NanGuard, Mutexcopy, Ctxarg, Expdoc, Spanend, Errcmp,
+		Lockbalance, Atomicsnap, Sendclosed,
+	}
+}
+
+// ModuleAll returns the module-level analyzer suite (checks that walk
+// call chains across package boundaries).
+func ModuleAll() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{Hotalloc}
 }

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicsnap enforces the serve engine's recognizer-swap contract: within
+// one function, an atomic.Pointer is Loaded at most once — the snapshot —
+// and the field is never touched except through its atomic methods. Two
+// Loads in one function can observe two different values across a
+// concurrent Swap, silently mixing model generations in a single
+// decision; a direct read or &-capture of the field bypasses the atomic
+// protocol entirely.
+//
+// Call sites inside loops count once: the check is per static call site,
+// which permits CAS retry loops. Store/Swap/CompareAndSwap alongside one
+// Load are legal (that is the swap protocol itself). _test.go files are
+// exempt.
+var Atomicsnap = &Analyzer{
+	Name: "atomicsnap",
+	Doc: "flag functions that Load an atomic.Pointer more than once or mix " +
+		"atomic access with direct field access.",
+	Run: runAtomicsnap,
+}
+
+// atomicMethods are the sanctioned accessors of an atomic.Pointer.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+}
+
+// isAtomicPointer reports whether t is sync/atomic's Pointer[T].
+func isAtomicPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func runAtomicsnap(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkAtomicScope(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkAtomicScope(pass *Pass, body *ast.BlockStmt) {
+	// Receiver expressions of sanctioned atomic method calls.
+	sanctioned := map[ast.Expr]bool{}
+	type chainUse struct {
+		loads  []ast.Expr
+		direct []ast.Expr
+	}
+	uses := map[string]*chainUse{}
+	var order []string
+	use := func(chain string) *chainUse {
+		u := uses[chain]
+		if u == nil {
+			u = &chainUse{}
+			uses[chain] = u
+			order = append(order, chain)
+		}
+		return u
+	}
+	walkScope(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !atomicMethods[sel.Sel.Name] {
+			return
+		}
+		if tv, ok := pass.Info.Types[sel.X]; !ok || !tv.IsValue() || !isAtomicPointer(tv.Type) {
+			return
+		}
+		chain := renderChain(sel.X)
+		if chain == "" {
+			return // indexed or computed receiver (e.g. ring.slots[i]); out of scope
+		}
+		sanctioned[sel.X] = true
+		if sel.Sel.Name == "Load" {
+			u := use(chain)
+			u.loads = append(u.loads, sel.X)
+		} else {
+			use(chain)
+		}
+	})
+	walkScope(body, func(n ast.Node) {
+		e, ok := n.(ast.Expr)
+		if !ok || sanctioned[e] {
+			return
+		}
+		// Only value uses count: atomic.Pointer[T] also appears as a type
+		// expression (in make, conversions, field declarations).
+		if tv, ok := pass.Info.Types[e]; !ok || !tv.IsValue() || !isAtomicPointer(tv.Type) {
+			return
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if chain := renderChain(x); chain != "" {
+				u := use(chain)
+				u.direct = append(u.direct, e)
+			}
+		case *ast.Ident:
+			// The Sel of a sanctioned selector and declaration-side idents
+			// resolve through Defs; only genuine uses count.
+			if obj := pass.Info.Uses[x]; obj != nil && !isSelOfSelector(body, x) {
+				u := use(x.Name)
+				u.direct = append(u.direct, e)
+			}
+		}
+	})
+	for _, chain := range order {
+		u := uses[chain]
+		if len(u.loads) > 1 {
+			pass.Reportf(u.loads[1].Pos(),
+				"atomic pointer %s is Loaded %d times in one function; take one snapshot (v := %s.Load()) and reuse it",
+				chain, len(u.loads), chain)
+		}
+		for _, d := range u.direct {
+			pass.Reportf(d.Pos(),
+				"atomic pointer %s accessed outside its atomic methods; use Load/Store/Swap/CompareAndSwap",
+				chain)
+		}
+	}
+}
+
+// isSelOfSelector reports whether id is the Sel field of some selector
+// expression in body (x.id), which is a field reference, not an
+// independent use of a variable named id.
+func isSelOfSelector(body *ast.BlockStmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel == id {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,484 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotalloc is the allocation gate for the decide path. A function
+// annotated with
+//
+//	//glint:hotpath
+//
+// in its doc comment — and every function it statically calls within the
+// module — must not contain AST-visible allocation sources: heap-bound
+// composite literals (&T{}, slice and map literals), make/new, growing
+// append, string↔[]byte conversions, interface boxing at call sites,
+// fmt/errors construction, go statements, and non-deferred function
+// literals (closures). The walk stops at functions annotated
+//
+//	//glint:coldpath <reason>
+//
+// (per-gesture or shutdown work that a per-point path merely dispatches
+// around; the reason is mandatory) and at the packages in
+// HotallocColdPkgs, whose cost is governed by their own contracts.
+//
+// Failure handling is exempt by construction: allocations inside an
+// error-carrying return statement, a panic argument, or a block guarded
+// by `err != nil` or `recover()` are cold regions — the hot path is the
+// path where nothing went wrong. cmd/glint -escape reuses exactly these
+// regions (HotpathRegions) to cross-check the compiler's escape analysis
+// against the same annotated set.
+var Hotalloc = &ModuleAnalyzer{
+	Name: "hotalloc",
+	Doc: "flag AST-visible allocation sources in //glint:hotpath functions and " +
+		"everything they statically call within the module.",
+	Run: runHotalloc,
+}
+
+// HotallocColdPkgs are module packages the hotalloc walk does not follow
+// calls into. The observability and flight-capture packages allocate by
+// design when enabled; their disabled-path cost is pinned by the obs <5ns
+// contract (OBSERVABILITY.md) rather than by this gate.
+var HotallocColdPkgs = map[string]bool{
+	"repro/internal/obs":    true,
+	"repro/internal/flight": true,
+}
+
+// posRange is one half-open position interval [from, to).
+type posRange struct{ from, to token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return r.from <= p && p < r.to }
+
+func inRanges(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotpathDirective reports whether the doc comment group carries the given
+// //glint: marker and returns the marker's position and trailing text.
+func hotpathDirective(doc *ast.CommentGroup, marker string) (token.Pos, string, bool) {
+	if doc == nil {
+		return token.NoPos, "", false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//glint:"+marker)
+		if !ok {
+			continue
+		}
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // e.g. //glint:hotpathological
+		}
+		return c.Pos(), strings.TrimSpace(rest), true
+	}
+	return token.NoPos, "", false
+}
+
+// hotFunc is one function reached by the hotpath walk, with its cold
+// regions resolved.
+type hotFunc struct {
+	fi   funcInfo
+	full string
+	cold []posRange
+}
+
+// hotpathWalk seeds on //glint:hotpath functions and follows static
+// in-module call edges, stopping at //glint:coldpath annotations and
+// HotallocColdPkgs. report, when non-nil, receives annotation errors
+// (a coldpath directive without a reason).
+func hotpathWalk(pkgs []*Package, module string, report func(pos token.Pos, format string, args ...any)) []hotFunc {
+	idx := indexFuncs(pkgs)
+
+	cold := map[string]bool{}
+	var seeds []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, _, ok := hotpathDirective(fd.Doc, "hotpath"); ok {
+					seeds = append(seeds, fn.FullName())
+				}
+				if _, reason, ok := hotpathDirective(fd.Doc, "coldpath"); ok {
+					if reason == "" && report != nil {
+						// Anchor at the declaration, not the comment, so a
+						// suppression or fixture expectation can sit on the
+						// func line.
+						report(fd.Name.Pos(), "//glint:coldpath needs a reason: //glint:coldpath <why this is off the hot path>")
+					}
+					cold[fn.FullName()] = true
+				}
+			}
+		}
+	}
+
+	visited := map[string]bool{}
+	var out []hotFunc
+	queue := seeds
+	for len(queue) > 0 {
+		full := queue[0]
+		queue = queue[1:]
+		if visited[full] {
+			continue
+		}
+		visited[full] = true
+		fi, ok := idx[full]
+		if !ok || fi.decl.Body == nil {
+			continue
+		}
+		hf := hotFunc{fi: fi, full: full, cold: coldRegions(fi)}
+		out = append(out, hf)
+
+		info := fi.pkg.Info
+		walkHotBody(fi.decl.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || inRanges(hf.cold, call.Pos()) {
+				return
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return
+			}
+			path := fn.Pkg().Path()
+			if !inModule(path, module) || HotallocColdPkgs[path] || cold[fn.FullName()] {
+				return
+			}
+			if _, ok := idx[fn.FullName()]; ok && !visited[fn.FullName()] {
+				queue = append(queue, fn.FullName())
+			}
+		})
+	}
+	return out
+}
+
+// walkHotBody visits the nodes of a hot function body that execute on the
+// hot path: non-deferred function literals are skipped (their bodies run
+// elsewhere; the literal itself is flagged as a closure allocation), while
+// deferred literals run on every call and are walked.
+func walkHotBody(body *ast.BlockStmt, fn func(ast.Node)) {
+	deferredLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				deferredLits[lit] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok {
+			if !deferredLits[lit] {
+				fn(m) // report the literal, skip its body
+				return false
+			}
+			return true // deferred: walk the body, exempt the literal itself
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}
+
+// isBuiltinUse reports whether id resolves to the predeclared builtin of
+// the same name (panic, recover, close, …) rather than a shadowing
+// identifier.
+func isBuiltinUse(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// coldRegions computes the failure-handling intervals of a function body:
+// error-carrying returns, panic arguments, blocks guarded by an error-nil
+// or recover check, and non-deferred function literals (whose bodies are
+// not on this function's hot path).
+func coldRegions(fi funcInfo) []posRange {
+	info := fi.pkg.Info
+	var cold []posRange
+	deferredLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				deferredLits[lit] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			if len(x.Results) == 0 {
+				return true
+			}
+			last := x.Results[len(x.Results)-1]
+			if id, ok := ast.Unparen(last).(*ast.Ident); ok && id.Name == "nil" {
+				return true
+			}
+			if implementsError(info.Types[last].Type) {
+				cold = append(cold, posRange{x.Pos(), x.End()})
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "panic" && isBuiltinUse(info, id) {
+				cold = append(cold, posRange{x.Pos(), x.End()})
+			}
+		case *ast.IfStmt:
+			if guardsFailure(info, x) {
+				cold = append(cold, posRange{x.Body.Pos(), x.Body.End()})
+			}
+		case *ast.FuncLit:
+			if !deferredLits[x] {
+				cold = append(cold, posRange{x.Body.Pos(), x.Body.End()})
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+// guardsFailure reports whether the if statement's condition is an
+// error-path guard: `err != nil` for an error-typed operand, or a
+// condition whose init/cond involves recover().
+func guardsFailure(info *types.Info, ifs *ast.IfStmt) bool {
+	usesRecover := false
+	check := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" && isBuiltinUse(info, id) {
+					usesRecover = true
+				}
+			}
+			return true
+		})
+	}
+	if ifs.Init != nil {
+		check(ifs.Init)
+	}
+	check(ifs.Cond)
+	if usesRecover {
+		return true
+	}
+	bin, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	switch {
+	case isNil(bin.Y):
+		return implementsError(info.Types[bin.X].Type)
+	case isNil(bin.X):
+		return implementsError(info.Types[bin.Y].Type)
+	}
+	return false
+}
+
+func runHotalloc(pass *ModulePass) error {
+	hot := hotpathWalk(pass.Pkgs, pass.Module, func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, format, args...)
+	})
+	for _, hf := range hot {
+		checkHotFunc(pass, hf)
+	}
+	return nil
+}
+
+// checkHotFunc flags the AST-visible allocation sources in one hot
+// function, skipping its cold regions.
+func checkHotFunc(pass *ModulePass, hf hotFunc) {
+	info := hf.fi.pkg.Info
+	name := hf.fi.decl.Name.Name
+	walkHotBody(hf.fi.decl.Body, func(n ast.Node) {
+		if inRanges(hf.cold, n.Pos()) {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&T{} allocates on the hot path (reached from //glint:hotpath via %s)", name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.Types[x].Type
+			if t == nil {
+				return
+			}
+			switch types.Unalias(t.Underlying()).(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(x.Pos(), "slice/map literal allocates on the hot path (reached from //glint:hotpath via %s)", name)
+			}
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "go statement allocates a goroutine on the hot path (in %s)", name)
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "function literal allocates a closure on the hot path (in %s); deferred literals are exempt", name)
+		case *ast.CallExpr:
+			checkHotCall(pass, info, x, name)
+		}
+	})
+}
+
+// checkHotCall flags allocating calls: builtins (make/new, growing
+// append), string↔[]byte conversions, fmt/errors construction, and
+// interface boxing of non-pointer arguments.
+func checkHotCall(pass *ModulePass, info *types.Info, call *ast.CallExpr, name string) {
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates on the hot path (in %s); hoist it to setup or pool the value", b.Name(), name)
+			case "append":
+				// append onto a reslice of an existing backing array —
+				// append(x[:i], ...) — reuses capacity (the compaction and
+				// buffer-reset idioms); a bare append grows.
+				if len(call.Args) > 0 {
+					if _, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !ok {
+						pass.Reportf(call.Pos(), "append may grow its backing array on the hot path (in %s); preallocate capacity or append onto a reslice", name)
+					}
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		if isStringByteConv(from, to) {
+			pass.Reportf(call.Pos(), "string↔[]byte conversion copies and allocates on the hot path (in %s)", name)
+		}
+		return
+	}
+
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		path, fname := fn.Pkg().Path(), fn.Name()
+		constructs := path == "fmt" ||
+			(path == "errors" && (fname == "New" || fname == "Join"))
+		if constructs {
+			pass.Reportf(call.Pos(), "%s.%s allocates on the hot path (in %s); hot-path failures must use sentinel errors on cold branches", fn.Pkg().Name(), fname, name)
+			return
+		}
+		if path == "errors" || HotallocColdPkgs[path] {
+			return // errors.Is/As inspect without constructing; exempt pkgs have their own contract
+		}
+	}
+
+	// Interface boxing: a non-pointer concrete argument passed to an
+	// interface parameter escapes to the heap.
+	ft := info.Types[call.Fun].Type
+	if ft == nil {
+		return
+	}
+	sig, ok := types.Unalias(ft).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis.IsValid() {
+				break // slice passed through, no per-element boxing here
+			}
+			param = types.Unalias(sig.Params().At(sig.Params().Len() - 1).Type()).(*types.Slice).Elem()
+		} else if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		switch types.Unalias(at.Underlying()).(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			continue // word-sized; boxing does not copy to the heap
+		}
+		if bt, ok := types.Unalias(at.Underlying()).(*types.Basic); ok && bt.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it on the hot path (in %s); pass a pointer or restructure", types.TypeString(at, nil), name)
+	}
+}
+
+// isStringByteConv reports a string→[]byte or []byte→string conversion.
+func isStringByteConv(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := types.Unalias(t.Underlying()).(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		s, ok := types.Unalias(t.Underlying()).(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := types.Unalias(s.Elem().Underlying()).(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return (isStr(from) && isBytes(to)) || (isBytes(from) && isStr(to))
+}
+
+// LineRange is a closed line interval.
+type LineRange struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// HotRegion is the source extent of one function on the //glint:hotpath
+// call graph, with its cold (failure-handling) line ranges. cmd/glint
+// -escape intersects the compiler's escape diagnostics with these.
+type HotRegion struct {
+	File  string      `json:"file"`
+	Func  string      `json:"func"`
+	Start int         `json:"start"`
+	End   int         `json:"end"`
+	Cold  []LineRange `json:"cold,omitempty"`
+}
+
+// HotpathRegions resolves the //glint:hotpath call graph of the loaded
+// packages and returns the file/line extents of every hot function.
+// Annotation errors are ignored here; runHotalloc reports them.
+func HotpathRegions(fset *token.FileSet, pkgs []*Package, module string) []HotRegion {
+	var out []HotRegion
+	for _, hf := range hotpathWalk(pkgs, module, nil) {
+		body := hf.fi.decl.Body
+		r := HotRegion{
+			File:  fset.Position(body.Pos()).Filename,
+			Func:  hf.full,
+			Start: fset.Position(hf.fi.decl.Pos()).Line,
+			End:   fset.Position(body.End()).Line,
+		}
+		for _, c := range hf.cold {
+			r.Cold = append(r.Cold, LineRange{
+				Start: fset.Position(c.from).Line,
+				End:   fset.Position(c.to).Line,
+			})
+		}
+		out = append(out, r)
+	}
+	return out
+}

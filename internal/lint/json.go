@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+)
+
+// jsonDiagnostic is the machine-readable finding record cmd/glint -json
+// emits, one JSON object per line (so CI can stream them into
+// annotations). Offsets are not preserved; file/line/column are.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// EncodeDiagnostics writes diags to w as newline-delimited JSON records.
+func EncodeDiagnostics(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		rec := jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("lint: encoding diagnostics: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeDiagnostics reads the newline-delimited JSON records produced by
+// EncodeDiagnostics back into diagnostics.
+func DecodeDiagnostics(r io.Reader) ([]Diagnostic, error) {
+	dec := json.NewDecoder(r)
+	var out []Diagnostic
+	for dec.More() {
+		var rec jsonDiagnostic
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("lint: decoding diagnostics: %w", err)
+		}
+		out = append(out, Diagnostic{
+			Analyzer: rec.Analyzer,
+			Pos:      token.Position{Filename: rec.File, Line: rec.Line, Column: rec.Col},
+			Message:  rec.Message,
+		})
+	}
+	return out, nil
+}

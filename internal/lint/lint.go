@@ -22,6 +22,12 @@
 // placed either on the flagged line or alone on the line directly above
 // it. The reason is mandatory — a directive without one is itself
 // reported. `<analyzer>` may be a comma-separated list or `all`.
+//
+// Suppression is audited in both directions: a directive that names only
+// analyzers that ran and yet suppressed nothing is stale, and is reported
+// under the name "unuseddirective" so dead allowlist entries cannot rot
+// silently. Directives naming an analyzer that did not run (for example
+// "escape" outside `glint -escape`) are left alone.
 package lint
 
 import (
@@ -80,8 +86,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // RunAnalyzers applies each analyzer to the package and returns the
 // surviving diagnostics: suppression directives are honoured, malformed
-// directives are reported, and the result is sorted by position.
+// or stale directives are reported, and the result is sorted by position.
+// Drivers that combine package-level and module-level analysis (cmd/glint)
+// use the Directives type directly instead, so that one shared collection
+// tracks directive usage across every analysis stage before stale
+// directives are judged.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := Analyze(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	dirs := NewDirectives()
+	dirs.Collect(fset, files)
+	diags = dirs.Apply(diags)
+	diags = append(diags, dirs.Unused(ran)...)
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// Analyze runs the analyzers over one package and returns the raw
+// diagnostics — unsorted, with no suppression applied. Drivers that share
+// one Directives collection across several analysis stages build on this.
+func Analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
@@ -90,7 +120,11 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		}
 		diags = append(diags, pass.diags...)
 	}
-	diags = Suppress(fset, files, diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, then column.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -101,29 +135,39 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		}
 		return a.Column < b.Column
 	})
-	return diags, nil
 }
 
 // directive is one parsed //lint:ignore comment.
 type directive struct {
 	file      string
-	line      int  // line the directive appears on
-	names     map[string]bool
+	line      int // line the directive appears on
+	names     []string
+	nameSet   map[string]bool
 	all       bool
 	hasReason bool
+	used      bool
 	pos       token.Position
 }
 
 func (d *directive) matches(analyzer string) bool {
-	return d.all || d.names[analyzer]
+	return d.all || d.nameSet[analyzer]
 }
 
-// Suppress filters out diagnostics covered by a //lint:ignore directive on
-// the same line or on the line directly above. Directives lacking a reason
-// do not suppress anything and are reported as findings themselves, so the
-// allowlist stays auditable.
-func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
-	var dirs []directive
+// Directives is the parsed //lint:ignore allowlist of one analysis run.
+// Collect gathers directives (typically from every package under
+// analysis), Apply filters diagnostics through them while recording which
+// directives earned their keep, and Unused reports the stale remainder.
+type Directives struct {
+	dirs []directive
+}
+
+// NewDirectives returns an empty collection.
+func NewDirectives() *Directives { return &Directives{} }
+
+// Collect parses the //lint:ignore directives in files into the
+// collection. It may be called once per package to build a module-wide
+// allowlist.
+func (ds *Directives) Collect(fset *token.FileSet, files []*ast.File) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -133,29 +177,39 @@ func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diag
 				}
 				pos := fset.Position(c.Pos())
 				fields := strings.Fields(text)
-				d := directive{file: pos.Filename, line: pos.Line, pos: pos, names: map[string]bool{}}
+				d := directive{file: pos.Filename, line: pos.Line, pos: pos, nameSet: map[string]bool{}}
 				if len(fields) > 0 {
 					for _, n := range strings.Split(fields[0], ",") {
 						if n == "all" {
 							d.all = true
 						}
-						d.names[n] = true
+						d.names = append(d.names, n)
+						d.nameSet[n] = true
 					}
 				}
 				d.hasReason = len(fields) >= 2
-				dirs = append(dirs, d)
+				ds.dirs = append(ds.dirs, d)
 			}
 		}
 	}
+}
+
+// Apply filters out diagnostics covered by a directive on the same line or
+// on the line directly above, marking the covering directive as used.
+// Directives lacking a reason never suppress anything, so the allowlist
+// stays auditable. Apply may be called once per analysis stage; usage
+// accumulates across calls.
+func (ds *Directives) Apply(diags []Diagnostic) []Diagnostic {
 	var out []Diagnostic
 	for _, diag := range diags {
 		suppressed := false
-		for i := range dirs {
-			d := &dirs[i]
+		for i := range ds.dirs {
+			d := &ds.dirs[i]
 			if !d.hasReason || d.file != diag.Pos.Filename || !d.matches(diag.Analyzer) {
 				continue
 			}
 			if d.line == diag.Pos.Line || d.line == diag.Pos.Line-1 {
+				d.used = true
 				suppressed = true
 				break
 			}
@@ -164,13 +218,46 @@ func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diag
 			out = append(out, diag)
 		}
 	}
-	for i := range dirs {
-		d := &dirs[i]
+	return out
+}
+
+// Unused reports the degenerate directives after every analysis stage has
+// Applied its diagnostics: directives without a reason (analyzer
+// "directive"), and directives that suppressed nothing even though every
+// analyzer they name actually ran (analyzer "unuseddirective"). A
+// directive naming an analyzer outside ran — "escape" in a run without
+// -escape, say — is given the benefit of the doubt and not reported.
+func (ds *Directives) Unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for i := range ds.dirs {
+		d := &ds.dirs[i]
 		if !d.hasReason {
 			out = append(out, Diagnostic{
 				Analyzer: "directive",
 				Pos:      d.pos,
 				Message:  "//lint:ignore directive needs a reason: //lint:ignore <analyzer> <reason>",
+			})
+			continue
+		}
+		if d.used {
+			continue
+		}
+		judgeable := d.all
+		if !judgeable {
+			judgeable = true
+			for _, n := range d.names {
+				if !ran[n] {
+					judgeable = false
+					break
+				}
+			}
+		}
+		if judgeable {
+			out = append(out, Diagnostic{
+				Analyzer: "unuseddirective",
+				Pos:      d.pos,
+				Message: fmt.Sprintf("//lint:ignore %s suppresses nothing; delete the stale directive",
+					strings.Join(d.names, ",")),
 			})
 		}
 	}

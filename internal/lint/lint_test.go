@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/lint"
@@ -15,9 +16,11 @@ func TestNopanic(t *testing.T) {
 }
 
 func TestNopanicUnprotectedPackage(t *testing.T) {
-	// The same fixture under an unprotected path must produce no
+	// The same fixture under an unprotected path must produce no nopanic
 	// diagnostics at all — which would make every `want` comment fail —
-	// so load it directly and assert emptiness.
+	// so load it directly. The fixture's //lint:ignore nopanic directive
+	// then suppresses nothing, which the framework must itself report:
+	// exactly one unuseddirective finding and nothing else.
 	pkg, err := lint.LoadDir("testdata/nopanic", "fixture/unprotected")
 	if err != nil {
 		t.Fatal(err)
@@ -26,8 +29,8 @@ func TestNopanicUnprotectedPackage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 0 {
-		t.Fatalf("nopanic flagged an unprotected package: %v", diags)
+	if len(diags) != 1 || diags[0].Analyzer != "unuseddirective" {
+		t.Fatalf("want exactly one unuseddirective finding in an unprotected package, got %v", diags)
 	}
 }
 
@@ -73,8 +76,85 @@ func TestExpdocUncheckedPackage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 0 {
-		t.Fatalf("expdoc flagged an unchecked package: %v", diags)
+	// As in TestNopanicUnprotectedPackage: the only surviving finding is
+	// the fixture's now-stale //lint:ignore expdoc directive.
+	if len(diags) != 1 || diags[0].Analyzer != "unuseddirective" {
+		t.Fatalf("want exactly one unuseddirective finding in an unchecked package, got %v", diags)
+	}
+}
+
+func TestLockbalance(t *testing.T) {
+	linttest.Run(t, lint.Lockbalance, "testdata/lockbalance", "fixture/lockbalance")
+}
+
+func TestAtomicsnap(t *testing.T) {
+	linttest.Run(t, lint.Atomicsnap, "testdata/atomicsnap", "fixture/atomicsnap")
+}
+
+func TestSendclosed(t *testing.T) {
+	linttest.Run(t, lint.Sendclosed, "testdata/sendclosed", "fixture/sendclosed")
+}
+
+func TestHotalloc(t *testing.T) {
+	linttest.RunModule(t, lint.Hotalloc, "testdata/hotalloc", "fixture/hotalloc")
+}
+
+func TestUnusedDirective(t *testing.T) {
+	linttest.Run(t, lint.Floateq, "testdata/unuseddirective", "fixture/unuseddirective")
+}
+
+func TestDirectiveWithoutReason(t *testing.T) {
+	// A reason-less directive cannot carry an inline want comment (the
+	// comment would read as its reason), so assert the two findings
+	// directly: the unsuppressed floateq diagnostic and the directive
+	// report itself.
+	pkg, err := lint.LoadDir("testdata/directivereason", "fixture/directivereason")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, []*lint.Analyzer{lint.Floateq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["floateq"] != 1 || byAnalyzer["directive"] != 1 || len(diags) != 2 {
+		t.Fatalf("want one unsuppressed floateq finding and one directive report, got %v", diags)
+	}
+}
+
+func TestDiagnosticsJSONRoundTrip(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/floateq", "fixture/floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, []*lint.Analyzer{lint.Floateq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics to round-trip")
+	}
+	var buf bytes.Buffer
+	if err := lint.EncodeDiagnostics(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lint.DecodeDiagnostics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(diags) {
+		t.Fatalf("round-trip changed the count: sent %d, got %d", len(diags), len(got))
+	}
+	for i := range diags {
+		want, have := diags[i], got[i]
+		if want.Analyzer != have.Analyzer || want.Message != have.Message ||
+			want.Pos.Filename != have.Pos.Filename || want.Pos.Line != have.Pos.Line ||
+			want.Pos.Column != have.Pos.Column {
+			t.Errorf("record %d mismatch:\nsent %v\ngot  %v", i, want, have)
+		}
 	}
 }
 
@@ -98,6 +178,11 @@ func TestProtectedPackagesExist(t *testing.T) {
 	for path := range lint.ExpdocPackages {
 		if !found[path] {
 			t.Errorf("expdoc checks %s, but that package does not exist", path)
+		}
+	}
+	for path := range lint.HotallocColdPkgs {
+		if !found[path] {
+			t.Errorf("hotalloc exempts %s, but that package does not exist", path)
 		}
 	}
 }

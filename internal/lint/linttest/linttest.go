@@ -7,8 +7,10 @@
 // A `// want` comment declares that the analyzer must report a diagnostic
 // on that line whose message matches the backquoted regular expression.
 // Lines without a want comment must produce no diagnostic. //lint:ignore
-// directives are honoured exactly as in the glint driver, so fixtures can
-// test the allowlist mechanism itself.
+// directives are honoured exactly as in the glint driver — including the
+// stale-directive (unuseddirective) report — so fixtures can test the
+// allowlist mechanism itself. RunModule does the same for module-level
+// analyzers, loading the fixture directory as a single-package module.
 package linttest
 
 import (
@@ -35,7 +37,35 @@ func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
+	checkExpectations(t, pkg, diags)
+}
 
+// RunModule loads the package in dir as a one-package module whose module
+// path is importPath, applies the module analyzer with glint's directive
+// handling (suppression plus stale-directive reporting), and checks the
+// // want expectations.
+func RunModule(t *testing.T, a *lint.ModuleAnalyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.RunModuleAnalyzers(pkg.Fset, []*lint.Package{pkg}, importPath, []*lint.ModuleAnalyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	dirs := lint.NewDirectives()
+	dirs.Collect(pkg.Fset, pkg.Files)
+	diags = dirs.Apply(diags)
+	diags = append(diags, dirs.Unused(map[string]bool{a.Name: true})...)
+	lint.SortDiagnostics(diags)
+	checkExpectations(t, pkg, diags)
+}
+
+// checkExpectations matches diagnostics against the fixture's // want
+// comments, reporting unexpected and missing diagnostics alike.
+func checkExpectations(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
 	type expectation struct {
 		pattern *regexp.Regexp
 		line    int

@@ -103,6 +103,25 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// ModulePath reports the import path of the main module rooted at (or
+// above) dir, via `go list -m`. Module analyzers follow call edges only
+// within this prefix.
+func ModulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -m: %v\n%s", err, stderr.String())
+	}
+	fields := bytes.Fields(out)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("lint: go list -m: empty module path")
+	}
+	return string(fields[0]), nil
+}
+
 // LoadDir parses and type-checks every .go file in one directory as a
 // single package with the given import path. The linttest harness uses it
 // to load testdata packages, which `go list` deliberately cannot see.

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ModuleAnalyzer is a static check that needs to see every package of the
+// module at once — the hotalloc allocation gate walks call chains across
+// package boundaries, which a per-package Pass cannot do.
+type ModuleAnalyzer struct {
+	// Name identifies the analyzer in output and //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description shown by `glint -list`.
+	Doc string
+	// Run performs the check.
+	Run func(*ModulePass) error
+}
+
+// ModulePass carries every loaded package through one module analyzer.
+// All packages share one token.FileSet (the loader guarantees this), so
+// positions are comparable across packages.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	// Module is the module import-path prefix ("repro"); call edges are
+	// followed only into packages under it.
+	Module string
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunModuleAnalyzers applies each module analyzer to the package set and
+// returns the raw diagnostics, unsorted and unsuppressed — the caller owns
+// the Directives collection so that usage tracking spans package-level and
+// module-level stages alike.
+func RunModuleAnalyzers(fset *token.FileSet, pkgs []*Package, module string, analyzers []*ModuleAnalyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs, Module: module}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: module analyzer %s: %w", a.Name, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	return diags, nil
+}
+
+// inModule reports whether the package path is part of the analyzed
+// module: the module path itself or any package under it.
+func inModule(pkgPath, module string) bool {
+	return pkgPath == module || strings.HasPrefix(pkgPath, module+"/")
+}
+
+// funcInfo is one function declaration in the module-wide index.
+type funcInfo struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// indexFuncs builds the module-wide function index. Keys are
+// (*types.Func).FullName() strings — e.g. "(*repro/internal/eager.Session).Add" —
+// because the loader type-checks each package in its own universe: the
+// types.Func a caller's package resolves for a cross-package callee is a
+// distinct object from the one the callee's own package defines, so object
+// identity cannot join them, but their full names agree.
+func indexFuncs(pkgs []*Package) map[string]funcInfo {
+	idx := make(map[string]funcInfo)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				idx[fn.FullName()] = funcInfo{decl: fd, pkg: pkg}
+			}
+		}
+	}
+	return idx
+}
+
+// calleeFunc resolves the statically-known callee of a call expression:
+// a plain function, a method called on a concrete receiver, or nil when
+// the target is dynamic (an interface method, a function value, a builtin,
+// or a type conversion).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+			if sel.Kind() == types.MethodVal {
+				if recv := sel.Recv(); recv != nil && types.IsInterface(recv) {
+					return nil // dynamic dispatch
+				}
+			}
+		} else {
+			obj = info.Uses[fun.Sel]
+		}
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

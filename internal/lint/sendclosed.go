@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Sendclosed enforces channel-closing ownership: `close(ch)` panics if
+// another goroutine is sending on ch, so only the sole sending owner may
+// close. The check is per package and purely structural: it joins sends
+// and closes on the same channel variable (a package-level var, local, or
+// struct field — fields resolve to one types.Var across the package) and
+// reports a close when some send on that channel lives in a different
+// function, or in a function literal or go statement anywhere — either
+// way the close races with a sender it does not own.
+//
+// The clean shape — a producer that sends and then closes in the same
+// function body — passes. Engines that genuinely coordinate close against
+// concurrent senders with a mutex-and-flag protocol must carry an audited
+// //lint:ignore sendclosed directive explaining that protocol. _test.go
+// files are exempt.
+var Sendclosed = &Analyzer{
+	Name: "sendclosed",
+	Doc: "flag close(ch) when a send on ch exists in another function or " +
+		"goroutine (close must be owned by the sole sender).",
+	Run: runSendclosed,
+}
+
+// chanOp is one send or close site.
+type chanOp struct {
+	fn    *ast.FuncDecl // enclosing top-level function
+	inLit bool          // inside a FuncLit or go statement
+	node  ast.Node
+}
+
+func runSendclosed(pass *Pass) error {
+	sends := map[types.Object][]chanOp{}
+	closes := map[types.Object][]chanOp{}
+
+	chanObj := func(e ast.Expr) types.Object {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.Info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			return pass.Info.ObjectOf(x.Sel)
+		}
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Extents of nested literals and go statements: operations
+			// inside them belong to other goroutines (or escaping closures).
+			var litRanges []scopeRange
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit:
+					litRanges = append(litRanges, scopeRange{pos: x.Pos(), end: x.End()})
+				case *ast.GoStmt:
+					litRanges = append(litRanges, scopeRange{pos: x.Pos(), end: x.End()})
+				}
+				return true
+			})
+			inLit := func(p token.Pos) bool {
+				for _, r := range litRanges {
+					if r.pos <= p && p < r.end {
+						return true
+					}
+				}
+				return false
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.SendStmt:
+					if obj := chanObj(x.Chan); obj != nil {
+						sends[obj] = append(sends[obj], chanOp{fn: fd, inLit: inLit(x.Pos()), node: x})
+					}
+				case *ast.CallExpr:
+					id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+					if !ok || id.Name != "close" || len(x.Args) != 1 {
+						return true
+					}
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+						return true
+					}
+					if obj := chanObj(x.Args[0]); obj != nil {
+						closes[obj] = append(closes[obj], chanOp{fn: fd, inLit: inLit(x.Pos()), node: x})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for obj, cls := range closes {
+		for _, cl := range cls {
+			for _, snd := range sends[obj] {
+				if snd.fn != cl.fn || snd.inLit || cl.inLit {
+					pass.Reportf(cl.node.Pos(),
+						"close of %s races with a send in %s (%s); close must be owned by the sole sender",
+						obj.Name(), snd.fn.Name.Name,
+						pass.Fset.Position(snd.node.Pos()).String())
+					break
+				}
+			}
+		}
+	}
+	return nil
+}

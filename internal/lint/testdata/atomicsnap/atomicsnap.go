@@ -1,0 +1,81 @@
+// Package fixture exercises the atomicsnap analyzer: an atomic.Pointer
+// is Loaded at most once per function (the snapshot) and is never touched
+// except through its atomic methods.
+package fixture
+
+import "sync/atomic"
+
+type model struct{ classes int }
+
+type engine struct {
+	rec   atomic.Pointer[model]
+	slots []atomic.Pointer[model]
+}
+
+// snapshotOnce is the contract's clean shape: one Load, reused.
+func snapshotOnce(e *engine) int {
+	m := e.rec.Load()
+	if m == nil {
+		return 0
+	}
+	return m.classes + m.classes
+}
+
+// swapProtocol pairs one Load with a Store; that is the swap itself.
+func swapProtocol(e *engine, next *model) int {
+	old := e.rec.Load()
+	e.rec.Store(next)
+	if old == nil {
+		return 0
+	}
+	return old.classes
+}
+
+// casRetry loops on CompareAndSwap with a single Load call site; static
+// call sites are what the check counts, so retry loops are legal.
+func casRetry(e *engine, next *model) {
+	for {
+		old := e.rec.Load()
+		if e.rec.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// doubleLoad can observe two different models across a concurrent Swap.
+func doubleLoad(e *engine) int {
+	a := e.rec.Load().classes
+	b := e.rec.Load().classes // want `atomic pointer e\.rec is Loaded 2 times in one function`
+	return a + b
+}
+
+// directAccess bypasses the atomic protocol entirely.
+func directAccess(e *engine) *atomic.Pointer[model] {
+	return &e.rec // want `atomic pointer e\.rec accessed outside its atomic methods`
+}
+
+// mixedAccess snapshots and then touches the field directly.
+func mixedAccess(e *engine) bool {
+	m := e.rec.Load()
+	p := &e.rec // want `atomic pointer e\.rec accessed outside its atomic methods`
+	return m == p.Load()
+}
+
+// indexedOutOfScope: computed receivers (ring slots) are beyond a textual
+// chain key and deliberately unjudged.
+func indexedOutOfScope(e *engine, i int) int {
+	a := e.slots[i].Load()
+	b := e.slots[i].Load()
+	if a == nil || b == nil {
+		return 0
+	}
+	return a.classes + b.classes
+}
+
+// suppressedDouble carries the audited allowlist directive.
+func suppressedDouble(e *engine) int {
+	a := e.rec.Load().classes
+	//lint:ignore atomicsnap fixture: generation check compares two intentional snapshots
+	b := e.rec.Load().classes
+	return a + b
+}

@@ -1,0 +1,10 @@
+// Package fixture holds a //lint:ignore directive without a reason: it
+// must suppress nothing (the floateq finding survives) and be reported
+// itself. lint_test.go asserts both directly, since a // want comment on
+// the directive line would read as its reason.
+package fixture
+
+func missingReason(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}

@@ -1,0 +1,102 @@
+// Package fixture exercises the hotalloc allocation gate: AST-visible
+// allocation sources inside //glint:hotpath functions and their static
+// in-module callees are flagged; failure handling (error returns, panic
+// arguments, err != nil blocks) and //glint:coldpath functions are cold.
+package fixture
+
+import "fmt"
+
+type big struct{ vals [64]float64 }
+
+type state struct {
+	points []int
+	buf    []byte
+	out    []int
+}
+
+func sink(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+func helperClean(x int) int { return x + 1 }
+
+// helperAlloc is not annotated, but decide reaches it statically, so the
+// gate follows the call edge.
+func helperAlloc(x int) int {
+	tmp := make([]int, x) // want `make allocates on the hot path`
+	for i := range tmp {
+		tmp[i] = i
+	}
+	return len(tmp)
+}
+
+// helperErr allocates only while constructing its failure return.
+func helperErr(x int) error {
+	if x < 0 {
+		return fmt.Errorf("negative input %d", x) // clean: error-carrying return is cold
+	}
+	return nil
+}
+
+// newBig is per-gesture setup; the walk stops here.
+//
+//glint:coldpath pooled constructor runs once per gesture, not per point
+func newBig() *big {
+	return &big{}
+}
+
+//glint:coldpath
+func badCold() {} // want `//glint:coldpath needs a reason`
+
+// decide is the annotated per-point entry.
+//
+//glint:hotpath
+func decide(s *state, x int) int {
+	s.points = append(s.points, x) // want `append may grow its backing array`
+	s.buf = append(s.buf[:0], 'x') // reslice reuse: clean
+	v := make([]int, 4)            // want `make allocates on the hot path`
+	p := new(big)                  // want `new allocates on the hot path`
+	q := &big{}                    // want `&T\{\} allocates on the hot path`
+	lit := []int{1, 2}             // want `slice/map literal allocates on the hot path`
+	idx := map[int]int{1: 2}       // want `slice/map literal allocates on the hot path`
+	bs := []byte("grow")           // want `conversion copies and allocates`
+	str := string(s.buf)           // want `conversion copies and allocates`
+	msg := fmt.Sprintf("%d", x)    // want `fmt\.Sprintf allocates on the hot path`
+	go helperClean(x)              // want `go statement allocates a goroutine`
+	f := func() int { return x }   // want `function literal allocates a closure`
+	boxed := sink(big{})           // want `passing fixture/hotalloc\.big to interface parameter boxes it`
+
+	if x == -7 {
+		panic(fmt.Sprintf("impossible input %d", x)) // clean: panic argument is cold
+	}
+	if err := helperErr(x); err != nil {
+		s.out = append(s.out, -1) // clean: err != nil block is cold
+		return -1
+	}
+	defer func() {
+		s.points = s.points[:0] // deferred literal runs on the hot path but allocates nothing
+	}()
+	cold := newBig()
+
+	return helperAlloc(x) + helperClean(x) + v[0] + int(p.vals[0]) + int(q.vals[0]) +
+		lit[0] + idx[1] + len(bs) + len(str) + len(msg) + f() + boxed + len(cold.vals)
+}
+
+// suppressed carries the audited allowlist directive for a deliberate
+// amortized growth.
+//
+//glint:hotpath
+func suppressed(s *state, x int) {
+	//lint:ignore hotalloc fixture: session pool preallocates capacity; growth is warm-up only
+	s.points = append(s.points, x)
+}
+
+// notHot is never reached from a //glint:hotpath function, so its
+// allocations are nobody's business.
+func notHot(n int) []int {
+	out := make([]int, n)
+	return append(out, n)
+}

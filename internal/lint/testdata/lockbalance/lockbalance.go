@@ -1,0 +1,138 @@
+// Package fixture exercises the lockbalance analyzer: every Lock must be
+// released on all paths, RLock/RUnlock are an independent mode, defers
+// (direct or in a deferred literal) cover everything, and a mutex that
+// escapes the block-structured model is left unjudged.
+package fixture
+
+// Mutex is a local stand-in: lockbalance matches mutexes by type name so
+// fixtures need not import repository packages through the source
+// importer.
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()         { m.state++ }
+func (m *Mutex) Unlock()       { m.state-- }
+func (m *Mutex) TryLock() bool { return true }
+
+// RWMutex is the read-write stand-in.
+type RWMutex struct{ state int }
+
+func (m *RWMutex) Lock()    { m.state++ }
+func (m *RWMutex) Unlock()  { m.state-- }
+func (m *RWMutex) RLock()   { m.state++ }
+func (m *RWMutex) RUnlock() { m.state-- }
+
+type guarded struct {
+	mu  Mutex
+	rw  RWMutex
+	val int
+}
+
+// deferUnlock is the canonical clean shape.
+func deferUnlock(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.val > 0 {
+		return g.val
+	}
+	return 0
+}
+
+// deferInClosure releases through a deferred literal; also clean.
+func deferInClosure(g *guarded) int {
+	g.mu.Lock()
+	defer func() { g.mu.Unlock() }()
+	return g.val
+}
+
+// allPaths releases explicitly before every exit; clean.
+func allPaths(g *guarded, cond bool) int {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return 1
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// selectShape mirrors the serving engine's Submit: an early-exit release
+// plus one release per select arm, with every arm returning.
+func selectShape(g *guarded, ch chan int, cond bool) int {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return 1
+	}
+	select {
+	case ch <- g.val:
+		g.mu.Unlock()
+		return 0
+	default:
+		g.mu.Unlock()
+		return 2
+	}
+}
+
+// earlyReturnLeak forgets the release on the early exit.
+func earlyReturnLeak(g *guarded, cond bool) int {
+	g.mu.Lock() // want `g\.mu\.Lock\(\) is not released on every path`
+	if cond {
+		return 1
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// neverReleased locks and falls off the end.
+func neverReleased(g *guarded) {
+	g.mu.Lock() // want `g\.mu\.Lock\(\) is never released`
+	g.val++
+}
+
+// readLeak leaks the read lock on the early exit; the write-mode pair in
+// the same function is balanced and stays silent.
+func readLeak(g *guarded, cond bool) int {
+	g.rw.RLock() // want `g\.rw\.RLock\(\) is not released on every path`
+	if cond {
+		return g.val
+	}
+	g.rw.RUnlock()
+	g.rw.Lock()
+	g.val++
+	g.rw.Unlock()
+	return g.val
+}
+
+// goroutineLeak locks inside a goroutine body, which is its own scope.
+func goroutineLeak(g *guarded) {
+	go func() {
+		g.mu.Lock() // want `g\.mu\.Lock\(\) is never released`
+		g.val++
+	}()
+}
+
+// escapesByAddress hands the mutex away; the model cannot follow it, so
+// the key is unjudged even though no Unlock is visible here.
+func escapesByAddress(g *guarded) {
+	g.mu.Lock()
+	releaseLater(&g.mu)
+}
+
+func releaseLater(m *Mutex) { m.Unlock() }
+
+// tryLockUnjudged: conditional acquisition needs flow tracking beyond the
+// block-structured model, so TryLock voids the key.
+func tryLockUnjudged(g *guarded) {
+	if g.mu.TryLock() {
+		g.val++
+		g.mu.Unlock()
+	}
+}
+
+// suppressedHandoff locks and intentionally does not release: the
+// audited directive keeps it out of the findings.
+func suppressedHandoff(g *guarded) {
+	//lint:ignore lockbalance fixture: lock handed off to releaseLater by contract
+	g.mu.Lock()
+	g.val++
+}

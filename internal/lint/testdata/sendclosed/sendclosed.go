@@ -1,0 +1,53 @@
+// Package fixture exercises the sendclosed analyzer: close(ch) panics if
+// another goroutine is sending, so only the sole sending owner closes.
+package fixture
+
+type pipeline struct {
+	ch   chan int
+	done chan struct{}
+}
+
+// ownerProducer is the clean shape: the only sender closes its own
+// channel when it is done.
+func ownerProducer(vals []int) chan int {
+	ch := make(chan int, len(vals))
+	for _, v := range vals {
+		ch <- v
+	}
+	close(ch)
+	return ch
+}
+
+// submit sends on the shared field channel.
+func (p *pipeline) submit(v int) {
+	select {
+	case p.ch <- v:
+	default:
+	}
+}
+
+// shutdown closes a channel that submit sends on from other goroutines.
+func (p *pipeline) shutdown() {
+	close(p.ch) // want `close of ch races with a send in submit`
+	close(p.done)
+}
+
+// goroutineSender launches the sender and then closes under it: same
+// function, but the send belongs to another goroutine.
+func goroutineSender(vals []int) chan int {
+	ch := make(chan int)
+	go func() {
+		for _, v := range vals {
+			ch <- v
+		}
+	}()
+	close(ch) // want `close of ch races with a send in goroutineSender`
+	return ch
+}
+
+// suppressedProtocol documents a coordinated close: the audited
+// directive records the mutex-and-flag protocol that makes it safe.
+func (p *pipeline) suppressedProtocol() {
+	//lint:ignore sendclosed fixture: senders check a closed flag under a mutex before sending
+	close(p.ch)
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the unuseddirective check, run here under the
+// floateq analyzer: a directive that suppresses a real finding is earning
+// its keep, one that suppresses nothing is stale, and one naming an
+// analyzer that did not run is given the benefit of the doubt.
+package fixture
+
+// usedDirective suppresses a genuine floateq finding; no report.
+func usedDirective(a, b float64) bool {
+	//lint:ignore floateq fixture: bitwise equality is intended here
+	return a == b
+}
+
+// staleDirective guards an integer comparison floateq never flags.
+func staleDirective(a, b int) bool {
+	//lint:ignore floateq fixture claims a float comparison below // want `//lint:ignore floateq suppresses nothing`
+	return a == b
+}
+
+// otherAnalyzer names an analyzer that does not run in this fixture, so
+// its staleness cannot be judged; no report.
+func otherAnalyzer(a, b int) int {
+	//lint:ignore nopanic fixture: guard documented elsewhere
+	if a == 0 {
+		return 0
+	}
+	return b / a
+}

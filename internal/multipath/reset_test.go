@@ -1,0 +1,88 @@
+package multipath
+
+import "testing"
+
+// TestSessionResetReuse drives two complete interactions through one
+// Session separated by Reset — the serve.Engine pool's reuse pattern —
+// and checks the second recognizes independently of the first, on the
+// retained eager stream.
+func TestSessionResetReuse(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+
+	g := sampleUD(t, 0) // class U
+	playPrimary(s, g)
+	last := g[len(g)-1]
+	s.Handle(Event{Finger: 0, Kind: FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+	if !s.Completed() || s.Class() != "U" {
+		t.Fatalf("first interaction: completed=%v class=%q", s.Completed(), s.Class())
+	}
+
+	s.Reset()
+	if s.Completed() || s.Decided() || s.Class() != "" || s.FingerCount() != 0 {
+		t.Fatalf("reset did not clear interaction state: completed=%v decided=%v class=%q fingers=%d",
+			s.Completed(), s.Decided(), s.Class(), s.FingerCount())
+	}
+
+	g2 := sampleUD(t, 1) // class D
+	var recognized string
+	s.OnRecognized = func(class string) { recognized = class }
+	playPrimary(s, g2)
+	last = g2[len(g2)-1]
+	s.Handle(Event{Finger: 0, Kind: FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+	if !s.Completed() || s.Class() != "D" || recognized != "D" {
+		t.Fatalf("reused session: completed=%v class=%q recognized=%q", s.Completed(), s.Class(), recognized)
+	}
+}
+
+// TestSessionResetMidInteraction resets a session abandoned mid-stroke
+// and checks the next interaction starts clean (the pool never does this
+// — it only recycles finished sessions — but Reset must not depend on
+// that).
+func TestSessionResetMidInteraction(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	g := sampleUD(t, 0)
+	playPrimary(s, g[:len(g)/2]) // abandon half-way, fingers still down
+	if s.FingerCount() == 0 {
+		t.Fatal("test setup: expected a live finger")
+	}
+	s.Reset()
+
+	g2 := sampleUD(t, 1)
+	playPrimary(s, g2)
+	last := g2[len(g2)-1]
+	s.Handle(Event{Finger: 0, Kind: FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+	if !s.Completed() || s.Class() != "D" {
+		t.Fatalf("after mid-interaction reset: completed=%v class=%q", s.Completed(), s.Class())
+	}
+}
+
+// TestDuplicateFingerDownOnReusedStream guards the streaming flag: after
+// Reset the retained stream must be restarted by the next primary
+// FingerDown, while a duplicate FingerDown within one interaction still
+// only updates the position.
+func TestDuplicateFingerDownOnReusedStream(t *testing.T) {
+	rec := trainRec(t)
+	s := NewSession(rec)
+	g := sampleUD(t, 0)
+	playPrimary(s, g)
+	last := g[len(g)-1]
+	s.Handle(Event{Finger: 0, Kind: FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+	s.Reset()
+
+	// Second interaction: a duplicate FingerDown mid-stroke must not
+	// restart the reused stream (that would discard the collected points).
+	g2 := sampleUD(t, 1)
+	half := len(g2) / 2
+	playPrimary(s, g2[:half])
+	s.Handle(Event{Finger: 0, Kind: FingerDown, X: g2[half].X, Y: g2[half].Y, T: g2[half].T})
+	for _, p := range g2[half+1:] {
+		s.Handle(Event{Finger: 0, Kind: FingerMove, X: p.X, Y: p.Y, T: p.T})
+	}
+	last = g2[len(g2)-1]
+	s.Handle(Event{Finger: 0, Kind: FingerUp, X: last.X, Y: last.Y, T: last.T + 0.01})
+	if !s.Completed() || s.Class() != "D" {
+		t.Fatalf("duplicate FingerDown broke the reused stream: completed=%v class=%q", s.Completed(), s.Class())
+	}
+}

@@ -45,14 +45,21 @@ type Session struct {
 	// changes during manipulation.
 	OnExtraFingers func(n int)
 
-	fingers  map[FingerID]geom.Point
-	order    []FingerID // arrival order of live fingers
-	stream   *eager.Session
-	class    string
-	decided  bool
-	complete bool
-	tracker  *TransformTracker
-	extra    int
+	fingers map[FingerID]geom.Point
+	order   []FingerID // arrival order of live fingers
+	// stream is the eager recognition stream. It outlives the interaction:
+	// Reset keeps it (and its internal buffers) so a pooled session's next
+	// gesture reuses it instead of allocating; streaming records whether it
+	// is collecting *this* interaction's stroke — the flag that
+	// distinguishes a live stream (duplicate FingerDown, ignore) from a
+	// retained-for-reuse one (restart it).
+	stream    *eager.Session
+	streaming bool
+	class     string
+	decided   bool
+	complete  bool
+	tracker   *TransformTracker
+	extra     int
 
 	// degrade enables the degraded-classification fallback; degraded
 	// records that it actually fired for this interaction.
@@ -156,6 +163,12 @@ func (s *Session) decide(class string) {
 // whose recognition result was unreachable, because the one-shot decide
 // had already fired; explicit inertness replaces that trap. Start a new
 // Session, or serve many interactions through the serve.Engine, instead.)
+//
+// Handle is the session layer of the zero-allocation decide path: in
+// steady state (buffers warmed, fallbacks idle) consuming one event must
+// not allocate.
+//
+//glint:hotpath
 func (s *Session) Handle(ev Event) {
 	if s.complete {
 		return
@@ -164,11 +177,12 @@ func (s *Session) Handle(ev Event) {
 	switch ev.Kind {
 	case FingerDown:
 		if _, live := s.fingers[ev.Finger]; !live {
+			//lint:ignore hotalloc order's backing array is retained across Reset; it grows only past the all-time peak finger count, then never again
 			s.order = append(s.order, ev.Finger)
 		}
 		s.fingers[ev.Finger] = p
 		if len(s.order) == 1 {
-			if s.stream != nil || s.decided {
+			if s.streaming || s.decided {
 				// Duplicate FingerDown for the live primary finger: the
 				// stream is already running (or already rejected) —
 				// restarting it here would silently discard the collected
@@ -178,15 +192,23 @@ func (s *Session) Handle(ev Event) {
 			// Primary finger starts the gesture. A session or Add error
 			// (invalid options, non-finite input) rejects the gesture:
 			// decide("") — or the degraded fallback's class — so
-			// manipulation can still proceed.
-			stream, err := s.rec.NewSession()
-			if err != nil {
-				s.decide("")
-				return
+			// manipulation can still proceed. A stream retained from a
+			// previous interaction (session pooling) is restarted in
+			// place; only the first gesture through this Session
+			// allocates one.
+			if s.stream == nil {
+				stream, err := s.rec.NewSession()
+				if err != nil {
+					s.decide("")
+					return
+				}
+				s.stream = stream
+			} else {
+				s.stream.Reset()
 			}
-			stream.SetSpan(s.span)
-			stream.SetTap(s.tap)
-			s.stream = stream
+			s.stream.SetSpan(s.span)
+			s.stream.SetTap(s.tap)
+			s.streaming = true
 			fired, class, err := s.stream.Add(geom.TimedPoint{X: ev.X, Y: ev.Y, T: ev.T})
 			if err != nil {
 				s.decide(s.rejectClass())
@@ -265,11 +287,35 @@ func (s *Session) Finish() string {
 			s.decide(s.endClass())
 		}
 		s.complete = true
-		s.fingers = make(map[FingerID]geom.Point)
-		s.order = nil
+		clear(s.fingers)
+		s.order = s.order[:0]
 		s.tracker = nil
 	}
 	return s.class
+}
+
+// Reset returns the session to its initial state so it can serve a new
+// interaction, retaining every allocation it has accumulated: the finger
+// map and order slice keep their capacity, and the eager stream (with its
+// point and score buffers) is kept for restart on the next primary
+// FingerDown. This is the serve.Engine session pool's reuse hook. The
+// per-interaction callbacks, span, and tap are cleared — reattach them
+// before the first Handle.
+func (s *Session) Reset() {
+	clear(s.fingers)
+	s.order = s.order[:0]
+	s.streaming = false
+	s.class = ""
+	s.decided = false
+	s.complete = false
+	s.tracker = nil
+	s.extra = 0
+	s.degraded = false
+	s.span = nil
+	s.tap = nil
+	s.OnRecognized = nil
+	s.OnTransform = nil
+	s.OnExtraFingers = nil
 }
 
 // endClass finishes the streaming session, mapping any error (an
@@ -288,6 +334,8 @@ func (s *Session) endClass() string {
 
 // syncManipState rebuilds the transform tracker and extra-finger count
 // after the finger population changes.
+//
+//glint:coldpath runs only when a finger arrives or leaves, never on the per-point move path
 func (s *Session) syncManipState() {
 	if !s.decided {
 		return

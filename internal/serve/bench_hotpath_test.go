@@ -1,0 +1,176 @@
+package serve
+
+// The hot-path allocation contract, measured. DESIGN.md §6 documents the
+// three-layer gate: the hotalloc analyzer flags AST-visible allocation
+// sources in //glint:hotpath functions, cmd/glint -escape cross-checks
+// the compiler's escape analysis against the same regions, and the
+// benchmarks and test here prove the end result at runtime — zero
+// allocations per point on the decide path. CI publishes the benchmark
+// numbers as BENCH_hotpath.json.
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"repro/internal/multipath"
+)
+
+// BenchmarkDecidePerPoint measures one eager.Session.Add — the paper's
+// per-mouse-point D + C-hat cost — on a warm session with observability
+// disabled. The contract is 0 allocs/op.
+func BenchmarkDecidePerPoint(b *testing.B) {
+	rec := trainRec(b, 1)
+	s, err := rec.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := sampleGesture(2, 0)
+	// Warm the session once so any growth past the preallocated point
+	// capacity happens before measurement; Reset retains the capacity.
+	for _, p := range g {
+		s.Add(p)
+	}
+	s.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	j := 0
+	for i := 0; i < b.N; i++ {
+		if j == len(g) {
+			s.Reset()
+			j = 0
+		}
+		s.Add(g[j])
+		j++
+	}
+}
+
+// BenchmarkSubmitSteadyState measures the full engine path — Submit,
+// shard dispatch, session decide, completion, pool return — in steady
+// state: one session ID cycling through whole gestures, so every gesture
+// after the first revives its predecessor's pooled session. Allocations
+// on the shard goroutine count too (AllocsPerOp is process-wide), so
+// 0 allocs/op here means the entire serving loop is allocation-free per
+// event.
+func BenchmarkSubmitSteadyState(b *testing.B) {
+	rec := trainRec(b, 1)
+	e, err := New(rec, Options{Shards: 1, QueueDepth: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	g, _ := sampleGesture(2, 0)
+	// One warm-up gesture allocates the session that the pool then
+	// recycles for every measured gesture.
+	playSession(b, e, "bench", g)
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	t, j := g[len(g)-1].T+1, 0
+	for i := 0; i < b.N; i++ {
+		ev := Event{Session: "bench", Finger: 0, T: t}
+		switch {
+		case j == 0:
+			ev.Kind = multipath.FingerDown
+			ev.X, ev.Y = g[0].X, g[0].Y
+		case j < len(g):
+			ev.Kind = multipath.FingerMove
+			ev.X, ev.Y = g[j].X, g[j].Y
+		default:
+			ev.Kind = multipath.FingerUp
+			ev.X, ev.Y = g[len(g)-1].X, g[len(g)-1].Y
+		}
+		for {
+			err := e.Submit(ev)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				b.Fatal(err)
+			}
+			runtime.Gosched() // backpressure: let the shard drain
+		}
+		t++
+		if j++; j > len(g) {
+			j = 0
+		}
+	}
+	b.StopTimer()
+}
+
+// TestDecidePathZeroAlloc is the allocation gate as a hard test: a warm
+// eager session must perform zero allocations per Add. This is the
+// runtime proof behind the //glint:hotpath annotations; the static
+// analyzers keep the property reviewable, this test keeps it true.
+func TestDecidePathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the contract is asserted by the non-race pass")
+	}
+	rec := trainRec(t, 1)
+	s, err := rec.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := sampleGesture(2, 0)
+	for _, p := range g {
+		s.Add(p)
+	}
+	s.Reset()
+	j := 0
+	allocs := testing.AllocsPerRun(400, func() {
+		if j == len(g) {
+			s.Reset()
+			j = 0
+		}
+		s.Add(g[j])
+		j++
+	})
+	if allocs != 0 {
+		t.Fatalf("decide path allocated %.2f times per point; the //glint:hotpath contract requires 0", allocs)
+	}
+}
+
+// TestSubmitPathZeroAlloc extends the gate to the intake half: Submit on
+// a live session (validation, shard hash, timestamp high-water check,
+// enqueue) must not allocate. The shard consumer is kept idle-free by
+// draining through a real dispatch loop.
+func TestSubmitPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the contract is asserted by the non-race pass")
+	}
+	rec := trainRec(t, 1)
+	e, err := New(rec, Options{Shards: 1, QueueDepth: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	g, _ := sampleGesture(2, 0)
+	playSession(t, e, "warm", g)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Measure Submit alone: a long stream of moves for one open session,
+	// so no per-gesture setup or teardown runs inside the measured loop.
+	if err := e.Submit(Event{Session: "warm", Finger: 0, Kind: multipath.FingerDown, X: g[0].X, Y: g[0].Y, T: g[len(g)-1].T + 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := g[len(g)-1].T + 2
+	allocs := testing.AllocsPerRun(400, func() {
+		for {
+			err := e.Submit(Event{Session: "warm", Finger: 0, Kind: multipath.FingerMove, X: g[0].X, Y: g[0].Y, T: ts})
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatal(err)
+			}
+			runtime.Gosched()
+		}
+		ts++
+	})
+	if allocs != 0 {
+		t.Fatalf("Submit allocated %.2f times per event; the //glint:hotpath contract requires 0", allocs)
+	}
+}

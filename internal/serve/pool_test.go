@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSessionPoolRecycles plays sequential gestures through a one-shard
+// engine and checks the shard pool actually recycles: after the first
+// gesture the pool holds its session, and subsequent gestures revive it
+// rather than growing the pool.
+func TestSessionPoolRecycles(t *testing.T) {
+	rec := trainRec(t, 1)
+	sink := newSink()
+	e, err := New(rec, Options{Shards: 1, OnResult: sink.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	g, want := sampleGesture(2, 0)
+
+	var pooled *liveSession
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("s%d", i) // one shard, so every ID lands on the same pool
+		playSession(t, e, id, g)
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		sh := e.shards[0]
+		if len(sh.free) != 1 {
+			t.Fatalf("gesture %d: pool size %d, want 1 (one session in flight at a time)", i, len(sh.free))
+		}
+		if pooled == nil {
+			pooled = sh.free[0]
+		} else if sh.free[0] != pooled {
+			t.Fatalf("gesture %d: pool returned a different liveSession; reuse is not happening", i)
+		}
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.dups != 0 {
+		t.Fatalf("%d duplicate results", sink.dups)
+	}
+	for i := 0; i < 5; i++ {
+		if got := sink.classes[fmt.Sprintf("s%d", i)]; got != want {
+			t.Fatalf("gesture %d classified %q, want %q — pooled state leaked between gestures", i, got, want)
+		}
+	}
+}
+
+// TestSessionPoolDropsStaleSnapshot checks the pool's safety rule: a
+// session pooled under the old recognizer must not serve a gesture that
+// starts after Swap — its buffers are shaped for the old model.
+func TestSessionPoolDropsStaleSnapshot(t *testing.T) {
+	rec := trainRec(t, 1)
+	sink := newSink()
+	e, err := New(rec, Options{Shards: 1, OnResult: sink.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	g, want := sampleGesture(2, 0)
+
+	playSession(t, e, "pre-swap", g)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stale := e.shards[0].free[0]
+
+	rec2 := trainRec(t, 99)
+	if prev := e.Swap(rec2); prev != rec {
+		t.Fatalf("Swap returned %p, want the original recognizer %p", prev, rec)
+	}
+
+	playSession(t, e, "post-swap", g)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sh := e.shards[0]
+	if len(sh.free) != 1 {
+		t.Fatalf("pool size %d after post-swap gesture, want 1", len(sh.free))
+	}
+	fresh := sh.free[0]
+	if fresh == stale {
+		t.Fatal("pool revived a session built over the swapped-out recognizer")
+	}
+	if fresh.rec != rec2 {
+		t.Fatal("post-swap session does not hold the new recognizer snapshot")
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if got := sink.classes["post-swap"]; got != want {
+		t.Fatalf("post-swap class %q, want %q", got, want)
+	}
+}
+
+// TestPanickedSessionNotPooled checks that a session finished by a
+// recovered panic is never recycled — its internal state is suspect.
+func TestPanickedSessionNotPooled(t *testing.T) {
+	rec := trainRec(t, 1)
+	e, err := New(rec, Options{Shards: 1, Fault: panicOnFirst{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	g, _ := sampleGesture(2, 0)
+	playSession(t, e, "s", g)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(e.shards[0].free); n != 0 {
+		t.Fatalf("pool holds %d sessions after a panicked finish, want 0", n)
+	}
+}
+
+// panicOnFirst injects a panic on the first dispatched event of every
+// session.
+type panicOnFirst struct{}
+
+func (panicOnFirst) Dispatch(session string, index int, x, y float64) (float64, float64, bool) {
+	return x, y, index == 0
+}

@@ -51,7 +51,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"runtime"
 	"sort"
@@ -338,8 +337,12 @@ type queued struct {
 // liveSession is one in-flight session plus the enqueue time of the
 // event that opened it, so completion can observe end-to-end latency.
 // root is the gesture's root span (nil when uninstrumented); capture is
-// its flight-recorder capture (nil when no recorder is attached).
+// its flight-recorder capture (nil when no recorder is attached). rec is
+// the recognizer snapshot sess was built over — the pool's reuse key: a
+// pooled liveSession is only revived for a gesture starting on the same
+// snapshot (see openSession).
 type liveSession struct {
+	rec     *eager.Recognizer
 	sess    *multipath.Session
 	start   time.Time
 	root    *obs.Span
@@ -362,6 +365,13 @@ type shard struct {
 	// and break the one-Result-per-session invariant. Bounded by the
 	// number of panicked sessions.
 	quarantined map[string]bool
+	// free pools finished liveSessions for reuse (LIFO), keeping the
+	// steady-state dispatch path allocation-free: a completed gesture's
+	// session is Reset and parked here, and the next gesture on the same
+	// recognizer snapshot revives it instead of allocating. Bounded by
+	// the shard's peak concurrent session count. Only the shard goroutine
+	// touches it; panicked sessions are never pooled.
+	free []*liveSession
 	// vmu guards lastT, the per-session high-water timestamp Submit uses
 	// to reject regressing events. Entries are cleared when the session
 	// finishes (and for stray events), bounding the map by the live
@@ -450,11 +460,22 @@ func (e *Engine) Swap(rec *eager.Recognizer) *eager.Recognizer {
 	return e.rec.Swap(rec)
 }
 
-// shardFor maps a session ID to its shard by FNV-1a hash.
+// FNV-1a constants (FNV is public domain; hash/fnv uses the same ones).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// shardFor maps a session ID to its shard by FNV-1a hash. The hash is
+// inlined rather than going through hash/fnv, whose hash.Hash32 interface
+// and []byte conversion would allocate on every Submit.
 func (e *Engine) shardFor(session string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(session))
-	return e.shards[h.Sum32()%uint32(len(e.shards))]
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(session); i++ {
+		h ^= uint32(session[i])
+		h *= fnvPrime32
+	}
+	return e.shards[h%uint32(len(e.shards))]
 }
 
 // validate is Submit's stateless event check; the regressing-timestamp
@@ -480,6 +501,13 @@ func validate(ev Event) error {
 // all three with errors.Is. Events for one session are processed in
 // submission order as long as the caller submits them from one
 // goroutine.
+//
+// Submit is the intake half of the zero-allocation decide path: with
+// observability and flight capture disabled it must not allocate per
+// event (machine-checked — see DESIGN.md §6, "Hot-path allocation
+// gate").
+//
+//glint:hotpath
 func (e *Engine) Submit(ev Event) error {
 	if err := validate(ev); err != nil {
 		e.bad.Add(1)
@@ -608,6 +636,7 @@ func (e *Engine) Close() error {
 	e.closed = true
 	close(e.stop)
 	for _, sh := range e.shards {
+		//lint:ignore sendclosed senders hold e.mu.RLock and check e.closed before every send; closed is set under e.mu.Lock above, so no send can race this close
 		close(sh.ch)
 	}
 	e.mu.Unlock()
@@ -732,12 +761,61 @@ func (e *Engine) dispatch(id string, ls *liveSession, ev Event) (panicked bool) 
 	return false
 }
 
+// openSession starts a new in-flight session for its first FingerDown,
+// reviving a pooled liveSession when one is available for the current
+// recognizer snapshot and allocating a fresh one otherwise. Runs on the
+// shard goroutine, which owns both maps and the pool.
+//
+//glint:coldpath runs once per gesture, not per point, and the session pool makes the steady-state revival branch allocation-free
+func (e *Engine) openSession(sh *shard, id string, at time.Time) *liveSession {
+	rec := e.rec.Load()
+	var ls *liveSession
+	if n := len(sh.free); n > 0 {
+		ls = sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		if ls.rec != rec {
+			// The model was swapped while this session sat in the pool;
+			// its eager stream's buffers are shaped for the old snapshot.
+			// Drop it (the remaining pool drains the same way) and build
+			// against the current model.
+			ls = nil
+		}
+	}
+	if ls == nil {
+		ls = &liveSession{rec: rec, sess: multipath.NewSession(rec)}
+	} else {
+		sess := ls.sess
+		*ls = liveSession{rec: rec, sess: sess}
+	}
+	ls.start = at
+	ls.sess.SetDegradedFallback(true)
+	ls.root = e.m.spans.StartAt("gesture", at)
+	ls.root.SetAttr("session", id)
+	ls.sess.SetSpan(ls.root)
+	if e.opts.Flight != nil {
+		ls.capture = flight.NewCapture(id)
+		ls.sess.SetTap(ls.capture)
+	}
+	sh.sessions[id] = ls
+	e.active.Add(1)
+	e.m.opened.Inc()
+	e.m.trace.Emit("session_open", id)
+	return ls
+}
+
 // handle applies one event to its session, creating the session on its
 // first FingerDown (with the recognizer snapshot current at that moment)
 // and retiring it when the interaction completes. When instrumented, the
 // first event opens the gesture's root span (backdated to its enqueue
 // time, so queue wait is inside the trace) and every event records
 // "queue_wait" and "dispatch" children under it.
+//
+// handle is the shard half of the zero-allocation decide path: in steady
+// state (sessions pooled, observability off) dispatching one event must
+// not allocate.
+//
+//glint:hotpath
 func (e *Engine) handle(sh *shard, q queued) {
 	ev := q.ev
 	if sh.quarantined[ev.Session] {
@@ -756,19 +834,7 @@ func (e *Engine) handle(sh *shard, q queued) {
 			sh.clearLastT(ev.Session)
 			return
 		}
-		ls = &liveSession{sess: multipath.NewSession(e.rec.Load()), start: q.at}
-		ls.sess.SetDegradedFallback(true)
-		ls.root = e.m.spans.StartAt("gesture", q.at)
-		ls.root.SetAttr("session", ev.Session)
-		ls.sess.SetSpan(ls.root)
-		if e.opts.Flight != nil {
-			ls.capture = flight.NewCapture(ev.Session)
-			ls.sess.SetTap(ls.capture)
-		}
-		sh.sessions[ev.Session] = ls
-		e.active.Add(1)
-		e.m.opened.Inc()
-		e.m.trace.Emit("session_open", ev.Session)
+		ls = e.openSession(sh, ev.Session, q.at)
 	}
 	qsp := ls.root.ChildAt("queue_wait", q.at)
 	qsp.End()
@@ -797,7 +863,11 @@ func (e *Engine) handle(sh *shard, q queued) {
 // latency (enqueue of the opening event through completion), trace,
 // root-span closure, flight-bundle offer, and the OnResult callback.
 // The outcome drives the per-reason counters, trace events, and the
-// bundle's Outcome.Reason.
+// bundle's Outcome.Reason. A healthy session (any outcome but
+// OutcomePanicked) is Reset and returned to the shard pool for the next
+// gesture.
+//
+//glint:coldpath per-gesture teardown dispatched once at completion, not per point
 func (e *Engine) finish(sh *shard, id string, ls *liveSession, class string, outcome Outcome) {
 	delete(sh.sessions, id)
 	sh.clearLastT(id)
@@ -838,5 +908,12 @@ func (e *Engine) finish(sh *shard, id string, ls *liveSession, class string, out
 	}
 	if e.opts.OnResult != nil {
 		e.opts.OnResult(Result{Session: id, Class: class, Outcome: outcome})
+	}
+	if outcome != OutcomePanicked {
+		// A panicked session's state is suspect — let the GC have it. Any
+		// other outcome left the session healthy: recycle it.
+		ls.sess.Reset()
+		ls.root, ls.capture = nil, nil
+		sh.free = append(sh.free, ls)
 	}
 }
