@@ -1,0 +1,367 @@
+// Command gload replays synthetic gesture workloads against a wire-
+// protocol ingest server (internal/ingest) over real sockets and
+// reports end-to-end frame latency and NACK rates as JSON
+// (BENCH_wire.json in CI).
+//
+// Each connection worker owns -sessions synthetic sessions, every
+// session playing -gestures full interactions (down, moves, up) with a
+// monotonically advancing per-session clock. The sessions interleave
+// round-robin into frames of -batch events — the bursty heterogeneous
+// point mix a real gesture population produces — and every frame is a
+// synchronous round trip: write frame, read ACK, record the latency.
+// NACKs count by code; a fatal response aborts the connection and the
+// run fails.
+//
+// Usage:
+//
+//	gload -addr host:port [flags]      load an external ingest server
+//	gload -self [flags]                boot an in-process engine +
+//	                                   ingest server on loopback first
+//	                                   (the CI smoke mode)
+//
+//	-conns N      concurrent connections (default 4)
+//	-sessions N   sessions per connection (default 8)
+//	-gestures N   gestures per session (default 4)
+//	-batch N      events per frame (default 64, max wire.MaxBatch)
+//	-seed N       workload seed (default 1); a fixed seed is a fixed
+//	              byte stream per connection
+//	-shards N     -self engine shards (0 = GOMAXPROCS)
+//	-strict       exit nonzero on any NACK or fatal response
+//	-o FILE       write the JSON report to FILE too (stdout always)
+//
+// The report includes events_per_sec; the acceptance floor for the CI
+// smoke is 100k events/s (ISSUE 7).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/eager"
+	"repro/internal/ingest"
+	"repro/internal/serve"
+	"repro/internal/synth"
+	"repro/internal/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config is the parsed flag set.
+type config struct {
+	addr     string
+	self     bool
+	conns    int
+	sessions int
+	gestures int
+	batch    int
+	seed     int64
+	shards   int
+	strict   bool
+	out      string
+}
+
+// report is the JSON document gload emits (BENCH_wire.json in CI).
+type report struct {
+	Conns        int     `json:"conns"`
+	SessionsPer  int     `json:"sessions_per_conn"`
+	GesturesPer  int     `json:"gestures_per_session"`
+	Batch        int     `json:"batch"`
+	Seed         int64   `json:"seed"`
+	Frames       int64   `json:"frames"`
+	Events       int64   `json:"events"`
+	DurationSec  float64 `json:"duration_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Latency      latency `json:"frame_latency_ns"`
+	Nacks        nacks   `json:"nacks"`
+	Fatals       int64   `json:"fatals"`
+}
+
+// latency is the frame round-trip distribution in nanoseconds.
+type latency struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// nacks counts refused events by wire NACK code.
+type nacks struct {
+	BadEvent  int64 `json:"bad_event"`
+	QueueFull int64 `json:"queue_full"`
+	Shed      int64 `json:"shed"`
+	Closed    int64 `json:"closed"`
+}
+
+func (n *nacks) total() int64 { return n.BadEvent + n.QueueFull + n.Shed + n.Closed }
+
+func (n *nacks) count(c wire.NackCode) {
+	switch c {
+	case wire.NackBadEvent:
+		n.BadEvent++
+	case wire.NackQueueFull:
+		n.QueueFull++
+	case wire.NackShed:
+		n.Shed++
+	case wire.NackClosed:
+		n.Closed++
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("gload", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	cfg := config{}
+	flags.StringVar(&cfg.addr, "addr", "", "ingest server address (host:port)")
+	flags.BoolVar(&cfg.self, "self", false, "boot an in-process engine + ingest server on loopback")
+	flags.IntVar(&cfg.conns, "conns", 4, "concurrent connections")
+	flags.IntVar(&cfg.sessions, "sessions", 8, "sessions per connection")
+	flags.IntVar(&cfg.gestures, "gestures", 4, "gestures per session")
+	flags.IntVar(&cfg.batch, "batch", 64, "events per frame")
+	flags.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	flags.IntVar(&cfg.shards, "shards", 0, "-self engine shards (0 = GOMAXPROCS)")
+	flags.BoolVar(&cfg.strict, "strict", false, "exit nonzero on any NACK or fatal response")
+	flags.StringVar(&cfg.out, "o", "", "also write the JSON report to this file")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if (cfg.addr == "") == !cfg.self {
+		fmt.Fprintln(stderr, "gload: exactly one of -addr or -self is required")
+		return 2
+	}
+	if cfg.batch < 1 || cfg.batch > wire.MaxBatch {
+		fmt.Fprintf(stderr, "gload: -batch must be in 1..%d\n", wire.MaxBatch)
+		return 2
+	}
+	if cfg.conns < 1 || cfg.sessions < 1 || cfg.gestures < 1 {
+		fmt.Fprintln(stderr, "gload: -conns, -sessions, -gestures must be >= 1")
+		return 2
+	}
+
+	rep, err := load(cfg, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "gload: %v\n", err)
+		return 1
+	}
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "gload: %v\n", err)
+		return 1
+	}
+	doc = append(doc, '\n')
+	stdout.Write(doc)
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, doc, 0o644); err != nil {
+			fmt.Fprintf(stderr, "gload: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.strict && (rep.Nacks.total() > 0 || rep.Fatals > 0) {
+		fmt.Fprintf(stderr, "gload: -strict: %d NACKs, %d fatals\n", rep.Nacks.total(), rep.Fatals)
+		return 1
+	}
+	return 0
+}
+
+// load runs the workload, booting the -self server first when asked.
+func load(cfg config, stderr io.Writer) (*report, error) {
+	addr := cfg.addr
+	if cfg.self {
+		rec, err := trainRec(cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+		e, err := serve.New(rec, serve.Options{Shards: cfg.shards, QueueDepth: 4096})
+		if err != nil {
+			return nil, err
+		}
+		defer e.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		// The unlimited-retry policy: backpressure stalls connections
+		// instead of shedding, so a clean run has zero NACKs by
+		// construction — what the CI smoke asserts with -strict.
+		s := ingest.Serve(ln, e, ingest.Options{})
+		defer s.Close()
+		addr = s.Addr().String()
+		fmt.Fprintf(stderr, "gload: self-serving on %s\n", addr)
+	}
+
+	workers := make([]*worker, cfg.conns)
+	for i := range workers {
+		workers[i] = &worker{cfg: cfg, id: i}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.err = w.run(addr)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{
+		Conns: cfg.conns, SessionsPer: cfg.sessions, GesturesPer: cfg.gestures,
+		Batch: cfg.batch, Seed: cfg.seed, DurationSec: elapsed.Seconds(),
+	}
+	var rtts []int64
+	for _, w := range workers {
+		if w.err != nil {
+			return nil, fmt.Errorf("conn %d: %w", w.id, w.err)
+		}
+		rep.Frames += w.frames
+		rep.Events += w.events
+		rep.Fatals += w.fatals
+		rep.Nacks.BadEvent += w.nacks.BadEvent
+		rep.Nacks.QueueFull += w.nacks.QueueFull
+		rep.Nacks.Shed += w.nacks.Shed
+		rep.Nacks.Closed += w.nacks.Closed
+		rtts = append(rtts, w.rtts...)
+	}
+	if rep.DurationSec > 0 {
+		rep.EventsPerSec = float64(rep.Events) / rep.DurationSec
+	}
+	rep.Latency = summarize(rtts)
+	return rep, nil
+}
+
+// trainRec trains the -self recognizer on the UD classes.
+func trainRec(seed int64) (*eager.Recognizer, error) {
+	set, _ := synth.NewGenerator(synth.DefaultParams(seed)).Set("gload-train", synth.UDClasses(), 12)
+	rec, _, err := eager.Train(set, eager.DefaultOptions())
+	return rec, err
+}
+
+// summarize computes exact quantiles over the recorded round trips.
+func summarize(rtts []int64) latency {
+	if len(rtts) == 0 {
+		return latency{}
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(rtts)-1))
+		return rtts[i]
+	}
+	return latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: rtts[len(rtts)-1]}
+}
+
+// worker drives one connection's full workload.
+type worker struct {
+	cfg    config
+	id     int
+	frames int64
+	events int64
+	fatals int64
+	nacks  nacks
+	rtts   []int64
+	err    error
+}
+
+// buildEvents generates the connection's event stream: per-session
+// gesture sequences with monotonically advancing clocks, interleaved
+// round-robin so consecutive events rarely share a session.
+func (w *worker) buildEvents() []wire.Event {
+	classes := synth.UDClasses()
+	streams := make([][]wire.Event, w.cfg.sessions)
+	for s := 0; s < w.cfg.sessions; s++ {
+		gen := synth.NewGenerator(synth.DefaultParams(
+			w.cfg.seed + int64(w.id)*1000 + int64(s)))
+		id := fmt.Sprintf("c%d-s%d", w.id, s)
+		clock := 0.0
+		var stream []wire.Event
+		for g := 0; g < w.cfg.gestures; g++ {
+			pts := gen.Sample(classes[(w.id+s+g)%len(classes)]).G.Points
+			for i, p := range pts {
+				kind := wire.KindMove
+				if i == 0 {
+					kind = wire.KindDown
+				}
+				stream = append(stream, wire.Event{
+					Session: id, Kind: kind, X: p.X, Y: p.Y,
+					TMicros: wire.Micros(clock + p.T),
+				})
+			}
+			last := pts[len(pts)-1]
+			stream = append(stream, wire.Event{
+				Session: id, Kind: wire.KindUp, X: last.X, Y: last.Y,
+				TMicros: wire.Micros(clock + last.T + 0.01),
+			})
+			// The session's clock keeps running between gestures, so the
+			// next gesture's timestamps never regress.
+			clock += last.T + 0.1
+		}
+		streams[s] = stream
+	}
+	var out []wire.Event
+	for remaining := true; remaining; {
+		remaining = false
+		for s := range streams {
+			if len(streams[s]) > 0 {
+				out = append(out, streams[s][0])
+				streams[s] = streams[s][1:]
+				remaining = remaining || len(streams[s]) > 0
+			}
+		}
+	}
+	return out
+}
+
+// run plays the worker's stream over one connection, frame by frame.
+func (w *worker) run(addr string) error {
+	events := w.buildEvents()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 4<<10)
+	enc := wire.NewEncoder()
+	var frame []byte
+	var nackBuf []wire.Nack
+	w.rtts = make([]int64, 0, (len(events)+w.cfg.batch-1)/w.cfg.batch)
+	for len(events) > 0 {
+		n := w.cfg.batch
+		if n > len(events) {
+			n = len(events)
+		}
+		frame, err = enc.AppendFrame(frame[:0], events[:n])
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := c.Write(frame); err != nil {
+			return err
+		}
+		resp, err := wire.ReadResponse(br, nackBuf[:0])
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", w.frames, err)
+		}
+		w.rtts = append(w.rtts, time.Since(start).Nanoseconds())
+		if resp.Fatal {
+			w.fatals++
+			return fmt.Errorf("fatal response: %s", resp.Code)
+		}
+		nackBuf = resp.Nacks
+		for _, nk := range resp.Nacks {
+			w.nacks.count(nk.Code)
+		}
+		w.frames++
+		w.events += int64(n)
+		events = events[n:]
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelfRunCleanReport: a small -self burst completes with zero NACKs
+// under -strict and writes a well-formed report to both stdout and -o.
+func TestSelfRunCleanReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_wire.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-self", "-strict", "-conns", "2", "-sessions", "4",
+		"-gestures", "2", "-batch", "32", "-seed", "3", "-o", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	for _, doc := range [][]byte{stdout.Bytes(), mustRead(t, out)} {
+		var rep report
+		if err := json.Unmarshal(doc, &rep); err != nil {
+			t.Fatalf("report JSON: %v\n%s", err, doc)
+		}
+		if rep.Conns != 2 || rep.Batch != 32 || rep.Seed != 3 {
+			t.Errorf("report echoes wrong config: %+v", rep)
+		}
+		if rep.Events == 0 || rep.Frames == 0 {
+			t.Errorf("empty run: %+v", rep)
+		}
+		if rep.Nacks.total() != 0 || rep.Fatals != 0 {
+			t.Errorf("clean burst produced refusals: %+v", rep)
+		}
+		if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 || rep.Latency.Max < rep.Latency.P99 {
+			t.Errorf("latency quantiles not ordered: %+v", rep.Latency)
+		}
+		if rep.EventsPerSec <= 0 {
+			t.Errorf("events_per_sec = %v", rep.EventsPerSec)
+		}
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDeterministicWorkload: a fixed seed yields the identical event
+// stream per connection — the property the CI smoke's "zero unexplained
+// NACKs" assertion leans on.
+func TestDeterministicWorkload(t *testing.T) {
+	cfg := config{conns: 2, sessions: 3, gestures: 2, batch: 16, seed: 9}
+	a := (&worker{cfg: cfg, id: 1}).buildEvents()
+	b := (&worker{cfg: cfg, id: 1}).buildEvents()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("stream lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Per-session timestamps never regress across gesture boundaries.
+	last := map[string]int64{}
+	for i, ev := range a {
+		if prev, ok := last[ev.Session]; ok && ev.TMicros < prev {
+			t.Fatalf("event %d: session %s regresses %d -> %d", i, ev.Session, prev, ev.TMicros)
+		}
+		last[ev.Session] = ev.TMicros
+	}
+}
+
+// TestFlagValidation: contradictory or out-of-range flags exit 2 with a
+// usage message, before any socket work.
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                          // neither -addr nor -self
+		{"-self", "-addr", "x:1"},   // both
+		{"-self", "-batch", "0"},    // batch under 1
+		{"-self", "-batch", "9999"}, // batch over wire.MaxBatch
+		{"-self", "-conns", "0"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr %q)", args, code, stderr.String())
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("run(%v) printed no diagnostic", args)
+		}
+	}
+	if !strings.Contains(func() string {
+		var stdout, stderr bytes.Buffer
+		run([]string{"-batch", "0", "-self"}, &stdout, &stderr)
+		return stderr.String()
+	}(), "batch") {
+		t.Error("batch diagnostic does not name the flag")
+	}
+}

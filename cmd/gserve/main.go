@@ -24,6 +24,11 @@
 //
 //	gserve [-addr :8089] [-seed 1] [-shards 0] [-traffic 24]
 //	       [-flight-trigger always] [-flight-cap 256] [-idle-timeout 0]
+//	       [-wire addr]
+//
+// -wire addr additionally hosts the binary wire-protocol ingest
+// listener (internal/ingest) on addr, sharing the engine and registry
+// with the HTTP side — point cmd/gload at it.
 //
 // -traffic N replays N synthetic GDP interactions through the engine at
 // startup so /metrics shows populated histograms immediately; -shards 0
@@ -38,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -47,6 +53,7 @@ import (
 
 	"repro/internal/eager"
 	"repro/internal/flight"
+	"repro/internal/ingest"
 	"repro/internal/multipath"
 	"repro/internal/obs"
 	"repro/internal/obsdemo"
@@ -74,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"latency-over trigger threshold")
 	idleTimeout := flags.Duration("idle-timeout", 0,
 		"reap sessions idle for this long (0 disables the reaper)")
+	wireAddr := flags.String("wire", "",
+		"wire-protocol ingest listen address (empty disables the listener)")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -95,6 +104,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := srv.playTraffic(*traffic); err != nil {
 		fmt.Fprintf(stderr, "gserve: %v\n", err)
 		return 1
+	}
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "gserve: %v\n", err)
+			return 1
+		}
+		ws := ingest.Serve(ln, srv.engine, ingest.Options{Obs: srv.reg})
+		defer ws.Close()
+		fmt.Fprintf(stdout, "gserve: wire ingest on %s\n", ws.Addr())
 	}
 	fmt.Fprintf(stdout, "gserve: serving on %s (seed %d, %d startup interactions)\n",
 		*addr, *seed, *traffic)
@@ -184,10 +203,18 @@ type swapRequest struct {
 // serialized: a /swap arriving while another is still training is
 // refused with 409 Conflict rather than queued, so concurrent callers
 // can't stack unbounded training work; the engine-level Swap itself
-// stays atomic either way.
+// stays atomic either way. A closed engine (serve.ErrClosed territory)
+// answers 503 — the shutting-down status load balancers understand —
+// never a generic 500. Every early return happens either before the
+// swap mutex is taken or under its defer, so no error path can leak the
+// lock and wedge all future swaps into 409.
 func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.closed.Load() || s.engine.Closed() {
+		http.Error(w, serve.ErrClosed.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	newSeed := s.seed + 1000 + s.swapN.Add(1)

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -11,7 +13,9 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 func testServer(t *testing.T) *server {
@@ -277,5 +281,111 @@ func TestDebugFlightEndpoint(t *testing.T) {
 		if len(b.Points) == 0 || len(b.Decisions) == 0 {
 			t.Errorf("bundle %s empty: %d points, %d decisions", b.Session, len(b.Points), len(b.Decisions))
 		}
+	}
+}
+
+// TestSwapClosedEngine503: a /swap against a closed engine answers 503
+// (the typed shutting-down status, serve.ErrClosed's HTTP mapping) —
+// never a generic 500 — and names the condition.
+func TestSwapClosedEngine503(t *testing.T) {
+	srv := testServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/swap", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /swap on closed engine = %d, want 503: %s", rr.Code, rr.Body.String())
+	}
+	if !strings.Contains(rr.Body.String(), "closed") {
+		t.Errorf("503 body %q does not name the closed condition", rr.Body.String())
+	}
+}
+
+// TestSwapErrorPathsReleaseMutex: every /swap early return (wrong
+// method, oversized/bad body) leaves the swap mutex free — a leaked
+// lock would turn all future swaps into permanent 409s.
+func TestSwapErrorPathsReleaseMutex(t *testing.T) {
+	srv := testServer(t)
+	for _, tc := range []struct {
+		name string
+		req  *http.Request
+		want int
+	}{
+		{"wrong method", httptest.NewRequest(http.MethodGet, "/swap", nil), http.StatusMethodNotAllowed},
+		{"bad json", httptest.NewRequest(http.MethodPost, "/swap", strings.NewReader("{nope")), http.StatusBadRequest},
+	} {
+		rr := httptest.NewRecorder()
+		srv.mux.ServeHTTP(rr, tc.req)
+		if rr.Code != tc.want {
+			t.Fatalf("%s: /swap = %d, want %d", tc.name, rr.Code, tc.want)
+		}
+		// The mutex must be free: TryLock succeeds and a real swap works.
+		if !srv.swapMu.TryLock() {
+			t.Fatalf("%s: swap mutex leaked by the error path", tc.name)
+		}
+		srv.swapMu.Unlock()
+		rr = httptest.NewRecorder()
+		srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/swap", nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: follow-up /swap = %d, want 200: %s", tc.name, rr.Code, rr.Body.String())
+		}
+	}
+}
+
+// TestWireListenerAlongsideHTTP: the -wire ingest listener shares the
+// HTTP server's engine and registry — a gesture played over the socket
+// completes in the engine and its wire.* counters surface in /metrics.
+func TestWireListenerAlongsideHTTP(t *testing.T) {
+	srv := testServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := ingest.Serve(ln, srv.engine, ingest.Options{Obs: srv.reg})
+	defer ws.Close()
+
+	c, err := net.Dial("tcp", ws.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	frame, err := wire.NewEncoder().AppendFrame(nil, []wire.Event{
+		{Session: "over-wire", Kind: wire.KindDown, X: 1, Y: 1, TMicros: 1000},
+		{Session: "over-wire", Kind: wire.KindMove, X: 2, Y: 2, TMicros: 2000},
+		{Session: "over-wire", Kind: wire.KindUp, X: 3, Y: 3, TMicros: 3000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadResponse(bufio.NewReader(c), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fatal || len(resp.Nacks) != 0 {
+		t.Fatalf("wire response = %+v, want clean ACK", resp)
+	}
+	waitIdle(t, srv, 7) // 6 startup interactions + the wire gesture
+
+	rr := get(t, srv, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]int64{}
+	for _, cs := range snap.Counters {
+		counters[cs.Name] = cs.Value
+	}
+	if counters["wire.events.decoded"] != 3 {
+		t.Errorf("wire.events.decoded = %d, want 3", counters["wire.events.decoded"])
+	}
+	if counters["wire.frames.decoded"] != 1 {
+		t.Errorf("wire.frames.decoded = %d, want 1", counters["wire.frames.decoded"])
 	}
 }

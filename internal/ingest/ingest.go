@@ -1,0 +1,366 @@
+// Package ingest is the networked front end of the serving engine: a
+// net.Listener-based server speaking the internal/wire frame protocol,
+// feeding decoded events into serve.Engine.Submit under the Submitter
+// retry policy, and answering every frame with the typed ACK/NACK
+// responses wire defines.
+//
+// One goroutine serves each connection: frames decode through a
+// per-connection wire.Decoder (which owns the connection's session
+// intern table and timestamp delta chain), every event submits through
+// a shared serve.Submitter, and refusals map to per-event NACK codes —
+// serve.ErrBadEvent to NackBadEvent, a spent retry budget
+// (serve.ErrShed) to NackShed, a bare serve.ErrQueueFull (no-retry
+// policies) to NackQueueFull, serve.ErrClosed to NackClosed followed by
+// connection teardown. An undecodable frame is answered with the
+// matching fatal code (FatalCorrupt, FatalOversized, FatalTruncated)
+// and the connection closes: the decoder's interning state can no
+// longer be trusted.
+//
+// Backpressure is per connection by construction: a connection blocked
+// in the Submitter's retry loop stops reading its socket, so TCP flow
+// control pushes back on that producer alone; other connections keep
+// their own pace. Server.Close stops the accept loop, closes every
+// connection, and waits for the per-connection goroutines — in-flight
+// frames finish their submit loop (draining through the Submitter
+// policy) before their goroutine exits.
+//
+// When Options.Obs is set the server registers the wire.* counters,
+// histograms, and the "wire.spans" span buffer documented in
+// OBSERVABILITY.md.
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/multipath"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Submitter is the per-event retry policy. The zero value is the
+	// unlimited-retry don't-drop-my-events policy: backpressure then
+	// stalls the connection (and TCP pushes back on the producer)
+	// instead of shedding. Set MaxAttempts to shed instead.
+	Submitter serve.SubmitterOptions
+	// Obs, when set, attaches the wire.* metrics and the "wire.spans"
+	// span buffer (see OBSERVABILITY.md). Nil leaves the server
+	// uninstrumented at no per-event cost.
+	Obs *obs.Registry
+}
+
+// metrics holds the server's obs handles; the zero value is the
+// uninstrumented no-op state.
+type metrics struct {
+	connsOpened  *obs.Counter    // wire.connections.opened
+	connsClosed  *obs.Counter    // wire.connections.closed
+	framesOK     *obs.Counter    // wire.frames.decoded
+	framesBad    *obs.Counter    // wire.frames.rejected
+	events       *obs.Counter    // wire.events.decoded
+	nackBad      *obs.Counter    // wire.nacks.bad_event
+	nackFull     *obs.Counter    // wire.nacks.queue_full
+	nackShed     *obs.Counter    // wire.nacks.shed
+	nackClosed   *obs.Counter    // wire.nacks.closed
+	frameEvents  *obs.Histogram  // wire.frame.events
+	frameDecodNS *obs.Histogram  // wire.frame.decode_ns
+	spans        *obs.SpanBuffer // wire.spans
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	if reg == nil {
+		return metrics{}
+	}
+	return metrics{
+		connsOpened:  reg.Counter("wire.connections.opened"),
+		connsClosed:  reg.Counter("wire.connections.closed"),
+		framesOK:     reg.Counter("wire.frames.decoded"),
+		framesBad:    reg.Counter("wire.frames.rejected"),
+		events:       reg.Counter("wire.events.decoded"),
+		nackBad:      reg.Counter("wire.nacks.bad_event"),
+		nackFull:     reg.Counter("wire.nacks.queue_full"),
+		nackShed:     reg.Counter("wire.nacks.shed"),
+		nackClosed:   reg.Counter("wire.nacks.closed"),
+		frameEvents:  reg.Histogram("wire.frame.events", obs.DepthBuckets()),
+		frameDecodNS: reg.Histogram("wire.frame.decode_ns", obs.LatencyBuckets()),
+		spans:        reg.Spans("wire.spans", 0),
+	}
+}
+
+// Server accepts wire-protocol connections and feeds their events into
+// a serve.Engine. Create with Serve; stop with Close.
+type Server struct {
+	ln  net.Listener
+	sub *serve.Submitter
+	m   metrics
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts a server accepting on ln (which the server now owns)
+// and submitting into e. It returns immediately; Close stops it.
+func Serve(ln net.Listener, e *serve.Engine, opts Options) *Server {
+	s := &Server{
+		ln:    ln,
+		sub:   serve.NewSubmitter(e, opts.Submitter),
+		m:     newMetrics(opts.Obs),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address — the port to dial when the
+// listener was bound to ":0".
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes every live connection, and waits for
+// the per-connection goroutines to drain their in-flight frame through
+// the Submitter policy. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// track registers a live connection; it reports false when the server
+// is already closing and the connection should be dropped.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(c) {
+			c.Close()
+			continue
+		}
+		s.m.connsOpened.Inc()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// conn is one connection's decode/submit state, reused across frames so
+// the steady-state path performs no per-event allocation.
+type conn struct {
+	dec    *wire.Decoder
+	wire   []wire.Event
+	events []serve.Event
+	nacks  []wire.Nack
+	resp   []byte
+}
+
+// serveConn runs one connection to completion: frames in, responses
+// out, teardown on the first fatal condition or clean EOF.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(c)
+	defer s.m.connsClosed.Inc()
+	defer c.Close()
+
+	br := bufio.NewReaderSize(c, 32<<10)
+	bw := bufio.NewWriterSize(c, 4<<10)
+	fr := wire.NewFrameReader(br)
+	st := &conn{
+		dec:    wire.NewDecoder(),
+		wire:   make([]wire.Event, 0, wire.MaxBatch),
+		events: make([]serve.Event, 0, wire.MaxBatch),
+		nacks:  make([]wire.Nack, 0, 16),
+	}
+	for {
+		payload, err := fr.Next()
+		if err != nil {
+			if err != io.EOF {
+				s.m.framesBad.Inc()
+				s.respondFatal(bw, fatalFor(err))
+			}
+			return
+		}
+		closing, err := s.serveFrame(bw, st, payload)
+		if err != nil || closing {
+			return
+		}
+	}
+}
+
+// fatalFor maps a wire decode error to its fatal response code.
+func fatalFor(err error) wire.FatalCode {
+	switch {
+	case errors.Is(err, wire.ErrOversized):
+		return wire.FatalOversized
+	case errors.Is(err, wire.ErrTruncated):
+		return wire.FatalTruncated
+	}
+	return wire.FatalCorrupt
+}
+
+// respondFatal best-effort writes a fatal response; the connection is
+// closing either way.
+func (s *Server) respondFatal(bw *bufio.Writer, code wire.FatalCode) {
+	bw.Write(wire.AppendFatal(nil, code))
+	bw.Flush()
+}
+
+// serveFrame decodes one frame payload, submits its events, and writes
+// the frame's response. closing reports that the connection must tear
+// down after the response (the engine or server is shutting down).
+func (s *Server) serveFrame(bw *bufio.Writer, st *conn, payload []byte) (closing bool, err error) {
+	sp := s.m.spans.Start("wire_frame")
+	decStart := obs.Start(s.m.frameDecodNS)
+	st.events = st.events[:0]
+	events, decErr := s.decode(st, payload)
+	obs.ObserveSince(s.m.frameDecodNS, decStart)
+	if decErr != nil {
+		s.m.framesBad.Inc()
+		sp.SetAttr("error", decErr.Error())
+		sp.End()
+		s.respondFatal(bw, fatalFor(decErr))
+		return true, decErr
+	}
+	s.m.framesOK.Inc()
+	s.m.events.Add(int64(len(events)))
+	s.m.frameEvents.Observe(float64(len(events)))
+	st.nacks, closing = s.submitBatch(events, st.nacks[:0])
+	sp.SetAttrInt("events", int64(len(events)))
+	sp.SetAttrInt("nacks", int64(len(st.nacks)))
+	sp.End()
+	st.resp = wire.AppendAck(st.resp[:0], st.nacks)
+	if _, err := bw.Write(st.resp); err != nil {
+		return true, err
+	}
+	if err := bw.Flush(); err != nil {
+		return true, err
+	}
+	return closing, nil
+}
+
+// decode turns one frame payload into serve events, converting the wire
+// domain (integer-microsecond timestamps, wire.Kind) into the engine's
+// (float seconds, multipath.EventKind) in place.
+func (s *Server) decode(st *conn, payload []byte) ([]serve.Event, error) {
+	st.wire = st.wire[:0]
+	w, err := st.dec.Decode(payload, st.wire)
+	st.wire = w
+	if err != nil {
+		return nil, err
+	}
+	events := st.events[:0]
+	for i := range w {
+		events = append(events[:len(events)], serve.Event{
+			Session: w[i].Session,
+			Finger:  multipath.FingerID(w[i].Finger),
+			Kind:    multipath.EventKind(w[i].Kind),
+			X:       w[i].X,
+			Y:       w[i].Y,
+			T:       w[i].Seconds(),
+		})
+	}
+	st.events = events
+	return events, nil
+}
+
+// submitBatch submits one decoded batch under the retry policy,
+// appending a NACK per refused event. closing reports the engine
+// refused with ErrClosed — the remaining events NACK closed without
+// being submitted, and the caller tears the connection down after
+// responding.
+//
+// This is the per-event half of the ingest hot path: in steady state
+// (accepted events, observability off) it must not allocate per event —
+// the NACK buffer is reused across frames and grows only while refusals
+// are occurring.
+//
+//glint:hotpath
+func (s *Server) submitBatch(events []serve.Event, nacks []wire.Nack) ([]wire.Nack, bool) {
+	closing := false
+	for i := range events {
+		if closing {
+			nacks = append(nacks[:len(nacks)], wire.Nack{Index: uint32(i), Code: wire.NackClosed})
+			s.m.nackClosed.Inc()
+			continue
+		}
+		err := s.sub.Submit(events[i])
+		if err == nil {
+			continue
+		}
+		code := nackFor(err)
+		if code == wire.NackClosed {
+			closing = true
+		}
+		nacks = append(nacks[:len(nacks)], wire.Nack{Index: uint32(i), Code: code})
+		s.countNack(code)
+	}
+	return nacks, closing
+}
+
+// nackFor maps a Submit error to its NACK code. ErrShed is checked
+// before ErrQueueFull: a shed error matches both, and the more specific
+// code tells the client its event was retried before being dropped.
+//
+//glint:coldpath runs once per refused event, not per accepted event
+func nackFor(err error) wire.NackCode {
+	switch {
+	case errors.Is(err, serve.ErrShed):
+		return wire.NackShed
+	case errors.Is(err, serve.ErrQueueFull):
+		return wire.NackQueueFull
+	case errors.Is(err, serve.ErrClosed):
+		return wire.NackClosed
+	}
+	return wire.NackBadEvent
+}
+
+// countNack feeds the per-code wire.nacks.* counters.
+//
+//glint:coldpath runs once per refused event, not per accepted event
+func (s *Server) countNack(code wire.NackCode) {
+	switch code {
+	case wire.NackBadEvent:
+		s.m.nackBad.Inc()
+	case wire.NackQueueFull:
+		s.m.nackFull.Inc()
+	case wire.NackShed:
+		s.m.nackShed.Inc()
+	case wire.NackClosed:
+		s.m.nackClosed.Inc()
+	}
+}

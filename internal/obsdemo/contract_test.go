@@ -114,15 +114,16 @@ func TestContractMatchesDocument(t *testing.T) {
 	for _, h := range snap.Histograms {
 		live[h.Name] = true
 	}
-	// The trace ring and span buffer are named in prose ("serve.trace",
-	// "gesture.spans"), not a metric table; account for them explicitly.
+	// The trace ring and span buffers are named in prose ("serve.trace",
+	// "gesture.spans", "wire.spans"), not a metric table; account for
+	// them explicitly.
 	for _, tr := range snap.Traces {
 		if tr.Name != "serve.trace" {
 			t.Errorf("trace ring %q is not in the OBSERVABILITY.md contract", tr.Name)
 		}
 	}
 	for _, sb := range snap.Spans {
-		if sb.Name != "gesture.spans" {
+		if sb.Name != "gesture.spans" && sb.Name != "wire.spans" {
 			t.Errorf("span buffer %q is not in the OBSERVABILITY.md contract", sb.Name)
 		}
 	}

@@ -17,8 +17,10 @@
 package obsdemo
 
 import (
+	"bufio"
 	"fmt"
 	"math"
+	"net"
 	"runtime"
 	"time"
 
@@ -26,10 +28,12 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flight"
 	"repro/internal/geom"
+	"repro/internal/ingest"
 	"repro/internal/multipath"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
+	"repro/internal/wire"
 )
 
 // TrainExamples is the per-class training-set size used by New and Run —
@@ -182,6 +186,15 @@ func demo(seed int64) (*obs.Registry, *eager.Recognizer, *flight.Recorder, error
 		return nil, nil, nil, fmt.Errorf("obsdemo: reap: %w", err)
 	}
 
+	// Wire ingestion segment: one gesture arrives over a real loopback
+	// socket through internal/ingest (sharing the registry, so every
+	// wire.* metric and the "wire.spans" buffer registers), one NaN
+	// coordinate draws a deterministic bad-event NACK, and a second
+	// connection sends garbage and is refused with a fatal response.
+	if err := wireSegment(reg, e, gen.Sample(classes[5]).G.Points); err != nil {
+		return nil, nil, nil, err
+	}
+
 	// One session left open (no FingerUp) so Close drains it.
 	s = gen.Sample(classes[0])
 	if err := play(sub, "demo-open", s.G.Points, false); err != nil {
@@ -218,6 +231,94 @@ func demo(seed int64) (*obs.Registry, *eager.Recognizer, *flight.Recorder, error
 	root.End()
 
 	return reg, rec, fr, nil
+}
+
+// wireSegment replays one gesture over a real loopback socket through
+// the wire-protocol ingest front end, exercising the accept path, the
+// per-event NACK path (one NaN coordinate refused by Submit
+// validation), and the fatal path (a garbage frame on a second
+// connection). Counter-valued wire.* metrics end deterministic: one
+// frame rejected, one bad-event NACK, two connections opened and
+// closed.
+func wireSegment(reg *obs.Registry, e *serve.Engine, g geom.Path) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("obsdemo: wire listen: %w", err)
+	}
+	ws := ingest.Serve(ln, e, ingest.Options{Obs: reg})
+	defer ws.Close()
+
+	fail := func(err error) error { return fmt.Errorf("obsdemo: wire: %w", err) }
+	c, err := net.Dial("tcp", ws.Addr().String())
+	if err != nil {
+		return fail(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+	enc := wire.NewEncoder()
+	events := make([]wire.Event, 0, len(g)+2)
+	for i, p := range g {
+		kind := wire.KindMove
+		if i == 0 {
+			kind = wire.KindDown
+		}
+		events = append(events, wire.Event{
+			Session: "demo-wire", Kind: kind, X: p.X, Y: p.Y, TMicros: wire.Micros(p.T),
+		})
+	}
+	last := g[len(g)-1]
+	events = append(events, wire.Event{
+		Session: "demo-wire", Kind: wire.KindUp, X: last.X, Y: last.Y, TMicros: wire.Micros(last.T + 0.01),
+	})
+	// One event that fails Submit validation: the frame decodes, the
+	// event NACKs with wire.NackBadEvent.
+	events = append(events, wire.Event{
+		Session: "demo-wire-bad", Kind: wire.KindDown, X: math.NaN(), Y: 0, TMicros: wire.Micros(last.T + 0.02),
+	})
+	nacked := 0
+	for len(events) > 0 {
+		n := 8
+		if n > len(events) {
+			n = len(events)
+		}
+		frame, err := enc.AppendFrame(nil, events[:n])
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := c.Write(frame); err != nil {
+			return fail(err)
+		}
+		resp, err := wire.ReadResponse(br, nil)
+		if err != nil {
+			return fail(err)
+		}
+		if resp.Fatal {
+			return fail(fmt.Errorf("unexpected fatal response %s", resp.Code))
+		}
+		nacked += len(resp.Nacks)
+		events = events[n:]
+	}
+	if nacked != 1 {
+		return fail(fmt.Errorf("%d NACKs, want exactly the bad-coordinate one", nacked))
+	}
+
+	// Fatal path: a second connection sends bytes that are not a frame.
+	c2, err := net.Dial("tcp", ws.Addr().String())
+	if err != nil {
+		return fail(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("not a wire frame")); err != nil {
+		return fail(err)
+	}
+	resp, err := wire.ReadResponse(bufio.NewReader(c2), nil)
+	if err != nil {
+		return fail(err)
+	}
+	if !resp.Fatal {
+		return fail(fmt.Errorf("garbage frame drew non-fatal response %+v", resp))
+	}
+	return ws.Close()
 }
 
 // play streams one single-finger interaction through the submitter

@@ -271,7 +271,7 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
 	Submitted int64 // events accepted into a queue
-	Rejected  int64 // events refused with ErrQueueFull
+	Rejected  int64 // events terminally refused for backpressure: direct Submit ErrQueueFull, or one per Submitter shed (not per retry)
 	Bad       int64 // events refused with ErrBadEvent
 	Completed int64 // sessions finished (any outcome)
 	Active    int64 // sessions currently in flight
@@ -509,6 +509,16 @@ func validate(ev Event) error {
 //
 //glint:hotpath
 func (e *Engine) Submit(ev Event) error {
+	return e.submit(ev, true)
+}
+
+// submit is Submit with the rejected-event accounting made optional:
+// retrying callers (Submitter) pass countRejected=false so a refused
+// event increments serve.events.rejected exactly once — at terminal
+// refusal — rather than once per retry attempt.
+//
+//glint:hotpath
+func (e *Engine) submit(ev Event, countRejected bool) error {
 	if err := validate(ev); err != nil {
 		e.bad.Add(1)
 		e.m.bad.Inc()
@@ -541,10 +551,30 @@ func (e *Engine) Submit(ev Event) error {
 		return nil
 	default:
 		sh.vmu.Unlock()
-		e.rejected.Add(1)
-		e.m.rejected.Inc()
+		if countRejected {
+			e.rejected.Add(1)
+			e.m.rejected.Inc()
+		}
 		return ErrQueueFull
 	}
+}
+
+// countRejected records one terminally refused event in Stats.Rejected
+// and serve.events.rejected. The Submitter calls it once when it sheds,
+// pairing with submit(ev, false) so retries don't inflate the counter.
+func (e *Engine) countRejected() {
+	e.rejected.Add(1)
+	e.m.rejected.Inc()
+}
+
+// Closed reports whether Close has begun: a closed engine refuses every
+// Submit with ErrClosed. Front ends use it to answer with a typed
+// shutting-down status (HTTP 503, wire NACK-closed) instead of a
+// generic failure.
+func (e *Engine) Closed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closed
 }
 
 // Flush is a barrier: it blocks until every event accepted by Submit

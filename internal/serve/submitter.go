@@ -74,14 +74,19 @@ func NewSubmitter(e *Engine, opts SubmitterOptions) *Submitter {
 // accepted it, ErrShed (matching ErrQueueFull too) when the attempt
 // budget ran out, and any non-backpressure error (ErrBadEvent,
 // ErrClosed) immediately and unwrapped.
+//
+// Stats.Rejected (serve.events.rejected) counts the event at most once,
+// when the Submitter sheds — not once per retry attempt; intermediate
+// full-queue bounces are visible as serve.submitter.retries instead.
 func (s *Submitter) Submit(ev Event) error {
 	delay := s.opts.Backoff
 	for attempt := 1; ; attempt++ {
-		err := s.e.Submit(ev)
+		err := s.e.submit(ev, false)
 		if err == nil || !errors.Is(err, ErrQueueFull) {
 			return err
 		}
 		if s.opts.MaxAttempts > 0 && attempt >= s.opts.MaxAttempts {
+			s.e.countRejected()
 			s.shed.Inc()
 			return fmt.Errorf("%w (%d attempts): %w", ErrShed, attempt, err)
 		}

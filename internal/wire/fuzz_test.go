@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzSeeds returns hand-built frames covering the interesting decode
+// shapes: empty batch, single definition, interleaved sessions,
+// non-finite coordinates, negative deltas, and a max-length session ID.
+// The same frames are committed under testdata/fuzz/FuzzDecodeFrame so
+// `go test -fuzz` starts from them without regenerating.
+func fuzzSeeds(t testing.TB) [][]byte {
+	mk := func(events ...Event) []byte {
+		f, err := NewEncoder().AppendFrame(nil, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	long := string(bytes.Repeat([]byte{'z'}, MaxSessionLen))
+	return [][]byte{
+		mk(), // empty batch
+		mk(Event{Session: "a", Kind: KindDown, X: 1, Y: 2, TMicros: 3}),
+		mk(
+			Event{Session: "a", Kind: KindDown, X: 0.5, Y: -0.5, TMicros: 100},
+			Event{Session: "b", Finger: 3, Kind: KindDown, X: 1e9, Y: -1e-9, TMicros: 50},
+			Event{Session: "a", Kind: KindMove, X: math.NaN(), Y: math.Inf(-1), TMicros: 120},
+			Event{Session: "b", Finger: 3, Kind: KindUp, X: 0, Y: 0, TMicros: 60},
+			Event{Session: "a", Kind: KindUp, X: 2, Y: 2, TMicros: 140},
+		),
+		mk(Event{Session: long, Kind: KindMove, X: -0.0, Y: math.MaxFloat64, TMicros: -1_000_000}),
+	}
+}
+
+// FuzzDecodeFrame pins the wire codec's safety and canonicality
+// contracts against arbitrary bytes:
+//
+//  1. Decode never panics, whatever the input.
+//  2. Any frame that decodes is canonical: a fresh Encoder re-encodes
+//     the decoded events to the identical bytes, and the consumed
+//     length matches EncodedFrameLen.
+//  3. Any frame that does not decode fails with one of the typed
+//     errors (ErrTruncated, ErrOversized, ErrCorrupt).
+func FuzzDecodeFrame(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+		// Mutated variants seed the error paths.
+		if len(seed) > 4 {
+			trunc := seed[:len(seed)-2]
+			f.Add(append([]byte{}, trunc...))
+			flip := append([]byte{}, seed...)
+			flip[len(flip)-1] ^= 0x40
+			f.Add(flip)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, Version, 0x01, 0, 0, 0, 0, 0xFF})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		events, n, err := NewDecoder().DecodeFrame(b, nil)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrOversized) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error is not typed: %v", err)
+			}
+			return
+		}
+		if n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		reenc, err := NewEncoder().AppendFrame(nil, events)
+		if err != nil {
+			t.Fatalf("re-encode of decoded events failed: %v", err)
+		}
+		if !bytes.Equal(reenc, b[:n]) {
+			t.Fatalf("Encode(Decode(frame)) not bit-identical:\n got %x\nwant %x", reenc, b[:n])
+		}
+	})
+}
+
+// TestFuzzSeedsDecode keeps the committed corpus honest under plain
+// `go test`: every seed decodes cleanly and round-trips.
+func TestFuzzSeedsDecode(t *testing.T) {
+	for i, seed := range fuzzSeeds(t) {
+		events, n, err := NewDecoder().DecodeFrame(seed, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if n != len(seed) {
+			t.Fatalf("seed %d: consumed %d of %d", i, n, len(seed))
+		}
+		reenc, err := NewEncoder().AppendFrame(nil, events)
+		if err != nil {
+			t.Fatalf("seed %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(reenc, seed) {
+			t.Fatalf("seed %d: round-trip not bit-identical", i)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports that this test binary was built with -race. The
+// race detector's instrumentation allocates, so the zero-allocation
+// contract tests skip themselves under it; the uninstrumented CI pass
+// still enforces the contract.
+const raceEnabled = true

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// Response type bytes: ASCII ACK for a per-frame acknowledgement, ASCII
+// NAK for a connection-fatal error.
+const (
+	respAck   = 0x06
+	respFatal = 0x15
+)
+
+// NackCode is the wire form of one refused event's reason. Codes map
+// the serving engine's typed Submit errors one-to-one; see
+// OBSERVABILITY.md ("Wire ingestion") for the counter each feeds.
+type NackCode uint8
+
+// NACK codes. Zero is reserved (an absent code).
+const (
+	// NackBadEvent maps serve.ErrBadEvent: the event failed Submit-time
+	// validation and retrying cannot help.
+	NackBadEvent NackCode = 1
+	// NackQueueFull maps a bare serve.ErrQueueFull: the shard queue was
+	// full and the ingest policy chose not to retry.
+	NackQueueFull NackCode = 2
+	// NackShed maps serve.ErrShed: the ingest Submitter retried its full
+	// budget and gave up.
+	NackShed NackCode = 3
+	// NackClosed maps serve.ErrClosed: the engine is shutting down; the
+	// server closes the connection after the response.
+	NackClosed NackCode = 4
+)
+
+// String names the code ("bad_event", "queue_full", "shed", "closed");
+// unknown values render as "nack(N)".
+func (c NackCode) String() string {
+	switch c {
+	case NackBadEvent:
+		return "bad_event"
+	case NackQueueFull:
+		return "queue_full"
+	case NackShed:
+		return "shed"
+	case NackClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("nack(%d)", uint8(c))
+}
+
+// FatalCode is the wire form of a connection-fatal condition: the server
+// sends it in a NAK response and closes the connection.
+type FatalCode uint8
+
+// Fatal codes. Zero is reserved.
+const (
+	// FatalCorrupt reports an undecodable frame (ErrCorrupt); the
+	// connection's interning state is unrecoverable.
+	FatalCorrupt FatalCode = 1
+	// FatalOversized reports a frame beyond the size limits
+	// (ErrOversized).
+	FatalOversized FatalCode = 2
+	// FatalTruncated reports a stream that ended mid-frame
+	// (ErrTruncated).
+	FatalTruncated FatalCode = 3
+	// FatalClosed reports an ingest server that is shutting down.
+	FatalClosed FatalCode = 4
+)
+
+// String names the code ("corrupt", "oversized", "truncated", "closed");
+// unknown values render as "fatal(N)".
+func (c FatalCode) String() string {
+	switch c {
+	case FatalCorrupt:
+		return "corrupt"
+	case FatalOversized:
+		return "oversized"
+	case FatalTruncated:
+		return "truncated"
+	case FatalClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("fatal(%d)", uint8(c))
+}
+
+// Nack is one refused event within a frame: the 0-based event index and
+// the typed reason.
+type Nack struct {
+	// Index is the event's position within its frame.
+	Index uint32
+	// Code is the refusal reason.
+	Code NackCode
+}
+
+// AppendAck appends one ACK response (possibly carrying NACKs) to dst.
+// An empty nacks slice is the 2-byte all-accepted response.
+func AppendAck(dst []byte, nacks []Nack) []byte {
+	dst = append(dst[:len(dst)], respAck)
+	dst = appendUvarint(dst, uint64(len(nacks)))
+	for _, n := range nacks {
+		dst = appendUvarint(dst, uint64(n.Index))
+		dst = append(dst[:len(dst)], byte(n.Code))
+	}
+	return dst
+}
+
+// AppendFatal appends one NAK (connection-fatal) response to dst.
+func AppendFatal(dst []byte, code FatalCode) []byte {
+	return append(dst[:len(dst)], respFatal, byte(code))
+}
+
+// Response is one decoded server response: either a per-frame ACK with
+// its NACK list, or a connection-fatal NAK.
+type Response struct {
+	// Fatal reports a NAK response; Code then says why and the
+	// connection is dead.
+	Fatal bool
+	// Code is the fatal reason (only when Fatal).
+	Code FatalCode
+	// Nacks are the frame's refused events (only when !Fatal), in index
+	// order as the server emitted them.
+	Nacks []Nack
+}
+
+// ReadResponse reads one response off r, reusing nackBuf for the NACK
+// list. io.EOF at a response boundary passes through; mid-response ends
+// are ErrTruncated.
+func ReadResponse(r io.ByteReader, nackBuf []Nack) (Response, error) {
+	t, err := r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Response{}, io.EOF
+		}
+		return Response{}, fmt.Errorf("%w: response type: %v", ErrTruncated, err)
+	}
+	switch t {
+	case respFatal:
+		c, err := r.ReadByte()
+		if err != nil {
+			return Response{}, fmt.Errorf("%w: fatal code: %v", ErrTruncated, err)
+		}
+		return Response{Fatal: true, Code: FatalCode(c)}, nil
+	case respAck:
+		n, err := readStreamUvarint(r)
+		if err != nil {
+			return Response{}, err
+		}
+		if n > MaxBatch {
+			return Response{}, fmt.Errorf("%w: %d NACKs exceeds MaxBatch %d", ErrOversized, n, MaxBatch)
+		}
+		nacks := nackBuf[:0]
+		for i := uint64(0); i < n; i++ {
+			idx, err := readStreamUvarint(r)
+			if err != nil {
+				return Response{}, err
+			}
+			if idx > MaxBatch {
+				return Response{}, fmt.Errorf("%w: NACK index %d exceeds MaxBatch %d", ErrCorrupt, idx, MaxBatch)
+			}
+			c, err := r.ReadByte()
+			if err != nil {
+				return Response{}, fmt.Errorf("%w: NACK code: %v", ErrTruncated, err)
+			}
+			nacks = append(nacks, Nack{Index: uint32(idx), Code: NackCode(c)})
+		}
+		return Response{Nacks: nacks}, nil
+	}
+	return Response{}, fmt.Errorf("%w: unknown response type %#02x", ErrCorrupt, t)
+}
