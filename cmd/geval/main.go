@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	geval [-exp all|fig9|fig10|fig8|ud|timing|ablation-twoclass|ablation-bias|ablation-threshold|trainsize]
+//	geval [-exp all|fig9|fig10|fig8|ud|baseline|backends|timing|ablation-twoclass|ablation-bias|ablation-threshold|trainsize]
 //	      [-train N] [-test N] [-train-seed S] [-test-seed S]
 //	      [-parallel] [-j N]
 //
@@ -135,6 +135,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		{"ud", wrap(experiments.UD)},
 		{"baseline", func() (fmt.Stringer, error) {
 			r, err := experiments.RunBaseline(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return stringer{r.Format()}, nil
+		}},
+		{"backends", func() (fmt.Stringer, error) {
+			r, err := experiments.RunBackends(cfg)
 			if err != nil {
 				return nil, err
 			}

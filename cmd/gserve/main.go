@@ -23,8 +23,13 @@
 // Usage:
 //
 //	gserve [-addr :8089] [-seed 1] [-shards 0] [-traffic 24]
-//	       [-flight-trigger always] [-flight-cap 256] [-idle-timeout 0]
-//	       [-wire addr]
+//	       [-backend eager] [-flight-trigger always] [-flight-cap 256]
+//	       [-idle-timeout 0] [-wire addr]
+//
+// -backend selects the recognizer backend the engine serves — "eager"
+// (Rubine statistical, the default) or "template" (streaming $1-style
+// matcher); see BACKENDS.md for the contract and the trade-offs. /swap
+// retrains whichever backend is selected.
 //
 // -wire addr additionally hosts the binary wire-protocol ingest
 // listener (internal/ingest) on addr, sharing the engine and registry
@@ -57,8 +62,10 @@ import (
 	"repro/internal/multipath"
 	"repro/internal/obs"
 	"repro/internal/obsdemo"
+	"repro/internal/recognizer"
 	"repro/internal/serve"
 	"repro/internal/synth"
+	"repro/internal/template"
 )
 
 func main() {
@@ -74,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := flags.Int64("seed", 1, "training and traffic seed")
 	shards := flags.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
 	traffic := flags.Int("traffic", 24, "synthetic interactions to replay at startup")
+	backend := flags.String("backend", "eager", "recognizer backend to serve: eager or template (see BACKENDS.md)")
 	flightTrigger := flags.String("flight-trigger", "always",
 		"flight recorder trigger: always, on-error, on-poison, latency-over")
 	flightCap := flags.Int("flight-cap", flight.DefaultCapacity, "flight recorder ring capacity")
@@ -92,11 +100,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gserve: %v\n", err)
 		return 2
 	}
+	if *backend != "eager" && *backend != "template" {
+		fmt.Fprintf(stderr, "gserve: unknown -backend %q (want eager or template)\n", *backend)
+		return 2
+	}
 	srv, err := newServer(*seed, *shards, *idleTimeout, flight.Options{
 		Capacity:         *flightCap,
 		Trigger:          trigger,
 		LatencyThreshold: *flightLatency,
-	})
+	}, *backend)
 	if err != nil {
 		fmt.Fprintf(stderr, "gserve: %v\n", err)
 		return 1
@@ -134,22 +146,38 @@ type server struct {
 	recorder *flight.Recorder
 	mux      *http.ServeMux
 	seed     int64
+	backend  string       // "eager" or "template"; /swap retrains the matching kind
 	swapMu   sync.Mutex   // serializes /swap retrains; TryLock -> 409
 	swapN    atomic.Int64 // distinct seeds for successive /swap retrains
 	nextID   atomic.Int64 // startup-traffic session IDs
 	closed   atomic.Bool  // set by Close; /healthz turns 503
 }
 
-// newServer trains the initial model (instrumented, via obsdemo.New),
-// starts the engine — with span tracing and a flight recorder attached —
-// against the same registry, and wires the mux.
-func newServer(seed int64, shards int, idleTimeout time.Duration, fopts flight.Options) (*server, error) {
-	reg, rec, err := obsdemo.New(seed)
+// newServer trains the initial model — the eager recognizer via
+// obsdemo.New, or the streaming template matcher when backend is
+// "template" — starts the engine with span tracing and a flight recorder
+// attached against the same registry, and wires the mux. Either backend
+// serves through the identical recognizer.Backend surface, so everything
+// downstream (metrics, traces, flight bundles, swap) is backend-blind.
+func newServer(seed int64, shards int, idleTimeout time.Duration, fopts flight.Options, backend string) (*server, error) {
+	var (
+		reg *obs.Registry
+		rec recognizer.Backend
+		err error
+	)
+	if backend == "template" {
+		reg = obs.New()
+		rec, err = trainTemplate(reg, seed)
+	} else {
+		backend = "eager"
+		reg, rec, err = obsdemo.New(seed)
+	}
 	if err != nil {
 		return nil, err
 	}
 	recorder := flight.NewRecorder(fopts)
-	engine, err := serve.New(rec, serve.Options{
+	engine, err := serve.New(nil, serve.Options{
+		Backend:     rec,
 		Shards:      shards,
 		Obs:         reg,
 		Flight:      recorder,
@@ -159,7 +187,7 @@ func newServer(seed int64, shards int, idleTimeout time.Duration, fopts flight.O
 		return nil, err
 	}
 	sub := serve.NewSubmitter(engine, serve.SubmitterOptions{Obs: reg})
-	s := &server{reg: reg, engine: engine, sub: sub, recorder: recorder, mux: http.NewServeMux(), seed: seed}
+	s := &server{reg: reg, engine: engine, sub: sub, recorder: recorder, mux: http.NewServeMux(), seed: seed, backend: backend}
 
 	s.mux.Handle("/metrics", obs.Handler(reg))
 	s.mux.Handle("/metrics.txt", obs.TextHandler(reg))
@@ -236,18 +264,43 @@ func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.swapMu.Unlock()
-	gen := synth.NewGenerator(synth.DefaultParams(newSeed))
-	set, _ := gen.Set("gdp-retrain", synth.GDPClasses(), obsdemo.TrainExamples)
-	opts := eager.DefaultOptions()
-	opts.Obs = s.reg
-	rec, _, err := eager.Train(set, opts)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	var rec recognizer.Backend
+	if s.backend == "template" {
+		var err error
+		if rec, err = trainTemplate(s.reg, newSeed); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		gen := synth.NewGenerator(synth.DefaultParams(newSeed))
+		set, _ := gen.Set("gdp-retrain", synth.GDPClasses(), obsdemo.TrainExamples)
+		opts := eager.DefaultOptions()
+		opts.Obs = s.reg
+		eagerRec, _, err := eager.Train(set, opts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rec = eagerRec
 	}
 	s.engine.Swap(rec)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	_ = json.NewEncoder(w).Encode(map[string]any{"swapped": true, "seed": newSeed})
+}
+
+// trainTemplate trains the streaming template backend on the standard
+// GDP demo workload and instruments it against reg — the template-side
+// mirror of obsdemo.New. Idempotent against one registry, so /swap
+// retrains reuse the same template.* metric instruments.
+func trainTemplate(reg *obs.Registry, seed int64) (*template.Recognizer, error) {
+	gen := synth.NewGenerator(synth.DefaultParams(seed))
+	set, _ := gen.Set("gdp-train", synth.GDPClasses(), obsdemo.TrainExamples)
+	tmpl, err := template.Train(set, template.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	tmpl.Instrument(reg)
+	return tmpl, nil
 }
 
 // playTraffic replays n synthetic single-finger GDP interactions through

@@ -20,7 +20,7 @@ import (
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	srv, err := newServer(1, 2, 0, flight.Options{Capacity: 64})
+	srv, err := newServer(1, 2, 0, flight.Options{Capacity: 64}, "eager")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestHealthz(t *testing.T) {
 
 func TestSwapEndpoint(t *testing.T) {
 	srv := testServer(t)
-	before := srv.engine.Recognizer()
+	before := srv.engine.Backend()
 
 	rr := httptest.NewRecorder()
 	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/swap", nil))
@@ -130,7 +130,7 @@ func TestSwapEndpoint(t *testing.T) {
 	if !resp.Swapped {
 		t.Error("swap response reports swapped=false")
 	}
-	if srv.engine.Recognizer() == before {
+	if srv.engine.Backend() == before {
 		t.Error("engine still serves the pre-swap recognizer")
 	}
 }
@@ -387,5 +387,40 @@ func TestWireListenerAlongsideHTTP(t *testing.T) {
 	}
 	if counters["wire.frames.decoded"] != 1 {
 		t.Errorf("wire.frames.decoded = %d, want 1", counters["wire.frames.decoded"])
+	}
+}
+
+// TestTemplateBackendServer boots the server with -backend=template:
+// startup traffic flows through the streaming template matcher, the
+// template.* metric family shows up on /metrics, and /swap retrains the
+// template backend (not the eager one) and hot-swaps it in.
+func TestTemplateBackendServer(t *testing.T) {
+	srv, err := newServer(1, 2, 0, flight.Options{Capacity: 64}, "template")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	if err := srv.playTraffic(6); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, srv, 6)
+
+	body := get(t, srv, "/metrics").Body.String()
+	for _, name := range []string{"template.decide_ns", "serve.sessions.completed"} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %s with the template backend serving", name)
+		}
+	}
+	if strings.Contains(body, "eager.decide_ns") {
+		t.Error("/metrics shows eager stream metrics on a template-only server")
+	}
+
+	rr := httptest.NewRecorder()
+	srv.mux.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/swap", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/swap on template backend: %d %s", rr.Code, rr.Body.String())
+	}
+	if srv.engine.Backend().Caps().Name != "template" {
+		t.Errorf("swap replaced the template backend with %q", srv.engine.Backend().Caps().Name)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/mathx"
 	"repro/internal/obs"
+	"repro/internal/recognizer"
 )
 
 // sessionMetrics is the streaming-recognition instrumentation shared by
@@ -83,45 +84,17 @@ func (r *Recognizer) Classify(g gesture.Gesture) (string, error) {
 	return r.Full.Classify(g)
 }
 
-// Decision is the outcome of one eager step, as reported to a Tap: which
-// point it was, whether D fired, the class (when fired or at End), the
-// AUC's ambiguity margin at that point, and the error text of a poisoned
-// step. The sequence of Decisions is a pure function of the recognizer
-// and the point stream, which is what makes flight-recorder bundles
-// replayable bit-for-bit (see internal/flight and cmd/greplay).
-type Decision struct {
-	// Index is the 1-based count of points seen when the decision was
-	// made (for Kind "end", the full point count).
-	Index int
-	// Kind is "add" for a per-point decision, "end" for the mouse-up
-	// classification.
-	Kind string
-	// Fired reports that D judged the prefix unambiguous on this step.
-	Fired bool
-	// Class is the recognized class: set when Fired, and on an "end"
-	// decision when classification succeeded.
-	Class string
-	// Margin is the AUC score gap best-complete minus best-incomplete at
-	// this point (positive means D fires, modulo agreement gating); 0
-	// when no scores were computed (short prefix, poisoned stroke, or no
-	// tap/span attached).
-	Margin float64
-	// Err is the error text of a poisoned step, "" otherwise.
-	Err string
-}
+// Decision is the outcome of one eager step, as reported to a Tap. The
+// type now lives in internal/recognizer (it is part of the
+// backend-neutral streaming contract — see recognizer.Decision); this
+// alias keeps the historical eager.Decision name working for callers
+// like internal/flight and cmd/greplay.
+type Decision = recognizer.Decision
 
-// Tap observes a session's raw inputs and decisions as they happen — the
-// flight recorder's capture hook. Implementations must be cheap: they
-// run inline on the per-point path. A Tap is called from the session's
-// single owning goroutine only.
-type Tap interface {
-	// TapPoint is called once per Add with the raw input point, before
-	// the decision for that point is reported.
-	TapPoint(p geom.TimedPoint)
-	// TapDecision is called once per Add (Kind "add") and once per
-	// first End (Kind "end").
-	TapDecision(d Decision)
-}
+// Tap observes a session's raw inputs and decisions as they happen —
+// the flight recorder's capture hook. Alias of recognizer.Tap, the
+// backend-neutral home of the streaming contract.
+type Tap = recognizer.Tap
 
 // Session consumes one gesture's points as they arrive, implementing the
 // paper's eager-recognition loop: "Each time a new mouse point arrives it
@@ -183,6 +156,25 @@ func (r *Recognizer) NewSession() (*Session, error) {
 		fullBuf: make([]float64, r.Full.C.NumClasses()),
 		m:       r.m,
 	}, nil
+}
+
+// NewStream starts a streaming recognition session behind the
+// backend-neutral recognizer.Stream interface — the adapter that makes
+// *Recognizer a recognizer.Backend. It is NewSession with the concrete
+// type erased; serving stacks that only need the streaming contract
+// (serve.Engine, multipath.Session) go through this.
+//
+//glint:coldpath runs once per gesture stream, not per point; session pooling amortizes it away
+func (r *Recognizer) NewStream() (recognizer.Stream, error) {
+	return r.NewSession()
+}
+
+// Caps reports the eager backend's capability flags: eager (D can fire
+// mid-stroke) and degraded-fallback (Session.Degrade classifies a
+// poisoned stroke's finite prefix) — see recognizer.Caps and
+// BACKENDS.md.
+func (r *Recognizer) Caps() recognizer.Caps {
+	return recognizer.Caps{Name: "eager", Eager: true, DegradedFallback: true}
 }
 
 // SetSpan attaches a parent trace span: every subsequent Add records a

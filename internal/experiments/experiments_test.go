@@ -404,7 +404,10 @@ func TestBaselineComparison(t *testing.T) {
 		if rub.Classify*3 > tmpl.Classify {
 			t.Errorf("%s classify costs: rubine %v vs template %v — expected a large gap", rub.Workload, rub.Classify, tmpl.Classify)
 		}
-		if !rub.EagerReady || tmpl.EagerReady {
+		// Both backends are eager-capable now: Rubine via the AUC's D
+		// function, the template matcher via the streaming session's
+		// commit margin (armed by template.DefaultOptions).
+		if !rub.EagerReady || !tmpl.EagerReady {
 			t.Error("eager capability flags wrong")
 		}
 	}
@@ -432,5 +435,47 @@ func TestCornerLoopSweep(t *testing.T) {
 	}
 	if loopy.EagerAccuracy > clean.EagerAccuracy {
 		t.Errorf("defects improved eager accuracy: %.3f -> %.3f", clean.EagerAccuracy, loopy.EagerAccuracy)
+	}
+}
+
+// TestRunBackends drives the A/B comparison behind the pluggable-backend
+// work: both backends stream identical test gestures through
+// recognizer.Backend, and the table must show the structural trade —
+// comparable accuracy, with the template matcher's per-point cost well
+// above the statistical recognizer's.
+func TestRunBackends(t *testing.T) {
+	cfg := fastConfig()
+	res, err := RunBackends(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 0; i < len(res.Rows); i += 2 {
+		eg, tm := res.Rows[i], res.Rows[i+1]
+		if eg.Backend != "eager" || tm.Backend != "template" {
+			t.Fatalf("row order: %+v", res.Rows)
+		}
+		if eg.Accuracy < 0.8 || tm.Accuracy < 0.8 {
+			t.Errorf("%s streaming accuracies: eager %.3f template %.3f", eg.Workload, eg.Accuracy, tm.Accuracy)
+		}
+		// Both backends commit some gestures mid-stroke on these sets.
+		if eg.CommitFrac == 0 || tm.CommitFrac == 0 {
+			t.Errorf("%s commit fractions: eager %.2f template %.2f", eg.Workload, eg.CommitFrac, tm.CommitFrac)
+		}
+		// The cost structure: O(classes x features) vs O(templates x points).
+		if eg.DecideNS*3 > tm.DecideNS {
+			t.Errorf("%s decide costs: eager %.0fns vs template %.0fns — expected a large gap", eg.Workload, eg.DecideNS, tm.DecideNS)
+		}
+		// Eagerness is a fraction of the stroke, bounded and sane.
+		for _, r := range []BackendRow{eg, tm} {
+			if r.Eagerness <= 0 || r.Eagerness > 1 {
+				t.Errorf("%s/%s eagerness %.3f out of range", r.Workload, r.Backend, r.Eagerness)
+			}
+		}
+	}
+	if !strings.Contains(res.Format(), "decide-ns") {
+		t.Error("Format")
 	}
 }

@@ -7,14 +7,18 @@ import (
 
 // ExpdocPackages lists the import paths whose exported identifiers must
 // all carry doc comments. These are the concurrency-bearing packages —
-// the serving engine, the streaming recognizer, and the metrics layer —
-// where an undocumented exported identifier is an undocumented
-// concurrency contract (DESIGN.md §7). The var is exported so tests can
-// scope the analyzer to fixture packages.
+// the serving engine, both streaming recognizer backends, the backend
+// interface itself, the session layer, and the metrics layer — where an
+// undocumented exported identifier is an undocumented concurrency
+// contract (DESIGN.md §7, BACKENDS.md). The var is exported so tests
+// can scope the analyzer to fixture packages.
 var ExpdocPackages = map[string]bool{
-	"repro/internal/serve": true,
-	"repro/internal/eager": true,
-	"repro/internal/obs":   true,
+	"repro/internal/serve":      true,
+	"repro/internal/eager":      true,
+	"repro/internal/obs":        true,
+	"repro/internal/template":   true,
+	"repro/internal/multipath":  true,
+	"repro/internal/recognizer": true,
 }
 
 // Expdoc reports exported identifiers of the documented-contract
@@ -22,7 +26,7 @@ var ExpdocPackages = map[string]bool{
 var Expdoc = &Analyzer{
 	Name: "expdoc",
 	Doc: "flag exported identifiers without doc comments in the concurrency-contract packages " +
-		"(repro/internal/{serve,eager,obs}); every exported identifier there must document its " +
+		"(repro/internal/{serve,eager,obs,template,multipath,recognizer}); every exported identifier there must document its " +
 		"behaviour, including its concurrency contract where it has one.",
 	Run: runExpdoc,
 }

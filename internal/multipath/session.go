@@ -1,9 +1,9 @@
 package multipath
 
 import (
-	"repro/internal/eager"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/recognizer"
 )
 
 // FingerID identifies one finger in the (simulated) Sensor Frame's field
@@ -35,7 +35,7 @@ type Event struct {
 // beyond the second are counted and surfaced so applications can map them
 // to extra parameters (the paper's color/thickness example).
 type Session struct {
-	rec *eager.Recognizer
+	rec recognizer.Backend
 
 	// OnRecognized fires once, at the phase transition.
 	OnRecognized func(class string)
@@ -47,13 +47,13 @@ type Session struct {
 
 	fingers map[FingerID]geom.Point
 	order   []FingerID // arrival order of live fingers
-	// stream is the eager recognition stream. It outlives the interaction:
+	// stream is the backend's recognition stream. It outlives the interaction:
 	// Reset keeps it (and its internal buffers) so a pooled session's next
 	// gesture reuses it instead of allocating; streaming records whether it
 	// is collecting *this* interaction's stroke — the flag that
 	// distinguishes a live stream (duplicate FingerDown, ignore) from a
 	// retained-for-reuse one (restart it).
-	stream    *eager.Session
+	stream    recognizer.Stream
 	streaming bool
 	class     string
 	decided   bool
@@ -66,30 +66,30 @@ type Session struct {
 	degrade  bool
 	degraded bool
 
-	// span and tap are forwarded to the eager stream when the primary
+	// span and tap are forwarded to the recognition stream when the primary
 	// finger starts it; both nil by default (tracing/capture disabled).
 	span *obs.Span
-	tap  eager.Tap
+	tap  recognizer.Tap
 }
 
-// SetSpan attaches a parent trace span, forwarded to the eager stream
-// when the primary finger starts the gesture (see eager.Session.SetSpan).
-// Call before the first Handle; like every Session method this is
-// single-goroutine.
+// SetSpan attaches a parent trace span, forwarded to the recognition
+// stream when the primary finger starts the gesture (see
+// recognizer.Stream). Call before the first Handle; like every Session
+// method this is single-goroutine.
 func (s *Session) SetSpan(sp *obs.Span) { s.span = sp }
 
-// SetTap attaches a decision tap, forwarded to the eager stream when the
-// primary finger starts the gesture (see eager.Session.SetTap). Call
+// SetTap attaches a decision tap, forwarded to the recognition stream
+// when the primary finger starts the gesture (see recognizer.Tap). Call
 // before the first Handle.
-func (s *Session) SetTap(t eager.Tap) { s.tap = t }
+func (s *Session) SetTap(t recognizer.Tap) { s.tap = t }
 
-// SetDegradedFallback enables degraded classification: when the eager
-// stream poisons (a non-finite point wrecked the incremental features),
-// the session classifies the longest finite stroke prefix with the full
-// classifier (eager.Session.Degrade) instead of rejecting with "".
-// Degraded reports whether that fallback produced this interaction's
-// class. Off by default; serve.Engine turns it on. Call before the
-// first Handle.
+// SetDegradedFallback enables degraded classification: when the
+// recognition stream poisons (a non-finite point wrecked its
+// incremental state), the session classifies the longest finite stroke
+// prefix via the backend's fallback scorer (recognizer.Stream.Degrade)
+// instead of rejecting with "". Degraded reports whether that fallback
+// produced this interaction's class. Off by default; serve.Engine turns
+// it on. Call before the first Handle.
 func (s *Session) SetDegradedFallback(on bool) { s.degrade = on }
 
 // Degraded reports that the recognized class came from the degraded
@@ -109,8 +109,10 @@ func (s *Session) rejectClass() string {
 	return ""
 }
 
-// NewSession starts a multi-finger interaction over the given recognizer.
-func NewSession(rec *eager.Recognizer) *Session {
+// NewSession starts a multi-finger interaction over the given
+// recognizer backend (any recognizer.Backend — the eager statistical
+// recognizer and the streaming template matcher both qualify).
+func NewSession(rec recognizer.Backend) *Session {
 	return &Session{rec: rec, fingers: make(map[FingerID]geom.Point)}
 }
 
@@ -197,7 +199,7 @@ func (s *Session) Handle(ev Event) {
 			// place; only the first gesture through this Session
 			// allocates one.
 			if s.stream == nil {
-				stream, err := s.rec.NewSession()
+				stream, err := s.rec.NewStream()
 				if err != nil {
 					s.decide("")
 					return

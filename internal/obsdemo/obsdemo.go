@@ -33,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
+	"repro/internal/template"
 	"repro/internal/wire"
 )
 
@@ -230,7 +231,70 @@ func demo(seed int64) (*obs.Registry, *eager.Recognizer, *flight.Recorder, error
 	sess.Reset()
 	root.End()
 
+	// Template-backend segment: the second recognizer backend serves a
+	// burst through an engine selected via Options.Backend, sharing the
+	// registry, then exercises its poison/degrade/reset and Run paths
+	// directly — so every template.* metric in the OBSERVABILITY.md
+	// contract registers with deterministic counts.
+	if err := templateSegment(reg, seed); err != nil {
+		return nil, nil, nil, err
+	}
+
 	return reg, rec, fr, nil
+}
+
+// templateSegment trains the streaming template backend on the same GDP
+// workload, replays a short burst through an Options.Backend-selected
+// engine, and then drives one pooled session through the poisoned ->
+// Degrade -> Reset lifecycle plus one Run replay. After it, all seven
+// template.* metrics are non-zero and deterministic for a fixed seed.
+func templateSegment(reg *obs.Registry, seed int64) error {
+	classes := synth.GDPClasses()
+	set, _ := synth.NewGenerator(synth.DefaultParams(seed)).Set("gdp-template", classes, TrainExamples)
+	tmpl, err := template.Train(set, template.DefaultOptions())
+	if err != nil {
+		return fmt.Errorf("obsdemo: template: %w", err)
+	}
+	tmpl.Instrument(reg)
+
+	e, err := serve.New(nil, serve.Options{Backend: tmpl, Shards: 2, QueueDepth: 64, Obs: reg})
+	if err != nil {
+		return fmt.Errorf("obsdemo: template: %w", err)
+	}
+	sub := serve.NewSubmitter(e, serve.SubmitterOptions{Obs: reg})
+	gen := synth.NewGenerator(synth.DefaultParams(seed + 3))
+	for i := 0; i < len(classes); i++ {
+		s := gen.Sample(classes[i%len(classes)])
+		if err := play(sub, fmt.Sprintf("demo-tmpl-%03d", i), s.G.Points, true); err != nil {
+			return err
+		}
+	}
+	if err := e.Close(); err != nil {
+		return fmt.Errorf("obsdemo: template: close: %w", err)
+	}
+
+	// Poison -> Degrade -> Reset on a pooled session (template.session.
+	// poisoned / .degraded / .resets), then one Run replay for the
+	// commit-fraction histogram and the end-fire counter.
+	ts, err := tmpl.NewSession()
+	if err != nil {
+		return fmt.Errorf("obsdemo: template: %w", err)
+	}
+	pts := gen.Sample(classes[0]).G.Points
+	for _, p := range pts[:5] {
+		if _, _, err := ts.Add(p); err != nil {
+			return fmt.Errorf("obsdemo: template: %w", err)
+		}
+	}
+	ts.Add(geom.TimedPoint{X: math.NaN(), T: pts[4].T + 1})
+	if _, err := ts.Degrade(); err != nil {
+		return fmt.Errorf("obsdemo: template: degrade: %w", err)
+	}
+	ts.Reset()
+	if _, _, err := tmpl.Run(gen.Sample(classes[1]).G); err != nil {
+		return fmt.Errorf("obsdemo: template: replay: %w", err)
+	}
+	return nil
 }
 
 // wireSegment replays one gesture over a real loopback socket through

@@ -1,0 +1,140 @@
+package recognizer
+
+import (
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/obs"
+)
+
+// Backend is the serve-facing recognizer abstraction: everything the
+// serving stack (serve.Engine, multipath.Session, the flight recorder)
+// needs from a trained recognizer, and nothing more. The eager
+// statistical recognizer (internal/eager) and the streaming
+// template matcher (internal/template) both implement it; BACKENDS.md is
+// the normative contract and is machine-checked against this interface
+// by TestBackendsDocMatchesInterface.
+//
+// Immutable-snapshot contract: a Backend handed to serve.New or
+// serve.Engine.Swap must be immutable — NewStream and Classify must be
+// safe for unsynchronized concurrent use from any number of goroutines,
+// and nothing (including the streams it creates) may mutate the backend
+// afterwards. That is what makes the engine's lock-free atomic snapshot
+// sharing sound: in-flight sessions keep the snapshot they started on
+// while Swap publishes a new one. Perform any mutating setup
+// (training, Instrument) before sharing.
+type Backend interface {
+	// NewStream starts one single-goroutine recognition stream. It fails
+	// only when the backend itself is unusable (e.g. deserialized from a
+	// corrupt file); per-stroke problems are reported by the stream.
+	// Implementations should preallocate every per-point buffer here so
+	// Add stays allocation-free (see DESIGN.md §6, "Hot-path allocation
+	// gate").
+	NewStream() (Stream, error)
+	// Classify classifies a complete gesture in one shot — the batch
+	// path, used by tools and experiments; the serving stack goes through
+	// streams.
+	Classify(g gesture.Gesture) (string, error)
+	// Caps reports the backend's capability flags (see Caps). The result
+	// must be constant for the lifetime of the backend.
+	Caps() Caps
+}
+
+// Caps are a backend's capability flags, used by callers to pick
+// policies (and by BACKENDS.md's machine-checked capability matrix) —
+// see Backend.Caps.
+type Caps struct {
+	// Name is the backend's short stable identifier ("eager",
+	// "template"), the vocabulary of serve/gserve backend selection.
+	Name string
+	// Eager reports that streams can commit mid-stroke: Add may return
+	// fired=true before the stroke ends. Terminal-only backends always
+	// classify at End.
+	Eager bool
+	// DegradedFallback reports that Stream.Degrade can classify the
+	// finite prefix of a poisoned stroke instead of rejecting it.
+	DegradedFallback bool
+}
+
+// Stream is one in-flight stroke's recognition state — the streaming
+// half of a Backend. A Stream is single-goroutine: the serving engine
+// guarantees all events of one session are handled by one shard
+// goroutine, and nothing else may touch the stream. Streams are
+// long-lived: Reset returns one to its initial state retaining its
+// buffers, which is what makes serve.Engine's session pooling
+// allocation-free in steady state.
+type Stream interface {
+	// Add feeds one point. It returns fired=true the first time the
+	// stroke is judged unambiguous (eager backends only), along with the
+	// recognized class. After the stream has decided, further Adds still
+	// accumulate points but report fired=false, so callers act on the
+	// transition exactly once. A non-finite point poisons the stream: Add
+	// (and a later End) keep returning an error until Reset — callers
+	// should reject the stroke or fall back to Degrade.
+	Add(p geom.TimedPoint) (fired bool, class string, err error)
+	// End finishes the stroke at mouse-up: if the stream never fired, the
+	// collected stroke is classified in full now. Returns the final
+	// class, or an error for a poisoned or unclassifiable stroke.
+	End() (string, error)
+	// Degrade is the poisoned stroke's fallback: it classifies the
+	// longest all-finite point prefix, erring only when that prefix
+	// itself is unclassifiable. On success the stream is decided and End
+	// returns the degraded class. Backends without the DegradedFallback
+	// capability always return an error.
+	Degrade() (string, error)
+	// Reset returns the stream to its initial empty state, reusing its
+	// allocated buffers — both the recovery path after a poisoned stroke
+	// and the pooling reuse hook.
+	Reset()
+	// SetSpan attaches a parent trace span for per-point child spans;
+	// nil (the default) disables tracing at sub-5ns cost. Call before the
+	// first Add.
+	SetSpan(sp *obs.Span)
+	// SetTap attaches a decision tap — the flight recorder's capture
+	// hook. Nil (the default) disables capture. Call before the first
+	// Add.
+	SetTap(t Tap)
+}
+
+// Decision is the outcome of one stream step, as reported to a Tap:
+// which point it was, whether the stream fired, the class (when fired or
+// at End), the backend's ambiguity margin at that point, and the error
+// text of a poisoned step. The sequence of Decisions is a pure function
+// of the backend and the point stream, which is what makes
+// flight-recorder bundles replayable bit-for-bit (see internal/flight
+// and cmd/greplay).
+type Decision struct {
+	// Index is the 1-based count of points seen when the decision was
+	// made (for Kind "end", the full point count).
+	Index int
+	// Kind is "add" for a per-point decision, "end" for the mouse-up
+	// classification, "degrade" for the poisoned-stroke fallback.
+	Kind string
+	// Fired reports that the stream judged the prefix unambiguous on
+	// this step.
+	Fired bool
+	// Class is the recognized class: set when Fired, and on an "end"
+	// decision when classification succeeded.
+	Class string
+	// Margin is the backend's ambiguity margin at this point — for the
+	// eager backend the AUC score gap best-complete minus
+	// best-incomplete, for the template backend the distance gap between
+	// the best other-class template and the best template (positive
+	// means confident); 0 when no scores were computed (short prefix,
+	// poisoned stroke, or no tap/span attached).
+	Margin float64
+	// Err is the error text of a poisoned step, "" otherwise.
+	Err string
+}
+
+// Tap observes a stream's raw inputs and decisions as they happen — the
+// flight recorder's capture hook. Implementations must be cheap: they
+// run inline on the per-point path. A Tap is called from the stream's
+// single owning goroutine only.
+type Tap interface {
+	// TapPoint is called once per Add with the raw input point, before
+	// the decision for that point is reported.
+	TapPoint(p geom.TimedPoint)
+	// TapDecision is called once per Add (Kind "add") and once per
+	// first End (Kind "end").
+	TapDecision(d Decision)
+}

@@ -1,0 +1,163 @@
+package recognizer_test
+
+// BACKENDS.md is the normative backend contract; this test is the
+// machine check that keeps it honest, in both directions:
+//
+//   - the method tables in "## The interface" must list exactly the
+//     methods of recognizer.Backend and recognizer.Stream — a method
+//     added to the interface without documentation fails, and so does
+//     a documented method that no longer exists;
+//   - the "## Capability matrix" must match what freshly trained
+//     backends actually report from Caps(), cell by cell.
+//
+// The test lives in an external package so it can train real backends
+// (internal/eager, internal/template) without an import cycle.
+
+import (
+	"os"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/eager"
+	"repro/internal/recognizer"
+	"repro/internal/synth"
+	"repro/internal/template"
+)
+
+// methodRowRe matches a contract-table row whose first cell is a
+// backquoted method name, e.g. "| `Add` | Feed one point. ... |".
+var methodRowRe = regexp.MustCompile("(?m)^\\| `([A-Za-z]+)` \\|")
+
+// docMethodSets parses BACKENDS.md's two interface tables. The Backend
+// table precedes the "A `recognizer.Stream`" marker, the Stream table
+// follows it; both sit inside the "## The interface" section.
+func docMethodSets(t *testing.T) (backend, stream map[string]bool) {
+	t.Helper()
+	raw, err := os.ReadFile("../../BACKENDS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	start := strings.Index(doc, "## The interface")
+	if start < 0 {
+		t.Fatal("BACKENDS.md has no \"## The interface\" section — format drifted?")
+	}
+	section := doc[start:]
+	if end := strings.Index(section[2:], "\n## "); end >= 0 {
+		section = section[:end+2]
+	}
+	split := strings.Index(section, "A `recognizer.Stream`")
+	if split < 0 {
+		t.Fatal("BACKENDS.md interface section has no Stream marker — format drifted?")
+	}
+	parse := func(part string) map[string]bool {
+		set := map[string]bool{}
+		for _, m := range methodRowRe.FindAllStringSubmatch(part, -1) {
+			set[m[1]] = true
+		}
+		return set
+	}
+	backend, stream = parse(section[:split]), parse(section[split:])
+	if len(backend) == 0 || len(stream) == 0 {
+		t.Fatalf("parsed %d backend / %d stream method rows from BACKENDS.md — format drifted?", len(backend), len(stream))
+	}
+	return backend, stream
+}
+
+// docCapsMatrix parses the "## Capability matrix" rows into
+// name -> Caps, reading the yes/no cells.
+func docCapsMatrix(t *testing.T) map[string]recognizer.Caps {
+	t.Helper()
+	raw, err := os.ReadFile("../../BACKENDS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	start := strings.Index(doc, "## Capability matrix")
+	if start < 0 {
+		t.Fatal("BACKENDS.md has no \"## Capability matrix\" section — format drifted?")
+	}
+	section := doc[start:]
+	if end := strings.Index(section[2:], "\n## "); end >= 0 {
+		section = section[:end+2]
+	}
+	matrix := map[string]recognizer.Caps{}
+	for _, line := range strings.Split(section, "\n") {
+		cells := strings.Split(strings.Trim(line, "| "), "|")
+		if len(cells) != 3 {
+			continue
+		}
+		name := strings.TrimSpace(cells[0])
+		if name == "backend" || strings.HasPrefix(name, "-") {
+			continue // header and separator rows
+		}
+		matrix[name] = recognizer.Caps{
+			Name:             name,
+			Eager:            strings.TrimSpace(cells[1]) == "yes",
+			DegradedFallback: strings.TrimSpace(cells[2]) == "yes",
+		}
+	}
+	if len(matrix) == 0 {
+		t.Fatal("no capability rows parsed from BACKENDS.md — format drifted?")
+	}
+	return matrix
+}
+
+// checkMethodSet compares a documented method set against an interface
+// type's method set, both directions.
+func checkMethodSet(t *testing.T, label string, typ reflect.Type, doc map[string]bool) {
+	t.Helper()
+	for i := 0; i < typ.NumMethod(); i++ {
+		if name := typ.Method(i).Name; !doc[name] {
+			t.Errorf("%s.%s exists on the interface but is not documented in BACKENDS.md", label, name)
+		}
+	}
+	for name := range doc {
+		if _, ok := typ.MethodByName(name); !ok {
+			t.Errorf("BACKENDS.md documents %s.%s, which does not exist on the interface", label, name)
+		}
+	}
+}
+
+// TestBackendsDocMatchesInterface is the bidirectional machine check
+// described in BACKENDS.md's preamble.
+func TestBackendsDocMatchesInterface(t *testing.T) {
+	backendDoc, streamDoc := docMethodSets(t)
+	checkMethodSet(t, "Backend", reflect.TypeOf((*recognizer.Backend)(nil)).Elem(), backendDoc)
+	checkMethodSet(t, "Stream", reflect.TypeOf((*recognizer.Stream)(nil)).Elem(), streamDoc)
+
+	// Train one of each backend on a small synthetic set and compare the
+	// live Caps against the documented matrix, cell by cell.
+	set, _ := synth.NewGenerator(synth.DefaultParams(1)).Set("caps", synth.UDClasses(), 5)
+	eagerRec, _, err := eager.Train(set, eager.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmplRec, err := template.Train(set, template.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]recognizer.Caps{}
+	for _, b := range []recognizer.Backend{eagerRec, tmplRec} {
+		live[b.Caps().Name] = b.Caps()
+	}
+
+	matrix := docCapsMatrix(t)
+	for name, want := range matrix {
+		got, ok := live[name]
+		if !ok {
+			t.Errorf("BACKENDS.md matrix lists backend %q, which no trained backend reports", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("backend %q: live Caps %+v != documented %+v", name, got, want)
+		}
+	}
+	for name := range live {
+		if _, ok := matrix[name]; !ok {
+			t.Errorf("backend %q is not in BACKENDS.md's capability matrix", name)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package serve
+
+// The hot-path allocation contract, extended to the template backend.
+// bench_hotpath_test.go proves the eager backend's decide/Submit paths
+// allocation-free; the gates here prove the same property holds when
+// the engine is routed through the streaming template matcher — the
+// recognizer.Backend abstraction must not cost an allocation per point
+// on either side of the interface. CI publishes the benchmark numbers
+// as BENCH_backends.json, the A/B companion to BENCH_hotpath.json's
+// eager-only figures.
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"repro/internal/multipath"
+	"repro/internal/synth"
+	"repro/internal/template"
+)
+
+// trainTemplate trains a streaming template backend on the same UD
+// workload trainRec uses for the eager backend, so cross-backend tests
+// and benchmarks compare like against like.
+func trainTemplate(t testing.TB, seed int64) *template.Recognizer {
+	t.Helper()
+	set, _ := synth.NewGenerator(synth.DefaultParams(seed)).Set("train", synth.UDClasses(), 12)
+	rec, err := template.Train(set, template.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// BenchmarkTemplateDecidePerPoint measures one template.Session.Add —
+// incremental resample plus nearest-template scoring — on a warm
+// session with observability disabled. The contract is 0 allocs/op;
+// the ns/op sits above the eager backend's (O(templates x points)
+// scoring against O(features)), which is exactly the cost-structure
+// trade the A/B experiment quantifies.
+func BenchmarkTemplateDecidePerPoint(b *testing.B) {
+	rec := trainTemplate(b, 1)
+	s, err := rec.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := sampleGesture(2, 0)
+	for _, p := range g {
+		s.Add(p)
+	}
+	s.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	j := 0
+	for i := 0; i < b.N; i++ {
+		if j == len(g) {
+			s.Reset()
+			j = 0
+		}
+		s.Add(g[j])
+		j++
+	}
+}
+
+// BenchmarkTemplateSubmitSteadyState measures the full engine path with
+// the template backend selected via Options.Backend — Submit, shard
+// dispatch, streaming decide, completion, pool return — in steady
+// state. 0 allocs/op means backend selection costs nothing per event.
+func BenchmarkTemplateSubmitSteadyState(b *testing.B) {
+	e, err := New(nil, Options{Backend: trainTemplate(b, 1), Shards: 1, QueueDepth: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	g, _ := sampleGesture(2, 0)
+	playSession(b, e, "bench", g)
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	t, j := g[len(g)-1].T+1, 0
+	for i := 0; i < b.N; i++ {
+		ev := Event{Session: "bench", Finger: 0, T: t}
+		switch {
+		case j == 0:
+			ev.Kind = multipath.FingerDown
+			ev.X, ev.Y = g[0].X, g[0].Y
+		case j < len(g):
+			ev.Kind = multipath.FingerMove
+			ev.X, ev.Y = g[j].X, g[j].Y
+		default:
+			ev.Kind = multipath.FingerUp
+			ev.X, ev.Y = g[len(g)-1].X, g[len(g)-1].Y
+		}
+		for {
+			err := e.Submit(ev)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				b.Fatal(err)
+			}
+			runtime.Gosched() // backpressure: let the shard drain
+		}
+		t++
+		if j++; j > len(g) {
+			j = 0
+		}
+	}
+	b.StopTimer()
+}
+
+// TestTemplateDecidePathZeroAlloc is the allocation gate as a hard
+// test: a warm template session must perform zero allocations per Add,
+// the same contract TestDecidePathZeroAlloc pins for the eager backend.
+func TestTemplateDecidePathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the contract is asserted by the non-race pass")
+	}
+	rec := trainTemplate(t, 1)
+	s, err := rec.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := sampleGesture(2, 0)
+	for _, p := range g {
+		s.Add(p)
+	}
+	s.Reset()
+	j := 0
+	allocs := testing.AllocsPerRun(400, func() {
+		if j == len(g) {
+			s.Reset()
+			j = 0
+		}
+		s.Add(g[j])
+		j++
+	})
+	if allocs != 0 {
+		t.Fatalf("template decide path allocated %.2f times per point; the //glint:hotpath contract requires 0", allocs)
+	}
+}
+
+// TestTemplateSubmitPathZeroAlloc extends the gate to the engine's
+// intake half with the template backend serving.
+func TestTemplateSubmitPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the contract is asserted by the non-race pass")
+	}
+	e, err := New(nil, Options{Backend: trainTemplate(t, 1), Shards: 1, QueueDepth: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	g, _ := sampleGesture(2, 0)
+	playSession(t, e, "warm", g)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(Event{Session: "warm", Finger: 0, Kind: multipath.FingerDown, X: g[0].X, Y: g[0].Y, T: g[len(g)-1].T + 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := g[len(g)-1].T + 2
+	allocs := testing.AllocsPerRun(400, func() {
+		for {
+			err := e.Submit(Event{Session: "warm", Finger: 0, Kind: multipath.FingerMove, X: g[0].X, Y: g[0].Y, T: ts})
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatal(err)
+			}
+			runtime.Gosched()
+		}
+		ts++
+	})
+	if allocs != 0 {
+		t.Fatalf("template Submit allocated %.2f times per event; the //glint:hotpath contract requires 0", allocs)
+	}
+}

@@ -8,11 +8,11 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/eager"
 	"repro/internal/fault"
 	"repro/internal/flight"
 	"repro/internal/multipath"
 	"repro/internal/obs"
+	"repro/internal/recognizer"
 )
 
 // chaosRates is the fault mix every chaos schedule uses: producer-side
@@ -157,7 +157,21 @@ func sessionEvents(id string, seed int64, class int) ([]Event, string) {
 // stalled sessions, and flight bundles whose recorded reason matches
 // the delivered outcome.
 func TestChaosSchedules(t *testing.T) {
-	rec := trainRec(t, 7)
+	runChaosSchedules(t, trainRec(t, 7))
+}
+
+// TestChaosSchedulesTemplateBackend replays the same seeded fault
+// schedules against the streaming template backend: the hardening
+// invariants (one Result per session, queue accounting, panic
+// containment, backend-agnostic degraded outcomes, reaping, flight
+// bundle consistency) are properties of the serving engine and must
+// hold for any recognizer.Backend, not just the eager one.
+func TestChaosSchedulesTemplateBackend(t *testing.T) {
+	runChaosSchedules(t, trainTemplate(t, 7))
+}
+
+func runChaosSchedules(t *testing.T, rec recognizer.Backend) {
+	t.Helper()
 	for _, seed := range []int64{1, 2, 3, 4, 5} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -329,8 +343,9 @@ func TestChaosSchedules(t *testing.T) {
 
 // refClass runs a standalone multipath session over the same event
 // stream and returns the class it decides — the fault-free ground truth
-// for what the engine should report.
-func refClass(rec *eager.Recognizer, events []Event) string {
+// for what the engine should report. It works for any backend, which is
+// what lets the isolation tests run against both.
+func refClass(rec recognizer.Backend, events []Event) string {
 	ref := multipath.NewSession(rec)
 	for _, ev := range events {
 		ref.Handle(multipath.Event{Finger: ev.Finger, Kind: ev.Kind, X: ev.X, Y: ev.Y, T: ev.T})
@@ -339,11 +354,11 @@ func refClass(rec *eager.Recognizer, events []Event) string {
 }
 
 // TestChaosPoisonIsolation poisons one of two sessions interleaved on
-// the same shard. The poisoned stroke must degrade — full classifier on
-// the finite prefix — while its neighbor classifies normally, on the
-// same shard, unaffected.
+// the same shard. The poisoned stroke must degrade — the backend's
+// fallback scorer on the finite prefix — while its neighbor classifies
+// normally, on the same shard, unaffected.
 func TestChaosPoisonIsolation(t *testing.T) {
-	runChaosIsolation(t, fault.KindPoison, OutcomeDegraded)
+	runChaosIsolation(t, trainRec(t, 7), fault.KindPoison, OutcomeDegraded)
 }
 
 // TestChaosPanicIsolation injects a dispatch panic into one of two
@@ -351,13 +366,24 @@ func TestChaosPoisonIsolation(t *testing.T) {
 // quarantined; the shard keeps serving its neighbor and future
 // sessions.
 func TestChaosPanicIsolation(t *testing.T) {
-	runChaosIsolation(t, fault.KindPanic, OutcomePanicked)
+	runChaosIsolation(t, trainRec(t, 7), fault.KindPanic, OutcomePanicked)
 }
 
-func runChaosIsolation(t *testing.T, k fault.Kind, want Outcome) {
+// Template-backend variants of the isolation tests: poisoned strokes
+// must degrade through template.Session.Degrade (the backend-agnostic
+// recognizer.Stream contract) and panic quarantine must behave
+// identically — the engine cannot tell backends apart.
+func TestChaosPoisonIsolationTemplateBackend(t *testing.T) {
+	runChaosIsolation(t, trainTemplate(t, 7), fault.KindPoison, OutcomeDegraded)
+}
+
+func TestChaosPanicIsolationTemplateBackend(t *testing.T) {
+	runChaosIsolation(t, trainTemplate(t, 7), fault.KindPanic, OutcomePanicked)
+}
+
+func runChaosIsolation(t *testing.T, rec recognizer.Backend, k fault.Kind, want Outcome) {
 	t.Helper()
 	reg := obs.New()
-	rec := trainRec(t, 7)
 	script := fault.NewScript().Set("victim", 5, k)
 	script.Instrument(reg)
 	rec2 := flight.NewRecorder(flight.Options{Capacity: 16, Trigger: flight.TriggerAlways})

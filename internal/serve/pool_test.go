@@ -84,7 +84,7 @@ func TestSessionPoolDropsStaleSnapshot(t *testing.T) {
 	if fresh == stale {
 		t.Fatal("pool revived a session built over the swapped-out recognizer")
 	}
-	if fresh.rec != rec2 {
+	if fresh.snap.backend != rec2 {
 		t.Fatal("post-swap session does not hold the new recognizer snapshot")
 	}
 	sink.mu.Lock()

@@ -1,15 +1,19 @@
 // Package serve is the concurrent serving engine: it multiplexes many
-// independent gesture interactions — each a multipath.Session wrapping an
-// eager recognition stream — across a pool of worker goroutines, sharing
-// one immutable recognizer snapshot.
+// independent gesture interactions — each a multipath.Session wrapping a
+// recognition stream — across a pool of worker goroutines, sharing one
+// immutable recognizer snapshot. The recognizer is any
+// recognizer.Backend (the eager statistical recognizer, the streaming
+// template matcher — see BACKENDS.md), chosen at construction via New or
+// Options.Backend and replaceable at runtime via Swap.
 //
-// Design (see DESIGN.md §7):
+// Design (see DESIGN.md §7 and §11):
 //
-//   - Immutable snapshot sharing. The engine holds a *eager.Recognizer
-//     behind an atomic.Pointer. Classification never mutates the
-//     recognizer (the classifier's documented concurrency contract), so
-//     any number of sessions on any number of goroutines read it without
-//     locks. Swap publishes a freshly-trained recognizer atomically —
+//   - Immutable snapshot sharing. The engine holds a recognizer.Backend
+//     behind an atomic.Pointer (boxed in a snapshot struct, since an
+//     interface value cannot be stored atomically). Classification never
+//     mutates the backend (the documented Backend concurrency contract),
+//     so any number of sessions on any number of goroutines read it
+//     without locks. Swap publishes a freshly-trained backend atomically —
 //     retrain-without-downtime: sessions started after the swap use the
 //     new model, in-flight sessions finish on the snapshot they started
 //     with, and no session ever observes a half-updated model.
@@ -33,7 +37,7 @@
 //   - Failure is contained per session. A panic while dispatching an
 //     event is recovered inside the shard loop: the session is finished
 //     with OutcomePanicked and quarantined, the shard keeps serving its
-//     other sessions. A poisoned eager stream (non-finite input past
+//     other sessions. A poisoned recognition stream (non-finite input past
 //     validation — i.e. internal corruption, simulated by
 //     Options.Fault) degrades to full-classification of the finite
 //     stroke prefix instead of rejecting (OutcomeDegraded). A session
@@ -58,11 +62,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/eager"
 	"repro/internal/flight"
 	"repro/internal/mathx"
 	"repro/internal/multipath"
 	"repro/internal/obs"
+	"repro/internal/recognizer"
 )
 
 // Errors returned by Submit.
@@ -102,9 +106,10 @@ const (
 	// OutcomeCompleted is the healthy path: the interaction ran to its
 	// natural end (all fingers lifted).
 	OutcomeCompleted Outcome = iota
-	// OutcomeDegraded means the eager stream poisoned mid-stroke and the
-	// class came from the degraded fallback (full classifier on the
-	// finite prefix). The interaction still ended naturally.
+	// OutcomeDegraded means the recognition stream poisoned mid-stroke
+	// and the class came from the backend's degraded fallback
+	// (classifying the finite prefix). The interaction still ended
+	// naturally.
 	OutcomeDegraded
 	// OutcomeDrained means Close force-finished the session, classifying
 	// the stroke prefix collected so far.
@@ -210,11 +215,17 @@ type Options struct {
 	// metric and span call degrades to a sub-5ns no-op.
 	Obs *obs.Registry `json:"-"`
 	// Flight, when set, attaches a flight recorder: the engine captures
-	// each gesture's raw points and eager decisions (via eager.Tap) and
-	// offers the finished bundle to the recorder, whose trigger policy
-	// decides what to keep. Works with or without Obs. Nil disables
-	// capture entirely.
+	// each gesture's raw points and per-point decisions (via
+	// recognizer.Tap) and offers the finished bundle to the recorder,
+	// whose trigger policy decides what to keep. Works with or without
+	// Obs. Nil disables capture entirely.
 	Flight *flight.Recorder `json:"-"`
+	// Backend, when set, selects the recognizer backend the engine
+	// serves, overriding New's positional argument (which may then be
+	// nil). Exactly one of the two must be non-nil; New refuses an
+	// engine with no backend at all. This is the options-driven
+	// selection hook front ends like gserve's -backend flag use.
+	Backend recognizer.Backend `json:"-"`
 	// FlightDump, when set, receives the flight recorder's JSON dump once,
 	// during Close — the post-mortem artifact for a crashed or misbehaving
 	// run. Requires Flight (with a nil recorder an empty dump is written).
@@ -283,7 +294,7 @@ type Stats struct {
 // Engine is the concurrent session server. Create with New; all methods
 // are safe for concurrent use.
 type Engine struct {
-	rec    atomic.Pointer[eager.Recognizer]
+	rec    atomic.Pointer[snapshot]
 	opts   Options
 	shards []*shard
 	wg     sync.WaitGroup
@@ -334,15 +345,24 @@ type queued struct {
 	ctl *control
 }
 
+// snapshot boxes the engine's current recognizer.Backend so it can live
+// behind an atomic.Pointer: an interface value is two words and cannot
+// be stored atomically, a *snapshot can. Each Swap allocates a fresh
+// snapshot, so the pointer's identity also identifies the publish
+// generation — the session pool's reuse key.
+type snapshot struct {
+	backend recognizer.Backend
+}
+
 // liveSession is one in-flight session plus the enqueue time of the
 // event that opened it, so completion can observe end-to-end latency.
 // root is the gesture's root span (nil when uninstrumented); capture is
-// its flight-recorder capture (nil when no recorder is attached). rec is
-// the recognizer snapshot sess was built over — the pool's reuse key: a
+// its flight-recorder capture (nil when no recorder is attached). snap
+// is the backend snapshot sess was built over — the pool's reuse key: a
 // pooled liveSession is only revived for a gesture starting on the same
 // snapshot (see openSession).
 type liveSession struct {
-	rec     *eager.Recognizer
+	snap    *snapshot
 	sess    *multipath.Session
 	start   time.Time
 	root    *obs.Span
@@ -386,10 +406,16 @@ func (sh *shard) clearLastT(id string) {
 	sh.vmu.Unlock()
 }
 
-// New builds and starts an engine serving the given recognizer.
-func New(rec *eager.Recognizer, opts Options) (*Engine, error) {
-	if rec == nil {
-		return nil, errors.New("serve: nil recognizer")
+// New builds and starts an engine serving the given recognizer backend
+// (*eager.Recognizer and *template.Recognizer both implement it — see
+// BACKENDS.md). Options.Backend, when set, overrides the positional
+// argument; one of the two must be non-nil.
+func New(backend recognizer.Backend, opts Options) (*Engine, error) {
+	if opts.Backend != nil {
+		backend = opts.Backend
+	}
+	if backend == nil {
+		return nil, errors.New("serve: nil recognizer backend")
 	}
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("serve: Shards must be >= 0, got %d", opts.Shards)
@@ -414,7 +440,7 @@ func New(rec *eager.Recognizer, opts Options) (*Engine, error) {
 	}
 	e.deadlines = opts.IdleTimeout > 0
 	e.stop = make(chan struct{})
-	e.rec.Store(rec)
+	e.rec.Store(&snapshot{backend: backend})
 	for i := 0; i < opts.Shards; i++ {
 		sh := &shard{
 			ch:          make(chan queued, opts.QueueDepth),
@@ -441,23 +467,26 @@ func New(rec *eager.Recognizer, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Recognizer returns the current recognizer snapshot.
-func (e *Engine) Recognizer() *eager.Recognizer { return e.rec.Load() }
+// Backend returns the current recognizer backend snapshot.
+func (e *Engine) Backend() recognizer.Backend { return e.rec.Load().backend }
 
-// Swap atomically publishes a new recognizer and returns the previous
-// one — retraining without downtime. Sessions already in flight keep the
-// snapshot they started with; sessions created after Swap use rec. A nil
-// rec is refused (nil is returned and the current snapshot is kept), so
-// a failed retrain can never blank the serving model.
-func (e *Engine) Swap(rec *eager.Recognizer) *eager.Recognizer {
-	if rec == nil {
+// Swap atomically publishes a new recognizer backend and returns the
+// previous one — retraining without downtime. Sessions already in
+// flight keep the snapshot they started with; sessions created after
+// Swap use the new backend. A nil backend is refused (nil is returned
+// and the current snapshot is kept), so a failed retrain can never
+// blank the serving model. Backends of different kinds may be swapped
+// for each other freely: the kind, like the model, is a per-gesture
+// snapshot property.
+func (e *Engine) Swap(backend recognizer.Backend) recognizer.Backend {
+	if backend == nil {
 		e.m.swapsRejected.Inc()
 		e.m.trace.Emit("swap_rejected", "nil recognizer")
 		return nil
 	}
 	e.m.swaps.Inc()
 	e.m.trace.Emit("swap", "")
-	return e.rec.Swap(rec)
+	return e.rec.Swap(&snapshot{backend: backend}).backend
 }
 
 // FNV-1a constants (FNV is public domain; hash/fnv uses the same ones).
@@ -798,25 +827,25 @@ func (e *Engine) dispatch(id string, ls *liveSession, ev Event) (panicked bool) 
 //
 //glint:coldpath runs once per gesture, not per point, and the session pool makes the steady-state revival branch allocation-free
 func (e *Engine) openSession(sh *shard, id string, at time.Time) *liveSession {
-	rec := e.rec.Load()
+	snap := e.rec.Load()
 	var ls *liveSession
 	if n := len(sh.free); n > 0 {
 		ls = sh.free[n-1]
 		sh.free[n-1] = nil
 		sh.free = sh.free[:n-1]
-		if ls.rec != rec {
+		if ls.snap != snap {
 			// The model was swapped while this session sat in the pool;
-			// its eager stream's buffers are shaped for the old snapshot.
-			// Drop it (the remaining pool drains the same way) and build
-			// against the current model.
+			// its recognition stream's buffers are shaped for the old
+			// snapshot. Drop it (the remaining pool drains the same way)
+			// and build against the current model.
 			ls = nil
 		}
 	}
 	if ls == nil {
-		ls = &liveSession{rec: rec, sess: multipath.NewSession(rec)}
+		ls = &liveSession{snap: snap, sess: multipath.NewSession(snap.backend)}
 	} else {
 		sess := ls.sess
-		*ls = liveSession{rec: rec, sess: sess}
+		*ls = liveSession{snap: snap, sess: sess}
 	}
 	ls.start = at
 	ls.sess.SetDegradedFallback(true)

@@ -214,7 +214,7 @@ func TestSwapDuringActiveClassification(t *testing.T) {
 				t.Error("Swap returned nil previous recognizer")
 				return
 			}
-			use = e.Swap(use) // swap back and forth
+			use = e.Swap(use).(*eager.Recognizer) // swap back and forth
 			runtime.Gosched()
 		}
 	}()

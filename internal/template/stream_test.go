@@ -1,0 +1,455 @@
+package template
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/gesture"
+	"repro/internal/obs"
+	"repro/internal/recognizer"
+	"repro/internal/synth"
+)
+
+// Compile-time backend compliance: the trained template matcher is a
+// full recognizer.Backend and its sessions are recognizer.Streams.
+var (
+	_ recognizer.Backend = (*Recognizer)(nil)
+	_ recognizer.Stream  = (*Session)(nil)
+)
+
+func terminalOptions() Options {
+	opts := DefaultOptions()
+	opts.CommitMargin = 0 // disable eager commits: classify only at End
+	return opts
+}
+
+// TestStreamAgreesWithBatch feeds every test stroke point-by-point
+// through a terminal-only session and checks the End classification
+// agrees with the one-shot batch Classify. For strokes that fit the raw
+// sample buffer (every synth stroke does) the streaming sketch is the
+// raw point list, so the two paths score near-identical probes.
+func TestStreamAgreesWithBatch(t *testing.T) {
+	trainSet, testSet := sets(t, synth.GDPClasses(), 8, 12, 21)
+	r, err := Train(trainSet, terminalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, e := range testSet.Examples {
+		batch := mustClassify(t, r, e.Gesture)
+		s, err := r.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range e.Gesture.Points {
+			fired, _, err := s.Add(p)
+			if err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			if fired {
+				t.Fatal("terminal-only session fired mid-stroke")
+			}
+		}
+		streamed, err := s.End()
+		if err != nil {
+			t.Fatalf("End: %v", err)
+		}
+		if streamed == batch {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(testSet.Len()); frac < 0.95 {
+		t.Errorf("stream/batch agreement %.2f (%d/%d)", frac, agree, testSet.Len())
+	}
+}
+
+// TestEagerCommit checks the streaming eager mode end-to-end: with the
+// default commit margin armed, a healthy share of strokes commits
+// mid-stroke, commits report the fired transition exactly once, and
+// accuracy stays comparable to the batch matcher's.
+func TestEagerCommit(t *testing.T) {
+	trainSet, testSet := sets(t, synth.GDPClasses(), 10, 20, 22)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Caps().Eager {
+		t.Fatal("default options should arm the eager mode")
+	}
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerCount, correct := 0, 0
+	for _, e := range testSet.Examples {
+		s.Reset()
+		var class string
+		fires := 0
+		for _, p := range e.Gesture.Points {
+			fired, c, err := s.Add(p)
+			if err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			if fired {
+				fires++
+				class = c
+				if !s.Decided() || s.DecidedAt() != s.PointCount() {
+					t.Fatalf("commit bookkeeping: decided=%v decidedAt=%d points=%d",
+						s.Decided(), s.DecidedAt(), s.PointCount())
+				}
+			}
+		}
+		if fires > 1 {
+			t.Fatalf("fired %d times; the transition must report exactly once", fires)
+		}
+		if fires == 1 {
+			eagerCount++
+		} else {
+			if class, err = s.End(); err != nil {
+				t.Fatalf("End: %v", err)
+			}
+		}
+		if class == e.Class {
+			correct++
+		}
+	}
+	if eagerCount == 0 {
+		t.Error("no stroke committed eagerly with the default margin")
+	}
+	if acc := float64(correct) / float64(testSet.Len()); acc < 0.85 {
+		t.Errorf("eager-mode accuracy %.2f", acc)
+	}
+	t.Logf("eager commits: %d/%d, accuracy %.2f", eagerCount, testSet.Len(),
+		float64(correct)/float64(testSet.Len()))
+}
+
+// TestLongStrokeBoundedMemory drives a stroke far past the sample
+// buffer's capacity and checks the incremental sketch decimates instead
+// of growing: memory stays constant-bounded, no Add errors, and End
+// still classifies.
+func TestLongStrokeBoundedMemory(t *testing.T) {
+	trainSet, _ := sets(t, synth.GDPClasses(), 5, 1, 23)
+	r, err := Train(trainSet, terminalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCap := cap(s.samples)
+	// A long spiral: tens of thousands of points, arc length growing the
+	// whole way, so the sketch must rebuild and decimate repeatedly.
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		a := float64(i) * 0.05
+		rad := 1 + float64(i)*0.01
+		p := geom.TimedPoint{X: rad * math.Cos(a), Y: rad * math.Sin(a), T: float64(i)}
+		if _, _, err := s.Add(p); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+	}
+	if cap(s.samples) != wantCap || cap(s.scratch) != wantCap {
+		t.Errorf("sample buffers grew: %d/%d vs %d", cap(s.samples), cap(s.scratch), wantCap)
+	}
+	if s.spacing <= 0 {
+		t.Error("long stroke never left the raw phase")
+	}
+	if s.PointCount() != n {
+		t.Errorf("PointCount = %d", s.PointCount())
+	}
+	if _, err := s.End(); err != nil {
+		t.Fatalf("End: %v", err)
+	}
+}
+
+// TestAllIdenticalPointsStream pins the degenerate contract on the
+// streaming path: a stroke of identical points (zero arc length) must
+// not error — it stays in the raw phase, truncated to one sample, and
+// classifies at End.
+func TestAllIdenticalPointsStream(t *testing.T) {
+	trainSet, _ := sets(t, synth.GDPClasses(), 5, 1, 24)
+	r, err := Train(trainSet, terminalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough identical points to overflow the raw buffer and force the
+	// zero-length toEquidistant branch.
+	for i := 0; i < 4*sampleFactor*r.Opts.Points; i++ {
+		if _, _, err := s.Add(geom.TimedPoint{X: 7, Y: 7, T: float64(i)}); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+	}
+	if _, err := s.End(); err != nil {
+		t.Fatalf("End: %v", err)
+	}
+}
+
+// TestPoisonAndDegrade checks the poisoned-stroke lifecycle: a
+// non-finite point errors with ErrDegenerate without touching the
+// sketch, subsequent Adds and End keep erroring, and Degrade classifies
+// the finite prefix — matching the class the prefix alone would get.
+func TestPoisonAndDegrade(t *testing.T) {
+	trainSet, testSet := sets(t, synth.GDPClasses(), 10, 5, 25)
+	r, err := Train(trainSet, terminalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testSet.Examples[0]
+	prefix := e.Gesture.Points[:e.Gesture.Len()*3/4]
+
+	// What the finite prefix alone classifies as.
+	want, err := r.Classify(gesture.New(prefix))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range prefix {
+		if _, _, err := s.Add(p); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if _, _, err := s.Add(geom.TimedPoint{X: math.NaN(), Y: 0, T: 1e9}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("poisoning Add error = %v, want ErrDegenerate", err)
+	}
+	if _, _, err := s.Add(geom.TimedPoint{X: 1, Y: 1, T: 1e9 + 1}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("post-poison Add error = %v, want ErrDegenerate", err)
+	}
+	if _, err := s.End(); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("poisoned End error = %v, want ErrDegenerate", err)
+	}
+	if s.FinitePrefix() != len(prefix) {
+		t.Errorf("FinitePrefix = %d, want %d", s.FinitePrefix(), len(prefix))
+	}
+	got, err := s.Degrade()
+	if err != nil {
+		t.Fatalf("Degrade: %v", err)
+	}
+	if got != want {
+		t.Errorf("Degrade class %q, want the prefix's batch class %q", got, want)
+	}
+	// After a successful Degrade the session is decided: End succeeds.
+	if class, err := s.End(); err != nil || class != got {
+		t.Errorf("End after Degrade = %q, %v", class, err)
+	}
+
+	// Degrade with no finite prefix refuses.
+	s2, _ := r.NewSession()
+	if _, _, err := s2.Add(geom.TimedPoint{X: math.Inf(1), Y: 0, T: 0}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("first-point poison error = %v", err)
+	}
+	if _, err := s2.Degrade(); err == nil {
+		t.Error("Degrade with empty finite prefix should error")
+	}
+}
+
+// TestResetReuse runs several strokes through one session, resetting in
+// between, and checks each classifies as a fresh session would — the
+// serve.Engine pooling contract.
+func TestResetReuse(t *testing.T) {
+	trainSet, testSet := sets(t, synth.GDPClasses(), 8, 6, 26)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range testSet.Examples {
+		// Fresh-session reference outcome.
+		wantClass, _, err := r.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Reset()
+		var got string
+		var fired bool
+		for _, p := range e.Gesture.Points {
+			f, c, err := s.Add(p)
+			if err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			if f {
+				fired, got = true, c
+			}
+		}
+		if !fired {
+			if got, err = s.End(); err != nil {
+				t.Fatalf("End: %v", err)
+			}
+		}
+		if got != wantClass {
+			t.Errorf("pooled session class %q, fresh session %q", got, wantClass)
+		}
+	}
+	// Poison, then Reset, then a clean stroke: full recovery.
+	s.Reset()
+	if _, _, err := s.Add(geom.TimedPoint{X: math.NaN(), Y: 0, T: 0}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("expected poison")
+	}
+	s.Reset()
+	for _, p := range testSet.Examples[0].Gesture.Points {
+		if _, _, err := s.Add(p); err != nil {
+			t.Fatalf("Add after poison+Reset: %v", err)
+		}
+	}
+	if _, err := s.End(); err != nil {
+		t.Fatalf("End after poison+Reset: %v", err)
+	}
+}
+
+// TestStreamMetrics checks every template.* metric registers and moves
+// under its triggering condition — the OBSERVABILITY.md contract's
+// template rows.
+func TestStreamMetrics(t *testing.T) {
+	trainSet, testSet := sets(t, synth.GDPClasses(), 8, 8, 27)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	r.Instrument(reg)
+
+	eagerFired := 0
+	for _, e := range testSet.Examples {
+		_, firedAt, err := r.Run(e.Gesture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if firedAt < e.Gesture.Len() {
+			eagerFired++
+		}
+	}
+	// A commit on a stroke's final point counts as eager in the metric
+	// but is indistinguishable from an End fire through Run's return
+	// value alone, so bound rather than pin.
+	gotEager := reg.Counter("template.fired.eager").Value()
+	gotEnd := reg.Counter("template.fired.end").Value()
+	if gotEager+gotEnd != int64(testSet.Len()) {
+		t.Errorf("fired.eager (%d) + fired.end (%d) != %d strokes", gotEager, gotEnd, testSet.Len())
+	}
+	if gotEager < int64(eagerFired) || eagerFired == 0 {
+		t.Errorf("template.fired.eager = %d, want >= %d and some mid-stroke commits", gotEager, eagerFired)
+	}
+	if n := reg.Histogram("template.decide_ns", obs.LatencyBuckets()).Count(); n == 0 {
+		t.Error("template.decide_ns never observed")
+	}
+	if n := reg.Histogram("template.commit_frac", obs.FractionBuckets()).Count(); n != int64(testSet.Len()) {
+		t.Errorf("template.commit_frac count = %d, want %d", n, testSet.Len())
+	}
+
+	// Poison + degrade + reset counters.
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range testSet.Examples[0].Gesture.Points[:4] {
+		if _, _, err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Add(geom.TimedPoint{X: math.NaN(), Y: 0, T: 99})
+	s.Add(geom.TimedPoint{X: math.NaN(), Y: 0, T: 100}) // counted once, not twice
+	if got := reg.Counter("template.session.poisoned").Value(); got != 1 {
+		t.Errorf("template.session.poisoned = %d, want 1", got)
+	}
+	if _, err := s.Degrade(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("template.session.degraded").Value(); got != 1 {
+		t.Errorf("template.session.degraded = %d, want 1", got)
+	}
+	s.Reset()
+	if got := reg.Counter("template.session.resets").Value(); got != 1 {
+		t.Errorf("template.session.resets = %d, want 1", got)
+	}
+}
+
+// TestStreamSpansAndTaps checks the streaming session reports the same
+// span vocabulary and Decision sequence shape as the eager backend, so
+// trace viewers and flight bundles stay backend-agnostic.
+func TestStreamSpansAndTaps(t *testing.T) {
+	trainSet, testSet := sets(t, synth.GDPClasses(), 8, 2, 28)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	buf := reg.Spans("gesture.spans", 1024)
+	root := buf.Start("gesture")
+
+	s, err := r.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSpan(root)
+	var decisions []recognizer.Decision
+	s.SetTap(decisionRecorder{&decisions})
+
+	e := testSet.Examples[0]
+	fired := false
+	for _, p := range e.Gesture.Points {
+		f, _, err := s.Add(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired = fired || f
+	}
+	if !fired {
+		if _, err := s.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root.End()
+
+	if len(decisions) < e.Gesture.Len() {
+		t.Fatalf("tap saw %d decisions for %d points", len(decisions), e.Gesture.Len())
+	}
+	for i, d := range decisions[:e.Gesture.Len()] {
+		if d.Kind != "add" || d.Index != i+1 {
+			t.Fatalf("decision %d: kind=%q index=%d", i, d.Kind, d.Index)
+		}
+	}
+	if !fired {
+		last := decisions[len(decisions)-1]
+		if last.Kind != "end" || last.Class == "" {
+			t.Errorf("end decision = %+v", last)
+		}
+	}
+	// Some per-point decision must carry a margin once scoring starts.
+	sawMargin := false
+	for _, d := range decisions {
+		if d.Kind == "add" && d.Margin != 0 {
+			sawMargin = true
+		}
+	}
+	if !sawMargin {
+		t.Error("no per-point decision carried a commit margin")
+	}
+
+	sawDecide := false
+	for _, rec := range buf.Records() {
+		if rec.Name == "decide" {
+			sawDecide = true
+		}
+	}
+	if !sawDecide {
+		t.Error("no decide span recorded")
+	}
+}
+
+type decisionRecorder struct{ out *[]recognizer.Decision }
+
+func (d decisionRecorder) TapPoint(geom.TimedPoint)            {}
+func (d decisionRecorder) TapDecision(dec recognizer.Decision) { *d.out = append(*d.out, dec) }

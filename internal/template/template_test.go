@@ -1,9 +1,12 @@
 package template
 
 import (
+	"errors"
+	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/geom"
 	"repro/internal/gesture"
 	"repro/internal/synth"
 )
@@ -15,13 +18,31 @@ func sets(t *testing.T, classes []synth.Class, trainN, testN int, seed int64) (*
 	return trainSet, testSet
 }
 
+func mustClassify(t *testing.T, r *Recognizer, g gesture.Gesture) string {
+	t.Helper()
+	class, err := r.Classify(g)
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	return class
+}
+
+func mustAccuracy(t *testing.T, r *Recognizer, set *gesture.Set) float64 {
+	t.Helper()
+	acc, err := r.Accuracy(set)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	return acc
+}
+
 func TestEightDirectionsAccuracy(t *testing.T) {
 	trainSet, testSet := sets(t, synth.EightDirectionClasses(), 10, 30, 1)
 	r, err := Train(trainSet, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := r.Accuracy(testSet); acc < 0.95 {
+	if acc := mustAccuracy(t, r, testSet); acc < 0.95 {
 		t.Errorf("accuracy %.3f", acc)
 	}
 }
@@ -32,7 +53,7 @@ func TestGDPAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := r.Accuracy(testSet); acc < 0.9 {
+	if acc := mustAccuracy(t, r, testSet); acc < 0.9 {
 		t.Errorf("GDP accuracy %.3f", acc)
 	}
 }
@@ -44,15 +65,15 @@ func TestNormalizationInvariances(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range testSet.Examples {
-		base := r.Classify(e.Gesture)
+		base := mustClassify(t, r, e.Gesture)
 		// Translation invariance.
 		moved := gesture.New(e.Gesture.Points.Translate(500, -300))
-		if got := r.Classify(moved); got != base {
+		if got := mustClassify(t, r, moved); got != base {
 			t.Fatalf("translation changed class: %s vs %s", got, base)
 		}
 		// Scale invariance.
 		scaled := gesture.New(e.Gesture.Points.ScaleAbout(e.Gesture.Start().Point(), 1.7))
-		if got := r.Classify(scaled); got != base {
+		if got := mustClassify(t, r, scaled); got != base {
 			t.Fatalf("scaling changed class: %s vs %s", got, base)
 		}
 	}
@@ -71,8 +92,8 @@ func TestRotationInvariantOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	rDefault, _ := Train(trainSet, DefaultOptions())
-	accInv := r.Accuracy(testSet)
-	accDef := rDefault.Accuracy(testSet)
+	accInv := mustAccuracy(t, r, testSet)
+	accDef := mustAccuracy(t, rDefault, testSet)
 	if accInv >= accDef-0.1 {
 		t.Errorf("rotation invariance did not hurt the rotation-paired set: %.2f vs %.2f", accInv, accDef)
 	}
@@ -93,8 +114,88 @@ func TestDegenerateStrokes(t *testing.T) {
 		}
 	}
 	s := g.Sample(dotClass)
-	if got := r.Classify(s.G); got != "dot" {
+	if got := mustClassify(t, r, s.G); got != "dot" {
 		t.Errorf("dot classified as %s", got)
+	}
+}
+
+// TestDegenerateContract pins the batch API to the repo's
+// degenerate-gesture contract (eager/degenerate_test.go): single-point,
+// zero-duration, and all-identical-point strokes must classify without
+// error; empty and non-finite strokes must fail, and with the typed
+// ErrDegenerate so callers can tell "bad stroke" from "bad recognizer".
+func TestDegenerateContract(t *testing.T) {
+	trainSet, _ := sets(t, synth.GDPClasses(), 5, 1, 8)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ok := []struct {
+		name string
+		pts  geom.Path
+	}{
+		{"single point", geom.Path{{X: 10, Y: 10, T: 0}}},
+		{"zero duration", geom.Path{{X: 10, Y: 10, T: 5}, {X: 40, Y: 12, T: 5}}},
+		{"all identical", geom.Path{{X: 3, Y: 4, T: 0}, {X: 3, Y: 4, T: 1}, {X: 3, Y: 4, T: 2}}},
+	}
+	for _, tc := range ok {
+		if _, err := r.Classify(gesture.New(tc.pts)); err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+	}
+
+	bad := []struct {
+		name string
+		pts  geom.Path
+	}{
+		{"empty", nil},
+		{"NaN coordinate", geom.Path{{X: 0, Y: 0, T: 0}, {X: math.NaN(), Y: 1, T: 1}}},
+		{"Inf coordinate", geom.Path{{X: 0, Y: 0, T: 0}, {X: 1, Y: math.Inf(1), T: 1}}},
+	}
+	for _, tc := range bad {
+		_, err := r.Classify(gesture.New(tc.pts))
+		if !errors.Is(err, ErrDegenerate) {
+			t.Errorf("%s: error = %v, want ErrDegenerate", tc.name, err)
+		}
+		if errors.Is(err, ErrNoTemplates) {
+			t.Errorf("%s: degenerate stroke misreported as missing templates", tc.name)
+		}
+	}
+}
+
+// TestTypedErrors distinguishes the two failure families: an empty
+// recognizer is ErrNoTemplates regardless of input, a loaded recognizer
+// fed garbage is ErrDegenerate.
+func TestTypedErrors(t *testing.T) {
+	empty := &Recognizer{Opts: DefaultOptions()}
+	g := gesture.New(geom.Path{{X: 0, Y: 0, T: 0}, {X: 1, Y: 1, T: 1}})
+	if _, err := empty.Classify(g); !errors.Is(err, ErrNoTemplates) {
+		t.Errorf("empty recognizer: error = %v, want ErrNoTemplates", err)
+	}
+	if _, _, err := empty.ClassifyWithDistance(g); !errors.Is(err, ErrNoTemplates) {
+		t.Errorf("empty recognizer (with distance): error = %v, want ErrNoTemplates", err)
+	}
+	if _, err := empty.NewSession(); !errors.Is(err, ErrNoTemplates) {
+		t.Errorf("empty recognizer NewSession: error = %v, want ErrNoTemplates", err)
+	}
+	if _, err := Train(&gesture.Set{}, DefaultOptions()); err == nil {
+		t.Error("empty set accepted")
+	}
+
+	trainSet, _ := sets(t, synth.UDClasses(), 3, 1, 9)
+	r, err := Train(trainSet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := gesture.New(geom.Path{{X: 0, Y: 0, T: 0}, {X: math.NaN(), Y: 0, T: 1}})
+	if _, err := r.Classify(bad); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("non-finite stroke: error = %v, want ErrDegenerate", err)
+	}
+	// Accuracy propagates the typed error instead of silently scoring 0.
+	badSet := &gesture.Set{Name: "bad", Examples: []gesture.Example{{Class: "x", Gesture: bad}}}
+	if _, err := r.Accuracy(badSet); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("Accuracy on bad set: error = %v, want ErrDegenerate", err)
 	}
 }
 
