@@ -27,10 +27,14 @@
 //	              byte stream per connection
 //	-shards N     -self engine shards (0 = GOMAXPROCS)
 //	-strict       exit nonzero on any NACK or fatal response
-//	-o FILE       write the JSON report to FILE too (stdout always)
+//	-o FILE       write the JSON report to FILE too (stdout always);
+//	              -out is an alias
 //
 // The report includes events_per_sec; the acceptance floor for the CI
-// smoke is 100k events/s (ISSUE 7).
+// smoke is 100k events/s (ISSUE 7). In -self mode the report also
+// carries wire_e2e_ns — the server-side end-to-end latency (frame-header
+// client send stamp through dispatch decision) the v2 wire format makes
+// attributable.
 package main
 
 import (
@@ -47,6 +51,7 @@ import (
 
 	"repro/internal/eager"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/wire"
@@ -70,8 +75,13 @@ type config struct {
 	out      string
 }
 
+// ReportSchema versions the report document. 2 added schema,
+// duration_ns, and the -self end-to-end latency section wire_e2e_ns.
+const ReportSchema = 2
+
 // report is the JSON document gload emits (BENCH_wire.json in CI).
 type report struct {
+	Schema       int     `json:"schema"`
 	Conns        int     `json:"conns"`
 	SessionsPer  int     `json:"sessions_per_conn"`
 	GesturesPer  int     `json:"gestures_per_session"`
@@ -80,10 +90,16 @@ type report struct {
 	Frames       int64   `json:"frames"`
 	Events       int64   `json:"events"`
 	DurationSec  float64 `json:"duration_sec"`
+	DurationNS   int64   `json:"duration_ns"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	Latency      latency `json:"frame_latency_ns"`
-	Nacks        nacks   `json:"nacks"`
-	Fatals       int64   `json:"fatals"`
+	// E2E is the server-side end-to-end distribution (client send stamp
+	// in the wire frame header through dispatch decision), read from the
+	// -self engine's wire.e2e_ns histogram. Absent against an external
+	// -addr server, whose registry gload cannot see.
+	E2E    *latency `json:"wire_e2e_ns,omitempty"`
+	Nacks  nacks    `json:"nacks"`
+	Fatals int64    `json:"fatals"`
 }
 
 // latency is the frame round-trip distribution in nanoseconds.
@@ -131,6 +147,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags.IntVar(&cfg.shards, "shards", 0, "-self engine shards (0 = GOMAXPROCS)")
 	flags.BoolVar(&cfg.strict, "strict", false, "exit nonzero on any NACK or fatal response")
 	flags.StringVar(&cfg.out, "o", "", "also write the JSON report to this file")
+	flags.StringVar(&cfg.out, "out", "", "alias for -o")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -175,16 +192,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 // load runs the workload, booting the -self server first when asked.
 func load(cfg config, stderr io.Writer) (*report, error) {
 	addr := cfg.addr
+	var (
+		reg *obs.Registry
+		eng *serve.Engine
+	)
 	if cfg.self {
 		rec, err := trainRec(cfg.seed)
 		if err != nil {
 			return nil, err
 		}
-		e, err := serve.New(rec, serve.Options{Shards: cfg.shards, QueueDepth: 4096})
+		// Instrumented, so the report can surface the server-side
+		// wire.e2e_ns distribution the client cannot measure alone.
+		reg = obs.New()
+		eng, err = serve.New(rec, serve.Options{Shards: cfg.shards, QueueDepth: 4096, Obs: reg})
 		if err != nil {
 			return nil, err
 		}
-		defer e.Close()
+		defer eng.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, err
@@ -192,7 +216,7 @@ func load(cfg config, stderr io.Writer) (*report, error) {
 		// The unlimited-retry policy: backpressure stalls connections
 		// instead of shedding, so a clean run has zero NACKs by
 		// construction — what the CI smoke asserts with -strict.
-		s := ingest.Serve(ln, e, ingest.Options{})
+		s := ingest.Serve(ln, eng, ingest.Options{Obs: reg})
 		defer s.Close()
 		addr = s.Addr().String()
 		fmt.Fprintf(stderr, "gload: self-serving on %s\n", addr)
@@ -215,8 +239,10 @@ func load(cfg config, stderr io.Writer) (*report, error) {
 	elapsed := time.Since(start)
 
 	rep := &report{
-		Conns: cfg.conns, SessionsPer: cfg.sessions, GesturesPer: cfg.gestures,
-		Batch: cfg.batch, Seed: cfg.seed, DurationSec: elapsed.Seconds(),
+		Schema: ReportSchema,
+		Conns:  cfg.conns, SessionsPer: cfg.sessions, GesturesPer: cfg.gestures,
+		Batch: cfg.batch, Seed: cfg.seed,
+		DurationSec: elapsed.Seconds(), DurationNS: elapsed.Nanoseconds(),
 	}
 	var rtts []int64
 	for _, w := range workers {
@@ -236,6 +262,20 @@ func load(cfg config, stderr io.Writer) (*report, error) {
 		rep.EventsPerSec = float64(rep.Events) / rep.DurationSec
 	}
 	rep.Latency = summarize(rtts)
+	if eng != nil {
+		// Every ACKed event is enqueued but dispatch is asynchronous;
+		// flush so the e2e histogram covers the whole run.
+		if err := eng.Flush(); err != nil {
+			return nil, err
+		}
+		h := reg.Histogram("wire.e2e_ns", obs.LatencyBuckets())
+		rep.E2E = &latency{
+			P50: int64(h.Quantile(0.50)),
+			P90: int64(h.Quantile(0.90)),
+			P99: int64(h.Quantile(0.99)),
+			Max: int64(h.Quantile(1)),
+		}
+	}
 	return rep, nil
 }
 

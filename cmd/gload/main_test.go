@@ -44,6 +44,41 @@ func TestSelfRunCleanReport(t *testing.T) {
 	}
 }
 
+// TestReportSchemaAndE2E is the schema-2 regression test: a -self run
+// written via the -out alias carries the version stamp, a nanosecond
+// duration consistent with duration_sec, and the server-side wire e2e
+// distribution attributed from the v2 frame-header send stamps.
+func TestReportSchemaAndE2E(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-self", "-conns", "1", "-sessions", "2",
+		"-gestures", "1", "-batch", "16", "-seed", "5", "-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(mustRead(t, out), &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %d, want %d", rep.Schema, ReportSchema)
+	}
+	if rep.DurationNS <= 0 {
+		t.Errorf("duration_ns = %d", rep.DurationNS)
+	}
+	if sec := float64(rep.DurationNS) / 1e9; sec < rep.DurationSec*0.99 || sec > rep.DurationSec*1.01 {
+		t.Errorf("duration_ns %d disagrees with duration_sec %v", rep.DurationNS, rep.DurationSec)
+	}
+	if rep.E2E == nil {
+		t.Fatal("-self report missing wire_e2e_ns")
+	}
+	if rep.E2E.P50 <= 0 || rep.E2E.P90 < rep.E2E.P50 || rep.E2E.P99 < rep.E2E.P90 {
+		t.Errorf("e2e quantiles not ordered: %+v", *rep.E2E)
+	}
+}
+
 func mustRead(t *testing.T, path string) []byte {
 	t.Helper()
 	b, err := os.ReadFile(path)

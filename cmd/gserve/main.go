@@ -8,6 +8,10 @@
 //
 //	GET  /metrics       obs snapshot as indented JSON (obs.Handler)
 //	GET  /metrics.txt   human-readable report (obs.TextHandler)
+//	GET  /metrics.prom  Prometheus text exposition 0.0.4 (obs.PromHandler)
+//	GET  /slo           SLO burn-rate evaluation as JSON (slo.Handler) —
+//	                    multi-window burn rates and ok/warn/page states
+//	                    for the default objectives
 //	GET  /healthz       liveness: "ok" (503 once the engine is closed)
 //	POST /swap          retrain and hot-swap the model (serve.Engine.Swap
 //	                    — zero downtime). Optional JSON body {"seed": N}
@@ -64,6 +68,7 @@ import (
 	"repro/internal/obsdemo"
 	"repro/internal/recognizer"
 	"repro/internal/serve"
+	"repro/internal/slo"
 	"repro/internal/synth"
 	"repro/internal/template"
 )
@@ -191,6 +196,8 @@ func newServer(seed int64, shards int, idleTimeout time.Duration, fopts flight.O
 
 	s.mux.Handle("/metrics", obs.Handler(reg))
 	s.mux.Handle("/metrics.txt", obs.TextHandler(reg))
+	s.mux.Handle("/metrics.prom", obs.PromHandler(reg))
+	s.mux.Handle("/slo", slo.Handler(slo.New(reg, slo.DefaultObjectives(), nil)))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.closed.Load() {
 			http.Error(w, "closed", http.StatusServiceUnavailable)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/slo"
 	"repro/internal/wire"
 )
 
@@ -90,11 +91,95 @@ func TestMetricsTextEndpoint(t *testing.T) {
 	if rr.Code != http.StatusOK {
 		t.Fatalf("GET /metrics.txt = %d", rr.Code)
 	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
 	body := rr.Body.String()
 	for _, want := range []string{"serve.events.submitted", "eager.decide_ns", "serve.trace"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("text report missing %q", want)
 		}
+	}
+}
+
+// TestMetricsPromEndpoint checks /metrics.prom speaks the Prometheus
+// text exposition format: right content type, every line a comment or a
+// "name value" sample, and the histogram families carry cumulative
+// _bucket/_sum/_count series.
+func TestMetricsPromEndpoint(t *testing.T) {
+	srv := testServer(t)
+	waitIdle(t, srv, 6)
+	rr := get(t, srv, "/metrics.prom")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /metrics.prom = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"# TYPE serve_events_submitted counter",
+		"serve_session_latency_ns_bucket{le=\"+Inf\"}",
+		"serve_session_latency_ns_sum",
+		"serve_session_latency_ns_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+// TestSLOEndpoint checks /slo returns a decodable slo.Evaluation with
+// the default objectives evaluated.
+func TestSLOEndpoint(t *testing.T) {
+	srv := testServer(t)
+	waitIdle(t, srv, 6)
+	rr := get(t, srv, "/slo")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /slo = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var eval slo.Evaluation
+	if err := json.Unmarshal(rr.Body.Bytes(), &eval); err != nil {
+		t.Fatalf("/slo body is not an Evaluation: %v", err)
+	}
+	if eval.Schema != slo.EvaluationSchema {
+		t.Errorf("schema = %d, want %d", eval.Schema, slo.EvaluationSchema)
+	}
+	want := map[string]bool{"decide_p99": false, "wire_nack_ratio": false}
+	for _, st := range eval.Objectives {
+		if _, ok := want[st.Objective.Name]; ok {
+			want[st.Objective.Name] = true
+		}
+		if st.State != slo.StateOK && st.State != slo.StateWarn && st.State != slo.StatePage {
+			t.Errorf("objective %s has untyped state %v", st.Objective.Name, st.State)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("default objective %q missing from /slo", name)
+		}
+	}
+	// Evaluating also publishes slo.* gauges into the shared registry.
+	snap := srv.reg.Snapshot()
+	foundGauge := false
+	for _, g := range snap.Gauges {
+		if strings.HasPrefix(g.Name, "slo.") {
+			foundGauge = true
+		}
+	}
+	if !foundGauge {
+		t.Error("no slo.* gauges published after /slo evaluation")
 	}
 }
 

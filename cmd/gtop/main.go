@@ -1,0 +1,275 @@
+// Command gtop is the live terminal dashboard for a running gserve: it
+// polls /metrics (the obs JSON snapshot) and /slo (the burn-rate
+// evaluation) and renders rolling-window rates with trend sparklines,
+// windowed latency quantiles, SLO burn state, and the slowest recent
+// gestures — `top` for the gesture server. Stdlib only; no terminal
+// library.
+//
+// Usage:
+//
+//	gtop [-addr http://127.0.0.1:8089] [-interval 2s] [-once] [-top 5]
+//	     [-window 1m]
+//
+// -once renders a single frame and exits (the CI smoke mode); without
+// it gtop clears the screen and repaints every -interval until
+// interrupted. -window picks the trailing span the RATES and LATENCY
+// sections aggregate over (capped by the server's ring, 30m by
+// default).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/slo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// sparkRunes are the eight fill levels a trend cell can take, lowest
+// first.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkSlots is how many trailing window slots a trend sparkline shows.
+const sparkSlots = 12
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("gtop", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	addr := flags.String("addr", "http://127.0.0.1:8089", "gserve base URL")
+	interval := flags.Duration("interval", 2*time.Second, "poll and repaint period")
+	once := flags.Bool("once", false, "render one frame and exit")
+	topN := flags.Int("top", 5, "slowest recent gestures to list")
+	window := flags.Duration("window", time.Minute, "trailing span for rates and quantiles")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *interval <= 0 || *topN < 0 || *window <= 0 {
+		fmt.Fprintln(stderr, "gtop: -interval and -window must be positive, -top >= 0")
+		return 2
+	}
+	base := strings.TrimRight(*addr, "/")
+	for {
+		frame, err := render(base, *window, *topN)
+		if err != nil {
+			fmt.Fprintf(stderr, "gtop: %v\n", err)
+			return 1
+		}
+		if *once {
+			io.WriteString(stdout, frame)
+			return 0
+		}
+		// Clear screen + home, then the frame: a flicker-free repaint on
+		// any ANSI terminal.
+		io.WriteString(stdout, "\x1b[2J\x1b[H"+frame)
+		time.Sleep(*interval)
+	}
+}
+
+// fetch GETs url and decodes the JSON body into v.
+func fetch(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("GET %s: %v", url, err)
+	}
+	return nil
+}
+
+// render polls the server once and formats the full dashboard frame.
+func render(base string, window time.Duration, topN int) (string, error) {
+	var snap obs.Snapshot
+	if err := fetch(base+"/metrics", &snap); err != nil {
+		return "", err
+	}
+	var eval slo.Evaluation
+	if err := fetch(base+"/slo", &eval); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gtop — %s @ %s (window %s)\n\n",
+		base, time.Now().Format("15:04:05"), window)
+	renderRates(&b, snap, window)
+	renderLatency(&b, snap, window)
+	renderSLO(&b, eval)
+	renderTopSessions(&b, snap, topN)
+	return b.String(), nil
+}
+
+// renderRates lists every windowed counter with its trailing count,
+// per-second rate, and a per-slot trend sparkline.
+func renderRates(b *strings.Builder, snap obs.Snapshot, window time.Duration) {
+	fmt.Fprintf(b, "RATES (%s)\n", window)
+	fmt.Fprintf(b, "  %-40s %12s %10s  %s\n", "counter", "count", "rate/s", "trend")
+	n := 0
+	for _, w := range snap.Windows {
+		if w.Bounds != nil {
+			continue // histogram windows render under LATENCY
+		}
+		fmt.Fprintf(b, "  %-40s %12d %10.1f  %s\n",
+			w.Name, w.Total(window), w.Rate(window), sparkline(w, sparkSlots))
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintln(b, "  (no windowed counters)")
+	}
+	fmt.Fprintln(b)
+}
+
+// renderLatency lists every windowed histogram with trailing count and
+// p50/p90/p99 over the merged window.
+func renderLatency(b *strings.Builder, snap obs.Snapshot, window time.Duration) {
+	fmt.Fprintf(b, "LATENCY (%s)\n", window)
+	fmt.Fprintf(b, "  %-40s %12s %10s %10s %10s  %s\n", "histogram", "count", "p50", "p90", "p99", "trend")
+	n := 0
+	for _, w := range snap.Windows {
+		if w.Bounds == nil {
+			continue
+		}
+		m := w.Merge(window)
+		fmt.Fprintf(b, "  %-40s %12d %10s %10s %10s  %s\n",
+			w.Name, m.Count,
+			fmtNS(m.Quantile(0.50)), fmtNS(m.Quantile(0.90)), fmtNS(m.Quantile(0.99)),
+			sparkline(w, sparkSlots))
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintln(b, "  (no windowed histograms)")
+	}
+	fmt.Fprintln(b)
+}
+
+// renderSLO lists each objective's burn state, worst as the headline.
+func renderSLO(b *strings.Builder, eval slo.Evaluation) {
+	fmt.Fprintln(b, "SLO")
+	fmt.Fprintf(b, "  %-24s %-6s %12s %12s  %s\n", "objective", "state", "burn(fast)", "burn(slow)", "description")
+	if len(eval.Objectives) == 0 {
+		fmt.Fprintln(b, "  (no objectives)")
+	}
+	for _, st := range eval.Objectives {
+		fmt.Fprintf(b, "  %-24s %-6s %12.2f %12.2f  %s\n",
+			st.Objective.Name, st.State, st.BurnFast, st.BurnSlow, st.Objective.Description)
+	}
+	fmt.Fprintln(b)
+}
+
+// renderTopSessions lists the slowest recorded gesture root spans.
+func renderTopSessions(b *strings.Builder, snap obs.Snapshot, topN int) {
+	fmt.Fprintf(b, "TOP SESSIONS (slowest of last %d gesture spans)\n", spanCount(snap))
+	type row struct {
+		session, class, outcome string
+		dur                     time.Duration
+	}
+	var rows []row
+	for _, sb := range snap.Spans {
+		for _, sp := range sb.Spans {
+			if sp.Parent != 0 || sp.Name != "gesture" {
+				continue
+			}
+			r := row{dur: time.Duration(sp.End - sp.Start)}
+			for _, a := range sp.Attrs {
+				switch a.Key {
+				case "session":
+					r.session = a.Str
+				case "class":
+					r.class = a.Str
+				case "outcome":
+					r.outcome = a.Str
+				}
+			}
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].dur > rows[j].dur })
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(b, "  (no gesture spans recorded)")
+		return
+	}
+	fmt.Fprintf(b, "  %-24s %-12s %-10s %10s\n", "session", "class", "outcome", "latency")
+	for _, r := range rows {
+		fmt.Fprintf(b, "  %-24s %-12s %-10s %10s\n", r.session, r.class, r.outcome, r.dur.Round(time.Microsecond))
+	}
+}
+
+// spanCount totals the root gesture spans currently buffered.
+func spanCount(snap obs.Snapshot) int {
+	n := 0
+	for _, sb := range snap.Spans {
+		for _, sp := range sb.Spans {
+			if sp.Parent == 0 && sp.Name == "gesture" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sparkline renders the last n slots of a window as fill-level runes,
+// oldest left, scaled to the busiest shown slot. Missing slots (no
+// traffic in that 10s bucket) render as spaces.
+func sparkline(w obs.WindowSnap, n int) string {
+	if n <= 0 || w.SlotNS <= 0 {
+		return ""
+	}
+	counts := make([]int64, n)
+	present := make([]bool, n)
+	var max int64
+	for _, s := range w.Live {
+		back := w.Epoch - s.Epoch // 0 = current slot
+		if back < 0 || back >= int64(n) {
+			continue
+		}
+		i := n - 1 - int(back)
+		counts[i], present[i] = s.Count, true
+		if s.Count > max {
+			max = s.Count
+		}
+	}
+	out := make([]rune, n)
+	for i := range out {
+		switch {
+		case !present[i]:
+			out[i] = ' '
+		case max == 0:
+			out[i] = sparkRunes[0]
+		default:
+			lvl := int(counts[i] * int64(len(sparkRunes)-1) / max)
+			out[i] = sparkRunes[lvl]
+		}
+	}
+	return string(out)
+}
+
+// fmtNS renders a nanosecond quantity with a human unit (ns/µs/ms/s).
+func fmtNS(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	}
+	return fmt.Sprintf("%.2fs", ns/1e9)
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/slo"
+)
+
+// testUpstream builds an httptest server exposing /metrics and /slo over
+// a live registry populated with windowed traffic and one gesture span —
+// a miniature gserve for gtop to scrape.
+func testUpstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := obs.New()
+	wc := reg.WindowedCounter("window.serve.events.submitted", 0, 0)
+	wh := reg.WindowedHistogram("window.eager.decide_ns", obs.LatencyBuckets(), 0, 0)
+	for i := 0; i < 120; i++ {
+		wc.Inc()
+		wh.Observe(float64(20_000 + i*100))
+	}
+	sp := reg.Spans("gesture.spans", 0).Start("gesture")
+	sp.SetAttr("session", "sess-01")
+	sp.SetAttr("class", "line")
+	sp.SetAttr("outcome", "completed")
+	sp.End()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/slo", slo.Handler(slo.New(reg, slo.DefaultObjectives(), nil)))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestOnceSnapshot: gtop -once against a live upstream renders every
+// dashboard section with the instruments and objectives visible.
+func TestOnceSnapshot(t *testing.T) {
+	srv := testUpstream(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-once", "-addr", srv.URL}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"RATES", "LATENCY", "SLO", "TOP SESSIONS",
+		"window.serve.events.submitted",
+		"window.eager.decide_ns",
+		"decide_p99", "wire_nack_ratio",
+		"sess-01", "completed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("-once frame must not clear the screen")
+	}
+}
+
+// TestUnreachableServer: a dead upstream is a diagnostic and exit 1, not
+// a hang or a panic.
+func TestUnreachableServer(t *testing.T) {
+	srv := testUpstream(t)
+	srv.Close()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-once", "-addr", srv.URL}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if stderr.Len() == 0 {
+		t.Error("no diagnostic for unreachable server")
+	}
+}
+
+// TestFlagValidation: nonsense flags exit 2 before any network work.
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-interval", "0s"},
+		{"-window", "-1m"},
+		{"-top", "-1"},
+		{"-interval", "bogus"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestSparkline pins the trend rendering: current slot rightmost, empty
+// slots blank, levels scaled to the busiest slot.
+func TestSparkline(t *testing.T) {
+	w := obs.WindowSnap{
+		SlotNS: int64(10 * time.Second),
+		Slots:  180,
+		Epoch:  10,
+		Live: []obs.WindowSlotSnap{
+			{Epoch: 8, Count: 4},
+			{Epoch: 10, Count: 8},
+		},
+	}
+	got := sparkline(w, 4)
+	if len([]rune(got)) != 4 {
+		t.Fatalf("sparkline length = %d, want 4", len([]rune(got)))
+	}
+	r := []rune(got)
+	if r[0] != ' ' || r[2] != ' ' {
+		t.Errorf("empty slots should be blank: %q", got)
+	}
+	if r[3] != sparkRunes[len(sparkRunes)-1] {
+		t.Errorf("busiest slot should be full: %q", got)
+	}
+	if r[1] == ' ' || r[1] >= r[3] {
+		t.Errorf("half-loaded slot should render between empty and full: %q", got)
+	}
+	if sparkline(w, 0) != "" || sparkline(obs.WindowSnap{}, 4) != "" {
+		t.Error("degenerate windows should render empty")
+	}
+}
+
+// TestFmtNS pins the unit thresholds.
+func TestFmtNS(t *testing.T) {
+	for _, tc := range []struct {
+		ns   float64
+		want string
+	}{
+		{0, "-"},
+		{512, "512ns"},
+		{2_500, "2.5µs"},
+		{3_400_000, "3.4ms"},
+		{2_250_000_000, "2.25s"},
+	} {
+		if got := fmtNS(tc.ns); got != tc.want {
+			t.Errorf("fmtNS(%v) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

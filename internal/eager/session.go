@@ -21,8 +21,9 @@ import (
 // Instrument attaches a registry, so uninstrumented sessions pay only
 // sub-5ns no-op calls per point (see internal/obs).
 type sessionMetrics struct {
-	decideNS   *obs.Histogram // per-point latency of one Add (the paper's D + C-hat cost)
-	commitFrac *obs.Histogram // commit point as fraction of gesture length (Run replays)
+	decideNS    *obs.Histogram         // per-point latency of one Add (the paper's D + C-hat cost)
+	decideWinNS *obs.WindowedHistogram // window.eager.decide_ns: rolling-window sibling of decideNS, feeds SLO burn rates
+	commitFrac  *obs.Histogram         // commit point as fraction of gesture length (Run replays)
 	firedEager *obs.Counter   // gestures recognized mid-stroke
 	firedEnd   *obs.Counter   // gestures classified only at End (D never fired)
 	resets     *obs.Counter   // Session.Reset calls
@@ -45,8 +46,9 @@ func (r *Recognizer) Instrument(reg *obs.Registry) {
 		return
 	}
 	r.m = sessionMetrics{
-		decideNS:   reg.Histogram("eager.decide_ns", obs.LatencyBuckets()),
-		commitFrac: reg.Histogram("eager.commit_frac", obs.FractionBuckets()),
+		decideNS:    reg.Histogram("eager.decide_ns", obs.LatencyBuckets()),
+		decideWinNS: reg.WindowedHistogram("window.eager.decide_ns", obs.LatencyBuckets(), 0, 0),
+		commitFrac:  reg.Histogram("eager.commit_frac", obs.FractionBuckets()),
 		firedEager: reg.Counter("eager.fired.eager"),
 		firedEnd:   reg.Counter("eager.fired.end"),
 		resets:     reg.Counter("eager.session.resets"),
@@ -220,7 +222,7 @@ func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
 	sp := s.span.Child("decide")
 	s.lastMargin, s.lastBest = 0, ""
 	fired, class, err = s.add(p, sp)
-	obs.ObserveSince(s.m.decideNS, start)
+	obs.ObserveSinceWindowed(s.m.decideNS, s.m.decideWinNS, start)
 	if err != nil {
 		if !s.noted {
 			s.noted = true

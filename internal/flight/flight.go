@@ -181,9 +181,14 @@ type Outcome struct {
 
 // Bundle is one gesture's capture: everything needed to re-run it.
 type Bundle struct {
-	Schema    int        `json:"schema"`
-	Session   string     `json:"session"`
-	Trigger   string     `json:"trigger,omitempty"` // policy that kept it
+	Schema  int    `json:"schema"`
+	Session string `json:"session"`
+	Trigger string `json:"trigger,omitempty"` // policy that kept it
+	// Seq is the recorder's 1-based capture sequence number, assigned by
+	// Offer when the trigger keeps the bundle (0 = never kept). It is the
+	// stable handle exemplars use to point from a histogram bucket back to
+	// the exact flight recording.
+	Seq       uint64     `json:"seq,omitempty"`
 	Points    []Point    `json:"points"`
 	Decisions []Decision `json:"decisions"`
 	Outcome   Outcome    `json:"outcome"`
@@ -355,8 +360,10 @@ func (r *Recorder) Trigger() Trigger {
 
 // Offer presents a finished bundle; the trigger policy decides whether
 // it is kept (reported by the return value). Empty bundles (no points)
-// are never kept — they carry nothing to replay. No-op on a nil
-// receiver or nil bundle.
+// are never kept — they carry nothing to replay. A kept bundle is
+// stamped with its 1-based capture sequence in b.Seq, so callers can
+// cite the recording (e.g. in a histogram exemplar) after Offer
+// returns. No-op on a nil receiver or nil bundle.
 func (r *Recorder) Offer(b *Bundle) bool {
 	if r == nil || b == nil {
 		return false
@@ -376,6 +383,7 @@ func (r *Recorder) Offer(b *Bundle) bool {
 		r.count++
 	}
 	r.captured++
+	b.Seq = r.captured
 	return true
 }
 

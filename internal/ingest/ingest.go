@@ -12,9 +12,16 @@
 // (serve.ErrShed) to NackShed, a bare serve.ErrQueueFull (no-retry
 // policies) to NackQueueFull, serve.ErrClosed to NackClosed followed by
 // connection teardown. An undecodable frame is answered with the
-// matching fatal code (FatalCorrupt, FatalOversized, FatalTruncated)
-// and the connection closes: the decoder's interning state can no
-// longer be trusted.
+// matching fatal code (FatalCorrupt, FatalOversized, FatalTruncated,
+// FatalVersion for a peer speaking another wire format version) and the
+// connection closes: the decoder's interning state can no longer be
+// trusted.
+//
+// Each frame header carries the client-send stamp (wire format v2); the
+// server observes receive−send into wire.e2e.ingress_ns — the queue/
+// transit leg of end-to-end latency — and threads the stamp onto every
+// decoded serve.Event so the engine can attribute the full
+// send-to-decision span (wire.e2e_ns).
 //
 // Backpressure is per connection by construction: a connection blocked
 // in the Submitter's retry loop stops reading its socket, so TCP flow
@@ -35,6 +42,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/multipath"
 	"repro/internal/obs"
@@ -69,6 +77,9 @@ type metrics struct {
 	nackClosed   *obs.Counter    // wire.nacks.closed
 	frameEvents  *obs.Histogram  // wire.frame.events
 	frameDecodNS *obs.Histogram  // wire.frame.decode_ns
+	ingressNS    *obs.Histogram  // wire.e2e.ingress_ns
+	eventsWin    *obs.WindowedCounter // window.wire.events.decoded
+	nacksWin     *obs.WindowedCounter // window.wire.nacks
 	spans        *obs.SpanBuffer // wire.spans
 }
 
@@ -88,6 +99,9 @@ func newMetrics(reg *obs.Registry) metrics {
 		nackClosed:   reg.Counter("wire.nacks.closed"),
 		frameEvents:  reg.Histogram("wire.frame.events", obs.DepthBuckets()),
 		frameDecodNS: reg.Histogram("wire.frame.decode_ns", obs.LatencyBuckets()),
+		ingressNS:    reg.Histogram("wire.e2e.ingress_ns", obs.LatencyBuckets()),
+		eventsWin:    reg.WindowedCounter("window.wire.events.decoded", 0, 0),
+		nacksWin:     reg.WindowedCounter("window.wire.nacks", 0, 0),
 		spans:        reg.Spans("wire.spans", 0),
 	}
 }
@@ -215,7 +229,7 @@ func (s *Server) serveConn(c net.Conn) {
 			}
 			return
 		}
-		closing, err := s.serveFrame(bw, st, payload)
+		closing, err := s.serveFrame(bw, st, payload, fr.SentNS())
 		if err != nil || closing {
 			return
 		}
@@ -229,6 +243,8 @@ func fatalFor(err error) wire.FatalCode {
 		return wire.FatalOversized
 	case errors.Is(err, wire.ErrTruncated):
 		return wire.FatalTruncated
+	case errors.Is(err, wire.ErrVersion):
+		return wire.FatalVersion
 	}
 	return wire.FatalCorrupt
 }
@@ -241,13 +257,25 @@ func (s *Server) respondFatal(bw *bufio.Writer, code wire.FatalCode) {
 }
 
 // serveFrame decodes one frame payload, submits its events, and writes
-// the frame's response. closing reports that the connection must tear
-// down after the response (the engine or server is shutting down).
-func (s *Server) serveFrame(bw *bufio.Writer, st *conn, payload []byte) (closing bool, err error) {
+// the frame's response. sent is the frame header's client-send stamp
+// (unix nanoseconds; 0 when unstamped) — receive−send feeds the
+// wire.e2e.ingress_ns histogram with the frame's span as its exemplar,
+// and the stamp rides every decoded event so the engine can observe the
+// full send-to-decision latency. closing reports that the connection
+// must tear down after the response (the engine or server is shutting
+// down).
+func (s *Server) serveFrame(bw *bufio.Writer, st *conn, payload []byte, sent int64) (closing bool, err error) {
 	sp := s.m.spans.Start("wire_frame")
+	if sent > 0 && s.m.ingressNS != nil {
+		d := time.Now().UnixNano() - sent
+		if d < 0 {
+			d = 0 // clock skew between hosts; same-machine loopback is exact
+		}
+		s.m.ingressNS.ObserveExemplar(float64(d), sp.ID(), 0)
+	}
 	decStart := obs.Start(s.m.frameDecodNS)
 	st.events = st.events[:0]
-	events, decErr := s.decode(st, payload)
+	events, decErr := s.decode(st, payload, sent)
 	obs.ObserveSince(s.m.frameDecodNS, decStart)
 	if decErr != nil {
 		s.m.framesBad.Inc()
@@ -258,6 +286,7 @@ func (s *Server) serveFrame(bw *bufio.Writer, st *conn, payload []byte) (closing
 	}
 	s.m.framesOK.Inc()
 	s.m.events.Add(int64(len(events)))
+	s.m.eventsWin.Add(int64(len(events)))
 	s.m.frameEvents.Observe(float64(len(events)))
 	st.nacks, closing = s.submitBatch(events, st.nacks[:0])
 	sp.SetAttrInt("events", int64(len(events)))
@@ -275,8 +304,9 @@ func (s *Server) serveFrame(bw *bufio.Writer, st *conn, payload []byte) (closing
 
 // decode turns one frame payload into serve events, converting the wire
 // domain (integer-microsecond timestamps, wire.Kind) into the engine's
-// (float seconds, multipath.EventKind) in place.
-func (s *Server) decode(st *conn, payload []byte) ([]serve.Event, error) {
+// (float seconds, multipath.EventKind) in place. The frame's client-send
+// stamp rides every event for end-to-end latency attribution.
+func (s *Server) decode(st *conn, payload []byte, sent int64) ([]serve.Event, error) {
 	st.wire = st.wire[:0]
 	w, err := st.dec.Decode(payload, st.wire)
 	st.wire = w
@@ -292,6 +322,7 @@ func (s *Server) decode(st *conn, payload []byte) ([]serve.Event, error) {
 			X:       w[i].X,
 			Y:       w[i].Y,
 			T:       w[i].Seconds(),
+			SentNS:  sent,
 		})
 	}
 	st.events = events
@@ -315,7 +346,7 @@ func (s *Server) submitBatch(events []serve.Event, nacks []wire.Nack) ([]wire.Na
 	for i := range events {
 		if closing {
 			nacks = append(nacks[:len(nacks)], wire.Nack{Index: uint32(i), Code: wire.NackClosed})
-			s.m.nackClosed.Inc()
+			s.countNack(wire.NackClosed)
 			continue
 		}
 		err := s.sub.Submit(events[i])
@@ -353,6 +384,7 @@ func nackFor(err error) wire.NackCode {
 //
 //glint:coldpath runs once per refused event, not per accepted event
 func (s *Server) countNack(code wire.NackCode) {
+	s.m.nacksWin.Inc()
 	switch code {
 	case wire.NackBadEvent:
 		s.m.nackBad.Inc()

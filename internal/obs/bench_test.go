@@ -91,6 +91,46 @@ func BenchmarkObsDisabledSpanEvent(b *testing.B) {
 	sinkI64 = int64(root.ID())
 }
 
+// BenchmarkObsDisabledWindowedCounterAdd measures WindowedCounter.Add on
+// a nil windowed counter — the windowed instruments inherit the same
+// disabled-path contract as their cumulative siblings.
+func BenchmarkObsDisabledWindowedCounterAdd(b *testing.B) {
+	var w *obs.WindowedCounter
+	for i := 0; i < b.N; i++ {
+		w.Add(1)
+	}
+	sinkI64++
+}
+
+// BenchmarkObsDisabledWindowedHistogramObserve measures
+// WindowedHistogram.Observe on a nil windowed histogram.
+func BenchmarkObsDisabledWindowedHistogramObserve(b *testing.B) {
+	var w *obs.WindowedHistogram
+	for i := 0; i < b.N; i++ {
+		w.Observe(float64(i))
+	}
+	sinkI64++
+}
+
+// BenchmarkObsDisabledGaugeSet measures Gauge.Set on a nil gauge.
+func BenchmarkObsDisabledGaugeSet(b *testing.B) {
+	var g *obs.Gauge
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+	sinkI64 = int64(g.Value())
+}
+
+// BenchmarkObsDisabledObserveExemplar measures Histogram.ObserveExemplar
+// on a nil histogram — exemplar recording must vanish with the registry.
+func BenchmarkObsDisabledObserveExemplar(b *testing.B) {
+	var h *obs.Histogram
+	for i := 0; i < b.N; i++ {
+		h.ObserveExemplar(float64(i), 1, 2)
+	}
+	sinkI64 = h.Count()
+}
+
 // Enabled-path reference points, for the overhead table in
 // OBSERVABILITY.md.
 
@@ -108,6 +148,40 @@ func BenchmarkObsHistogramObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Observe(float64(i % 1000000))
+	}
+	sinkI64 = h.Count()
+}
+
+// BenchmarkObsWindowedCounterAdd measures the enabled windowed counter
+// path: one clock read, a CAS-free epoch check, and an atomic add.
+func BenchmarkObsWindowedCounterAdd(b *testing.B) {
+	w := obs.New().WindowedCounter("bench", 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Add(1)
+	}
+	sinkI64++
+}
+
+// BenchmarkObsWindowedHistogramObserve measures the enabled windowed
+// histogram path — the window-rotation cost BENCH_slo.json publishes.
+func BenchmarkObsWindowedHistogramObserve(b *testing.B) {
+	w := obs.New().WindowedHistogram("bench", obs.LatencyBuckets(), 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(float64(i % 1000000))
+	}
+	sinkI64++
+}
+
+// BenchmarkObsObserveExemplar measures the enabled exemplar-record path
+// (one histogram observation plus one exemplar allocation + store) —
+// the per-gesture price of outlier-to-trace linking.
+func BenchmarkObsObserveExemplar(b *testing.B) {
+	h := obs.New().Histogram("bench", obs.LatencyBuckets())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveExemplar(float64(i%1000000), uint64(i), uint64(i))
 	}
 	sinkI64 = h.Count()
 }
@@ -161,6 +235,10 @@ func TestDisabledPathUnderFiveNanoseconds(t *testing.T) {
 		{"SpanStart", BenchmarkObsDisabledSpanStart},
 		{"SpanChildEnd", BenchmarkObsDisabledSpanChildEnd},
 		{"SpanEvent", BenchmarkObsDisabledSpanEvent},
+		{"WindowedCounterAdd", BenchmarkObsDisabledWindowedCounterAdd},
+		{"WindowedHistogramObserve", BenchmarkObsDisabledWindowedHistogramObserve},
+		{"GaugeSet", BenchmarkObsDisabledGaugeSet},
+		{"ObserveExemplar", BenchmarkObsDisabledObserveExemplar},
 	} {
 		r := testing.Benchmark(bench.fn)
 		perOp := float64(r.T.Nanoseconds()) / float64(r.N)

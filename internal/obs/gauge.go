@@ -1,0 +1,40 @@
+package obs
+
+// Gauge is a settable instantaneous value (a level, not a count): SLO
+// burn rates, states, and queue fill fractions live here. Reads and
+// writes are atomic (CAS on the float64 bit pattern); all methods are
+// safe for concurrent use and no-ops on a nil receiver, the same
+// disabled-path contract as Counter.
+type Gauge struct {
+	v atomicFloat64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.store(v)
+}
+
+// Add adjusts the gauge by d (atomically). No-op on a nil receiver.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(d)
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+// GaugeSnap is the point-in-time value of one gauge inside a Snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram is a streaming histogram over fixed bucket boundaries: the
@@ -23,6 +24,26 @@ type Histogram struct {
 	sum    atomicFloat64
 	min    atomicFloat64 // +Inf until the first observation
 	max    atomicFloat64 // -Inf until the first observation
+	// exemplars holds the last exemplar recorded per bucket (nil until
+	// the bucket's first ObserveExemplar), published through atomic
+	// pointers so readers never see a torn record.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one bucket of a histogram to the concrete event that
+// last landed in it: the observed value, the span ID of the trace it
+// belongs to (obs.Span.ID — follow it into the span buffer / Chrome
+// trace), the flight-recorder bundle sequence when the gesture was
+// captured (0 when not), and the wall-clock record time. This is the
+// p99-outlier-to-trace-to-replayable-bundle link OBSERVABILITY.md's
+// "Exemplars" section documents. Bucket is the index into the owning
+// HistogramSnap's Counts.
+type Exemplar struct {
+	Bucket int     `json:"bucket"`
+	Value  float64 `json:"value"`
+	SpanID uint64  `json:"span_id,omitempty"`
+	Seq    uint64  `json:"seq,omitempty"`
+	At     int64   `json:"at"`
 }
 
 // newHistogram builds a histogram over a defensive copy of the given
@@ -31,8 +52,9 @@ func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
 	h := &Histogram{
-		bounds: b,
-		counts: make([]atomic.Int64, len(b)+1),
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
 	}
 	h.min.store(math.Inf(1))
 	h.max.store(math.Inf(-1))
@@ -51,6 +73,27 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.add(v)
 	h.min.updateMin(v)
 	h.max.updateMax(v)
+}
+
+// ObserveExemplar records v exactly like Observe and additionally
+// retains an exemplar on v's bucket: the (span ID, flight-bundle seq)
+// identity of the event that produced the observation, so an outlier
+// bucket links straight to its trace and replayable bundle. The bucket
+// keeps only the most recent exemplar (one small allocation per call —
+// use it from per-gesture or per-frame call sites, not per-point hot
+// loops). Zero spanID/seq mean "no trace"/"not captured". No-op on a
+// nil receiver; NaN observations are ignored.
+func (h *Histogram) ObserveExemplar(v float64, spanID, seq uint64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.updateMin(v)
+	h.max.updateMax(v)
+	h.exemplars[i].Store(&Exemplar{Bucket: i, Value: v, SpanID: spanID, Seq: seq, At: time.Now().UnixNano()})
 }
 
 // Count returns the number of observations; 0 on a nil receiver.
@@ -95,6 +138,11 @@ func (h *Histogram) snapshot(name string) HistogramSnap {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			s.Exemplars = append(s.Exemplars, *ex)
+		}
+	}
 	if s.Count > 0 {
 		s.Min = h.min.load()
 		s.Max = h.max.load()
@@ -106,14 +154,18 @@ func (h *Histogram) snapshot(name string) HistogramSnap {
 // Snapshot. Counts has one entry per bucket: Counts[i] holds
 // observations in (Bounds[i-1], Bounds[i]], and the final entry counts
 // overflow beyond the last boundary. Min and Max are 0 when Count is 0.
+// Exemplars carries the buckets' retained exemplars in bucket order
+// (only buckets that ever received an ObserveExemplar appear; empty for
+// histograms fed by Observe alone).
 type HistogramSnap struct {
-	Name   string    `json:"name"`
-	Count  int64     `json:"count"`
-	Sum    float64   `json:"sum"`
-	Min    float64   `json:"min"`
-	Max    float64   `json:"max"`
-	Bounds []float64 `json:"bounds"`
-	Counts []int64   `json:"counts"`
+	Name      string     `json:"name"`
+	Count     int64      `json:"count"`
+	Sum       float64    `json:"sum"`
+	Min       float64    `json:"min"`
+	Max       float64    `json:"max"`
+	Bounds    []float64  `json:"bounds"`
+	Counts    []int64    `json:"counts"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Mean returns the arithmetic mean of the observations, or 0 when empty.

@@ -133,6 +133,20 @@ func ObserveSince(h *Histogram, start time.Time) {
 	h.Observe(float64(time.Since(start)))
 }
 
+// ObserveSinceWindowed records the elapsed nanoseconds since start into
+// both the cumulative histogram h and its windowed sibling w with a
+// single clock read, keeping the two views of one latency in lockstep.
+// Like ObserveSince it is a no-op when start is the zero Time; each
+// instrument is individually nil-safe, so any subset may be attached.
+func ObserveSinceWindowed(h *Histogram, w *WindowedHistogram, start time.Time) {
+	if start.IsZero() || (h == nil && w == nil) {
+		return
+	}
+	d := float64(time.Since(start))
+	h.Observe(d)
+	w.Observe(d)
+}
+
 // LatencyBuckets returns the standard duration bucket boundaries, in
 // nanoseconds: a 1-2.5-5 progression from 250 ns to 10 s. Fixed
 // boundaries keep Snapshot output deterministic for tests and make

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a registry metric name onto the Prometheus name grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): the dots this repo namespaces with become
+// underscores, and any other illegal rune does too. "serve.events.submitted"
+// scrapes as "serve_events_submitted".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders v the way Prometheus expects: shortest round-trip
+// decimal, with the infinities spelled +Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as counter samples, gauges as gauge
+// samples, and histograms as the conventional _bucket (cumulative, with
+// le labels up to +Inf), _sum, and _count series. Windowed instruments,
+// span buffers, and trace rings have no Prometheus shape and are
+// skipped — a scraper derives rates from the cumulative series, and the
+// windowed views stay on /metrics and /slo. Metric names are sanitized
+// by promName.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromHandler returns an http.Handler serving the registry's Snapshot in
+// the Prometheus text exposition format — cmd/gserve mounts it at
+// /metrics.prom. Safe with a nil registry (serves an empty body).
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = r.Snapshot().WriteProm(w)
+	})
+}

@@ -1,0 +1,116 @@
+package obs_test
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestWriteProm(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("serve.events.submitted").Add(7)
+	reg.Gauge("slo.decide_p99.burn_fast").Set(1.5)
+	h := reg.Histogram("eager.decide_ns", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE serve_events_submitted counter\nserve_events_submitted 7\n",
+		"# TYPE slo_decide_p99_burn_fast gauge\nslo_decide_p99_burn_fast 1.5\n",
+		"# TYPE eager_decide_ns histogram\n",
+		`eager_decide_ns_bucket{le="10"} 1` + "\n",
+		`eager_decide_ns_bucket{le="100"} 2` + "\n",
+		`eager_decide_ns_bucket{le="+Inf"} 3` + "\n",
+		"eager_decide_ns_sum 555\n",
+		"eager_decide_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePromParseable walks the exposition line by line with a
+// minimal 0.0.4 parser: every non-comment line must be `name[{labels}]
+// value` with a float-parseable value, and bucket series must be
+// cumulative (non-decreasing, ending at _count's value).
+func TestWritePromParseable(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("a.b").Inc()
+	reg.Gauge("g").Set(-2)
+	h := reg.Histogram("lat", obs.LatencyBuckets())
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i * 1e6))
+	}
+
+	var b strings.Builder
+	if err := reg.Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	var lastBucket int64 = -1
+	var finalBucket, count int64
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("unexpected comment %q", line)
+			}
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || name == "" {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		bare, _, _ := strings.Cut(name, "{")
+		if strings.HasSuffix(bare, "_bucket") {
+			if int64(v) < lastBucket {
+				t.Errorf("bucket series not cumulative at %q", line)
+			}
+			lastBucket = int64(v)
+			finalBucket = int64(v)
+		}
+		if bare == "lat_count" {
+			count = int64(v)
+		}
+	}
+	if count != 100 || finalBucket != 100 {
+		t.Errorf("count = %d, final cumulative bucket = %d, want 100/100", count, finalBucket)
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("c").Inc()
+	rec := httptest.NewRecorder()
+	obs.PromHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.prom", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "c 1") {
+		t.Errorf("body missing counter sample: %q", rec.Body.String())
+	}
+
+	// A nil registry serves an empty, well-typed body.
+	rec = httptest.NewRecorder()
+	obs.PromHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.prom", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Errorf("nil registry: status %d body %q", rec.Code, rec.Body.String())
+	}
+}

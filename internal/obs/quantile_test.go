@@ -1,0 +1,108 @@
+package obs_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// These tests pin the HistogramSnap.Quantile estimator at its edges —
+// the satellite contract from ISSUE 9. The estimator interpolates
+// linearly inside the bucket containing the rank and clamps to the
+// observed min/max, so each case below documents exactly what an
+// operator reading p-lines in the text report gets.
+
+// TestQuantileEmpty: an empty histogram answers 0 for every q — there
+// is no distribution to estimate, and 0 (not NaN) keeps downstream
+// arithmetic and JSON encoding safe.
+func TestQuantileEmpty(t *testing.T) {
+	h := obs.New().Histogram("h", obs.LatencyBuckets())
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	var nilH *obs.Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %g, want 0", got)
+	}
+}
+
+// TestQuantileExtremes: q<=0 returns the observed minimum and q>=1 the
+// observed maximum — exact values, not bucket boundaries, because the
+// histogram tracks true extremes alongside the buckets.
+func TestQuantileExtremes(t *testing.T) {
+	h := obs.New().Histogram("h", []float64{10, 100, 1000})
+	for _, v := range []float64{7, 42, 730} {
+		h.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{-0.5, 7}, {0, 7}, // clamp below and at zero → min
+		{1, 730}, {1.5, 730}, // at and above one → max
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileSingleBucket: when every observation lands in one bucket,
+// interpolation spans [min, max] of the observations (the bucket
+// boundaries are clamped to the observed extremes), so estimates stay
+// inside what was actually seen.
+func TestQuantileSingleBucket(t *testing.T) {
+	h := obs.New().Histogram("h", []float64{10, 100, 1000})
+	// Four observations, all in (10, 100].
+	for _, v := range []float64{20, 40, 60, 80} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.99} {
+		got := h.Quantile(q)
+		if got < 20 || got > 80 {
+			t.Errorf("Quantile(%g) = %g, outside observed [20, 80]", q, got)
+		}
+	}
+	// Midpoint check: rank 2 of 4 falls halfway through the clamped
+	// span [20, 80] → 50.
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("Quantile(0.5) = %g, want 50 (linear midpoint of clamped span)", got)
+	}
+}
+
+// TestQuantileOverflowBucket: counts concentrated beyond the last
+// boundary interpolate across [observed min, observed max] — the
+// overflow bucket has no boundaries of its own, so both ends clamp to
+// the true extremes and estimates never leave observed reality.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := obs.New().Histogram("h", []float64{10, 100})
+	for _, v := range []float64{200, 400, 600, 800} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := h.Quantile(q)
+		if got < 200 || got > 800 {
+			t.Errorf("Quantile(%g) = %g, outside observed [200, 800]", q, got)
+		}
+	}
+	if got := h.Quantile(1); got != 800 {
+		t.Errorf("Quantile(1) = %g, want observed max 800", got)
+	}
+	// All mass past the last bound: p50 = rank 2 of 4 across the
+	// clamped span [200, 800] → its midpoint.
+	if got := h.Quantile(0.5); got != 500 {
+		t.Errorf("Quantile(0.5) = %g, want 500 (midpoint of [200, 800])", got)
+	}
+}
+
+// TestQuantileSingleObservation: one observation makes every quantile
+// that exact value (min == max collapses the interpolation span).
+func TestQuantileSingleObservation(t *testing.T) {
+	h := obs.New().Histogram("h", []float64{10, 100})
+	h.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%g) = %g, want 42", q, got)
+		}
+	}
+}

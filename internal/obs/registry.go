@@ -31,19 +31,50 @@ const SnapshotSchema = 1
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	windows  map[string]windowed
 	rings    map[string]*Ring
 	spans    map[string]*SpanBuffer
+	// clk is the clock windowed instruments rotate on: the wall clock
+	// until SetClock installs another (serve.New forwards its virtual
+	// clock here). Atomic so SetClock is safe against concurrent
+	// observations.
+	clk clockSource
+}
+
+// windowed is the registry's common handle on the two windowed
+// instrument kinds — exactly one of the fields is non-nil.
+type windowed struct {
+	c *WindowedCounter
+	h *WindowedHistogram
 }
 
 // New creates an empty registry.
 func New() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		windows:  make(map[string]windowed),
 		rings:    make(map[string]*Ring),
 		spans:    make(map[string]*SpanBuffer),
 	}
+}
+
+// SetClock installs the clock windowed instruments rotate on — the hook
+// that lets the serving engine's virtual clock (fault.ManualClock)
+// drive window rotation deterministically in tests. A nil c restores
+// the wall clock. Safe for concurrent use; a no-op on a nil registry.
+func (r *Registry) SetClock(c Clock) {
+	if r == nil {
+		return
+	}
+	if c == nil {
+		r.clk.set(nil)
+		return
+	}
+	r.clk.set(c)
 }
 
 // Counter returns the named counter, registering it on first use.
@@ -79,6 +110,63 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns
+// nil (the disabled instrument) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// WindowedCounter returns the named windowed counter, registering it on
+// first use with the given slot duration and slot count (non-positive
+// values select DefaultWindowSlot / DefaultWindowSlots). Later calls
+// return the existing instrument regardless of the sizing arguments —
+// ring geometry is fixed at registration, like histogram bounds.
+// Returns nil on a nil registry. Registering the same name as both a
+// windowed counter and a windowed histogram is a programming error; the
+// first registration wins and the mismatched accessor returns nil.
+func (r *Registry) WindowedCounter(name string, slot time.Duration, slots int) *WindowedCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.windows[name]
+	if !ok {
+		w = windowed{c: newWindowedCounter(slot, slots, &r.clk)}
+		r.windows[name] = w
+	}
+	return w.c
+}
+
+// WindowedHistogram returns the named windowed histogram, registering
+// it on first use with the given bucket boundaries and ring geometry
+// (non-positive sizing selects the defaults). Later calls return the
+// existing instrument regardless of the arguments. Returns nil on a nil
+// registry, and nil when the name is already a windowed counter.
+func (r *Registry) WindowedHistogram(name string, bounds []float64, slot time.Duration, slots int) *WindowedHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.windows[name]
+	if !ok {
+		w = windowed{h: newWindowedHistogram(bounds, slot, slots, &r.clk)}
+		r.windows[name] = w
+	}
+	return w.h
 }
 
 // Ring returns the named trace ring, registering it with the given
@@ -134,9 +222,23 @@ type CounterSnap struct {
 type Snapshot struct {
 	Schema     int             `json:"schema"`
 	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
 	Histograms []HistogramSnap `json:"histograms"`
+	Windows    []WindowSnap    `json:"windows"`
 	Traces     []TraceSnap     `json:"traces"`
 	Spans      []SpanSnap      `json:"spans"`
+}
+
+// Window returns the named windowed instrument's snapshot section, or a
+// zero WindowSnap (Slots == 0) when absent — the lookup the SLO
+// evaluator and gtop run per objective.
+func (s Snapshot) Window(name string) WindowSnap {
+	for _, w := range s.Windows {
+		if w.Name == name {
+			return w
+		}
+	}
+	return WindowSnap{}
 }
 
 // Snapshot captures the current state of every instrument. Counters and
@@ -149,7 +251,9 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Schema:     SnapshotSchema,
 		Counters:   []CounterSnap{},
+		Gauges:     []GaugeSnap{},
 		Histograms: []HistogramSnap{},
+		Windows:    []WindowSnap{},
 		Traces:     []TraceSnap{},
 		Spans:      []SpanSnap{},
 	}
@@ -161,9 +265,17 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.counters {
 		counters[k] = v
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
+	}
+	windows := make(map[string]windowed, len(r.windows))
+	for k, v := range r.windows {
+		windows[k] = v
 	}
 	rings := make(map[string]*Ring, len(r.rings))
 	for k, v := range r.rings {
@@ -178,8 +290,18 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range counters {
 		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
 	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
 	for name, h := range hists {
 		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	for name, w := range windows {
+		if w.c != nil {
+			s.Windows = append(s.Windows, w.c.snapshot(name))
+		} else if w.h != nil {
+			s.Windows = append(s.Windows, w.h.snapshot(name))
+		}
 	}
 	for name, rg := range rings {
 		s.Traces = append(s.Traces, rg.snapshot(name))
@@ -188,7 +310,9 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Spans = append(s.Spans, b.snapshot(name))
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Windows, func(i, j int) bool { return s.Windows[i].Name < s.Windows[j].Name })
 	sort.Slice(s.Traces, func(i, j int) bool { return s.Traces[i].Name < s.Traces[j].Name })
 	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
 	return s
@@ -208,12 +332,26 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
 		}
 	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(tw, "\ngauge\tvalue\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(tw, "%s\t%.4g\n", g.Name, g.Value)
+		}
+	}
 	if len(s.Histograms) > 0 {
 		fmt.Fprintf(tw, "\nhistogram\tcount\tmean\tmin\tmax\tp50\tp95\tp99\n")
 		for _, h := range s.Histograms {
 			fmt.Fprintf(tw, "%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
 				h.Name, h.Count, h.Mean(), h.Min, h.Max,
 				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		}
+	}
+	if len(s.Windows) > 0 {
+		fmt.Fprintf(tw, "\nwindow\tslot\tlive\tcount(1m)\trate(1m)/s\n")
+		for _, win := range s.Windows {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.4g\n",
+				win.Name, time.Duration(win.SlotNS), len(win.Live),
+				win.Total(time.Minute), win.Rate(time.Minute))
 		}
 	}
 	for _, sp := range s.Spans {

@@ -8,9 +8,10 @@ import (
 )
 
 // metricNameRe matches backquoted metric names in OBSERVABILITY.md's
-// contract tables: dotted lowercase segments, possibly containing the
+// contract tables: dotted lowercase segments (digits allowed after the
+// first rune, as in e2e_ns or decide_p99), possibly containing the
 // <role>/<class> placeholders.
-var metricNameRe = regexp.MustCompile("`((?:[a-z_]+|<[a-z]+>)(?:\\.(?:[a-z_]+|<[a-z]+>))+)`")
+var metricNameRe = regexp.MustCompile("`((?:[a-z_][a-z0-9_]*|<[a-z]+>)(?:\\.(?:[a-z_][a-z0-9_]*|<[a-z]+>))+)`")
 
 // roles are the classifier instrumentation prefixes the recognizer
 // registers; <role> in the document expands over these.
@@ -113,6 +114,12 @@ func TestContractMatchesDocument(t *testing.T) {
 	}
 	for _, h := range snap.Histograms {
 		live[h.Name] = true
+	}
+	for _, g := range snap.Gauges {
+		live[g.Name] = true
+	}
+	for _, w := range snap.Windows {
+		live[w.Name] = true
 	}
 	// The trace ring and span buffers are named in prose ("serve.trace",
 	// "gesture.spans", "wire.spans"), not a metric table; account for

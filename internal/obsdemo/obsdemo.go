@@ -32,6 +32,7 @@ import (
 	"repro/internal/multipath"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/slo"
 	"repro/internal/synth"
 	"repro/internal/template"
 	"repro/internal/wire"
@@ -239,6 +240,11 @@ func demo(seed int64) (*obs.Registry, *eager.Recognizer, *flight.Recorder, error
 	if err := templateSegment(reg, seed); err != nil {
 		return nil, nil, nil, err
 	}
+
+	// SLO segment: evaluate the default objectives over the windowed
+	// instruments the workload populated, so every slo.* gauge in the
+	// OBSERVABILITY.md contract registers.
+	slo.New(reg, slo.DefaultObjectives(), clk).Evaluate()
 
 	return reg, rec, fr, nil
 }

@@ -95,6 +95,11 @@ type Event struct {
 	Finger  multipath.FingerID
 	Kind    multipath.EventKind
 	X, Y, T float64
+	// SentNS is the client-send wall-clock time in Unix nanoseconds, as
+	// stamped in the wire frame header that carried the event (0 for
+	// locally submitted events or pre-v2 peers). When set, the engine
+	// attributes end-to-end wire latency (wire.e2e_ns) at dispatch time.
+	SentNS int64
 }
 
 // Outcome is the typed reason a session finished — every Result carries
@@ -250,8 +255,15 @@ type engineMetrics struct {
 	queueDepth    *obs.Histogram  // serve.queue.depth, sampled per accepted Submit
 	queueWaitNS   *obs.Histogram  // serve.queue.wait_ns, enqueue -> dequeue
 	sessionNS     *obs.Histogram  // serve.session.latency_ns, first submit -> completion
+	e2e           *obs.Histogram  // wire.e2e_ns, client send stamp -> dispatch decision
 	trace         *obs.Ring       // serve.trace lifecycle events
 	spans         *obs.SpanBuffer // gesture.spans, one trace per gesture
+
+	// Windowed siblings of the cumulative instruments above, feeding
+	// rolling-rate displays (gtop) and the SLO burn-rate engine.
+	submittedWin *obs.WindowedCounter   // window.serve.events.submitted
+	sessionWinNS *obs.WindowedHistogram // window.serve.session.latency_ns
+	e2eWin       *obs.WindowedHistogram // window.wire.e2e_ns
 }
 
 func newEngineMetrics(reg *obs.Registry) engineMetrics {
@@ -274,8 +286,12 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		queueDepth:    reg.Histogram("serve.queue.depth", obs.DepthBuckets()),
 		queueWaitNS:   reg.Histogram("serve.queue.wait_ns", obs.LatencyBuckets()),
 		sessionNS:     reg.Histogram("serve.session.latency_ns", obs.LatencyBuckets()),
+		e2e:           reg.Histogram("wire.e2e_ns", obs.LatencyBuckets()),
 		trace:         reg.Ring("serve.trace", 0),
 		spans:         reg.Spans("gesture.spans", 0),
+		submittedWin:  reg.WindowedCounter("window.serve.events.submitted", 0, 0),
+		sessionWinNS:  reg.WindowedHistogram("window.serve.session.latency_ns", obs.LatencyBuckets(), 0, 0),
+		e2eWin:        reg.WindowedHistogram("window.wire.e2e_ns", obs.LatencyBuckets(), 0, 0),
 	}
 }
 
@@ -438,6 +454,12 @@ func New(backend recognizer.Backend, opts Options) (*Engine, error) {
 	if e.clock == nil {
 		e.clock = wallClock{}
 	}
+	if opts.Clock != nil && opts.Obs != nil {
+		// Windowed instruments rotate on the registry clock; align it
+		// with the engine's injected clock so tests (and replay) see
+		// consistent window epochs.
+		opts.Obs.SetClock(opts.Clock)
+	}
 	e.deadlines = opts.IdleTimeout > 0
 	e.stop = make(chan struct{})
 	e.rec.Store(&snapshot{backend: backend})
@@ -576,6 +598,7 @@ func (e *Engine) submit(ev Event, countRejected bool) error {
 		sh.vmu.Unlock()
 		e.submitted.Add(1)
 		e.m.submitted.Inc()
+		e.m.submittedWin.Inc()
 		e.m.queueDepth.Observe(float64(len(sh.ch)))
 		return nil
 	default:
@@ -900,6 +923,17 @@ func (e *Engine) handle(sh *shard, q queued) {
 	dsp := ls.root.Child("dispatch")
 	panicked := e.dispatch(ev.Session, ls, ev)
 	dsp.End()
+	if ev.SentNS > 0 && e.m.e2e != nil {
+		// End-to-end wire attribution: client send stamp -> decision
+		// applied. Clock skew between hosts can drive the delta negative;
+		// clamp so the histogram stays meaningful.
+		d := time.Now().UnixNano() - ev.SentNS
+		if d < 0 {
+			d = 0
+		}
+		e.m.e2e.Observe(float64(d))
+		e.m.e2eWin.Observe(float64(d))
+	}
 	ls.events++
 	if e.deadlines {
 		ls.lastActive = e.clock.Now()
@@ -933,7 +967,10 @@ func (e *Engine) finish(sh *shard, id string, ls *liveSession, class string, out
 	e.active.Add(-1)
 	e.completed.Add(1)
 	e.m.completed.Inc()
-	obs.ObserveSince(e.m.sessionNS, ls.start)
+	var latency time.Duration
+	if !ls.start.IsZero() {
+		latency = time.Since(ls.start)
+	}
 	ls.root.SetAttr("class", class)
 	ls.root.SetAttr("outcome", outcome.String())
 	switch outcome {
@@ -958,12 +995,17 @@ func (e *Engine) finish(sh *shard, id string, ls *liveSession, class string, out
 		e.m.trace.Emit("session_done", id)
 	}
 	ls.root.End()
+	var bundleSeq uint64
 	if ls.capture != nil {
-		var latency time.Duration
-		if !ls.start.IsZero() {
-			latency = time.Since(ls.start)
-		}
-		e.opts.Flight.Offer(ls.capture.Bundle(class, outcome.String(), latency))
+		b := ls.capture.Bundle(class, outcome.String(), latency)
+		e.opts.Flight.Offer(b)
+		bundleSeq = b.Seq // 1-based when kept, 0 when the trigger dropped it
+	}
+	if !ls.start.IsZero() {
+		// The exemplar ties this bucket's most recent session back to its
+		// gesture trace and (when kept) its flight recording.
+		e.m.sessionNS.ObserveExemplar(float64(latency.Nanoseconds()), ls.root.ID(), bundleSeq)
+		e.m.sessionWinNS.Observe(float64(latency.Nanoseconds()))
 	}
 	if e.opts.OnResult != nil {
 		e.opts.OnResult(Result{Session: id, Class: class, Outcome: outcome})

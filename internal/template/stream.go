@@ -17,8 +17,9 @@ import (
 // are nil until Instrument attaches a registry, so uninstrumented
 // sessions pay only sub-5ns no-op calls per point.
 type sessionMetrics struct {
-	decideNS   *obs.Histogram // template.decide_ns: per-point latency of one Add
-	commitFrac *obs.Histogram // template.commit_frac: commit point as fraction of gesture length (Run replays)
+	decideNS    *obs.Histogram         // template.decide_ns: per-point latency of one Add
+	decideWinNS *obs.WindowedHistogram // window.template.decide_ns: rolling-window sibling of decideNS
+	commitFrac  *obs.Histogram         // template.commit_frac: commit point as fraction of gesture length (Run replays)
 	firedEager *obs.Counter   // template.fired.eager: strokes committed mid-stroke
 	firedEnd   *obs.Counter   // template.fired.end: strokes classified only at End
 	resets     *obs.Counter   // template.session.resets
@@ -37,8 +38,9 @@ func (r *Recognizer) Instrument(reg *obs.Registry) {
 		return
 	}
 	r.m = sessionMetrics{
-		decideNS:   reg.Histogram("template.decide_ns", obs.LatencyBuckets()),
-		commitFrac: reg.Histogram("template.commit_frac", obs.FractionBuckets()),
+		decideNS:    reg.Histogram("template.decide_ns", obs.LatencyBuckets()),
+		decideWinNS: reg.WindowedHistogram("window.template.decide_ns", obs.LatencyBuckets(), 0, 0),
+		commitFrac:  reg.Histogram("template.commit_frac", obs.FractionBuckets()),
 		firedEager: reg.Counter("template.fired.eager"),
 		firedEnd:   reg.Counter("template.fired.end"),
 		resets:     reg.Counter("template.session.resets"),
@@ -197,7 +199,7 @@ func (s *Session) Add(p geom.TimedPoint) (fired bool, class string, err error) {
 	sp := s.span.Child("decide")
 	s.lastMargin, s.lastBest = 0, ""
 	fired, class, err = s.add(p)
-	obs.ObserveSince(s.m.decideNS, start)
+	obs.ObserveSinceWindowed(s.m.decideNS, s.m.decideWinNS, start)
 	if err != nil {
 		if !s.noted {
 			s.noted = true

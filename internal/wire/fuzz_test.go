@@ -10,11 +10,15 @@ import (
 // fuzzSeeds returns hand-built frames covering the interesting decode
 // shapes: empty batch, single definition, interleaved sessions,
 // non-finite coordinates, negative deltas, and a max-length session ID.
-// The same frames are committed under testdata/fuzz/FuzzDecodeFrame so
-// `go test -fuzz` starts from them without regenerating.
+// Fixed send stamps keep the seeds byte-deterministic; the committed
+// corpus under testdata/fuzz/FuzzDecodeFrame carries the same frames
+// (plus v1-header seeds for the version-rejection path) so `go test
+// -fuzz` starts from them without regenerating.
 func fuzzSeeds(t testing.TB) [][]byte {
+	var stamp int64
 	mk := func(events ...Event) []byte {
-		f, err := NewEncoder().AppendFrame(nil, events)
+		stamp += 1_000_000_001 // distinct, deterministic stamps per seed
+		f, err := NewEncoder().AppendFrameAt(nil, events, stamp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +47,7 @@ func fuzzSeeds(t testing.TB) [][]byte {
 //     the decoded events to the identical bytes, and the consumed
 //     length matches EncodedFrameLen.
 //  3. Any frame that does not decode fails with one of the typed
-//     errors (ErrTruncated, ErrOversized, ErrCorrupt).
+//     errors (ErrTruncated, ErrOversized, ErrVersion, ErrCorrupt).
 func FuzzDecodeFrame(f *testing.F) {
 	for _, seed := range fuzzSeeds(f) {
 		f.Add(seed)
@@ -54,15 +58,23 @@ func FuzzDecodeFrame(f *testing.F) {
 			flip := append([]byte{}, seed...)
 			flip[len(flip)-1] ^= 0x40
 			f.Add(flip)
+			// The same frame wearing a v1 header seeds the
+			// version-rejection path.
+			v1 := append([]byte{}, seed...)
+			v1[2] = 1
+			f.Add(v1)
 		}
 	}
 	f.Add([]byte{})
-	f.Add([]byte{magic0, magic1, Version, 0x01, 0, 0, 0, 0, 0xFF})
+	f.Add([]byte{magic0, magic1, Version, 0, 0, 0, 0, 0, 0, 0, 0, 0x01, 0, 0, 0, 0, 0xFF})
+	f.Add([]byte{magic0, magic1, 1, 0x01, 0x8d, 0xef, 0x02, 0xd2, 0x00}) // a v1-era frame
 
 	f.Fuzz(func(t *testing.T, b []byte) {
-		events, n, err := NewDecoder().DecodeFrame(b, nil)
+		dec := NewDecoder()
+		events, n, err := dec.DecodeFrame(b, nil)
 		if err != nil {
-			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrOversized) && !errors.Is(err, ErrCorrupt) {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrOversized) &&
+				!errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
 				t.Fatalf("decode error is not typed: %v", err)
 			}
 			return
@@ -70,7 +82,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		if n > len(b) {
 			t.Fatalf("consumed %d of %d bytes", n, len(b))
 		}
-		reenc, err := NewEncoder().AppendFrame(nil, events)
+		reenc, err := NewEncoder().AppendFrameAt(nil, events, dec.SentNS())
 		if err != nil {
 			t.Fatalf("re-encode of decoded events failed: %v", err)
 		}
@@ -84,14 +96,15 @@ func FuzzDecodeFrame(f *testing.F) {
 // `go test`: every seed decodes cleanly and round-trips.
 func TestFuzzSeedsDecode(t *testing.T) {
 	for i, seed := range fuzzSeeds(t) {
-		events, n, err := NewDecoder().DecodeFrame(seed, nil)
+		dec := NewDecoder()
+		events, n, err := dec.DecodeFrame(seed, nil)
 		if err != nil {
 			t.Fatalf("seed %d: %v", i, err)
 		}
 		if n != len(seed) {
 			t.Fatalf("seed %d: consumed %d of %d", i, n, len(seed))
 		}
-		reenc, err := NewEncoder().AppendFrame(nil, events)
+		reenc, err := NewEncoder().AppendFrameAt(nil, events, dec.SentNS())
 		if err != nil {
 			t.Fatalf("seed %d: re-encode: %v", i, err)
 		}

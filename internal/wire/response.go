@@ -66,10 +66,14 @@ const (
 	FatalTruncated FatalCode = 3
 	// FatalClosed reports an ingest server that is shutting down.
 	FatalClosed FatalCode = 4
+	// FatalVersion reports a frame carrying a wire format version the
+	// server does not speak (ErrVersion) — the client must upgrade (or
+	// downgrade) before reconnecting.
+	FatalVersion FatalCode = 5
 )
 
-// String names the code ("corrupt", "oversized", "truncated", "closed");
-// unknown values render as "fatal(N)".
+// String names the code ("corrupt", "oversized", "truncated", "closed",
+// "version"); unknown values render as "fatal(N)".
 func (c FatalCode) String() string {
 	switch c {
 	case FatalCorrupt:
@@ -80,6 +84,8 @@ func (c FatalCode) String() string {
 		return "truncated"
 	case FatalClosed:
 		return "closed"
+	case FatalVersion:
+		return "version"
 	}
 	return fmt.Sprintf("fatal(%d)", uint8(c))
 }

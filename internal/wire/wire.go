@@ -11,10 +11,23 @@
 // A request frame is:
 //
 //	offset 0   'G' 'W'          magic
-//	offset 2   0x01             format version (Version)
+//	offset 2   0x02             format version (Version)
+//	offset 3   8 bytes LE       client-send time, unix nanoseconds
 //	...        uvarint          payload length (1..MaxFrameBytes)
 //	...        4 bytes LE       CRC-32 (IEEE) of the payload
 //	...        payload
+//
+// The client-send stamp is the sender's wall clock at frame encode time
+// (AppendFrame stamps it; AppendFrameAt sets it explicitly), letting the
+// receiver attribute end-to-end latency: ingest observes receive−send as
+// wire.e2e.ingress_ns and the serving engine observes decide−send as
+// wire.e2e_ns. Zero means "unstamped". The stamp is header, not payload:
+// it is excluded from the CRC, and two frames with identical payloads
+// but different stamps decode to identical events.
+//
+// Version 1 frames (no stamp) are no longer accepted: the decoder
+// rejects any version byte other than Version with ErrVersion, and the
+// ingest server answers with the connection-fatal FatalVersion code.
 //
 // and the payload is:
 //
@@ -46,7 +59,8 @@
 //
 // Decode errors are typed: ErrTruncated (the bytes end mid-frame),
 // ErrOversized (a declared length beyond MaxFrameBytes or MaxBatch),
-// and ErrCorrupt (bad magic/version/CRC, non-minimal varint, bad
+// ErrVersion (a well-formed header carrying a version this codec does
+// not speak), and ErrCorrupt (bad magic/CRC, non-minimal varint, bad
 // session reference, trailing bytes, out-of-range kind). Match with
 // errors.Is. After any decode error the Decoder is poisoned — the
 // stream's interning state can no longer be trusted and the connection
@@ -76,10 +90,13 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"time"
 )
 
 // Version is the wire format version carried in every frame header.
-const Version = 1
+// Version 2 added the 8-byte client-send stamp; version 1 frames are
+// rejected with ErrVersion.
+const Version = 2
 
 // Limits enforced by both Encoder and Decoder. They bound the memory an
 // ingest server commits to a single frame before validating it.
@@ -102,10 +119,14 @@ var (
 	// ErrOversized reports a declared payload length above MaxFrameBytes
 	// or a batch count above MaxBatch.
 	ErrOversized = errors.New("wire: oversized frame")
-	// ErrCorrupt reports a frame that violates the format: bad magic or
-	// version, CRC mismatch, non-minimal varint, bad session reference or
+	// ErrCorrupt reports a frame that violates the format: bad magic,
+	// CRC mismatch, non-minimal varint, bad session reference or
 	// duplicate definition, out-of-range kind, or trailing bytes.
 	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrVersion reports a frame whose header carries a format version
+	// this codec does not speak (a v1 peer, or a future version). The
+	// ingest server answers it with the connection-fatal FatalVersion.
+	ErrVersion = errors.New("wire: unsupported frame version")
 	// errPoisoned reports use of an Encoder or Decoder after an error.
 	errPoisoned = errors.New("wire: codec poisoned by a previous error")
 )
@@ -164,7 +185,7 @@ func Micros(t float64) int64 {
 // Frame header constants.
 const (
 	magic0, magic1 = 'G', 'W'
-	headerFixed    = 3 // magic + version, before the length varint
+	headerFixed    = 11 // magic + version + send stamp, before the length varint
 	crcLen         = 4
 )
 
@@ -239,10 +260,20 @@ func NewEncoder() *Encoder {
 }
 
 // AppendFrame appends one encoded frame carrying events to dst and
-// returns the extended slice. The events' order is the wire order (the
-// timestamp delta chain threads through it). Errors (too many events,
-// an out-of-range session ID or kind) poison the Encoder.
+// returns the extended slice, stamping the header with the current wall
+// clock as the client-send time. The events' order is the wire order
+// (the timestamp delta chain threads through it). Errors (too many
+// events, an out-of-range session ID or kind) poison the Encoder.
 func (e *Encoder) AppendFrame(dst []byte, events []Event) ([]byte, error) {
+	return e.AppendFrameAt(dst, events, time.Now().UnixNano())
+}
+
+// AppendFrameAt is AppendFrame with an explicit client-send stamp (unix
+// nanoseconds; 0 means unstamped) — the canonical-re-encode entry point:
+// re-encoding decoded events with the decoded frame's SentNS reproduces
+// the original bytes bit for bit, and tests use fixed stamps for
+// deterministic frames.
+func (e *Encoder) AppendFrameAt(dst []byte, events []Event, sentNS int64) ([]byte, error) {
 	if e.poisoned {
 		return dst, errPoisoned
 	}
@@ -279,6 +310,7 @@ func (e *Encoder) AppendFrame(dst []byte, events []Event) ([]byte, error) {
 	}
 	e.payload = p
 	dst = append(dst[:len(dst)], magic0, magic1, Version)
+	dst = appendU64(dst, uint64(sentNS))
 	dst = appendUvarint(dst, uint64(len(p)))
 	dst = appendU32(dst, crc32.ChecksumIEEE(p))
 	return append(dst[:len(dst)], p...), nil
@@ -304,6 +336,7 @@ func appendU32(dst []byte, v uint32) []byte {
 type Decoder struct {
 	table    []string
 	prev     int64
+	sent     int64
 	poisoned bool
 }
 
@@ -312,6 +345,12 @@ func NewDecoder() *Decoder { return &Decoder{} }
 
 // Sessions returns how many session IDs the decoder has interned.
 func (d *Decoder) Sessions() int { return len(d.table) }
+
+// SentNS returns the client-send stamp (unix nanoseconds) of the last
+// frame DecodeFrame accepted; 0 before the first frame or when the
+// sender left it unstamped. Payload-only Decode calls do not update it —
+// on streaming connections the FrameReader carries the stamp instead.
+func (d *Decoder) SentNS() int64 { return d.sent }
 
 // Decode decodes one frame payload (the bytes a FrameReader returns, or
 // the payload section of DecodeFrame's input), appending the events to
@@ -435,47 +474,52 @@ func (d *Decoder) DecodeFrame(b []byte, dst []Event) ([]Event, int, error) {
 	if d.poisoned {
 		return dst, 0, errPoisoned
 	}
-	payload, n, err := splitFrame(b)
+	payload, sent, n, err := splitFrame(b)
 	if err != nil {
 		d.poisoned = true
 		return dst, 0, err
 	}
+	d.sent = sent
 	dst, err = d.Decode(payload, dst)
 	return dst, n, err
 }
 
 // splitFrame validates the header/CRC at the front of b and returns the
-// payload and total frame length.
-func splitFrame(b []byte) (payload []byte, n int, err error) {
-	if len(b) < headerFixed {
-		return nil, 0, fmt.Errorf("%w: %d-byte header", ErrTruncated, len(b))
+// payload, the client-send stamp, and the total frame length.
+func splitFrame(b []byte) (payload []byte, sent int64, n int, err error) {
+	if len(b) < 3 {
+		return nil, 0, 0, fmt.Errorf("%w: %d-byte header", ErrTruncated, len(b))
 	}
 	if b[0] != magic0 || b[1] != magic1 {
-		return nil, 0, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, b[0], b[1])
+		return nil, 0, 0, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, b[0], b[1])
 	}
 	if b[2] != Version {
-		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, b[2])
+		return nil, 0, 0, fmt.Errorf("%w: frame version %d, this codec speaks %d", ErrVersion, b[2], Version)
 	}
+	if len(b) < headerFixed {
+		return nil, 0, 0, fmt.Errorf("%w: header ends before the send stamp", ErrTruncated)
+	}
+	sent = int64(readU64(b, 3))
 	plen, off, err := readUvarint(b, headerFixed)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if plen == 0 {
-		return nil, 0, fmt.Errorf("%w: zero-length payload", ErrCorrupt)
+		return nil, 0, 0, fmt.Errorf("%w: zero-length payload", ErrCorrupt)
 	}
 	if plen > MaxFrameBytes {
-		return nil, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrOversized, plen, MaxFrameBytes)
+		return nil, 0, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrOversized, plen, MaxFrameBytes)
 	}
 	if uint64(len(b)-off) < crcLen+plen {
-		return nil, 0, fmt.Errorf("%w: declared %d payload bytes, have %d", ErrTruncated, plen, len(b)-off-crcLen)
+		return nil, 0, 0, fmt.Errorf("%w: declared %d payload bytes, have %d", ErrTruncated, plen, len(b)-off-crcLen)
 	}
 	want := uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
 	off += crcLen
 	payload = b[off : off+int(plen)]
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, 0, fmt.Errorf("%w: CRC mismatch (declared %#08x, computed %#08x)", ErrCorrupt, want, got)
+		return nil, 0, 0, fmt.Errorf("%w: CRC mismatch (declared %#08x, computed %#08x)", ErrCorrupt, want, got)
 	}
-	return payload, off + int(plen), nil
+	return payload, sent, off + int(plen), nil
 }
 
 // EncodedFrameLen returns the total frame length for a payload of plen
@@ -496,8 +540,9 @@ type ByteSource interface {
 // FrameReader reads length-prefixed frames off a connection, reusing one
 // payload buffer across frames. Not safe for concurrent use.
 type FrameReader struct {
-	r   ByteSource
-	buf []byte
+	r    ByteSource
+	buf  []byte
+	sent int64
 }
 
 // NewFrameReader returns a FrameReader over r (typically a
@@ -506,13 +551,19 @@ func NewFrameReader(r ByteSource) *FrameReader {
 	return &FrameReader{r: r, buf: make([]byte, 0, 4096)}
 }
 
+// SentNS returns the client-send stamp (unix nanoseconds) from the
+// header of the last frame Next returned; 0 before the first frame or
+// when the sender left it unstamped. The ingest server reads it to
+// attribute end-to-end latency per frame.
+func (fr *FrameReader) SentNS() int64 { return fr.sent }
+
 // Next reads one frame and returns its CRC-verified payload, valid only
 // until the next call. io.EOF at a frame boundary is a clean end of
 // stream; bytes ending mid-frame are ErrTruncated. Oversized declared
 // lengths are rejected (ErrOversized) before any payload is buffered.
 func (fr *FrameReader) Next() ([]byte, error) {
-	var hdr [headerFixed + crcLen]byte
-	if _, err := io.ReadFull(fr.r, hdr[:headerFixed]); err != nil {
+	var hdr [headerFixed]byte
+	if _, err := io.ReadFull(fr.r, hdr[:3]); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
@@ -522,8 +573,12 @@ func (fr *FrameReader) Next() ([]byte, error) {
 		return nil, fmt.Errorf("%w: bad magic %#02x%02x", ErrCorrupt, hdr[0], hdr[1])
 	}
 	if hdr[2] != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[2])
+		return nil, fmt.Errorf("%w: frame version %d, this codec speaks %d", ErrVersion, hdr[2], Version)
 	}
+	if _, err := io.ReadFull(fr.r, hdr[3:]); err != nil {
+		return nil, fmt.Errorf("%w: send stamp: %v", ErrTruncated, err)
+	}
+	fr.sent = int64(readU64(hdr[:], 3))
 	plen, err := readStreamUvarint(fr.r)
 	if err != nil {
 		return nil, err
@@ -534,10 +589,11 @@ func (fr *FrameReader) Next() ([]byte, error) {
 	if plen > MaxFrameBytes {
 		return nil, fmt.Errorf("%w: payload length %d exceeds %d", ErrOversized, plen, MaxFrameBytes)
 	}
-	if _, err := io.ReadFull(fr.r, hdr[headerFixed:]); err != nil {
+	var crc [crcLen]byte
+	if _, err := io.ReadFull(fr.r, crc[:]); err != nil {
 		return nil, fmt.Errorf("%w: CRC: %v", ErrTruncated, err)
 	}
-	want := uint32(hdr[3]) | uint32(hdr[4])<<8 | uint32(hdr[5])<<16 | uint32(hdr[6])<<24
+	want := uint32(crc[0]) | uint32(crc[1])<<8 | uint32(crc[2])<<16 | uint32(crc[3])<<24
 	if uint64(cap(fr.buf)) < plen {
 		fr.buf = make([]byte, plen)
 	}

@@ -13,7 +13,7 @@ import (
 // payloadOf extracts the validated payload from a complete frame.
 func payloadOf(t *testing.T, frame []byte) []byte {
 	t.Helper()
-	payload, n, err := splitFrame(frame)
+	payload, _, n, err := splitFrame(frame)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +162,16 @@ func TestDecodeTypedErrors(t *testing.T) {
 	}{
 		{"empty", func(b []byte) []byte { return nil }, ErrTruncated},
 		{"header only", func(b []byte) []byte { return b[:2] }, ErrTruncated},
+		{"stampless header", func(b []byte) []byte { return b[:7] }, ErrTruncated},
 		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrCorrupt},
-		{"bad version", func(b []byte) []byte { b[2] = 9; return b }, ErrCorrupt},
+		{"future version", func(b []byte) []byte { b[2] = 9; return b }, ErrVersion},
+		{"v1 frame", func(b []byte) []byte { b[2] = 1; return b }, ErrVersion},
 		{"truncated payload", func(b []byte) []byte { return b[:len(b)-3] }, ErrTruncated},
 		{"flipped payload bit", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, ErrCorrupt},
-		{"flipped crc bit", func(b []byte) []byte { b[4] ^= 1; return b }, ErrCorrupt},
+		{"flipped crc bit", func(b []byte) []byte {
+			b[len(b)-len(goodPayload)-1] ^= 1 // last CRC byte, just before the payload
+			return b
+		}, ErrCorrupt},
 		{"trailing junk in payload", func(b []byte) []byte {
 			// Re-frame the original payload plus one junk byte with a valid
 			// CRC, so only the batch-level trailing check can object.
@@ -188,9 +193,10 @@ func TestDecodeTypedErrors(t *testing.T) {
 	}
 }
 
-// reframe wraps an arbitrary payload in a valid header+CRC.
+// reframe wraps an arbitrary payload in a valid header+CRC (unstamped).
 func reframe(payload []byte) []byte {
 	b := []byte{magic0, magic1, Version}
+	b = appendU64(b, 0) // send stamp
 	b = appendUvarint(b, uint64(len(payload)))
 	b = appendU32(b, crc32.ChecksumIEEE(payload))
 	return append(b, payload...)
@@ -255,6 +261,7 @@ func TestDecodeRejectsNonCanonical(t *testing.T) {
 	})
 	t.Run("declared length over MaxFrameBytes", func(t *testing.T) {
 		b := []byte{magic0, magic1, Version}
+		b = appendU64(b, 0) // send stamp
 		b = appendUvarint(b, MaxFrameBytes+1)
 		b = append(b, 0, 0, 0, 0)
 		if _, _, err := NewDecoder().DecodeFrame(b, nil); !errors.Is(err, ErrOversized) {
@@ -333,6 +340,59 @@ func TestMicrosConversion(t *testing.T) {
 		if got := (Event{TMicros: us}).Seconds(); math.Abs(got-sec) > 1e-6 {
 			t.Errorf("Seconds(Micros(%v)) = %v, drift over 1µs", sec, got)
 		}
+	}
+}
+
+// TestSendStamp: the client-send stamp round-trips through both decode
+// paths, AppendFrameAt with the decoded stamp reproduces the frame bit
+// for bit (the canonical re-encode property the fuzz test pins), and
+// AppendFrame stamps the wall clock.
+func TestSendStamp(t *testing.T) {
+	const stamp = int64(1_700_000_123_456_789)
+	events := sampleEvents()
+	frame, err := NewEncoder().AppendFrameAt(nil, events, stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	if dec.SentNS() != 0 {
+		t.Errorf("fresh decoder SentNS = %d, want 0", dec.SentNS())
+	}
+	got, _, err := dec.DecodeFrame(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.SentNS() != stamp {
+		t.Errorf("decoded SentNS = %d, want %d", dec.SentNS(), stamp)
+	}
+	re, err := NewEncoder().AppendFrameAt(nil, got, dec.SentNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, frame) {
+		t.Error("re-encode with the decoded stamp is not bit-identical")
+	}
+
+	// Streaming path: FrameReader surfaces the stamp per frame.
+	fr := NewFrameReader(bufio.NewReader(bytes.NewReader(frame)))
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if fr.SentNS() != stamp {
+		t.Errorf("FrameReader SentNS = %d, want %d", fr.SentNS(), stamp)
+	}
+
+	// AppendFrame stamps the sender's wall clock — never zero.
+	wall, err := NewEncoder().AppendFrame(nil, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2 := NewDecoder()
+	if _, _, err := dec2.DecodeFrame(wall, nil); err != nil {
+		t.Fatal(err)
+	}
+	if dec2.SentNS() == 0 {
+		t.Error("AppendFrame left the send stamp unset")
 	}
 }
 
