@@ -26,7 +26,19 @@
 //	-seed N       workload seed (default 1); a fixed seed is a fixed
 //	              byte stream per connection
 //	-shards N     -self engine shards (0 = GOMAXPROCS)
-//	-strict       exit nonzero on any NACK or fatal response
+//	-strict       exit nonzero on refusals: 3 on any fatal wire
+//	              response, 1 on any per-event NACK
+//	-reconnect N  redial budget per connection (default 0): a transport
+//	              error or fatal response drops the in-flight frame
+//	              (at-most-once delivery, counted in events_lost) and
+//	              redials with exponential backoff
+//	-backoff D    initial reconnect backoff (default 10ms), doubling
+//	              per attempt, capped at 500ms
+//	-chaos-seed N when nonzero, wrap every connection in a seeded
+//	              netfault schedule (split writes, short reads,
+//	              corruption, truncation, resets, jitter); each
+//	              connection draws its own fault stream from
+//	              chaos-seed + conn id. Pair with -reconnect
 //	-o FILE       write the JSON report to FILE too (stdout always);
 //	              -out is an alias
 //
@@ -34,7 +46,12 @@
 // smoke is 100k events/s (ISSUE 7). In -self mode the report also
 // carries wire_e2e_ns — the server-side end-to-end latency (frame-header
 // client send stamp through dispatch decision) the v2 wire format makes
-// attributable.
+// attributable. Under -chaos-seed the report's netfault section counts
+// injected faults by kind (BENCH_netfault.json in CI).
+//
+// gload honors overload pushback: when an ACK carries a retry-after
+// hint (the admission controller shedding), the worker sleeps the hint
+// before its next frame instead of hammering a browned-out server.
 package main
 
 import (
@@ -51,6 +68,7 @@ import (
 
 	"repro/internal/eager"
 	"repro/internal/ingest"
+	"repro/internal/netfault"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -63,23 +81,29 @@ func main() {
 
 // config is the parsed flag set.
 type config struct {
-	addr     string
-	self     bool
-	conns    int
-	sessions int
-	gestures int
-	batch    int
-	seed     int64
-	shards   int
-	strict   bool
-	out      string
+	addr      string
+	self      bool
+	conns     int
+	sessions  int
+	gestures  int
+	batch     int
+	seed      int64
+	shards    int
+	strict    bool
+	reconnect int
+	backoff   time.Duration
+	chaosSeed int64
+	out       string
 }
 
 // ReportSchema versions the report document. 2 added schema,
 // duration_ns, and the -self end-to-end latency section wire_e2e_ns.
-const ReportSchema = 2
+// 3 renamed fatals to fatal_count and added reconnects, events_lost,
+// nacks.overload, and the netfault injection counts.
+const ReportSchema = 3
 
-// report is the JSON document gload emits (BENCH_wire.json in CI).
+// report is the JSON document gload emits (BENCH_wire.json and, under
+// -chaos-seed, BENCH_netfault.json in CI).
 type report struct {
 	Schema       int     `json:"schema"`
 	Conns        int     `json:"conns"`
@@ -97,9 +121,21 @@ type report struct {
 	// in the wire frame header through dispatch decision), read from the
 	// -self engine's wire.e2e_ns histogram. Absent against an external
 	// -addr server, whose registry gload cannot see.
-	E2E    *latency `json:"wire_e2e_ns,omitempty"`
-	Nacks  nacks    `json:"nacks"`
-	Fatals int64    `json:"fatals"`
+	E2E   *latency `json:"wire_e2e_ns,omitempty"`
+	Nacks nacks    `json:"nacks"`
+	// FatalCount counts fatal wire responses — connection-level
+	// teardowns (corrupt frame, version mismatch, overload, timeout) —
+	// as distinct from the per-event NACKs above. Under -strict, fatals
+	// exit 3 where NACKs exit 1.
+	FatalCount int64 `json:"fatal_count"`
+	// Reconnects counts successful redials; EventsLost counts events
+	// dropped with their in-flight frame (at-most-once delivery) or
+	// abandoned when the redial budget ran out.
+	Reconnects int64 `json:"reconnects"`
+	EventsLost int64 `json:"events_lost"`
+	// Netfault counts injected faults by kind across every connection's
+	// schedule; present only under -chaos-seed.
+	Netfault map[string]uint64 `json:"netfault,omitempty"`
 }
 
 // latency is the frame round-trip distribution in nanoseconds.
@@ -116,9 +152,12 @@ type nacks struct {
 	QueueFull int64 `json:"queue_full"`
 	Shed      int64 `json:"shed"`
 	Closed    int64 `json:"closed"`
+	Overload  int64 `json:"overload"`
 }
 
-func (n *nacks) total() int64 { return n.BadEvent + n.QueueFull + n.Shed + n.Closed }
+func (n *nacks) total() int64 {
+	return n.BadEvent + n.QueueFull + n.Shed + n.Closed + n.Overload
+}
 
 func (n *nacks) count(c wire.NackCode) {
 	switch c {
@@ -130,6 +169,8 @@ func (n *nacks) count(c wire.NackCode) {
 		n.Shed++
 	case wire.NackClosed:
 		n.Closed++
+	case wire.NackOverload:
+		n.Overload++
 	}
 }
 
@@ -145,7 +186,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags.IntVar(&cfg.batch, "batch", 64, "events per frame")
 	flags.Int64Var(&cfg.seed, "seed", 1, "workload seed")
 	flags.IntVar(&cfg.shards, "shards", 0, "-self engine shards (0 = GOMAXPROCS)")
-	flags.BoolVar(&cfg.strict, "strict", false, "exit nonzero on any NACK or fatal response")
+	flags.BoolVar(&cfg.strict, "strict", false, "exit 3 on any fatal response, 1 on any NACK")
+	flags.IntVar(&cfg.reconnect, "reconnect", 0, "redial budget per connection (0 = fail on first error)")
+	flags.DurationVar(&cfg.backoff, "backoff", 10*time.Millisecond, "initial reconnect backoff, doubling per attempt")
+	flags.Int64Var(&cfg.chaosSeed, "chaos-seed", 0, "nonzero: inject seeded connection faults (see internal/netfault)")
 	flags.StringVar(&cfg.out, "o", "", "also write the JSON report to this file")
 	flags.StringVar(&cfg.out, "out", "", "alias for -o")
 	if err := flags.Parse(args); err != nil {
@@ -161,6 +205,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if cfg.conns < 1 || cfg.sessions < 1 || cfg.gestures < 1 {
 		fmt.Fprintln(stderr, "gload: -conns, -sessions, -gestures must be >= 1")
+		return 2
+	}
+	if cfg.reconnect < 0 || cfg.backoff < 0 {
+		fmt.Fprintln(stderr, "gload: -reconnect and -backoff must be >= 0")
 		return 2
 	}
 
@@ -182,8 +230,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	if cfg.strict && (rep.Nacks.total() > 0 || rep.Fatals > 0) {
-		fmt.Fprintf(stderr, "gload: -strict: %d NACKs, %d fatals\n", rep.Nacks.total(), rep.Fatals)
+	if cfg.strict {
+		return strictCode(rep, stderr)
+	}
+	return 0
+}
+
+// strictCode maps the report's refusals to the -strict exit code:
+// fatal wire responses (connection-level failures) exit 3, per-event
+// NACKs exit 1, a clean run exits 0. Fatals dominate — a run with both
+// is a connection-level failure first.
+func strictCode(rep *report, stderr io.Writer) int {
+	switch {
+	case rep.FatalCount > 0:
+		fmt.Fprintf(stderr, "gload: -strict: %d fatal responses (%d NACKs)\n", rep.FatalCount, rep.Nacks.total())
+		return 3
+	case rep.Nacks.total() > 0:
+		fmt.Fprintf(stderr, "gload: -strict: %d NACKs\n", rep.Nacks.total())
 		return 1
 	}
 	return 0
@@ -215,8 +278,14 @@ func load(cfg config, stderr io.Writer) (*report, error) {
 		}
 		// The unlimited-retry policy: backpressure stalls connections
 		// instead of shedding, so a clean run has zero NACKs by
-		// construction — what the CI smoke asserts with -strict.
-		s := ingest.Serve(ln, eng, ingest.Options{Obs: reg})
+		// construction — what the CI smoke asserts with -strict. The
+		// idle/write timeouts are generous self-defense, far above any
+		// healthy load-run pause.
+		s := ingest.Serve(ln, eng, ingest.Options{
+			Obs:          reg,
+			IdleTimeout:  30 * time.Second,
+			WriteTimeout: 10 * time.Second,
+		})
 		defer s.Close()
 		addr = s.Addr().String()
 		fmt.Fprintf(stderr, "gload: self-serving on %s\n", addr)
@@ -251,12 +320,23 @@ func load(cfg config, stderr io.Writer) (*report, error) {
 		}
 		rep.Frames += w.frames
 		rep.Events += w.events
-		rep.Fatals += w.fatals
+		rep.FatalCount += w.fatalCount
+		rep.Reconnects += w.reconnects
+		rep.EventsLost += w.lost
 		rep.Nacks.BadEvent += w.nacks.BadEvent
 		rep.Nacks.QueueFull += w.nacks.QueueFull
 		rep.Nacks.Shed += w.nacks.Shed
 		rep.Nacks.Closed += w.nacks.Closed
+		rep.Nacks.Overload += w.nacks.Overload
 		rtts = append(rtts, w.rtts...)
+		if w.sched != nil {
+			if rep.Netfault == nil {
+				rep.Netfault = map[string]uint64{}
+			}
+			for kind, n := range w.sched.Counts() {
+				rep.Netfault[kind] += n
+			}
+		}
 	}
 	if rep.DurationSec > 0 {
 		rep.EventsPerSec = float64(rep.Events) / rep.DurationSec
@@ -301,14 +381,41 @@ func summarize(rtts []int64) latency {
 
 // worker drives one connection's full workload.
 type worker struct {
-	cfg    config
-	id     int
-	frames int64
-	events int64
-	fatals int64
-	nacks  nacks
-	rtts   []int64
-	err    error
+	cfg        config
+	id         int
+	frames     int64
+	events     int64
+	fatalCount int64
+	reconnects int64
+	lost       int64
+	nacks      nacks
+	rtts       []int64
+	sched      *netfault.Schedule
+	err        error
+}
+
+// chaosPlan is the hostile-but-survivable fault mix gload injects under
+// -chaos-seed: enough corruption, truncation, and resets to exercise
+// every teardown path, low enough rates that a modest -reconnect budget
+// completes the run.
+func chaosPlan(seed int64) netfault.Plan {
+	return netfault.Plan{
+		Seed: seed,
+		WriteRates: map[netfault.Kind]float64{
+			netfault.KindSplit:    0.15,
+			netfault.KindCorrupt:  0.04,
+			netfault.KindTruncate: 0.04,
+			netfault.KindJitter:   0.08,
+			netfault.KindReset:    0.03,
+		},
+		ReadRates: map[netfault.Kind]float64{
+			netfault.KindShortRead: 0.12,
+			netfault.KindJitter:    0.08,
+			netfault.KindReset:     0.03,
+		},
+		StallFor: time.Millisecond,
+		MaxDelay: 200 * time.Microsecond,
+	}
 }
 
 // buildEvents generates the connection's event stream: per-session
@@ -360,40 +467,117 @@ func (w *worker) buildEvents() []wire.Event {
 	return out
 }
 
-// run plays the worker's stream over one connection, frame by frame.
+// run plays the worker's stream frame by frame, reconnecting within the
+// -reconnect budget. Delivery is at-most-once: a frame in flight when
+// the connection dies is never resent (its events count as lost), so a
+// session can never be double-submitted after a lost ACK.
 func (w *worker) run(addr string) error {
 	events := w.buildEvents()
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
+	if w.cfg.chaosSeed != 0 {
+		var err error
+		// Each connection draws its own deterministic fault stream.
+		w.sched, err = netfault.NewSchedule(chaosPlan(w.cfg.chaosSeed + int64(w.id)))
+		if err != nil {
+			return err
+		}
 	}
-	defer c.Close()
-	br := bufio.NewReaderSize(c, 4<<10)
-	enc := wire.NewEncoder()
+
+	var (
+		c       net.Conn
+		br      *bufio.Reader
+		enc     *wire.Encoder
+		attempt int
+	)
+	connect := func() error {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			return err
+		}
+		c = raw
+		if w.sched != nil {
+			c = w.sched.Conn(raw, fmt.Sprintf("c%d-a%d", w.id, attempt))
+		}
+		br = bufio.NewReaderSize(c, 4<<10)
+		enc = wire.NewEncoder() // fresh intern/delta state per connection
+		return nil
+	}
+	// redial burns budget with exponential backoff; false means the
+	// budget is spent.
+	redial := func() bool {
+		if c != nil {
+			c.Close()
+			c = nil
+		}
+		delay := w.cfg.backoff
+		for attempt < w.cfg.reconnect {
+			attempt++
+			if delay > 0 {
+				time.Sleep(delay)
+				if delay *= 2; delay > 500*time.Millisecond {
+					delay = 500 * time.Millisecond
+				}
+			}
+			if connect() == nil {
+				w.reconnects++
+				return true
+			}
+		}
+		return false
+	}
+	if err := connect(); err != nil {
+		if !redial() {
+			return err
+		}
+	}
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+
 	var frame []byte
 	var nackBuf []wire.Nack
 	w.rtts = make([]int64, 0, (len(events)+w.cfg.batch-1)/w.cfg.batch)
-	for len(events) > 0 {
+	pos := 0
+	for pos < len(events) {
 		n := w.cfg.batch
-		if n > len(events) {
-			n = len(events)
+		if n > len(events)-pos {
+			n = len(events) - pos
 		}
-		frame, err = enc.AppendFrame(frame[:0], events[:n])
+		var err error
+		frame, err = enc.AppendFrame(frame[:0], events[pos:pos+n])
 		if err != nil {
 			return err
 		}
+		pos += n // at-most-once: the frame is spent whatever happens next
 		start := time.Now()
 		if _, err := c.Write(frame); err != nil {
-			return err
+			w.lost += int64(n)
+			if !redial() {
+				return fmt.Errorf("frame %d: %w", w.frames, err)
+			}
+			continue
 		}
 		resp, err := wire.ReadResponse(br, nackBuf[:0])
 		if err != nil {
-			return fmt.Errorf("frame %d: %w", w.frames, err)
+			w.lost += int64(n)
+			if !redial() {
+				return fmt.Errorf("frame %d: %w", w.frames, err)
+			}
+			continue
 		}
 		w.rtts = append(w.rtts, time.Since(start).Nanoseconds())
 		if resp.Fatal {
-			w.fatals++
-			return fmt.Errorf("fatal response: %s", resp.Code)
+			// A typed teardown, not a transport error: record it, and
+			// with no redial budget left end the run cleanly — the
+			// fatal is the report's (and -strict's) concern.
+			w.fatalCount++
+			w.lost += int64(n)
+			if !redial() {
+				w.lost += int64(len(events) - pos)
+				return nil
+			}
+			continue
 		}
 		nackBuf = resp.Nacks
 		for _, nk := range resp.Nacks {
@@ -401,7 +585,11 @@ func (w *worker) run(addr string) error {
 		}
 		w.frames++
 		w.events += int64(n)
-		events = events[n:]
+		if resp.RetryAfterMS > 0 {
+			// The server is shedding: honor the pacing hint instead of
+			// deepening the brownout.
+			time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+		}
 	}
 	return nil
 }

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/wire"
 )
 
 // TestSelfRunCleanReport: a small -self burst completes with zero NACKs
@@ -32,8 +36,11 @@ func TestSelfRunCleanReport(t *testing.T) {
 		if rep.Events == 0 || rep.Frames == 0 {
 			t.Errorf("empty run: %+v", rep)
 		}
-		if rep.Nacks.total() != 0 || rep.Fatals != 0 {
+		if rep.Nacks.total() != 0 || rep.FatalCount != 0 {
 			t.Errorf("clean burst produced refusals: %+v", rep)
+		}
+		if rep.Reconnects != 0 || rep.EventsLost != 0 {
+			t.Errorf("clean burst reported reconnects/losses: %+v", rep)
 		}
 		if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 || rep.Latency.Max < rep.Latency.P99 {
 			t.Errorf("latency quantiles not ordered: %+v", rep.Latency)
@@ -110,6 +117,155 @@ func TestDeterministicWorkload(t *testing.T) {
 			t.Fatalf("event %d: session %s regresses %d -> %d", i, ev.Session, prev, ev.TMicros)
 		}
 		last[ev.Session] = ev.TMicros
+	}
+}
+
+// stubServer speaks just enough of the wire protocol to draw gload
+// through a scripted response sequence: it decodes frame boundaries
+// (never payloads) and answers each with respond's bytes, closing the
+// connection when respond says so.
+func stubServer(t *testing.T, respond func(frame int) (resp []byte, close bool)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				fr := wire.NewFrameReader(bufio.NewReader(c))
+				for i := 0; ; i++ {
+					if _, err := fr.Next(); err != nil {
+						return
+					}
+					resp, done := respond(i)
+					if _, err := c.Write(resp); err != nil || done {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestStrictExitCodes pins the -strict exit-code mapping: fatal wire
+// responses exit 3 (dominating), per-event NACKs exit 1, clean runs 0.
+func TestStrictExitCodes(t *testing.T) {
+	var stderr bytes.Buffer
+	if got := strictCode(&report{FatalCount: 1, Nacks: nacks{BadEvent: 5}}, &stderr); got != 3 {
+		t.Errorf("fatal+nacks strict code = %d, want 3", got)
+	}
+	if got := strictCode(&report{Nacks: nacks{Overload: 1}}, &stderr); got != 1 {
+		t.Errorf("nacks-only strict code = %d, want 1", got)
+	}
+	if got := strictCode(&report{}, &stderr); got != 0 {
+		t.Errorf("clean strict code = %d, want 0", got)
+	}
+}
+
+// TestStrictFatalPath: a server answering with a fatal wire response
+// exits 3 under -strict, with the teardown in fatal_count — not in the
+// NACK counts, and not a transport error.
+func TestStrictFatalPath(t *testing.T) {
+	addr := stubServer(t, func(int) ([]byte, bool) {
+		return wire.AppendFatal(nil, wire.FatalVersion), true
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", addr, "-strict", "-conns", "1", "-sessions", "1",
+		"-gestures", "1", "-batch", "8", "-seed", "2",
+	}, &stdout, &stderr)
+	if code != 3 {
+		t.Fatalf("run = %d, want 3; stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.FatalCount == 0 {
+		t.Errorf("fatal_count = 0, want > 0: %+v", rep)
+	}
+	if rep.Nacks.total() != 0 {
+		t.Errorf("fatal response leaked into NACK counts: %+v", rep.Nacks)
+	}
+	if rep.EventsLost == 0 {
+		t.Errorf("events_lost = 0 after a fatal teardown: %+v", rep)
+	}
+}
+
+// TestStrictNackPath: per-event NACKs (including the overload code with
+// its retry-after hint) exit 1 under -strict and count by code.
+func TestStrictNackPath(t *testing.T) {
+	addr := stubServer(t, func(i int) ([]byte, bool) {
+		if i == 0 {
+			return wire.AppendAck(nil, []wire.Nack{{Index: 0, Code: wire.NackOverload}}, 1), false
+		}
+		return wire.AppendAck(nil, []wire.Nack{{Index: 0, Code: wire.NackBadEvent}}, 0), false
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", addr, "-strict", "-conns", "1", "-sessions", "2",
+		"-gestures", "1", "-batch", "8", "-seed", "2",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Nacks.Overload != 1 || rep.Nacks.BadEvent == 0 {
+		t.Errorf("nacks = %+v, want 1 overload and >=1 bad_event", rep.Nacks)
+	}
+	if rep.FatalCount != 0 {
+		t.Errorf("NACKs leaked into fatal_count: %+v", rep)
+	}
+}
+
+// TestChaosSelfRun is the chaos smoke: seeded connection faults with a
+// reconnect budget against the -self server complete the run, account
+// for every event as delivered or lost, and surface the injections in
+// the report's netfault section.
+func TestChaosSelfRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_netfault.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-self", "-conns", "2", "-sessions", "2", "-gestures", "1",
+		"-batch", "16", "-seed", "3", "-chaos-seed", "11", "-reconnect", "8",
+		"-backoff", "1ms", "-o", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(mustRead(t, out), &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if len(rep.Netfault) == 0 {
+		t.Fatal("chaos run reported no netfault counts")
+	}
+	total := uint64(0)
+	for _, n := range rep.Netfault {
+		total += n
+	}
+	if total == 0 {
+		t.Errorf("netfault counts all zero: %v", rep.Netfault)
+	}
+	// Every offered event is accounted for: delivered or lost.
+	offered := int64(0)
+	for id := 0; id < 2; id++ {
+		w := &worker{cfg: config{conns: 2, sessions: 2, gestures: 1, batch: 16, seed: 3}, id: id}
+		offered += int64(len(w.buildEvents()))
+	}
+	if rep.Events+rep.EventsLost != offered {
+		t.Errorf("events %d + events_lost %d != offered %d", rep.Events, rep.EventsLost, offered)
 	}
 }
 

@@ -12,7 +12,9 @@
 //	GET  /slo           SLO burn-rate evaluation as JSON (slo.Handler) —
 //	                    multi-window burn rates and ok/warn/page states
 //	                    for the default objectives
-//	GET  /healthz       liveness: "ok" (503 once the engine is closed)
+//	GET  /healthz       liveness: "ok", or "ok brownout" while the
+//	                    admission controller is shedding (503 once the
+//	                    engine is closed)
 //	POST /swap          retrain and hot-swap the model (serve.Engine.Swap
 //	                    — zero downtime). Optional JSON body {"seed": N}
 //	                    picks the retrain seed; an empty body derives one.
@@ -28,7 +30,8 @@
 //
 //	gserve [-addr :8089] [-seed 1] [-shards 0] [-traffic 24]
 //	       [-backend eager] [-flight-trigger always] [-flight-cap 256]
-//	       [-idle-timeout 0] [-wire addr]
+//	       [-idle-timeout 0] [-admit-target 0] [-wire addr]
+//	       [-wire-idle-timeout 2m] [-wire-max-conns 0]
 //
 // -backend selects the recognizer backend the engine serves — "eager"
 // (Rubine statistical, the default) or "template" (streaming $1-style
@@ -37,7 +40,16 @@
 //
 // -wire addr additionally hosts the binary wire-protocol ingest
 // listener (internal/ingest) on addr, sharing the engine and registry
-// with the HTTP side — point cmd/gload at it.
+// with the HTTP side — point cmd/gload at it. The listener is hardened:
+// -wire-idle-timeout closes connections that go silent (the idle
+// watchdog) and -wire-max-conns caps concurrent connections, refusing
+// extras with a typed overloaded response (0 = unlimited).
+//
+// -admit-target arms the engine's adaptive admission controller
+// (serve.AdmitOptions) with the given queue-wait p99 target; sustained
+// excess puts the engine in brownout — overload NACKs with retry-after
+// hints on the wire, "ok brownout" on /healthz, and an "admission" field
+// in the /slo document. 0 leaves admission off.
 //
 // -traffic N replays N synthetic GDP interactions through the engine at
 // startup so /metrics shows populated histograms immediately; -shards 0
@@ -94,8 +106,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"latency-over trigger threshold")
 	idleTimeout := flags.Duration("idle-timeout", 0,
 		"reap sessions idle for this long (0 disables the reaper)")
+	admitTarget := flags.Duration("admit-target", 0,
+		"queue-wait p99 the admission controller defends (0 disables admission)")
 	wireAddr := flags.String("wire", "",
 		"wire-protocol ingest listen address (empty disables the listener)")
+	wireIdle := flags.Duration("wire-idle-timeout", 2*time.Minute,
+		"close wire connections idle for this long (0 disables the watchdog)")
+	wireMaxConns := flags.Int("wire-max-conns", 0,
+		"max concurrent wire connections; extras get a typed overloaded response (0 = unlimited)")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -109,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gserve: unknown -backend %q (want eager or template)\n", *backend)
 		return 2
 	}
-	srv, err := newServer(*seed, *shards, *idleTimeout, flight.Options{
+	srv, err := newServer(*seed, *shards, *idleTimeout, *admitTarget, flight.Options{
 		Capacity:         *flightCap,
 		Trigger:          trigger,
 		LatencyThreshold: *flightLatency,
@@ -128,7 +146,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "gserve: %v\n", err)
 			return 1
 		}
-		ws := ingest.Serve(ln, srv.engine, ingest.Options{Obs: srv.reg})
+		ws := ingest.Serve(ln, srv.engine, ingest.Options{
+			Obs:          srv.reg,
+			IdleTimeout:  *wireIdle,
+			WriteTimeout: 10 * time.Second,
+			MaxConns:     *wireMaxConns,
+		})
 		defer ws.Close()
 		fmt.Fprintf(stdout, "gserve: wire ingest on %s\n", ws.Addr())
 	}
@@ -164,7 +187,7 @@ type server struct {
 // attached against the same registry, and wires the mux. Either backend
 // serves through the identical recognizer.Backend surface, so everything
 // downstream (metrics, traces, flight bundles, swap) is backend-blind.
-func newServer(seed int64, shards int, idleTimeout time.Duration, fopts flight.Options, backend string) (*server, error) {
+func newServer(seed int64, shards int, idleTimeout, admitTarget time.Duration, fopts flight.Options, backend string) (*server, error) {
 	var (
 		reg *obs.Registry
 		rec recognizer.Backend
@@ -181,13 +204,17 @@ func newServer(seed int64, shards int, idleTimeout time.Duration, fopts flight.O
 		return nil, err
 	}
 	recorder := flight.NewRecorder(fopts)
-	engine, err := serve.New(nil, serve.Options{
+	eopts := serve.Options{
 		Backend:     rec,
 		Shards:      shards,
 		Obs:         reg,
 		Flight:      recorder,
 		IdleTimeout: idleTimeout,
-	})
+	}
+	if admitTarget > 0 {
+		eopts.Admit = &serve.AdmitOptions{Target: admitTarget, Obs: reg}
+	}
+	engine, err := serve.New(nil, eopts)
 	if err != nil {
 		return nil, err
 	}
@@ -197,10 +224,19 @@ func newServer(seed int64, shards int, idleTimeout time.Duration, fopts flight.O
 	s.mux.Handle("/metrics", obs.Handler(reg))
 	s.mux.Handle("/metrics.txt", obs.TextHandler(reg))
 	s.mux.Handle("/metrics.prom", obs.PromHandler(reg))
-	s.mux.Handle("/slo", slo.Handler(slo.New(reg, slo.DefaultObjectives(), nil)))
+	sloEngine := slo.New(reg, slo.DefaultObjectives(), nil)
+	sloEngine.SetAdmission(func() string { return engine.AdmitState().String() })
+	s.mux.Handle("/slo", slo.Handler(sloEngine))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.closed.Load() {
 			http.Error(w, "closed", http.StatusServiceUnavailable)
+			return
+		}
+		// Still 200 in brownout — the process is alive and serving, just
+		// shedding; load balancers should not drain a browning-out node
+		// (that would dump its share onto the remaining ones).
+		if s.engine.AdmitState() == serve.AdmitBrownout {
+			fmt.Fprintln(w, "ok brownout")
 			return
 		}
 		fmt.Fprintln(w, "ok")

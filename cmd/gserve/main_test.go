@@ -15,13 +15,14 @@ import (
 	"repro/internal/flight"
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/slo"
 	"repro/internal/wire"
 )
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	srv, err := newServer(1, 2, 0, flight.Options{Capacity: 64}, "eager")
+	srv, err := newServer(1, 2, 0, 0, flight.Options{Capacity: 64}, "eager")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,6 +171,11 @@ func TestSLOEndpoint(t *testing.T) {
 			t.Errorf("default objective %q missing from /slo", name)
 		}
 	}
+	// The admission field is always stamped — "healthy" when no
+	// controller is armed or nothing is shedding.
+	if eval.Admission != "healthy" {
+		t.Errorf("admission = %q, want healthy", eval.Admission)
+	}
 	// Evaluating also publishes slo.* gauges into the shared registry.
 	snap := srv.reg.Snapshot()
 	foundGauge := false
@@ -187,6 +193,43 @@ func TestHealthz(t *testing.T) {
 	srv := testServer(t)
 	if rr := get(t, srv, "/healthz"); rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "ok") {
 		t.Fatalf("GET /healthz = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestBrownoutSurfaces arms the admission controller with an absurdly
+// tight target, drives it into brownout by observing queue waits far
+// over it, and checks both operator surfaces: /healthz answers
+// "ok brownout" (still 200 — the node is alive and shedding, not dead)
+// and /slo stamps admission "brownout".
+func TestBrownoutSurfaces(t *testing.T) {
+	srv, err := newServer(1, 2, 0, time.Nanosecond, flight.Options{Capacity: 64}, "eager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	adm := srv.engine.Admission()
+	if adm == nil {
+		t.Fatal("admit-target did not arm the admission controller")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for adm.State() != serve.AdmitBrownout {
+		if time.Now().After(deadline) {
+			t.Fatal("controller never entered brownout")
+		}
+		adm.Observe(10 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
+	}
+	rr := get(t, srv, "/healthz")
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "brownout") {
+		t.Errorf("GET /healthz during brownout = %d %q, want 200 with brownout", rr.Code, rr.Body.String())
+	}
+	rr = get(t, srv, "/slo")
+	var eval slo.Evaluation
+	if err := json.Unmarshal(rr.Body.Bytes(), &eval); err != nil {
+		t.Fatalf("/slo body: %v", err)
+	}
+	if eval.Admission != "brownout" {
+		t.Errorf("/slo admission = %q, want brownout", eval.Admission)
 	}
 }
 
@@ -480,7 +523,7 @@ func TestWireListenerAlongsideHTTP(t *testing.T) {
 // template.* metric family shows up on /metrics, and /swap retrains the
 // template backend (not the eager one) and hot-swaps it in.
 func TestTemplateBackendServer(t *testing.T) {
-	srv, err := newServer(1, 2, 0, flight.Options{Capacity: 64}, "template")
+	srv, err := newServer(1, 2, 0, 0, flight.Options{Capacity: 64}, "template")
 	if err != nil {
 		t.Fatal(err)
 	}

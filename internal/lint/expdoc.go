@@ -20,6 +20,7 @@ var ExpdocPackages = map[string]bool{
 	"repro/internal/multipath":  true,
 	"repro/internal/recognizer": true,
 	"repro/internal/slo":        true,
+	"repro/internal/netfault":   true,
 }
 
 // Expdoc reports exported identifiers of the documented-contract
@@ -27,7 +28,7 @@ var ExpdocPackages = map[string]bool{
 var Expdoc = &Analyzer{
 	Name: "expdoc",
 	Doc: "flag exported identifiers without doc comments in the concurrency-contract packages " +
-		"(repro/internal/{serve,eager,obs,template,multipath,recognizer,slo}); every exported identifier there must document its " +
+		"(repro/internal/{serve,eager,obs,template,multipath,recognizer,slo,netfault}); every exported identifier there must document its " +
 		"behaviour, including its concurrency contract where it has one.",
 	Run: runExpdoc,
 }

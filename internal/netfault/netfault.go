@@ -1,0 +1,625 @@
+// Package netfault is the connection-level counterpart of
+// internal/fault: a deterministic, seeded fault injector that wraps
+// net.Conn / net.Listener and corrupts the byte stream itself — split
+// writes, short reads, truncation mid-frame, bit corruption, stalls,
+// latency jitter, and connection resets — so the wire ingest path
+// (internal/wire + internal/ingest) can be chaos-tested over real
+// sockets under -race against exact invariants.
+//
+// Determinism mirrors internal/fault: the fate of the i-th I/O
+// operation in a given direction on the connection labelled c is a pure
+// FNV-1a function of (seed, direction, c, i) — never of timing or
+// goroutine scheduling — so two runs with the same seed inject exactly
+// the same faults. (The ISSUE's "byte-range i" is realized as the
+// operation index: writes are frame-aligned in this stack, so the i-th
+// write is the i-th frame.)
+//
+// Two drivers, as in internal/fault: Schedule draws fates from seeded
+// per-kind rates (independent read- and write-side rate tables), and
+// Script pins exact (label, direction, op index, kind) rules for
+// isolation tests and the obsdemo's deterministic segment. Both count
+// every applied injection into the netfault.injected.* counters when
+// Instrument attached a registry (see OBSERVABILITY.md), and both keep
+// always-on atomic tallies readable via Counts, so a load generator can
+// report injections without carrying a registry. All entry points are
+// nil-safe: a nil *Schedule or *Script wraps nothing and decides
+// KindNone.
+//
+// Detectability note: a bit flip anywhere in a wire frame is surfaced
+// by the decoder as a typed error (ErrCorrupt / ErrOversized /
+// ErrTruncated / ErrVersion) — except inside the 8-byte client-send
+// stamp, the one header region the CRC deliberately excludes. Write-
+// side corruption therefore avoids the stamp window (writes are
+// frame-aligned, so the window's offset is known); read-side corruption
+// flips arbitrary buffered bytes and may land in a stamp, which decodes
+// as a skew-clamped bogus latency rather than a typed error. A harness
+// that asserts "every corrupted frame dies with a fatal response" must
+// inject corruption on the writer side.
+package netfault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Kind enumerates the injectable connection faults.
+type Kind int
+
+// Connection fault kinds. Split applies only to writes, ShortRead only
+// to reads; the rest apply to either direction.
+const (
+	// KindNone is the no-fault decision.
+	KindNone Kind = iota
+	// KindSplit delivers one write as two back-to-back underlying
+	// writes, exercising reassembly across arbitrary TCP segmentation.
+	KindSplit
+	// KindShortRead truncates one read to a single byte, forcing the
+	// reader to reassemble frames from fragmented deliveries.
+	KindShortRead
+	// KindCorrupt flips one bit of the operation's bytes. On a frame
+	// write the flip avoids the CRC-exempt stamp window, so the peer's
+	// decoder must fail with a typed error, never mis-decode.
+	KindCorrupt
+	// KindTruncate ends the stream mid-operation: a write delivers a
+	// prefix then closes the connection; a read closes and reports EOF.
+	KindTruncate
+	// KindStall sleeps for the plan's StallFor before performing the
+	// operation, simulating a hung peer or a congested path.
+	KindStall
+	// KindJitter sleeps a deterministic duration in [0, MaxDelay)
+	// before the operation, simulating network latency variance.
+	KindJitter
+	// KindReset closes the connection and fails the operation,
+	// simulating a peer reset (RST) mid-conversation.
+	KindReset
+
+	kindCount
+)
+
+// readKinds are the kinds a read operation can draw, in rate-table order.
+var readKinds = []Kind{KindShortRead, KindCorrupt, KindTruncate, KindStall, KindJitter, KindReset}
+
+// writeKinds are the kinds a write operation can draw, in rate-table order.
+var writeKinds = []Kind{KindSplit, KindCorrupt, KindTruncate, KindStall, KindJitter, KindReset}
+
+// String names the kind as it appears in the netfault.injected.*
+// metric suffix ("split", "short_read", "corrupt", "truncate", "stall",
+// "jitter", "reset"; KindNone is "none").
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindSplit:
+		return "split"
+	case KindShortRead:
+		return "short_read"
+	case KindCorrupt:
+		return "corrupt"
+	case KindTruncate:
+		return "truncate"
+	case KindStall:
+		return "stall"
+	case KindJitter:
+		return "jitter"
+	case KindReset:
+		return "reset"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Dir selects the I/O direction of a fault decision.
+type Dir byte
+
+// Fault directions: the byte doubles as the hash domain separating the
+// read and write decision streams.
+const (
+	// DirRead is the inbound direction (Conn.Read).
+	DirRead Dir = 'r'
+	// DirWrite is the outbound direction (Conn.Write).
+	DirWrite Dir = 'w'
+)
+
+// ErrInjected tags every error a wrapped connection fabricates
+// (truncation, reset), so a harness can tell injected failures from
+// real ones with errors.Is.
+var ErrInjected = fmt.Errorf("netfault: injected failure")
+
+// Plan declares a seeded connection-fault mix: per-operation
+// probabilities for each kind, split by direction.
+type Plan struct {
+	// Seed selects the deterministic decision stream. Two Schedules
+	// built from equal Plans make identical decisions.
+	Seed int64
+	// ReadRates maps read-side kinds (ShortRead, Corrupt, Truncate,
+	// Stall, Jitter, Reset) to per-read probabilities in [0, 1],
+	// summing to at most 1.
+	ReadRates map[Kind]float64
+	// WriteRates maps write-side kinds (Split, Corrupt, Truncate,
+	// Stall, Jitter, Reset) to per-write probabilities in [0, 1],
+	// summing to at most 1.
+	WriteRates map[Kind]float64
+	// StallFor is the KindStall sleep; 0 defaults to 20ms.
+	StallFor time.Duration
+	// MaxDelay caps the KindJitter sleep; 0 defaults to 2ms.
+	MaxDelay time.Duration
+}
+
+// injectMetrics is the per-kind counter set plus always-on atomic
+// tallies. The zero value is the uninstrumented state: notes still
+// tally, the obs side is a nil-safe no-op.
+type injectMetrics struct {
+	byKind [kindCount]*obs.Counter // netfault.injected.<kind>
+	total  *obs.Counter            // netfault.injected.total
+	tally  [kindCount]atomic.Uint64
+}
+
+func (im *injectMetrics) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for k := KindNone + 1; k < kindCount; k++ {
+		im.byKind[k] = reg.Counter("netfault.injected." + k.String())
+	}
+	im.total = reg.Counter("netfault.injected.total")
+}
+
+func (im *injectMetrics) note(k Kind) {
+	if k <= KindNone || k >= kindCount {
+		return
+	}
+	im.tally[k].Add(1)
+	im.byKind[k].Inc()
+	im.total.Inc()
+}
+
+func (im *injectMetrics) counts() map[string]uint64 {
+	out := map[string]uint64{}
+	for k := KindNone + 1; k < kindCount; k++ {
+		if n := im.tally[k].Load(); n > 0 {
+			out[k.String()] = n
+		}
+	}
+	return out
+}
+
+// timing is the sleep configuration a Conn consults for KindStall and
+// KindJitter.
+type timing struct {
+	stall time.Duration
+	delay time.Duration
+	sleep func(time.Duration)
+}
+
+func (t *timing) defaults() {
+	if t.stall == 0 {
+		t.stall = 20 * time.Millisecond
+	}
+	if t.delay == 0 {
+		t.delay = 2 * time.Millisecond
+	}
+	if t.sleep == nil {
+		t.sleep = time.Sleep
+	}
+}
+
+// faults is what a wrapped Conn needs from its driver: a deterministic
+// decision per operation (which notes itself as injected when
+// non-None, since the Conn is guaranteed to apply it) and the sleep
+// configuration.
+type faults interface {
+	decide(d Dir, label string, index int) Kind
+	timing() *timing
+}
+
+// Schedule draws deterministic connection-fault decisions from seeded
+// rates: the fate of operation i in direction d on the connection
+// labelled c depends only on (seed, d, c, i). Safe for concurrent use;
+// nil-safe (a nil *Schedule never wraps and never injects).
+type Schedule struct {
+	seed     int64
+	readCum  []float64 // cumulative rates aligned with readKinds
+	writeCum []float64 // cumulative rates aligned with writeKinds
+	m        injectMetrics
+	t        timing
+	accepts  atomic.Int64
+}
+
+// NewSchedule validates a Plan and builds its Schedule. Rates outside
+// [0, 1], kinds outside their direction's table, negative durations,
+// or a direction summing past 1 are errors.
+func NewSchedule(p Plan) (*Schedule, error) {
+	if p.StallFor < 0 || p.MaxDelay < 0 {
+		return nil, fmt.Errorf("netfault: negative duration (stall %v, delay %v)", p.StallFor, p.MaxDelay)
+	}
+	s := &Schedule{seed: p.Seed, t: timing{stall: p.StallFor, delay: p.MaxDelay}}
+	s.t.defaults()
+	var err error
+	if s.readCum, err = cumRates("read", p.ReadRates, readKinds); err != nil {
+		return nil, err
+	}
+	if s.writeCum, err = cumRates("write", p.WriteRates, writeKinds); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// cumRates validates one direction's rate map against its kind table
+// and folds it into a cumulative-probability slice.
+func cumRates(dir string, rates map[Kind]float64, table []Kind) ([]float64, error) {
+	known := map[Kind]bool{}
+	for _, k := range table {
+		known[k] = true
+	}
+	kinds := make([]Kind, 0, len(rates))
+	for k := range rates {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		r := rates[k]
+		if !known[k] {
+			return nil, fmt.Errorf("netfault: %s rate for inapplicable kind %v", dir, k)
+		}
+		if math.IsNaN(r) || r < 0 || r > 1 {
+			return nil, fmt.Errorf("netfault: %s rate for %v must be in [0, 1], got %v", dir, k, r)
+		}
+	}
+	cum := make([]float64, 0, len(table))
+	sum := 0.0
+	for _, k := range table {
+		sum += rates[k]
+		cum = append(cum, sum)
+	}
+	if sum > 1 {
+		return nil, fmt.Errorf("netfault: %s rates sum to %v > 1", dir, sum)
+	}
+	return cum, nil
+}
+
+// Instrument attaches the netfault.injected.* counters (one per kind
+// plus a total; see OBSERVABILITY.md) to the registry. Call before
+// wrapping connections; a nil registry (or receiver) is a no-op.
+func (s *Schedule) Instrument(reg *obs.Registry) {
+	if s == nil {
+		return
+	}
+	s.m.instrument(reg)
+}
+
+// SetSleep replaces the real time.Sleep behind KindStall and KindJitter
+// (virtual time in tests). Call before wrapping connections; not safe
+// concurrently with I/O. Nil-safe; a nil fn restores time.Sleep.
+func (s *Schedule) SetSleep(fn func(time.Duration)) {
+	if s == nil {
+		return
+	}
+	if fn == nil {
+		fn = time.Sleep
+	}
+	s.t.sleep = fn
+}
+
+// Counts snapshots the always-on injection tallies: metric suffix →
+// applied count, nonzero kinds only. Nil-safe (returns an empty map).
+func (s *Schedule) Counts() map[string]uint64 {
+	if s == nil {
+		return map[string]uint64{}
+	}
+	return s.m.counts()
+}
+
+// roll returns a uniform [0, 1) draw for one (direction, label, index)
+// triple — the deterministic coin behind every decision.
+func (s *Schedule) roll(d Dir, label string, index int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(s.seed))
+	h.Write(buf[:])
+	h.Write([]byte{byte(d)})
+	h.Write([]byte(label))
+	binary.LittleEndian.PutUint64(buf[:], uint64(index))
+	h.Write(buf[:])
+	// Top 53 bits -> [0, 1) with full double precision.
+	return float64(h.Sum64()>>11) / (1 << 53)
+}
+
+// Decide returns the fault for the index-th operation in direction d on
+// the connection labelled label, counting every non-None decision as
+// injected (wrapped Conns are guaranteed to apply it). Exposed so a
+// harness can predict a run's fault set without performing I/O.
+// Nil-safe: returns KindNone.
+func (s *Schedule) Decide(d Dir, label string, index int) Kind {
+	if s == nil {
+		return KindNone
+	}
+	table, cum := readKinds, s.readCum
+	if d == DirWrite {
+		table, cum = writeKinds, s.writeCum
+	}
+	if len(cum) == 0 || cum[len(cum)-1] == 0 {
+		return KindNone
+	}
+	u := s.roll(d, label, index)
+	for i, c := range cum {
+		if u < c {
+			k := table[i]
+			s.m.note(k)
+			return k
+		}
+	}
+	return KindNone
+}
+
+func (s *Schedule) decide(d Dir, label string, index int) Kind { return s.Decide(d, label, index) }
+
+func (s *Schedule) timing() *timing { return &s.t }
+
+// Conn wraps c so its reads and writes draw faults from the schedule
+// under the given label. Nil-safe: a nil *Schedule returns c unwrapped.
+func (s *Schedule) Conn(c net.Conn, label string) net.Conn {
+	if s == nil {
+		return c
+	}
+	return &Conn{Conn: c, f: s, label: label}
+}
+
+// Listener wraps ln so every accepted connection is fault-wrapped with
+// an accept-indexed label ("a0", "a1", ...). Nil-safe: a nil *Schedule
+// returns ln unwrapped.
+func (s *Schedule) Listener(ln net.Listener) net.Listener {
+	if s == nil {
+		return ln
+	}
+	return &listener{Listener: ln, s: s}
+}
+
+// listener is the accept-side wrapper behind Schedule.Listener.
+type listener struct {
+	net.Listener
+	s *Schedule
+}
+
+// Accept wraps the next connection with a deterministic accept-indexed
+// label.
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	n := l.s.accepts.Add(1) - 1
+	return l.s.Conn(c, fmt.Sprintf("a%d", n)), nil
+}
+
+// scriptKey addresses one exact operation: connection label, direction,
+// 0-based op index.
+type scriptKey struct {
+	label string
+	d     Dir
+	index int
+}
+
+// Script is the targeted counterpart of Schedule: explicit
+// (label, direction, op index) → Kind rules, for workloads that need
+// exactly one fault in exactly one place (the obsdemo segment, the
+// isolation tests). Configure with Set before any I/O; decisions are
+// then read-only and safe for concurrent use. Nil-safe like Schedule.
+type Script struct {
+	rules map[scriptKey]Kind
+	m     injectMetrics
+	t     timing
+}
+
+// NewScript returns an empty script (injects nothing until Set).
+func NewScript() *Script {
+	sc := &Script{rules: map[scriptKey]Kind{}}
+	sc.t.defaults()
+	return sc
+}
+
+// Set schedules kind at the label's 0-based operation index in
+// direction d and returns the script for chaining. Kinds inapplicable
+// to the direction (Split on a read, ShortRead on a write) are applied
+// as no-fault. Not safe concurrently with I/O — finish scripting first.
+func (sc *Script) Set(label string, d Dir, index int, k Kind) *Script {
+	sc.rules[scriptKey{label: label, d: d, index: index}] = k
+	return sc
+}
+
+// Instrument attaches the netfault.injected.* counters to the registry,
+// exactly as Schedule.Instrument does. Nil-safe.
+func (sc *Script) Instrument(reg *obs.Registry) {
+	if sc == nil {
+		return
+	}
+	sc.m.instrument(reg)
+}
+
+// SetSleep replaces the sleep behind KindStall and KindJitter; see
+// Schedule.SetSleep.
+func (sc *Script) SetSleep(fn func(time.Duration)) {
+	if sc == nil {
+		return
+	}
+	if fn == nil {
+		fn = time.Sleep
+	}
+	sc.t.sleep = fn
+}
+
+// Counts snapshots the always-on injection tallies; see
+// Schedule.Counts. Nil-safe.
+func (sc *Script) Counts() map[string]uint64 {
+	if sc == nil {
+		return map[string]uint64{}
+	}
+	return sc.m.counts()
+}
+
+func (sc *Script) decide(d Dir, label string, index int) Kind {
+	if sc == nil {
+		return KindNone
+	}
+	k := sc.rules[scriptKey{label: label, d: d, index: index}]
+	if k <= KindNone || k >= kindCount {
+		return KindNone
+	}
+	if (d == DirRead && k == KindSplit) || (d == DirWrite && k == KindShortRead) {
+		return KindNone
+	}
+	sc.m.note(k)
+	return k
+}
+
+func (sc *Script) timing() *timing { return &sc.t }
+
+// Conn wraps c so its operations follow the script under the given
+// label. Nil-safe: a nil *Script returns c unwrapped.
+func (sc *Script) Conn(c net.Conn, label string) net.Conn {
+	if sc == nil {
+		return c
+	}
+	return &Conn{Conn: c, f: sc, label: label}
+}
+
+// Conn is a fault-wrapped net.Conn: each Read and Write consults the
+// driver for the operation's fate and applies it. Deadlines, addresses,
+// and Close pass through to the wrapped connection. Read and Write are
+// each single-sequence (op indices are atomic, so one concurrent reader
+// plus one concurrent writer — the net.Conn contract — is safe).
+type Conn struct {
+	net.Conn
+	f      faults
+	label  string
+	rd, wr atomic.Int64
+}
+
+// mixU is the seed-independent deterministic draw behind fault
+// parameters (split point, corruption offset, jitter fraction) — a
+// separate stream from the fate decision so parameters don't perturb
+// fates.
+func mixU(label string, index int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(index))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// frameStampLo/frameStampHi delimit the CRC-exempt client-send stamp
+// window in a v2 frame header (bytes [3, 11)); write-side corruption
+// skips it so every injected flip is decoder-detectable.
+const (
+	frameStampLo = 3
+	frameStampHi = 11
+)
+
+// corruptPos picks the deterministic byte to flip in an n-byte write,
+// avoiding the stamp window when the buffer is long enough to carry a
+// v2 header.
+func corruptPos(n int, u uint64) int {
+	if n > frameStampHi {
+		i := int(u % uint64(n-(frameStampHi-frameStampLo)))
+		if i >= frameStampLo {
+			i += frameStampHi - frameStampLo
+		}
+		return i
+	}
+	return int(u % uint64(n))
+}
+
+// jitterFor converts the parameter draw into a sleep in [0, max).
+func jitterFor(u uint64, max time.Duration) time.Duration {
+	frac := float64(u>>11) / (1 << 53)
+	return time.Duration(frac * float64(max))
+}
+
+// Read reads from the wrapped connection, applying the read-side fault
+// drawn for this operation: short reads shrink the buffer to one byte,
+// corruption flips one bit of the returned bytes, truncation closes the
+// connection and reports io.EOF, resets close it and fail with
+// ErrInjected, stalls and jitter sleep first.
+func (c *Conn) Read(b []byte) (int, error) {
+	idx := int(c.rd.Add(1) - 1)
+	t := c.f.timing()
+	switch c.f.decide(DirRead, c.label, idx) {
+	case KindShortRead:
+		if len(b) > 1 {
+			b = b[:1]
+		}
+	case KindCorrupt:
+		n, err := c.Conn.Read(b)
+		if n > 0 {
+			u := mixU(c.label, idx)
+			b[int(u%uint64(n))] ^= 1 << ((u >> 33) % 8)
+		}
+		return n, err
+	case KindTruncate:
+		c.Conn.Close()
+		return 0, io.EOF
+	case KindReset:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: read reset on %s op %d", ErrInjected, c.label, idx)
+	case KindStall:
+		t.sleep(t.stall)
+	case KindJitter:
+		t.sleep(jitterFor(mixU(c.label, idx), t.delay))
+	}
+	return c.Conn.Read(b)
+}
+
+// Write writes to the wrapped connection, applying the write-side fault
+// drawn for this operation: splits deliver the buffer as two underlying
+// writes, corruption flips one bit (avoiding the frame stamp window),
+// truncation delivers a deterministic prefix then closes, resets close
+// and fail with ErrInjected, stalls and jitter sleep first.
+func (c *Conn) Write(b []byte) (int, error) {
+	idx := int(c.wr.Add(1) - 1)
+	t := c.f.timing()
+	switch c.f.decide(DirWrite, c.label, idx) {
+	case KindSplit:
+		if len(b) >= 2 {
+			cut := 1 + int(mixU(c.label, idx)%uint64(len(b)-1))
+			n, err := c.Conn.Write(b[:cut])
+			if err != nil {
+				return n, err
+			}
+			m, err := c.Conn.Write(b[cut:])
+			return n + m, err
+		}
+	case KindCorrupt:
+		if len(b) > 0 {
+			u := mixU(c.label, idx)
+			cp := make([]byte, len(b))
+			copy(cp, b)
+			cp[corruptPos(len(cp), u)] ^= 1 << ((u >> 33) % 8)
+			n, err := c.Conn.Write(cp)
+			return n, err
+		}
+	case KindTruncate:
+		cut := 0
+		if len(b) > 0 {
+			cut = int(mixU(c.label, idx) % uint64(len(b)))
+		}
+		n, _ := c.Conn.Write(b[:cut])
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: write truncated after %d/%d bytes on %s op %d", ErrInjected, n, len(b), c.label, idx)
+	case KindReset:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: write reset on %s op %d", ErrInjected, c.label, idx)
+	case KindStall:
+		t.sleep(t.stall)
+	case KindJitter:
+		t.sleep(jitterFor(mixU(c.label, idx), t.delay))
+	}
+	return c.Conn.Write(b)
+}

@@ -19,6 +19,7 @@ package obsdemo
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"runtime"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/ingest"
 	"repro/internal/multipath"
+	"repro/internal/netfault"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/slo"
@@ -194,6 +196,16 @@ func demo(seed int64) (*obs.Registry, *eager.Recognizer, *flight.Recorder, error
 	// coordinate draws a deterministic bad-event NACK, and a second
 	// connection sends garbage and is refused with a fatal response.
 	if err := wireSegment(reg, e, gen.Sample(classes[5]).G.Points); err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Robustness segment: the scripted netfault kinds (netfault.injected.*),
+	// a browned-out admission controller shedding over the wire
+	// (serve.admit.*, wire.nacks.overload), an over-cap connection refused
+	// (wire.connections.rejected), and an idle connection the watchdog
+	// collects (wire.connections.idle_closed) — all exactly once, so the
+	// counts stay deterministic.
+	if err := robustnessSegment(reg, rec); err != nil {
 		return nil, nil, nil, err
 	}
 
@@ -389,6 +401,163 @@ func wireSegment(reg *obs.Registry, e *serve.Engine, g geom.Path) error {
 		return fail(fmt.Errorf("garbage frame drew non-fatal response %+v", resp))
 	}
 	return ws.Close()
+}
+
+// robustnessSegment populates the robustness-layer instruments with
+// deterministic counts. Three sub-scenes: (1) a scripted fault of every
+// netfault kind over an in-memory pipe — each injected exactly once, so
+// every netfault.injected.* counter registers at 1 (total 7); (2) an
+// admission controller pushed into brownout on a virtual clock at a
+// full shed fraction, attached to an engine behind a wire listener —
+// one event arrives over a real socket and is shed with an overload
+// NACK carrying a retry-after hint (serve.admit.*,
+// wire.nacks.overload); (3) the listener's self-defense: a second
+// connection beyond MaxConns is refused with FatalOverloaded
+// (wire.connections.rejected) and the first, now idle past the
+// watchdog deadline on the virtual clock, is collected with a
+// FatalTimeout (wire.connections.idle_closed).
+func robustnessSegment(reg *obs.Registry, rec *eager.Recognizer) error {
+	fail := func(err error) error { return fmt.Errorf("obsdemo: robustness: %w", err) }
+
+	// Scene 1: every fault kind, scripted to an exact operation index so
+	// the injection tallies are count-deterministic. Sleeps are virtual —
+	// the stall and jitter kinds must not slow the demo down.
+	script := netfault.NewScript().
+		Set("demo-nf", netfault.DirRead, 0, netfault.KindShortRead).
+		Set("demo-nf", netfault.DirWrite, 0, netfault.KindSplit).
+		Set("demo-nf", netfault.DirWrite, 1, netfault.KindJitter).
+		Set("demo-nf", netfault.DirWrite, 2, netfault.KindStall).
+		Set("demo-nf", netfault.DirWrite, 3, netfault.KindCorrupt).
+		Set("demo-nf", netfault.DirWrite, 4, netfault.KindTruncate).
+		Set("demo-nf", netfault.DirWrite, 5, netfault.KindReset)
+	script.SetSleep(func(time.Duration) {})
+	script.Instrument(reg)
+	a, b := net.Pipe()
+	defer a.Close()
+	fc := script.Conn(a, "demo-nf")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer b.Close()
+		if _, err := b.Write([]byte("ping")); err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, b)
+	}()
+	buf := make([]byte, 16)
+	for got := 0; got < 4; {
+		n, err := fc.Read(buf) // op 0 is the scripted short read
+		if err != nil {
+			return fail(err)
+		}
+		got += n
+	}
+	for i := 0; i < 6; i++ {
+		// Ops 4 (truncate) and 5 (reset) fail by design — the injected
+		// error is the point; the benign ops before them must not.
+		if _, err := fc.Write([]byte("demo payload")); err != nil && i < 4 {
+			return fail(err)
+		}
+	}
+	fc.Close()
+	<-done
+
+	// Scene 2: a controller on a virtual clock, one over-target
+	// observation at Sustain 1 and a pinned full shed fraction — straight
+	// into brownout, so the engine behind the wire listener sheds the one
+	// event a client offers.
+	clk := fault.NewManualClock(time.Unix(1_700_000_000, 0))
+	adm, err := serve.NewAdmission(serve.AdmitOptions{
+		Target:  time.Millisecond,
+		Sustain: 1,
+		ShedMin: 1,
+		ShedMax: 1,
+		Clock:   clk,
+		Obs:     reg,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	adm.Observe(50 * time.Millisecond)
+	if adm.State() != serve.AdmitBrownout {
+		return fail(fmt.Errorf("controller did not brown out"))
+	}
+	e, err := serve.New(rec, serve.Options{Shards: 1, QueueDepth: 8, Obs: reg, Admission: adm, Clock: clk})
+	if err != nil {
+		return fail(err)
+	}
+	iclk := fault.NewManualClock(time.Unix(1_700_000_000, 0))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	ws := ingest.Serve(ln, e, ingest.Options{
+		Obs:           reg,
+		IdleTimeout:   time.Second,
+		SweepInterval: -1, // swept explicitly below; the clock is virtual
+		Clock:         iclk,
+		MaxConns:      1,
+		WriteTimeout:  time.Second,
+	})
+	defer ws.Close()
+	c1, err := net.Dial("tcp", ws.Addr().String())
+	if err != nil {
+		return fail(err)
+	}
+	defer c1.Close()
+	br1 := bufio.NewReader(c1)
+	frame, err := wire.NewEncoder().AppendFrame(nil, []wire.Event{{
+		Session: "demo-shed", Kind: wire.KindDown, X: 0.1, Y: 0.2, TMicros: 1,
+	}})
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := c1.Write(frame); err != nil {
+		return fail(err)
+	}
+	resp, err := wire.ReadResponse(br1, nil)
+	if err != nil {
+		return fail(err)
+	}
+	if resp.Fatal || len(resp.Nacks) != 1 || resp.Nacks[0].Code != wire.NackOverload || resp.RetryAfterMS == 0 {
+		return fail(fmt.Errorf("browned-out engine answered %+v, want one overload NACK with a retry hint", resp))
+	}
+
+	// Scene 3a: a second connection while the first holds the only
+	// MaxConns slot — refused with a typed fatal, never served.
+	c2, err := net.Dial("tcp", ws.Addr().String())
+	if err != nil {
+		return fail(err)
+	}
+	defer c2.Close()
+	resp2, err := wire.ReadResponse(bufio.NewReader(c2), nil)
+	if err != nil {
+		return fail(err)
+	}
+	if !resp2.Fatal || resp2.Code != wire.FatalOverloaded {
+		return fail(fmt.Errorf("over-cap connection answered %+v, want fatal overloaded", resp2))
+	}
+
+	// Scene 3b: the first connection goes silent past the idle deadline;
+	// the watchdog collects it with a FatalTimeout.
+	iclk.Advance(2 * time.Second)
+	if n := ws.SweepIdle(); n != 1 {
+		return fail(fmt.Errorf("SweepIdle = %d, want 1", n))
+	}
+	resp3, err := wire.ReadResponse(br1, nil)
+	if err != nil {
+		return fail(err)
+	}
+	if !resp3.Fatal || resp3.Code != wire.FatalTimeout {
+		return fail(fmt.Errorf("idle connection answered %+v, want fatal timeout", resp3))
+	}
+	if err := ws.Close(); err != nil {
+		return fail(err)
+	}
+	if err := e.Close(); err != nil {
+		return fail(fmt.Errorf("close: %w", err))
+	}
+	return nil
 }
 
 // play streams one single-finger interaction through the submitter

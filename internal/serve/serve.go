@@ -67,6 +67,7 @@ import (
 	"repro/internal/multipath"
 	"repro/internal/obs"
 	"repro/internal/recognizer"
+	"repro/internal/wire"
 )
 
 // Errors returned by Submit.
@@ -83,6 +84,14 @@ var (
 	// or an empty session ID. The event was not enqueued. Match with
 	// errors.Is; the concrete error says which check failed.
 	ErrBadEvent = errors.New("serve: bad event")
+	// ErrOverloaded reports an event shed early by the admission
+	// controller (Options.Admit): queue-wait p99 has exceeded its
+	// target for a sustained interval and queueing more work would only
+	// deepen the delay. The event was NOT enqueued. Unlike ErrQueueFull
+	// this is not worth an immediate retry — callers should pause for
+	// the controller's RetryAfterMS hint (the wire layer maps this to
+	// NackOverload plus the ACK's retry-after field).
+	ErrOverloaded = errors.New("serve: overloaded, admission controller shed event")
 )
 
 // DefaultQueueDepth is the per-shard event queue capacity used when
@@ -235,6 +244,16 @@ type Options struct {
 	// during Close — the post-mortem artifact for a crashed or misbehaving
 	// run. Requires Flight (with a nil recorder an empty dump is written).
 	FlightDump io.Writer `json:"-"`
+	// Admit, when set, arms the adaptive admission controller: Submit
+	// sheds a deterministic fraction of traffic with ErrOverloaded when
+	// queue-wait p99 stays over Admit.Target (see Admission). The
+	// controller's Clock and Obs default to the engine's own when left
+	// nil. Nil disables admission control at the cost of one nil check
+	// per submit.
+	Admit *AdmitOptions `json:"-"`
+	// Admission, when set, overrides Admit with a pre-built controller
+	// — the hook tests and front ends use to share or pre-drive one.
+	Admission *Admission `json:"-"`
 }
 
 // engineMetrics holds the engine's obs handles. The zero value (all nil)
@@ -334,11 +353,18 @@ type Engine struct {
 	degraded  atomic.Int64
 
 	m engineMetrics
-	// stamp records whether Submit must read the clock: true when either
-	// observability (queue-wait/latency histograms, span timestamps) or a
-	// flight recorder (latency trigger) is attached. False keeps the
-	// disabled path free of clock reads.
+	// stamp records whether Submit must read the clock: true when any of
+	// observability (queue-wait/latency histograms, span timestamps), a
+	// flight recorder (latency trigger), or the admission controller
+	// (queue-wait feed) is attached. False keeps the disabled path free
+	// of clock reads.
 	stamp bool
+	// admission is the adaptive overload controller (nil = disabled).
+	admission *Admission
+	// startNS is the engine's construction time in Unix nanoseconds —
+	// the lower clamp for e2e latency attribution (a wire stamp older
+	// than the process cannot contribute more than process uptime).
+	startNS int64
 }
 
 // control is an in-band shard command: a Flush barrier (done only) or a
@@ -448,12 +474,26 @@ func New(backend recognizer.Backend, opts Options) (*Engine, error) {
 	if opts.QueueDepth == 0 {
 		opts.QueueDepth = DefaultQueueDepth
 	}
-	e := &Engine{opts: opts, m: newEngineMetrics(opts.Obs)}
-	e.stamp = opts.Obs != nil || opts.Flight != nil
+	e := &Engine{opts: opts, m: newEngineMetrics(opts.Obs), startNS: time.Now().UnixNano()}
 	e.clock = opts.Clock
 	if e.clock == nil {
 		e.clock = wallClock{}
 	}
+	e.admission = opts.Admission
+	if e.admission == nil && opts.Admit != nil {
+		ao := *opts.Admit
+		if ao.Clock == nil {
+			ao.Clock = opts.Clock
+		}
+		if ao.Obs == nil {
+			ao.Obs = opts.Obs
+		}
+		var err error
+		if e.admission, err = NewAdmission(ao); err != nil {
+			return nil, err
+		}
+	}
+	e.stamp = opts.Obs != nil || opts.Flight != nil || e.admission != nil
 	if opts.Clock != nil && opts.Obs != nil {
 		// Windowed instruments rotate on the registry clock; align it
 		// with the engine's injected clock so tests (and replay) see
@@ -491,6 +531,15 @@ func New(backend recognizer.Backend, opts Options) (*Engine, error) {
 
 // Backend returns the current recognizer backend snapshot.
 func (e *Engine) Backend() recognizer.Backend { return e.rec.Load().backend }
+
+// Admission returns the engine's admission controller, or nil when
+// admission control is disabled. Front ends use it for retry-after
+// hints (wire NACKs) and brownout state (/healthz, /slo).
+func (e *Engine) Admission() *Admission { return e.admission }
+
+// AdmitState returns the admission controller's current state —
+// AdmitHealthy when admission control is disabled.
+func (e *Engine) AdmitState() AdmitState { return e.admission.State() }
 
 // Swap atomically publishes a new recognizer backend and returns the
 // previous one — retraining without downtime. Sessions already in
@@ -579,6 +628,13 @@ func (e *Engine) submit(ev Event, countRejected bool) error {
 	defer e.mu.RUnlock()
 	if e.closed {
 		return ErrClosed
+	}
+	if e.admission != nil && !e.admission.Admit() {
+		if countRejected {
+			e.rejected.Add(1)
+			e.m.rejected.Inc()
+		}
+		return ErrOverloaded
 	}
 	sh := e.shardFor(ev.Session)
 	var at time.Time
@@ -761,7 +817,11 @@ func (e *Engine) run(sh *shard) {
 			}
 			continue
 		}
-		obs.ObserveSince(e.m.queueWaitNS, q.at)
+		if !q.at.IsZero() {
+			wait := time.Since(q.at)
+			e.m.queueWaitNS.Observe(float64(wait))
+			e.admission.Observe(wait)
+		}
 		e.handle(sh, q)
 	}
 	ids := make([]string, 0, len(sh.sessions))
@@ -925,14 +985,13 @@ func (e *Engine) handle(sh *shard, q queued) {
 	dsp.End()
 	if ev.SentNS > 0 && e.m.e2e != nil {
 		// End-to-end wire attribution: client send stamp -> decision
-		// applied. Clock skew between hosts can drive the delta negative;
-		// clamp so the histogram stays meaningful.
-		d := time.Now().UnixNano() - ev.SentNS
-		if d < 0 {
-			d = 0
+		// applied. Clock skew between hosts can drive the delta negative
+		// or absurdly large; SentLatency clamps it into [0, uptime] so
+		// the histogram stays meaningful.
+		if d, ok := wire.SentLatency(time.Now().UnixNano(), ev.SentNS, e.startNS); ok {
+			e.m.e2e.Observe(float64(d))
+			e.m.e2eWin.Observe(float64(d))
 		}
-		e.m.e2e.Observe(float64(d))
-		e.m.e2eWin.Observe(float64(d))
 	}
 	ls.events++
 	if e.deadlines {

@@ -73,15 +73,23 @@ func NewSubmitter(e *Engine, opts SubmitterOptions) *Submitter {
 // Submit submits one event under the retry policy: nil once the engine
 // accepted it, ErrShed (matching ErrQueueFull too) when the attempt
 // budget ran out, and any non-backpressure error (ErrBadEvent,
-// ErrClosed) immediately and unwrapped.
+// ErrClosed) immediately and unwrapped. ErrOverloaded — the admission
+// controller shedding early — is also immediate: retrying into a
+// brownout only deepens it, so the caller should honor the retry-after
+// hint instead.
 //
 // Stats.Rejected (serve.events.rejected) counts the event at most once,
-// when the Submitter sheds — not once per retry attempt; intermediate
-// full-queue bounces are visible as serve.submitter.retries instead.
+// when the Submitter sheds or the admission controller refuses it — not
+// once per retry attempt; intermediate full-queue bounces are visible
+// as serve.submitter.retries instead.
 func (s *Submitter) Submit(ev Event) error {
 	delay := s.opts.Backoff
 	for attempt := 1; ; attempt++ {
 		err := s.e.submit(ev, false)
+		if err != nil && errors.Is(err, ErrOverloaded) {
+			s.e.countRejected()
+			return err
+		}
 		if err == nil || !errors.Is(err, ErrQueueFull) {
 			return err
 		}

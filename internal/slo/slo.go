@@ -231,6 +231,12 @@ type Evaluation struct {
 	Schema     int      `json:"schema"`
 	AtNS       int64    `json:"at_ns"`
 	Objectives []Status `json:"objectives"`
+	// Admission is the serving engine's admission-controller state
+	// ("healthy" or "brownout") when the engine was built with an
+	// admission source — operators correlating a burning objective with
+	// /slo see at a glance whether the server is already shedding.
+	// Omitted when no source is wired.
+	Admission string `json:"admission,omitempty"`
 }
 
 // Engine evaluates a fixed set of objectives against one registry and
@@ -241,7 +247,14 @@ type Engine struct {
 	reg        *obs.Registry
 	objectives []Objective
 	clk        obs.Clock
+	admission  func() string
 }
+
+// SetAdmission wires an admission-state source into the engine: each
+// Evaluate stamps fn's result into Evaluation.Admission. Pass something
+// like `func() string { return eng.AdmitState().String() }`. Call before
+// the engine is shared across goroutines (it is not synchronized).
+func (e *Engine) SetAdmission(fn func() string) { e.admission = fn }
 
 // New builds an engine over reg. A nil clk uses the wall clock; pass the
 // serving engine's virtual clock to make evaluations deterministic in
@@ -272,6 +285,9 @@ func (e *Engine) Evaluate() Evaluation {
 		Schema:     EvaluationSchema,
 		AtNS:       e.now().UnixNano(),
 		Objectives: make([]Status, 0, len(e.objectives)),
+	}
+	if e.admission != nil {
+		ev.Admission = e.admission()
 	}
 	for _, o := range e.objectives {
 		st := evaluate(o, snap)

@@ -1,0 +1,28 @@
+package wire
+
+// SentLatency computes the end-to-end latency attributed to a frame's
+// client-send stamp, clamped against clock skew. nowNS is the
+// observation time, sentNS the frame stamp, and startNS the observing
+// process's start time (all Unix nanoseconds). It returns false when
+// the frame is unstamped (sentNS <= 0) — no observation should be
+// recorded. Otherwise the delta is clamped into [0, nowNS-startNS]:
+// a client clock ahead of the server yields 0, and a stamp older than
+// the process start (a stale or bogus clock) caps at process uptime,
+// so a `wire.e2e*` observation is never negative and never exceeds the
+// server's own lifetime.
+func SentLatency(nowNS, sentNS, startNS int64) (int64, bool) {
+	if sentNS <= 0 {
+		return 0, false
+	}
+	d := nowNS - sentNS
+	if d < 0 {
+		d = 0
+	}
+	if up := nowNS - startNS; d > up {
+		d = up
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d, true
+}

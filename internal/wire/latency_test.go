@@ -1,0 +1,40 @@
+package wire
+
+import "testing"
+
+// TestSentLatencyClamps: the e2e skew clamp never yields a negative
+// observation, suppresses unstamped frames, and caps stamps older than
+// process start at process uptime.
+func TestSentLatencyClamps(t *testing.T) {
+	const start = int64(1_000_000_000_000) // process start, Unix ns
+	now := start + 5_000_000               // 5ms of uptime
+
+	for _, tc := range []struct {
+		name   string
+		sentNS int64
+		want   int64
+		ok     bool
+	}{
+		{"normal", now - 1_000_000, 1_000_000, true},
+		{"unstamped", 0, 0, false},
+		{"negative stamp", -7, 0, false},
+		{"client clock ahead", now + 3_000_000, 0, true},
+		{"stamp at now", now, 0, true},
+		{"older than process start", start - 1_000_000_000, now - start, true},
+		{"exactly process start", start, now - start, true},
+	} {
+		got, ok := SentLatency(now, tc.sentNS, start)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("%s: SentLatency = (%d, %v), want (%d, %v)", tc.name, got, ok, tc.want, tc.ok)
+		}
+		if got < 0 {
+			t.Errorf("%s: negative latency %d", tc.name, got)
+		}
+	}
+
+	// Pathological: now before startNS (clock stepped backwards) still
+	// clamps to zero rather than going negative.
+	if got, ok := SentLatency(start-10, start-20, start); !ok || got != 0 {
+		t.Errorf("clock step: SentLatency = (%d, %v), want (0, true)", got, ok)
+	}
+}

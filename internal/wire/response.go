@@ -31,10 +31,15 @@ const (
 	// NackClosed maps serve.ErrClosed: the engine is shutting down; the
 	// server closes the connection after the response.
 	NackClosed NackCode = 4
+	// NackOverload maps serve.ErrOverloaded: the admission controller is
+	// shedding early under sustained queue delay. The ACK carries a
+	// retry-after hint; the client should pause that long before
+	// resubmitting.
+	NackOverload NackCode = 5
 )
 
-// String names the code ("bad_event", "queue_full", "shed", "closed");
-// unknown values render as "nack(N)".
+// String names the code ("bad_event", "queue_full", "shed", "closed",
+// "overload"); unknown values render as "nack(N)".
 func (c NackCode) String() string {
 	switch c {
 	case NackBadEvent:
@@ -45,6 +50,8 @@ func (c NackCode) String() string {
 		return "shed"
 	case NackClosed:
 		return "closed"
+	case NackOverload:
+		return "overload"
 	}
 	return fmt.Sprintf("nack(%d)", uint8(c))
 }
@@ -70,10 +77,19 @@ const (
 	// server does not speak (ErrVersion) — the client must upgrade (or
 	// downgrade) before reconnecting.
 	FatalVersion FatalCode = 5
+	// FatalOverloaded reports an accept-gate rejection: the server is at
+	// its connection limit and refused this connection before reading a
+	// single frame. Reconnect after a backoff.
+	FatalOverloaded FatalCode = 6
+	// FatalTimeout reports an idle teardown: the connection sent nothing
+	// for longer than the server's idle timeout (slow-loris protection).
+	// Reconnect and resend anything unacknowledged.
+	FatalTimeout FatalCode = 7
 )
 
 // String names the code ("corrupt", "oversized", "truncated", "closed",
-// "version"); unknown values render as "fatal(N)".
+// "version", "overloaded", "timeout"); unknown values render as
+// "fatal(N)".
 func (c FatalCode) String() string {
 	switch c {
 	case FatalCorrupt:
@@ -86,6 +102,10 @@ func (c FatalCode) String() string {
 		return "closed"
 	case FatalVersion:
 		return "version"
+	case FatalOverloaded:
+		return "overloaded"
+	case FatalTimeout:
+		return "timeout"
 	}
 	return fmt.Sprintf("fatal(%d)", uint8(c))
 }
@@ -99,10 +119,26 @@ type Nack struct {
 	Code NackCode
 }
 
-// AppendAck appends one ACK response (possibly carrying NACKs) to dst.
-// An empty nacks slice is the 2-byte all-accepted response.
-func AppendAck(dst []byte, nacks []Nack) []byte {
+// MaxRetryAfterMS caps the retry-after hint an ACK may carry; a larger
+// value is rejected as corruption when decoding a response.
+const MaxRetryAfterMS = 60_000
+
+// AppendAck appends one ACK response (possibly carrying NACKs and a
+// retry-after hint) to dst. The layout is the ACK byte, a uvarint
+// retry-after hint in milliseconds (0 = none; only meaningful alongside
+// overload NACKs), a uvarint NACK count, then per refused event its
+// frame index (uvarint) and code byte. An empty nacks slice with no
+// hint is the 3-byte all-accepted response. retryAfterMS values outside
+// [0, MaxRetryAfterMS] are clamped so a response is always decodable.
+func AppendAck(dst []byte, nacks []Nack, retryAfterMS int64) []byte {
+	if retryAfterMS < 0 {
+		retryAfterMS = 0
+	}
+	if retryAfterMS > MaxRetryAfterMS {
+		retryAfterMS = MaxRetryAfterMS
+	}
 	dst = append(dst[:len(dst)], respAck)
+	dst = appendUvarint(dst, uint64(retryAfterMS))
 	dst = appendUvarint(dst, uint64(len(nacks)))
 	for _, n := range nacks {
 		dst = appendUvarint(dst, uint64(n.Index))
@@ -127,6 +163,10 @@ type Response struct {
 	// Nacks are the frame's refused events (only when !Fatal), in index
 	// order as the server emitted them.
 	Nacks []Nack
+	// RetryAfterMS is the server's pacing hint in milliseconds (only
+	// when !Fatal). Zero means none; nonzero accompanies overload NACKs
+	// and asks the client to pause that long before the next frame.
+	RetryAfterMS int64
 }
 
 // ReadResponse reads one response off r, reusing nackBuf for the NACK
@@ -148,6 +188,13 @@ func ReadResponse(r io.ByteReader, nackBuf []Nack) (Response, error) {
 		}
 		return Response{Fatal: true, Code: FatalCode(c)}, nil
 	case respAck:
+		retry, err := readStreamUvarint(r)
+		if err != nil {
+			return Response{}, err
+		}
+		if retry > MaxRetryAfterMS {
+			return Response{}, fmt.Errorf("%w: retry-after %dms exceeds %dms", ErrCorrupt, retry, MaxRetryAfterMS)
+		}
 		n, err := readStreamUvarint(r)
 		if err != nil {
 			return Response{}, err
@@ -170,7 +217,7 @@ func ReadResponse(r io.ByteReader, nackBuf []Nack) (Response, error) {
 			}
 			nacks = append(nacks, Nack{Index: uint32(idx), Code: NackCode(c)})
 		}
-		return Response{Nacks: nacks}, nil
+		return Response{Nacks: nacks, RetryAfterMS: int64(retry)}, nil
 	}
 	return Response{}, fmt.Errorf("%w: unknown response type %#02x", ErrCorrupt, t)
 }

@@ -295,9 +295,9 @@ func TestEncoderValidation(t *testing.T) {
 // TestResponseRoundTrip: ACK (with and without NACKs) and fatal
 // responses survive the codec.
 func TestResponseRoundTrip(t *testing.T) {
-	nacks := []Nack{{Index: 0, Code: NackBadEvent}, {Index: 7, Code: NackShed}}
-	b := AppendAck(nil, nacks)
-	b = AppendAck(b, nil)
+	nacks := []Nack{{Index: 0, Code: NackBadEvent}, {Index: 7, Code: NackOverload}}
+	b := AppendAck(nil, nacks, 250)
+	b = AppendAck(b, nil, 0)
 	b = AppendFatal(b, FatalCorrupt)
 	r := bufio.NewReader(bytes.NewReader(b))
 
@@ -308,8 +308,11 @@ func TestResponseRoundTrip(t *testing.T) {
 	if resp.Nacks[0] != nacks[0] || resp.Nacks[1] != nacks[1] {
 		t.Fatalf("nacks = %+v, want %+v", resp.Nacks, nacks)
 	}
+	if resp.RetryAfterMS != 250 {
+		t.Fatalf("retry-after = %d, want 250", resp.RetryAfterMS)
+	}
 	resp, err = ReadResponse(r, resp.Nacks)
-	if err != nil || resp.Fatal || len(resp.Nacks) != 0 {
+	if err != nil || resp.Fatal || len(resp.Nacks) != 0 || resp.RetryAfterMS != 0 {
 		t.Fatalf("second response = %+v, %v", resp, err)
 	}
 	resp, err = ReadResponse(r, nil)
@@ -318,6 +321,29 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadResponse(r, nil); err != io.EOF {
 		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+// TestResponseRetryAfterBounds: the encoder clamps out-of-range hints
+// and the decoder rejects hints beyond the cap as corruption.
+func TestResponseRetryAfterBounds(t *testing.T) {
+	b := AppendAck(nil, nil, -5)
+	b = AppendAck(b, nil, MaxRetryAfterMS+1)
+	r := bufio.NewReader(bytes.NewReader(b))
+	resp, err := ReadResponse(r, nil)
+	if err != nil || resp.RetryAfterMS != 0 {
+		t.Fatalf("negative hint clamped = %+v, %v; want 0", resp, err)
+	}
+	resp, err = ReadResponse(r, nil)
+	if err != nil || resp.RetryAfterMS != MaxRetryAfterMS {
+		t.Fatalf("oversize hint clamped = %+v, %v; want %d", resp, err, int64(MaxRetryAfterMS))
+	}
+
+	// A hand-built ACK with a hint beyond the cap must decode as corrupt.
+	bad := append([]byte{0x06}, appendUvarint(nil, MaxRetryAfterMS+1)...)
+	bad = appendUvarint(bad, 0)
+	if _, err := ReadResponse(bufio.NewReader(bytes.NewReader(bad)), nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversize wire hint = %v, want ErrCorrupt", err)
 	}
 }
 
